@@ -1,0 +1,21 @@
+"""Benchmark-harness configuration.
+
+Each bench regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and prints the reproduced rows, so
+``pytest benchmarks/ --benchmark-only -s`` is the full evaluation.
+Expensive experiments run one round; micro-benchmarks use the default
+calibration.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the harness."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,50 @@
+"""Ablation: 4-input vs 5-input LUT mode.
+
+Sec. III-A: a 32-bit row realises one 5-LUT or two 4-LUTs.  4-LUT mode
+doubles the LUTs available per cycle but needs more LUTs to cover the
+same logic — this bench measures which way each benchmark falls.
+"""
+
+from repro.circuits.library import build_pe
+from repro.circuits.techmap import technology_map
+from repro.experiments.common import format_table
+from repro.folding import TileResources, list_schedule
+
+BENCHES = ("VADD", "NW", "SRT", "KMP")
+
+
+def width_table():
+    rows = []
+    for name in BENCHES:
+        netlist = build_pe(name).netlist
+        by_width = {}
+        for k in (4, 5):
+            mapped = technology_map(netlist, k=k)
+            schedule = list_schedule(
+                mapped.netlist, TileResources(mccs=1, lut_inputs=k)
+            )
+            by_width[k] = (mapped.lut_count, schedule.fold_cycles)
+        rows.append(
+            (
+                name,
+                by_width[5][0], by_width[5][1],
+                by_width[4][0], by_width[4][1],
+            )
+        )
+    return rows
+
+
+def test_lut_width_ablation(once, capsys):
+    rows = once(width_table)
+    for name, luts5, folds5, luts4, folds4 in rows:
+        # Narrower LUTs always need at least as many LUT instances.
+        assert luts4 >= luts5, name
+        assert folds4 > 0 and folds5 > 0
+    with capsys.disabled():
+        print()
+        print("Ablation — 5-LUT vs 4-LUT mode (1 MCC)")
+        print(format_table(
+            ["benchmark", "5-LUT count", "5-LUT folds",
+             "4-LUT count", "4-LUT folds"],
+            rows,
+        ))

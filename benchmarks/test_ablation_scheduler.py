@@ -1,0 +1,46 @@
+"""Ablation: cone-ordered list scheduling vs the paper's level folding.
+
+DESIGN.md calls out the scheduler as a design choice: the paper folds
+level by level; our production scheduler packs across levels.  This
+bench quantifies the gap per benchmark.
+"""
+
+from repro.experiments.common import format_table, schedule_for
+from repro.workloads.suite import benchmark_names
+
+TILE = 2
+
+# AES's level schedule takes ~1 minute to fold; the ten other kernels
+# make the same point in seconds.
+NAMES = [name for name in benchmark_names() if name != "AES"]
+
+
+def gap_table():
+    rows = []
+    for name in NAMES:
+        packed = schedule_for(name, TILE, "list")
+        levelled = schedule_for(name, TILE, "level")
+        rows.append(
+            (
+                name,
+                packed.fold_cycles,
+                levelled.fold_cycles,
+                round(levelled.fold_cycles / packed.fold_cycles, 2),
+            )
+        )
+    return rows
+
+
+def test_list_scheduler_beats_level_folding(once, capsys):
+    rows = once(gap_table)
+    for name, packed, levelled, _ in rows:
+        assert packed <= levelled, name
+    # The packing must actually pay off somewhere.
+    assert any(ratio > 1.05 for *_, ratio in rows)
+    with capsys.disabled():
+        print()
+        print("Ablation — folding cycles: list vs level scheduling "
+              f"(tile = {TILE} MCCs)")
+        print(format_table(
+            ["benchmark", "list", "level", "level/list"], rows
+        ))

@@ -1,0 +1,14 @@
+"""Sec. V-A: area overheads (3.5 % basic / 15.3 % switched)."""
+
+import pytest
+
+from repro.experiments import area
+
+
+def test_area_overheads(once, capsys):
+    data = once(area.run)
+    assert data["basic_overhead_pct"] == pytest.approx(3.5, abs=0.1)
+    assert data["switched_overhead_pct"] == pytest.approx(15.3, abs=0.1)
+    with capsys.disabled():
+        print()
+        area.main()

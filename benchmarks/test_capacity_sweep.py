@@ -1,0 +1,18 @@
+"""Sec. VI closing claim: acceleration vs LLC share."""
+
+from repro.experiments import capacity_sweep
+
+
+def test_capacity_sweep(once, capsys):
+    data = once(capacity_sweep.run)
+    for name, per_point in data.items():
+        values = [per_point[r] for r in capacity_sweep.RETAINED_WAYS
+                  if per_point[r] is not None]
+        # Monotone (non-increasing) in retained cache, modulo ties.
+        assert values == sorted(values, reverse=True), name
+        # "FReaC Cache is still able to deliver acceleration with just
+        # 60 % of the LLC": the 8-retained-ways point still wins.
+        assert per_point[8] is not None and per_point[8] > 1.5, name
+    with capsys.disabled():
+        print()
+        capacity_sweep.main()

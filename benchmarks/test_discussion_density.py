@@ -1,0 +1,20 @@
+"""Sec. VI discussion: logic density and reconfiguration bandwidth."""
+
+from repro.experiments import discussion
+
+
+def test_density_and_reconfiguration(once, capsys):
+    density = once(discussion.logic_density)
+    # The paper claims "very high logic density compared to modern
+    # FPGAs" — the time-folded (virtual) LUT pool per area must
+    # dominate by orders of magnitude.
+    assert density.density_advantage > 50
+    recon = discussion.reconfiguration("NW")
+    # "FPGAs have a limited configuration bandwidth of just 400MB/s";
+    # swapping a FReaC tile's configuration must be far faster than
+    # even a proportional partial bitstream.
+    assert recon.speed_advantage_vs_partial > 10
+    assert recon.freac_config_time_s < 10e-6
+    with capsys.disabled():
+        print()
+        discussion.main()

@@ -1,0 +1,20 @@
+"""Fig. 8: folding cycles per benchmark vs accelerator tile size."""
+
+from repro.experiments import fig08
+
+
+def test_fig08_folding_cycles(once, capsys):
+    data = once(fig08.run)
+    # Contract: monotone non-increasing in tile size; AES dominates.
+    for name, by_tile in data.items():
+        folds = [by_tile[t] for t in sorted(by_tile)]
+        assert folds == sorted(folds, reverse=True), name
+    assert all(
+        data["AES"][t] > data[name][t]
+        for t in (1, 32)
+        for name in data
+        if name != "AES"
+    )
+    with capsys.disabled():
+        print()
+        fig08.main()

@@ -1,0 +1,16 @@
+"""Fig. 9: max accelerator tiles vs compute:memory partition."""
+
+from repro.experiments import fig09
+
+
+def test_fig09_partition_tiles(once, capsys):
+    data = once(fig09.run)
+    # Contract: AES and DOT fill all 32 MCCs at 16c-4m; the
+    # memory-hungry kernels peak with more scratchpad.
+    assert data["AES"]["32MCC-256KB"] == 32
+    assert data["DOT"]["32MCC-256KB"] == 32
+    for name in ("GEMM", "NW", "SRT", "STN2"):
+        assert data[name]["16MCC-768KB"] > data[name]["32MCC-256KB"]
+    with capsys.disabled():
+        print()
+        fig09.main()

@@ -1,0 +1,19 @@
+"""Fig. 10: kernel speedup vs accelerator tile size (one slice)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_tile_size_speedup(once, capsys):
+    data = once(fig10.run)
+    # Contract: AES improves from tile 1 to tile 8 (folding relief);
+    # the 3 GHz clock penalty dents most kernels at tile 16.
+    assert data["AES"][8] > data["AES"][1]
+    dips = sum(
+        1 for by_tile in data.values()
+        if by_tile[16] is not None and by_tile[8] is not None
+        and by_tile[16] < by_tile[8]
+    )
+    assert dips >= 6
+    with capsys.disabled():
+        print()
+        fig10.main()

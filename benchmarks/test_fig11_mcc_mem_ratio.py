@@ -1,0 +1,13 @@
+"""Fig. 11: best speedup per compute:memory partition (one slice)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_mcc_mem_ratio(once, capsys):
+    data = once(fig11.run)
+    # Contract: AES prefers compute-heavy; NW prefers scratchpad-heavy.
+    assert data["AES"]["32MCC-256KB"] > data["AES"]["16MCC-768KB"]
+    assert data["NW"]["16MCC-768KB"] > data["NW"]["32MCC-256KB"]
+    with capsys.disabled():
+        print()
+        fig11.main()

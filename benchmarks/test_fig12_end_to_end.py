@@ -1,0 +1,23 @@
+"""Fig. 12: end-to-end speedup / power / perf-per-watt vs slice count."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_end_to_end(once, capsys):
+    rows = once(fig12.run)
+    stats = fig12.summary(rows)
+    # Contract bands around the paper's 8.2x / 3x / 6.1x headlines.
+    assert 4.0 <= stats["freac_vs_single_thread"] <= 25.0
+    assert 1.5 <= stats["freac_vs_multi_thread"] <= 6.0
+    assert 3.0 <= stats["freac_perf_per_watt_vs_multi"] <= 12.0
+    # Speedup grows with slice count for every benchmark.
+    for row in rows:
+        series = [
+            row.freac_by_slices[s].speedup
+            for s in (1, 2, 4, 8)
+            if row.freac_by_slices[s] is not None
+        ]
+        assert series == sorted(series)
+    with capsys.disabled():
+        print()
+        fig12.main()

@@ -1,0 +1,18 @@
+"""Fig. 13: end-to-end vs kernel-only speedup."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_kernel_vs_e2e(once, capsys):
+    rows = once(fig13.run)
+    # Contract: init/copy overhead spans negligible to heavy (~60 %+),
+    # and end-to-end speedup never beats kernel speedup by much.
+    overheads = [
+        row.init_overhead_fraction for row in rows
+        if row.init_overhead_fraction is not None
+    ]
+    assert min(overheads) < 0.15
+    assert max(overheads) > 0.40
+    with capsys.disabled():
+        print()
+        fig13.main()

@@ -1,0 +1,15 @@
+"""Fig. 14: FReaC vs embedded in-LLC cores."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_embedded_cores(once, capsys):
+    rows = once(fig14.run)
+    stats = fig14.summary(rows)
+    # Contract: FReaC clearly ahead of the iso-area 8-EC setup and
+    # still ahead of 16 ECs (paper: ~4x and ~2x on average).
+    assert stats["freac_vs_ec8"] > 2.0
+    assert stats["freac_vs_ec16"] > 1.3
+    with capsys.disabled():
+        print()
+        fig14.main()

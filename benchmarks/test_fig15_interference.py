@@ -1,0 +1,18 @@
+"""Fig. 15: LLC interference study (trace-driven)."""
+
+import pytest
+
+from repro.experiments import fig15
+
+
+def test_fig15_interference(once, capsys):
+    results = once(fig15.run, accesses_per_thread=3_000)
+    # Contract: CPU runs are insensitive to retained-LLC capacity;
+    # accelerated apps keep speeding up with only 1 MB retained.
+    for row in results:
+        assert row.cpu_latency_ratio["1MB"] == pytest.approx(1.0, abs=0.15)
+        assert row.accel_speedup["1MB"] is not None
+        assert row.accel_speedup["1MB"] > 1.0
+    with capsys.disabled():
+        print()
+        fig15.main()

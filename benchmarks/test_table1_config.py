@@ -1,0 +1,11 @@
+"""Table I: system simulation parameters."""
+
+from repro.experiments import tables
+
+
+def test_table1_system_parameters(once, capsys):
+    rows = once(tables.table1)
+    assert dict(rows)["L3D Cache Slice Number/Size"] == "8/1.25MB"
+    with capsys.disabled():
+        print()
+        print(tables.main())

@@ -1,0 +1,11 @@
+"""Table II: memory parameters from the SRAM model."""
+
+from repro.experiments import tables
+
+
+def test_table2_memory_parameters(once):
+    rows = once(tables.table2)
+    values = dict(rows)
+    assert values["SRAM Subarray AccessTime"] == "0.12ns"
+    assert values["SRAM Subarray AccessEnergy"] == "0.00369nJ"
+    assert values["L3 Cache Slice Data Subarrays"] == "160"

@@ -1,0 +1,11 @@
+"""Model-vs-execution validation (the gem5-to-RTL tie of this repo)."""
+
+from repro.experiments import validation
+
+
+def test_timing_model_validates_against_execution(once, capsys):
+    rows = once(validation.run, 12)
+    assert all(row.relative_error < 0.05 for row in rows)
+    with capsys.disabled():
+        print()
+        validation.main()

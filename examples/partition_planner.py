@@ -1,0 +1,91 @@
+"""Choosing a compute:memory partition for a workload.
+
+FReaC partitions are flexible: "allowing the user to choose how much
+of LLC to use for computation, with the rest remaining as a cache"
+(Sec. I).  This example plans that choice for any benchmark: it sweeps
+the paper's way splits, applies the working-set tile limit (Fig. 9),
+evaluates the timing model at every feasible tile size, and prints
+the recommended configuration — including a variant that keeps part
+of the LLC as cache for co-running applications (the Fig. 15
+scenario).
+
+Run:  python examples/partition_planner.py [BENCHMARK]
+"""
+
+import sys
+
+from repro.experiments.common import (
+    TILE_SIZES,
+    best_freac_estimate,
+    cpu_baseline,
+    format_table,
+)
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.device import max_accelerator_tiles
+from repro.workloads.suite import benchmark, benchmark_names
+
+SWEEP = ((16, 4), (12, 8), (8, 12), (8, 10), (8, 6), (4, 16), (2, 18))
+
+
+def plan(name: str, slices: int = 8) -> None:
+    spec = benchmark(name)
+    cpu = cpu_baseline()
+    single_s = cpu.estimate(spec, threads=1).end_to_end_s
+
+    rows = []
+    candidates = []
+    for compute, scratch in SWEEP:
+        partition = SlicePartition(compute, scratch)
+        tiles_at_1 = max_accelerator_tiles(
+            partition, tile_mccs=1,
+            working_set_bytes_per_tile=spec.tile_working_set_bytes,
+        )
+        best = best_freac_estimate(spec, partition, slices, TILE_SIZES,
+                                   by="end_to_end")
+        if best is None:
+            rows.append([partition.label(), partition.cache_ways,
+                         tiles_at_1, "-", "-", "-"])
+            continue
+        speedup = single_s / best.end_to_end_s
+        candidates.append((speedup, partition, best))
+        rows.append([
+            partition.label(),
+            partition.cache_ways,
+            tiles_at_1,
+            best.tile_mccs,
+            f"{best.end_to_end_s * 1e3:.2f} ms",
+            f"{speedup:.2f}x",
+        ])
+
+    print(f"Partition plan for {spec.name} ({spec.title}), "
+          f"{spec.items} items on {slices} slices:")
+    print(format_table(
+        ["partition", "cache ways", "max tiles@1", "best tile",
+         "end-to-end", "speedup vs 1T"],
+        rows,
+    ))
+    if candidates:
+        speedup, partition, best = max(candidates, key=lambda c: c[0])
+        print(f"\nRecommendation: {partition.label()} with "
+              f"{best.tile_mccs}-MCC tiles "
+              f"({best.tiles_per_slice} tiles/slice) -> {speedup:.2f}x "
+              f"over one host thread at {best.power_w:.1f} W.")
+        cache_kb = partition.cache_ways * 64
+        if partition.cache_ways:
+            print(f"Each slice keeps {cache_kb} KB as cache for "
+                  "co-running applications (Fig. 15 shows per-thread "
+                  "working sets under 128 KB tolerate this).")
+
+
+def main() -> None:
+    name = sys.argv[1].upper() if len(sys.argv) > 1 else "GEMM"
+    if name not in benchmark_names():
+        raise SystemExit(
+            f"unknown benchmark {name!r}; pick one of "
+            f"{', '.join(benchmark_names())}"
+        )
+    plan(name)
+
+
+if __name__ == "__main__":
+    main()

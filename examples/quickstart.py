@@ -1,0 +1,98 @@
+"""Quickstart: build, fold, and run an accelerator in the LLC.
+
+This walks the paper's Fig. 5 end-to-end flow on a dot-product engine:
+
+1. describe the processing element as a circuit,
+2. synthesise it into 5-input LUTs + MAC ops,
+3. fold it onto micro compute clusters,
+4. partition an LLC slice (flush + lock ways) via the MMIO host
+   interface, write the configuration, fill scratchpads, and run,
+5. read the results back and compare with plain Python.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.circuits import CircuitBuilder, technology_map
+from repro.folding import TileResources, generate_config, list_schedule
+from repro.freac import FreacDevice, SlicePartition, StreamBinding
+from repro.freac.device import AcceleratorProgram
+from repro.params import scaled_system
+
+PAIRS = 8
+ITEMS = 32
+
+
+def build_dot_circuit():
+    """A tiny structural HDL description of the accelerator."""
+    builder = CircuitBuilder("dot8")
+    accumulator = builder.const_word(0)
+    for _ in range(PAIRS):
+        a = builder.bus_load("a")
+        w = builder.bus_load("w")
+        accumulator = builder.mac(a, w, accumulator)
+    builder.bus_store("out", accumulator)
+    return builder.netlist
+
+
+def main() -> None:
+    print("== 1. Describe and synthesise the accelerator ==")
+    netlist = build_dot_circuit()
+    mapped = technology_map(netlist, k=5)
+    print(f"   circuit nodes: {len(netlist)}, mapped netlist: "
+          f"{mapped.netlist.counts()}")
+
+    print("== 2. Fold it onto one micro compute cluster ==")
+    schedule = list_schedule(mapped.netlist, TileResources(mccs=1))
+    image = generate_config(schedule)
+    print(f"   folding cycles: {schedule.fold_cycles} "
+          f"(effective clock {schedule.effective_clock_hz(4e9) / 1e6:.0f} MHz"
+          f" at a 4 GHz cache clock)")
+    print(f"   configuration: {image.total_bytes} bytes, "
+          f"fits sub-arrays: {image.fits_subarrays}")
+
+    print("== 3. Partition the LLC and program every tile ==")
+    device = FreacDevice(scaled_system(l3_slices=1))
+    interface = device.host_interfaces[0]
+    interface.setup(compute_ways=4, scratchpad_ways=4)  # plain LD/STs
+    report = interface.setup_report
+    print(f"   locked ways -> {report.mccs} MCCs + "
+          f"{report.scratchpad_bytes // 1024} KB scratchpad "
+          f"({report.flushed_dirty_lines} dirty lines flushed)")
+    program = AcceleratorProgram("dot8", mapped.netlist)
+    prog = device.program(program, mccs_per_tile=1)[0]
+    print(f"   programmed {prog.tiles} accelerator tiles "
+          f"({prog.config_words_per_mcc} config words per MCC)")
+
+    print("== 4. Fill scratchpads and run the batch ==")
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 1 << 20, size=(ITEMS, PAIRS))
+    w = rng.integers(0, 1 << 20, size=(ITEMS, PAIRS))
+    controller = device.controllers[0]
+    for item in range(ITEMS):
+        controller.fill_scratchpad(item * PAIRS, [int(x) for x in a[item]])
+        controller.fill_scratchpad(4096 + item * PAIRS,
+                                   [int(x) for x in w[item]])
+    binding = {
+        "a": StreamBinding(0, PAIRS),
+        "w": StreamBinding(4096, PAIRS),
+        "out": StreamBinding(8192, 1),
+    }
+    stats = controller.run_batch(ITEMS, binding)
+    print(f"   {stats.invocations} invocations, "
+          f"{stats.mac_operations} MAC ops, "
+          f"{stats.bus_words} bus words moved")
+
+    print("== 5. Read back and verify ==")
+    got = controller.read_scratchpad(8192, ITEMS)
+    expected = [int(np.dot(a[i], w[i]) % (1 << 32)) for i in range(ITEMS)]
+    assert got == expected, "accelerator output mismatch!"
+    print(f"   all {ITEMS} dot products match the NumPy reference ✓")
+
+    device.teardown()
+    print("   ways unlocked; the slice is a plain cache again.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""FReaC Cache: a full-system reproduction of Dhar et al., MICRO 2020.
+
+*Folded-logic Reconfigurable Computing in the Last Level Cache* builds
+reconfigurable accelerators out of an LLC slice's existing SRAM
+sub-arrays: each 32-bit row read re-configures a 5-input LUT, and
+*logic folding* time-multiplexes a large circuit over a handful of
+LUTs at the cache clock.
+
+Public API tour
+---------------
+
+Build a circuit and synthesise it::
+
+    from repro.circuits import CircuitBuilder, technology_map
+
+Fold it onto a micro-compute-cluster tile::
+
+    from repro.folding import TileResources, list_schedule
+
+Run it — functionally, in a modelled LLC::
+
+    from repro.freac import FreacDevice, SlicePartition, AcceleratorProgram
+
+Reproduce the paper's evaluation::
+
+    from repro.experiments import fig12   # or `freac fig12` on the CLI
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from . import cache, circuits, folding, freac, memory, params, power, workloads
+from .params import SystemParams, default_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cache",
+    "circuits",
+    "folding",
+    "freac",
+    "memory",
+    "params",
+    "power",
+    "workloads",
+    "SystemParams",
+    "default_system",
+    "__version__",
+]

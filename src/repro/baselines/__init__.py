@@ -1,0 +1,27 @@
+"""Baseline platform models the paper compares against (Sec. V-C).
+
+* :mod:`.cpu` — the 8-core A15-class host itself (single- and
+  multi-threaded OpenMP-style data parallel runs),
+* :mod:`.fpga` — a large PCIe-attached FPGA (ZCU102-class) and a small
+  edge SoC FPGA (Ultra96-class), with DMA/configuration and transfer
+  costs,
+* :mod:`.embedded` — lightweight A7-class cores placed in the LLC
+  (the iso-area near-cache alternative of Fig. 14).
+"""
+
+from .cpu import CpuBaseline, CpuRunEstimate
+from .fpga import FpgaPlatform, FpgaBaseline, FpgaRunEstimate, ZCU102, ULTRA96
+from .embedded import EmbeddedCoresBaseline
+from .compute_cache import ComputeCacheBaseline
+
+__all__ = [
+    "CpuBaseline",
+    "CpuRunEstimate",
+    "FpgaPlatform",
+    "FpgaBaseline",
+    "FpgaRunEstimate",
+    "ZCU102",
+    "ULTRA96",
+    "EmbeddedCoresBaseline",
+    "ComputeCacheBaseline",
+]

@@ -1,0 +1,137 @@
+"""The host-CPU baseline (paper Sec. V: OpenMP across all 8 A15 cores).
+
+A port-pressure timing model: each benchmark item has a dynamic
+instruction mix (:class:`~repro.workloads.suite.CpuCosts`); the core
+sustains a fixed throughput per port class (ALU, multiplier,
+load/store), and per-item latency is the binding port pressure times a
+dependency-stall factor.  Memory behaviour is bandwidth-based:
+streaming kernels move their distinct working set through the
+hierarchy at the core's (or the socket's, for multi-threaded runs)
+sustainable bandwidth, and execution overlaps with that traffic.
+
+This plays gem5's role for the baseline at a fidelity adequate for the
+paper's relative comparisons; the constants are ordinary A15-class
+throughputs, not fitted curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import SystemParams, default_system
+from ..power.cpu_power import CpuPowerModel
+from ..workloads.suite import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class CpuRunEstimate:
+    """Latency/power estimate of one benchmark run on the CPU."""
+
+    threads: int
+    compute_s: float
+    memory_s: float
+    init_s: float
+
+    @property
+    def kernel_s(self) -> float:
+        """Kernel latency: compute overlapped with memory streaming."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.init_s + self.kernel_s
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+@dataclass(frozen=True)
+class CpuBaseline:
+    """Timing + power for 1..N threads of the A15-class host."""
+
+    system: SystemParams = None  # type: ignore[assignment]
+    alu_ops_per_cycle: float = 2.0
+    mul_ops_per_cycle: float = 1.0
+    mem_ops_per_cycle: float = 2.0
+    branch_ops_per_cycle: float = 2.0
+    dependency_stall_factor: float = 1.25
+    per_core_stream_bw_bytes_s: float = 8.0e9
+    # Streaming from the LLC (footprint fits on chip) is faster per
+    # core and is not throttled by the DRAM controller.  The shared
+    # ceiling reflects an edge-class ring interconnect: well below the
+    # sum of per-core demands, which is what makes the 8-thread runs
+    # memory-limited (the paper's multi-threaded baselines scale well
+    # below 8x for the same reason).
+    per_core_llc_bw_bytes_s: float = 16.0e9
+    llc_shared_bw_bytes_s: float = 30.0e9
+    parallel_efficiency: float = 0.95
+    power: CpuPowerModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.system is None:
+            object.__setattr__(self, "system", default_system())
+        if self.power is None:
+            object.__setattr__(self, "power", CpuPowerModel())
+
+    # ------------------------------------------------------------------
+
+    def cycles_per_item(self, spec: BenchmarkSpec) -> float:
+        """Binding-port latency of one item on one core."""
+        costs = spec.cpu
+        pressures = (
+            costs.int_ops / self.alu_ops_per_cycle,
+            costs.mul_ops / self.mul_ops_per_cycle,
+            (costs.loads + costs.stores) / self.mem_ops_per_cycle,
+            costs.branches / self.branch_ops_per_cycle,
+        )
+        return max(pressures) * self.dependency_stall_factor
+
+    def _stream_bandwidth(self, threads: int, footprint_bytes: int) -> float:
+        """Sustainable bandwidth, aware of where the data lives.
+
+        Footprints that fit the LLC stream from on-chip SRAM; larger
+        ones are bounded by the DRAM controller.
+        """
+        if footprint_bytes <= self.system.l3_size_bytes:
+            return min(
+                threads * self.per_core_llc_bw_bytes_s,
+                self.llc_shared_bw_bytes_s,
+            )
+        dram = self.system.dram
+        socket_bw = dram.peak_bandwidth_bytes_s * 0.75
+        return min(threads * self.per_core_stream_bw_bytes_s, socket_bw)
+
+    def estimate(self, spec: BenchmarkSpec, threads: int = 1) -> CpuRunEstimate:
+        """Latency of the whole scaled batch on ``threads`` cores."""
+        if not 1 <= threads <= self.system.cores:
+            raise ValueError(
+                f"threads must be 1..{self.system.cores}, got {threads}"
+            )
+        clock = self.system.core.clock_hz
+        effective_threads = 1 if threads == 1 else threads * self.parallel_efficiency
+        compute_s = (
+            spec.items * self.cycles_per_item(spec) / clock / effective_threads
+        )
+        touched = spec.total_input_bytes() + spec.total_output_bytes()
+        bandwidth = self._stream_bandwidth(threads, touched)
+        memory_s = touched / bandwidth
+        # Initialisation: the host materialises the inputs in memory
+        # before the kernel (Fig. 13 charges this to every platform).
+        init_s = spec.total_input_bytes() / bandwidth
+        return CpuRunEstimate(
+            threads=threads,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            init_s=init_s,
+        )
+
+    def power_w(self, threads: int) -> float:
+        return self.power.package_power_w(
+            active_cores=threads, total_cores=self.system.cores
+        )
+
+    def perf_per_watt(self, spec: BenchmarkSpec, threads: int = 1) -> float:
+        """Items per second per watt for the kernel phase."""
+        estimate = self.estimate(spec, threads)
+        return (spec.items / estimate.kernel_s) / self.power_w(threads)

@@ -1,0 +1,58 @@
+"""Embedded cores in the LLC: the near-cache alternative (Fig. 14).
+
+The paper's Sec. VI comparison: instead of FReaC's folded logic, place
+lightweight A7-class cores next to the cache ("one EC per slice" for
+iso-area, or two), give them 16 ways of the LLC as scratchpad, and run
+the same data-parallel kernels.  An A7 is a narrow in-order core, so
+its per-item latency uses the same port-pressure model as the host CPU
+with in-order widths and a lower clock — and, sitting at the LLC, its
+memory traffic streams from the scratchpad rather than DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.energy import LLC_LEAKAGE_W
+from ..workloads.suite import BenchmarkSpec
+
+A7_AREA_MM2 = 0.49  # paper: ~0.49 mm^2 per A7-class core [61], [62]
+
+
+@dataclass(frozen=True)
+class EmbeddedCoresBaseline:
+    """N in-LLC A7-class cores with LLC-scratchpad-backed data."""
+
+    cores: int = 8
+    clock_hz: float = 2.0e9
+    alu_ops_per_cycle: float = 1.0     # in-order, dual-issue limited
+    mul_ops_per_cycle: float = 0.5
+    mem_ops_per_cycle: float = 1.0
+    dependency_stall_factor: float = 1.35
+    per_core_scratch_bw_bytes_s: float = 8.0e9  # LLC-local streaming
+    core_power_w: float = 0.10                  # A7-class @ 32 nm LP
+
+    def cycles_per_item(self, spec: BenchmarkSpec) -> float:
+        costs = spec.cpu
+        pressures = (
+            (costs.int_ops + costs.branches) / self.alu_ops_per_cycle,
+            costs.mul_ops / self.mul_ops_per_cycle,
+            (costs.loads + costs.stores) / self.mem_ops_per_cycle,
+        )
+        return max(pressures) * self.dependency_stall_factor
+
+    def kernel_s(self, spec: BenchmarkSpec) -> float:
+        compute_s = (
+            spec.items * self.cycles_per_item(spec) / self.clock_hz / self.cores
+        )
+        touched = spec.total_input_bytes() + spec.total_output_bytes()
+        memory_s = touched / (self.cores * self.per_core_scratch_bw_bytes_s)
+        return max(compute_s, memory_s)
+
+    def power_w(self) -> float:
+        # Cores plus their share of the LLC they occupy as scratchpad.
+        return self.cores * self.core_power_w + 0.8 * LLC_LEAKAGE_W
+
+    @property
+    def area_mm2(self) -> float:
+        return self.cores * A7_AREA_MM2

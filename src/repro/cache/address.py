@@ -1,0 +1,99 @@
+"""Physical address decomposition for the sliced LLC.
+
+Addresses are interleaved across slices at cache-line granularity
+(paper Sec. II: "memory addresses are interleaved across slices, and
+cores may access any slice").  Within a slice the line address is
+split into a set index and a tag, exactly as in a conventional
+set-associative cache.
+
+The codec is a bijection: ``decode`` followed by ``encode`` returns the
+original line-aligned address.  This invariant is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """The result of decoding a physical address."""
+
+    slice_index: int
+    set_index: int
+    tag: int
+    line_offset: int
+
+    @property
+    def line_key(self) -> int:
+        """A key unique per (slice, set, tag) — i.e. per cache line."""
+        return (self.tag << 32) | (self.slice_index << 16) | self.set_index
+
+
+class AddressCodec:
+    """Splits physical addresses into (slice, set, tag, offset) fields.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache line size; must be a power of two.
+    sets_per_slice:
+        Number of sets in one slice; must be a power of two.
+    slices:
+        Number of LLC slices.  Line addresses are interleaved across
+        slices round-robin (modulo), which is how sliced Intel/Samsung
+        LLCs spread traffic.
+    """
+
+    def __init__(self, line_bytes: int, sets_per_slice: int, slices: int) -> None:
+        if not _is_power_of_two(line_bytes):
+            raise ConfigurationError("line size must be a power of two")
+        if not _is_power_of_two(sets_per_slice):
+            raise ConfigurationError("sets per slice must be a power of two")
+        if slices < 1:
+            raise ConfigurationError("need at least one slice")
+        self.line_bytes = line_bytes
+        self.sets_per_slice = sets_per_slice
+        self.slices = slices
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._set_bits = sets_per_slice.bit_length() - 1
+
+    def line_address(self, address: int) -> int:
+        """The address with the intra-line offset stripped."""
+        return address >> self._offset_bits
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decompose ``address`` into its routing fields."""
+        if address < 0:
+            raise ConfigurationError("addresses are unsigned")
+        line = self.line_address(address)
+        slice_index = line % self.slices
+        per_slice_line = line // self.slices
+        set_index = per_slice_line & (self.sets_per_slice - 1)
+        tag = per_slice_line >> self._set_bits
+        return DecodedAddress(
+            slice_index=slice_index,
+            set_index=set_index,
+            tag=tag,
+            line_offset=address & (self.line_bytes - 1),
+        )
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (up to the line offset)."""
+        per_slice_line = (decoded.tag << self._set_bits) | decoded.set_index
+        line = per_slice_line * self.slices + decoded.slice_index
+        return (line << self._offset_bits) | decoded.line_offset
+
+    def lines_in_range(self, base: int, size_bytes: int) -> int:
+        """Number of distinct cache lines touched by [base, base+size)."""
+        if size_bytes <= 0:
+            return 0
+        first = self.line_address(base)
+        last = self.line_address(base + size_bytes - 1)
+        return last - first + 1

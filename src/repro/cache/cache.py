@@ -1,0 +1,166 @@
+"""A generic tag-only set-associative cache (L1/L2 model).
+
+The private levels of the hierarchy do not need functional data
+storage for any experiment — only hit/miss behaviour and dirty-line
+accounting — so this model keeps tags and states only, which makes
+trace-driven simulation fast enough for the interference study
+(paper Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..errors import CacheError
+from ..params import CacheLevelParams
+from .replacement import LruPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """Tags + dirty bits, LRU by default, optional capacity restriction.
+
+    ``effective_ways`` allows modelling a cache whose associativity has
+    been reduced (e.g. an LLC slice with ways locked for compute)
+    without rebuilding the object.
+    """
+
+    def __init__(
+        self,
+        params: CacheLevelParams,
+        policy_cls: Type[ReplacementPolicy] = LruPolicy,
+    ) -> None:
+        params.validate()
+        self.params = params
+        self.sets = params.sets
+        self.ways = params.ways
+        self._effective_ways = params.ways
+        self._policy_cls = policy_cls
+        self.stats = CacheStats()
+        # Per set: list of (tag, dirty) with positions = ways.
+        self._tags: List[List[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * self.ways for _ in range(self.sets)
+        ]
+        self._policies = [policy_cls(self.ways) for _ in range(self.sets)]
+        # Line address displaced by the most recent fill (or None):
+        # hierarchies with inclusion read this to back-invalidate.
+        self.last_evicted_line: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_ways(self) -> int:
+        return self._effective_ways
+
+    def restrict_ways(self, effective_ways: int) -> None:
+        """Reduce usable associativity (locked ways), invalidating the rest."""
+        if not 1 <= effective_ways <= self.ways:
+            raise CacheError("effective ways out of range")
+        self._effective_ways = effective_ways
+        for set_index in range(self.sets):
+            for way in range(effective_ways, self.ways):
+                self._tags[set_index][way] = None
+                self._dirty[set_index][way] = False
+
+    def _locked(self) -> set:
+        return set(range(self._effective_ways, self.ways))
+
+    def _index(self, line_address: int) -> Tuple[int, int]:
+        set_index = line_address % self.sets
+        tag = line_address // self.sets
+        return set_index, tag
+
+    # ------------------------------------------------------------------
+
+    def access(self, line_address: int, is_write: bool) -> bool:
+        """Access a line; returns True on hit.  Misses fill the line."""
+        hit = self.probe(line_address)
+        set_index, tag = self._index(line_address)
+        if hit:
+            way = self._find(set_index, tag)
+            self.stats.hits += 1
+            self._policies[set_index].touch(way)
+            if is_write:
+                self._dirty[set_index][way] = True
+            return True
+        self.stats.misses += 1
+        self._fill(set_index, tag, is_write)
+        return False
+
+    def probe(self, line_address: int) -> bool:
+        """Check presence without updating state."""
+        set_index, tag = self._index(line_address)
+        return self._find(set_index, tag) is not None
+
+    def invalidate(self, line_address: int) -> bool:
+        """Drop a line (back-invalidation); returns True if present."""
+        set_index, tag = self._index(line_address)
+        way = self._find(set_index, tag)
+        if way is None:
+            return False
+        self._tags[set_index][way] = None
+        self._dirty[set_index][way] = False
+        return True
+
+    def flush_all(self) -> int:
+        """Invalidate everything; returns the number of dirty lines."""
+        dirty = 0
+        for set_index in range(self.sets):
+            for way in range(self.ways):
+                if self._tags[set_index][way] is not None:
+                    if self._dirty[set_index][way]:
+                        dirty += 1
+                        self.stats.writebacks += 1
+                    self._tags[set_index][way] = None
+                    self._dirty[set_index][way] = False
+        return dirty
+
+    def resident_lines(self) -> int:
+        return sum(
+            1
+            for per_set in self._tags
+            for tag in per_set
+            if tag is not None
+        )
+
+    # ------------------------------------------------------------------
+
+    def _find(self, set_index: int, tag: int) -> Optional[int]:
+        for way in range(self._effective_ways):
+            if self._tags[set_index][way] == tag:
+                return way
+        return None
+
+    def _fill(self, set_index: int, tag: int, is_write: bool) -> None:
+        valid = [self._tags[set_index][w] is not None for w in range(self.ways)]
+        way = self._policies[set_index].victim(self._locked(), valid)
+        old_tag = self._tags[set_index][way]
+        if old_tag is not None:
+            self.stats.evictions += 1
+            if self._dirty[set_index][way]:
+                self.stats.writebacks += 1
+            self.last_evicted_line = old_tag * self.sets + set_index
+        else:
+            self.last_evicted_line = None
+        self._tags[set_index][way] = tag
+        self._dirty[set_index][way] = is_write
+        self._policies[set_index].touch(way)

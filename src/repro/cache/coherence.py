@@ -1,0 +1,211 @@
+"""Directory-based MSI coherence with the LLC as the ordering point.
+
+FReaC Cache leans on the LLC already being "the point of coherence in
+modern multi-core CPUs" (Sec. VII): accelerator operands live in
+scratchpads carved from LLC ways, so locking a way must first force
+every private copy of its lines back (flush), and while a region is
+accelerator-owned the cores must not hold modified copies of it.
+
+This module models exactly that much protocol: per-core private caches
+tracked at line granularity in Modified/Shared/Invalid states, a
+directory at the LLC enforcing the single-writer/multiple-reader
+(SWMR) invariant, and a flush operation the CC Ctrl uses before
+locking ways.  Capacity in the private caches is modelled with an LRU
+bound so eviction-driven writebacks appear too.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import CacheError
+
+
+class MsiState(enum.Enum):
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CoherenceStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    invalidations: int = 0
+    downgrades: int = 0
+    writebacks: int = 0
+    flush_writebacks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _PrivateCache:
+    """LRU-bounded per-core line states."""
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines < 1:
+            raise CacheError("private cache needs capacity for one line")
+        self.capacity = capacity_lines
+        self.lines: "OrderedDict[int, MsiState]" = OrderedDict()
+
+    def state(self, line: int) -> MsiState:
+        return self.lines.get(line, MsiState.INVALID)
+
+    def touch(self, line: int) -> None:
+        if line in self.lines:
+            self.lines.move_to_end(line)
+
+    def install(self, line: int, state: MsiState) -> Optional[tuple]:
+        """Insert/update a line; returns an evicted (line, state) or None."""
+        evicted = None
+        if line not in self.lines and len(self.lines) >= self.capacity:
+            evicted = self.lines.popitem(last=False)
+        self.lines[line] = state
+        self.lines.move_to_end(line)
+        return evicted
+
+    def drop(self, line: int) -> MsiState:
+        return self.lines.pop(line, MsiState.INVALID)
+
+
+class CoherentSystem:
+    """N cores + directory; operations are reads, writes, and flushes."""
+
+    def __init__(self, cores: int, private_capacity_lines: int = 4096) -> None:
+        if cores < 1:
+            raise CacheError("need at least one core")
+        self.cores = cores
+        self._caches = [_PrivateCache(private_capacity_lines)
+                        for _ in range(cores)]
+        # Directory: line -> set of cores holding it (state derivable).
+        self._sharers: Dict[int, Set[int]] = {}
+        self._owner: Dict[int, int] = {}  # line -> core in M, if any
+        self.stats = CoherenceStats()
+
+    # ------------------------------------------------------------------
+
+    def read(self, core: int, line: int) -> bool:
+        """Load from ``core``; returns True on a private-cache hit."""
+        self._check_core(core)
+        cache = self._caches[core]
+        state = cache.state(line)
+        if state is not MsiState.INVALID:
+            cache.touch(line)
+            self.stats.read_hits += 1
+            return True
+        self.stats.read_misses += 1
+        owner = self._owner.get(line)
+        if owner is not None and owner != core:
+            # Downgrade the writer: M -> S with a writeback to the LLC.
+            self._caches[owner].install(line, MsiState.SHARED)
+            self.stats.downgrades += 1
+            self.stats.writebacks += 1
+            del self._owner[line]
+        self._sharers.setdefault(line, set()).add(core)
+        self._evict_handling(cache.install(line, MsiState.SHARED), core)
+        return False
+
+    def write(self, core: int, line: int) -> bool:
+        """Store from ``core``; returns True on an exclusive hit."""
+        self._check_core(core)
+        cache = self._caches[core]
+        if cache.state(line) is MsiState.MODIFIED:
+            cache.touch(line)
+            self.stats.write_hits += 1
+            return True
+        self.stats.write_misses += 1
+        for sharer in sorted(self._sharers.get(line, set())):
+            if sharer == core:
+                continue
+            previous = self._caches[sharer].drop(line)
+            self.stats.invalidations += 1
+            if previous is MsiState.MODIFIED:
+                self.stats.writebacks += 1
+        self._sharers[line] = {core}
+        self._owner[line] = core
+        self._evict_handling(cache.install(line, MsiState.MODIFIED), core)
+        return False
+
+    def flush_line(self, line: int) -> int:
+        """Force every copy of ``line`` back to the LLC (CC Ctrl path).
+
+        Returns the number of dirty writebacks performed.
+        """
+        writebacks = 0
+        for core in sorted(self._sharers.pop(line, set())):
+            previous = self._caches[core].drop(line)
+            if previous is MsiState.MODIFIED:
+                writebacks += 1
+                self.stats.flush_writebacks += 1
+        self._owner.pop(line, None)
+        return writebacks
+
+    def flush_range(self, first_line: int, count: int) -> int:
+        """Flush a contiguous line range (a way's worth of addresses)."""
+        return sum(
+            self.flush_line(line) for line in range(first_line,
+                                                    first_line + count)
+        )
+
+    # ------------------------------------------------------------------
+
+    def state_of(self, core: int, line: int) -> MsiState:
+        self._check_core(core)
+        return self._caches[core].state(line)
+
+    def owner_of(self, line: int) -> Optional[int]:
+        return self._owner.get(line)
+
+    def sharers_of(self, line: int) -> Set[int]:
+        return set(self._sharers.get(line, set()))
+
+    def check_invariants(self) -> None:
+        """SWMR: a modified line has exactly one holder and no sharers."""
+        for line, owner in self._owner.items():
+            holders = self._sharers.get(line, set())
+            if holders != {owner}:
+                raise CacheError(
+                    f"line {line:#x}: owner {owner} but sharers {holders}"
+                )
+            if self._caches[owner].state(line) is not MsiState.MODIFIED:
+                raise CacheError(
+                    f"line {line:#x}: directory says M but cache disagrees"
+                )
+        for line, holders in self._sharers.items():
+            modified = [
+                core for core in holders
+                if self._caches[core].state(line) is MsiState.MODIFIED
+            ]
+            if len(modified) > 1:
+                raise CacheError(f"line {line:#x}: multiple writers {modified}")
+            for core in holders:
+                if self._caches[core].state(line) is MsiState.INVALID:
+                    raise CacheError(
+                        f"line {line:#x}: directory lists core {core} "
+                        "but its cache holds nothing"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _evict_handling(self, evicted: Optional[tuple], core: int) -> None:
+        if evicted is None:
+            return
+        line, state = evicted
+        holders = self._sharers.get(line)
+        if holders is not None:
+            holders.discard(core)
+            if not holders:
+                del self._sharers[line]
+        if state is MsiState.MODIFIED:
+            self.stats.writebacks += 1
+            self._owner.pop(line, None)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.cores:
+            raise CacheError(f"core {core} out of range")

@@ -1,0 +1,176 @@
+"""Three-level cache hierarchy with a sliced, capacity-adjustable LLC.
+
+Used by the CPU baseline timing model and the interference study
+(paper Fig. 15).  L1 and L2 are private per core; the L3 is shared and
+modelled as one tag-only cache whose capacity/associativity can be
+restricted to reflect ways locked for FReaC compute or scratchpads.
+
+The hierarchy returns, per access, the level that serviced it and the
+latency in core cycles (Table I latencies + DRAM on a full miss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..params import CacheLevelParams, SystemParams
+from .address import AddressCodec
+from .cache import SetAssociativeCache
+from .ring import NucaLlc, RingInterconnect
+
+
+@dataclass
+class AccessResult:
+    level: str            # "L1", "L2", "L3", or "DRAM"
+    latency_cycles: float
+
+
+@dataclass
+class HierarchyStats:
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_accesses: int = 0
+    accesses: int = 0
+
+    @property
+    def l3_miss_rate(self) -> float:
+        l3_seen = self.l3_hits + self.dram_accesses
+        return self.dram_accesses / l3_seen if l3_seen else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 over a shared L3 of restrictable capacity."""
+
+    def __init__(
+        self,
+        system: SystemParams | None = None,
+        *,
+        cores: int | None = None,
+        l3_bytes_available: int | None = None,
+        use_ring: bool = False,
+        inclusive: bool = False,
+    ) -> None:
+        self.system = system or SystemParams()
+        self.cores = cores if cores is not None else self.system.cores
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+        self.line_bytes = self.system.l1.line_bytes
+        self._l1 = [SetAssociativeCache(self.system.l1) for _ in range(self.cores)]
+        self._l2 = [SetAssociativeCache(self.system.l2) for _ in range(self.cores)]
+        self._l3_bypassed = False
+        l3_params = self._l3_params(l3_bytes_available)
+        self._l3 = SetAssociativeCache(l3_params)
+        self.stats = HierarchyStats()
+        core_hz = self.system.core.clock_hz
+        self._dram_cycles = self.system.dram.access_latency_s * core_hz
+        # Inclusive LLCs back-invalidate private copies on L3 eviction
+        # (this is what makes way flushing sufficient for FReaC: once
+        # the LLC line is gone, no core holds it).  The paper notes
+        # flush cost "depends on ... inclusion policies" (Sec. III-C).
+        self.inclusive = inclusive
+        self.stats_back_invalidations = 0
+        # Optional NUCA detail: per-access L3 latency from the ring
+        # distance instead of the flat Table-I constant.
+        self.nuca: NucaLlc | None = None
+        if use_ring:
+            codec = AddressCodec(
+                line_bytes=self.line_bytes,
+                sets_per_slice=self.system.slice_params.sets,
+                slices=self.system.l3_slices,
+            )
+            self.nuca = NucaLlc(
+                codec, RingInterconnect(stations=self.system.l3_slices)
+            )
+
+    def _l3_params(self, l3_bytes_available: int | None) -> CacheLevelParams:
+        """The shared L3, possibly shrunk by locked ways.
+
+        Locking ways reduces associativity uniformly across slices, so
+        the model scales both size and ways by the retained fraction.
+        ``l3_bytes_available=0`` means the whole LLC is consumed for
+        compute: core requests bypass it entirely ("treated as misses,
+        and forwarded to memory", Sec. III-C).
+        """
+        full = self.system.l3
+        if l3_bytes_available is None or l3_bytes_available >= full.size_bytes:
+            return full
+        if l3_bytes_available < 0:
+            raise ConfigurationError("L3 capacity cannot be negative")
+        if l3_bytes_available == 0:
+            self._l3_bypassed = True
+            return full  # structure kept for stats; never consulted
+        way_bytes = full.size_bytes // full.ways
+        ways = max(1, l3_bytes_available // way_bytes)
+        return CacheLevelParams(
+            "L3D", ways * way_bytes, ways, full.latency_cycles, full.line_bytes
+        )
+
+    @property
+    def l3_capacity_bytes(self) -> int:
+        if self._l3_bypassed:
+            return 0
+        return self._l3.params.size_bytes
+
+    def access(self, core: int, address: int, is_write: bool) -> AccessResult:
+        """Walk the hierarchy for one load/store from ``core``."""
+        if not 0 <= core < self.cores:
+            raise ConfigurationError(f"core {core} out of range")
+        line = address // self.line_bytes
+        self.stats.accesses += 1
+        if self._l1[core].access(line, is_write):
+            self.stats.l1_hits += 1
+            return AccessResult("L1", self.system.l1.latency_cycles)
+        if self._l2[core].access(line, is_write):
+            self.stats.l2_hits += 1
+            return AccessResult(
+                "L2", self.system.l1.latency_cycles + self.system.l2.latency_cycles
+            )
+        if self._l3_bypassed:
+            # The entire LLC is compute: straight to memory.
+            self.stats.dram_accesses += 1
+            return AccessResult(
+                "DRAM",
+                self.system.l1.latency_cycles
+                + self.system.l2.latency_cycles
+                + self._dram_cycles,
+            )
+        if self.nuca is not None:
+            l3_latency = self.nuca.access(core, address)
+        else:
+            l3_latency = self.system.l3_latency_cycles
+        on_chip = (
+            self.system.l1.latency_cycles
+            + self.system.l2.latency_cycles
+            + l3_latency
+        )
+        if self._l3.access(line, is_write):
+            self.stats.l3_hits += 1
+            return AccessResult("L3", on_chip)
+        self.stats.dram_accesses += 1
+        if self.inclusive and self._l3.last_evicted_line is not None:
+            evicted = self._l3.last_evicted_line
+            for private in self._l1 + self._l2:
+                if private.invalidate(evicted):
+                    self.stats_back_invalidations += 1
+        return AccessResult("DRAM", on_chip + self._dram_cycles)
+
+    def run_trace(self, core: int, trace) -> float:
+        """Replay (address, is_write) pairs; returns total memory cycles."""
+        total = 0.0
+        for address, is_write in trace:
+            total += self.access(core, address, is_write).latency_cycles
+        return total
+
+    def flush_everything(self) -> int:
+        """Flush all levels; returns total dirty lines written back."""
+        dirty = 0
+        for cache in self._l1 + self._l2:
+            dirty += cache.flush_all()
+        dirty += self._l3.flush_all()
+        return dirty

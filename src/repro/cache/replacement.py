@@ -1,0 +1,135 @@
+"""Replacement policies for set-associative structures.
+
+Two policies are provided: true LRU (what the reference model and the
+tests assume) and tree pseudo-LRU (what real LLC slices implement; the
+paper's slice keeps a CV/LRU array per way).  Both honour *locked
+ways*: a way handed to compute mode or a scratchpad must never be
+chosen as a victim (paper Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Set
+
+from ..errors import CacheError
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state shared by every policy."""
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise CacheError("a set needs at least one way")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit/fill on ``way`` (most recently used)."""
+
+    @abstractmethod
+    def victim(self, locked: Set[int], valid: Iterable[bool]) -> int:
+        """Pick the way to evict, never choosing a locked way.
+
+        Invalid unlocked ways are preferred over evicting valid data.
+        """
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise CacheError(f"way {way} out of range 0..{self.ways - 1}")
+
+    @staticmethod
+    def _free_way(locked: Set[int], valid: List[bool]) -> Optional[int]:
+        for way, is_valid in enumerate(valid):
+            if not is_valid and way not in locked:
+                return way
+        return None
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used order, kept as a recency list."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Index 0 is least recently used.
+        self._order: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self, locked: Set[int], valid: Iterable[bool]) -> int:
+        valid_list = list(valid)
+        if len(valid_list) != self.ways:
+            raise CacheError("valid bitmap length must equal associativity")
+        free = self._free_way(locked, valid_list)
+        if free is not None:
+            return free
+        for way in self._order:
+            if way not in locked:
+                return way
+        raise CacheError("every way in the set is locked; no victim exists")
+
+    def recency(self) -> List[int]:
+        """LRU-to-MRU order (exposed for tests)."""
+        return list(self._order)
+
+
+class PseudoLruPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU, as used by real high-associativity LLCs.
+
+    The tree is sized to the next power of two above the associativity;
+    leaves beyond ``ways`` are treated as permanently locked.  When the
+    tree walk lands on a locked way, the nearest unlocked way in leaf
+    order is used instead (a common hardware fallback).
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._leaves = 1
+        while self._leaves < ways:
+            self._leaves *= 2
+        # One bit per internal node; 0 means "go left is colder".
+        self._bits = [0] * max(self._leaves - 1, 1)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        node = 0
+        low, high = 0, self._leaves
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                self._bits[node] = 1  # remember we went left; cold side is right
+                node = 2 * node + 1
+                high = mid
+            else:
+                self._bits[node] = 0
+                node = 2 * node + 2
+                low = mid
+        # Single-way sets have no internal nodes to update.
+
+    def victim(self, locked: Set[int], valid: Iterable[bool]) -> int:
+        valid_list = list(valid)
+        if len(valid_list) != self.ways:
+            raise CacheError("valid bitmap length must equal associativity")
+        free = self._free_way(locked, valid_list)
+        if free is not None:
+            return free
+        node = 0
+        low, high = 0, self._leaves
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._bits[node]:
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+        way = low
+        if way < self.ways and way not in locked:
+            return way
+        for candidate in range(self.ways):
+            if candidate not in locked:
+                return candidate
+        raise CacheError("every way in the set is locked; no victim exists")

@@ -1,0 +1,111 @@
+"""NUCA ring interconnect between cores and LLC slices.
+
+Paper Sec. II: slices "are organized around a central interconnect
+that provides high bandwidth between the cores and all the slices ...
+cores may experience non-uniform latency depending on the slice's
+distance, due to the use of interconnects, such as ring busses."
+
+``RingInterconnect`` models the bidirectional ring of Intel/Samsung
+sliced LLCs: each core/slice pair sits at a ring station, a request
+takes the shorter direction, and total L3 latency is
+
+    inject + hops * hop_cycles + slice_access (+ return trip).
+
+With the default parameters the *average* round-trip latency over the
+8-slice configuration reproduces Table I's 27-cycle L3 latency, which
+the flat hierarchy model uses as a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .address import AddressCodec
+
+
+@dataclass(frozen=True)
+class RingInterconnect:
+    """A bidirectional ring with one station per core/slice pair."""
+
+    stations: int = 8
+    hop_cycles: int = 1
+    inject_cycles: int = 1
+    slice_access_cycles: int = 22
+
+    def __post_init__(self) -> None:
+        if self.stations < 1:
+            raise ConfigurationError("a ring needs at least one station")
+
+    def hops(self, source: int, destination: int) -> int:
+        """Stations traversed taking the shorter ring direction."""
+        self._check(source)
+        self._check(destination)
+        clockwise = (destination - source) % self.stations
+        return min(clockwise, self.stations - clockwise)
+
+    def request_latency(self, core: int, slice_index: int) -> int:
+        """One-way latency from a core's station to a slice."""
+        return (
+            self.inject_cycles
+            + self.hops(core, slice_index) * self.hop_cycles
+        )
+
+    def access_latency(self, core: int, slice_index: int) -> int:
+        """Round trip: request, slice access, response."""
+        one_way = self.request_latency(core, slice_index)
+        return one_way + self.slice_access_cycles + (one_way - self.inject_cycles)
+
+    def average_access_latency(self, core: int = 0) -> float:
+        """Average over slices — uniform line interleaving makes every
+        slice equally likely."""
+        total = sum(
+            self.access_latency(core, s) for s in range(self.stations)
+        )
+        return total / self.stations
+
+    def worst_case_latency(self, core: int = 0) -> int:
+        return max(self.access_latency(core, s) for s in range(self.stations))
+
+    def _check(self, station: int) -> None:
+        if not 0 <= station < self.stations:
+            raise ConfigurationError(f"station {station} out of range")
+
+
+class NucaLlc:
+    """Address-interleaved slice selection + ring latency + stats."""
+
+    def __init__(self, codec: AddressCodec,
+                 ring: RingInterconnect | None = None) -> None:
+        self.codec = codec
+        self.ring = ring or RingInterconnect(stations=codec.slices)
+        if self.ring.stations != codec.slices:
+            raise ConfigurationError("ring stations must equal slice count")
+        self.accesses_per_slice: List[int] = [0] * codec.slices
+        self.total_latency = 0
+
+    def access(self, core: int, address: int) -> int:
+        """Route one L3 access; returns its latency in cycles."""
+        slice_index = self.codec.decode(address).slice_index
+        latency = self.ring.access_latency(core % self.ring.stations,
+                                           slice_index)
+        self.accesses_per_slice[slice_index] += 1
+        self.total_latency += latency
+        return latency
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.accesses_per_slice)
+
+    def average_latency(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.total_latency / self.accesses
+
+    def load_balance(self) -> float:
+        """Max/mean slice load — 1.0 is perfectly balanced."""
+        if not self.accesses:
+            return 1.0
+        mean = self.accesses / len(self.accesses_per_slice)
+        return max(self.accesses_per_slice) / mean

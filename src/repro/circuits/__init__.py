@@ -1,0 +1,29 @@
+"""Circuit IR, gate-level construction, and K-LUT technology mapping.
+
+This package replaces the paper's Vivado-HLS + VTR synthesis flow
+(Sec. IV, Fig. 7b).  Benchmark processing elements are built as
+gate-level netlists with word-level MAC and bus-access nodes, then
+technology-mapped into K-input LUTs — producing exactly the node mix
+the folding scheduler consumes: "look-up tables, flip-flops, adders,
+and multipliers".
+"""
+
+from .netlist import Netlist, Node, NodeKind, GateOp
+from .builder import CircuitBuilder, Word
+from .simulate import simulate
+from .techmap import technology_map, TechMapResult
+from .level import LeveledGraph, level_graph
+
+__all__ = [
+    "Netlist",
+    "Node",
+    "NodeKind",
+    "GateOp",
+    "CircuitBuilder",
+    "Word",
+    "simulate",
+    "technology_map",
+    "TechMapResult",
+    "LeveledGraph",
+    "level_graph",
+]

@@ -1,0 +1,324 @@
+"""A tiny structural HDL for building benchmark netlists.
+
+``CircuitBuilder`` provides gate-level bit-vector arithmetic (ripple
+adders, comparators, muxes) and word-level MAC/bus operations, so each
+benchmark processing element (paper Sec. V) can be written in a few
+dozen lines and synthesised by the technology mapper.
+
+Conventions: bit vectors are Python lists of bit-node ids, LSB first;
+``Word`` wraps a 32-bit word-level value and converts lazily between
+the word node and its bit slices (the conversions are wiring and cost
+nothing downstream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from .netlist import GateOp, Netlist, NodeKind, WORD_BITS, WORD_MASK
+
+
+class Word:
+    """A 32-bit value that may exist as a word node, bit slices, or both."""
+
+    def __init__(self, builder: "CircuitBuilder",
+                 word_nid: Optional[int] = None,
+                 bits: Optional[List[int]] = None) -> None:
+        if word_nid is None and bits is None:
+            raise CircuitError("a Word needs a word node or bits")
+        self._builder = builder
+        self._word_nid = word_nid
+        self._bits = list(bits) if bits is not None else None
+
+    @property
+    def nid(self) -> int:
+        """The word-level node id (PACKing the bits if needed)."""
+        if self._word_nid is None:
+            assert self._bits is not None
+            self._word_nid = self._builder.netlist.add(
+                NodeKind.PACK, self._bits, None
+            )
+        return self._word_nid
+
+    @property
+    def bits(self) -> List[int]:
+        """The 32 bit-node ids, LSB first (BITSLICEd if needed)."""
+        if self._bits is None:
+            assert self._word_nid is not None
+            netlist = self._builder.netlist
+            self._bits = [
+                netlist.add(NodeKind.BITSLICE, [self._word_nid], index)
+                for index in range(WORD_BITS)
+            ]
+        return list(self._bits)
+
+
+class CircuitBuilder:
+    """Builds a :class:`Netlist` through composable operations."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.netlist = Netlist(name)
+        self._load_counters: Dict[str, int] = {}
+        self._store_counters: Dict[str, int] = {}
+        self._const_cache: Dict[int, int] = {}
+        self._word_const_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def bit_input(self, name: str) -> int:
+        return self.netlist.add(NodeKind.BIT_INPUT, (), name)
+
+    def word_input(self, name: str) -> Word:
+        nid = self.netlist.add(NodeKind.WORD_INPUT, (), name)
+        return Word(self, word_nid=nid)
+
+    def bus_load(self, stream: str) -> Word:
+        """One 32-bit load on the operand bus from ``stream``."""
+        index = self._load_counters.get(stream, 0)
+        self._load_counters[stream] = index + 1
+        nid = self.netlist.add(NodeKind.BUS_LOAD, (), (stream, index))
+        return Word(self, word_nid=nid)
+
+    def bus_store(self, stream: str, value: Word) -> int:
+        """One 32-bit store on the operand bus to ``stream``."""
+        index = self._store_counters.get(stream, 0)
+        self._store_counters[stream] = index + 1
+        return self.netlist.add(NodeKind.BUS_STORE, (value.nid,), (stream, index))
+
+    def output_bit(self, name: str, bit: int) -> None:
+        self.netlist.set_output(name, bit)
+
+    def output_word(self, name: str, word: Word) -> None:
+        self.netlist.set_output(name, word.nid)
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+
+    def const_bit(self, value: int) -> int:
+        value = 1 if value else 0
+        if value not in self._const_cache:
+            self._const_cache[value] = self.netlist.add(NodeKind.CONST, (), value)
+        return self._const_cache[value]
+
+    def const_word(self, value: int) -> Word:
+        value &= WORD_MASK
+        if value not in self._word_const_cache:
+            self._word_const_cache[value] = self.netlist.add(
+                NodeKind.WORD_CONST, (), value
+            )
+        return Word(self, word_nid=self._word_const_cache[value])
+
+    def const_bits(self, value: int, width: int) -> List[int]:
+        return [self.const_bit((value >> i) & 1) for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    def gate(self, op: GateOp, *fanins: int) -> int:
+        return self.netlist.add(NodeKind.GATE, fanins, op)
+
+    def and_(self, a: int, b: int) -> int:
+        return self.gate(GateOp.AND, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.gate(GateOp.OR, a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.gate(GateOp.XOR, a, b)
+
+    def not_(self, a: int) -> int:
+        return self.gate(GateOp.NOT, a)
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """``a`` when ``sel`` is 0, else ``b``."""
+        return self.gate(GateOp.MUX, sel, a, b)
+
+    def raw_lut(self, fanins: Sequence[int], table: int) -> int:
+        """An arbitrary-arity LUT; wide ones are decomposed by techmap."""
+        return self.netlist.add(NodeKind.LUT, fanins, (len(fanins), table))
+
+    # ------------------------------------------------------------------
+    # Sequential state
+    # ------------------------------------------------------------------
+
+    def flipflop(self, init: int = 0) -> int:
+        """A 1-bit state element; bind its driver with bind_flipflop."""
+        return self.netlist.add(NodeKind.FLIPFLOP, (), 1 if init else 0)
+
+    def bind_flipflop(self, ff: int, next_state: int) -> None:
+        self.netlist.bind_flipflop(ff, next_state)
+
+    def state_word(self, width: int = WORD_BITS, init: int = 0):
+        """A register of ``width`` flip-flops; returns (bits, binder).
+
+        ``binder(next_bits)`` wires the register's next-state inputs —
+        call it once the update logic exists.
+        """
+        flops = [self.flipflop((init >> i) & 1) for i in range(width)]
+
+        def binder(next_bits: Sequence[int]) -> None:
+            if len(next_bits) != width:
+                raise CircuitError(
+                    f"register is {width} bits, got {len(next_bits)}"
+                )
+            for ff, nxt in zip(flops, next_bits):
+                self.bind_flipflop(ff, nxt)
+
+        return list(flops), binder
+
+    # ------------------------------------------------------------------
+    # Bit-vector arithmetic (gate-level)
+    # ------------------------------------------------------------------
+
+    def xor_vec(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_same_width(a, b)
+        return [self.xor_(x, y) for x, y in zip(a, b)]
+
+    def and_vec(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_same_width(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def mux_vec(self, sel: int, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_same_width(a, b)
+        return [self.mux(sel, x, y) for x, y in zip(a, b)]
+
+    def add_vec(
+        self, a: Sequence[int], b: Sequence[int], carry_in: Optional[int] = None
+    ) -> Tuple[List[int], int]:
+        """Ripple-carry addition; returns (sum bits, carry out)."""
+        self._check_same_width(a, b)
+        carry = carry_in if carry_in is not None else self.const_bit(0)
+        sums: List[int] = []
+        for x, y in zip(a, b):
+            partial = self.xor_(x, y)
+            sums.append(self.xor_(partial, carry))
+            # carry-out = majority(x, y, carry) = (x & y) | (carry & (x ^ y))
+            carry = self.or_(self.and_(x, y), self.and_(carry, partial))
+        return sums, carry
+
+    def sub_vec(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> Tuple[List[int], int]:
+        """a - b via two's complement; returns (difference, borrow-free flag).
+
+        The returned flag is the adder's carry out, which is 1 exactly
+        when a >= b for unsigned operands.
+        """
+        inverted = [self.not_(bit) for bit in b]
+        return self.add_vec(a, inverted, self.const_bit(1))
+
+    def eq_vec(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """1 when the two vectors are equal."""
+        self._check_same_width(a, b)
+        diffs = [self.gate(GateOp.XNOR, x, y) for x, y in zip(a, b)]
+        return self.reduce_and(diffs)
+
+    def lt_unsigned(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """1 when a < b, treating the vectors as unsigned."""
+        _, geq = self.sub_vec(a, b)
+        return self.not_(geq)
+
+    def lt_signed(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """1 when a < b for two's-complement vectors of equal width."""
+        diff, _ = self.sub_vec(a, b)
+        sign_a, sign_b = a[-1], b[-1]
+        sign_diff = diff[-1]
+        # a < b  <=>  (sign_a != sign_b) ? sign_a : sign_diff
+        differs = self.xor_(sign_a, sign_b)
+        return self.mux(differs, sign_diff, sign_a)
+
+    def reduce_and(self, bits: Sequence[int]) -> int:
+        return self._reduce(GateOp.AND, bits)
+
+    def reduce_or(self, bits: Sequence[int]) -> int:
+        return self._reduce(GateOp.OR, bits)
+
+    def reduce_xor(self, bits: Sequence[int]) -> int:
+        return self._reduce(GateOp.XOR, bits)
+
+    def _reduce(self, op: GateOp, bits: Sequence[int]) -> int:
+        if not bits:
+            raise CircuitError("cannot reduce an empty vector")
+        work = list(bits)
+        while len(work) > 1:
+            nxt = [
+                self.gate(op, work[i], work[i + 1])
+                for i in range(0, len(work) - 1, 2)
+            ]
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    @staticmethod
+    def rotate_left(bits: Sequence[int], amount: int) -> List[int]:
+        """Rotate a bit vector left (towards the MSB); free rewiring."""
+        width = len(bits)
+        amount %= width
+        return [bits[(i - amount) % width] for i in range(width)]
+
+    @staticmethod
+    def shift_left_const(bits: Sequence[int], amount: int, zero: int) -> List[int]:
+        """Logical shift left by a constant, filling with ``zero``."""
+        width = len(bits)
+        return [zero] * min(amount, width) + list(bits[: max(width - amount, 0)])
+
+    # ------------------------------------------------------------------
+    # Word-level operations
+    # ------------------------------------------------------------------
+
+    def word_from_bits(self, bits: Sequence[int]) -> Word:
+        if len(bits) > WORD_BITS:
+            raise CircuitError("too many bits for a word")
+        padded = list(bits) + [self.const_bit(0)] * (WORD_BITS - len(bits))
+        return Word(self, bits=padded)
+
+    def mac(self, a: Word, b: Word, acc: Word) -> Word:
+        """a * b + acc on the cluster's MAC unit (mod 2^32)."""
+        nid = self.netlist.add(NodeKind.MAC, (a.nid, b.nid, acc.nid))
+        return Word(self, word_nid=nid)
+
+    def mul(self, a: Word, b: Word) -> Word:
+        return self.mac(a, b, self.const_word(0))
+
+    def add_words_mac(self, a: Word, b: Word) -> Word:
+        """Word addition routed through the MAC unit (a * 1 + b)."""
+        return self.mac(a, self.const_word(1), b)
+
+    def add_words_gates(self, a: Word, b: Word) -> Word:
+        """Word addition as a gate-level ripple adder (LUT-mapped)."""
+        sums, _ = self.add_vec(a.bits, b.bits)
+        return Word(self, bits=sums)
+
+    def mux_word(self, sel: int, a: Word, b: Word) -> Word:
+        return Word(self, bits=self.mux_vec(sel, a.bits, b.bits))
+
+    def relu(self, value: Word) -> Word:
+        """max(value, 0) for a signed 32-bit word."""
+        sign = value.bits[-1]
+        return self.mux_word(sign, value, self.const_word(0))
+
+    def max_signed(self, a: Word, b: Word) -> Word:
+        lt = self.lt_signed(a.bits, b.bits)
+        return self.mux_word(lt, a, b)
+
+    def min_max_unsigned(self, a: Word, b: Word) -> Tuple[Word, Word]:
+        """(min, max) — the compare-exchange used by sorting networks."""
+        lt = self.lt_unsigned(a.bits, b.bits)
+        smaller = self.mux_word(lt, b, a)
+        larger = self.mux_word(lt, a, b)
+        return smaller, larger
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_same_width(a: Sequence[int], b: Sequence[int]) -> None:
+        if len(a) != len(b):
+            raise CircuitError(
+                f"vector width mismatch: {len(a)} vs {len(b)}"
+            )

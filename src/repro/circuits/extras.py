@@ -1,0 +1,91 @@
+"""Extra accelerator circuits beyond the paper's benchmark set.
+
+These demonstrate library generality (and the sequential-circuit
+support) without being part of the reproduced figures:
+
+* ``build_crc32_pe`` — the IEEE 802.3 CRC-32, one byte per
+  invocation, with the 32-bit CRC register living in flip-flops.  The
+  folded executor threads the state through the MCC FF banks across
+  invocations, and the result matches ``binascii.crc32``.
+* ``build_popcount_pe`` — a population-count reduction (a common
+  bitmap-analytics primitive).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .builder import CircuitBuilder
+from .netlist import Netlist
+
+CRC32_POLY = 0xEDB88320  # reflected IEEE 802.3 polynomial
+
+
+def build_crc32_pe() -> Netlist:
+    """CRC-32 over a byte stream, one byte per invocation.
+
+    State convention: the register holds ``crc ^ 0xFFFFFFFF`` of the
+    bytes so far (i.e. the raw LFSR state with the standard pre/post
+    inversion applied by the host).  Reset state = 0xFFFFFFFF.
+    """
+    builder = CircuitBuilder("crc32")
+    state, bind = builder.state_word(32, init=0xFFFFFFFF)
+    byte = builder.bus_load("bytes")
+
+    # crc ^= byte (low 8 bits).
+    current: List[int] = list(state)
+    for i in range(8):
+        current[i] = builder.xor_(current[i], byte.bits[i])
+
+    # Eight unrolled LFSR steps:
+    #   lsb = crc & 1; crc >>= 1; if lsb: crc ^= POLY
+    zero = builder.const_bit(0)
+    for _ in range(8):
+        lsb = current[0]
+        shifted = current[1:] + [zero]
+        stepped = []
+        for i in range(32):
+            if (CRC32_POLY >> i) & 1:
+                stepped.append(builder.xor_(shifted[i], lsb))
+            else:
+                stepped.append(shifted[i])
+        current = stepped
+
+    bind(current)
+    # Stream out the finalised CRC (state inverted) after each byte.
+    inverted = [builder.not_(bit) for bit in current]
+    builder.bus_store("crc", builder.word_from_bits(inverted))
+    return builder.netlist
+
+
+def build_popcount_pe(words: int = 4) -> Netlist:
+    """Population count over ``words`` 32-bit words per invocation.
+
+    Bits reduce pairwise through small gate-level adders (1-bit ->
+    2-bit -> ... counters), then the per-word counts accumulate on the
+    MAC — a typical LUT+MAC mixed datapath.
+    """
+    builder = CircuitBuilder("popcount")
+    total = builder.const_word(0)
+    zero = builder.const_bit(0)
+    for _ in range(words):
+        word = builder.bus_load("data")
+        # Reduce 32 single-bit values by summing adjacent groups with
+        # progressively wider ripple adders.
+        groups: List[List[int]] = [[bit] for bit in word.bits]
+        while len(groups) > 1:
+            merged: List[List[int]] = []
+            for index in range(0, len(groups) - 1, 2):
+                a, b = groups[index], groups[index + 1]
+                width = max(len(a), len(b))
+                a = a + [zero] * (width - len(a))
+                b = b + [zero] * (width - len(b))
+                total_bits, carry = builder.add_vec(a, b)
+                merged.append(total_bits + [carry])
+            if len(groups) % 2:
+                merged.append(groups[-1])
+            groups = merged
+        count = builder.word_from_bits(groups[0])
+        total = builder.add_words_mac(count, total)
+    builder.bus_store("count", total)
+    return builder.netlist

@@ -1,0 +1,74 @@
+"""Netlist (de)serialisation.
+
+Mapped netlists are expensive to rebuild (AES takes seconds of
+synthesis), so they can be saved as JSON-compatible dictionaries and
+reloaded exactly.  The format is versioned; loading a mismatched
+version fails loudly rather than mis-parsing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from ..errors import CircuitError
+from .netlist import GateOp, Netlist, NodeKind
+
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict:
+    """A JSON-compatible representation of a netlist."""
+    nodes: List[List] = []
+    for node in netlist.nodes:
+        payload = node.payload
+        if isinstance(payload, GateOp):
+            payload = ["gate_op", payload.value]
+        elif isinstance(payload, tuple):
+            payload = ["tuple", list(payload)]
+        else:
+            payload = ["raw", payload]
+        nodes.append([node.kind.value, list(node.fanins), payload])
+    return {
+        "version": FORMAT_VERSION,
+        "name": netlist.name,
+        "nodes": nodes,
+        "outputs": dict(netlist.outputs),
+    }
+
+
+def netlist_from_dict(data: Dict) -> Netlist:
+    """Inverse of :func:`netlist_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise CircuitError(
+            f"netlist format version {data.get('version')!r} not supported"
+        )
+    netlist = Netlist(data["name"])
+    ff_bindings: List[tuple] = []
+    for kind_value, fanins, (tag, payload) in data["nodes"]:
+        kind = NodeKind(kind_value)
+        if tag == "gate_op":
+            payload = GateOp(payload)
+        elif tag == "tuple":
+            payload = tuple(payload)
+        if kind is NodeKind.FLIPFLOP and fanins:
+            nid = netlist.add(kind, (), payload)
+            ff_bindings.append((nid, fanins[0]))
+        else:
+            netlist.add(kind, tuple(fanins), payload)
+    for ff, driver in ff_bindings:
+        netlist.bind_flipflop(ff, driver)
+    for name, nid in data["outputs"].items():
+        netlist.set_output(name, nid)
+    return netlist
+
+
+def save_netlist(netlist: Netlist, path: Path | str) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(netlist_to_dict(netlist)))
+
+
+def load_netlist(path: Path | str) -> Netlist:
+    return netlist_from_dict(json.loads(Path(path).read_text()))

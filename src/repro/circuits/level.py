@@ -1,0 +1,65 @@
+"""Topological levelling of mapped netlists (paper Fig. 4a / Sec. IV).
+
+"Our folding algorithm begins by performing a topological sort of the
+input DAG, which is then used to produce a leveled graph [...] where
+each level consists of nodes with no dependence on each other, but
+with incoming edges from nodes in a higher level."
+
+Only *op* nodes (LUT, MAC, bus load/store) occupy levels; wiring nodes
+(PACK, BITSLICE, constants, I/O) are transparent and inherit the
+maximum level of their producers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .netlist import Netlist, Node, NodeKind
+
+
+@dataclass
+class LeveledGraph:
+    """Op nodes grouped into dependence levels (level 1 = first)."""
+
+    netlist: Netlist
+    levels: List[List[int]]
+    node_level: Dict[int, int]
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def level_sizes(self) -> List[int]:
+        return [len(level) for level in self.levels]
+
+    def widest_level(self) -> int:
+        return max(self.level_sizes(), default=0)
+
+
+def level_graph(netlist: Netlist) -> LeveledGraph:
+    """Assign every op node its ASAP level."""
+    # reach[nid] = highest op level among the node's transitive producers.
+    reach: Dict[int, int] = {}
+    node_level: Dict[int, int] = {}
+    levels: List[List[int]] = []
+
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            reach[nid] = 0  # stored state: available before level 1
+            continue
+        producer_level = max(
+            (reach[f] for f in node.fanins), default=0
+        )
+        if node.is_op:
+            level = producer_level + 1
+            node_level[nid] = level
+            while len(levels) < level:
+                levels.append([])
+            levels[level - 1].append(nid)
+            reach[nid] = level
+        else:
+            reach[nid] = producer_level
+
+    return LeveledGraph(netlist=netlist, levels=levels, node_level=node_level)

@@ -1,0 +1,555 @@
+"""Processing-element circuits for every evaluated benchmark.
+
+Each factory returns a :class:`PeCircuit`: the raw netlist of one
+accelerator invocation ("item"), the stream schema of its bus traffic,
+and a reference function computing the expected stores from the loads
+— so any PE can be checked end-to-end against the Python kernels.
+
+Design rules follow the paper's Sec. IV guidance: a single memory
+port (all external data moves as bus loads/stores), no internal
+memory buffers, MACs for multiplies, gate-level logic elsewhere.  The
+mix is deliberately diverse: AES and SRT are logic (LUT) heavy, GEMM /
+DOT / FC / CONV / STN are MAC heavy, VADD / KMP are small and
+memory-ish — matching the paper's "compute, memory, and logic (LUT)
+bound apps".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..workloads import kernels as ref
+from .builder import CircuitBuilder, Word
+from .netlist import Netlist
+
+MASK32 = 0xFFFFFFFF
+
+Streams = Dict[str, List[int]]
+
+
+@dataclass
+class PeCircuit:
+    """One benchmark's processing element."""
+
+    name: str
+    netlist: Netlist
+    loads: Dict[str, int]          # stream -> words per invocation
+    stores: Dict[str, int]         # stream -> words per invocation
+    reference: Callable[[Mapping[str, Sequence[int]]], Streams]
+
+    @property
+    def bus_words_per_item(self) -> int:
+        return sum(self.loads.values()) + sum(self.stores.values())
+
+
+# ---------------------------------------------------------------------------
+# Word-level (MAC-dominated) kernels
+# ---------------------------------------------------------------------------
+
+def _mac_tree(builder: CircuitBuilder, pairs: List[tuple]) -> Word:
+    """Sum-of-products as a balanced reduction tree.
+
+    Products are independent and the partial-sum tree has log depth,
+    so folding onto a multi-MCC tile shortens the schedule — the
+    behaviour the paper's Fig. 8 relies on.  (A serial MAC chain would
+    pin the fold count to the chain length regardless of tile size.)
+    """
+    terms: List[Word] = [builder.mac(a, b, builder.const_word(0)) for a, b in pairs]
+    while len(terms) > 1:
+        reduced: List[Word] = []
+        for index in range(0, len(terms) - 1, 2):
+            reduced.append(builder.add_words_mac(terms[index], terms[index + 1]))
+        if len(terms) % 2:
+            reduced.append(terms[-1])
+        terms = reduced
+    return terms[0]
+
+
+def build_dot_pe(pairs: int = 8) -> PeCircuit:
+    """DOT: a sum-of-products tree over ``pairs`` (a, w) operand pairs."""
+    builder = CircuitBuilder("dot")
+    operands = [
+        (builder.bus_load("a"), builder.bus_load("w")) for _ in range(pairs)
+    ]
+    builder.bus_store("out", _mac_tree(builder, operands))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        return {"out": [ref.dot_product(streams["a"], streams["w"])]}
+
+    return PeCircuit(
+        name="DOT",
+        netlist=builder.netlist,
+        loads={"a": pairs, "w": pairs},
+        stores={"out": 1},
+        reference=reference,
+    )
+
+
+def build_gemm_pe(inner: int = 16) -> PeCircuit:
+    """GEMM: one C element = inner product of an A row and B column."""
+    builder = CircuitBuilder("gemm")
+    operands = [
+        (builder.bus_load("a_row"), builder.bus_load("b_col"))
+        for _ in range(inner)
+    ]
+    builder.bus_store("c", _mac_tree(builder, operands))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        return {"c": [ref.dot_product(streams["a_row"], streams["b_col"])]}
+
+    return PeCircuit(
+        name="GEMM",
+        netlist=builder.netlist,
+        loads={"a_row": inner, "b_col": inner},
+        stores={"c": 1},
+        reference=reference,
+    )
+
+
+def build_conv_pe(taps: Sequence[int] = (3, 5, 7, 9, 11, 13, 17, 19)) -> PeCircuit:
+    """CONV: one output sample of a 1-D convolution, constant taps."""
+    builder = CircuitBuilder("conv")
+    operands = [
+        (builder.bus_load("window"), builder.const_word(tap)) for tap in taps
+    ]
+    builder.bus_store("out", _mac_tree(builder, operands))
+    taps_list = [t & MASK32 for t in taps]
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        return {"out": [ref.dot_product(streams["window"], taps_list)]}
+
+    return PeCircuit(
+        name="CONV",
+        netlist=builder.netlist,
+        loads={"window": len(taps)},
+        stores={"out": 1},
+        reference=reference,
+    )
+
+
+def build_fc_pe(inputs: int = 32) -> PeCircuit:
+    """FC: one output neuron — inner product + bias + ReLU."""
+    builder = CircuitBuilder("fc")
+    operands = [
+        (builder.bus_load("x"), builder.bus_load("w")) for _ in range(inputs)
+    ]
+    acc = _mac_tree(builder, operands)
+    acc = builder.add_words_mac(builder.bus_load("bias"), acc)
+    builder.bus_store("y", builder.relu(acc))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        result = ref.fc_layer(
+            streams["x"], [streams["w"]], [streams["bias"][0]]
+        )
+        return {"y": result}
+
+    return PeCircuit(
+        name="FC",
+        netlist=builder.netlist,
+        loads={"x": inputs, "w": inputs, "bias": 1},
+        stores={"y": 1},
+        reference=reference,
+    )
+
+
+def build_stencil2d_pe(
+    weights: Sequence[Sequence[int]] = ((1, 2, 1), (2, 4, 2), (1, 2, 1)),
+) -> PeCircuit:
+    """STN2: one 3x3 weighted stencil output, constant weights."""
+    builder = CircuitBuilder("stn2")
+    flat = [w for row in weights for w in row]
+    operands = [
+        (builder.bus_load("window"), builder.const_word(weight))
+        for weight in flat
+    ]
+    builder.bus_store("out", _mac_tree(builder, operands))
+    flat_masked = [w & MASK32 for w in flat]
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        return {"out": [ref.dot_product(streams["window"], flat_masked)]}
+
+    return PeCircuit(
+        name="STN2",
+        netlist=builder.netlist,
+        loads={"window": 9},
+        stores={"out": 1},
+        reference=reference,
+    )
+
+
+def build_stencil3d_pe(center: int = 6, face: int = 1) -> PeCircuit:
+    """STN3: one 7-point 3-D stencil output."""
+    builder = CircuitBuilder("stn3")
+    operands = [(builder.bus_load("window"), builder.const_word(center))]
+    operands += [
+        (builder.bus_load("window"), builder.const_word(face)) for _ in range(6)
+    ]
+    builder.bus_store("out", _mac_tree(builder, operands))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        window = streams["window"]
+        acc = (center * window[0]) & MASK32
+        for value in window[1:7]:
+            acc = (acc + face * value) & MASK32
+        return {"out": [acc]}
+
+    return PeCircuit(
+        name="STN3",
+        netlist=builder.netlist,
+        loads={"window": 7},
+        stores={"out": 1},
+        reference=reference,
+    )
+
+
+def build_vadd_pe() -> PeCircuit:
+    """VADD: one element pair, gate-level ripple adder (no MAC use)."""
+    builder = CircuitBuilder("vadd")
+    total = builder.add_words_gates(builder.bus_load("a"), builder.bus_load("b"))
+    builder.bus_store("c", total)
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        return {"c": ref.vadd(streams["a"], streams["b"])}
+
+    return PeCircuit(
+        name="VADD",
+        netlist=builder.netlist,
+        loads={"a": 1, "b": 1},
+        stores={"c": 1},
+        reference=reference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Logic-heavy kernels
+# ---------------------------------------------------------------------------
+
+def build_srt_pe(lanes: int = 4) -> PeCircuit:
+    """SRT: ``lanes`` compare-exchange pairs of a merge network."""
+    builder = CircuitBuilder("srt")
+    for _ in range(lanes):
+        a = builder.bus_load("pairs")
+        b = builder.bus_load("pairs")
+        low, high = builder.min_max_unsigned(a, b)
+        builder.bus_store("sorted", low)
+        builder.bus_store("sorted", high)
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        out: List[int] = []
+        pairs = streams["pairs"]
+        for i in range(0, len(pairs), 2):
+            low, high = ref.compare_exchange(pairs[i], pairs[i + 1])
+            out.extend((low, high))
+        return {"sorted": out}
+
+    return PeCircuit(
+        name="SRT",
+        netlist=builder.netlist,
+        loads={"pairs": 2 * lanes},
+        stores={"sorted": 2 * lanes},
+        reference=reference,
+    )
+
+
+def build_nw_pe(match: int = 1, mismatch: int = -1, gap: int = -1) -> PeCircuit:
+    """NW: one Needleman-Wunsch DP cell, gate-level adders and max tree."""
+    builder = CircuitBuilder("nw")
+    nw = builder.bus_load("cells")   # diagonal neighbour
+    west = builder.bus_load("cells")
+    north = builder.bus_load("cells")
+    char_a = builder.bus_load("chars")
+    char_b = builder.bus_load("chars")
+
+    is_match = builder.eq_vec(char_a.bits[:8], char_b.bits[:8])
+    score = builder.mux_word(
+        is_match, builder.const_word(mismatch), builder.const_word(match)
+    )
+    diag = builder.add_words_gates(nw, score)
+    left = builder.add_words_gates(west, builder.const_word(gap))
+    up = builder.add_words_gates(north, builder.const_word(gap))
+    best = builder.max_signed(builder.max_signed(diag, left), up)
+    builder.bus_store("out", best)
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        cells, chars = streams["cells"], streams["chars"]
+        return {
+            "out": [
+                ref.nw_cell(
+                    cells[0], cells[1], cells[2],
+                    chars[0] & 0xFF, chars[1] & 0xFF,
+                    match, mismatch, gap,
+                )
+            ]
+        }
+
+    return PeCircuit(
+        name="NW",
+        netlist=builder.netlist,
+        loads={"cells": 3, "chars": 2},
+        stores={"out": 1},
+        reference=reference,
+    )
+
+
+def build_kmp_pe(pattern: Sequence[int] = (0x41, 0x42, 0x41, 0x43)) -> PeCircuit:
+    """KMP: one automaton step of the pattern matcher.
+
+    The pattern and its failure function are compile-time constants
+    (they configure the accelerator); the text character and current
+    state stream in, the next state and a match flag stream out.
+    """
+    builder = CircuitBuilder("kmp")
+    pattern = [p & 0xFF for p in pattern]
+    failure = ref.kmp_failure(pattern)
+    state_word = builder.bus_load("state")
+    char_word = builder.bus_load("text")
+    state_bits = state_word.bits[:3]
+    char_bits = char_word.bits[:8]
+
+    # next_state(s, equal?) resolved by explicit mux logic per state.
+    matches_char = [
+        builder.eq_vec(char_bits, builder.const_bits(p, 8)) for p in pattern
+    ]
+    # Transition table: for state s, if char == pattern[s] -> s+1 else
+    # fall back through the failure chain, re-testing at each hop —
+    # precompute delta(s, c) as pure logic over the 4 comparator bits.
+    n = len(pattern)
+
+    def delta_logic(state_index: int) -> Word:
+        # Build nested muxes following the classic KMP automaton:
+        # try k = state_index, failure[k-1], ... until match or zero.
+        chain: List[int] = []
+        k = state_index
+        while True:
+            chain.append(k)
+            if k == 0:
+                break
+            k = failure[k - 1]
+        result = builder.const_word(0)
+        for k in reversed(chain):
+            advanced = builder.const_word(k + 1)
+            result = builder.mux_word(matches_char[k], result, advanced)
+        return result
+
+    next_states = [delta_logic(s) for s in range(n)]
+    selected = next_states[0]
+    for s in range(1, n):
+        is_state = builder.eq_vec(state_bits, builder.const_bits(s, 3))
+        selected = builder.mux_word(is_state, selected, next_states[s])
+    hit = builder.eq_vec(selected.bits[:3], builder.const_bits(n, 3))
+    final_state = builder.mux_word(
+        hit, selected, builder.const_word(failure[n - 1])
+    )
+    builder.bus_store("state_out", final_state)
+    builder.bus_store("match", builder.word_from_bits([hit]))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        state = streams["state"][0] & 0x7
+        char = streams["text"][0] & 0xFF
+        next_state, matched = ref.kmp_step(pattern, failure, state, char)
+        return {"state_out": [next_state], "match": [1 if matched else 0]}
+
+    return PeCircuit(
+        name="KMP",
+        netlist=builder.netlist,
+        loads={"state": 1, "text": 1},
+        stores={"state_out": 1, "match": 1},
+        reference=reference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# AES-128 (the flagship logic-bound kernel)
+# ---------------------------------------------------------------------------
+
+def _sbox_byte(builder: CircuitBuilder, byte_bits: List[int]) -> List[int]:
+    """SubBytes on one byte: eight 8-input truth tables (paper-style
+    wide LUTs, Shannon-decomposed by the technology mapper)."""
+    sbox = ref.aes_sbox()
+    out_bits = []
+    for bit_index in range(8):
+        table = 0
+        for value in range(256):
+            table |= ((sbox[value] >> bit_index) & 1) << value
+        out_bits.append(builder.raw_lut(byte_bits, table))
+    return out_bits
+
+
+def _xtime(builder: CircuitBuilder, byte_bits: List[int]) -> List[int]:
+    """Multiply by x in GF(2^8): shift left, conditionally xor 0x1B."""
+    msb = byte_bits[7]
+    zero = builder.const_bit(0)
+    shifted = [zero] + byte_bits[:7]
+    result = []
+    for position in range(8):
+        if (0x1B >> position) & 1:
+            result.append(builder.xor_(shifted[position], msb))
+        else:
+            result.append(shifted[position])
+    return result
+
+
+def build_aes_pe(rounds: int = 10) -> PeCircuit:
+    """AES-128 encryption of one 16-byte block.
+
+    Round keys stream in over the bus (44 words for the full cipher) —
+    the host writes the expanded key into the scratchpad once per
+    batch.  The circuit is pure logic: ~1.3k wide S-box LUTs plus the
+    MixColumns / AddRoundKey XOR network, making it the paper's
+    highest-fold-count benchmark.
+    """
+    if not 1 <= rounds <= 10:
+        raise ValueError("AES-128 has 1..10 rounds")
+    builder = CircuitBuilder("aes")
+
+    def load_state(stream: str) -> List[List[int]]:
+        state = []
+        for _ in range(4):
+            word = builder.bus_load(stream)
+            bits = word.bits
+            for byte in range(4):
+                state.append(bits[8 * byte : 8 * byte + 8])
+        return state
+
+    def xor_state(state, key_bytes):
+        return [builder.xor_vec(s, k) for s, k in zip(state, key_bytes)]
+
+    state = load_state("pt")
+    round_keys = [load_state("rk") for _ in range(rounds + 1)]
+    state = xor_state(state, round_keys[0])
+
+    for round_index in range(1, rounds + 1):
+        state = [_sbox_byte(builder, byte) for byte in state]
+        # ShiftRows: free rewiring.  The state is column-major (byte
+        # row + 4*col), so new[row + 4*col] = old[row + 4*((col+row)%4)].
+        state = [
+            state[row + 4 * ((col + row) % 4)]
+            for col in range(4)
+            for row in range(4)
+        ]
+        if round_index < rounds:
+            mixed = []
+            for col in range(4):
+                a = state[4 * col : 4 * col + 4]
+                xt = [_xtime(builder, byte) for byte in a]
+                # 2a0 ^ 3a1 ^ a2 ^ a3 etc.; 3a = xtime(a) ^ a
+                def x3(i):
+                    return builder.xor_vec(xt[i], a[i])
+                mixed.append(
+                    builder.xor_vec(
+                        builder.xor_vec(xt[0], x3(1)), builder.xor_vec(a[2], a[3])
+                    )
+                )
+                mixed.append(
+                    builder.xor_vec(
+                        builder.xor_vec(a[0], xt[1]), builder.xor_vec(x3(2), a[3])
+                    )
+                )
+                mixed.append(
+                    builder.xor_vec(
+                        builder.xor_vec(a[0], a[1]), builder.xor_vec(xt[2], x3(3))
+                    )
+                )
+                mixed.append(
+                    builder.xor_vec(
+                        builder.xor_vec(x3(0), a[1]), builder.xor_vec(a[2], xt[3])
+                    )
+                )
+            state = mixed
+        state = xor_state(state, round_keys[round_index])
+
+    for word_index in range(4):
+        word_bits = [
+            bit
+            for byte in state[4 * word_index : 4 * word_index + 4]
+            for bit in byte
+        ]
+        builder.bus_store("ct", builder.word_from_bits(word_bits))
+
+    def reference(streams: Mapping[str, Sequence[int]]) -> Streams:
+        def words_to_bytes(words: Sequence[int]) -> bytes:
+            return b"".join(int(w).to_bytes(4, "little") for w in words)
+
+        block = words_to_bytes(streams["pt"][:4])
+        key_schedule = [
+            list(words_to_bytes(streams["rk"][4 * r : 4 * r + 4]))
+            for r in range(rounds + 1)
+        ]
+        state_bytes = [b ^ k for b, k in zip(block, key_schedule[0])]
+        sbox = ref.aes_sbox()
+        for round_index in range(1, rounds + 1):
+            state_bytes = [sbox[b] for b in state_bytes]
+            state_bytes = ref._shift_rows(state_bytes)
+            if round_index < rounds:
+                mixed: List[int] = []
+                for col in range(4):
+                    mixed.extend(
+                        ref._mix_single_column(state_bytes[4 * col : 4 * col + 4])
+                    )
+                state_bytes = mixed
+            state_bytes = [
+                b ^ k for b, k in zip(state_bytes, key_schedule[round_index])
+            ]
+        out = bytes(state_bytes)
+        return {
+            "ct": [
+                int.from_bytes(out[4 * i : 4 * i + 4], "little") for i in range(4)
+            ]
+        }
+
+    return PeCircuit(
+        name="AES",
+        netlist=builder.netlist,
+        loads={"pt": 4, "rk": 4 * (rounds + 1)},
+        stores={"ct": 4},
+        reference=reference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], PeCircuit]] = {
+    "AES": build_aes_pe,
+    "CONV": build_conv_pe,
+    "DOT": build_dot_pe,
+    "FC": build_fc_pe,
+    "GEMM": build_gemm_pe,
+    "KMP": build_kmp_pe,
+    "NW": build_nw_pe,
+    "SRT": build_srt_pe,
+    "STN2": build_stencil2d_pe,
+    "STN3": build_stencil3d_pe,
+    "VADD": build_vadd_pe,
+}
+
+
+def pe_names() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+@lru_cache(maxsize=None)
+def build_pe(name: str) -> PeCircuit:
+    """Build (and cache) the processing element for a benchmark."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(pe_names())}"
+        )
+    return factory()
+
+
+@lru_cache(maxsize=None)
+def mapped_pe(name: str, k: int = 5) -> Netlist:
+    """The technology-mapped netlist of a benchmark PE (cached).
+
+    Mapping AES takes a few seconds, and every experiment over tile
+    sizes reuses the same mapped circuit, so this cache matters.
+    """
+    from .techmap import technology_map
+
+    return technology_map(build_pe(name).netlist, k=k).netlist

@@ -1,0 +1,318 @@
+"""The netlist IR: a DAG of bit- and word-level nodes.
+
+Design notes
+------------
+
+* Every node produces exactly one value: a single bit (gates, LUTs,
+  bit inputs, constants) or one 32-bit word (MACs, bus loads, packs,
+  word inputs/constants).
+* ``BITSLICE`` and ``PACK`` bridge the two levels.  In hardware they
+  are wiring, so synthesis, scheduling, and the area model all treat
+  them as free.
+* ``BUS_LOAD`` / ``BUS_STORE`` are the accelerator's only window to
+  the outside world (paper Sec. IV: "an accelerator tile should be
+  designed with a single memory port").  Each executes as one bus
+  operation in the folding schedule.
+* The netlist is immutable-by-convention once built: nodes are only
+  appended, never edited, which keeps the topological order cache
+  valid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class NodeKind(enum.Enum):
+    BIT_INPUT = "bit_input"      # payload: name
+    WORD_INPUT = "word_input"    # payload: name
+    CONST = "const"              # payload: 0 or 1
+    WORD_CONST = "word_const"    # payload: value
+    GATE = "gate"                # payload: GateOp
+    LUT = "lut"                  # payload: (k, truth table int)
+    MAC = "mac"                  # fanins (a, b, acc): a*b+acc mod 2^32
+    BITSLICE = "bitslice"        # payload: bit index; fanin: word
+    PACK = "pack"                # fanins: bits, LSB first
+    BUS_LOAD = "bus_load"        # payload: (stream name, sequence index)
+    BUS_STORE = "bus_store"      # payload: (stream name, sequence index)
+    FLIPFLOP = "flipflop"        # payload: initial value; fanin: next-state bit
+                                 # (bound after creation — see bind_flipflop)
+
+
+class GateOp(enum.Enum):
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+    MUX = "mux"  # fanins (sel, a, b): a when sel=0 else b
+
+    @property
+    def arity(self) -> int:
+        if self in (GateOp.NOT, GateOp.BUF):
+            return 1
+        if self is GateOp.MUX:
+            return 3
+        return 2
+
+
+# Truth tables for 2-input gates, LSB = f(a=0, b=0); input order (a, b)
+# with a as bit 0 of the index.
+_GATE_TABLES = {
+    GateOp.AND: 0b1000,
+    GateOp.OR: 0b1110,
+    GateOp.XOR: 0b0110,
+    GateOp.NAND: 0b0111,
+    GateOp.NOR: 0b0001,
+    GateOp.XNOR: 0b1001,
+}
+# MUX(sel, a, b): index bits (sel=bit0, a=bit1, b=bit2).
+_MUX_TABLE = sum(
+    ((b if sel else a) << (sel | (a << 1) | (b << 2)))
+    for sel in (0, 1)
+    for a in (0, 1)
+    for b in (0, 1)
+)
+
+_BIT_KINDS = frozenset(
+    {
+        NodeKind.BIT_INPUT,
+        NodeKind.CONST,
+        NodeKind.GATE,
+        NodeKind.LUT,
+        NodeKind.BITSLICE,
+        NodeKind.FLIPFLOP,
+    }
+)
+
+# Kinds that occupy a folding-schedule slot (everything else is wiring
+# or I/O handled outside the datapath).
+OP_KINDS = frozenset({NodeKind.GATE, NodeKind.LUT, NodeKind.MAC,
+                      NodeKind.BUS_LOAD, NodeKind.BUS_STORE})
+
+
+def gate_truth_table(op: GateOp) -> Tuple[int, int]:
+    """(arity, truth table) of a gate, for conversion to a LUT."""
+    if op is GateOp.NOT:
+        return 1, 0b01
+    if op is GateOp.BUF:
+        return 1, 0b10
+    if op is GateOp.MUX:
+        return 3, _MUX_TABLE
+    return 2, _GATE_TABLES[op]
+
+
+@dataclass(frozen=True)
+class Node:
+    nid: int
+    kind: NodeKind
+    fanins: Tuple[int, ...]
+    payload: object = None
+
+    @property
+    def is_bit(self) -> bool:
+        return self.kind in _BIT_KINDS
+
+    @property
+    def is_word(self) -> bool:
+        return not self.is_bit
+
+    @property
+    def is_op(self) -> bool:
+        """Does this node consume a resource slot when folded?"""
+        return self.kind in OP_KINDS
+
+
+class Netlist:
+    """An append-only DAG of :class:`Node` objects."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.nodes: List[Node] = []
+        self.outputs: Dict[str, int] = {}
+        self._topo_valid = True  # appended nodes only reference earlier ids
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, kind: NodeKind, fanins: Sequence[int] = (),
+            payload: object = None) -> int:
+        nid = len(self.nodes)
+        for fanin in fanins:
+            if not 0 <= fanin < nid:
+                raise CircuitError(
+                    f"node {nid} references fanin {fanin} that does not "
+                    "precede it (netlists are built in topological order)"
+                )
+        self._check_arity(kind, fanins, payload)
+        self.nodes.append(Node(nid, kind, tuple(fanins), payload))
+        return nid
+
+    def bind_flipflop(self, ff_nid: int, next_state_nid: int) -> None:
+        """Attach a flip-flop's next-state driver after the fact.
+
+        Flip-flops close sequential feedback loops, so their driver is
+        usually created *after* them.  The edge is not a combinational
+        dependence (the FF's output is its stored state), so the
+        netlist's topological order remains valid for evaluation.
+        """
+        self._check_nid(ff_nid)
+        self._check_nid(next_state_nid)
+        node = self.nodes[ff_nid]
+        if node.kind is not NodeKind.FLIPFLOP:
+            raise CircuitError(f"node {ff_nid} is not a flip-flop")
+        if node.fanins:
+            raise CircuitError(f"flip-flop {ff_nid} is already bound")
+        self.nodes[ff_nid] = Node(
+            ff_nid, NodeKind.FLIPFLOP, (next_state_nid,), node.payload
+        )
+
+    def flipflops(self) -> List[Node]:
+        return [n for n in self.nodes if n.kind is NodeKind.FLIPFLOP]
+
+    def set_output(self, name: str, nid: int) -> None:
+        if name in self.outputs:
+            raise CircuitError(f"duplicate output name {name!r}")
+        self._check_nid(nid)
+        self.outputs[name] = nid
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, nid: int) -> Node:
+        self._check_nid(nid)
+        return self.nodes[nid]
+
+    def topo_order(self) -> range:
+        """Node ids in topological order (construction order, by design)."""
+        return range(len(self.nodes))
+
+    def counts(self) -> Dict[str, int]:
+        """Node counts by kind (the paper's netlist statistics)."""
+        result: Dict[str, int] = {}
+        for node in self.nodes:
+            result[node.kind.value] = result.get(node.kind.value, 0) + 1
+        return result
+
+    def op_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.is_op]
+
+    def bus_ops(self) -> Tuple[int, int]:
+        """(loads, stores) — memory traffic per invocation."""
+        loads = sum(1 for n in self.nodes if n.kind is NodeKind.BUS_LOAD)
+        stores = sum(1 for n in self.nodes if n.kind is NodeKind.BUS_STORE)
+        return loads, stores
+
+    def fanout_counts(self) -> List[int]:
+        fanout = [0] * len(self.nodes)
+        for node in self.nodes:
+            for fanin in node.fanins:
+                fanout[fanin] += 1
+        for nid in self.outputs.values():
+            fanout[nid] += 1
+        return fanout
+
+    def input_names(self) -> List[str]:
+        return [
+            node.payload  # type: ignore[misc]
+            for node in self.nodes
+            if node.kind in (NodeKind.BIT_INPUT, NodeKind.WORD_INPUT)
+        ]
+
+    def validate(self) -> None:
+        """Full structural check (arity and ordering are checked on add)."""
+        for name, nid in self.outputs.items():
+            self._check_nid(nid)
+        seen_streams: Dict[Tuple[str, str], List[int]] = {}
+        for node in self.nodes:
+            if node.kind in (NodeKind.BUS_LOAD, NodeKind.BUS_STORE):
+                stream, index = node.payload  # type: ignore[misc]
+                key = (node.kind.value, stream)
+                seen_streams.setdefault(key, []).append(index)
+        for (kind, stream), indices in seen_streams.items():
+            if sorted(indices) != list(range(len(indices))):
+                raise CircuitError(
+                    f"{kind} stream {stream!r} has non-contiguous sequence "
+                    f"indices {sorted(indices)[:5]}..."
+                )
+        for node in self.flipflops():
+            if not node.fanins:
+                raise CircuitError(
+                    f"flip-flop {node.nid} has no next-state driver; call "
+                    "bind_flipflop before using the netlist"
+                )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_nid(self, nid: int) -> None:
+        if not 0 <= nid < len(self.nodes):
+            raise CircuitError(f"node id {nid} out of range")
+
+    def _check_arity(
+        self, kind: NodeKind, fanins: Sequence[int], payload: object
+    ) -> None:
+        n = len(fanins)
+        if kind is NodeKind.GATE:
+            op = payload
+            if not isinstance(op, GateOp):
+                raise CircuitError("GATE payload must be a GateOp")
+            if n != op.arity:
+                raise CircuitError(f"{op.value} gate needs {op.arity} fanins, got {n}")
+        elif kind is NodeKind.LUT:
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 2
+                or payload[0] != n
+            ):
+                raise CircuitError("LUT payload must be (k, table) with k fanins")
+            k, table = payload
+            if k < 1:
+                raise CircuitError("LUT needs at least one input")
+            if not 0 <= table < (1 << (1 << k)):
+                raise CircuitError(f"LUT table does not fit {k} inputs")
+        elif kind is NodeKind.MAC:
+            if n != 3:
+                raise CircuitError("MAC needs fanins (a, b, acc)")
+        elif kind is NodeKind.BITSLICE:
+            if n != 1 or not isinstance(payload, int) or not 0 <= payload < WORD_BITS:
+                raise CircuitError("BITSLICE needs one word fanin and a bit index")
+        elif kind is NodeKind.PACK:
+            if not 1 <= n <= WORD_BITS:
+                raise CircuitError(f"PACK takes 1..{WORD_BITS} bit fanins")
+        elif kind in (NodeKind.BUS_LOAD, NodeKind.BUS_STORE):
+            expected = 0 if kind is NodeKind.BUS_LOAD else 1
+            if n != expected:
+                raise CircuitError(f"{kind.value} needs {expected} fanins")
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                raise CircuitError(f"{kind.value} payload must be (stream, index)")
+        elif kind in (NodeKind.BIT_INPUT, NodeKind.WORD_INPUT):
+            if n != 0 or not isinstance(payload, str):
+                raise CircuitError("inputs take no fanins and a string name")
+        elif kind is NodeKind.CONST:
+            if n != 0 or payload not in (0, 1):
+                raise CircuitError("CONST payload must be 0 or 1")
+        elif kind is NodeKind.WORD_CONST:
+            if n != 0 or not isinstance(payload, int):
+                raise CircuitError("WORD_CONST payload must be an int")
+        elif kind is NodeKind.FLIPFLOP:
+            if n > 1:
+                raise CircuitError("FLIPFLOP takes one next-state fanin at most")
+            if payload not in (0, 1):
+                raise CircuitError("FLIPFLOP initial value must be 0 or 1")

@@ -1,0 +1,147 @@
+"""Functional netlist simulation (the reference semantics).
+
+``simulate`` evaluates a combinational netlist once: primary inputs
+come from ``bindings``, bus loads consume values from named
+``streams`` in sequence-index order, and bus stores append to the
+returned store streams.  The folded-execution engine in
+``repro.freac.executor`` must agree with this function bit-for-bit —
+that is the paper's implicit correctness contract for logic folding
+and our central property test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import CircuitError
+from .netlist import GateOp, Netlist, NodeKind, WORD_MASK, gate_truth_table
+
+
+@dataclass
+class SimulationResult:
+    """Outputs and bus-store traffic of one invocation."""
+
+    outputs: Dict[str, int] = field(default_factory=dict)
+    stores: Dict[str, List[int]] = field(default_factory=dict)
+    values: Dict[int, int] = field(default_factory=dict)
+    ff_next: Dict[int, int] = field(default_factory=dict)
+
+
+def _eval_gate(op: GateOp, values: Sequence[int]) -> int:
+    arity, table = gate_truth_table(op)
+    index = 0
+    for position, value in enumerate(values):
+        index |= (value & 1) << position
+    return (table >> index) & 1
+
+
+def simulate(
+    netlist: Netlist,
+    bindings: Optional[Mapping[str, int]] = None,
+    streams: Optional[Mapping[str, Sequence[int]]] = None,
+    ff_state: Optional[Mapping[int, int]] = None,
+) -> SimulationResult:
+    """Evaluate ``netlist`` once and return outputs plus store streams.
+
+    ``ff_state`` maps flip-flop node ids to their current state (their
+    payload initial value when absent); ``result.ff_next`` carries the
+    state after this invocation's clock edge.
+    """
+    bindings = dict(bindings or {})
+    streams = {name: list(values) for name, values in (streams or {}).items()}
+    ff_state = dict(ff_state or {})
+    values: Dict[int, int] = {}
+    stores: Dict[str, List[int]] = {}
+    pending_stores: Dict[str, Dict[int, int]] = {}
+
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        kind = node.kind
+        if kind is NodeKind.BIT_INPUT:
+            name = node.payload
+            if name not in bindings:
+                raise CircuitError(f"missing binding for bit input {name!r}")
+            values[nid] = bindings[name] & 1
+        elif kind is NodeKind.WORD_INPUT:
+            name = node.payload
+            if name not in bindings:
+                raise CircuitError(f"missing binding for word input {name!r}")
+            values[nid] = bindings[name] & WORD_MASK
+        elif kind is NodeKind.CONST:
+            values[nid] = node.payload  # type: ignore[assignment]
+        elif kind is NodeKind.WORD_CONST:
+            values[nid] = node.payload & WORD_MASK  # type: ignore[operator]
+        elif kind is NodeKind.GATE:
+            values[nid] = _eval_gate(
+                node.payload, [values[f] for f in node.fanins]  # type: ignore[arg-type]
+            )
+        elif kind is NodeKind.LUT:
+            _, table = node.payload  # type: ignore[misc]
+            index = 0
+            for position, fanin in enumerate(node.fanins):
+                index |= (values[fanin] & 1) << position
+            values[nid] = (table >> index) & 1
+        elif kind is NodeKind.MAC:
+            a, b, acc = (values[f] for f in node.fanins)
+            values[nid] = (a * b + acc) & WORD_MASK
+        elif kind is NodeKind.BITSLICE:
+            values[nid] = (values[node.fanins[0]] >> node.payload) & 1  # type: ignore[operator]
+        elif kind is NodeKind.PACK:
+            word = 0
+            for position, fanin in enumerate(node.fanins):
+                word |= (values[fanin] & 1) << position
+            values[nid] = word
+        elif kind is NodeKind.BUS_LOAD:
+            stream, index = node.payload  # type: ignore[misc]
+            if stream not in streams:
+                raise CircuitError(f"missing load stream {stream!r}")
+            data = streams[stream]
+            if index >= len(data):
+                raise CircuitError(
+                    f"load stream {stream!r} exhausted at index {index}"
+                )
+            values[nid] = data[index] & WORD_MASK
+        elif kind is NodeKind.BUS_STORE:
+            stream, index = node.payload  # type: ignore[misc]
+            pending_stores.setdefault(stream, {})[index] = values[node.fanins[0]]
+            values[nid] = values[node.fanins[0]]
+        elif kind is NodeKind.FLIPFLOP:
+            values[nid] = ff_state.get(nid, node.payload or 0)  # type: ignore[arg-type]
+        else:  # pragma: no cover - exhaustive over NodeKind
+            raise CircuitError(f"unhandled node kind {kind}")
+
+    for stream, by_index in pending_stores.items():
+        stores[stream] = [by_index[i] for i in sorted(by_index)]
+
+    ff_next = {
+        node.nid: values[node.fanins[0]] & 1
+        for node in netlist.flipflops()
+        if node.fanins
+    }
+    outputs = {name: values[nid] for name, nid in netlist.outputs.items()}
+    return SimulationResult(
+        outputs=outputs, stores=stores, values=values, ff_next=ff_next
+    )
+
+
+def simulate_sequential(
+    netlist: Netlist,
+    cycles: int,
+    bindings_per_cycle: Optional[Sequence[Mapping[str, int]]] = None,
+    streams_per_cycle: Optional[Sequence[Mapping[str, Sequence[int]]]] = None,
+) -> List[SimulationResult]:
+    """Clock a sequential netlist ``cycles`` times.
+
+    Each element of the per-cycle sequences feeds one invocation; the
+    flip-flop state threads through automatically.
+    """
+    results: List[SimulationResult] = []
+    state: Dict[int, int] = {}
+    for cycle in range(cycles):
+        bindings = bindings_per_cycle[cycle] if bindings_per_cycle else None
+        streams = streams_per_cycle[cycle] if streams_per_cycle else None
+        result = simulate(netlist, bindings, streams, ff_state=state)
+        state = result.ff_next
+        results.append(result)
+    return results

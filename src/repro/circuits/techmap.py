@@ -1,0 +1,305 @@
+"""Technology mapping: cover the gate-level region with K-input LUTs.
+
+This module stands in for the paper's VTR logic-synthesis step
+(Sec. IV: "we use the open-source VTR toolchain to perform logic
+synthesis and technology mapping, in order to map the circuit into a
+netlist of look-up tables, flip-flops, adders, and multipliers").
+
+Two passes:
+
+1. **Shannon decomposition** — arbitrary-arity LUTs written by the
+   benchmark generators (e.g. the 8-input AES S-box bit functions) are
+   cofactored into a mux tree of K-input LUTs.
+2. **Priority-cut covering** — classic depth-oriented cut enumeration
+   (a small-C variant of the algorithm used by ABC/VTR): every gate or
+   narrow-LUT node accumulates a bounded set of K-feasible cuts ranked
+   by (depth, size); the cover phase walks from the required bit roots
+   and materialises one LUT per chosen cut, with the cut's truth table
+   computed by cone evaluation.
+
+The result preserves function exactly — property-tested against random
+gate networks in ``tests/circuits/test_techmap.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from .netlist import GateOp, Netlist, Node, NodeKind, gate_truth_table
+
+# How many cuts to keep per node.  Small values trade mapping quality
+# for speed; 6 is plenty for the arithmetic/logic cones we build.
+CUT_LIMIT = 6
+
+_MAPPABLE = (NodeKind.GATE, NodeKind.LUT)
+
+
+@dataclass
+class TechMapResult:
+    """A mapped netlist plus mapping statistics."""
+
+    netlist: Netlist
+    lut_count: int
+    depth: int
+    node_map: Dict[int, int] = field(repr=False, default_factory=dict)
+
+    def counts(self) -> Dict[str, int]:
+        return self.netlist.counts()
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: Shannon decomposition of wide LUTs
+# ---------------------------------------------------------------------------
+
+def _decompose_table(
+    netlist: Netlist, fanins: Sequence[int], table: int, k: int
+) -> int:
+    """Emit a ≤k-input realisation of (fanins, table) into ``netlist``."""
+    width = len(fanins)
+    size = 1 << width
+    mask = (1 << size) - 1
+    table &= mask
+    if table == 0:
+        return netlist.add(NodeKind.CONST, (), 0)
+    if table == mask:
+        return netlist.add(NodeKind.CONST, (), 1)
+    if width <= k:
+        return netlist.add(NodeKind.LUT, fanins, (width, table))
+    half = 1 << (width - 1)
+    low = table & ((1 << half) - 1)
+    high = table >> half
+    select = fanins[-1]
+    rest = fanins[:-1]
+    if low == high:
+        return _decompose_table(netlist, rest, low, k)
+    low_nid = _decompose_table(netlist, rest, low, k)
+    high_nid = _decompose_table(netlist, rest, high, k)
+    return netlist.add(NodeKind.GATE, (select, low_nid, high_nid), GateOp.MUX)
+
+
+def decompose_wide_luts(netlist: Netlist, k: int) -> Tuple[Netlist, Dict[int, int]]:
+    """Rewrite so every LUT has at most ``k`` inputs."""
+    result = Netlist(netlist.name)
+    remap: Dict[int, int] = {}
+    ff_bindings: List[Tuple[int, int]] = []  # (new ff id, old driver id)
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            # The next-state edge may point forward; re-bind afterwards.
+            remap[nid] = result.add(NodeKind.FLIPFLOP, (), node.payload)
+            if node.fanins:
+                ff_bindings.append((remap[nid], node.fanins[0]))
+            continue
+        fanins = tuple(remap[f] for f in node.fanins)
+        if node.kind is NodeKind.LUT and node.payload[0] > k:  # type: ignore[index]
+            remap[nid] = _decompose_table(result, fanins, node.payload[1], k)  # type: ignore[index]
+        else:
+            remap[nid] = result.add(node.kind, fanins, node.payload)
+    for new_ff, old_driver in ff_bindings:
+        result.bind_flipflop(new_ff, remap[old_driver])
+    for name, out in netlist.outputs.items():
+        result.set_output(name, remap[out])
+    return result, remap
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: priority-cut mapping
+# ---------------------------------------------------------------------------
+
+Cut = FrozenSet[int]
+
+
+def _merge_cut_lists(
+    lists: Sequence[List[Cut]],
+    arrivals: Dict[int, int],
+    k: int,
+) -> List[Cut]:
+    """Fold the fanins' cut lists into K-feasible merged cuts."""
+    merged: List[Cut] = [frozenset()]
+    for cuts in lists:
+        next_merged: List[Cut] = []
+        seen = set()
+        for base in merged:
+            for cut in cuts:
+                union = base | cut
+                if len(union) > k or union in seen:
+                    continue
+                seen.add(union)
+                next_merged.append(union)
+        next_merged = _prune(next_merged, arrivals)
+        if not next_merged:
+            return []
+        merged = next_merged
+    return merged
+
+
+def _cut_depth(cut: Cut, arrivals: Dict[int, int]) -> int:
+    return 1 + max((arrivals.get(leaf, 0) for leaf in cut), default=0)
+
+
+def _prune(cuts: List[Cut], arrivals: Dict[int, int]) -> List[Cut]:
+    unique = list(dict.fromkeys(cuts))
+    unique.sort(key=lambda cut: (_cut_depth(cut, arrivals), len(cut)))
+    return unique[:CUT_LIMIT]
+
+
+def _cone_function(
+    netlist: Netlist, root: int, leaves: Tuple[int, ...]
+) -> int:
+    """Truth table of the cone rooted at ``root`` over ``leaves``."""
+    positions = {leaf: index for index, leaf in enumerate(leaves)}
+    table = 0
+    for assignment in range(1 << len(leaves)):
+        memo: Dict[int, int] = {
+            leaf: (assignment >> index) & 1 for leaf, index in positions.items()
+        }
+
+        def eval_node(nid: int) -> int:
+            if nid in memo:
+                return memo[nid]
+            node = netlist.nodes[nid]
+            if node.kind is NodeKind.CONST:
+                value = node.payload
+            elif node.kind is NodeKind.GATE:
+                arity, gate_table = gate_truth_table(node.payload)  # type: ignore[arg-type]
+                index = 0
+                for position, fanin in enumerate(node.fanins):
+                    index |= eval_node(fanin) << position
+                value = (gate_table >> index) & 1
+            elif node.kind is NodeKind.LUT:
+                _, lut_table = node.payload  # type: ignore[misc]
+                index = 0
+                for position, fanin in enumerate(node.fanins):
+                    index |= eval_node(fanin) << position
+                value = (lut_table >> index) & 1
+            else:
+                raise SynthesisError(
+                    f"cone evaluation crossed a non-logic node {node.kind}"
+                )
+            memo[nid] = value
+            return value
+
+        table |= eval_node(root) << assignment
+    return table
+
+
+def technology_map(netlist: Netlist, k: int = 5) -> TechMapResult:
+    """Map all gate/LUT logic in ``netlist`` into K-input LUTs."""
+    if k < 2:
+        raise SynthesisError("LUTs need at least 2 inputs")
+    work, _ = decompose_wide_luts(netlist, k)
+
+    mappable = [node.kind in _MAPPABLE for node in work.nodes]
+    # CONST nodes can be absorbed into cones as zero-arity leaves; they
+    # are treated as region leaves with arrival 0.
+    cuts: Dict[int, List[Cut]] = {}
+    arrivals: Dict[int, int] = {}
+
+    for nid in work.topo_order():
+        if not mappable[nid]:
+            continue
+        node = work.nodes[nid]
+        fanin_lists: List[List[Cut]] = []
+        for fanin in node.fanins:
+            if mappable[fanin]:
+                fanin_lists.append(cuts[fanin])
+            else:
+                fanin_lists.append([frozenset((fanin,))])
+        merged = _merge_cut_lists(fanin_lists, arrivals, k)
+        if not merged:
+            # All merged cuts exceeded k inputs; fall back to the
+            # node's own fanins as a cut (always feasible because a
+            # single gate/LUT has at most k inputs after decomposition).
+            merged = [frozenset(node.fanins)]
+        arrivals[nid] = _cut_depth(merged[0], arrivals)
+        cuts[nid] = _prune(merged + [frozenset((nid,))], arrivals)
+
+    # ------------------------------------------------------------------
+    # Cover from the required bit roots.
+    # ------------------------------------------------------------------
+    required: List[int] = []
+    seen_required = set()
+
+    def require(nid: int) -> None:
+        if mappable[nid] and nid not in seen_required:
+            seen_required.add(nid)
+            required.append(nid)
+
+    for node in work.nodes:
+        if node.kind in _MAPPABLE:
+            continue
+        for fanin in node.fanins:
+            require(fanin)
+    for out in work.outputs.values():
+        require(out)
+
+    # Choose a cut for each required node, requiring its mappable leaves.
+    chosen: Dict[int, Tuple[int, ...]] = {}
+    index = 0
+    while index < len(required):
+        nid = required[index]
+        index += 1
+        best: Optional[Cut] = None
+        for cut in cuts[nid]:
+            if cut == frozenset((nid,)):
+                continue
+            if best is None or (
+                (_cut_depth(cut, arrivals), len(cut))
+                < (_cut_depth(best, arrivals), len(best))
+            ):
+                best = cut
+        if best is None:
+            raise SynthesisError(f"no non-trivial cut for node {nid}")
+        leaves = tuple(sorted(best))
+        chosen[nid] = leaves
+        for leaf in leaves:
+            require(leaf)
+
+    # ------------------------------------------------------------------
+    # Emit the mapped netlist in topological order.
+    # ------------------------------------------------------------------
+    mapped = Netlist(netlist.name)
+    remap: Dict[int, int] = {}
+    ff_bindings: List[Tuple[int, int]] = []
+    for nid in work.topo_order():
+        node = work.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            remap[nid] = mapped.add(NodeKind.FLIPFLOP, (), node.payload)
+            if node.fanins:
+                ff_bindings.append((remap[nid], node.fanins[0]))
+            continue
+        if mappable[nid]:
+            if nid not in chosen:
+                continue  # internal to some cone
+            leaves = chosen[nid]
+            table = _cone_function(work, nid, leaves)
+            size = 1 << len(leaves)
+            mask = (1 << size) - 1
+            if (table & mask) == 0:
+                remap[nid] = mapped.add(NodeKind.CONST, (), 0)
+            elif (table & mask) == mask:
+                remap[nid] = mapped.add(NodeKind.CONST, (), 1)
+            elif len(leaves) == 1 and table == 0b10:
+                remap[nid] = remap[leaves[0]]  # buffer: alias the leaf
+            else:
+                remap[nid] = mapped.add(
+                    NodeKind.LUT,
+                    tuple(remap[leaf] for leaf in leaves),
+                    (len(leaves), table & mask),
+                )
+        else:
+            remap[nid] = mapped.add(
+                node.kind, tuple(remap[f] for f in node.fanins), node.payload
+            )
+    for new_ff, old_driver in ff_bindings:
+        mapped.bind_flipflop(new_ff, remap[old_driver])
+    for name, out in work.outputs.items():
+        mapped.set_output(name, remap[out])
+
+    lut_count = sum(1 for node in mapped.nodes if node.kind is NodeKind.LUT)
+    depth = max(arrivals.values(), default=0)
+    return TechMapResult(netlist=mapped, lut_count=lut_count, depth=depth,
+                         node_map=remap)

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Regenerate the paper's tables and figures, or use the utility
+commands::
+
+    freac list                     # available targets
+    freac tables | area | fig8..fig15
+    freac all                      # everything, in paper order
+    freac plan GEMM --cache-ways 2 # partition planning for a kernel
+    freac schedule NW --mccs 4     # folding-schedule summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import (
+    area,
+    capacity_sweep,
+    discussion,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    tables,
+    validation,
+)
+
+_TARGETS: Dict[str, Callable[[], object]] = {
+    "tables": tables.main,
+    "area": area.main,
+    "discussion": discussion.main,
+    "validation": validation.main,
+    "capacity": capacity_sweep.main,
+    "fig8": fig08.main,
+    "fig9": fig09.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "fig13": fig13.main,
+    "fig14": fig14.main,
+    "fig15": fig15.main,
+}
+
+_ORDER: List[str] = [
+    "tables", "area", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "discussion", "capacity", "validation",
+]
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .freac.planner import plan_partition
+    from .workloads.suite import benchmark, benchmark_names
+
+    name = args.benchmark.upper()
+    if name not in benchmark_names():
+        print(f"unknown benchmark {name!r}; pick one of "
+              f"{', '.join(benchmark_names())}", file=sys.stderr)
+        return 2
+    plan = plan_partition(
+        benchmark(name),
+        slices=args.slices,
+        min_cache_ways=args.cache_ways,
+    )
+    if plan is None:
+        print("no feasible configuration under these constraints")
+        return 1
+    print(f"benchmark     : {name}")
+    print(f"configuration : {plan.label}")
+    print(f"cache kept    : {plan.partition.cache_ways} ways "
+          f"({plan.partition.cache_ways * 64} KB/slice)")
+    print(f"end-to-end    : {plan.end_to_end_s * 1e3:.3f} ms")
+    print(f"kernel        : {plan.kernel_s * 1e3:.3f} ms")
+    print(f"power         : {plan.power_w:.2f} W")
+    print(f"speedup       : {plan.speedup_vs_single_thread:.2f}x "
+          "vs one host thread")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .experiments.common import schedule_for
+    from .workloads.suite import benchmark_names
+
+    name = args.benchmark.upper()
+    if name not in benchmark_names():
+        print(f"unknown benchmark {name!r}; pick one of "
+              f"{', '.join(benchmark_names())}", file=sys.stderr)
+        return 2
+    schedule = schedule_for(name, args.mccs, args.algorithm)
+    for key, value in schedule.summary().items():
+        print(f"{key:>15}: {value}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .freac.device import FreacDevice
+    from .freac.runner import run_workload
+    from .params import scaled_system
+    from .workloads.suite import benchmark_names
+
+    name = args.benchmark.upper()
+    if name not in benchmark_names():
+        print(f"unknown benchmark {name!r}; pick one of "
+              f"{', '.join(benchmark_names())}", file=sys.stderr)
+        return 2
+    device = FreacDevice(scaled_system(l3_slices=args.slices))
+    report = run_workload(device, name, args.items,
+                          mccs_per_tile=args.tile, seed=args.seed)
+    print(f"benchmark   : {report.benchmark}")
+    print(f"items       : {report.items} across {report.slices_used} slices")
+    print(f"tiles/slice : {report.tiles_per_slice} "
+          f"({args.tile} MCCs each)")
+    print(f"LUT evals   : {report.lut_evaluations}")
+    print(f"MAC ops     : {report.mac_operations}")
+    print(f"bus words   : {report.bus_words}")
+    print(f"verified    : {'yes' if report.verified else 'NO'} "
+          f"({report.mismatches} mismatches)")
+    return 0 if report.verified else 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="freac",
+        description="FReaC Cache (MICRO 2020) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for target in sorted(_TARGETS) + ["all", "list"]:
+        sub.add_parser(target, help=f"regenerate {target}"
+                       if target in _TARGETS else target)
+
+    plan = sub.add_parser("plan", help="plan a compute:memory partition")
+    plan.add_argument("benchmark")
+    plan.add_argument("--slices", type=int, default=8)
+    plan.add_argument("--cache-ways", type=int, default=0,
+                      help="ways per slice to keep as cache")
+
+    sched = sub.add_parser("schedule", help="print a folding schedule summary")
+    sched.add_argument("benchmark")
+    sched.add_argument("--mccs", type=int, default=1)
+    sched.add_argument("--algorithm", choices=("list", "level"),
+                       default="list")
+
+    export = sub.add_parser("export", help="write experiment data as CSVs")
+    export.add_argument("--out", default="results")
+    export.add_argument("--targets", nargs="*", default=None,
+                        help="subset of targets (default: everything)")
+
+    runp = sub.add_parser(
+        "run", help="functionally run a benchmark batch in the LLC model"
+    )
+    runp.add_argument("benchmark")
+    runp.add_argument("--items", type=int, default=8)
+    runp.add_argument("--slices", type=int, default=2)
+    runp.add_argument("--tile", type=int, default=1,
+                      help="MCCs per accelerator tile")
+    runp.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in _ORDER:
+            print(name)
+        for utility in ("run", "plan", "schedule", "export"):
+            print(utility)
+        return 0
+    if args.command == "all":
+        for name in _ORDER:
+            _TARGETS[name]()
+            print()
+        return 0
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "export":
+        from .experiments.export import export as export_csv
+
+        written = export_csv(args.out, args.targets)
+        for path in written:
+            print(path)
+        return 0
+    _TARGETS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

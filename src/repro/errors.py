@@ -1,0 +1,66 @@
+"""Exception hierarchy for the FReaC Cache reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch one type at an API boundary.  Subclasses are grouped
+by subsystem: circuits/synthesis, folding/scheduling, the cache
+substrate, and the FReaC device model.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture parameter set is inconsistent or out of range."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed (cycles, bad arity, dangling references)."""
+
+
+class SynthesisError(ReproError):
+    """Technology mapping could not cover the circuit with K-LUTs."""
+
+
+class SchedulingError(ReproError):
+    """Logic folding could not produce a legal schedule."""
+
+
+class ScheduleViolation(SchedulingError):
+    """A produced schedule violates an MCC resource constraint.
+
+    Raised by the schedule validator; carries the offending cycle and
+    a human-readable description of the violated constraint.
+    """
+
+    def __init__(self, cycle: int, constraint: str) -> None:
+        self.cycle = cycle
+        self.constraint = constraint
+        super().__init__(f"cycle {cycle}: {constraint}")
+
+
+class CacheError(ReproError):
+    """The cache substrate was used inconsistently."""
+
+
+class LockedWayError(CacheError):
+    """A cache operation touched a way that is locked for compute."""
+
+
+class DeviceError(ReproError):
+    """The FReaC device was driven through an illegal state transition."""
+
+
+class CapacityError(DeviceError):
+    """A resource (scratchpad, config rows, FF bank) overflowed."""
+
+
+class ProtocolError(DeviceError):
+    """The host interface was used out of protocol order.
+
+    For example: issuing RUN before configuration bits were written, or
+    filling a scratchpad before ways were locked.
+    """

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run()`` returning plain data structures (so
+tests can assert on shapes) and a ``main()`` that prints the rows the
+paper reports.  ``repro.cli`` wires them to the ``freac`` command.
+
+Index (see DESIGN.md Sec. 4 for the full mapping):
+
+========  ===========================================================
+tables    Table I (system parameters) and Table II (memory parameters)
+area      Sec. V-A area/clock overheads (3.5 % / 15.3 %)
+fig08     folding cycles vs accelerator tile size
+fig09     max accelerator tiles vs compute:memory partition
+fig10     kernel speedup vs tile size (single slice)
+fig11     best speedup for 32MCC-256KB vs 16MCC-768KB
+fig12     end-to-end speedup / power / perf-per-watt vs slice count
+fig13     end-to-end vs kernel-only speedup
+fig14     FReaC vs embedded in-LLC cores
+fig15     LLC interference study
+========  ===========================================================
+"""
+
+from . import common
+
+__all__ = ["common"]

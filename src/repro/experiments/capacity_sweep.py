@@ -1,0 +1,84 @@
+"""Acceleration vs LLC share (paper Sec. VI, closing paragraph).
+
+"Should one or more applications be sensitive to LLC capacity, then
+the user would need to scale back the LLC allocation devoted to
+computation ...  Reducing the amount of LLC allocated for computation
+would provide proportional reduction in acceleration.  As our results
+show, FReaC Cache is still able to deliver acceleration with just
+60% of the LLC (6MB)."
+
+This sweep quantifies that: per benchmark, the best end-to-end
+speedup as progressively more ways per slice stay cache, from the
+paper's 90 %-for-compute point down to 40 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..freac.compute_slice import SlicePartition
+from .common import all_specs, best_freac_estimate, cpu_baseline, format_table
+
+# Retained cache ways per slice -> fraction of the LLC kept as cache.
+RETAINED_WAYS = (2, 4, 6, 8, 10, 12)
+
+
+def sweep_points() -> List[Tuple[int, SlicePartition, float]]:
+    """(retained ways, partition of the rest, compute fraction)."""
+    points = []
+    for retained in RETAINED_WAYS:
+        available = 20 - retained
+        # Keep the end-to-end study's 8 compute ways (16 MCCs) and give
+        # the rest to scratchpads, mirroring the 16MCC-640KB recipe.
+        compute = min(8, available - 1)
+        compute -= compute % 2
+        scratch = available - compute
+        points.append(
+            (
+                retained,
+                SlicePartition(compute_ways=compute, scratchpad_ways=scratch),
+                available / 20.0,
+            )
+        )
+    return points
+
+
+def run(slices: int = 8) -> Dict[str, Dict[int, Optional[float]]]:
+    """benchmark -> {retained ways -> best end-to-end speedup}."""
+    cpu = cpu_baseline()
+    results: Dict[str, Dict[int, Optional[float]]] = {}
+    for spec in all_specs():
+        single_s = cpu.estimate(spec, threads=1).end_to_end_s
+        per_point: Dict[int, Optional[float]] = {}
+        for retained, partition, _ in sweep_points():
+            best = best_freac_estimate(spec, partition, slices,
+                                       by="end_to_end")
+            per_point[retained] = (
+                single_s / best.end_to_end_s if best else None
+            )
+        results[spec.name] = per_point
+    return results
+
+
+def main() -> str:
+    data = run()
+    headers = ["benchmark"] + [
+        f"{retained}w ({100 * (20 - retained) / 20:.0f}%)"
+        for retained in RETAINED_WAYS
+    ]
+    rows = []
+    for name in sorted(data):
+        row = [name]
+        for retained in RETAINED_WAYS:
+            value = data[name][retained]
+            row.append(f"{value:.2f}x" if value else "n/a")
+        rows.append(row)
+    table = format_table(headers, rows)
+    print("Sec. VI — acceleration vs LLC share given to FReaC "
+          "(end-to-end speedup vs 1 A15 thread)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,247 @@
+"""Shared estimation pipeline for the experiments.
+
+``freac_estimate`` is the single path from (benchmark, partition, tile
+size, slice count) to latency/power numbers; every figure module goes
+through it so the figures stay mutually consistent, exactly as the
+paper's single gem5 + power flow kept its figures consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.cpu import CpuBaseline
+from ..circuits.library import mapped_pe
+from ..folding.config import ConfigImage, generate_config
+from ..folding.schedule import FoldingSchedule, TileResources
+from ..folding.scheduler import level_schedule, list_schedule
+from ..freac.compute_slice import SlicePartition
+from ..freac.device import max_accelerator_tiles
+from ..freac.timing import EndToEndTiming, KernelTiming, end_to_end_timing, kernel_timing
+from ..power.energy import EnergyModel
+from ..workloads.suite import SUITE, BenchmarkSpec, benchmark
+
+# The tile sizes the paper sweeps (Fig. 8/10).
+TILE_SIZES = (1, 2, 4, 8, 16, 32)
+
+# Named partitions from the paper.
+PARTITION_32MCC_256KB = SlicePartition(compute_ways=16, scratchpad_ways=4)
+PARTITION_16MCC_768KB = SlicePartition(compute_ways=8, scratchpad_ways=12)
+# End-to-end configuration: 2 ways kept as cache, "16MCC-640KB".
+PARTITION_16MCC_640KB = SlicePartition(compute_ways=8, scratchpad_ways=10)
+
+# Tiles this large need the switch-box fabric (and its 3 GHz clock for
+# >= 16; links burn power for any multi-MCC tile routed through it).
+SWITCH_FABRIC_THRESHOLD = 4
+
+# The control box's datapath serialises scratchpad word delivery
+# (Sec. III-D); more scratchpad ways add banking up to this width.
+CONTROL_BOX_WORDS_PER_CYCLE = 4
+
+
+def scratchpad_service_rate(partition: SlicePartition) -> float:
+    """Words per cycle one slice's scratchpad can deliver."""
+    return float(min(max(partition.scratchpad_ways, 1),
+                     CONTROL_BOX_WORDS_PER_CYCLE))
+
+
+def _cache_dir() -> Optional["Path"]:
+    """On-disk schedule cache location; None disables caching.
+
+    Defaults to ``~/.cache/freac-repro``; point ``FREAC_CACHE_DIR`` at
+    another directory, or set it empty to disable.
+    """
+    import os
+    from pathlib import Path
+
+    value = os.environ.get("FREAC_CACHE_DIR")
+    if value == "":
+        return None
+    return Path(value) if value else Path.home() / ".cache" / "freac-repro"
+
+
+@lru_cache(maxsize=None)
+def schedule_for(name: str, mccs: int, algorithm: str = "list") -> FoldingSchedule:
+    """Cached folding schedule for a benchmark at a tile size.
+
+    Schedules persist on disk (AES takes seconds to synthesise and
+    fold), so repeat harness runs skip straight to the numbers.
+    """
+    if algorithm not in ("list", "level"):
+        raise ValueError(f"unknown scheduling algorithm {algorithm!r}")
+    from ..folding.io import load_schedule, save_schedule
+    from ..folding.scheduler import SCHEDULER_VERSION
+
+    cache_dir = _cache_dir()
+    cache_file = (
+        cache_dir
+        / f"{name.upper()}-k5-m{mccs}-{algorithm}-v{SCHEDULER_VERSION}.json"
+        if cache_dir
+        else None
+    )
+    if cache_file is not None and cache_file.exists():
+        try:
+            return load_schedule(cache_file)
+        except Exception:  # corrupt cache entry: fall through, rebuild
+            pass
+    netlist = mapped_pe(name)
+    resources = TileResources(mccs=mccs)
+    if algorithm == "list":
+        schedule = list_schedule(netlist, resources)
+    else:
+        schedule = level_schedule(netlist, resources)
+    if cache_file is not None:
+        try:
+            save_schedule(schedule, cache_file)
+        except OSError:
+            pass  # read-only environment: caching is best-effort
+    return schedule
+
+
+@lru_cache(maxsize=None)
+def config_for(name: str, mccs: int) -> ConfigImage:
+    return generate_config(schedule_for(name, mccs))
+
+
+@dataclass(frozen=True)
+class FreacEstimate:
+    """One benchmark on one FReaC configuration."""
+
+    benchmark: str
+    partition: SlicePartition
+    tile_mccs: int
+    tiles_per_slice: int
+    slices: int
+    kernel: KernelTiming
+    end_to_end: EndToEndTiming
+    power_w: float
+    energy_j: float
+
+    @property
+    def kernel_s(self) -> float:
+        return self.kernel.seconds
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.end_to_end.total_s
+
+    @property
+    def feasible(self) -> bool:
+        return self.tiles_per_slice > 0
+
+
+def freac_estimate(
+    spec: BenchmarkSpec,
+    partition: SlicePartition,
+    tile_mccs: int,
+    slices: int,
+) -> Optional[FreacEstimate]:
+    """Full latency/power estimate; None when the config cannot host
+    even one tile (working set too large for the scratchpad share)."""
+    tiles = max_accelerator_tiles(
+        partition,
+        tile_mccs=tile_mccs,
+        working_set_bytes_per_tile=spec.tile_working_set_bytes,
+    )
+    if tiles == 0:
+        return None
+    schedule = schedule_for(spec.name, tile_mccs)
+    kernel = kernel_timing(
+        schedule,
+        items=spec.items,
+        slices=slices,
+        tiles_per_slice=tiles,
+        scratchpad_service_words_per_cycle=scratchpad_service_rate(partition),
+    )
+    image = config_for(spec.name, tile_mccs)
+    e2e = end_to_end_timing(
+        kernel,
+        input_bytes=spec.total_input_bytes(),
+        output_bytes=spec.total_output_bytes(),
+        image=image,
+    )
+    uses_fabric = tile_mccs >= SWITCH_FABRIC_THRESHOLD
+    energy = EnergyModel().accelerator_energy(
+        lut_config_reads=schedule.lut_ops * spec.items,
+        mac_ops=schedule.mac_ops * spec.items,
+        bus_words=schedule.bus_words * spec.items,
+        seconds=max(kernel.seconds, 1e-12),
+        slices_active=slices,
+        uses_switch_fabric=uses_fabric,
+    )
+    return FreacEstimate(
+        benchmark=spec.name,
+        partition=partition,
+        tile_mccs=tile_mccs,
+        tiles_per_slice=tiles,
+        slices=slices,
+        kernel=kernel,
+        end_to_end=e2e,
+        power_w=energy.average_power_w(max(kernel.seconds, 1e-12)),
+        energy_j=energy.total_j,
+    )
+
+
+def best_freac_estimate(
+    spec: BenchmarkSpec,
+    partition: SlicePartition,
+    slices: int,
+    tile_sizes: Sequence[int] = TILE_SIZES,
+    *,
+    by: str = "kernel",
+) -> Optional[FreacEstimate]:
+    """The best tile size for a benchmark under one partition."""
+    candidates: List[FreacEstimate] = []
+    limit = partition.mccs()
+    for tile in tile_sizes:
+        if tile > limit:
+            continue
+        estimate = freac_estimate(spec, partition, tile, slices)
+        if estimate is not None:
+            candidates.append(estimate)
+    if not candidates:
+        return None
+    key = (lambda e: e.kernel_s) if by == "kernel" else (lambda e: e.end_to_end_s)
+    return min(candidates, key=key)
+
+
+def all_specs() -> List[BenchmarkSpec]:
+    return [SUITE[name] for name in sorted(SUITE)]
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table for the bench harness output."""
+    columns = [
+        [str(header)] + [str(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(headers[i]).ljust(widths[i]) for i in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[i]).ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def cpu_baseline() -> CpuBaseline:
+    return CpuBaseline()

@@ -1,0 +1,191 @@
+"""CSV export of every reproduced table/figure.
+
+``freac export --out results/`` writes one CSV per experiment so the
+data can be re-plotted (the paper's figures are log-scale bar charts;
+any plotting tool can rebuild them from these files).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import area, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, tables
+
+
+def _write(path: Path, headers: Sequence[str], rows) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def _export_tables(out: Path) -> List[Path]:
+    return [
+        _write(out / "table1.csv", ["parameter", "value"], tables.table1()),
+        _write(out / "table2.csv", ["parameter", "value"], tables.table2()),
+    ]
+
+
+def _export_area(out: Path) -> List[Path]:
+    data = area.run()
+    return [_write(out / "area.csv", ["quantity", "value"],
+                   sorted(data.items()))]
+
+
+def _export_fig08(out: Path) -> List[Path]:
+    data = fig08.run()
+    rows = [
+        [name, tile, folds]
+        for name in sorted(data)
+        for tile, folds in sorted(data[name].items())
+    ]
+    return [_write(out / "fig08.csv",
+                   ["benchmark", "tile_mccs", "fold_cycles"], rows)]
+
+
+def _export_fig09(out: Path) -> List[Path]:
+    data = fig09.run()
+    rows = [
+        [name, label, tiles]
+        for name in sorted(data)
+        for label, tiles in data[name].items()
+    ]
+    return [_write(out / "fig09.csv",
+                   ["benchmark", "partition", "max_tiles"], rows)]
+
+
+def _export_fig10(out: Path) -> List[Path]:
+    data = fig10.run()
+    rows = [
+        [name, tile, "" if value is None else f"{value:.4f}"]
+        for name in sorted(data)
+        for tile, value in sorted(data[name].items())
+    ]
+    return [_write(out / "fig10.csv",
+                   ["benchmark", "tile_mccs", "kernel_speedup"], rows)]
+
+
+def _export_fig11(out: Path) -> List[Path]:
+    data = fig11.run()
+    rows = [
+        [name, label, "" if value is None else f"{value:.4f}"]
+        for name in sorted(data)
+        for label, value in data[name].items()
+    ]
+    return [_write(out / "fig11.csv",
+                   ["benchmark", "partition", "best_kernel_speedup"], rows)]
+
+
+def _export_fig12(out: Path) -> List[Path]:
+    rows = []
+    for row in fig12.run():
+        platforms = {
+            f"freac_{s}sl": row.freac_by_slices[s] for s in (1, 2, 4, 8)
+        }
+        platforms["cpu_8t"] = row.cpu_multithread
+        platforms["zcu102"] = row.zcu102
+        platforms["u96"] = row.u96
+        for platform, result in platforms.items():
+            if result is None:
+                continue
+            rows.append([
+                row.benchmark, platform,
+                f"{result.speedup:.4f}",
+                f"{result.power_w:.3f}",
+                f"{result.perf_per_watt_rel:.4f}",
+            ])
+    return [_write(
+        out / "fig12.csv",
+        ["benchmark", "platform", "speedup_vs_1t", "power_w",
+         "perf_per_watt_vs_1t"],
+        rows,
+    )]
+
+
+def _export_fig13(out: Path) -> List[Path]:
+    rows = [
+        [
+            row.benchmark,
+            "" if row.kernel_speedup is None else f"{row.kernel_speedup:.4f}",
+            ""
+            if row.end_to_end_speedup is None
+            else f"{row.end_to_end_speedup:.4f}",
+            ""
+            if row.init_overhead_fraction is None
+            else f"{row.init_overhead_fraction:.4f}",
+        ]
+        for row in fig13.run()
+    ]
+    return [_write(
+        out / "fig13.csv",
+        ["benchmark", "kernel_speedup", "end_to_end_speedup",
+         "init_overhead_fraction"],
+        rows,
+    )]
+
+
+def _export_fig14(out: Path) -> List[Path]:
+    rows = [
+        [
+            row.benchmark,
+            "" if row.freac is None else f"{row.freac:.4f}",
+            f"{row.ec8:.4f}", f"{row.ec16:.4f}", f"{row.cpu8:.4f}",
+        ]
+        for row in fig14.run()
+    ]
+    return [_write(out / "fig14.csv",
+                   ["benchmark", "freac_8sl", "ec8", "ec16", "cpu_8t"],
+                   rows)]
+
+
+def _export_fig15(out: Path) -> List[Path]:
+    rows = []
+    for row in fig15.run(accesses_per_thread=3_000):
+        for label in ("1MB", "4MB"):
+            accel = row.accel_speedup[label]
+            rows.append([
+                row.benchmark, row.group, label,
+                f"{row.cpu_speedup[label]:.4f}",
+                "" if accel is None else f"{accel:.4f}",
+                f"{row.cpu_latency_ratio[label]:.4f}",
+            ])
+    return [_write(
+        out / "fig15.csv",
+        ["benchmark", "group", "retained_llc", "cpu_2t_speedup",
+         "accel_speedup", "latency_ratio"],
+        rows,
+    )]
+
+
+_EXPORTERS: Dict[str, Callable[[Path], List[Path]]] = {
+    "tables": _export_tables,
+    "area": _export_area,
+    "fig8": _export_fig08,
+    "fig9": _export_fig09,
+    "fig10": _export_fig10,
+    "fig11": _export_fig11,
+    "fig12": _export_fig12,
+    "fig13": _export_fig13,
+    "fig14": _export_fig14,
+    "fig15": _export_fig15,
+}
+
+
+def export(out_dir: str | Path,
+           targets: Optional[Sequence[str]] = None) -> List[Path]:
+    """Write CSVs for the chosen targets (all by default)."""
+    out = Path(out_dir)
+    chosen = list(targets) if targets else list(_EXPORTERS)
+    written: List[Path] = []
+    for target in chosen:
+        if target not in _EXPORTERS:
+            raise KeyError(
+                f"unknown export target {target!r}; available: "
+                f"{', '.join(sorted(_EXPORTERS))}"
+            )
+        written.extend(_EXPORTERS[target](out))
+    return written

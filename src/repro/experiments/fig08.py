@@ -1,0 +1,40 @@
+"""Fig. 8: folding cycles per benchmark vs accelerator tile size.
+
+"We present the number of folding cycles for each of the benchmarks
+... across different tile sizes.  While allocating more MCCs per
+accelerator tile reduces the number of folds, there is a trade-off
+with the number of concurrent accelerator tiles per slice."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .common import TILE_SIZES, all_specs, format_table, schedule_for
+
+
+def run(tile_sizes: Sequence[int] = TILE_SIZES) -> Dict[str, Dict[int, int]]:
+    """benchmark -> {tile size -> folding cycles}."""
+    results: Dict[str, Dict[int, int]] = {}
+    for spec in all_specs():
+        results[spec.name] = {
+            tile: schedule_for(spec.name, tile).fold_cycles
+            for tile in tile_sizes
+        }
+    return results
+
+
+def main() -> str:
+    data = run()
+    headers = ["benchmark"] + [f"{t} MCC" for t in TILE_SIZES]
+    rows = [
+        [name] + [data[name][t] for t in TILE_SIZES] for name in sorted(data)
+    ]
+    table = format_table(headers, rows)
+    print("Fig. 8 — folding cycles needed by accelerators (log-scale plot)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fig. 9: max accelerator tiles (tile size 1) vs compute:memory split.
+
+"We start with 16 ways for compute and 4 for memory, creating 32 MCCs
+and a 256KB scratchpad, and sweep down to 2 ways for compute and 18
+for memory, creating 4 MCCs and a 1.1MB scratchpad."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..freac.compute_slice import SlicePartition
+from ..freac.device import max_accelerator_tiles
+from .common import all_specs, format_table
+
+# The paper's sweep: (compute ways, scratchpad ways).
+PARTITION_SWEEP: Tuple[Tuple[int, int], ...] = (
+    (16, 4),
+    (12, 8),
+    (8, 12),
+    (4, 16),
+    (2, 18),
+)
+
+
+def partitions() -> List[SlicePartition]:
+    return [
+        SlicePartition(compute_ways=c, scratchpad_ways=s)
+        for c, s in PARTITION_SWEEP
+    ]
+
+
+def run(tile_mccs: int = 1) -> Dict[str, Dict[str, int]]:
+    """benchmark -> {partition label -> max concurrent tiles}."""
+    results: Dict[str, Dict[str, int]] = {}
+    for spec in all_specs():
+        per_partition: Dict[str, int] = {}
+        for partition in partitions():
+            per_partition[partition.label()] = max_accelerator_tiles(
+                partition,
+                tile_mccs=tile_mccs,
+                working_set_bytes_per_tile=spec.tile_working_set_bytes,
+            )
+        results[spec.name] = per_partition
+    return results
+
+
+def main() -> str:
+    data = run()
+    labels = [p.label() for p in partitions()]
+    headers = ["benchmark"] + labels
+    rows = [
+        [name] + [data[name][label] for label in labels]
+        for name in sorted(data)
+    ]
+    table = format_table(headers, rows)
+    print("Fig. 9 — max accelerator tiles per slice vs compute:memory ratio")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

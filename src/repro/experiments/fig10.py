@@ -1,0 +1,63 @@
+"""Fig. 10: kernel speedup vs accelerator tile size (single slice).
+
+"We consider a slice with a 32MCC-256KB partitioning ... sweep across
+accelerator tile sizes, allocating 1, 8, and 16 MCCs per accelerator,
+and measure the speedup of kernel execution over a single host core."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .common import (
+    PARTITION_32MCC_256KB,
+    all_specs,
+    cpu_baseline,
+    format_table,
+    freac_estimate,
+)
+
+FIG10_TILE_SIZES = (1, 8, 16)
+
+
+def run(
+    tile_sizes: Sequence[int] = FIG10_TILE_SIZES, slices: int = 1
+) -> Dict[str, Dict[int, Optional[float]]]:
+    """benchmark -> {tile size -> kernel speedup over one A15 thread}.
+
+    ``None`` marks configurations the slice cannot host (no tile fits
+    the scratchpad share).
+    """
+    cpu = cpu_baseline()
+    results: Dict[str, Dict[int, Optional[float]]] = {}
+    for spec in all_specs():
+        single_thread_s = cpu.estimate(spec, threads=1).kernel_s
+        per_tile: Dict[int, Optional[float]] = {}
+        for tile in tile_sizes:
+            estimate = freac_estimate(spec, PARTITION_32MCC_256KB, tile, slices)
+            per_tile[tile] = (
+                single_thread_s / estimate.kernel_s if estimate else None
+            )
+        results[spec.name] = per_tile
+    return results
+
+
+def main() -> str:
+    data = run()
+    headers = ["benchmark"] + [f"tile={t}" for t in FIG10_TILE_SIZES]
+    rows = []
+    for name in sorted(data):
+        row = [name]
+        for tile in FIG10_TILE_SIZES:
+            value = data[name][tile]
+            row.append(f"{value:.2f}x" if value is not None else "n/a")
+        rows.append(row)
+    table = format_table(headers, rows)
+    print("Fig. 10 — kernel speedup vs tile size (32MCC-256KB, 1 slice, "
+          "vs 1 A15 thread, log-scale plot)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

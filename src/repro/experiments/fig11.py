@@ -1,0 +1,60 @@
+"""Fig. 11: best kernel speedup for two compute:memory partitions.
+
+"We present the best performance possible, across all accelerator
+tile sizes, for two different compute-to-memory partitions in a single
+slice" — 32MCC-256KB vs 16MCC-768KB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..freac.compute_slice import SlicePartition
+from .common import (
+    PARTITION_16MCC_768KB,
+    PARTITION_32MCC_256KB,
+    all_specs,
+    best_freac_estimate,
+    cpu_baseline,
+    format_table,
+)
+
+PARTITIONS = (PARTITION_32MCC_256KB, PARTITION_16MCC_768KB)
+
+
+def run(slices: int = 1) -> Dict[str, Dict[str, Optional[float]]]:
+    """benchmark -> {partition label -> best kernel speedup}."""
+    cpu = cpu_baseline()
+    results: Dict[str, Dict[str, Optional[float]]] = {}
+    for spec in all_specs():
+        single_thread_s = cpu.estimate(spec, threads=1).kernel_s
+        per_partition: Dict[str, Optional[float]] = {}
+        for partition in PARTITIONS:
+            best = best_freac_estimate(spec, partition, slices)
+            per_partition[partition.label()] = (
+                single_thread_s / best.kernel_s if best else None
+            )
+        results[spec.name] = per_partition
+    return results
+
+
+def main() -> str:
+    data = run()
+    labels = [p.label() for p in PARTITIONS]
+    headers = ["benchmark"] + labels
+    rows = []
+    for name in sorted(data):
+        row = [name]
+        for label in labels:
+            value = data[name][label]
+            row.append(f"{value:.2f}x" if value is not None else "n/a")
+        rows.append(row)
+    table = format_table(headers, rows)
+    print("Fig. 11 — best speedup per MCC:memory partition (1 slice, "
+          "vs 1 A15 thread, log-scale plot)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

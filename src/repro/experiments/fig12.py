@@ -1,0 +1,145 @@
+"""Fig. 12: end-to-end speedup, power, and perf/W vs LLC slice count.
+
+The paper's headline experiment: "we reserve two ways, 128KB, per
+slice as cache ... a 16MCC-640KB compute-scratchpad split per slice,
+and sweep across all possible accelerator tile sizes and cache
+slices", reporting the best speedup per slice count alongside the
+8-thread CPU, the ZCU102, and the Ultra96, all relative to a single
+A15 thread.  Expected shapes: FReaC ~8.2x single-thread / ~3x
+multi-thread on average at 8 slices, ~6.1x perf/W over the multi-core
+CPU; the ZCU102 fastest but power-hungry; the U96 bested by FReaC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.fpga import FpgaBaseline, ULTRA96, ZCU102
+from .common import (
+    PARTITION_16MCC_640KB,
+    all_specs,
+    best_freac_estimate,
+    cpu_baseline,
+    format_table,
+    geomean,
+)
+
+SLICE_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """One platform's end-to-end numbers for one benchmark."""
+
+    speedup: float        # vs single A15 thread, end-to-end
+    power_w: float
+    perf_per_watt_rel: float  # vs single A15 thread
+
+
+@dataclass
+class Fig12Row:
+    benchmark: str
+    freac_by_slices: Dict[int, Optional[PlatformResult]]
+    cpu_multithread: PlatformResult
+    zcu102: PlatformResult
+    u96: PlatformResult
+
+
+def run() -> List[Fig12Row]:
+    cpu = cpu_baseline()
+    zcu = FpgaBaseline(ZCU102)
+    u96 = FpgaBaseline(ULTRA96)
+    rows: List[Fig12Row] = []
+    for spec in all_specs():
+        single = cpu.estimate(spec, threads=1)
+        base_s = single.end_to_end_s
+        base_ppw = (spec.items / base_s) / cpu.power_w(1)
+
+        def platform(total_s: float, power_w: float) -> PlatformResult:
+            perf = spec.items / total_s
+            return PlatformResult(
+                speedup=base_s / total_s,
+                power_w=power_w,
+                perf_per_watt_rel=(perf / power_w) / base_ppw,
+            )
+
+        multi = cpu.estimate(spec, threads=cpu.system.cores)
+        cpu_result = platform(multi.end_to_end_s, cpu.power_w(cpu.system.cores))
+        zcu_est = zcu.estimate(spec)
+        u96_est = u96.estimate(spec)
+
+        freac_by_slices: Dict[int, Optional[PlatformResult]] = {}
+        for slices in SLICE_COUNTS:
+            best = best_freac_estimate(
+                spec, PARTITION_16MCC_640KB, slices, by="end_to_end"
+            )
+            freac_by_slices[slices] = (
+                platform(best.end_to_end_s, best.power_w) if best else None
+            )
+        rows.append(
+            Fig12Row(
+                benchmark=spec.name,
+                freac_by_slices=freac_by_slices,
+                cpu_multithread=cpu_result,
+                zcu102=platform(zcu_est.end_to_end_s, zcu_est.power_w),
+                u96=platform(u96_est.end_to_end_s, u96_est.power_w),
+            )
+        )
+    return rows
+
+
+def summary(rows: List[Fig12Row]) -> Dict[str, float]:
+    """The paper's headline averages at 8 slices."""
+    freac8 = [row.freac_by_slices[8] for row in rows if row.freac_by_slices[8]]
+    multis = [row.cpu_multithread for row in rows]
+    return {
+        "freac_vs_single_thread": geomean(r.speedup for r in freac8),
+        "freac_vs_multi_thread": geomean(
+            row.freac_by_slices[8].speedup / row.cpu_multithread.speedup
+            for row in rows
+            if row.freac_by_slices[8]
+        ),
+        "freac_perf_per_watt_vs_multi": geomean(
+            row.freac_by_slices[8].perf_per_watt_rel
+            / row.cpu_multithread.perf_per_watt_rel
+            for row in rows
+            if row.freac_by_slices[8]
+        ),
+        "multi_thread_vs_single": geomean(r.speedup for r in multis),
+    }
+
+
+def main() -> str:
+    rows = run()
+
+    def fmt(result: Optional[PlatformResult]) -> str:
+        if result is None:
+            return "n/a"
+        return f"{result.speedup:.2f}x/{result.power_w:.1f}W"
+
+    headers = (
+        ["benchmark"]
+        + [f"FReaC {s}sl" for s in SLICE_COUNTS]
+        + ["CPUx8", "ZCU102", "U96"]
+    )
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row.benchmark]
+            + [fmt(row.freac_by_slices[s]) for s in SLICE_COUNTS]
+            + [fmt(row.cpu_multithread), fmt(row.zcu102), fmt(row.u96)]
+        )
+    table = format_table(headers, table_rows)
+    stats = summary(rows)
+    print("Fig. 12 — end-to-end speedup / power vs slices "
+          "(16MCC-640KB per slice, vs 1 A15 thread, log-scale plot)")
+    print(table)
+    print()
+    for key, value in stats.items():
+        print(f"  {key}: {value:.2f}x")
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Fig. 13: end-to-end vs kernel-only speedup (8 slices).
+
+"Depending on the benchmark, copying and initialization can have
+negligible to 60% overhead.  Thus, in some cases, our end-to-end
+speedup is a fraction of the peak kernel speedup."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .common import (
+    PARTITION_16MCC_640KB,
+    all_specs,
+    best_freac_estimate,
+    cpu_baseline,
+    format_table,
+)
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    benchmark: str
+    kernel_speedup: Optional[float]
+    end_to_end_speedup: Optional[float]
+    init_overhead_fraction: Optional[float]
+    cpu_multithread_speedup: float
+
+
+def run(slices: int = 8) -> List[Fig13Row]:
+    cpu = cpu_baseline()
+    rows: List[Fig13Row] = []
+    for spec in all_specs():
+        single = cpu.estimate(spec, threads=1)
+        multi = cpu.estimate(spec, threads=cpu.system.cores)
+        best = best_freac_estimate(
+            spec, PARTITION_16MCC_640KB, slices, by="end_to_end"
+        )
+        if best is None:
+            rows.append(
+                Fig13Row(spec.name, None, None, None,
+                         single.end_to_end_s / multi.end_to_end_s)
+            )
+            continue
+        overhead = 1.0 - best.end_to_end.kernel_fraction
+        rows.append(
+            Fig13Row(
+                benchmark=spec.name,
+                kernel_speedup=single.kernel_s / best.kernel_s,
+                end_to_end_speedup=single.end_to_end_s / best.end_to_end_s,
+                init_overhead_fraction=overhead,
+                cpu_multithread_speedup=single.end_to_end_s / multi.end_to_end_s,
+            )
+        )
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    headers = ["benchmark", "kernel", "end-to-end", "init+copy ovh", "CPUx8"]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.benchmark,
+                f"{row.kernel_speedup:.2f}x" if row.kernel_speedup else "n/a",
+                (
+                    f"{row.end_to_end_speedup:.2f}x"
+                    if row.end_to_end_speedup
+                    else "n/a"
+                ),
+                (
+                    f"{100 * row.init_overhead_fraction:.0f}%"
+                    if row.init_overhead_fraction is not None
+                    else "n/a"
+                ),
+                f"{row.cpu_multithread_speedup:.2f}x",
+            ]
+        )
+    table = format_table(headers, table_rows)
+    print("Fig. 13 — end-to-end vs kernel speedup (8 slices, vs 1 A15 "
+          "thread, log-scale plot)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

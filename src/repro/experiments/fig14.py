@@ -1,0 +1,87 @@
+"""Fig. 14: FReaC vs lightweight embedded cores (EC) in the LLC.
+
+The Sec. VI comparison: 8 ECs (iso-area with FReaC's per-slice
+overhead) or 16 ECs placed in the LLC with 16 ways of scratchpad,
+versus 8 slices of FReaC accelerators and the 8 host cores.  Expected
+shape: FReaC ~4x the 8-EC setup and ~2x the 16-EC setup on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.embedded import EmbeddedCoresBaseline
+from .common import (
+    PARTITION_16MCC_640KB,
+    all_specs,
+    best_freac_estimate,
+    cpu_baseline,
+    format_table,
+    geomean,
+)
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    benchmark: str
+    freac: Optional[float]        # kernel speedup vs 1 A15 thread
+    ec8: float
+    ec16: float
+    cpu8: float
+
+
+def run(slices: int = 8) -> List[Fig14Row]:
+    cpu = cpu_baseline()
+    ec8 = EmbeddedCoresBaseline(cores=8)
+    ec16 = EmbeddedCoresBaseline(cores=16)
+    rows: List[Fig14Row] = []
+    for spec in all_specs():
+        single = cpu.estimate(spec, threads=1).kernel_s
+        multi = cpu.estimate(spec, threads=cpu.system.cores).kernel_s
+        best = best_freac_estimate(spec, PARTITION_16MCC_640KB, slices)
+        rows.append(
+            Fig14Row(
+                benchmark=spec.name,
+                freac=single / best.kernel_s if best else None,
+                ec8=single / ec8.kernel_s(spec),
+                ec16=single / ec16.kernel_s(spec),
+                cpu8=single / multi,
+            )
+        )
+    return rows
+
+
+def summary(rows: List[Fig14Row]) -> Dict[str, float]:
+    present = [row for row in rows if row.freac]
+    return {
+        "freac_vs_ec8": geomean(row.freac / row.ec8 for row in present),
+        "freac_vs_ec16": geomean(row.freac / row.ec16 for row in present),
+    }
+
+
+def main() -> str:
+    rows = run()
+    headers = ["benchmark", "FReaC 8sl", "8 EC", "16 EC", "CPUx8"]
+    table_rows = [
+        [
+            row.benchmark,
+            f"{row.freac:.2f}x" if row.freac else "n/a",
+            f"{row.ec8:.2f}x",
+            f"{row.ec16:.2f}x",
+            f"{row.cpu8:.2f}x",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, table_rows)
+    stats = summary(rows)
+    print("Fig. 14 — kernel speedup vs embedded in-LLC cores "
+          "(vs 1 A15 thread, log-scale plot)")
+    print(table)
+    for key, value in stats.items():
+        print(f"  {key}: {value:.2f}x")
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Tables I and II: the evaluated configuration, from the models."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..params import default_system, table1_rows
+from ..power.sram import table2_rows
+from .common import format_table
+
+
+def table1() -> List[Tuple[str, str]]:
+    return list(table1_rows(default_system()))
+
+
+def table2() -> List[Tuple[str, str]]:
+    return list(table2_rows(default_system().slice_params))
+
+
+def main() -> str:
+    lines = []
+    lines.append("Table I — system simulation parameters")
+    lines.append(format_table(["Parameter", "Value"], table1()))
+    lines.append("")
+    lines.append("Table II — memory parameters (32nm)")
+    lines.append(format_table(["Parameter", "Value"], table2()))
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

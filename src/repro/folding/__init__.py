@@ -1,0 +1,31 @@
+"""Logic folding: scheduling circuits onto micro compute clusters.
+
+This is the paper's primary contribution (Sec. III-IV): trade clock
+cycles for area by re-configuring a handful of LUTs every cycle from
+sub-array rows.  A circuit folded N times runs at CacheClock/N.
+"""
+
+from .schedule import (
+    FoldingSchedule,
+    OpSlot,
+    ScheduledOp,
+    TileResources,
+)
+from .scheduler import level_schedule, list_schedule
+from .config import ConfigImage, generate_config
+from .regalloc import RegisterAllocation, allocate_registers
+from .validate import validate_schedule
+
+__all__ = [
+    "FoldingSchedule",
+    "OpSlot",
+    "ScheduledOp",
+    "TileResources",
+    "list_schedule",
+    "level_schedule",
+    "ConfigImage",
+    "generate_config",
+    "RegisterAllocation",
+    "allocate_registers",
+    "validate_schedule",
+]

@@ -1,0 +1,204 @@
+"""Configuration bitstream generation.
+
+The paper stores per-step LUT configurations in *sequential rows* of
+each compute sub-array ("we store the configuration bits of each level
+in sequential addresses in the sub-arrays, and reuse the existing
+address busses to step through addresses", Sec. III-B) and the operand
+crossbar configuration in the way's otherwise-idle tag/state arrays.
+
+``generate_config`` lays a :class:`FoldingSchedule` out exactly that
+way: for every folding cycle it produces
+
+* one 32-bit LUT configuration word per (MCC, LUT unit) — the LUT's
+  truth table, zero (a constant-0 LUT) for idle units, and
+* a crossbar descriptor per MCC listing which latched values feed the
+  LUT inputs and the MAC that cycle (packed into tag-array words for
+  the size/energy accounting).
+
+The image knows whether it fits the sub-array row budget; when it does
+not, the executor/timing layers charge configuration reloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import NodeKind
+from ..errors import CapacityError
+from .schedule import FoldingSchedule, OpSlot
+
+# A crossbar source selector: enough bits to index the 256-entry FF
+# bank plus the bus/MAC/latch tap points.
+XBAR_SELECT_BITS = 10
+
+
+@dataclass
+class ConfigImage:
+    """The physical layout of one accelerator configuration."""
+
+    schedule: FoldingSchedule
+    # lut_words[mcc][unit] -> np.ndarray of one 32-bit word per cycle.
+    lut_words: List[List[np.ndarray]]
+    # xbar_words[mcc] -> one packed descriptor word-count per cycle.
+    xbar_words_per_cycle: int
+    cycles: int
+    rows_per_subarray: int
+
+    @property
+    def lut_config_words(self) -> int:
+        """Total LUT configuration words across the tile."""
+        return sum(len(words) for per_mcc in self.lut_words for words in per_mcc)
+
+    @property
+    def xbar_config_words(self) -> int:
+        return self.cycles * self.xbar_words_per_cycle * len(self.lut_words)
+
+    @property
+    def total_words(self) -> int:
+        return self.lut_config_words + self.xbar_config_words
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_words * 4
+
+    @property
+    def fits_subarrays(self) -> bool:
+        """Do all folding steps fit the sub-array rows without reloads?"""
+        return self.cycles <= self.rows_per_subarray
+
+    def checksum(self) -> int:
+        """A stable digest of the LUT bitstream.
+
+        The CC Ctrl can verify a loaded configuration against this
+        (see FoldedExecutor.verify_configuration) to catch corrupted
+        or stale sub-array contents before a run.
+        """
+        digest = 0xFFFFFFFF
+        for per_mcc in self.lut_words:
+            for column in per_mcc:
+                for word in column:
+                    digest ^= int(word)
+                    digest = ((digest << 5) | (digest >> 27)) & 0xFFFFFFFF
+        return digest
+
+    @property
+    def reload_segments(self) -> int:
+        """Config segments needed when the schedule exceeds the rows.
+
+        Segment 0 is loaded up front; each further segment is a
+        mid-run reconfiguration the timing model must charge.
+        """
+        if self.cycles == 0:
+            return 1
+        return -(-self.cycles // self.rows_per_subarray)
+
+
+def generate_xbar_config(schedule: FoldingSchedule, allocation) -> dict:
+    """Concrete crossbar select fields per (cycle, mcc).
+
+    Each LUT input and MAC operand of each folding step resolves to a
+    physical source: ``("reg", mcc, bit_offset)`` for a value latched
+    in an FF bank, ``("const",)`` for constants baked into the step,
+    or ``("bus",)`` for the operand data path.  These are the bits the
+    paper stores in the way's tag/state arrays (Sec. III-B); the sized
+    estimate in :class:`ConfigImage` covers their storage cost.
+
+    ``allocation`` is a :class:`~repro.folding.regalloc.RegisterAllocation`
+    for the same schedule.
+    """
+    from ..circuits.netlist import NodeKind
+
+    netlist = schedule.netlist
+
+    def source_of(nid: int, cycle: int):
+        node = netlist.nodes[nid]
+        if node.kind in (NodeKind.CONST, NodeKind.WORD_CONST):
+            return ("const",)
+        if node.kind in (NodeKind.BIT_INPUT, NodeKind.WORD_INPUT):
+            return ("bus",)
+        if node.kind is NodeKind.BITSLICE:
+            base = source_of(node.fanins[0], cycle)
+            if base[0] == "reg":
+                return ("reg", base[1], base[2] + node.payload)
+            return base
+        if node.kind is NodeKind.PACK:
+            # Packed words are wiring; each consumer reads the bit
+            # sources directly. Report the first bit's source.
+            return source_of(node.fanins[0], cycle)
+        if node.kind is NodeKind.FLIPFLOP:
+            return ("state",)
+        placements = allocation.placements.get(nid, [])
+        for placement in placements:
+            if placement.start_cycle <= cycle <= placement.end_cycle:
+                return ("reg", placement.mcc, placement.offset)
+        return ("spilled",)
+
+    selects = {}
+    for op in schedule.ops:
+        if op.slot is OpSlot.BUS:
+            continue
+        node = netlist.nodes[op.nid]
+        selects[(op.cycle, op.mcc, op.unit, op.slot.value)] = tuple(
+            source_of(fanin, op.cycle) for fanin in node.fanins
+        )
+    return selects
+
+
+def _lut_table(schedule: FoldingSchedule, nid: int) -> int:
+    node = schedule.netlist.nodes[nid]
+    assert node.kind is NodeKind.LUT
+    _, table = node.payload  # type: ignore[misc]
+    return table & 0xFFFFFFFF
+
+
+def generate_config(
+    schedule: FoldingSchedule, rows_per_subarray: int = 2048
+) -> ConfigImage:
+    """Lay out LUT truth tables row-by-row per (MCC, unit)."""
+    resources = schedule.resources
+    cycles = schedule.compute_cycles
+    mccs = resources.mccs
+    units = resources.luts_per_mcc
+    if units > 4 and resources.lut_inputs == 5:
+        raise CapacityError("a sub-array provides at most 4 x 5-LUT words")
+
+    lut_words: List[List[np.ndarray]] = [
+        [np.zeros(cycles, dtype=np.uint32) for _ in range(units)]
+        for _ in range(mccs)
+    ]
+    for op in schedule.ops:
+        if op.slot is not OpSlot.LUT:
+            continue
+        table = _lut_table(schedule, op.nid)
+        # In 4-LUT mode two 16-bit tables share a 32-bit row; model the
+        # packing by placing the table in the unit's half-word.
+        if resources.lut_inputs == 4:
+            row = op.unit // 2
+            shift = 16 * (op.unit % 2)
+            lut_words[op.mcc][row][op.cycle - 1] |= np.uint32(
+                (table & 0xFFFF) << shift
+            )
+        else:
+            lut_words[op.mcc][op.unit][op.cycle - 1] = np.uint32(table)
+
+    # Crossbar: each cycle each MCC routes up to (units * lut_inputs)
+    # LUT operands + 3 MAC operands + 1 bus address source.
+    selects = units * resources.lut_inputs + 3 + 1
+    xbar_bits = selects * XBAR_SELECT_BITS
+    xbar_words = -(-xbar_bits // 32)
+
+    # In 4-LUT mode the packed rows halve.
+    stored_units = units if resources.lut_inputs == 5 else -(-units // 2)
+    packed = [
+        [lut_words[m][u] for u in range(stored_units)] for m in range(mccs)
+    ]
+    return ConfigImage(
+        schedule=schedule,
+        lut_words=packed,
+        xbar_words_per_cycle=xbar_words,
+        cycles=cycles,
+        rows_per_subarray=rows_per_subarray,
+    )

@@ -1,0 +1,85 @@
+"""Folding-schedule (de)serialisation.
+
+Together with :mod:`repro.circuits.io` this lets a mapped + folded
+accelerator be written to disk and reloaded without re-running
+synthesis or scheduling — the experiment harness uses it as an
+on-disk cache keyed by (benchmark, K, tile size, algorithm).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..circuits.io import netlist_from_dict, netlist_to_dict
+from ..errors import SchedulingError
+from .schedule import (
+    FoldingSchedule,
+    OpSlot,
+    ScheduledOp,
+    SpillInfo,
+    TileResources,
+)
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: FoldingSchedule) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "netlist": netlist_to_dict(schedule.netlist),
+        "resources": {
+            "mccs": schedule.resources.mccs,
+            "lut_inputs": schedule.resources.lut_inputs,
+        },
+        "ops": [
+            [op.nid, op.slot.value, op.cycle, op.mcc, op.unit]
+            for op in schedule.ops
+        ],
+        "compute_cycles": schedule.compute_cycles,
+        "max_live_bits": schedule.max_live_bits,
+        "spills": {
+            "spilled_values": schedule.spills.spilled_values,
+            "spill_words": schedule.spills.spill_words,
+            "spill_cycles": schedule.spills.spill_cycles,
+            "spilled_nids": list(schedule.spills.spilled_nids),
+        },
+        "algorithm": schedule.algorithm,
+    }
+
+
+def schedule_from_dict(data: Dict) -> FoldingSchedule:
+    if data.get("version") != FORMAT_VERSION:
+        raise SchedulingError(
+            f"schedule format version {data.get('version')!r} not supported"
+        )
+    netlist = netlist_from_dict(data["netlist"])
+    resources = TileResources(
+        mccs=data["resources"]["mccs"],
+        lut_inputs=data["resources"]["lut_inputs"],
+    )
+    ops = [
+        ScheduledOp(nid, OpSlot(slot), cycle, mcc, unit)
+        for nid, slot, cycle, mcc, unit in data["ops"]
+    ]
+    spills = SpillInfo(**data["spills"])
+    return FoldingSchedule(
+        netlist=netlist,
+        resources=resources,
+        ops=ops,
+        compute_cycles=data["compute_cycles"],
+        max_live_bits=data["max_live_bits"],
+        spills=spills,
+        algorithm=data["algorithm"],
+    )
+
+
+def save_schedule(schedule: FoldingSchedule, path: Path | str) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(schedule_to_dict(schedule)))
+
+
+def load_schedule(path: Path | str) -> FoldingSchedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,404 @@
+"""Folding schedulers: resource-constrained mapping of netlists to MCCs.
+
+Two algorithms are provided:
+
+``level_schedule``
+    The paper's flow (Sec. IV): topologically level the DAG, then fold
+    each level into as many cycles as its widest resource demands.
+    Levels never overlap, which is simple but leaves slots idle.
+
+``list_schedule``
+    A cone-ordered list scheduler: ops become ready when their
+    producers are placed and are packed into the earliest cycle with a
+    free slot of their class.  Priority follows a depth-first
+    post-order from the primary outputs, which finishes one logic cone
+    before starting the next and thereby keeps the live set (and hence
+    flip-flop pressure) small.  This is the scheduler the experiments
+    use; the level scheduler serves as the ablation baseline.
+
+Both share a register-pressure post-pass: values whose lifetime spans
+the peak-pressure region are spilled to the scratchpad, charged as two
+bus words (store + reload) and amortised extra folding cycles — see
+DESIGN.md for the accuracy trade-off.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.level import level_graph
+from ..circuits.netlist import Netlist, Node, NodeKind
+from ..errors import SchedulingError
+from .schedule import (
+    FoldingSchedule,
+    OpSlot,
+    ScheduledOp,
+    SpillInfo,
+    TileResources,
+    slot_for_kind,
+)
+
+# Bump when scheduling behaviour changes: the experiment harness keys
+# its on-disk schedule cache with this, so stale entries are ignored.
+SCHEDULER_VERSION = 2
+
+# Width (in FF bits) of each value class held between folding steps.
+_VALUE_BITS = {
+    NodeKind.LUT: 1,
+    NodeKind.MAC: 32,
+    NodeKind.BUS_LOAD: 32,
+}
+
+
+# ---------------------------------------------------------------------------
+# Op-level dependence structure
+# ---------------------------------------------------------------------------
+
+def _op_dependences(netlist: Netlist) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+    """Op-to-op edges, looking *through* wiring nodes.
+
+    Returns (preds, succs) keyed by op nid.  ``preds[v]`` is the set of
+    op nodes whose values v consumes, possibly via PACK/BITSLICE
+    chains.
+    """
+    # op_sources[n] = set of op nids whose values flow out of node n.
+    op_sources: Dict[int, frozenset] = {}
+    preds: Dict[int, Set[int]] = {}
+    succs: Dict[int, Set[int]] = {}
+    empty = frozenset()
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            # A flip-flop's output is stored state: no combinational
+            # dependence on its (possibly forward) next-state driver.
+            op_sources[nid] = empty
+            continue
+        incoming: Set[int] = set()
+        for fanin in node.fanins:
+            incoming |= op_sources[fanin]
+        if node.is_op:
+            preds[nid] = incoming
+            succs[nid] = set()
+            for p in incoming:
+                succs[p].add(nid)
+            op_sources[nid] = frozenset((nid,))
+        else:
+            op_sources[nid] = frozenset(incoming) if incoming else empty
+    return preds, succs
+
+
+def _output_ops(netlist: Netlist) -> Set[int]:
+    """Op nodes whose values must stay live to the end of the schedule.
+
+    Primary outputs and flip-flop next-state values are both read at
+    the end of the invocation.
+    """
+    op_sources: Dict[int, frozenset] = {}
+    empty = frozenset()
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            op_sources[nid] = empty
+            continue
+        incoming: Set[int] = set()
+        for fanin in node.fanins:
+            incoming |= op_sources[fanin]
+        if node.is_op:
+            op_sources[nid] = frozenset((nid,))
+        else:
+            op_sources[nid] = frozenset(incoming) if incoming else empty
+    result: Set[int] = set()
+    for out in netlist.outputs.values():
+        result |= op_sources[out]
+    for ff in netlist.flipflops():
+        if ff.fanins:
+            result |= op_sources[ff.fanins[0]]
+    return result
+
+
+def _cone_priority(netlist: Netlist, preds: Dict[int, Set[int]]) -> Dict[int, int]:
+    """Depth-first post-order rank from the outputs / stores."""
+    roots = sorted(
+        set(nid for nid, node in enumerate(netlist.nodes)
+            if node.kind is NodeKind.BUS_STORE)
+        | _output_ops(netlist)
+    )
+    rank: Dict[int, int] = {}
+    counter = 0
+    for root in roots:
+        if root in rank:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            nid, expanded = stack.pop()
+            if expanded:
+                if nid not in rank:
+                    rank[nid] = counter
+                    counter += 1
+                continue
+            if nid in rank:
+                continue
+            stack.append((nid, True))
+            for p in sorted(preds[nid], reverse=True):
+                if p not in rank:
+                    stack.append((p, False))
+    # Ops unreachable from any output (dead bus loads etc.) go last.
+    for nid, node in enumerate(netlist.nodes):
+        if node.is_op and nid not in rank:
+            rank[nid] = counter
+            counter += 1
+    return rank
+
+
+# ---------------------------------------------------------------------------
+# Slot tracking
+# ---------------------------------------------------------------------------
+
+class _SlotGrid:
+    """Per-cycle usage counters with an exact first-free hint."""
+
+    def __init__(self, resources: TileResources) -> None:
+        self._resources = resources
+        self._used: Dict[OpSlot, List[int]] = {slot: [] for slot in OpSlot}
+        self._hint: Dict[OpSlot, int] = {slot: 1 for slot in OpSlot}
+
+    def _count(self, slot: OpSlot, cycle: int) -> int:
+        column = self._used[slot]
+        index = cycle - 1
+        return column[index] if index < len(column) else 0
+
+    def place(self, slot: OpSlot, earliest: int) -> Tuple[int, int]:
+        """Earliest cycle >= ``earliest`` with a free slot; returns
+        (cycle, index-within-cycle)."""
+        capacity = self._resources.slots(slot)
+        cycle = max(earliest, self._hint[slot])
+        while self._count(slot, cycle) >= capacity:
+            cycle += 1
+        column = self._used[slot]
+        while len(column) < cycle:
+            column.append(0)
+        index = column[cycle - 1]
+        column[cycle - 1] += 1
+        if column[cycle - 1] >= capacity and cycle == self._hint[slot]:
+            hint = self._hint[slot]
+            while self._count(slot, hint) >= capacity:
+                hint += 1
+            self._hint[slot] = hint
+        return cycle, index
+
+    @property
+    def max_cycle(self) -> int:
+        return max((len(column) for column in self._used.values()), default=0)
+
+
+def _physical(resources: TileResources, slot: OpSlot, index: int) -> Tuple[int, int]:
+    """Map a within-cycle slot index to (mcc, unit)."""
+    if slot is OpSlot.LUT:
+        per_mcc = resources.luts_per_mcc
+        return index // per_mcc, index % per_mcc
+    return index, 0
+
+
+# ---------------------------------------------------------------------------
+# Register pressure / spilling
+# ---------------------------------------------------------------------------
+
+def _pressure_pass(
+    netlist: Netlist,
+    resources: TileResources,
+    cycle_of: Dict[int, int],
+    total_cycles: int,
+    preds: Dict[int, Set[int]],
+    succs: Dict[int, Set[int]],
+) -> Tuple[int, SpillInfo]:
+    """Compute peak FF occupancy and spill down to capacity."""
+    output_ops = _output_ops(netlist)
+    intervals: List[Tuple[int, int, int, int]] = []  # (def, last_use, bits, nid)
+    for nid, cycle in cycle_of.items():
+        node = netlist.nodes[nid]
+        bits = _VALUE_BITS.get(node.kind)
+        if bits is None:
+            continue  # BUS_STORE produces no live value
+        uses = [cycle_of[s] for s in succs[nid]]
+        last_use = max(uses, default=cycle)
+        if nid in output_ops:
+            last_use = max(last_use, total_cycles)
+        if last_use > cycle:
+            intervals.append((cycle, last_use, bits, nid))
+
+    capacity = resources.ff_bits
+    spills = SpillInfo()
+    if not intervals:
+        return 0, spills
+
+    # Incrementally-maintained occupancy difference array: spilling a
+    # value only touches its own interval, so the O(cycles) rescan per
+    # spill is the peak search, not a rebuild.
+    diff = [0] * (total_cycles + 2)
+
+    def apply(start: int, end: int, bits: int) -> None:
+        diff[start + 1] += bits
+        if end + 1 <= total_cycles:
+            diff[end + 1] -= bits
+
+    for start, end, bits, _ in intervals:
+        apply(start, end, bits)
+
+    def peak() -> Tuple[int, int]:
+        best, best_cycle, running = 0, 1, 0
+        for cycle in range(1, total_cycles + 1):
+            running += diff[cycle]
+            if running > best:
+                best, best_cycle = running, cycle
+        return best, best_cycle
+
+    active = list(intervals)
+    unspillable: Set[int] = set()
+    max_live, peak_cycle = peak()
+    while max_live > capacity:
+        candidates = [
+            iv for iv in active
+            if iv[0] < peak_cycle <= iv[1]
+            and iv[3] not in unspillable
+            and iv[1] - iv[0] >= 3  # need room for store + reload
+        ]
+        if not candidates:
+            break
+        # Spill the value idle for the longest, widest first.
+        victim = max(candidates, key=lambda iv: (iv[1] - iv[0], iv[2]))
+        active.remove(victim)
+        start, end, bits, nid = victim
+        apply(start, end, -bits)
+        # After spilling the value is resident only just after its
+        # definition and just before its reload-use.
+        for stub in ((start, start + 1, bits, nid), (end - 1, end, bits, nid)):
+            active.append(stub)
+            apply(stub[0], stub[1], bits)
+        unspillable.add(nid)
+        words = max(1, bits // 32)
+        spills.spilled_values += 1
+        spills.spill_words += 2 * words
+        spills.spilled_nids.append(nid)
+        max_live, peak_cycle = peak()
+
+    per_cycle_bus = max(resources.bus_ops_per_cycle, 1)
+    spills.spill_cycles = -(-spills.spill_words // per_cycle_bus)
+    return max_live, spills
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+def list_schedule(netlist: Netlist, resources: TileResources) -> FoldingSchedule:
+    """Cone-ordered list scheduling (the production scheduler)."""
+    _reject_unmapped(netlist, resources)
+    preds, succs = _op_dependences(netlist)
+    priority = _cone_priority(netlist, preds)
+    grid = _SlotGrid(resources)
+
+    remaining = {nid: len(preds[nid]) for nid in preds}
+    ready: List[Tuple[int, int]] = [
+        (priority[nid], nid) for nid, count in remaining.items() if count == 0
+    ]
+    heapq.heapify(ready)
+
+    cycle_of: Dict[int, int] = {}
+    ops: List[ScheduledOp] = []
+    scheduled = 0
+    total_ops = len(preds)
+    while ready:
+        _, nid = heapq.heappop(ready)
+        node = netlist.nodes[nid]
+        slot = slot_for_kind(node.kind)
+        earliest = 1 + max((cycle_of[p] for p in preds[nid]), default=0)
+        cycle, index = grid.place(slot, earliest)
+        mcc, unit = _physical(resources, slot, index)
+        cycle_of[nid] = cycle
+        ops.append(ScheduledOp(nid, slot, cycle, mcc, unit))
+        scheduled += 1
+        for succ in succs[nid]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                heapq.heappush(ready, (priority[succ], succ))
+    if scheduled != total_ops:
+        raise SchedulingError(
+            f"scheduled {scheduled} of {total_ops} ops; the netlist has a cycle"
+        )
+
+    total_cycles = grid.max_cycle
+    max_live, spills = _pressure_pass(
+        netlist, resources, cycle_of, total_cycles, preds, succs
+    )
+    ops.sort(key=lambda op: (op.cycle, op.slot.value, op.mcc, op.unit))
+    return FoldingSchedule(
+        netlist=netlist,
+        resources=resources,
+        ops=ops,
+        compute_cycles=total_cycles,
+        max_live_bits=max_live,
+        spills=spills,
+        algorithm="list",
+    )
+
+
+def level_schedule(netlist: Netlist, resources: TileResources) -> FoldingSchedule:
+    """The paper's level-partition folding (ablation baseline)."""
+    _reject_unmapped(netlist, resources)
+    preds, succs = _op_dependences(netlist)
+    graph = level_graph(netlist)
+    grid = _SlotGrid(resources)
+    cycle_of: Dict[int, int] = {}
+    ops: List[ScheduledOp] = []
+    level_start = 1
+    for level_nodes in graph.levels:
+        # Each level folds into enough cycles for its widest resource.
+        demand: Dict[OpSlot, int] = {slot: 0 for slot in OpSlot}
+        for nid in level_nodes:
+            demand[slot_for_kind(netlist.nodes[nid].kind)] += 1
+        span = max(
+            (-(-count // resources.slots(slot)))
+            for slot, count in demand.items()
+            if count
+        )
+        placed: Dict[OpSlot, int] = {slot: 0 for slot in OpSlot}
+        for nid in level_nodes:
+            slot = slot_for_kind(netlist.nodes[nid].kind)
+            position = placed[slot]
+            placed[slot] += 1
+            cycle = level_start + position // resources.slots(slot)
+            index = position % resources.slots(slot)
+            mcc, unit = _physical(resources, slot, index)
+            cycle_of[nid] = cycle
+            ops.append(ScheduledOp(nid, slot, cycle, mcc, unit))
+        level_start += span
+    total_cycles = level_start - 1
+    max_live, spills = _pressure_pass(
+        netlist, resources, cycle_of, total_cycles, preds, succs
+    )
+    ops.sort(key=lambda op: (op.cycle, op.slot.value, op.mcc, op.unit))
+    return FoldingSchedule(
+        netlist=netlist,
+        resources=resources,
+        ops=ops,
+        compute_cycles=total_cycles,
+        max_live_bits=max_live,
+        spills=spills,
+        algorithm="level",
+    )
+
+
+def _reject_unmapped(netlist: Netlist, resources: TileResources) -> None:
+    limit = resources.lut_inputs
+    for node in netlist.nodes:
+        if node.kind is NodeKind.GATE:
+            raise SchedulingError(
+                "netlist contains raw gates; run technology_map first"
+            )
+        if node.kind is NodeKind.LUT and node.payload[0] > limit:  # type: ignore[index]
+            raise SchedulingError(
+                f"netlist contains a {node.payload[0]}-input LUT but the "  # type: ignore[index]
+                f"tile is configured for {limit}-input LUTs; re-map with "
+                f"k={limit}"
+            )

@@ -1,0 +1,50 @@
+"""The FReaC Cache architecture model.
+
+Assembles the substrate pieces into the system of paper Sec. III:
+reconfigurable compute slices with micro compute clusters, scratchpads
+carved from locked ways, a compute-cluster controller (CC Ctrl) in the
+control box, and a load/store-only host interface.
+"""
+
+from .lut import FoldedLut
+from .scratchpad import Scratchpad
+from .mcc import MicroComputeCluster
+from .ccctrl import ComputeClusterController
+from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .executor import FoldedExecutor, ExecutionStats, StreamBinding
+from .hostif import HostInterface, Register
+from .device import FreacDevice, AcceleratorProgram
+from .fabric import SwitchFabric
+from .planner import PartitionPlan, plan_partition
+from .runner import WorkloadRunReport, run_workload
+from .timing import (
+    KernelTiming,
+    EndToEndTiming,
+    kernel_timing,
+    end_to_end_timing,
+)
+
+__all__ = [
+    "FoldedLut",
+    "Scratchpad",
+    "MicroComputeCluster",
+    "ComputeClusterController",
+    "ReconfigurableComputeSlice",
+    "SlicePartition",
+    "FoldedExecutor",
+    "ExecutionStats",
+    "StreamBinding",
+    "HostInterface",
+    "Register",
+    "FreacDevice",
+    "AcceleratorProgram",
+    "SwitchFabric",
+    "PartitionPlan",
+    "plan_partition",
+    "WorkloadRunReport",
+    "run_workload",
+    "KernelTiming",
+    "EndToEndTiming",
+    "kernel_timing",
+    "end_to_end_timing",
+]

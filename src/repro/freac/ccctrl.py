@@ -1,0 +1,224 @@
+"""The compute cluster controller (CC Ctrl, paper Sec. III-C).
+
+The CC Ctrl is the unit added to the slice's control box.  It owns the
+whole accelerator lifecycle of Fig. 5: way selection, flushing and
+locking (steps 1-3), configuration writes (step 4), scratchpad fills
+(step 5), and run control (step 6).  It enforces protocol order — a
+RUN before configuration, or a fill before locking, is a
+:class:`~repro.errors.ProtocolError`, mirroring hardware that simply
+has no datapath for the out-of-order operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import DeviceError, ProtocolError
+from ..folding.schedule import FoldingSchedule
+from ..memory.dram import DramModel
+from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .executor import ExecutionStats, FoldedExecutor, StreamBinding
+
+
+class ControllerState(enum.Enum):
+    IDLE = "idle"
+    PARTITIONED = "partitioned"
+    CONFIGURED = "configured"
+
+
+@dataclass
+class SetupReport:
+    """Cost of preparing the slice for compute (Fig. 5 steps 1-3)."""
+
+    flushed_dirty_lines: int
+    flushed_bytes: int
+    flush_time_s: float
+    mccs: int
+    scratchpad_bytes: int
+
+
+@dataclass
+class ProgramReport:
+    """Cost of writing the accelerator configuration (step 4)."""
+
+    tiles: int
+    config_words_per_mcc: int
+    config_words_total: int
+    config_time_s: float
+    segments: int
+
+
+class ComputeClusterController:
+    """Per-slice controller driving partitioning, config, and runs."""
+
+    def __init__(
+        self,
+        compute_slice: ReconfigurableComputeSlice,
+        dram: Optional[DramModel] = None,
+        clock_hz: float = 4.0e9,
+    ) -> None:
+        self.slice = compute_slice
+        self.dram = dram or DramModel()
+        self.clock_hz = clock_hz
+        self.state = ControllerState.IDLE
+        self.executors: List[FoldedExecutor] = []
+        self.schedule: Optional[FoldingSchedule] = None
+        self._runs = 0
+
+    # ------------------------------------------------------------------
+    # Steps 1-3: select, flush, lock
+    # ------------------------------------------------------------------
+
+    def setup(self, partition: SlicePartition) -> SetupReport:
+        if self.state is not ControllerState.IDLE:
+            raise ProtocolError("slice already set up; teardown first")
+        self.slice.apply_partition(partition)
+        line_bytes = self.slice.params.line_bytes
+        flushed_bytes = self.slice.flushed_dirty_lines * line_bytes
+        report = SetupReport(
+            flushed_dirty_lines=self.slice.flushed_dirty_lines,
+            flushed_bytes=flushed_bytes,
+            flush_time_s=self.dram.flush_time_s(flushed_bytes),
+            mccs=len(self.slice.mccs),
+            scratchpad_bytes=(
+                self.slice.scratchpad.size_bytes if self.slice.scratchpad else 0
+            ),
+        )
+        self.state = ControllerState.PARTITIONED
+        return report
+
+    def teardown(self) -> None:
+        """Unlock every way and return to a plain cache slice."""
+        self.slice.release_partition()
+        self.executors = []
+        self.schedule = None
+        self.state = ControllerState.IDLE
+
+    # ------------------------------------------------------------------
+    # Step 4: configuration
+    # ------------------------------------------------------------------
+
+    def program(self, schedule: FoldingSchedule) -> ProgramReport:
+        """Instantiate the accelerator on every tile the slice can hold.
+
+        All tiles of a slice run the same schedule in lock-step
+        (Sec. III-D), so one programming call configures them all.
+        """
+        if self.state is ControllerState.IDLE:
+            raise ProtocolError("set up the slice partition before programming")
+        tile_size = schedule.resources.mccs
+        tiles = self.slice.tiles(tile_size)
+        self.executors = [
+            FoldedExecutor(schedule, tile, self.slice.scratchpad) for tile in tiles
+        ]
+        words_total = 0
+        for executor in self.executors:
+            words_total += executor.load_configuration()
+        words_per_mcc = (
+            words_total // (len(tiles) * tile_size) if tiles else 0
+        )
+        # The config bus of each MCC pair loads in parallel; words for
+        # one MCC stream serially at one word per cache cycle.
+        config_time_s = words_per_mcc / self.clock_hz
+        self.schedule = schedule
+        self.state = ControllerState.CONFIGURED
+        return ProgramReport(
+            tiles=len(tiles),
+            config_words_per_mcc=words_per_mcc,
+            config_words_total=words_total,
+            config_time_s=config_time_s,
+            segments=self.executors[0].segments if self.executors else 0,
+        )
+
+    def verify_configuration(self) -> bool:
+        """Scrub every tile's loaded bitstream against the image.
+
+        A pre-run integrity check (the configuration shares SRAM with
+        whatever previously occupied the ways); returns False if any
+        tile's rows were corrupted.
+        """
+        if self.state is not ControllerState.CONFIGURED:
+            raise ProtocolError("nothing is programmed to verify")
+        return all(
+            executor.verify_configuration() for executor in self.executors
+        )
+
+    # ------------------------------------------------------------------
+    # Step 5: scratchpad access
+    # ------------------------------------------------------------------
+
+    def fill_scratchpad(self, start_word: int, values: Sequence[int]) -> None:
+        if self.state is ControllerState.IDLE:
+            raise ProtocolError("no scratchpad: slice is not partitioned")
+        if self.slice.scratchpad is None:
+            raise DeviceError("partition reserved no scratchpad ways")
+        self.slice.scratchpad.fill_words(start_word, values)
+
+    def read_scratchpad(self, start_word: int, count: int) -> List[int]:
+        if self.state is ControllerState.IDLE:
+            raise ProtocolError("no scratchpad: slice is not partitioned")
+        if self.slice.scratchpad is None:
+            raise DeviceError("partition reserved no scratchpad ways")
+        return self.slice.scratchpad.dump_words(start_word, count)
+
+    # ------------------------------------------------------------------
+    # Step 6: run
+    # ------------------------------------------------------------------
+
+    @property
+    def tiles(self) -> int:
+        return len(self.executors)
+
+    def run_item(
+        self,
+        tile: int,
+        *,
+        streams=None,
+        bindings=None,
+        scratchpad_map: Optional[Dict[str, StreamBinding]] = None,
+        item: int = 0,
+    ):
+        """Run one invocation on one accelerator tile."""
+        if self.state is not ControllerState.CONFIGURED:
+            raise ProtocolError("program the accelerator before running")
+        if not 0 <= tile < len(self.executors):
+            raise DeviceError(f"tile {tile} out of range")
+        self._runs += 1
+        return self.executors[tile].run(
+            streams=streams,
+            bindings=bindings,
+            scratchpad_map=scratchpad_map,
+            item=item,
+        )
+
+    def run_batch(
+        self,
+        items: int,
+        scratchpad_map: Dict[str, StreamBinding],
+    ) -> ExecutionStats:
+        """Run ``items`` invocations, round-robin across the tiles.
+
+        Tiles operate in lock-step on the same schedule, so item *i*
+        goes to tile ``i % tiles`` — the data-parallel split the paper
+        uses ("work is divided evenly across all available accelerator
+        tiles", Sec. V).
+        """
+        if self.state is not ControllerState.CONFIGURED:
+            raise ProtocolError("program the accelerator before running")
+        for item in range(items):
+            executor = self.executors[item % len(self.executors)]
+            executor.run(scratchpad_map=scratchpad_map, item=item)
+        total = ExecutionStats()
+        for executor in self.executors:
+            stats = executor.stats
+            total.invocations += stats.invocations
+            total.cycles = max(total.cycles, stats.cycles)
+            total.lut_evaluations += stats.lut_evaluations
+            total.mac_operations += stats.mac_operations
+            total.bus_loads += stats.bus_loads
+            total.bus_stores += stats.bus_stores
+            total.config_words_loaded += stats.config_words_loaded
+            total.config_reloads += stats.config_reloads
+        return total

@@ -1,0 +1,20 @@
+"""Small shared types for the compute-slice layer.
+
+Kept in their own module to avoid an import cycle between the
+scratchpad/MCC components and the slice that owns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cache.subarray import Subarray
+
+
+@dataclass
+class WayHandle:
+    """A locked way viewed as a flat list of its sub-arrays."""
+
+    way: int
+    subarrays: List[Subarray]

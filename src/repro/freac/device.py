@@ -1,0 +1,187 @@
+"""The full multi-slice FReaC Cache device.
+
+``FreacDevice`` is the top of the public API: it owns one
+reconfigurable compute slice (plus CC Ctrl and host interface) per LLC
+slice, applies partitions, programs accelerators, and runs batches —
+functionally for correctness work, analytically for performance work.
+
+Accelerators in each slice operate independently; work is divided
+across slices in a data-parallel fashion (paper Sec. III-E "FReaC
+Cache in Multi-Core Systems").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits.netlist import Netlist
+from ..errors import ConfigurationError, DeviceError
+from ..folding.config import generate_config
+from ..folding.schedule import FoldingSchedule, TileResources
+from ..folding.scheduler import list_schedule
+from ..memory.dram import DramModel
+from ..params import SystemParams, default_system
+from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
+from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .executor import StreamBinding
+from .hostif import HostInterface
+
+
+@dataclass
+class AcceleratorProgram:
+    """A mapped accelerator plus its folding schedules by tile size."""
+
+    name: str
+    netlist: Netlist
+    lut_inputs: int = 5
+    schedules: Dict[int, FoldingSchedule] = field(default_factory=dict)
+
+    def schedule_for(self, mccs_per_tile: int) -> FoldingSchedule:
+        """Fold the circuit for a tile of ``mccs_per_tile`` clusters."""
+        if mccs_per_tile not in self.schedules:
+            resources = TileResources(
+                mccs=mccs_per_tile, lut_inputs=self.lut_inputs
+            )
+            self.schedules[mccs_per_tile] = list_schedule(self.netlist, resources)
+        return self.schedules[mccs_per_tile]
+
+
+def max_accelerator_tiles(
+    partition: SlicePartition,
+    *,
+    tile_mccs: int,
+    working_set_bytes_per_tile: int,
+    way_bytes: int = 64 * 1024,
+    data_arrays_per_way: int = 4,
+) -> int:
+    """Concurrent accelerator tiles one slice partition supports (Fig. 9).
+
+    Limited both by the MCC budget and by each tile's working set
+    fitting the scratchpad ("the number of concurrent accelerator
+    tiles is also limited by the working set of each accelerator
+    tile", Sec. V-B).
+    """
+    if tile_mccs < 1:
+        raise ConfigurationError("tile size must be at least one MCC")
+    by_compute = partition.mccs(data_arrays_per_way) // tile_mccs
+    if working_set_bytes_per_tile <= 0:
+        return by_compute
+    by_memory = partition.scratchpad_bytes(way_bytes) // working_set_bytes_per_tile
+    return max(0, min(by_compute, by_memory))
+
+
+class FreacDevice:
+    """All LLC slices of the system, FReaC-enabled."""
+
+    def __init__(self, system: Optional[SystemParams] = None) -> None:
+        self.system = system or default_system()
+        dram = DramModel(self.system.dram)
+        clock = self.system.clocking.small_tile_hz
+        self.slices: List[ReconfigurableComputeSlice] = []
+        self.controllers: List[ComputeClusterController] = []
+        self.host_interfaces: List[HostInterface] = []
+        for index in range(self.system.l3_slices):
+            compute_slice = ReconfigurableComputeSlice(self.system.slice_params)
+            controller = ComputeClusterController(compute_slice, dram, clock)
+            self.slices.append(compute_slice)
+            self.controllers.append(controller)
+            self.host_interfaces.append(
+                HostInterface(controller, base_address=0xF000_0000 + (index << 16))
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def slice_count(self) -> int:
+        return len(self.slices)
+
+    def setup(self, partition: SlicePartition,
+              slices: Optional[int] = None) -> List[SetupReport]:
+        """Partition the first ``slices`` slices (all by default)."""
+        count = slices if slices is not None else self.slice_count
+        if not 1 <= count <= self.slice_count:
+            raise ConfigurationError("slice count out of range")
+        return [self.controllers[i].setup(partition) for i in range(count)]
+
+    def program(self, program: AcceleratorProgram,
+                mccs_per_tile: int,
+                slices: Optional[Sequence[int]] = None) -> List[ProgramReport]:
+        """Program partitioned slices with an accelerator.
+
+        By default every partitioned slice gets the same accelerator
+        (the paper's data-parallel mode).  Passing ``slices`` programs
+        only those indices — slices are independent (Sec. III-E), so
+        different accelerators can coexist, one per slice.
+        """
+        schedule = program.schedule_for(mccs_per_tile)
+        if slices is None:
+            targets = [
+                c for c in self.controllers if c.state.value != "idle"
+            ]
+        else:
+            targets = []
+            for index in slices:
+                if not 0 <= index < self.slice_count:
+                    raise ConfigurationError(f"slice {index} out of range")
+                targets.append(self.controllers[index])
+        reports = [controller.program(schedule) for controller in targets]
+        if not reports:
+            raise DeviceError("no slice is partitioned; call setup first")
+        return reports
+
+    def teardown(self) -> None:
+        for controller in self.controllers:
+            controller.teardown()
+
+    # ------------------------------------------------------------------
+    # Functional batch execution (small problem sizes)
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        items: int,
+        scratchpad_map: Dict[str, StreamBinding],
+        *,
+        per_slice_items: Optional[Sequence[int]] = None,
+    ) -> Dict[str, int]:
+        """Run a batch split across slices; returns aggregate counters.
+
+        Items are block-distributed: slice *s* runs items
+        ``[s*chunk, ...)`` against its own scratchpad, mirroring the
+        paper's data-parallel decomposition.
+        """
+        active = [c for c in self.controllers if c.state.value == "configured"]
+        if not active:
+            raise DeviceError("program the device before running")
+        if per_slice_items is None:
+            chunk = -(-items // len(active))
+            per_slice_items = [
+                max(0, min(chunk, items - i * chunk)) for i in range(len(active))
+            ]
+        totals = {
+            "invocations": 0,
+            "lut_evaluations": 0,
+            "mac_operations": 0,
+            "bus_words": 0,
+        }
+        for controller, count in zip(active, per_slice_items):
+            if count == 0:
+                continue
+            stats = controller.run_batch(count, scratchpad_map)
+            totals["invocations"] += stats.invocations
+            totals["lut_evaluations"] += stats.lut_evaluations
+            totals["mac_operations"] += stats.mac_operations
+            totals["bus_words"] += stats.bus_words
+        return totals
+
+    # ------------------------------------------------------------------
+
+    def scratchpad_service_rate(self, partition: SlicePartition) -> float:
+        """Words per cycle one slice's scratchpad sustains (Sec. III-D).
+
+        Scratchpad ways bank the storage, but delivery is serialised
+        through the control box's narrow datapath, which caps the rate
+        at four 32-bit words per cycle.
+        """
+        return float(min(max(partition.scratchpad_ways, 1), 4))

@@ -1,0 +1,341 @@
+"""Cycle-by-cycle functional execution of a folded accelerator.
+
+``FoldedExecutor`` is the model of what the hardware actually does at
+run time (paper Sec. III-B "Operation"): every folding cycle each MCC
+reads one configuration row per LUT unit from its compute sub-arrays
+(a real, counted SRAM access), latches it into the mux tree, routes
+operands through the crossbar (here: the schedule's fanin wiring), and
+fires the MAC and at most one bus operation per cluster.
+
+Its outputs must equal :func:`repro.circuits.simulate` on the same
+netlist — the logic-folding correctness invariant, property-tested in
+``tests/freac/test_executor.py``.
+
+Schedules longer than the sub-array row budget are executed in
+segments: the configuration for the next window of folding steps is
+re-loaded mid-run, and the reload traffic is reported so the timing
+model can charge it (an aspect the paper leaves implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Netlist, NodeKind, WORD_MASK
+from ..errors import CircuitError, DeviceError
+from ..folding.config import ConfigImage, generate_config
+from ..folding.schedule import FoldingSchedule, OpSlot
+from .mcc import MicroComputeCluster
+from .scratchpad import Scratchpad
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed op, for gem5-style activity traces."""
+
+    cycle: int
+    kind: str       # "lut" | "mac" | "load" | "store"
+    nid: int
+    mcc: int
+    unit: int
+    value: int
+
+
+@dataclass(frozen=True)
+class StreamBinding:
+    """Maps a bus stream onto a scratchpad region.
+
+    Word ``index`` of the stream for batch item ``item`` lives at
+    ``base_word + item * words_per_item + index``.
+    """
+
+    base_word: int
+    words_per_item: int
+
+
+@dataclass
+class ExecutionStats:
+    """Counters from one or more invocations."""
+
+    invocations: int = 0
+    cycles: int = 0
+    lut_evaluations: int = 0
+    mac_operations: int = 0
+    bus_loads: int = 0
+    bus_stores: int = 0
+    config_words_loaded: int = 0
+    config_reloads: int = 0
+
+    @property
+    def bus_words(self) -> int:
+        return self.bus_loads + self.bus_stores
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class FoldedExecutor:
+    """Runs a :class:`FoldingSchedule` on a tile of MCCs."""
+
+    def __init__(
+        self,
+        schedule: FoldingSchedule,
+        tile: Sequence[MicroComputeCluster],
+        scratchpad: Optional[Scratchpad] = None,
+    ) -> None:
+        if len(tile) != schedule.resources.mccs:
+            raise DeviceError(
+                f"schedule needs {schedule.resources.mccs} MCCs, tile has "
+                f"{len(tile)}"
+            )
+        self.schedule = schedule
+        self.tile = list(tile)
+        self.scratchpad = scratchpad
+        self.stats = ExecutionStats()
+        rows = self.tile[0].config_rows
+        self.config: ConfigImage = generate_config(schedule, rows_per_subarray=rows)
+        self._rows = rows
+        self._loaded_segment = -1
+        self._ops_by_cycle: Dict[int, List] = {}
+        for op in schedule.ops:
+            self._ops_by_cycle.setdefault(op.cycle, []).append(op)
+        # Sequential state: flip-flop values persist across invocations
+        # in the cluster FF banks.
+        self._ff_state: Dict[int, int] = {
+            node.nid: node.payload or 0
+            for node in schedule.netlist.flipflops()
+        }
+
+    def reset_state(self) -> None:
+        """Reset all flip-flops to their initial values."""
+        for node in self.schedule.netlist.flipflops():
+            self._ff_state[node.nid] = node.payload or 0
+
+    @property
+    def ff_state(self) -> Dict[int, int]:
+        return dict(self._ff_state)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> int:
+        return self.config.reload_segments
+
+    def load_segment(self, segment: int) -> int:
+        """Write one window of folding steps into the sub-arrays."""
+        if not 0 <= segment < self.segments:
+            raise DeviceError(f"segment {segment} out of range")
+        start = segment * self._rows
+        end = min(start + self._rows, self.config.cycles)
+        words_written = 0
+        for mcc_index, mcc in enumerate(self.tile):
+            columns = [
+                np.asarray(column[start:end], dtype=np.uint32)
+                for column in self.config.lut_words[mcc_index]
+            ]
+            words_written += mcc.load_configuration(columns)
+        self._loaded_segment = segment
+        self.stats.config_words_loaded += words_written
+        if segment > 0:
+            self.stats.config_reloads += 1
+        return words_written
+
+    def load_configuration(self) -> int:
+        """Fig. 5 step 4: write the (first segment of the) bitstream."""
+        return self.load_segment(0)
+
+    def verify_configuration(self) -> bool:
+        """Check the loaded segment against the bitstream image.
+
+        Reads every configuration row back (charging real accesses,
+        as a hardware scrub would) and compares with the expected
+        words.  Returns False if any row was corrupted or overwritten.
+        """
+        if self._loaded_segment < 0:
+            raise DeviceError("no configuration segment is loaded")
+        start = self._loaded_segment * self._rows
+        end = min(start + self._rows, self.config.cycles)
+        for mcc_index, mcc in enumerate(self.tile):
+            for unit, column in enumerate(self.config.lut_words[mcc_index]):
+                expected = column[start:end]
+                got = mcc.subarrays[unit].dump_words(0, len(expected))
+                if list(got) != [int(w) for w in expected]:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        streams: Optional[Mapping[str, Sequence[int]]] = None,
+        bindings: Optional[Mapping[str, int]] = None,
+        scratchpad_map: Optional[Mapping[str, StreamBinding]] = None,
+        item: int = 0,
+        collect_trace: bool = False,
+    ) -> "InvocationResult":
+        """Execute one invocation (one batch item) of the accelerator.
+
+        Input operands come either from in-memory ``streams`` (host
+        push model) or from the slice ``scratchpad`` via
+        ``scratchpad_map``; results symmetrically.  With
+        ``collect_trace`` the result carries one :class:`TraceEvent`
+        per executed op, in execution order.
+        """
+        if self._loaded_segment < 0:
+            raise DeviceError("load the configuration before running")
+        if scratchpad_map and self.scratchpad is None:
+            raise DeviceError("scratchpad bindings given but no scratchpad")
+        netlist = self.schedule.netlist
+        values: Dict[int, int] = {}
+        store_streams: Dict[str, Dict[int, int]] = {}
+        streams = streams or {}
+        bindings = bindings or {}
+        scratchpad_map = scratchpad_map or {}
+
+        def value_of(nid: int) -> int:
+            """Resolve a value through wiring nodes (crossbar routing)."""
+            if nid in values:
+                return values[nid]
+            node = netlist.nodes[nid]
+            kind = node.kind
+            if kind is NodeKind.CONST:
+                result = node.payload  # type: ignore[assignment]
+            elif kind is NodeKind.WORD_CONST:
+                result = node.payload & WORD_MASK  # type: ignore[operator]
+            elif kind is NodeKind.BIT_INPUT or kind is NodeKind.WORD_INPUT:
+                name = node.payload
+                if name not in bindings:
+                    raise CircuitError(f"missing binding for input {name!r}")
+                mask = 1 if kind is NodeKind.BIT_INPUT else WORD_MASK
+                result = bindings[name] & mask
+            elif kind is NodeKind.BITSLICE:
+                result = (value_of(node.fanins[0]) >> node.payload) & 1  # type: ignore[operator]
+            elif kind is NodeKind.PACK:
+                result = 0
+                for position, fanin in enumerate(node.fanins):
+                    result |= (value_of(fanin) & 1) << position
+            elif kind is NodeKind.FLIPFLOP:
+                result = self._ff_state.get(nid, node.payload or 0)
+            else:
+                raise DeviceError(
+                    f"op node {nid} ({kind.value}) read before its cycle — "
+                    "the schedule is not dependence-correct"
+                )
+            values[nid] = result
+            return result
+
+        trace: List[TraceEvent] = []
+        total_cycles = self.schedule.compute_cycles
+        for cycle in range(1, total_cycles + 1):
+            segment = (cycle - 1) // self._rows
+            if segment != self._loaded_segment:
+                self.load_segment(segment)
+            local_cycle = (cycle - 1) % self._rows + 1
+            for op in self._ops_by_cycle.get(cycle, ()):  # deterministic order
+                node = netlist.nodes[op.nid]
+                if op.slot is OpSlot.LUT:
+                    width = node.payload[0]  # type: ignore[index]
+                    bits = [value_of(f) for f in node.fanins]
+                    bits += [0] * (self.tile[op.mcc].lut_inputs - width)
+                    values[op.nid] = self.tile[op.mcc].evaluate_lut(
+                        op.unit, local_cycle, bits
+                    )
+                    self.tile[op.mcc].registers.write(op.nid, values[op.nid], 1)
+                    self.stats.lut_evaluations += 1
+                    kind = "lut"
+                elif op.slot is OpSlot.MAC:
+                    a, b, acc = (value_of(f) for f in node.fanins)
+                    values[op.nid] = self.tile[op.mcc].mac.mac(a, b, acc)
+                    self.tile[op.mcc].registers.write(op.nid, values[op.nid], 32)
+                    self.stats.mac_operations += 1
+                    kind = "mac"
+                elif node.kind is NodeKind.BUS_LOAD:
+                    stream, index = node.payload  # type: ignore[misc]
+                    values[op.nid] = self._bus_read(
+                        stream, index, item, streams, scratchpad_map
+                    )
+                    self.stats.bus_loads += 1
+                    kind = "load"
+                else:  # BUS_STORE
+                    stream, index = node.payload  # type: ignore[misc]
+                    word = value_of(node.fanins[0]) & WORD_MASK
+                    self._bus_write(
+                        stream, index, item, word, scratchpad_map, store_streams
+                    )
+                    values[op.nid] = word
+                    self.stats.bus_stores += 1
+                    kind = "store"
+                if collect_trace:
+                    trace.append(
+                        TraceEvent(cycle, kind, op.nid, op.mcc, op.unit,
+                                   values[op.nid])
+                    )
+        self.stats.cycles += self.schedule.fold_cycles
+        self.stats.invocations += 1
+        # Clock edge: latch every flip-flop's next state.
+        next_state = {
+            node.nid: value_of(node.fanins[0]) & 1
+            for node in netlist.flipflops()
+            if node.fanins
+        }
+        outputs = {name: value_of(nid) for name, nid in netlist.outputs.items()}
+        self._ff_state.update(next_state)
+        for mcc in self.tile:
+            mcc.registers.clear()
+        stores = {
+            stream: [by_index[i] for i in sorted(by_index)]
+            for stream, by_index in store_streams.items()
+        }
+        return InvocationResult(outputs=outputs, stores=stores, trace=trace)
+
+    # ------------------------------------------------------------------
+
+    def _bus_read(
+        self,
+        stream: str,
+        index: int,
+        item: int,
+        streams: Mapping[str, Sequence[int]],
+        scratchpad_map: Mapping[str, StreamBinding],
+    ) -> int:
+        if stream in scratchpad_map:
+            binding = scratchpad_map[stream]
+            assert self.scratchpad is not None
+            word = binding.base_word + item * binding.words_per_item + index
+            return self.scratchpad.read_word(word)
+        if stream in streams:
+            data = streams[stream]
+            if index >= len(data):
+                raise CircuitError(f"stream {stream!r} exhausted at {index}")
+            return data[index] & WORD_MASK
+        raise CircuitError(f"no source for load stream {stream!r}")
+
+    def _bus_write(
+        self,
+        stream: str,
+        index: int,
+        item: int,
+        word: int,
+        scratchpad_map: Mapping[str, StreamBinding],
+        store_streams: Dict[str, Dict[int, int]],
+    ) -> None:
+        if stream in scratchpad_map:
+            binding = scratchpad_map[stream]
+            assert self.scratchpad is not None
+            address = binding.base_word + item * binding.words_per_item + index
+            self.scratchpad.write_word(address, word)
+        store_streams.setdefault(stream, {})[index] = word
+
+
+@dataclass
+class InvocationResult:
+    outputs: Dict[str, int] = field(default_factory=dict)
+    stores: Dict[str, List[int]] = field(default_factory=dict)
+    trace: List[TraceEvent] = field(default_factory=list)

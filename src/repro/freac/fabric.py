@@ -1,0 +1,125 @@
+"""The inter-cluster switch fabric (paper Sec. III-E, V-A).
+
+"We place a switch box in-between groups of four micro compute
+clusters, and an additional switch box to cross the tag arrays and
+control box, to enable X-Y routing.  Hence, we have a total of 28
+(7X4) switch boxes, placed across 16 ways of the cache, creating an
+interconnect fabric between the 8X4 micro compute cluster tiles."
+
+This module models that grid structurally: MCC tiles sit on an 8x4
+grid, switch boxes on a 7x4 grid between them, and routes follow
+dimension-ordered X-Y paths.  It answers the questions the paper's
+area/timing analysis needed: how many links does a route cross (the
+worst case is the 10-link corner-to-corner path checked against the
+wire model), and how many configuration bits the static routes of an
+accelerator tile need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+# Grid geometry (Sec. V-A).
+MCC_COLUMNS = 8
+MCC_ROWS = 4
+SWITCH_COLUMNS = 7
+SWITCH_ROWS = 4
+
+
+@dataclass(frozen=True)
+class SwitchFabric:
+    """An X-Y routed switch grid over the slice's MCC tiles."""
+
+    mcc_columns: int = MCC_COLUMNS
+    mcc_rows: int = MCC_ROWS
+    link_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mcc_columns < 2 or self.mcc_rows < 1:
+            raise ConfigurationError("fabric needs at least a 2x1 MCC grid")
+
+    @property
+    def switch_columns(self) -> int:
+        return self.mcc_columns - 1
+
+    @property
+    def switch_rows(self) -> int:
+        return self.mcc_rows
+
+    @property
+    def switch_boxes(self) -> int:
+        return self.switch_columns * self.switch_rows
+
+    @property
+    def mccs(self) -> int:
+        return self.mcc_columns * self.mcc_rows
+
+    # ------------------------------------------------------------------
+
+    def position(self, mcc: int) -> Tuple[int, int]:
+        """(column, row) of an MCC tile on the grid."""
+        if not 0 <= mcc < self.mccs:
+            raise ConfigurationError(f"MCC {mcc} outside the grid")
+        return mcc % self.mcc_columns, mcc // self.mcc_columns
+
+    def route(self, source: int, destination: int) -> List[Tuple[int, int]]:
+        """Dimension-ordered (X then Y) switch-box path between MCCs.
+
+        Returns the switch coordinates the route traverses; each step
+        between consecutive points (and the entry/exit taps) is one
+        link.
+        """
+        sx, sy = self.position(source)
+        dx, dy = self.position(destination)
+
+        # An MCC in column x attaches to the switch on its left
+        # (column x-1), except column 0 which attaches to switch 0.
+        def attach(column: int) -> int:
+            return max(column - 1, 0)
+
+        entry_col, exit_col = attach(sx), attach(dx)
+        path: List[Tuple[int, int]] = [(entry_col, sy)]
+        # X leg along the source row.
+        if exit_col != entry_col:
+            step = 1 if exit_col > entry_col else -1
+            for col in range(entry_col + step, exit_col + step, step):
+                path.append((col, sy))
+        # Y leg along the exit column.
+        if dy != sy:
+            step = 1 if dy > sy else -1
+            for row in range(sy + step, dy + step, step):
+                path.append((exit_col, row))
+        return path
+
+    def links(self, source: int, destination: int) -> int:
+        """Switch traversals on the route (the paper's "links")."""
+        if source == destination:
+            return 0
+        return len(self.route(source, destination))
+
+    def worst_case_links(self) -> int:
+        worst = 0
+        for source in range(self.mccs):
+            for destination in range(self.mccs):
+                worst = max(worst, self.links(source, destination))
+        return worst
+
+    # ------------------------------------------------------------------
+
+    def tile_route_config_bits(self, mccs_per_tile: int,
+                               select_bits: int = 8) -> int:
+        """Static-route configuration bits for one accelerator tile.
+
+        Every MCC of a ganged tile keeps a configured route to its
+        neighbour in a chain (operand forwarding); each traversed
+        switch needs one select field per link.
+        """
+        if mccs_per_tile < 1:
+            raise ConfigurationError("tiles have at least one MCC")
+        total_links = 0
+        for index in range(mccs_per_tile - 1):
+            total_links += self.links(index, index + 1)
+        return total_links * select_bits

@@ -1,0 +1,165 @@
+"""The load/store host interface (paper Sec. III-C "Host Interface").
+
+FReaC Cache adds **no instructions**: "A range of addresses per slice
+is reserved for FReaC Cache operations, such that control registers
+for the CC Ctrl unit are exposed to the host core."  This module is
+that register file.  The host performs plain 32-bit stores and loads
+to the reserved range; the interface decodes them into CC Ctrl
+operations.
+
+Register map (word offsets within a slice's reserved range)::
+
+    0x00  CMD         write: command opcode (see Command)
+    0x01  ARG0        command argument (e.g. compute ways)
+    0x02  ARG1        command argument (e.g. scratchpad ways)
+    0x03  STATUS      read: ControllerState ordinal | DONE flag
+    0x04  CONFIG_DATA write: streamed configuration words
+    0x05  RUN_ITEMS   write: number of batch items, triggers run
+    0x06  SCRATCH_PTR write: scratchpad word pointer for data window
+    0x07  SCRATCH_WIN read/write: data window at SCRATCH_PTR (auto-inc)
+
+In a real system a kernel driver maps this range into user space with
+``ioremap``/``mmap`` (Sec. III-C); here `HostInterface.store/load`
+stand in for the user program's LD/ST instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import DeviceError, ProtocolError
+from .ccctrl import ComputeClusterController, ControllerState
+from .compute_slice import SlicePartition
+
+
+class Register(enum.IntEnum):
+    CMD = 0x00
+    ARG0 = 0x01
+    ARG1 = 0x02
+    STATUS = 0x03
+    CONFIG_DATA = 0x04
+    RUN_ITEMS = 0x05
+    SCRATCH_PTR = 0x06
+    SCRATCH_WIN = 0x07
+
+
+class Command(enum.IntEnum):
+    NOP = 0
+    SETUP = 1      # ARG0 = compute ways, ARG1 = scratchpad ways
+    TEARDOWN = 2
+    RUN = 3        # legacy alias of RUN_ITEMS write
+
+
+STATUS_DONE = 1 << 8
+
+
+class HostInterface:
+    """Decodes LD/ST traffic to the reserved range into CC Ctrl calls."""
+
+    def __init__(
+        self,
+        controller: ComputeClusterController,
+        base_address: int = 0xF000_0000,
+    ) -> None:
+        if base_address % 4:
+            raise DeviceError("the reserved range must be word aligned")
+        self.controller = controller
+        self.base_address = base_address
+        self._regs: Dict[int, int] = {reg: 0 for reg in Register}
+        self._done = False
+        self.setup_report = None
+        self.mmio_stores = 0
+        self.mmio_loads = 0
+
+    # ------------------------------------------------------------------
+
+    def owns(self, address: int) -> bool:
+        offset = (address - self.base_address) // 4
+        return address >= self.base_address and offset < len(Register)
+
+    def _decode(self, address: int) -> Register:
+        if address % 4:
+            raise DeviceError("MMIO accesses must be word aligned")
+        offset = (address - self.base_address) // 4
+        if not self.owns(address):
+            raise DeviceError(f"address {address:#x} outside the reserved range")
+        return Register(offset)
+
+    # ------------------------------------------------------------------
+
+    def store(self, address: int, value: int) -> None:
+        """A host ST instruction to the reserved range."""
+        register = self._decode(address)
+        self.mmio_stores += 1
+        value &= 0xFFFFFFFF
+        if register in (Register.ARG0, Register.ARG1, Register.SCRATCH_PTR):
+            self._regs[register] = value
+        elif register is Register.CMD:
+            self._command(Command(value))
+        elif register is Register.CONFIG_DATA:
+            raise ProtocolError(
+                "raw CONFIG_DATA streaming is handled by "
+                "ComputeClusterController.program in this model"
+            )
+        elif register is Register.SCRATCH_WIN:
+            pointer = self._regs[Register.SCRATCH_PTR]
+            self.controller.fill_scratchpad(pointer, [value])
+            self._regs[Register.SCRATCH_PTR] = pointer + 1
+        elif register is Register.RUN_ITEMS:
+            raise ProtocolError(
+                "functional runs need stream bindings; use "
+                "ComputeClusterController.run_batch (the register exists "
+                "for the timing path)"
+            )
+        else:
+            raise DeviceError(f"register {register.name} is read-only")
+
+    def load(self, address: int) -> int:
+        """A host LD instruction from the reserved range."""
+        register = self._decode(address)
+        self.mmio_loads += 1
+        if register is Register.STATUS:
+            status = list(ControllerState).index(self.controller.state)
+            if self._done:
+                status |= STATUS_DONE
+            return status
+        if register is Register.SCRATCH_WIN:
+            pointer = self._regs[Register.SCRATCH_PTR]
+            value = self.controller.read_scratchpad(pointer, 1)[0]
+            self._regs[Register.SCRATCH_PTR] = pointer + 1
+            return value
+        return self._regs.get(register, 0)
+
+    # ------------------------------------------------------------------
+
+    def mark_done(self) -> None:
+        self._done = True
+
+    def _command(self, command: Command) -> None:
+        if command is Command.NOP:
+            return
+        if command is Command.SETUP:
+            partition = SlicePartition(
+                compute_ways=self._regs[Register.ARG0],
+                scratchpad_ways=self._regs[Register.ARG1],
+                total_ways=self.controller.slice.params.ways,
+            )
+            self.setup_report = self.controller.setup(partition)
+        elif command is Command.TEARDOWN:
+            self.controller.teardown()
+            self._done = False
+        else:
+            raise ProtocolError(f"unsupported command {command}")
+
+    # Convenience wrappers used by the examples -------------------------
+
+    def reg_address(self, register: Register) -> int:
+        return self.base_address + 4 * int(register)
+
+    def setup(self, compute_ways: int, scratchpad_ways: int) -> None:
+        """Issue the SETUP sequence exactly as a host program would."""
+        self.store(self.reg_address(Register.ARG0), compute_ways)
+        self.store(self.reg_address(Register.ARG1), scratchpad_ways)
+        self.store(self.reg_address(Register.CMD), int(Command.SETUP))

@@ -1,0 +1,150 @@
+"""Micro compute cluster (MCC) state (paper Sec. III-B, Fig. 6b).
+
+An MCC groups four compute sub-arrays (two data arrays in adjacent
+ways) with cluster logic: per-sub-array memory latch + mux tree (the
+:class:`FoldedLut`), a 256-bit flip-flop bank, a 32-bit MAC unit, and
+an operand crossbar.  The cluster logic lives *outside* the
+sub-arrays, which stay untouched.
+
+Configuration storage: the LUT truth table for folding step *t* of
+LUT unit *u* sits in row *t* of the unit's sub-array; the executor
+reads it through the sub-array (charging a real access) each cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CapacityError, DeviceError
+from ..params import MccParams
+from ..cache.subarray import Subarray
+from .lut import FoldedLut
+
+
+class MacUnit:
+    """The cluster's integer multiply-accumulate unit."""
+
+    MASK = 0xFFFFFFFF
+
+    def __init__(self) -> None:
+        self.operations = 0
+
+    def mac(self, a: int, b: int, acc: int) -> int:
+        self.operations += 1
+        return (a * b + acc) & self.MASK
+
+
+class RegisterBank:
+    """The 256-bit intermediate-value flip-flop bank.
+
+    Functionally a scoreboard of named values; the capacity constraint
+    is enforced by the folding scheduler's pressure pass, so here we
+    only track occupancy for assertions and statistics.
+    """
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+        self._values: Dict[int, int] = {}
+        self._widths: Dict[int, int] = {}
+        self.peak_bits = 0
+
+    def write(self, key: int, value: int, width: int) -> None:
+        self._values[key] = value
+        self._widths[key] = width
+        occupancy = sum(self._widths.values())
+        self.peak_bits = max(self.peak_bits, occupancy)
+
+    def read(self, key: int) -> int:
+        if key not in self._values:
+            raise DeviceError(f"register value {key} was never latched")
+        return self._values[key]
+
+    def release(self, key: int) -> None:
+        self._values.pop(key, None)
+        self._widths.pop(key, None)
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._widths.clear()
+
+
+class MicroComputeCluster:
+    """Four compute sub-arrays plus cluster logic."""
+
+    def __init__(
+        self,
+        index: int,
+        subarrays: Sequence[Subarray],
+        params: Optional[MccParams] = None,
+        lut_inputs: int = 5,
+    ) -> None:
+        self.params = params or MccParams()
+        if len(subarrays) != self.params.subarrays:
+            raise DeviceError(
+                f"an MCC groups {self.params.subarrays} sub-arrays, got "
+                f"{len(subarrays)}"
+            )
+        self.index = index
+        self.subarrays = list(subarrays)
+        self.lut_inputs = lut_inputs
+        self.luts: List[FoldedLut] = [
+            FoldedLut(lut_inputs) for _ in range(self.params.lut_slots(lut_inputs))
+        ]
+        self.mac = MacUnit()
+        self.registers = RegisterBank(self.params.register_file_bits)
+        self._config_cycles = 0
+
+    @property
+    def config_rows(self) -> int:
+        return self.subarrays[0].rows
+
+    def load_configuration(self, lut_words: Sequence[np.ndarray]) -> int:
+        """Write per-cycle LUT config words into the sub-arrays.
+
+        ``lut_words[u][t]`` is the word for LUT unit ``u`` at folding
+        step ``t``.  Returns the number of words written (the config
+        write traffic the CC Ctrl forwards over the data bus).
+        """
+        if len(lut_words) > len(self.subarrays):
+            raise CapacityError("more LUT columns than sub-arrays")
+        written = 0
+        for unit, words in enumerate(lut_words):
+            if len(words) > self.config_rows:
+                raise CapacityError(
+                    f"{len(words)} folding steps exceed the sub-array's "
+                    f"{self.config_rows} rows; segment the configuration"
+                )
+            self.subarrays[unit].load_words(0, np.asarray(words, dtype=np.uint32))
+            written += len(words)
+        self._config_cycles = max(
+            (len(words) for words in lut_words), default=0
+        )
+        return written
+
+    def fetch_lut_config(self, unit: int, cycle: int) -> int:
+        """Read the config row for (unit, folding step) — one access."""
+        subarray = self.subarrays[self._unit_subarray(unit)]
+        word = subarray.read_row(cycle - 1)
+        if self.lut_inputs == 4:
+            word = (word >> (16 * (unit % 2))) & 0xFFFF
+        return word
+
+    def _unit_subarray(self, unit: int) -> int:
+        if self.lut_inputs == 4:
+            return unit // 2
+        return unit
+
+    def evaluate_lut(self, unit: int, cycle: int, input_bits: Sequence[int]) -> int:
+        """One folding step of one LUT: reconfigure from SRAM, evaluate."""
+        if not 0 <= unit < len(self.luts):
+            raise DeviceError(f"LUT unit {unit} out of range")
+        config = self.fetch_lut_config(unit, cycle)
+        lut = self.luts[unit]
+        lut.reconfigure(config)
+        return lut.evaluate(list(input_bits))
+
+    @property
+    def subarray_reads(self) -> int:
+        return sum(sub.reads for sub in self.subarrays)

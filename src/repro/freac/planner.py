@@ -1,0 +1,117 @@
+"""Partition planning: pick a compute:memory:cache split for a kernel.
+
+The paper leaves the split to the user ("allowing the user to choose
+how much of LLC to use for computation", Sec. I) and studies the
+trade-off empirically (Figs. 9/11 and the Sec. VI interference study).
+This module turns that study into an API: enumerate way splits,
+apply the working-set tile limit, evaluate the timing model over tile
+sizes, and honour a minimum retained cache for co-running work.
+
+This is one of the "future work" conveniences DESIGN.md lists as an
+extension beyond the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..workloads.suite import BenchmarkSpec
+from .compute_slice import SlicePartition
+
+# Default sweep: every even compute-way count with the rest split
+# between scratchpad and retained cache.
+DEFAULT_TILE_SIZES = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """One evaluated configuration."""
+
+    partition: SlicePartition
+    tile_mccs: int
+    tiles_per_slice: int
+    end_to_end_s: float
+    kernel_s: float
+    power_w: float
+    speedup_vs_single_thread: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.partition.label()} / {self.tile_mccs}-MCC tiles "
+            f"x {self.tiles_per_slice}"
+        )
+
+
+def candidate_partitions(
+    total_ways: int = 20, min_cache_ways: int = 0
+) -> List[SlicePartition]:
+    """All way splits with paired compute ways and the cache floor."""
+    if not 0 <= min_cache_ways <= total_ways - 2:
+        raise ConfigurationError("cache floor leaves no compute ways")
+    partitions = []
+    for compute in range(2, total_ways - min_cache_ways + 1, 2):
+        for scratch in range(0, total_ways - min_cache_ways - compute + 1):
+            partitions.append(
+                SlicePartition(compute, scratch, total_ways=total_ways)
+            )
+    return partitions
+
+
+def plan_partition(
+    spec: BenchmarkSpec,
+    *,
+    slices: int = 8,
+    min_cache_ways: int = 0,
+    tile_sizes: Sequence[int] = DEFAULT_TILE_SIZES,
+    optimize: str = "end_to_end",
+) -> Optional[PartitionPlan]:
+    """The best feasible configuration for ``spec``, or None.
+
+    ``min_cache_ways`` reserves LLC per slice for co-running
+    applications (the Fig. 15 scenario: 2 ways keeps 1 MB of the
+    10 MB LLC as cache).
+    """
+    from ..experiments.common import (  # local import: avoids a cycle
+        best_freac_estimate,
+        cpu_baseline,
+    )
+
+    if optimize not in ("end_to_end", "kernel"):
+        raise ConfigurationError("optimize must be 'end_to_end' or 'kernel'")
+    cpu = cpu_baseline()
+    single = cpu.estimate(spec, threads=1)
+    baseline_s = (
+        single.end_to_end_s if optimize == "end_to_end" else single.kernel_s
+    )
+    best_plan: Optional[PartitionPlan] = None
+    for partition in candidate_partitions(min_cache_ways=min_cache_ways):
+        if partition.scratchpad_ways == 0:
+            continue  # accelerators need operand storage
+        estimate = best_freac_estimate(
+            spec, partition, slices, tile_sizes,
+            by="kernel" if optimize == "kernel" else "end_to_end",
+        )
+        if estimate is None:
+            continue
+        target_s = (
+            estimate.end_to_end_s if optimize == "end_to_end"
+            else estimate.kernel_s
+        )
+        plan = PartitionPlan(
+            partition=partition,
+            tile_mccs=estimate.tile_mccs,
+            tiles_per_slice=estimate.tiles_per_slice,
+            end_to_end_s=estimate.end_to_end_s,
+            kernel_s=estimate.kernel_s,
+            power_w=estimate.power_w,
+            speedup_vs_single_thread=baseline_s / target_s,
+        )
+        if best_plan is None or target_s < (
+            best_plan.end_to_end_s if optimize == "end_to_end"
+            else best_plan.kernel_s
+        ):
+            best_plan = plan
+    return best_plan

@@ -1,0 +1,132 @@
+"""High-level workload runner: dataset -> scratchpad -> verify.
+
+Wraps the Fig. 5 flow for a whole benchmark batch: generate (or
+accept) a dataset, lay its streams out in each slice's scratchpad,
+program the accelerator, run data-parallel across slices, read the
+results back, and check them against the reference — the convenience
+layer a downstream user of the library would reach for first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits.library import build_pe, mapped_pe
+from ..errors import CapacityError, DeviceError
+from ..workloads.datagen import Dataset, dataset_for
+from .compute_slice import SlicePartition
+from .device import AcceleratorProgram, FreacDevice
+from .executor import StreamBinding
+
+
+@dataclass
+class WorkloadRunReport:
+    """Outcome of one functional batch run."""
+
+    benchmark: str
+    items: int
+    slices_used: int
+    tiles_per_slice: int
+    verified: bool
+    mismatches: int = 0
+    invocations: int = 0
+    mac_operations: int = 0
+    lut_evaluations: int = 0
+    bus_words: int = 0
+    layout: Dict[str, StreamBinding] = field(default_factory=dict)
+
+
+def plan_layout(dataset: Dataset, scratchpad_words: int) -> Dict[str, StreamBinding]:
+    """Pack every stream's per-item regions into the scratchpad."""
+    pe = build_pe(dataset.benchmark)
+    layout: Dict[str, StreamBinding] = {}
+    offset = 0
+    for stream, words in sorted(pe.loads.items()):
+        layout[stream] = StreamBinding(offset, words)
+        offset += words * dataset.items
+    for stream, words in sorted(pe.stores.items()):
+        layout[stream] = StreamBinding(offset, words)
+        offset += words * dataset.items
+    if offset > scratchpad_words:
+        raise CapacityError(
+            f"{dataset.benchmark} batch of {dataset.items} items needs "
+            f"{offset} scratchpad words but only {scratchpad_words} exist; "
+            "shrink the batch or give the partition more scratchpad ways"
+        )
+    return layout
+
+
+def run_workload(
+    device: FreacDevice,
+    name: str,
+    items: int,
+    *,
+    partition: Optional[SlicePartition] = None,
+    mccs_per_tile: int = 1,
+    seed: int = 0,
+    dataset: Optional[Dataset] = None,
+) -> WorkloadRunReport:
+    """Run ``items`` invocations of benchmark ``name``, data-parallel
+    across every slice, and verify each result."""
+    partition = partition or SlicePartition(compute_ways=4, scratchpad_ways=4)
+    if partition.scratchpad_ways == 0:
+        raise DeviceError("the runner needs scratchpad ways for operands")
+    dataset = dataset or dataset_for(name, items, seed=seed)
+    if dataset.items != items:
+        raise DeviceError("dataset size does not match requested items")
+
+    device.setup(partition)
+    program = AcceleratorProgram(name.upper(), mapped_pe(name))
+    device.program(program, mccs_per_tile)
+
+    slices = device.slice_count
+    pad_words = device.controllers[0].slice.scratchpad.words
+    layout = plan_layout(dataset, pad_words)
+    pe = build_pe(name)
+
+    # Block-distribute items over slices; each slice sees its chunk at
+    # local item indices 0..chunk-1.
+    chunk = -(-items // slices)
+    per_slice_items: List[int] = []
+    for slice_index, controller in enumerate(device.controllers):
+        begin = slice_index * chunk
+        count = max(0, min(chunk, items - begin))
+        per_slice_items.append(count)
+        for local in range(count):
+            for stream in pe.loads:
+                binding = layout[stream]
+                controller.fill_scratchpad(
+                    binding.base_word + local * binding.words_per_item,
+                    dataset.loads[stream][begin + local],
+                )
+
+    totals = device.run_batch(items, layout, per_slice_items=per_slice_items)
+
+    mismatches = 0
+    for slice_index, controller in enumerate(device.controllers):
+        begin = slice_index * chunk
+        for local in range(per_slice_items[slice_index]):
+            for stream in pe.stores:
+                binding = layout[stream]
+                got = controller.read_scratchpad(
+                    binding.base_word + local * binding.words_per_item,
+                    binding.words_per_item,
+                )
+                if got != dataset.expected[stream][begin + local]:
+                    mismatches += 1
+    device.teardown()
+
+    return WorkloadRunReport(
+        benchmark=name.upper(),
+        items=items,
+        slices_used=slices,
+        tiles_per_slice=partition.mccs() // mccs_per_tile,
+        verified=mismatches == 0,
+        mismatches=mismatches,
+        invocations=totals["invocations"],
+        mac_operations=totals["mac_operations"],
+        lut_evaluations=totals["lut_evaluations"],
+        bus_words=totals["bus_words"],
+        layout=layout,
+    )

@@ -1,0 +1,100 @@
+"""Scratchpads built from locked LLC ways (paper Sec. III-D).
+
+"By locking-out ways in the cache, we allow the CC Ctrl to route
+accelerator loads and stores to the sub-arrays in the ways reserved
+for the scratchpad."  Words are interleaved across the way's
+sub-arrays so that, as in the paper, up to 32 bytes per way are
+activated per access while delivery over the shared data bus is
+serialised (the timing model charges that serialisation).
+
+The scratchpad is word-addressable (32-bit) for the accelerators and
+byte-fillable for the host, which initialises data *directly* into it
+to skip a copy (Fig. 5 step 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import CapacityError, DeviceError
+from .compute_slice_types import WayHandle
+
+
+class Scratchpad:
+    """Word-addressable storage over one or more locked ways."""
+
+    def __init__(self, ways: Sequence["WayHandle"]) -> None:
+        if not ways:
+            raise DeviceError("a scratchpad needs at least one locked way")
+        self._ways = list(ways)
+        first = self._ways[0]
+        self._subarrays_per_way = len(first.subarrays)
+        self._rows = first.subarrays[0].rows
+        for way in self._ways:
+            if len(way.subarrays) != self._subarrays_per_way:
+                raise DeviceError("scratchpad ways must be homogeneous")
+        self._words_per_way = self._subarrays_per_way * self._rows
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def words(self) -> int:
+        return self._words_per_way * len(self._ways)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.words * 4
+
+    def _route(self, word_index: int):
+        if not 0 <= word_index < self.words:
+            raise CapacityError(
+                f"scratchpad word {word_index} out of range (capacity "
+                f"{self.words} words / {self.size_bytes} bytes)"
+            )
+        way = self._ways[word_index // self._words_per_way]
+        local = word_index % self._words_per_way
+        # Interleave consecutive words across the way's sub-arrays so a
+        # way can activate them in lock-step.
+        subarray = way.subarrays[local % self._subarrays_per_way]
+        row = local // self._subarrays_per_way
+        return subarray, row
+
+    def read_word(self, word_index: int) -> int:
+        subarray, row = self._route(word_index)
+        self.reads += 1
+        return subarray.read_row(row)
+
+    def write_word(self, word_index: int, value: int) -> None:
+        subarray, row = self._route(word_index)
+        self.writes += 1
+        subarray.write_row(row, value & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Host-side bulk operations
+    # ------------------------------------------------------------------
+
+    def fill_words(self, start_word: int, values: Sequence[int]) -> None:
+        """Host initialisation path: store each word in sequence."""
+        for offset, value in enumerate(values):
+            self.write_word(start_word + offset, int(value))
+
+    def fill_bytes(self, start_byte: int, data: bytes) -> None:
+        if start_byte % 4 or len(data) % 4:
+            raise DeviceError("scratchpad fills must be word-aligned")
+        words = np.frombuffer(data, dtype="<u4")
+        self.fill_words(start_byte // 4, [int(w) for w in words])
+
+    def dump_words(self, start_word: int, count: int) -> List[int]:
+        return [self.read_word(start_word + offset) for offset in range(count)]
+
+    def dump_bytes(self, start_byte: int, size: int) -> bytes:
+        if start_byte % 4 or size % 4:
+            raise DeviceError("scratchpad dumps must be word-aligned")
+        words = self.dump_words(start_byte // 4, size // 4)
+        return b"".join(int(w).to_bytes(4, "little") for w in words)
+
+    @property
+    def access_count(self) -> int:
+        return self.reads + self.writes

@@ -1,0 +1,6 @@
+"""Off-chip memory and on-chip bus models."""
+
+from .dram import DramModel
+from .bus import SharedBus, BusStats
+
+__all__ = ["DramModel", "SharedBus", "BusStats"]

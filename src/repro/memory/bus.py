@@ -1,0 +1,69 @@
+"""Shared-bus serialisation model.
+
+Two places in FReaC Cache serialise on shared buses (paper Sec. II
+observation 4 and Sec. III-D "Operand Movement"):
+
+* data arrays in a way share one data bus, so line reads/writes move
+  word by word;
+* all accelerator tiles in a slice issue their lock-step memory
+  requests onto the operand data path at once, and "the clusters will
+  stall till all requests are serviced".
+
+``SharedBus`` captures that with a simple occupancy model: each
+requester transfers ``words`` bus words; concurrent requests from N
+requesters take N times as long as one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BusStats:
+    transactions: int = 0
+    words_moved: int = 0
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+
+
+@dataclass
+class SharedBus:
+    """A bus moving one ``width_bits`` word per cycle."""
+
+    width_bits: int = 32
+    stats: BusStats = field(default_factory=BusStats)
+
+    def words_for_bytes(self, size_bytes: int) -> int:
+        word_bytes = self.width_bits // 8
+        return (size_bytes + word_bytes - 1) // word_bytes
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles for one requester to move ``words`` words."""
+        if words < 0:
+            raise ValueError("cannot transfer a negative number of words")
+        self.stats.transactions += 1
+        self.stats.words_moved += words
+        self.stats.busy_cycles += words
+        return words
+
+    def broadcast_cycles(self, words: int) -> int:
+        """A broadcast occupies the bus once regardless of receivers."""
+        return self.transfer_cycles(words)
+
+    def contended_cycles(self, requesters: int, words_each: int) -> int:
+        """Lock-step requests from ``requesters`` clients serialise.
+
+        Every client waits until the last one is serviced, so each
+        observes the full serialised latency; the excess over a private
+        bus is recorded as stall cycles.
+        """
+        if requesters < 0:
+            raise ValueError("requesters must be non-negative")
+        if requesters == 0 or words_each == 0:
+            return 0
+        total = 0
+        for _ in range(requesters):
+            total += self.transfer_cycles(words_each)
+        self.stats.stall_cycles += total - words_each
+        return total

@@ -1,0 +1,57 @@
+"""DRAM timing and energy model (4 channels of DDR4-2400, Table I).
+
+Bulk transfers are bandwidth-limited; single accesses pay the ~56 ns
+access latency the paper's introduction quotes.  This is the cost
+model behind way flushing ("flush speed is limited by off-chip memory
+bandwidth", Sec. III-C) and behind CPU/FPGA baseline memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import DramParams
+
+
+@dataclass
+class DramModel:
+    params: DramParams = None  # type: ignore[assignment]
+    # Sustained fraction of peak bandwidth a real controller achieves.
+    efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.params is None:
+            self.params = DramParams()
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("DRAM efficiency must be in (0, 1]")
+
+    @property
+    def sustained_bandwidth_bytes_s(self) -> float:
+        return self.params.peak_bandwidth_bytes_s * self.efficiency
+
+    def access_latency_s(self) -> float:
+        """Latency of one isolated line access."""
+        return self.params.access_latency_s
+
+    def transfer_time_s(self, size_bytes: int) -> float:
+        """Time to stream ``size_bytes`` to/from DRAM.
+
+        One access latency to open the stream, then bandwidth-bound.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        return (
+            self.params.access_latency_s
+            + size_bytes / self.sustained_bandwidth_bytes_s
+        )
+
+    def transfer_energy_j(self, size_bytes: int) -> float:
+        return size_bytes * 8 * self.params.energy_per_bit_j
+
+    def flush_time_s(self, dirty_bytes: int) -> float:
+        """Time to write back ``dirty_bytes`` of flushed LLC lines.
+
+        For a full 10 MB LLC this lands in the hundreds of
+        microseconds, matching the paper's Sec. III-C estimate.
+        """
+        return self.transfer_time_s(dirty_bytes)

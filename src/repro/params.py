@@ -1,0 +1,338 @@
+"""Architecture parameter sets.
+
+This module centralises every number the paper's evaluation fixes:
+
+* Table I  — system simulation parameters (8-core A15-class host).
+* Table II — memory parameters at 32 nm (8 KB sub-array, 1.25 MB slice).
+* Sec. III — micro compute cluster (MCC) composition.
+* Sec. V-A — clock frequencies for small/large accelerator tiles.
+
+Each parameter group is a frozen dataclass so experiment code cannot
+mutate a shared configuration by accident; derived quantities are
+exposed as properties.  ``default_system()`` builds the exact
+configuration evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigurationError
+from .units import ghz, kib, mib, ns
+
+# Number of bytes in one cache line across the whole hierarchy.
+CACHE_LINE_BYTES = 64
+
+# Width of the sub-array read port in bits (Sec. II: "each with a 32bit
+# port").  One row read therefore supplies one 5-LUT configuration.
+SUBARRAY_PORT_BITS = 32
+
+
+@dataclass(frozen=True)
+class SubarrayParams:
+    """An 8 KB SRAM sub-array (paper Table II, 32 nm).
+
+    The sub-array is the atom of both caching and compute: in cache
+    mode a row holds data bits, in compute mode a row holds the
+    configuration of one 5-input LUT (32 bits = 2^5).
+    """
+
+    size_bytes: int = kib(8)
+    port_bits: int = SUBARRAY_PORT_BITS
+    access_time_s: float = ns(0.12)
+    access_energy_j: float = 0.00369e-9
+    width_mm: float = 0.136
+    height_mm: float = 0.096
+
+    @property
+    def rows(self) -> int:
+        """Number of addressable rows (one port-width word per row)."""
+        return self.size_bytes * 8 // self.port_bits
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    def validate(self) -> None:
+        if self.size_bytes <= 0 or self.port_bits <= 0:
+            raise ConfigurationError("sub-array size and port must be positive")
+        if (self.size_bytes * 8) % self.port_bits:
+            raise ConfigurationError("sub-array size must be a whole number of rows")
+
+
+@dataclass(frozen=True)
+class SliceParams:
+    """One LLC slice (paper Fig. 1 / Table II).
+
+    A slice is ``ways`` cache ways; each way is one data array (DA) per
+    quadrant; each DA is two sub-arrays.  With the defaults this gives
+    20 ways x 4 DAs x 16 KB = 1.25 MB and 160 sub-arrays, matching
+    Table II.
+    """
+
+    ways: int = 20
+    quadrants: int = 4
+    subarrays_per_data_array: int = 2
+    subarray: SubarrayParams = field(default_factory=SubarrayParams)
+    height_mm: float = 1.63
+    width_mm: float = 1.92
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def data_arrays_per_way(self) -> int:
+        return self.quadrants
+
+    @property
+    def subarrays_per_way(self) -> int:
+        return self.quadrants * self.subarrays_per_data_array
+
+    @property
+    def subarray_count(self) -> int:
+        return self.ways * self.subarrays_per_way
+
+    @property
+    def way_bytes(self) -> int:
+        return self.subarrays_per_way * self.subarray.size_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.ways * self.way_bytes
+
+    @property
+    def sets(self) -> int:
+        return self.way_bytes // self.line_bytes
+
+    @property
+    def area_mm2(self) -> float:
+        return self.height_mm * self.width_mm
+
+    def validate(self) -> None:
+        self.subarray.validate()
+        if self.ways < 2:
+            raise ConfigurationError("a slice needs at least 2 ways (MCCs pair ways)")
+        if self.way_bytes % self.line_bytes:
+            raise ConfigurationError("way capacity must be a whole number of lines")
+
+
+@dataclass(frozen=True)
+class CacheLevelParams:
+    """A conventional cache level (paper Table I)."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    def validate(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ConfigurationError(
+                f"{self.name}: size must divide into ways x line size"
+            )
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Main memory (paper Table I: 4 channels of DDR4-2400).
+
+    Peak bandwidth is channels x 8 bytes x transfer rate; the paper's
+    intro quotes ~56 ns access latency for off-chip DRAM.
+    """
+
+    channels: int = 4
+    transfer_rate_mts: float = 2400.0
+    bus_bytes: int = 8
+    access_latency_s: float = ns(56.0)
+    energy_per_bit_j: float = 28e-12  # paper intro: 28-45 pJ/bit; low end
+
+    @property
+    def peak_bandwidth_bytes_s(self) -> float:
+        return self.channels * self.bus_bytes * self.transfer_rate_mts * 1e6
+
+
+@dataclass(frozen=True)
+class HostCoreParams:
+    """One host core (paper Table I, A15-class)."""
+
+    isa: str = "ARM"
+    fetch_width: int = 3
+    decode_width: int = 3
+    dispatch_width: int = 6
+    issue_width: int = 8
+    commit_width: int = 8
+    clock_hz: float = ghz(4.0)
+
+
+@dataclass(frozen=True)
+class MccParams:
+    """Micro compute cluster composition (paper Sec. III-B, V-A).
+
+    One MCC = 2 data arrays in adjacent ways = 4 compute sub-arrays.
+    Per folding cycle it provides ``luts_per_cycle`` 5-LUTs (double in
+    4-LUT mode), one MAC operation, one bus operation, and latches into
+    a ``register_file_bits``-entry flip-flop bank.
+    """
+
+    data_arrays: int = 2
+    subarrays: int = 4
+    lut_inputs: int = 5
+    luts_per_cycle: int = 4          # 5-LUT mode; 4-LUT mode doubles this
+    macs_per_cycle: int = 1
+    bus_ops_per_cycle: int = 1
+    register_file_bits: int = 256
+    mac_width_bits: int = 32
+
+    def lut_slots(self, lut_inputs: int) -> int:
+        """LUT evaluations available per cycle for a given LUT width."""
+        if lut_inputs == self.lut_inputs:
+            return self.luts_per_cycle
+        if lut_inputs == self.lut_inputs - 1:
+            return self.luts_per_cycle * 2
+        raise ConfigurationError(
+            f"unsupported LUT width {lut_inputs} (sub-array port fits "
+            f"{self.lut_inputs}- or {self.lut_inputs - 1}-input LUTs)"
+        )
+
+    def config_rows(self, subarray: SubarrayParams) -> int:
+        """Folding steps whose LUT configs fit in one sub-array."""
+        return subarray.rows
+
+
+@dataclass(frozen=True)
+class FreacClocking:
+    """Accelerator clocks (paper Sec. V-A).
+
+    Tiles built from fewer than ``large_tile_threshold`` MCCs meet
+    timing at 4 GHz; larger tiles need switch-box hops and close at
+    3 GHz.
+    """
+
+    small_tile_hz: float = ghz(4.0)
+    large_tile_hz: float = ghz(3.0)
+    large_tile_threshold: int = 16
+
+    def tile_clock_hz(self, mccs_per_tile: int) -> float:
+        if mccs_per_tile >= self.large_tile_threshold:
+            return self.large_tile_hz
+        return self.small_tile_hz
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """The full evaluated system (paper Table I + Sec. III).
+
+    Bundles the host CPU complex, the three-level cache hierarchy with
+    a sliced NUCA L3, DRAM, and the FReaC additions.
+    """
+
+    cores: int = 8
+    core: HostCoreParams = field(default_factory=HostCoreParams)
+    l1: CacheLevelParams = field(
+        default_factory=lambda: CacheLevelParams("L1D", kib(32), 2, 2)
+    )
+    l2: CacheLevelParams = field(
+        default_factory=lambda: CacheLevelParams("L2D", kib(256), 8, 10)
+    )
+    l3_slices: int = 8
+    l3_latency_cycles: int = 27
+    slice_params: SliceParams = field(default_factory=SliceParams)
+    dram: DramParams = field(default_factory=DramParams)
+    mcc: MccParams = field(default_factory=MccParams)
+    clocking: FreacClocking = field(default_factory=FreacClocking)
+    llc_leakage_w: float = 1.125  # paper Sec. V, via McPAT
+
+    @property
+    def l3_size_bytes(self) -> int:
+        return self.l3_slices * self.slice_params.capacity_bytes
+
+    @property
+    def l3(self) -> CacheLevelParams:
+        """The L3 viewed as a conventional cache level (Table I row)."""
+        return CacheLevelParams(
+            "L3D", self.l3_size_bytes, self.slice_params.ways, self.l3_latency_cycles
+        )
+
+    @property
+    def mccs_per_slice_max(self) -> int:
+        """MCC tiles when every way of a slice is given to compute."""
+        per_way_pair = self.slice_params.data_arrays_per_way
+        return (self.slice_params.ways // 2) * per_way_pair
+
+    def mccs_for_ways(self, compute_ways: int) -> int:
+        """MCC tiles formed by locking ``compute_ways`` ways.
+
+        Ways are consumed in pairs (Sec. III-C: "two ways are completely
+        consumed at a time, such that four MCC tiles are formed").
+        """
+        if compute_ways % 2:
+            raise ConfigurationError("compute ways are consumed in pairs")
+        if not 0 <= compute_ways <= self.slice_params.ways:
+            raise ConfigurationError("compute ways out of range for slice")
+        return (compute_ways // 2) * self.slice_params.data_arrays_per_way
+
+    def validate(self) -> None:
+        self.l1.validate()
+        self.l2.validate()
+        self.slice_params.validate()
+        if self.l3_slices < 1:
+            raise ConfigurationError("need at least one LLC slice")
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+
+
+def default_system() -> SystemParams:
+    """The paper's evaluated configuration (Table I / Table II)."""
+    system = SystemParams()
+    system.validate()
+    return system
+
+
+def scaled_system(l3_slices: int = 8, cores: int = 8) -> SystemParams:
+    """A variant of the default system with a different slice/core count."""
+    system = replace(default_system(), l3_slices=l3_slices, cores=cores)
+    system.validate()
+    return system
+
+
+def table1_rows(system: SystemParams) -> Tuple[Tuple[str, str], ...]:
+    """Render Table I as (parameter, value) rows for the bench harness."""
+    core = system.core
+    slice_mb = system.slice_params.capacity_bytes / mib(1)
+    return (
+        ("ISA/Num Cores", f"{core.isa}/{system.cores} cores"),
+        ("Fetch/Decode Width", f"{core.fetch_width}/{core.decode_width}"),
+        (
+            "Dispatch/Issue/Commit Width",
+            f"{core.dispatch_width}/{core.issue_width}/{core.commit_width}",
+        ),
+        ("Clock", f"{core.clock_hz / 1e9:.0f}GHz"),
+        (
+            "L1D Cache Size/Ways/Latency",
+            f"{system.l1.size_bytes // kib(1)}KB/{system.l1.ways}-way/"
+            f"{system.l1.latency_cycles}cycle",
+        ),
+        (
+            "L2D Cache Size/Ways/Latency",
+            f"{system.l2.size_bytes // kib(1)}KB/{system.l2.ways}-way/"
+            f"{system.l2.latency_cycles}cycle",
+        ),
+        (
+            "L3D Cache Size/Ways/Latency",
+            f"{system.l3_size_bytes // mib(1)}MB/{system.slice_params.ways}-way/"
+            f"{system.l3_latency_cycles}cycle",
+        ),
+        (
+            "L3D Cache Slice Number/Size",
+            f"{system.l3_slices}/{slice_mb:.2f}MB",
+        ),
+        (
+            "Memory Controller",
+            f"{system.dram.channels} channels, "
+            f"DDR4-{system.dram.transfer_rate_mts:.0f}",
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Area, energy, and power models.
+
+These replace the paper's use of CACTI 6.5, McPAT, DSENT, RTL
+synthesis, and the Xilinx Power Estimator.  Rather than re-deriving
+transistor-level numbers, each model is *seeded with the constants the
+paper publishes* (Table II and Sec. V-A) and reproduces the roll-ups:
+per-cluster area, the 3.5 % / 15.3 % slice overheads, access energies,
+leakage, and link power.
+"""
+
+from .sram import SramModel, table2_rows
+from .area import (
+    AreaBreakdown,
+    ClusterAreaModel,
+    SwitchFabricAreaModel,
+    slice_overhead,
+)
+from .energy import EnergyModel, FreacEnergyBreakdown
+from .cpu_power import CpuPowerModel
+from .wires import WireModel
+
+__all__ = [
+    "SramModel",
+    "table2_rows",
+    "AreaBreakdown",
+    "ClusterAreaModel",
+    "SwitchFabricAreaModel",
+    "slice_overhead",
+    "EnergyModel",
+    "FreacEnergyBreakdown",
+    "CpuPowerModel",
+    "WireModel",
+]

@@ -1,0 +1,123 @@
+"""Area overhead model (paper Sec. V-A).
+
+Component areas come straight from the paper's RTL/DSENT estimates at
+32 nm:
+
+* 32-bit MAC unit ................ 1011 um^2
+* 256 intermediate-value FFs ..... 1086 um^2
+* operand crossbar ............... 1239 um^2
+* 32x1 mux trees ................. 45 um^2
+* per-cluster total .............. ~0.0034 mm^2
+* global routing + links ......... 3469 um^2
+* switch-box config memories ..... 0.35 mm^2 (one wide 8 KB per 4 MCCs)
+
+32 clusters add ~0.109 mm^2 = 3.5 % of the 3.13 mm^2 slice; the full
+switched fabric lands at 0.48 mm^2 = 15.3 %.  The switch-box logic
+area itself is derived so the total matches the paper's 0.48 mm^2
+roll-up (the paper reports only the total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..params import SliceParams
+
+UM2_TO_MM2 = 1e-6
+
+# Published component areas (um^2).
+MAC_AREA_UM2 = 1011.0
+REGISTER_BANK_AREA_UM2 = 1086.0
+OPERAND_XBAR_AREA_UM2 = 1239.0
+MUX_TREES_AREA_UM2 = 45.0
+
+# Switched-fabric constants (Sec. V-A).
+GLOBAL_ROUTING_LINKS_UM2 = 3469.0
+SWITCH_CONFIG_MEM_TOTAL_MM2 = 0.35
+SWITCH_BOXES_PER_SLICE = 28          # 7 x 4 grid
+MCCS_PER_CONFIG_MEM = 4
+# Derived so that 0.109 + routing + config mems + boxes = 0.48 mm^2.
+SWITCH_BOX_LOGIC_UM2 = 625.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area in mm^2 with convenience totals."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.components.values())
+
+    def overhead_fraction(self, slice_area_mm2: float) -> float:
+        return self.total_mm2 / slice_area_mm2
+
+
+@dataclass(frozen=True)
+class ClusterAreaModel:
+    """Area added per micro compute cluster."""
+
+    mac_um2: float = MAC_AREA_UM2
+    registers_um2: float = REGISTER_BANK_AREA_UM2
+    xbar_um2: float = OPERAND_XBAR_AREA_UM2
+    mux_trees_um2: float = MUX_TREES_AREA_UM2
+
+    @property
+    def per_cluster_um2(self) -> float:
+        return self.mac_um2 + self.registers_um2 + self.xbar_um2 + self.mux_trees_um2
+
+    @property
+    def per_cluster_mm2(self) -> float:
+        return self.per_cluster_um2 * UM2_TO_MM2
+
+    def clusters(self, count: int) -> AreaBreakdown:
+        return AreaBreakdown(
+            {
+                "mac_units": count * self.mac_um2 * UM2_TO_MM2,
+                "register_banks": count * self.registers_um2 * UM2_TO_MM2,
+                "operand_xbars": count * self.xbar_um2 * UM2_TO_MM2,
+                "mux_trees": count * self.mux_trees_um2 * UM2_TO_MM2,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class SwitchFabricAreaModel:
+    """The optional inter-cluster routing for large accelerator tiles."""
+
+    routing_links_um2: float = GLOBAL_ROUTING_LINKS_UM2
+    switch_boxes: int = SWITCH_BOXES_PER_SLICE
+    switch_box_logic_um2: float = SWITCH_BOX_LOGIC_UM2
+    config_mem_total_mm2: float = SWITCH_CONFIG_MEM_TOTAL_MM2
+
+    def fabric(self) -> AreaBreakdown:
+        return AreaBreakdown(
+            {
+                "routing_links": self.routing_links_um2 * UM2_TO_MM2,
+                "switch_boxes": (
+                    self.switch_boxes * self.switch_box_logic_um2 * UM2_TO_MM2
+                ),
+                "switch_config_memories": self.config_mem_total_mm2,
+            }
+        )
+
+
+def slice_overhead(
+    clusters: int = 32,
+    *,
+    with_switch_fabric: bool = False,
+    slice_params: SliceParams | None = None,
+) -> AreaBreakdown:
+    """Total FReaC area added to one LLC slice.
+
+    ``clusters=32, with_switch_fabric=False`` reproduces the paper's
+    basic mode (3.5 %); ``with_switch_fabric=True`` the large-tile mode
+    (15.3 %).  Use ``AreaBreakdown.overhead_fraction`` with the slice
+    area from Table II.
+    """
+    breakdown = dict(ClusterAreaModel().clusters(clusters).components)
+    if with_switch_fabric:
+        breakdown.update(SwitchFabricAreaModel().fabric().components)
+    return AreaBreakdown(breakdown)

@@ -1,0 +1,52 @@
+"""Host CPU power model (McPAT stand-in, paper Sec. V).
+
+The paper models the eight A15-class cores "via McPat with a 32nm
+low-power library".  We use the standard decomposition McPAT itself
+reports: per-core peak dynamic power scaled by activity, plus static
+(leakage) power per core, plus shared uncore (interconnect + LLC
+leakage).  Constants are chosen for a 32 nm low-power A15 at 4 GHz and
+sanity-checked by the Fig. 12 power ratios (multi-core CPU draws
+roughly twice the FReaC accelerator's power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .energy import LLC_LEAKAGE_W
+
+
+@dataclass(frozen=True)
+class CpuPowerModel:
+    """Activity-scaled core + uncore power."""
+
+    core_dynamic_peak_w: float = 2.2   # one A15-class core at 4 GHz
+    core_static_w: float = 0.15
+    uncore_w: float = 0.8              # ring + memory controller
+    llc_leakage_w: float = LLC_LEAKAGE_W
+
+    def package_power_w(self, active_cores: int, activity: float = 0.85,
+                        total_cores: int = 8) -> float:
+        """Average package power with ``active_cores`` busy.
+
+        ``activity`` is the dynamic-activity factor of busy cores;
+        idle cores contribute static power only (clock-gated).
+        """
+        if not 0 <= active_cores <= total_cores:
+            raise ValueError("active cores out of range")
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity factor must be in [0, 1]")
+        dynamic = active_cores * self.core_dynamic_peak_w * activity
+        static = total_cores * self.core_static_w
+        return dynamic + static + self.uncore_w + self.llc_leakage_w
+
+    def single_thread_power_w(self) -> float:
+        return self.package_power_w(active_cores=1)
+
+    def all_cores_power_w(self, total_cores: int = 8) -> float:
+        return self.package_power_w(active_cores=total_cores,
+                                    total_cores=total_cores)
+
+    def energy_j(self, active_cores: int, seconds: float,
+                 activity: float = 0.85, total_cores: int = 8) -> float:
+        return self.package_power_w(active_cores, activity, total_cores) * seconds

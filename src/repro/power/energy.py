@@ -1,0 +1,128 @@
+"""Dynamic energy and average power of FReaC accelerator runs.
+
+The paper estimates FReaC power "by accounting for the number of reads
+from the compute clusters and scratchpads", assuming switch-box links
+at 100 % load consume ~9 mW each, and adding leakage (Sec. V-C).  This
+model does the same arithmetic from the executor/timing counters:
+
+* every folding step reads one config row per active LUT unit
+  (sub-array access energy, Table II),
+* every bus word is one scratchpad sub-array access plus bus movement,
+* MAC and crossbar energies use standard 32 nm per-op estimates,
+* link power applies only to tiles large enough to use switch boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..params import SubarrayParams
+
+# Per-event energies (32 nm estimates; the sub-array number is the
+# paper's published 3.69 pJ).
+SUBARRAY_ACCESS_J = SubarrayParams().access_energy_j
+MAC_OP_J = 3.0e-12
+XBAR_TRAVERSAL_J = 0.5e-12
+BUS_WORD_J = 1.0e-12
+
+# Switch-box links: 9 mW per link at 100 % load (Sec. V-C).
+LINK_POWER_W = 9.0e-3
+LINKS_PER_SLICE = 40  # 28 switch boxes, X-Y segments between 8x4 tiles
+
+# LLC leakage from McPAT (Sec. V): 1.125 W for the whole 10 MB LLC.
+LLC_LEAKAGE_W = 1.125
+
+
+@dataclass
+class FreacEnergyBreakdown:
+    """Joules by component plus the derived average power."""
+
+    config_reads_j: float = 0.0
+    scratchpad_j: float = 0.0
+    mac_j: float = 0.0
+    xbar_j: float = 0.0
+    bus_j: float = 0.0
+    links_j: float = 0.0
+    leakage_j: float = 0.0
+
+    @property
+    def dynamic_j(self) -> float:
+        return (
+            self.config_reads_j
+            + self.scratchpad_j
+            + self.mac_j
+            + self.xbar_j
+            + self.bus_j
+            + self.links_j
+        )
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.leakage_j
+
+    def average_power_w(self, seconds: float) -> float:
+        if seconds <= 0:
+            raise ValueError("need a positive duration for average power")
+        return self.total_j / seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "config_reads_j": self.config_reads_j,
+            "scratchpad_j": self.scratchpad_j,
+            "mac_j": self.mac_j,
+            "xbar_j": self.xbar_j,
+            "bus_j": self.bus_j,
+            "links_j": self.links_j,
+            "leakage_j": self.leakage_j,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Turns activity counts into a :class:`FreacEnergyBreakdown`."""
+
+    subarray_access_j: float = SUBARRAY_ACCESS_J
+    mac_op_j: float = MAC_OP_J
+    xbar_traversal_j: float = XBAR_TRAVERSAL_J
+    bus_word_j: float = BUS_WORD_J
+    link_power_w: float = LINK_POWER_W
+    links_per_slice: int = LINKS_PER_SLICE
+    llc_leakage_w: float = LLC_LEAKAGE_W
+
+    def accelerator_energy(
+        self,
+        *,
+        lut_config_reads: int,
+        mac_ops: int,
+        bus_words: int,
+        seconds: float,
+        slices_active: int,
+        uses_switch_fabric: bool,
+        llc_slices: int = 8,
+    ) -> FreacEnergyBreakdown:
+        """Energy of a whole accelerated run.
+
+        ``lut_config_reads`` is folding-step sub-array reads (one per
+        active LUT unit per cycle); ``bus_words`` covers operand loads,
+        stores, and spills, each of which is also one scratchpad
+        sub-array access.
+        """
+        breakdown = FreacEnergyBreakdown(
+            config_reads_j=lut_config_reads * self.subarray_access_j,
+            scratchpad_j=bus_words * self.subarray_access_j,
+            mac_j=mac_ops * self.mac_op_j,
+            xbar_j=(lut_config_reads + mac_ops) * self.xbar_traversal_j,
+            bus_j=bus_words * self.bus_word_j,
+        )
+        if uses_switch_fabric:
+            breakdown.links_j = (
+                self.link_power_w * self.links_per_slice * slices_active * seconds
+            )
+        # Leakage of the LLC portion devoted to the run scales with the
+        # active slice share (the rest of the LLC leaks regardless of
+        # FReaC and is charged to the host side of comparisons).
+        breakdown.leakage_j = (
+            self.llc_leakage_w * (slices_active / llc_slices) * seconds
+        )
+        return breakdown

@@ -1,0 +1,110 @@
+"""CACTI-style SRAM sub-array model (paper Table II, 32 nm).
+
+A thin analytical model anchored at the paper's published 8 KB
+sub-array point (0.136 x 0.096 mm, 0.12 ns, 3.69 pJ/access) and scaled
+with the usual first-order CACTI relationships: area grows linearly
+with capacity, access time and energy with the square root of capacity
+(wordline/bitline lengths grow with the array edge).
+
+Only the anchor point is used by the headline experiments; the scaling
+exists for the ablations (different sub-array sizes) and is clearly a
+model, not a transistor-level extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..params import SliceParams, SubarrayParams
+from ..units import kib
+
+
+# The paper's anchor sub-array (Table II).
+_ANCHOR_BYTES = kib(8)
+_ANCHOR_ACCESS_S = 0.12e-9
+_ANCHOR_ENERGY_J = 0.00369e-9
+_ANCHOR_WIDTH_MM = 0.136
+_ANCHOR_HEIGHT_MM = 0.096
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """Area / timing / energy of an SRAM sub-array of a given size."""
+
+    size_bytes: int = _ANCHOR_BYTES
+    technology_nm: float = 32.0
+
+    def _capacity_ratio(self) -> float:
+        return self.size_bytes / _ANCHOR_BYTES
+
+    def _tech_ratio(self) -> float:
+        # First-order constant-field scaling relative to the 32 nm anchor.
+        return self.technology_nm / 32.0
+
+    @property
+    def area_mm2(self) -> float:
+        return (
+            _ANCHOR_WIDTH_MM
+            * _ANCHOR_HEIGHT_MM
+            * self._capacity_ratio()
+            * self._tech_ratio() ** 2
+        )
+
+    @property
+    def access_time_s(self) -> float:
+        return _ANCHOR_ACCESS_S * math.sqrt(self._capacity_ratio()) * self._tech_ratio()
+
+    @property
+    def access_energy_j(self) -> float:
+        return (
+            _ANCHOR_ENERGY_J
+            * math.sqrt(self._capacity_ratio())
+            * self._tech_ratio() ** 2
+        )
+
+    def as_subarray_params(self, port_bits: int = 32) -> SubarrayParams:
+        """Materialise the model point as simulator parameters."""
+        # Preserve the anchor's aspect ratio when scaling.
+        scale = math.sqrt(self._capacity_ratio()) * self._tech_ratio()
+        return SubarrayParams(
+            size_bytes=self.size_bytes,
+            port_bits=port_bits,
+            access_time_s=self.access_time_s,
+            access_energy_j=self.access_energy_j,
+            width_mm=_ANCHOR_WIDTH_MM * scale,
+            height_mm=_ANCHOR_HEIGHT_MM * scale,
+        )
+
+    def supports_single_cycle_at(self, clock_hz: float) -> bool:
+        """Can the array be read every cycle at ``clock_hz``?
+
+        This is the property FReaC Cache's per-cycle reconfiguration
+        rests on: "the latency of reading a single word from a
+        subarray allows us to perform one read per cycle" (Sec. V).
+        """
+        return self.access_time_s <= 1.0 / clock_hz
+
+
+def table2_rows(slice_params: SliceParams | None = None) -> List[Tuple[str, str]]:
+    """Render the paper's Table II from the models."""
+    params = slice_params or SliceParams()
+    model = SramModel(size_bytes=params.subarray.size_bytes)
+    return [
+        ("SRAM Subarray Size", f"{params.subarray.size_bytes // 1024}KB"),
+        (
+            "SRAM Subarray Dimensions",
+            f"{model.as_subarray_params().width_mm:.3f} X "
+            f"{model.as_subarray_params().height_mm:.3f}mm",
+        ),
+        ("SRAM Subarray AccessTime", f"{model.access_time_s * 1e9:.2f}ns"),
+        ("SRAM Subarray AccessEnergy", f"{model.access_energy_j * 1e9:.5f}nJ"),
+        (
+            "L3 Cache Slice Size",
+            f"{params.capacity_bytes / (1024 * 1024):.2f}MB",
+        ),
+        ("L3 Cache Slice Height", f"{params.height_mm:.2f}mm"),
+        ("L3 Cache Slice Width", f"{params.width_mm:.2f}mm"),
+        ("L3 Cache Slice Data Subarrays", str(params.subarray_count)),
+    ]

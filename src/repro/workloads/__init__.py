@@ -1,0 +1,51 @@
+"""Benchmark workloads (the paper's MachSuite-derived kernel set).
+
+Each benchmark exists in three coupled forms that the tests hold
+consistent:
+
+* a pure-Python reference implementation (:mod:`.kernels`),
+* a gate/word-level processing-element circuit
+  (:mod:`repro.circuits.library`), and
+* a :class:`~repro.workloads.suite.BenchmarkSpec` describing datasets,
+  batching (256x, Sec. V), per-item operation counts for the CPU
+  baseline, and per-tile working sets for the partition planner.
+"""
+
+from .kernels import (
+    aes_encrypt_block,
+    aes_expand_key,
+    aes_sbox,
+    conv1d,
+    dot_product,
+    fc_layer,
+    gemm,
+    kmp_search,
+    merge_sort_passes,
+    nw_cell,
+    nw_score,
+    stencil2d,
+    stencil3d,
+    vadd,
+)
+from .suite import BenchmarkSpec, SUITE, benchmark, benchmark_names
+
+__all__ = [
+    "aes_sbox",
+    "aes_expand_key",
+    "aes_encrypt_block",
+    "conv1d",
+    "dot_product",
+    "fc_layer",
+    "gemm",
+    "kmp_search",
+    "merge_sort_passes",
+    "nw_cell",
+    "nw_score",
+    "stencil2d",
+    "stencil3d",
+    "vadd",
+    "BenchmarkSpec",
+    "SUITE",
+    "benchmark",
+    "benchmark_names",
+]

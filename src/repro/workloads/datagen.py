@@ -1,0 +1,91 @@
+"""Deterministic dataset generation for functional runs.
+
+Examples and integration tests need concrete operand streams for each
+benchmark's processing element.  ``dataset_for`` produces, from a
+seed, a batch of per-item load streams plus the expected store streams
+(computed with the PE's own reference function), ready to be fed to
+the executor or laid out in a scratchpad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..circuits.library import PeCircuit, build_pe
+
+# Benchmarks whose inputs are constrained (state machines, bytes).
+_SPECIAL = {"KMP", "AES"}
+
+
+@dataclass
+class Dataset:
+    """A batch of items for one benchmark PE."""
+
+    benchmark: str
+    items: int
+    # loads[stream][item] -> list of words for that invocation.
+    loads: Dict[str, List[List[int]]] = field(default_factory=dict)
+    expected: Dict[str, List[List[int]]] = field(default_factory=dict)
+
+    def item_streams(self, item: int) -> Dict[str, List[int]]:
+        return {stream: per_item[item] for stream, per_item in self.loads.items()}
+
+    def expected_stores(self, item: int) -> Dict[str, List[int]]:
+        return {
+            stream: per_item[item] for stream, per_item in self.expected.items()
+        }
+
+
+def _random_streams(pe: PeCircuit, rng: np.random.Generator,
+                    max_value: int) -> Dict[str, List[int]]:
+    return {
+        stream: [int(v) for v in rng.integers(0, max_value, size=count)]
+        for stream, count in pe.loads.items()
+    }
+
+
+def _kmp_streams(rng: np.random.Generator) -> Dict[str, List[int]]:
+    return {
+        "state": [int(rng.integers(0, 4))],
+        "text": [int(rng.choice([0x41, 0x42, 0x43, 0x44]))],
+    }
+
+
+def _aes_streams(rng: np.random.Generator) -> Dict[str, List[int]]:
+    from .kernels import aes_expand_key
+
+    key = bytes(int(b) for b in rng.integers(0, 256, size=16))
+    round_keys = aes_expand_key(key)
+    rk_words = [
+        int.from_bytes(bytes(rk[4 * i : 4 * i + 4]), "little")
+        for rk in round_keys
+        for i in range(4)
+    ]
+    pt = [int(w) for w in rng.integers(0, 1 << 32, size=4, dtype=np.uint64)]
+    return {"pt": pt, "rk": rk_words}
+
+
+def dataset_for(name: str, items: int, *, seed: int = 0,
+                max_value: int = 1 << 20) -> Dataset:
+    """Build ``items`` invocations' worth of operands + expectations."""
+    pe = build_pe(name)
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(benchmark=pe.name, items=items)
+    dataset.loads = {stream: [] for stream in pe.loads}
+    dataset.expected = {stream: [] for stream in pe.stores}
+    for _ in range(items):
+        if pe.name == "KMP":
+            streams = _kmp_streams(rng)
+        elif pe.name == "AES":
+            streams = _aes_streams(rng)
+        else:
+            streams = _random_streams(pe, rng, max_value)
+        expected = pe.reference(streams)
+        for stream in pe.loads:
+            dataset.loads[stream].append(streams[stream])
+        for stream in pe.stores:
+            dataset.expected[stream].append(expected[stream])
+    return dataset

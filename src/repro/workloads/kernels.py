@@ -1,0 +1,324 @@
+"""Pure-Python reference kernels.
+
+These are the ground truth the circuit processing elements are tested
+against, and the workloads the CPU baseline model's operation counts
+describe.  All arithmetic is 32-bit modular to match the MCC's MAC
+unit and the gate-level adders.
+
+The AES tables are *derived*, not transcribed: the S-box is computed
+from the GF(2^8) multiplicative inverse and the affine transform, so a
+typo cannot silently corrupt both the reference and the circuit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# AES-128 (FIPS-197)
+# ---------------------------------------------------------------------------
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 by convention."""
+    if a == 0:
+        return 0
+    # a^(254) = a^(-1) in GF(2^8)'s multiplicative group of order 255.
+    result, base, exponent = 1, a, 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, base)
+        base = _gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _rotl8(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (8 - amount))) & 0xFF
+
+
+@lru_cache(maxsize=1)
+def aes_sbox() -> Tuple[int, ...]:
+    """The AES S-box, computed from first principles."""
+    table = []
+    for byte in range(256):
+        inv = _gf_inverse(byte)
+        affine = (
+            inv
+            ^ _rotl8(inv, 1)
+            ^ _rotl8(inv, 2)
+            ^ _rotl8(inv, 3)
+            ^ _rotl8(inv, 4)
+            ^ 0x63
+        )
+        table.append(affine)
+    return tuple(table)
+
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def aes_expand_key(key: bytes) -> List[List[int]]:
+    """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError("AES-128 keys are 16 bytes")
+    sbox = aes_sbox()
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [sbox[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        [byte for word in words[4 * r : 4 * r + 4] for byte in word]
+        for r in range(11)
+    ]
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    """AES state is column-major: byte r + 4c sits at row r, column c."""
+    shifted = [0] * 16
+    for row in range(4):
+        for col in range(4):
+            shifted[row + 4 * col] = state[row + 4 * ((col + row) % 4)]
+    return shifted
+
+
+def _mix_single_column(column: Sequence[int]) -> List[int]:
+    a0, a1, a2, a3 = column
+    return [
+        _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3,
+        a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3,
+        a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3),
+        _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2),
+    ]
+
+
+def aes_encrypt_block(block: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise ValueError("AES blocks are 16 bytes")
+    sbox = aes_sbox()
+    round_keys = aes_expand_key(key)
+    state = [b ^ k for b, k in zip(block, round_keys[0])]
+    for round_index in range(1, 10):
+        state = [sbox[b] for b in state]
+        state = _shift_rows(state)
+        mixed: List[int] = []
+        for col in range(4):
+            mixed.extend(_mix_single_column(state[4 * col : 4 * col + 4]))
+        state = [b ^ k for b, k in zip(mixed, round_keys[round_index])]
+    state = [sbox[b] for b in state]
+    state = _shift_rows(state)
+    state = [b ^ k for b, k in zip(state, round_keys[10])]
+    return bytes(state)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra / signal kernels
+# ---------------------------------------------------------------------------
+
+def dot_product(a: Sequence[int], b: Sequence[int]) -> int:
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    total = 0
+    for x, y in zip(a, b):
+        total = (total + x * y) & MASK32
+    return total
+
+
+def vadd(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    return [(x + y) & MASK32 for x, y in zip(a, b)]
+
+
+def gemm(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> List[List[int]]:
+    """C = A x B with 32-bit modular arithmetic."""
+    rows, inner = len(a), len(a[0])
+    if len(b) != inner:
+        raise ValueError("inner dimensions must agree")
+    cols = len(b[0])
+    result = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        for j in range(cols):
+            acc = 0
+            for k in range(inner):
+                acc = (acc + a[i][k] * b[k][j]) & MASK32
+            result[i][j] = acc
+    return result
+
+
+def conv1d(signal: Sequence[int], taps: Sequence[int]) -> List[int]:
+    """Valid-mode 1-D convolution (correlation order, as the PE computes)."""
+    k = len(taps)
+    return [
+        dot_product(signal[i : i + k], taps)
+        for i in range(len(signal) - k + 1)
+    ]
+
+
+def fc_layer(
+    inputs: Sequence[int], weights: Sequence[Sequence[int]], biases: Sequence[int]
+) -> List[int]:
+    """Fully-connected layer with ReLU, 32-bit modular accumulate.
+
+    ReLU interprets the accumulated word as two's-complement signed.
+    """
+    outputs = []
+    for row, bias in zip(weights, biases):
+        acc = dot_product(inputs, row)
+        acc = (acc + bias) & MASK32
+        signed = acc - (1 << 32) if acc & (1 << 31) else acc
+        outputs.append(acc if signed > 0 else 0)
+    return outputs
+
+
+def stencil2d(grid: Sequence[Sequence[int]], weights: Sequence[Sequence[int]]) -> List[List[int]]:
+    """3x3 weighted stencil over the interior (MachSuite stencil2d)."""
+    rows, cols = len(grid), len(grid[0])
+    out = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows - 1):
+        for j in range(1, cols - 1):
+            acc = 0
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    acc = (acc + weights[di + 1][dj + 1] * grid[i + di][j + dj]) & MASK32
+            out[i][j] = acc
+    return out
+
+
+def stencil3d(volume, center: int = 6, face: int = 1):
+    """7-point 3-D stencil over the interior (MachSuite stencil3d shape)."""
+    nx, ny, nz = len(volume), len(volume[0]), len(volume[0][0])
+    out = [[[0] * nz for _ in range(ny)] for _ in range(nx)]
+    for i in range(1, nx - 1):
+        for j in range(1, ny - 1):
+            for k in range(1, nz - 1):
+                acc = (center * volume[i][j][k]) & MASK32
+                for di, dj, dk in (
+                    (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
+                ):
+                    acc = (acc + face * volume[i + di][j + dj][k + dk]) & MASK32
+                out[i][j][k] = acc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# String / sorting / dynamic programming
+# ---------------------------------------------------------------------------
+
+def kmp_failure(pattern: Sequence[int]) -> List[int]:
+    """KMP failure function (longest proper prefix-suffix lengths)."""
+    failure = [0] * len(pattern)
+    k = 0
+    for i in range(1, len(pattern)):
+        while k and pattern[i] != pattern[k]:
+            k = failure[k - 1]
+        if pattern[i] == pattern[k]:
+            k += 1
+        failure[i] = k
+    return failure
+
+
+def kmp_step(pattern: Sequence[int], failure: Sequence[int], state: int,
+             char: int) -> Tuple[int, bool]:
+    """One automaton step: (next state, match completed?)."""
+    while state and char != pattern[state]:
+        state = failure[state - 1]
+    if char == pattern[state]:
+        state += 1
+    if state == len(pattern):
+        return failure[state - 1], True
+    return state, False
+
+
+def kmp_search(pattern: Sequence[int], text: Sequence[int]) -> int:
+    """Count (possibly overlapping) occurrences of pattern in text."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    failure = kmp_failure(pattern)
+    state, matches = 0, 0
+    for char in text:
+        state, matched = kmp_step(pattern, failure, state, char)
+        if matched:
+            matches += 1
+    return matches
+
+
+def merge_sort_passes(values: Sequence[int]) -> List[int]:
+    """Bottom-up merge sort; the PE accelerates the compare-merge steps."""
+    work = list(values)
+    width = 1
+    n = len(work)
+    while width < n:
+        result = []
+        for start in range(0, n, 2 * width):
+            left = work[start : start + width]
+            right = work[start + width : start + 2 * width]
+            i = j = 0
+            while i < len(left) and j < len(right):
+                if left[i] <= right[j]:
+                    result.append(left[i])
+                    i += 1
+                else:
+                    result.append(right[j])
+                    j += 1
+            result.extend(left[i:])
+            result.extend(right[j:])
+        work = result
+        width *= 2
+    return work
+
+
+def compare_exchange(a: int, b: int) -> Tuple[int, int]:
+    """The sorting network primitive the SRT PE implements."""
+    return (a, b) if a <= b else (b, a)
+
+
+def nw_cell(nw: int, w: int, n: int, a: int, b: int,
+            match: int = 1, mismatch: int = -1, gap: int = -1) -> int:
+    """One Needleman-Wunsch DP cell (signed 32-bit wraparound)."""
+    def signed(x: int) -> int:
+        x &= MASK32
+        return x - (1 << 32) if x & (1 << 31) else x
+
+    diag = signed(nw) + (match if a == b else mismatch)
+    left = signed(w) + gap
+    up = signed(n) + gap
+    return max(diag, left, up) & MASK32
+
+
+def nw_score(seq_a: Sequence[int], seq_b: Sequence[int],
+             match: int = 1, mismatch: int = -1, gap: int = -1) -> int:
+    """Full Needleman-Wunsch alignment score (bottom-right cell)."""
+    rows, cols = len(seq_a) + 1, len(seq_b) + 1
+    previous = [(j * gap) & MASK32 for j in range(cols)]
+    for i in range(1, rows):
+        current = [(i * gap) & MASK32]
+        for j in range(1, cols):
+            current.append(
+                nw_cell(previous[j - 1], current[j - 1], previous[j],
+                        seq_a[i - 1], seq_b[j - 1], match, mismatch, gap)
+            )
+        previous = current
+    return previous[-1]

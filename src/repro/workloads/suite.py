@@ -1,0 +1,226 @@
+"""The benchmark suite: datasets, batching, and per-item cost models.
+
+The paper evaluates MachSuite-derived kernels plus a few handwritten
+ones, scaled "by a factor of 256X in a batched fashion" with work
+"divided evenly across all available accelerator tiles/CPU threads in
+a data parallel fashion" (Sec. V).  A :class:`BenchmarkSpec` captures
+everything the experiments need per kernel:
+
+* the item decomposition (what one accelerator invocation computes),
+* the scaled item count,
+* the CPU baseline's per-item operation mix,
+* per-item end-to-end input/output bytes (for init/drain costs), and
+* the per-tile scratchpad working set (for the Fig. 9 planner).
+
+Working-set and operation numbers describe the same processing
+elements defined in :mod:`repro.circuits.library`; the test suite
+cross-checks the load/store counts against the actual circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from ..circuits.library import PeCircuit
+
+BATCH_SCALE = 256  # paper Sec. V: datasets scaled 256x, batched
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Per-item dynamic instruction mix for the CPU baseline model."""
+
+    int_ops: int          # ALU adds/compares/logic
+    mul_ops: int
+    loads: int
+    stores: int
+    branches: int
+
+    @property
+    def instructions(self) -> int:
+        return self.int_ops + self.mul_ops + self.loads + self.stores + self.branches
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything the harness knows about one benchmark."""
+
+    name: str
+    title: str
+    category: str                  # "compute" | "memory" | "logic"
+    base_items: int                # items in the unscaled dataset
+    cpu: CpuCosts
+    bytes_in_per_item: float       # distinct input bytes (amortised)
+    bytes_out_per_item: float
+    tile_working_set_bytes: int    # scratchpad footprint of one tile
+    stride_hint: str = "stream"    # access pattern for trace generation
+
+    @property
+    def items(self) -> int:
+        """Scaled item count (256x batch, Sec. V)."""
+        return self.base_items * BATCH_SCALE
+
+    @property
+    def pe(self) -> "PeCircuit":
+        from ..circuits.library import build_pe
+
+        return build_pe(self.name)
+
+    def total_input_bytes(self) -> int:
+        return int(self.bytes_in_per_item * self.items)
+
+    def total_output_bytes(self) -> int:
+        return int(self.bytes_out_per_item * self.items)
+
+
+def _spec(*args, **kwargs) -> Tuple[str, BenchmarkSpec]:
+    spec = BenchmarkSpec(*args, **kwargs)
+    return spec.name, spec
+
+
+SUITE: Dict[str, BenchmarkSpec] = dict(
+    [
+        # AES: one item = one 16-byte block through 10 rounds.  Tiny
+        # working set (key schedule + a block window) but enormous
+        # logic: the paper's highest folding count.
+        _spec(
+            "AES",
+            "AES-128 block encryption",
+            "logic",
+            base_items=256,
+            cpu=CpuCosts(int_ops=620, mul_ops=0, loads=200, stores=20, branches=50),
+            bytes_in_per_item=16,
+            bytes_out_per_item=16,
+            tile_working_set_bytes=2 * 1024,
+        ),
+        # CONV: one item = one output sample of an 8-tap 1-D filter.
+        _spec(
+            "CONV",
+            "1-D convolution (8 taps)",
+            "compute",
+            base_items=4096,
+            cpu=CpuCosts(int_ops=18, mul_ops=8, loads=9, stores=1, branches=2),
+            bytes_in_per_item=4,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=16 * 1024,
+        ),
+        # DOT: one item = an 8-pair MAC chunk.
+        _spec(
+            "DOT",
+            "dot-product engine",
+            "compute",
+            base_items=512,
+            cpu=CpuCosts(int_ops=18, mul_ops=8, loads=16, stores=1, branches=2),
+            bytes_in_per_item=64,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=4 * 1024,
+        ),
+        # FC: one item = one output neuron over 32 inputs.
+        _spec(
+            "FC",
+            "fully-connected layer",
+            "compute",
+            base_items=128,
+            cpu=CpuCosts(int_ops=70, mul_ops=32, loads=65, stores=1, branches=4),
+            bytes_in_per_item=132,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=33 * 1024,
+        ),
+        # GEMM: one item = one C element, K = 16.
+        _spec(
+            "GEMM",
+            "dense matrix multiply",
+            "compute",
+            base_items=4096,
+            cpu=CpuCosts(int_ops=36, mul_ops=16, loads=33, stores=1, branches=3),
+            bytes_in_per_item=32,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=64 * 1024,
+        ),
+        # KMP: one item = one text character through the automaton.
+        _spec(
+            "KMP",
+            "Knuth-Morris-Pratt matching",
+            "memory",
+            base_items=32768,
+            cpu=CpuCosts(int_ops=10, mul_ops=0, loads=3, stores=1, branches=4),
+            bytes_in_per_item=1,
+            bytes_out_per_item=0.1,
+            tile_working_set_bytes=33 * 1024,
+        ),
+        # NW: one item = one DP cell of the alignment matrix.
+        _spec(
+            "NW",
+            "Needleman-Wunsch alignment",
+            "logic",
+            base_items=16384,
+            cpu=CpuCosts(int_ops=16, mul_ops=0, loads=6, stores=1, branches=4),
+            bytes_in_per_item=2,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=66 * 1024,
+        ),
+        # SRT: one item = four compare-exchange lanes of a merge pass.
+        # The same elements are revisited every pass, so the *distinct*
+        # data per item is the 16 KB array amortised over n log n steps.
+        _spec(
+            "SRT",
+            "merge sorting",
+            "logic",
+            base_items=12288,
+            cpu=CpuCosts(int_ops=14, mul_ops=0, loads=8, stores=8, branches=8),
+            bytes_in_per_item=1.4,
+            bytes_out_per_item=1.4,
+            tile_working_set_bytes=64 * 1024,
+        ),
+        # STN2: one item = one 3x3 stencil output pixel.
+        _spec(
+            "STN2",
+            "2-D stencil (3x3)",
+            "memory",
+            base_items=15876,
+            cpu=CpuCosts(int_ops=22, mul_ops=9, loads=10, stores=1, branches=3),
+            bytes_in_per_item=4,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=70 * 1024,
+        ),
+        # STN3: one item = one 7-point stencil output voxel.
+        _spec(
+            "STN3",
+            "3-D stencil (7-point)",
+            "memory",
+            base_items=21952,
+            cpu=CpuCosts(int_ops=18, mul_ops=7, loads=8, stores=1, branches=3),
+            bytes_in_per_item=4,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=36 * 1024,
+        ),
+        # VADD: one item = one element pair.
+        _spec(
+            "VADD",
+            "vector addition",
+            "memory",
+            base_items=16384,
+            cpu=CpuCosts(int_ops=4, mul_ops=0, loads=3, stores=1, branches=1),
+            bytes_in_per_item=8,
+            bytes_out_per_item=4,
+            tile_working_set_bytes=8 * 1024,
+        ),
+    ]
+)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return SUITE[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(SUITE))}"
+        )
+
+
+def benchmark_names() -> List[str]:
+    return sorted(SUITE)

@@ -1,0 +1,72 @@
+"""Synthetic memory-trace generation for the interference study.
+
+The paper's benchmarks "run in a batched and data-parallel fashion.
+So, while the total application working set can be up to 32MB ... the
+per-thread working set (one element of the batch) does not exceed
+128KB" (Sec. VI).  The trace generator reproduces exactly that
+structure: each thread walks batch elements of ``element_bytes``,
+making ``passes`` sweeps over each element (the reuse that private
+L1/L2 capture) before moving to the next element.
+
+Traces are streams of (address, is_write) pairs, replayed against
+:class:`repro.cache.hierarchy.CacheHierarchy` by the Fig. 15 harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .suite import BenchmarkSpec
+
+ELEMENT_BYTES_DEFAULT = 128 * 1024
+
+
+def batched_stream_trace(
+    *,
+    base_address: int,
+    elements: int,
+    element_bytes: int = ELEMENT_BYTES_DEFAULT,
+    passes: int = 2,
+    stride_bytes: int = 64,
+    write_fraction: float = 0.25,
+    seed: int = 0,
+) -> Iterator[Tuple[int, bool]]:
+    """A batched data-parallel access stream for one thread."""
+    rng = np.random.default_rng(seed)
+    accesses_per_pass = element_bytes // stride_bytes
+    for element in range(elements):
+        element_base = base_address + element * element_bytes
+        for _ in range(passes):
+            writes = rng.random(accesses_per_pass) < write_fraction
+            for index in range(accesses_per_pass):
+                yield element_base + index * stride_bytes, bool(writes[index])
+
+
+def trace_for_benchmark(
+    spec: BenchmarkSpec,
+    *,
+    thread: int,
+    elements: int = 4,
+    element_bytes: int = ELEMENT_BYTES_DEFAULT,
+    seed: int = 7,
+) -> List[Tuple[int, bool]]:
+    """A representative per-thread trace for one benchmark.
+
+    Each thread gets a disjoint address region (no false sharing); the
+    write fraction follows the benchmark's store/load mix.
+    """
+    costs = spec.cpu
+    total_mem_ops = max(costs.loads + costs.stores, 1)
+    write_fraction = costs.stores / total_mem_ops
+    region = 1 << 26  # 64 MB per thread keeps regions disjoint
+    return list(
+        batched_stream_trace(
+            base_address=thread * region,
+            elements=elements,
+            element_bytes=element_bytes,
+            write_fraction=write_fraction,
+            seed=seed + thread,
+        )
+    )

@@ -1,0 +1,66 @@
+"""The Compute-Cache-style bit-line baseline (Sec. VI contrast)."""
+
+import pytest
+
+from repro.baselines.compute_cache import (
+    DATA_MANIPULATION_SUITE,
+    BitlineOp,
+    ComputeCacheBaseline,
+    DataManipulationWorkload,
+)
+from repro.workloads.suite import benchmark_names
+
+
+@pytest.fixture
+def baseline():
+    return ComputeCacheBaseline()
+
+
+class TestDomainSpeedups:
+    def test_average_near_paper_quote(self, baseline):
+        """Paper: 'Compute Cache offers average speedups of 1.9X on
+        data-manipulation workloads'."""
+        average = baseline.average_speedup()
+        assert 1.5 <= average <= 2.5
+
+    def test_each_workload_speeds_up(self, baseline):
+        for workload in DATA_MANIPULATION_SUITE:
+            assert baseline.speedup(workload) > 1.0, workload.name
+
+    def test_amdahl_bounds_speedup(self, baseline):
+        for workload in DATA_MANIPULATION_SUITE:
+            ceiling = 1.0 / (1.0 - workload.accelerable_fraction + 1e-9)
+            assert baseline.speedup(workload) <= ceiling + 1e-6
+
+    def test_kernel_much_faster_than_cpu(self, baseline):
+        """In-place bit-line ops crush the CPU *kernel*, even though
+        Amdahl caps the end-to-end gain."""
+        workload = DATA_MANIPULATION_SUITE[0]
+        assert baseline.kernel_time_s(workload) < \
+            0.2 * baseline.cpu_time_s(workload)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DataManipulationWorkload("bad", BitlineOp.AND, 1024, 0.0)
+
+
+class TestDomainLimits:
+    def test_cannot_express_most_of_the_freac_suite(self):
+        """The central contrast: FReaC is 'not limited to bit-level
+        operations or a restricted domain'."""
+        expressible = [
+            name for name in benchmark_names()
+            if ComputeCacheBaseline.can_express(name)
+        ]
+        assert len(expressible) <= 2
+        for name in ("AES", "GEMM", "FC", "STN2", "NW"):
+            assert not ComputeCacheBaseline.can_express(name)
+
+    def test_freac_average_beats_compute_cache_average(self, baseline):
+        """Paper: 1.9x (Compute Cache, its own domain) vs 3x (FReaC,
+        diverse domain).  Our Fig. 12 FReaC-vs-multi-thread average
+        must beat the bit-line baseline's domain average."""
+        from repro.experiments import fig12
+
+        stats = fig12.summary(fig12.run())
+        assert stats["freac_vs_multi_thread"] > 0.8 * baseline.average_speedup()

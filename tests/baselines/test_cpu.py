@@ -1,0 +1,71 @@
+"""CPU baseline timing model."""
+
+import pytest
+
+from repro.baselines.cpu import CpuBaseline
+from repro.workloads.suite import SUITE, benchmark
+
+
+@pytest.fixture
+def cpu():
+    return CpuBaseline()
+
+
+class TestCyclesPerItem:
+    def test_positive_for_all_benchmarks(self, cpu):
+        for spec in SUITE.values():
+            assert cpu.cycles_per_item(spec) > 0
+
+    def test_port_pressure_binds(self, cpu):
+        spec = benchmark("GEMM")
+        costs = spec.cpu
+        lower_bound = max(
+            costs.mul_ops / cpu.mul_ops_per_cycle,
+            (costs.loads + costs.stores) / cpu.mem_ops_per_cycle,
+        )
+        assert cpu.cycles_per_item(spec) >= lower_bound
+
+
+class TestEstimates:
+    def test_threads_validated(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.estimate(benchmark("DOT"), threads=0)
+        with pytest.raises(ValueError):
+            cpu.estimate(benchmark("DOT"), threads=9)
+
+    def test_multithreading_helps(self, cpu):
+        for name in ("AES", "GEMM", "VADD"):
+            spec = benchmark(name)
+            single = cpu.estimate(spec, threads=1)
+            multi = cpu.estimate(spec, threads=8)
+            assert multi.kernel_s < single.kernel_s
+
+    def test_multithread_scaling_bounded_by_8x(self, cpu):
+        for spec in SUITE.values():
+            single = cpu.estimate(spec, threads=1)
+            multi = cpu.estimate(spec, threads=8)
+            assert single.kernel_s / multi.kernel_s <= 8.0 + 1e-9
+
+    def test_end_to_end_includes_init(self, cpu):
+        estimate = cpu.estimate(benchmark("GEMM"), threads=1)
+        assert estimate.end_to_end_s > estimate.kernel_s
+        assert estimate.end_to_end_s == pytest.approx(
+            estimate.init_s + estimate.kernel_s
+        )
+
+    def test_bound_label(self, cpu):
+        estimate = cpu.estimate(benchmark("AES"), threads=1)
+        assert estimate.bound in ("compute", "memory")
+
+    def test_footprint_aware_bandwidth(self, cpu):
+        small = cpu._stream_bandwidth(1, 1 << 20)      # fits LLC
+        large = cpu._stream_bandwidth(1, 1 << 30)      # DRAM resident
+        assert small > large
+
+
+class TestPower:
+    def test_power_monotone_in_threads(self, cpu):
+        assert cpu.power_w(8) > cpu.power_w(1)
+
+    def test_perf_per_watt_positive(self, cpu):
+        assert cpu.perf_per_watt(benchmark("DOT"), threads=8) > 0

@@ -1,0 +1,41 @@
+"""Embedded in-LLC cores baseline (Fig. 14)."""
+
+import pytest
+
+from repro.baselines.embedded import A7_AREA_MM2, EmbeddedCoresBaseline
+from repro.workloads.suite import SUITE, benchmark
+
+
+class TestEmbeddedCores:
+    def test_sixteen_cores_twice_as_fast(self):
+        spec = benchmark("GEMM")
+        eight = EmbeddedCoresBaseline(cores=8)
+        sixteen = EmbeddedCoresBaseline(cores=16)
+        ratio = eight.kernel_s(spec) / sixteen.kernel_s(spec)
+        assert ratio == pytest.approx(2.0, rel=0.2)
+
+    def test_slower_than_host_core_complex(self):
+        """8 in-order A7s at 2 GHz lose to 8 OoO A15s at 4 GHz."""
+        from repro.baselines.cpu import CpuBaseline
+
+        cpu = CpuBaseline()
+        ec = EmbeddedCoresBaseline(cores=8)
+        for name in ("GEMM", "AES", "NW"):
+            spec = benchmark(name)
+            assert ec.kernel_s(spec) > cpu.estimate(spec, threads=8).kernel_s
+
+    def test_kernel_time_positive_everywhere(self):
+        ec = EmbeddedCoresBaseline()
+        for spec in SUITE.values():
+            assert ec.kernel_s(spec) > 0
+
+    def test_iso_area_with_freac_overhead(self):
+        """One EC per slice is the paper's iso-area comparison point."""
+        # FReaC switched-mode overhead is ~0.48 mm^2/slice vs 0.49 mm^2/A7.
+        assert A7_AREA_MM2 == pytest.approx(0.49)
+
+    def test_power_below_host(self):
+        from repro.power.cpu_power import CpuPowerModel
+
+        assert EmbeddedCoresBaseline(cores=8).power_w() < \
+            CpuPowerModel().all_cores_power_w()

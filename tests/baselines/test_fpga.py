@@ -1,0 +1,80 @@
+"""FPGA baseline models."""
+
+import pytest
+
+from repro.baselines.fpga import (
+    DMA_SETUP_S,
+    FpgaBaseline,
+    ULTRA96,
+    ZCU102,
+    ip_resources,
+)
+from repro.workloads.suite import SUITE, benchmark
+
+
+class TestResources:
+    def test_resources_positive(self):
+        for name in SUITE:
+            luts, dsps = ip_resources(name)
+            assert luts > 0
+            assert dsps >= 0
+
+    def test_aes_is_lut_hungry(self):
+        aes_luts, aes_dsps = ip_resources("AES")
+        dot_luts, _ = ip_resources("DOT")
+        assert aes_luts > 10 * dot_luts
+        assert aes_dsps == 0
+
+    def test_mac_kernels_use_dsps(self):
+        _, dsps = ip_resources("GEMM")
+        assert dsps > 0
+
+
+class TestCopies:
+    def test_copies_capped_at_256(self):
+        baseline = FpgaBaseline(ZCU102)
+        for name in SUITE:
+            assert 1 <= baseline.copies_for(SUITE[name]) <= 256
+
+    def test_u96_fits_fewer_copies(self):
+        big = FpgaBaseline(ZCU102)
+        small = FpgaBaseline(ULTRA96)
+        for name in ("AES", "GEMM", "FC"):
+            spec = benchmark(name)
+            assert small.copies_for(spec) <= big.copies_for(spec)
+
+
+class TestEstimates:
+    def test_dma_setup_charged(self):
+        estimate = FpgaBaseline(ZCU102).estimate(benchmark("DOT"))
+        assert estimate.setup_s == DMA_SETUP_S
+        assert estimate.end_to_end_s >= DMA_SETUP_S
+
+    def test_transfer_scales_with_dataset(self):
+        baseline = FpgaBaseline(ZCU102)
+        big = baseline.estimate(benchmark("STN2"))   # ~32 MB moved
+        small = baseline.estimate(benchmark("FC"))   # ~4.5 MB moved
+        assert big.transfer_s > small.transfer_s
+
+    def test_u96_link_slower(self):
+        spec = benchmark("GEMM")
+        zcu = FpgaBaseline(ZCU102).estimate(spec)
+        u96 = FpgaBaseline(ULTRA96).estimate(spec)
+        assert u96.transfer_s > zcu.transfer_s
+
+    def test_power_between_idle_and_full(self):
+        for platform in (ZCU102, ULTRA96):
+            estimate = FpgaBaseline(platform).estimate(benchmark("AES"))
+            assert platform.idle_power_w <= estimate.power_w <= (
+                platform.idle_power_w + platform.dynamic_power_full_w
+            )
+
+    def test_zcu102_idle_matches_measurement(self):
+        # The paper quotes 12 W idle for the PCIe board [18].
+        assert ZCU102.idle_power_w == 12.0
+
+    def test_energy_is_power_times_time(self):
+        estimate = FpgaBaseline(ZCU102).estimate(benchmark("SRT"))
+        assert estimate.energy_j == pytest.approx(
+            estimate.power_w * estimate.end_to_end_s
+        )

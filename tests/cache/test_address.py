@@ -1,0 +1,103 @@
+"""Address codec: the decode/encode bijection and field extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.address import AddressCodec, DecodedAddress
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def codec():
+    return AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+
+
+class TestDecode:
+    def test_line_offset(self, codec):
+        assert codec.decode(0x12345).line_offset == 0x12345 % 64
+
+    def test_slice_interleaving_rotates_per_line(self, codec):
+        slices = [codec.decode(line * 64).slice_index for line in range(16)]
+        assert slices == [line % 8 for line in range(16)]
+
+    def test_same_line_same_fields(self, codec):
+        a = codec.decode(0x40000)
+        b = codec.decode(0x40000 + 63)
+        assert (a.slice_index, a.set_index, a.tag) == (
+            b.slice_index,
+            b.set_index,
+            b.tag,
+        )
+
+    def test_negative_address_rejected(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.decode(-1)
+
+    def test_set_index_in_range(self, codec):
+        for address in range(0, 1 << 20, 4096 + 64):
+            assert 0 <= codec.decode(address).set_index < 1024
+
+    def test_line_key_unique_per_line(self, codec):
+        keys = {
+            codec.decode(line * 64).line_key for line in range(4096)
+        }
+        assert len(keys) == 4096
+
+
+class TestEncodeRoundtrip:
+    @given(st.integers(min_value=0, max_value=(1 << 44) - 1))
+    def test_bijection(self, address):
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        assert codec.encode(codec.decode(address)) == address
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 40) - 1),
+        st.sampled_from([1, 2, 3, 5, 8]),
+        st.sampled_from([64, 128]),
+    )
+    def test_bijection_across_geometries(self, address, slices, line_bytes):
+        codec = AddressCodec(
+            line_bytes=line_bytes, sets_per_slice=256, slices=slices
+        )
+        assert codec.encode(codec.decode(address)) == address
+
+
+class TestValidation:
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            AddressCodec(line_bytes=48, sets_per_slice=1024, slices=8)
+
+    def test_sets_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            AddressCodec(line_bytes=64, sets_per_slice=1000, slices=8)
+
+    def test_needs_at_least_one_slice(self):
+        with pytest.raises(ConfigurationError):
+            AddressCodec(line_bytes=64, sets_per_slice=1024, slices=0)
+
+
+class TestLinesInRange:
+    def test_empty_range(self, codec):
+        assert codec.lines_in_range(0x1000, 0) == 0
+
+    def test_single_byte(self, codec):
+        assert codec.lines_in_range(0x1000, 1) == 1
+
+    def test_aligned_range(self, codec):
+        assert codec.lines_in_range(0, 64 * 10) == 10
+
+    def test_straddling_range(self, codec):
+        assert codec.lines_in_range(32, 64) == 2
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_count_matches_enumeration(self, base, size):
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        expected = len(
+            {address // 64 for address in (base, base + size - 1)}
+        )
+        lines = codec.lines_in_range(base, size)
+        assert lines == (base + size - 1) // 64 - base // 64 + 1
+        assert lines >= expected

@@ -1,0 +1,109 @@
+"""Generic set-associative cache vs a reference model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.errors import CacheError
+from repro.params import CacheLevelParams
+
+
+def make_cache(size_kb=4, ways=4) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheLevelParams("test", size_kb * 1024, ways, 1)
+    )
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_cache(4, 4)
+        assert cache.sets == 16
+
+    def test_miss_fill_hit(self):
+        cache = make_cache()
+        assert not cache.access(0, is_write=False)
+        assert cache.access(0, is_write=False)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_after_capacity(self):
+        cache = make_cache(4, 4)
+        # 5 lines in the same set (stride = sets).
+        for i in range(5):
+            cache.access(i * 16, is_write=False)
+        assert cache.stats.evictions == 1
+        assert not cache.probe(0)
+
+    def test_dirty_writeback_counted(self):
+        cache = make_cache(4, 1)  # 64 sets, direct mapped
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)  # same set: evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(0, is_write=False)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+        assert not cache.invalidate(0)
+
+    def test_flush_all_counts_dirty(self):
+        cache = make_cache()
+        cache.access(0, is_write=True)
+        cache.access(1000, is_write=False)
+        assert cache.flush_all() == 1
+        assert cache.resident_lines() == 0
+
+
+class TestRestrictWays:
+    def test_restriction_reduces_capacity(self):
+        cache = make_cache(4, 4)
+        cache.restrict_ways(2)
+        for i in range(3):
+            cache.access(i * 16, is_write=False)
+        assert cache.stats.evictions == 1
+
+    def test_restriction_invalidates_upper_ways(self):
+        cache = make_cache(4, 4)
+        for i in range(4):
+            cache.access(i * 16, is_write=False)
+        cache.restrict_ways(2)
+        assert cache.resident_lines() <= 2 * 16
+
+    def test_invalid_restriction(self):
+        with pytest.raises(CacheError):
+            make_cache().restrict_ways(0)
+        with pytest.raises(CacheError):
+            make_cache(4, 4).restrict_ways(5)
+
+
+class TestReferenceModel:
+    @given(st.lists(
+        st.tuples(st.integers(0, 127), st.booleans()), max_size=200
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_lru_reference(self, accesses):
+        cache = make_cache(1, 2)  # 8 sets, 2 ways
+        sets = cache.sets
+        reference = {}
+        for line, is_write in accesses:
+            set_index = line % sets
+            tags = reference.setdefault(set_index, [])
+            expected_hit = line in tags
+            actual_hit = cache.access(line, is_write)
+            assert actual_hit == expected_hit
+            if expected_hit:
+                tags.remove(line)
+            elif len(tags) == 2:
+                tags.pop(0)
+            tags.append(line)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_rate_bounded(self, lines):
+        cache = make_cache(4, 4)
+        for line in lines:
+            cache.access(line, is_write=False)
+        assert 0.0 <= cache.stats.miss_rate <= 1.0
+        # Every distinct line must cold-miss at least once.
+        assert cache.stats.misses >= len(set(lines))

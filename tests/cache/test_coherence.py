@@ -1,0 +1,136 @@
+"""Directory MSI coherence: protocol transitions and SWMR invariant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.coherence import CoherentSystem, MsiState
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def system():
+    return CoherentSystem(cores=4)
+
+
+class TestTransitions:
+    def test_cold_read_installs_shared(self, system):
+        assert not system.read(0, 0x10)
+        assert system.state_of(0, 0x10) is MsiState.SHARED
+        assert system.read(0, 0x10)  # now a hit
+
+    def test_two_readers_share(self, system):
+        system.read(0, 0x10)
+        system.read(1, 0x10)
+        assert system.sharers_of(0x10) == {0, 1}
+        assert system.owner_of(0x10) is None
+
+    def test_write_invalidates_sharers(self, system):
+        system.read(0, 0x10)
+        system.read(1, 0x10)
+        system.write(2, 0x10)
+        assert system.state_of(0, 0x10) is MsiState.INVALID
+        assert system.state_of(1, 0x10) is MsiState.INVALID
+        assert system.state_of(2, 0x10) is MsiState.MODIFIED
+        assert system.stats.invalidations == 2
+
+    def test_read_downgrades_writer(self, system):
+        system.write(0, 0x20)
+        system.read(1, 0x20)
+        assert system.state_of(0, 0x20) is MsiState.SHARED
+        assert system.owner_of(0x20) is None
+        assert system.stats.downgrades == 1
+        assert system.stats.writebacks == 1
+
+    def test_write_upgrade_from_shared(self, system):
+        system.read(0, 0x30)
+        system.write(0, 0x30)
+        assert system.state_of(0, 0x30) is MsiState.MODIFIED
+        assert system.owner_of(0x30) == 0
+
+    def test_write_hit_when_already_modified(self, system):
+        system.write(0, 0x40)
+        assert system.write(0, 0x40)
+        assert system.stats.write_hits == 1
+
+    def test_core_bounds(self, system):
+        with pytest.raises(CacheError):
+            system.read(4, 0)
+
+
+class TestFlush:
+    def test_flush_writes_back_dirty(self, system):
+        system.write(0, 0x50)
+        assert system.flush_line(0x50) == 1
+        assert system.state_of(0, 0x50) is MsiState.INVALID
+        assert system.owner_of(0x50) is None
+
+    def test_flush_clean_copies_free(self, system):
+        system.read(0, 0x60)
+        system.read(1, 0x60)
+        assert system.flush_line(0x60) == 0
+        assert system.sharers_of(0x60) == set()
+
+    def test_flush_range_counts_dirty_lines(self, system):
+        for line in range(8):
+            system.write(line % 3, line)
+        assert system.flush_range(0, 8) == 8
+
+    def test_flush_then_lock_scenario(self, system):
+        """The CC Ctrl flow: after a flush no core holds the region."""
+        for core in range(4):
+            system.write(core, 0x100 + core)
+            system.read(core, 0x200)
+        system.flush_range(0x100, 4)
+        system.flush_line(0x200)
+        for core in range(4):
+            for line in list(range(0x100, 0x104)) + [0x200]:
+                assert system.state_of(core, line) is MsiState.INVALID
+        system.check_invariants()
+
+
+class TestCapacity:
+    def test_eviction_writes_back_modified(self):
+        system = CoherentSystem(cores=1, private_capacity_lines=2)
+        system.write(0, 1)
+        system.write(0, 2)
+        system.write(0, 3)  # evicts line 1
+        assert system.stats.writebacks == 1
+        assert system.state_of(0, 1) is MsiState.INVALID
+        system.check_invariants()
+
+
+class TestSwmrInvariant:
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 3),              # core
+            st.integers(0, 15),             # line
+            st.booleans(),                  # is_write
+        ),
+        max_size=200,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_holds_under_random_traffic(self, operations):
+        system = CoherentSystem(cores=4, private_capacity_lines=4)
+        for core, line, is_write in operations:
+            if is_write:
+                system.write(core, line)
+            else:
+                system.read(core, line)
+            system.check_invariants()
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 7), st.booleans(),
+                  st.booleans()),
+        max_size=120,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_with_interleaved_flushes(self, operations):
+        system = CoherentSystem(cores=3, private_capacity_lines=8)
+        for core, line, is_write, flush in operations:
+            if flush:
+                system.flush_line(line)
+            elif is_write:
+                system.write(core, line)
+            else:
+                system.read(core, line)
+            system.check_invariants()

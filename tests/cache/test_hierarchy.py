@@ -1,0 +1,113 @@
+"""Three-level hierarchy: service levels, latencies, capacity limits."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ConfigurationError
+from repro.params import default_system
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(cores=2)
+
+
+class TestServiceLevels:
+    def test_cold_access_goes_to_dram(self, hierarchy):
+        result = hierarchy.access(0, 0x10000, is_write=False)
+        assert result.level == "DRAM"
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0, 0x10000, is_write=False)
+        result = hierarchy.access(0, 0x10000, is_write=False)
+        assert result.level == "L1"
+        assert result.latency_cycles == default_system().l1.latency_cycles
+
+    def test_same_line_different_word_hits(self, hierarchy):
+        hierarchy.access(0, 0x10000, is_write=False)
+        assert hierarchy.access(0, 0x10020, is_write=False).level == "L1"
+
+    def test_other_core_hits_in_shared_l3(self, hierarchy):
+        hierarchy.access(0, 0x20000, is_write=False)
+        result = hierarchy.access(1, 0x20000, is_write=False)
+        assert result.level == "L3"
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        system = default_system()
+        target = 0x40000
+        hierarchy.access(0, target, is_write=False)
+        # Evict the target from L1 (32 KB / 2-way): walk conflicting lines.
+        sets = system.l1.sets
+        for i in range(1, 4):
+            hierarchy.access(0, target + i * sets * 64, is_write=False)
+        result = hierarchy.access(0, target, is_write=False)
+        assert result.level in ("L2", "L3")  # must have left L1
+        assert result.latency_cycles > system.l1.latency_cycles
+
+    def test_latencies_ordered(self, hierarchy):
+        hierarchy.access(0, 0, is_write=False)
+        l1 = hierarchy.access(0, 0, is_write=False).latency_cycles
+        dram = hierarchy.access(0, 0x900000, is_write=False).latency_cycles
+        assert dram > l1
+
+    def test_invalid_core(self, hierarchy):
+        with pytest.raises(ConfigurationError):
+            hierarchy.access(5, 0, is_write=False)
+
+
+class TestCapacityRestriction:
+    def test_default_l3_is_10mb(self):
+        assert CacheHierarchy(cores=1).l3_capacity_bytes == 10 * 1024 * 1024
+
+    def test_restricted_l3(self):
+        hierarchy = CacheHierarchy(cores=1, l3_bytes_available=1 * 1024 * 1024)
+        assert hierarchy.l3_capacity_bytes == 1 * 1024 * 1024
+
+    def test_restriction_rounds_to_ways(self):
+        hierarchy = CacheHierarchy(cores=1, l3_bytes_available=1_600_000)
+        way_bytes = 10 * 1024 * 1024 // 20
+        assert hierarchy.l3_capacity_bytes % way_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(cores=1, l3_bytes_available=-1)
+
+    def test_zero_capacity_bypasses_llc(self):
+        """Sec. III-C: with the whole LLC consumed for compute, 'core
+        requests are treated as misses, and forwarded to memory'."""
+        hierarchy = CacheHierarchy(cores=1, l3_bytes_available=0)
+        assert hierarchy.l3_capacity_bytes == 0
+        first = hierarchy.access(0, 0x9000, is_write=False)
+        assert first.level == "DRAM"
+        # Re-touching after evicting from L1/L2 would miss to DRAM
+        # again, but private caches still work:
+        assert hierarchy.access(0, 0x9000, is_write=False).level == "L1"
+        assert hierarchy.stats.l3_hits == 0
+
+    def test_smaller_l3_misses_more(self):
+        footprint = 4 * 1024 * 1024
+        lines = range(0, footprint, 64)
+
+        def dram_accesses(l3_bytes):
+            hierarchy = CacheHierarchy(cores=1, l3_bytes_available=l3_bytes)
+            for _ in range(2):
+                for address in lines:
+                    hierarchy.access(0, address, is_write=False)
+            return hierarchy.stats.dram_accesses
+
+        small = dram_accesses(1 * 1024 * 1024)
+        large = dram_accesses(8 * 1024 * 1024)
+        assert small > large
+
+
+class TestTraceHelpers:
+    def test_run_trace_accumulates(self, hierarchy):
+        trace = [(i * 64, False) for i in range(32)]
+        total = hierarchy.run_trace(0, trace)
+        assert total > 0
+        assert hierarchy.stats.accesses == 32
+
+    def test_flush_everything(self, hierarchy):
+        hierarchy.access(0, 0, is_write=True)
+        dirty = hierarchy.flush_everything()
+        assert dirty >= 1

@@ -1,0 +1,35 @@
+"""Hierarchy statistics derivations."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyStats
+
+
+class TestStats:
+    def test_l3_miss_rate_empty(self):
+        assert HierarchyStats().l3_miss_rate == 0.0
+
+    def test_l3_miss_rate_counts_only_l3_traffic(self):
+        stats = HierarchyStats(l3_hits=3, dram_accesses=1, l1_hits=100)
+        assert stats.l3_miss_rate == pytest.approx(0.25)
+
+    def test_as_dict(self):
+        stats = HierarchyStats(accesses=5)
+        assert stats.as_dict()["accesses"] == 5
+
+    def test_levels_sum_to_accesses(self):
+        hierarchy = CacheHierarchy(cores=1)
+        for address in range(0, 64 * 200, 32):
+            hierarchy.access(0, address, is_write=False)
+        stats = hierarchy.stats
+        assert (
+            stats.l1_hits + stats.l2_hits + stats.l3_hits
+            + stats.dram_accesses
+        ) == stats.accesses
+
+    def test_repeat_sweep_improves_hit_rate(self):
+        hierarchy = CacheHierarchy(cores=1)
+        trace = [(address, False) for address in range(0, 64 * 100, 64)]
+        first = hierarchy.run_trace(0, trace)
+        second = hierarchy.run_trace(0, trace)
+        assert second < first  # everything now on chip

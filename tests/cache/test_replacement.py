@@ -1,0 +1,99 @@
+"""Replacement policies: LRU order, pseudo-LRU, and locked ways."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.replacement import LruPolicy, PseudoLruPolicy
+from repro.errors import CacheError
+
+
+class TestLru:
+    def test_initial_victim_is_way_zero_when_all_valid(self):
+        policy = LruPolicy(4)
+        assert policy.victim(set(), [True] * 4) == 0
+
+    def test_prefers_invalid_way(self):
+        policy = LruPolicy(4)
+        assert policy.victim(set(), [True, False, True, True]) == 1
+
+    def test_touch_moves_to_mru(self):
+        policy = LruPolicy(4)
+        policy.touch(0)
+        assert policy.victim(set(), [True] * 4) == 1
+
+    def test_full_recency_order(self):
+        policy = LruPolicy(4)
+        for way in (2, 0, 3, 1):
+            policy.touch(way)
+        assert policy.recency() == [2, 0, 3, 1]
+
+    def test_locked_way_never_victim(self):
+        policy = LruPolicy(4)
+        assert policy.victim({0, 1}, [True] * 4) == 2
+
+    def test_locked_invalid_way_not_chosen(self):
+        policy = LruPolicy(2)
+        assert policy.victim({0}, [False, True]) == 1
+
+    def test_all_locked_raises(self):
+        policy = LruPolicy(2)
+        with pytest.raises(CacheError):
+            policy.victim({0, 1}, [True, True])
+
+    def test_touch_out_of_range(self):
+        with pytest.raises(CacheError):
+            LruPolicy(4).touch(4)
+
+    def test_wrong_valid_length(self):
+        with pytest.raises(CacheError):
+            LruPolicy(4).victim(set(), [True] * 3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=64))
+    def test_victim_is_least_recently_touched(self, touches):
+        policy = LruPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        victim = policy.victim(set(), [True] * 8)
+        # The victim must not be more recent than any other way.
+        order = policy.recency()
+        assert order[0] == victim
+
+
+class TestPseudoLru:
+    def test_prefers_invalid_way(self):
+        policy = PseudoLruPolicy(8)
+        assert policy.victim(set(), [True] * 4 + [False] + [True] * 3) == 4
+
+    def test_victim_changes_after_touch(self):
+        policy = PseudoLruPolicy(4)
+        first = policy.victim(set(), [True] * 4)
+        policy.touch(first)
+        second = policy.victim(set(), [True] * 4)
+        assert second != first
+
+    def test_never_picks_locked(self):
+        policy = PseudoLruPolicy(4)
+        for _ in range(16):
+            victim = policy.victim({0, 2}, [True] * 4)
+            assert victim in (1, 3)
+            policy.touch(victim)
+
+    def test_non_power_of_two_ways(self):
+        policy = PseudoLruPolicy(20)
+        victim = policy.victim(set(), [True] * 20)
+        assert 0 <= victim < 20
+
+    def test_all_locked_raises(self):
+        with pytest.raises(CacheError):
+            PseudoLruPolicy(2).victim({0, 1}, [True, True])
+
+    @given(st.lists(st.integers(min_value=0, max_value=19), max_size=100))
+    def test_victim_always_in_range_and_unlocked(self, touches):
+        policy = PseudoLruPolicy(20)
+        locked = {3, 7}
+        for way in touches:
+            policy.touch(way)
+        victim = policy.victim(locked, [True] * 20)
+        assert 0 <= victim < 20
+        assert victim not in locked

@@ -1,0 +1,88 @@
+"""NUCA ring interconnect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.address import AddressCodec
+from repro.cache.ring import NucaLlc, RingInterconnect
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ring():
+    return RingInterconnect(stations=8)
+
+
+class TestHops:
+    def test_self_is_zero(self, ring):
+        assert ring.hops(3, 3) == 0
+
+    def test_neighbours(self, ring):
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1  # wraps the short way
+
+    def test_opposite_is_half(self, ring):
+        assert ring.hops(0, 4) == 4
+
+    def test_symmetric(self, ring):
+        for a in range(8):
+            for b in range(8):
+                assert ring.hops(a, b) == ring.hops(b, a)
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_bounded_by_half_ring(self, a, b):
+        assert RingInterconnect(stations=8).hops(a, b) <= 4
+
+    def test_bounds_checked(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.hops(0, 8)
+
+
+class TestLatency:
+    def test_local_slice_is_fastest(self, ring):
+        latencies = [ring.access_latency(0, s) for s in range(8)]
+        assert min(latencies) == ring.access_latency(0, 0)
+
+    def test_nonuniform(self, ring):
+        assert ring.access_latency(0, 4) > ring.access_latency(0, 1)
+
+    def test_average_matches_table1(self, ring):
+        """The defaults reproduce Table I's 27-cycle L3 latency."""
+        assert ring.average_access_latency() == pytest.approx(27.0, abs=2.0)
+
+    def test_average_independent_of_core(self, ring):
+        averages = {ring.average_access_latency(core) for core in range(8)}
+        assert len(averages) == 1
+
+    def test_worst_case(self, ring):
+        assert ring.worst_case_latency() > ring.average_access_latency()
+
+
+class TestNucaLlc:
+    def make(self):
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        return NucaLlc(codec)
+
+    def test_interleaving_balances_streaming(self):
+        nuca = self.make()
+        for address in range(0, 64 * 4096, 64):
+            nuca.access(0, address)
+        assert nuca.load_balance() == pytest.approx(1.0)
+
+    def test_average_latency_tracks_ring(self):
+        nuca = self.make()
+        for address in range(0, 64 * 800, 64):
+            nuca.access(0, address)
+        assert nuca.average_latency() == pytest.approx(
+            nuca.ring.average_access_latency(), abs=0.5
+        )
+
+    def test_station_mismatch_rejected(self):
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        with pytest.raises(ConfigurationError):
+            NucaLlc(codec, RingInterconnect(stations=4))
+
+    def test_empty_stats(self):
+        nuca = self.make()
+        assert nuca.average_latency() == 0.0
+        assert nuca.load_balance() == 1.0

@@ -1,0 +1,185 @@
+"""The LLC slice: tags, data, way locking, and flushing."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.slice_ import CacheSlice, LineState, WayMode
+from repro.errors import CacheError, LockedWayError
+from repro.params import SliceParams
+
+
+def small_slice(ways: int = 4) -> CacheSlice:
+    """A reduced-geometry slice so tests stay fast."""
+    return CacheSlice(SliceParams(ways=ways))
+
+
+LINE = os.urandom(64)
+
+
+class TestGeometry:
+    def test_default_capacity(self):
+        cache = CacheSlice()
+        assert cache.params.capacity_bytes == 1.25 * 1024 * 1024
+        assert cache.sets == 1024
+        assert cache.ways == 20
+
+    def test_subarray_count_matches_table2(self):
+        assert CacheSlice().params.subarray_count == 160
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_slice()
+        assert cache.lookup(3, tag=7) is None
+        cache.fill(3, tag=7)
+        assert cache.lookup(3, tag=7) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_fill_returns_victim_when_set_full(self):
+        cache = small_slice(ways=2)
+        assert cache.fill(0, tag=1) is None
+        assert cache.fill(0, tag=2) is None
+        victim = cache.fill(0, tag=3)
+        assert victim is not None
+        assert victim.tag == 1  # LRU order
+
+    def test_dirty_victim_carries_data(self):
+        cache = small_slice(ways=2)
+        cache.fill(0, tag=1, data=LINE, dirty=True)
+        cache.fill(0, tag=2)
+        victim = cache.fill(0, tag=3)
+        assert victim.dirty
+        assert victim.data == LINE
+
+    def test_clean_victim_has_no_writeback(self):
+        cache = small_slice(ways=2)
+        cache.fill(0, tag=1, data=LINE, dirty=False)
+        cache.fill(0, tag=2)
+        victim = cache.fill(0, tag=3)
+        assert not victim.dirty
+        assert cache.stats.writebacks == 0
+
+    def test_line_data_roundtrip(self):
+        cache = small_slice()
+        cache.fill(9, tag=5, data=LINE)
+        way = cache.lookup(9, tag=5)
+        assert cache.read_line(9, way) == LINE
+
+    def test_write_line_marks_dirty(self):
+        cache = small_slice()
+        cache.fill(1, tag=1, data=bytes(64))
+        way = cache.lookup(1, tag=1)
+        cache.write_line(1, way, LINE)
+        assert cache.line_state(1, way) is LineState.DIRTY
+        assert cache.read_line(1, way) == LINE
+
+    def test_wrong_line_size_rejected(self):
+        cache = small_slice()
+        cache.fill(0, tag=0, data=bytes(64))
+        with pytest.raises(CacheError):
+            cache.write_line(0, 0, b"short")
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 15), st.booleans()),
+        max_size=80,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_model(self, operations):
+        """The slice agrees with a dict-of-sets LRU reference model."""
+        cache = small_slice(ways=4)
+        reference = {}  # set -> list of tags, LRU first
+        for set_index, tag, _ in operations:
+            tags = reference.setdefault(set_index, [])
+            hit_expected = tag in tags
+            hit_actual = cache.lookup(set_index, tag) is not None
+            assert hit_actual == hit_expected
+            if hit_expected:
+                tags.remove(tag)
+                tags.append(tag)
+            else:
+                cache.fill(set_index, tag)
+                if len(tags) == 4:
+                    tags.pop(0)
+                tags.append(tag)
+
+
+class TestWayLocking:
+    def test_lock_removes_from_caching(self):
+        cache = small_slice()
+        cache.fill(0, tag=9)
+        cache.lock_ways([0, 1, 2, 3], WayMode.COMPUTE)
+        with pytest.raises(LockedWayError):
+            cache.fill(0, tag=10)
+
+    def test_partial_lock_keeps_cache_working(self):
+        cache = small_slice()
+        cache.lock_ways([2, 3], WayMode.SCRATCHPAD)
+        cache.fill(0, tag=1)
+        cache.fill(0, tag=2)
+        victim = cache.fill(0, tag=3)
+        assert victim is not None  # only 2 cache ways remain
+
+    def test_lock_flushes_dirty_lines(self):
+        cache = small_slice()
+        cache.fill(5, tag=1, data=LINE, dirty=True)
+        way = cache.lookup(5, tag=1)
+        flushed = cache.lock_ways([way], WayMode.COMPUTE)
+        dirty = [line for line in flushed if line.dirty]
+        assert len(dirty) == 1
+        assert dirty[0].data == LINE
+        assert cache.dirty_line_count() == 0
+
+    def test_double_lock_rejected(self):
+        cache = small_slice()
+        cache.lock_ways([0], WayMode.COMPUTE)
+        with pytest.raises(LockedWayError):
+            cache.lock_ways([0], WayMode.SCRATCHPAD)
+
+    def test_unlock_restores_cache_mode(self):
+        cache = small_slice()
+        cache.lock_ways([0], WayMode.COMPUTE)
+        cache.unlock_ways([0])
+        assert cache.way_mode(0) is WayMode.CACHE
+        assert cache.locked_ways == set()
+
+    def test_way_arrays_only_when_locked(self):
+        cache = small_slice()
+        with pytest.raises(LockedWayError):
+            cache.way_arrays(0)
+        cache.lock_ways([0], WayMode.COMPUTE)
+        arrays = cache.way_arrays(0)
+        assert len(arrays) == cache.params.quadrants
+
+    def test_lock_to_cache_mode_rejected(self):
+        cache = small_slice()
+        with pytest.raises(CacheError):
+            cache.lock_ways([0], WayMode.CACHE)
+
+
+class TestFlush:
+    def test_flush_way_invalidates(self):
+        cache = small_slice(ways=2)
+        cache.fill(0, tag=1, data=LINE, dirty=True)
+        cache.fill(1, tag=2, data=LINE, dirty=False)
+        flushed = cache.flush_way(0) + cache.flush_way(1)
+        assert {line.tag for line in flushed} == {1, 2}
+        assert cache.stats.flushed_dirty_lines == 1
+        assert cache.stats.flushed_clean_lines == 1
+        assert cache.lookup(0, tag=1) is None
+
+    def test_flush_empty_way(self):
+        cache = small_slice()
+        assert cache.flush_way(3) == []
+
+
+class TestEnergyAccounting:
+    def test_line_io_charges_subarray_accesses(self):
+        cache = small_slice()
+        before = cache.subarray_access_count
+        cache.fill(0, tag=1, data=LINE)
+        after = cache.subarray_access_count
+        # 64-byte line striped as 16 x 32-bit words.
+        assert after - before == 16

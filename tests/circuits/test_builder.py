@@ -1,0 +1,176 @@
+"""Gate-level arithmetic builders vs Python integer semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.errors import CircuitError
+
+WORD = st.integers(min_value=0, max_value=(1 << 32) - 1)
+U16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def eval_bits(builder, bits, bindings):
+    netlist = builder.netlist
+    for index, bit in enumerate(bits):
+        netlist.set_output(f"__bit{index}", bit)
+    result = simulate(netlist, bindings)
+    return sum(result.outputs[f"__bit{index}"] << index
+               for index in range(len(bits)))
+
+
+def bit_inputs(builder, name, width):
+    return [builder.bit_input(f"{name}{i}") for i in range(width)]
+
+
+def bindings_for(name, value, width):
+    return {f"{name}{i}": (value >> i) & 1 for i in range(width)}
+
+
+class TestVectorArithmetic:
+    @given(U16, U16)
+    def test_add_vec(self, x, y):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 16)
+        b = bit_inputs(builder, "b", 16)
+        total, carry = builder.add_vec(a, b)
+        bindings = {**bindings_for("a", x, 16), **bindings_for("b", y, 16)}
+        got = eval_bits(builder, total + [carry], bindings)
+        assert got == x + y
+
+    @given(U16, U16)
+    def test_sub_vec_flag_is_geq(self, x, y):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 16)
+        b = bit_inputs(builder, "b", 16)
+        diff, geq = builder.sub_vec(a, b)
+        bindings = {**bindings_for("a", x, 16), **bindings_for("b", y, 16)}
+        got = eval_bits(builder, diff + [geq], bindings)
+        assert got & 0xFFFF == (x - y) & 0xFFFF
+        assert (got >> 16) == (1 if x >= y else 0)
+
+    @given(U16, U16)
+    def test_eq_and_lt(self, x, y):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 16)
+        b = bit_inputs(builder, "b", 16)
+        eq = builder.eq_vec(a, b)
+        lt = builder.lt_unsigned(a, b)
+        bindings = {**bindings_for("a", x, 16), **bindings_for("b", y, 16)}
+        got = eval_bits(builder, [eq, lt], bindings)
+        assert got & 1 == (1 if x == y else 0)
+        assert (got >> 1) & 1 == (1 if x < y else 0)
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1),
+           st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_lt_signed(self, x, y):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 16)
+        b = bit_inputs(builder, "b", 16)
+        lt = builder.lt_signed(a, b)
+        bindings = {
+            **bindings_for("a", x & 0xFFFF, 16),
+            **bindings_for("b", y & 0xFFFF, 16),
+        }
+        assert eval_bits(builder, [lt], bindings) == (1 if x < y else 0)
+
+    def test_width_mismatch_rejected(self):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 4)
+        b = bit_inputs(builder, "b", 5)
+        with pytest.raises(CircuitError):
+            builder.xor_vec(a, b)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_rotate_left(self, value, amount):
+        builder = CircuitBuilder()
+        a = bit_inputs(builder, "a", 8)
+        rotated = builder.rotate_left(a, amount)
+        got = eval_bits(builder, rotated, bindings_for("a", value, 8))
+        expected = ((value << amount) | (value >> (8 - amount))) & 0xFF
+        assert got == expected
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder().reduce_and([])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=9))
+    def test_reductions(self, values):
+        builder = CircuitBuilder()
+        bits = bit_inputs(builder, "a", len(values))
+        nodes = [
+            builder.reduce_and(bits),
+            builder.reduce_or(bits),
+            builder.reduce_xor(bits),
+        ]
+        bindings = {f"a{i}": int(v) for i, v in enumerate(values)}
+        got = eval_bits(builder, nodes, bindings)
+        assert got & 1 == int(all(values))
+        assert (got >> 1) & 1 == int(any(values))
+        assert (got >> 2) & 1 == sum(values) % 2
+
+
+class TestWordOps:
+    @given(WORD, WORD, WORD)
+    def test_mac(self, a, b, c):
+        builder = CircuitBuilder()
+        x = builder.word_input("a")
+        y = builder.word_input("b")
+        z = builder.word_input("c")
+        builder.output_word("r", builder.mac(x, y, z))
+        result = simulate(builder.netlist, {"a": a, "b": b, "c": c})
+        assert result.outputs["r"] == (a * b + c) & 0xFFFFFFFF
+
+    @given(WORD, WORD)
+    def test_gate_level_word_add(self, a, b):
+        builder = CircuitBuilder()
+        x = builder.word_input("a")
+        y = builder.word_input("b")
+        builder.output_word("r", builder.add_words_gates(x, y))
+        result = simulate(builder.netlist, {"a": a, "b": b})
+        assert result.outputs["r"] == (a + b) & 0xFFFFFFFF
+
+    @given(WORD, WORD)
+    def test_min_max_unsigned(self, a, b):
+        builder = CircuitBuilder()
+        x = builder.word_input("a")
+        y = builder.word_input("b")
+        low, high = builder.min_max_unsigned(x, y)
+        builder.output_word("lo", low)
+        builder.output_word("hi", high)
+        outputs = simulate(builder.netlist, {"a": a, "b": b}).outputs
+        assert outputs["lo"] == min(a, b)
+        assert outputs["hi"] == max(a, b)
+
+    @given(WORD)
+    def test_relu(self, value):
+        builder = CircuitBuilder()
+        x = builder.word_input("a")
+        builder.output_word("r", builder.relu(x))
+        result = simulate(builder.netlist, {"a": value})
+        signed = value - (1 << 32) if value & (1 << 31) else value
+        assert result.outputs["r"] == (value if signed > 0 else 0)
+
+    def test_const_caching(self):
+        builder = CircuitBuilder()
+        assert builder.const_bit(1) == builder.const_bit(1)
+        assert builder.const_word(42).nid == builder.const_word(42).nid
+
+    def test_bus_stream_indices_increment(self):
+        builder = CircuitBuilder()
+        builder.bus_load("a")
+        builder.bus_load("a")
+        builder.bus_load("b")
+        netlist = builder.netlist
+        payloads = [node.payload for node in netlist.nodes]
+        assert ("a", 0) in payloads and ("a", 1) in payloads
+        assert ("b", 0) in payloads
+        netlist.validate()
+
+    @given(WORD)
+    def test_word_bits_roundtrip(self, value):
+        builder = CircuitBuilder()
+        word = builder.word_input("a")
+        rebuilt = builder.word_from_bits(word.bits)
+        builder.output_word("r", rebuilt)
+        assert simulate(builder.netlist, {"a": value}).outputs["r"] == value

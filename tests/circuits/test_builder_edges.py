@@ -1,0 +1,96 @@
+"""Builder edge cases not covered by the arithmetic property tests."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.circuits.builder import Word
+from repro.errors import CircuitError
+
+
+class TestWordWrapper:
+    def test_word_needs_a_source(self):
+        builder = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            Word(builder)
+
+    def test_bits_are_cached(self):
+        builder = CircuitBuilder()
+        word = builder.word_input("a")
+        assert word.bits == word.bits  # second call reuses the slices
+        before = len(builder.netlist)
+        word.bits
+        assert len(builder.netlist) == before
+
+    def test_nid_packs_lazily(self):
+        builder = CircuitBuilder()
+        bits = [builder.bit_input(f"b{i}") for i in range(4)]
+        word = builder.word_from_bits(bits)
+        count_before = len(builder.netlist)
+        _ = word.nid  # forces the PACK
+        assert len(builder.netlist) == count_before + 1
+
+    def test_too_many_bits_rejected(self):
+        builder = CircuitBuilder()
+        bits = [builder.const_bit(0)] * 33
+        with pytest.raises(CircuitError):
+            builder.word_from_bits(bits)
+
+
+class TestShifts:
+    @pytest.mark.parametrize("amount", [0, 1, 3, 7, 8, 12])
+    def test_shift_left_const(self, amount):
+        builder = CircuitBuilder()
+        bits = [builder.bit_input(f"a{i}") for i in range(8)]
+        zero = builder.const_bit(0)
+        shifted = builder.shift_left_const(bits, amount, zero)
+        assert len(shifted) == 8
+        for index, bit in enumerate(shifted):
+            builder.output_bit(f"s{index}", bit)
+        value = 0b1011_0101
+        bindings = {f"a{i}": (value >> i) & 1 for i in range(8)}
+        outputs = simulate(builder.netlist, bindings).outputs
+        got = sum(outputs[f"s{i}"] << i for i in range(8))
+        assert got == (value << amount) & 0xFF
+
+    def test_rotate_zero_is_identity(self):
+        builder = CircuitBuilder()
+        bits = [builder.bit_input(f"a{i}") for i in range(8)]
+        assert builder.rotate_left(bits, 0) == bits
+        assert builder.rotate_left(bits, 8) == bits
+
+
+class TestMiscOps:
+    def test_mux_word_selects(self):
+        builder = CircuitBuilder()
+        sel = builder.bit_input("s")
+        a = builder.word_input("a")
+        b = builder.word_input("b")
+        builder.output_word("r", builder.mux_word(sel, a, b))
+        assert simulate(builder.netlist,
+                        {"s": 0, "a": 11, "b": 22}).outputs["r"] == 11
+        assert simulate(builder.netlist,
+                        {"s": 1, "a": 11, "b": 22}).outputs["r"] == 22
+
+    def test_max_signed(self):
+        builder = CircuitBuilder()
+        a = builder.word_input("a")
+        b = builder.word_input("b")
+        builder.output_word("r", builder.max_signed(a, b))
+        neg_one = (1 << 32) - 1
+        assert simulate(builder.netlist,
+                        {"a": neg_one, "b": 3}).outputs["r"] == 3
+        assert simulate(builder.netlist,
+                        {"a": 7, "b": 3}).outputs["r"] == 7
+
+    def test_add_words_mac_is_word_add(self):
+        builder = CircuitBuilder()
+        a = builder.word_input("a")
+        b = builder.word_input("b")
+        builder.output_word("r", builder.add_words_mac(a, b))
+        assert simulate(builder.netlist,
+                        {"a": 2**31, "b": 2**31}).outputs["r"] == 0
+
+    def test_const_bits_width(self):
+        builder = CircuitBuilder()
+        bits = builder.const_bits(0b101, 5)
+        assert len(bits) == 5

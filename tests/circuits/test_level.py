@@ -1,0 +1,63 @@
+"""Topological levelling of mapped netlists."""
+
+from repro.circuits import CircuitBuilder, level_graph, technology_map
+
+
+def mapped(builder):
+    return technology_map(builder.netlist, k=5).netlist
+
+
+class TestLevelling:
+    def test_independent_ops_share_level_one(self):
+        builder = CircuitBuilder()
+        builder.bus_load("a")
+        builder.bus_load("b")
+        graph = level_graph(builder.netlist)
+        assert graph.depth == 1
+        assert graph.level_sizes() == [2]
+
+    def test_mac_chain_levels_sequentially(self):
+        builder = CircuitBuilder()
+        acc = builder.const_word(0)
+        for _ in range(4):
+            acc = builder.mac(builder.bus_load("a"), builder.bus_load("b"), acc)
+        builder.bus_store("out", acc)
+        graph = level_graph(builder.netlist)
+        # loads at level 1; MAC i at level i+1; store after the last MAC.
+        assert graph.depth == 6
+
+    def test_wiring_is_transparent(self):
+        builder = CircuitBuilder()
+        word = builder.bus_load("a")
+        bits = word.bits  # BITSLICE wiring
+        rebuilt = builder.word_from_bits(bits)  # PACK wiring
+        builder.bus_store("out", rebuilt)
+        graph = level_graph(builder.netlist)
+        # load level 1, store level 2: the slicing/packing adds no level.
+        assert graph.depth == 2
+
+    def test_levels_respect_dependences(self):
+        builder = CircuitBuilder()
+        a = builder.word_input("a")
+        b = builder.word_input("b")
+        total = builder.add_words_gates(a, b)
+        builder.output_word("s", total)
+        graph = level_graph(mapped(builder))
+        netlist = graph.netlist
+        for nid, level in graph.node_level.items():
+            for fanin in netlist.nodes[nid].fanins:
+                if fanin in graph.node_level:
+                    assert graph.node_level[fanin] < level
+
+    def test_widest_level(self):
+        builder = CircuitBuilder()
+        for _ in range(5):
+            builder.bus_load("a")
+        graph = level_graph(builder.netlist)
+        assert graph.widest_level() == 5
+
+    def test_empty_netlist(self):
+        builder = CircuitBuilder()
+        graph = level_graph(builder.netlist)
+        assert graph.depth == 0
+        assert graph.widest_level() == 0

@@ -1,0 +1,141 @@
+"""Benchmark PE circuits against their Python reference kernels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import simulate
+from repro.circuits.library import build_pe, mapped_pe, pe_names
+from repro.workloads.kernels import aes_expand_key
+
+WORD = st.integers(min_value=0, max_value=(1 << 31) - 1)
+
+NON_AES = [name for name in pe_names() if name != "AES"]
+
+
+def random_streams(pe, rng):
+    if pe.name == "KMP":
+        return {
+            "state": [rng.randrange(4)],
+            "text": [rng.choice([0x41, 0x42, 0x43, 0x44, 0x45])],
+        }
+    return {
+        stream: [rng.getrandbits(31) for _ in range(count)]
+        for stream, count in pe.loads.items()
+    }
+
+
+class TestRegistry:
+    def test_all_eleven_benchmarks_present(self):
+        assert pe_names() == sorted(
+            ["AES", "CONV", "DOT", "FC", "GEMM", "KMP", "NW", "SRT",
+             "STN2", "STN3", "VADD"]
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_pe("NOPE")
+
+    def test_build_is_cached(self):
+        assert build_pe("DOT") is build_pe("DOT")
+
+    @pytest.mark.parametrize("name", NON_AES)
+    def test_declared_bus_traffic_matches_netlist(self, name):
+        pe = build_pe(name)
+        loads, stores = pe.netlist.bus_ops()
+        assert loads == sum(pe.loads.values())
+        assert stores == sum(pe.stores.values())
+        pe.netlist.validate()
+
+
+class TestFunctionalAgainstReference:
+    @pytest.mark.parametrize("name", NON_AES)
+    def test_raw_netlist_matches_reference(self, name):
+        pe = build_pe(name)
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(10):
+            streams = random_streams(pe, rng)
+            got = simulate(pe.netlist, streams=streams).stores
+            assert got == pe.reference(streams), name
+
+    @pytest.mark.parametrize("name", NON_AES)
+    def test_mapped_netlist_matches_reference(self, name):
+        mapped = mapped_pe(name)
+        pe = build_pe(name)
+        rng = random.Random(1234)
+        for _ in range(5):
+            streams = random_streams(pe, rng)
+            got = simulate(mapped, streams=streams).stores
+            assert got == pe.reference(streams), name
+
+    @given(st.lists(WORD, min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_dot_property(self, values):
+        pe = build_pe("DOT")
+        streams = {"a": values[:8], "w": values[8:]}
+        got = simulate(pe.netlist, streams=streams).stores["out"][0]
+        expected = sum(a * w for a, w in zip(values[:8], values[8:]))
+        assert got == expected & 0xFFFFFFFF
+
+    @given(WORD, WORD)
+    @settings(max_examples=20, deadline=None)
+    def test_srt_orders_every_lane(self, a, b):
+        pe = build_pe("SRT")
+        streams = {"pairs": [a, b] * 4}
+        out = simulate(pe.netlist, streams=streams).stores["sorted"]
+        for lane in range(4):
+            low, high = out[2 * lane], out[2 * lane + 1]
+            assert low <= high
+            assert {low, high} == {a, b}
+
+
+@pytest.mark.slow
+class TestAes:
+    def test_aes_circuit_matches_fips_197(self):
+        pe = build_pe("AES")
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        round_keys = aes_expand_key(key)
+        rk_words = [
+            int.from_bytes(bytes(rk[4 * i : 4 * i + 4]), "little")
+            for rk in round_keys
+            for i in range(4)
+        ]
+        pt_words = [
+            int.from_bytes(plaintext[4 * i : 4 * i + 4], "little")
+            for i in range(4)
+        ]
+        stores = simulate(
+            pe.netlist, streams={"pt": pt_words, "rk": rk_words}
+        ).stores["ct"]
+        ciphertext = b"".join(int(w).to_bytes(4, "little") for w in stores)
+        assert ciphertext == expected
+
+    def test_aes_reference_closure(self):
+        """The PE's reference function agrees with the kernel library."""
+        pe = build_pe("AES")
+        rng = random.Random(9)
+        key = bytes(rng.getrandbits(8) for _ in range(16))
+        block = bytes(rng.getrandbits(8) for _ in range(16))
+        round_keys = aes_expand_key(key)
+        rk_words = [
+            int.from_bytes(bytes(rk[4 * i : 4 * i + 4]), "little")
+            for rk in round_keys
+            for i in range(4)
+        ]
+        pt_words = [
+            int.from_bytes(block[4 * i : 4 * i + 4], "little")
+            for i in range(4)
+        ]
+        from repro.workloads.kernels import aes_encrypt_block
+
+        expected = aes_encrypt_block(block, key)
+        got = pe.reference({"pt": pt_words, "rk": rk_words})["ct"]
+        as_bytes = b"".join(int(w).to_bytes(4, "little") for w in got)
+        assert as_bytes == expected
+
+    def test_aes_is_the_logic_heavyweight(self):
+        counts = build_pe("AES").netlist.counts()
+        assert counts["lut"] + counts["gate"] > 5000

@@ -1,0 +1,142 @@
+"""Netlist IR: construction rules, validation, and introspection."""
+
+import pytest
+
+from repro.circuits.netlist import (
+    GateOp,
+    Netlist,
+    NodeKind,
+    gate_truth_table,
+)
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_ids_are_sequential(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        b = netlist.add(NodeKind.BIT_INPUT, (), "b")
+        assert (a, b) == (0, 1)
+
+    def test_forward_reference_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.GATE, (0,), GateOp.NOT)
+
+    def test_gate_arity_enforced(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.GATE, (a,), GateOp.AND)
+
+    def test_mux_needs_three_fanins(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.GATE, (a, a), GateOp.MUX)
+
+    def test_lut_payload_validated(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.LUT, (a,), (2, 0b01))  # k != len(fanins)
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.LUT, (a,), (1, 0b100))  # table too wide
+
+    def test_mac_needs_three_operands(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.WORD_INPUT, (), "a")
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.MAC, (a, a))
+
+    def test_bitslice_index_range(self):
+        netlist = Netlist()
+        w = netlist.add(NodeKind.WORD_INPUT, (), "w")
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.BITSLICE, (w,), 32)
+
+    def test_const_payload(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitError):
+            netlist.add(NodeKind.CONST, (), 2)
+
+    def test_duplicate_output_name(self):
+        netlist = Netlist()
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        netlist.set_output("x", a)
+        with pytest.raises(CircuitError):
+            netlist.set_output("x", a)
+
+    def test_output_id_checked(self):
+        with pytest.raises(CircuitError):
+            Netlist().set_output("x", 0)
+
+
+class TestIntrospection:
+    def _sample(self):
+        netlist = Netlist("sample")
+        a = netlist.add(NodeKind.BIT_INPUT, (), "a")
+        b = netlist.add(NodeKind.BIT_INPUT, (), "b")
+        g = netlist.add(NodeKind.GATE, (a, b), GateOp.XOR)
+        netlist.set_output("g", g)
+        return netlist
+
+    def test_counts(self):
+        counts = self._sample().counts()
+        assert counts == {"bit_input": 2, "gate": 1}
+
+    def test_fanout(self):
+        netlist = self._sample()
+        assert netlist.fanout_counts() == [1, 1, 1]
+
+    def test_input_names(self):
+        assert self._sample().input_names() == ["a", "b"]
+
+    def test_bus_ops_counted(self):
+        netlist = Netlist()
+        load = netlist.add(NodeKind.BUS_LOAD, (), ("in", 0))
+        netlist.add(NodeKind.BUS_STORE, (load,), ("out", 0))
+        assert netlist.bus_ops() == (1, 1)
+
+    def test_validate_stream_contiguity(self):
+        netlist = Netlist()
+        netlist.add(NodeKind.BUS_LOAD, (), ("in", 0))
+        netlist.add(NodeKind.BUS_LOAD, (), ("in", 2))  # gap
+        with pytest.raises(CircuitError):
+            netlist.validate()
+
+    def test_op_nodes(self):
+        netlist = self._sample()
+        assert [node.kind for node in netlist.op_nodes()] == [NodeKind.GATE]
+
+
+class TestGateTables:
+    @pytest.mark.parametrize("op,fn", [
+        (GateOp.AND, lambda a, b: a & b),
+        (GateOp.OR, lambda a, b: a | b),
+        (GateOp.XOR, lambda a, b: a ^ b),
+        (GateOp.NAND, lambda a, b: 1 - (a & b)),
+        (GateOp.NOR, lambda a, b: 1 - (a | b)),
+        (GateOp.XNOR, lambda a, b: 1 - (a ^ b)),
+    ])
+    def test_two_input_tables(self, op, fn):
+        arity, table = gate_truth_table(op)
+        assert arity == 2
+        for a in (0, 1):
+            for b in (0, 1):
+                index = a | (b << 1)
+                assert (table >> index) & 1 == fn(a, b)
+
+    def test_mux_table(self):
+        arity, table = gate_truth_table(GateOp.MUX)
+        assert arity == 3
+        for sel in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    index = sel | (a << 1) | (b << 2)
+                    expected = b if sel else a
+                    assert (table >> index) & 1 == expected
+
+    def test_not_and_buf(self):
+        assert gate_truth_table(GateOp.NOT) == (1, 0b01)
+        assert gate_truth_table(GateOp.BUF) == (1, 0b10)

@@ -1,0 +1,88 @@
+"""Functional simulator semantics: bindings, streams, errors."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.errors import CircuitError
+
+
+def make_mac():
+    builder = CircuitBuilder()
+    a = builder.bus_load("a")
+    b = builder.bus_load("b")
+    builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+    return builder.netlist
+
+
+class TestStreams:
+    def test_loads_consume_in_index_order(self):
+        builder = CircuitBuilder()
+        first = builder.bus_load("s")
+        second = builder.bus_load("s")
+        builder.output_word("first", first)
+        builder.output_word("second", second)
+        result = simulate(builder.netlist, streams={"s": [10, 20]})
+        assert result.outputs == {"first": 10, "second": 20}
+
+    def test_stores_collected_in_index_order(self):
+        builder = CircuitBuilder()
+        a = builder.bus_load("in")
+        builder.bus_store("out", a)
+        builder.bus_store("out", builder.mac(a, builder.const_word(2),
+                                             builder.const_word(0)))
+        result = simulate(builder.netlist, streams={"in": [7]})
+        assert result.stores["out"] == [7, 14]
+
+    def test_missing_stream_raises(self):
+        with pytest.raises(CircuitError):
+            simulate(make_mac(), streams={"a": [1]})
+
+    def test_exhausted_stream_raises(self):
+        builder = CircuitBuilder()
+        builder.bus_load("s")
+        builder.bus_load("s")
+        with pytest.raises(CircuitError):
+            simulate(builder.netlist, streams={"s": [1]})
+
+    def test_stream_values_masked_to_32_bits(self):
+        builder = CircuitBuilder()
+        builder.output_word("v", builder.bus_load("s"))
+        result = simulate(builder.netlist, streams={"s": [1 << 40]})
+        assert result.outputs["v"] == 0
+
+
+class TestBindings:
+    def test_missing_bit_input_raises(self):
+        builder = CircuitBuilder()
+        builder.output_bit("f", builder.bit_input("a"))
+        with pytest.raises(CircuitError):
+            simulate(builder.netlist)
+
+    def test_missing_word_input_raises(self):
+        builder = CircuitBuilder()
+        builder.output_word("w", builder.word_input("a"))
+        with pytest.raises(CircuitError):
+            simulate(builder.netlist, {"b": 1})
+
+    def test_bit_binding_masked(self):
+        builder = CircuitBuilder()
+        builder.output_bit("f", builder.bit_input("a"))
+        assert simulate(builder.netlist, {"a": 7}).outputs["f"] == 1
+
+    def test_values_recorded_per_node(self):
+        builder = CircuitBuilder()
+        a = builder.bit_input("a")
+        builder.output_bit("f", builder.not_(a))
+        result = simulate(builder.netlist, {"a": 0})
+        assert result.values[a] == 0
+
+
+class TestLutEvaluation:
+    def test_lut_indexing_lsb_first(self):
+        builder = CircuitBuilder()
+        a = builder.bit_input("a")  # index bit 0
+        b = builder.bit_input("b")  # index bit 1
+        # Table 0b0100: true only when index == 2, i.e. a=0, b=1.
+        builder.output_bit("f", builder.raw_lut([a, b], 0b0100))
+        assert simulate(builder.netlist, {"a": 0, "b": 1}).outputs["f"] == 1
+        assert simulate(builder.netlist, {"a": 1, "b": 0}).outputs["f"] == 0

@@ -1,0 +1,105 @@
+"""The shared experiment pipeline utilities."""
+
+import pytest
+
+from repro.experiments.common import (
+    PARTITION_16MCC_640KB,
+    PARTITION_16MCC_768KB,
+    PARTITION_32MCC_256KB,
+    best_freac_estimate,
+    config_for,
+    format_table,
+    freac_estimate,
+    geomean,
+    schedule_for,
+    scratchpad_service_rate,
+)
+from repro.freac.compute_slice import SlicePartition
+from repro.workloads.suite import benchmark
+
+
+class TestNamedPartitions:
+    def test_labels_match_paper(self):
+        assert PARTITION_32MCC_256KB.label() == "32MCC-256KB"
+        assert PARTITION_16MCC_768KB.label() == "16MCC-768KB"
+        assert PARTITION_16MCC_640KB.label() == "16MCC-640KB"
+
+    def test_end_to_end_partition_keeps_cache(self):
+        # "we reserve two ways, 128KB, per slice as cache" (Sec. V-C).
+        assert PARTITION_16MCC_640KB.cache_ways == 2
+
+
+class TestScheduleCache:
+    def test_cached_identity(self):
+        assert schedule_for("VADD", 2) is schedule_for("VADD", 2)
+
+    def test_algorithms_differ(self):
+        packed = schedule_for("NW", 2, "list")
+        levelled = schedule_for("NW", 2, "level")
+        assert packed.algorithm == "list"
+        assert levelled.algorithm == "level"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_for("VADD", 1, "genetic")
+
+    def test_config_cached(self):
+        assert config_for("VADD", 1) is config_for("VADD", 1)
+
+
+class TestServiceRate:
+    def test_capped_at_control_box_width(self):
+        assert scratchpad_service_rate(SlicePartition(16, 4)) == 4.0
+        assert scratchpad_service_rate(SlicePartition(8, 12)) == 4.0
+
+    def test_fewer_ways_bind(self):
+        assert scratchpad_service_rate(SlicePartition(18, 2)) == 2.0
+
+    def test_no_scratchpad_still_positive(self):
+        assert scratchpad_service_rate(SlicePartition(16, 0)) == 1.0
+
+
+class TestEstimates:
+    def test_infeasible_partition_returns_none(self):
+        spec = benchmark("NW")  # 66 KB per tile
+        tiny = SlicePartition(compute_ways=18, scratchpad_ways=0)
+        assert freac_estimate(spec, tiny, tile_mccs=1, slices=1) is None
+
+    def test_best_skips_oversized_tiles(self):
+        spec = benchmark("VADD")
+        partition = SlicePartition(2, 4)  # only 4 MCCs
+        best = best_freac_estimate(spec, partition, slices=1)
+        assert best is not None
+        assert best.tile_mccs <= 4
+
+    def test_best_is_minimal(self):
+        spec = benchmark("GEMM")
+        best = best_freac_estimate(spec, PARTITION_16MCC_640KB, slices=2)
+        for tile in (1, 2, 4, 8, 16):
+            estimate = freac_estimate(spec, PARTITION_16MCC_640KB, tile, 2)
+            if estimate is not None:
+                assert best.kernel_s <= estimate.kernel_s + 1e-12
+
+    def test_estimate_fields_consistent(self):
+        spec = benchmark("DOT")
+        estimate = freac_estimate(spec, PARTITION_32MCC_256KB, 1, 4)
+        assert estimate.feasible
+        assert estimate.end_to_end_s >= estimate.kernel_s
+        assert estimate.energy_j > 0
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([0.0, 4.0, 1.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)

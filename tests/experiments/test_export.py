@@ -1,0 +1,48 @@
+"""CSV export of experiment data."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export
+
+
+class TestExport:
+    def test_fast_targets_write_csvs(self, tmp_path):
+        written = export(tmp_path, targets=["tables", "area", "fig9"])
+        names = {path.name for path in written}
+        assert names == {"table1.csv", "table2.csv", "area.csv", "fig09.csv"}
+        for path in written:
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2  # header + data
+
+    def test_fig9_contents(self, tmp_path):
+        (path,) = export(tmp_path, targets=["fig9"])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header == ["benchmark", "partition", "max_tiles"]
+        assert len(data) == 11 * 5  # benchmarks x partitions
+        aes_rows = [r for r in data if r[0] == "AES"]
+        assert ["AES", "32MCC-256KB", "32"] in aes_rows
+
+    def test_unknown_target_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export(tmp_path, targets=["fig99"])
+
+    @pytest.mark.slow
+    def test_fig12_export(self, tmp_path):
+        (path,) = export(tmp_path, targets=["fig12"])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        platforms = {row[1] for row in rows[1:]}
+        assert {"freac_8sl", "cpu_8t", "zcu102", "u96"} <= platforms
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["export", "--out", str(tmp_path),
+                     "--targets", "area"]) == 0
+        assert (tmp_path / "area.csv").exists()

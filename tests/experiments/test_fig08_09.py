@@ -1,0 +1,67 @@
+"""Fig. 8 (folding cycles) and Fig. 9 (partition planner) shapes."""
+
+import pytest
+
+from repro.experiments import fig08, fig09
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    return fig08.run()
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    return fig09.run()
+
+
+class TestFig8Shapes:
+    def test_all_benchmarks_present(self, fig8_data):
+        assert len(fig8_data) == 11
+
+    def test_folds_monotone_in_tile_size(self, fig8_data):
+        for name, by_tile in fig8_data.items():
+            sizes = sorted(by_tile)
+            folds = [by_tile[s] for s in sizes]
+            assert folds == sorted(folds, reverse=True), name
+
+    def test_aes_is_the_fold_heavyweight(self, fig8_data):
+        """AES needs the most folding at every tile size (log scale)."""
+        for tile in (1, 8, 32):
+            aes = fig8_data["AES"][tile]
+            for name, by_tile in fig8_data.items():
+                if name != "AES":
+                    assert aes > by_tile[tile]
+
+    def test_aes_tile1_in_the_thousands(self, fig8_data):
+        assert fig8_data["AES"][1] > 1000
+
+    def test_mac_kernels_saturate_quickly(self, fig8_data):
+        """Small MAC PEs bottom out within a few cycles of their depth."""
+        for name in ("DOT", "CONV", "STN3"):
+            assert fig8_data[name][32] <= 12
+
+
+class TestFig9Shapes:
+    def test_small_working_sets_fill_all_mccs(self, fig9_data):
+        assert fig9_data["AES"]["32MCC-256KB"] == 32
+        assert fig9_data["DOT"]["32MCC-256KB"] == 32
+
+    def test_memory_hungry_kernels_peak_with_more_scratchpad(self, fig9_data):
+        """GEMM/NW/SRT/STN2 want LLC given to scratchpads (paper text)."""
+        for name in ("GEMM", "NW", "SRT", "STN2"):
+            at_16c = fig9_data[name]["32MCC-256KB"]
+            at_8c = fig9_data[name]["16MCC-768KB"]
+            assert at_8c > at_16c, name
+
+    def test_tiles_never_exceed_mcc_budget(self, fig9_data):
+        budgets = {"32MCC-256KB": 32, "24MCC-512KB": 24, "16MCC-768KB": 16,
+                   "8MCC-1024KB": 8, "4MCC-1152KB": 4}
+        for name, per_partition in fig9_data.items():
+            for label, tiles in per_partition.items():
+                assert 0 <= tiles <= budgets[label], (name, label)
+
+    def test_paper_sweep_order(self):
+        labels = [p.label() for p in fig09.partitions()]
+        assert labels[0] == "32MCC-256KB"
+        assert labels[-1] == "4MCC-1152KB"

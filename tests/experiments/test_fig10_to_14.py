@@ -1,0 +1,146 @@
+"""Shape assertions for the performance figures (10-14).
+
+These are the reproduction contract: who wins, by roughly what
+factor, and where the crossovers fall — not absolute numbers.
+All are marked slow because they fold AES at several tile sizes.
+"""
+
+import pytest
+
+from repro.experiments import fig10, fig11, fig12, fig13, fig14
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def fig10_data():
+    return fig10.run()
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    return fig12.run()
+
+
+class TestFig10:
+    def test_aes_prefers_midsize_tiles(self, fig10_data):
+        """Paper: AES is the exception — massive folding at tile 1."""
+        aes = fig10_data["AES"]
+        assert aes[8] > aes[1]
+
+    def test_tile16_clock_penalty_shows(self, fig10_data):
+        """Tiles of >= 16 MCCs drop to 3 GHz; the paper observes the dip."""
+        dips = sum(
+            1
+            for name, by_tile in fig10_data.items()
+            if by_tile[16] is not None and by_tile[8] is not None
+            and by_tile[16] < by_tile[8]
+        )
+        assert dips >= 6
+
+    def test_some_kernel_beats_single_thread_everywhere(self, fig10_data):
+        assert any(
+            all(v is not None and v > 1 for v in by_tile.values())
+            for by_tile in fig10_data.values()
+        )
+
+
+class TestFig11:
+    def test_partition_preferences(self):
+        data = fig11.run()
+        # AES (tiny working set, many tiles) prefers the compute-heavy
+        # split; NW (large working set) prefers the memory-heavy split.
+        assert data["AES"]["32MCC-256KB"] > data["AES"]["16MCC-768KB"]
+        assert data["NW"]["16MCC-768KB"] > data["NW"]["32MCC-256KB"]
+
+
+class TestFig12:
+    def test_speedup_scales_with_slices(self, fig12_rows):
+        for row in fig12_rows:
+            series = [
+                row.freac_by_slices[s].speedup
+                for s in (1, 2, 4, 8)
+                if row.freac_by_slices[s] is not None
+            ]
+            assert series == sorted(series), row.benchmark
+
+    def test_headline_averages(self, fig12_rows):
+        stats = fig12.summary(fig12_rows)
+        # Paper: 8.2x single-thread, 3x multi-thread, 6.1x perf/W.
+        assert 4.0 <= stats["freac_vs_single_thread"] <= 25.0
+        assert 1.5 <= stats["freac_vs_multi_thread"] <= 6.0
+        assert 2.0 <= stats["freac_perf_per_watt_vs_multi"] <= 12.0
+
+    def test_freac_power_below_multicore_cpu(self, fig12_rows):
+        """FReaC runs 'at a fraction of power' of the 8-thread CPU."""
+        cheaper = sum(
+            1
+            for row in fig12_rows
+            if row.freac_by_slices[8] is not None
+            and row.freac_by_slices[8].power_w < row.cpu_multithread.power_w
+        )
+        assert cheaper >= 8  # nearly all benchmarks
+
+    def test_zcu102_power_hungry(self, fig12_rows):
+        for row in fig12_rows:
+            assert row.zcu102.power_w >= 12.0
+            if row.freac_by_slices[8]:
+                assert row.zcu102.power_w > row.freac_by_slices[8].power_w
+
+    def test_zcu102_wins_logic_kernels_on_speed(self, fig12_rows):
+        by_name = {row.benchmark: row for row in fig12_rows}
+        for name in ("AES", "KMP"):
+            row = by_name[name]
+            assert row.zcu102.speedup > row.freac_by_slices[8].speedup
+
+    def test_freac_beats_u96(self, fig12_rows):
+        """Paper: 'The edge-centric lower-power Ultra 96 is bested by
+        FReaC Cache in both computational and memory-sensitive
+        benchmarks.'"""
+        wins = sum(
+            1
+            for row in fig12_rows
+            if row.freac_by_slices[8] is not None
+            and row.freac_by_slices[8].speedup > row.u96.speedup
+        )
+        assert wins >= 9
+
+    def test_freac_more_efficient_than_fpgas(self, fig12_rows):
+        better = sum(
+            1
+            for row in fig12_rows
+            if row.freac_by_slices[8] is not None
+            and row.freac_by_slices[8].perf_per_watt_rel
+            > row.zcu102.perf_per_watt_rel
+            and row.freac_by_slices[8].perf_per_watt_rel
+            > row.u96.perf_per_watt_rel
+        )
+        assert better >= 8
+
+
+class TestFig13:
+    def test_init_overhead_in_paper_range(self):
+        rows = fig13.run()
+        for row in rows:
+            if row.init_overhead_fraction is None:
+                continue
+            assert 0.0 <= row.init_overhead_fraction <= 0.85, row.benchmark
+
+    def test_end_to_end_never_exceeds_kernel_speedup_much(self):
+        for row in fig13.run():
+            if row.kernel_speedup is None:
+                continue
+            assert row.end_to_end_speedup <= row.kernel_speedup * 1.35
+
+
+class TestFig14:
+    def test_freac_beats_both_ec_configs(self):
+        stats = fig14.summary(fig14.run())
+        # Paper: ~4x over 8 ECs, ~2x over 16 ECs (we allow wide bands).
+        assert stats["freac_vs_ec8"] > 2.0
+        assert stats["freac_vs_ec16"] > 1.3
+        assert stats["freac_vs_ec8"] > stats["freac_vs_ec16"]
+
+    def test_ec16_doubles_ec8(self):
+        for row in fig14.run():
+            assert row.ec16 == pytest.approx(2 * row.ec8, rel=0.25)

@@ -1,0 +1,45 @@
+"""Tables I/II and the Sec. V-A area experiment."""
+
+import pytest
+
+from repro.experiments import area, tables
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = dict(tables.table1())
+        assert rows["ISA/Num Cores"] == "ARM/8 cores"
+        assert rows["Clock"] == "4GHz"
+        assert rows["L1D Cache Size/Ways/Latency"] == "32KB/2-way/2cycle"
+        assert rows["L2D Cache Size/Ways/Latency"] == "256KB/8-way/10cycle"
+        assert rows["L3D Cache Size/Ways/Latency"] == "10MB/20-way/27cycle"
+        assert rows["L3D Cache Slice Number/Size"] == "8/1.25MB"
+        assert rows["Memory Controller"] == "4 channels, DDR4-2400"
+        assert rows["Dispatch/Issue/Commit Width"] == "6/8/8"
+
+
+class TestTable2:
+    def test_rows_match_paper(self):
+        rows = dict(tables.table2())
+        assert rows["SRAM Subarray AccessEnergy"] == "0.00369nJ"
+        assert rows["L3 Cache Slice Data Subarrays"] == "160"
+
+
+class TestAreaExperiment:
+    def test_headline_overheads(self):
+        data = area.run()
+        assert data["basic_overhead_pct"] == pytest.approx(3.5, abs=0.1)
+        assert data["switched_overhead_pct"] == pytest.approx(15.3, abs=0.1)
+
+    def test_clocks(self):
+        data = area.run()
+        assert data["small_tile_clock_ghz"] == 4
+        assert data["large_tile_clock_ghz"] == 3
+        assert data["subarray_single_cycle_4ghz"] == 1.0
+
+    def test_main_prints(self, capsys):
+        tables.main()
+        area.main()
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "area and timing overheads" in out

@@ -1,0 +1,27 @@
+"""Analytical model vs executed cycles cross-validation."""
+
+import pytest
+
+from repro.experiments import validation
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return validation.run(items=12)
+
+    def test_all_benchmarks_verified_and_compared(self, rows):
+        assert {row.benchmark for row in rows} == set(
+            validation.VALIDATION_BENCHMARKS
+        )
+
+    def test_model_matches_execution(self, rows):
+        """Compute-bound predictions agree with executed schedules."""
+        for row in rows:
+            assert row.relative_error < 0.05, (
+                row.benchmark, row.executed_cycles, row.predicted_cycles,
+            )
+
+    def test_larger_tiles_also_agree(self):
+        for row in validation.run(items=8, mccs_per_tile=2):
+            assert row.relative_error < 0.05, row.benchmark

@@ -1,0 +1,83 @@
+"""Register allocation onto the physical FF banks."""
+
+import pytest
+
+from repro.circuits.library import mapped_pe, pe_names
+from repro.errors import CapacityError
+from repro.folding import TileResources, list_schedule
+from repro.folding.regalloc import RegisterAllocation, allocate_registers
+from repro.folding.scheduler import list_schedule as _list
+
+FAST_PES = [name for name in pe_names() if name != "AES"]
+
+
+def allocation_for(name, mccs=1):
+    schedule = list_schedule(mapped_pe(name), TileResources(mccs=mccs))
+    return allocate_registers(schedule)
+
+
+class TestAllocation:
+    @pytest.mark.parametrize("name", FAST_PES)
+    def test_every_benchmark_allocates_completely(self, name):
+        allocation = allocation_for(name)
+        assert allocation.complete, (name, allocation.unplaced[:5])
+
+    @pytest.mark.parametrize("name", FAST_PES)
+    def test_allocations_are_conflict_free(self, name):
+        allocation = allocation_for(name, mccs=2)
+        allocation.validate()  # raises on bit-level overlap
+
+    @pytest.mark.parametrize("name", ["NW", "SRT", "GEMM"])
+    def test_banks_never_overflow_capacity(self, name):
+        allocation = allocation_for(name)
+        capacity = allocation.schedule.resources.mcc.register_file_bits
+        for peak in allocation.peak_bits_per_mcc().values():
+            assert peak <= capacity
+
+    def test_word_values_get_32_bits(self):
+        allocation = allocation_for("GEMM")
+        netlist = allocation.schedule.netlist
+        from repro.circuits.netlist import NodeKind
+
+        for nid, placements in allocation.placements.items():
+            node = netlist.nodes[nid]
+            expected = 32 if node.kind in (NodeKind.MAC, NodeKind.BUS_LOAD) else 1
+            for placement in placements:
+                assert placement.width == expected
+
+    def test_spilled_values_get_residency_stubs(self):
+        """Spill-heavy schedules still allocate: spilled values only
+        occupy the bank briefly around their def and reload."""
+        from repro.circuits import CircuitBuilder, technology_map
+
+        builder = CircuitBuilder()
+        loads = [builder.bus_load("a") for _ in range(32)]
+        acc = loads[0]
+        for word in loads[1:]:
+            acc = builder.add_words_mac(acc, word)
+        builder.bus_store("out", acc)
+        netlist = technology_map(builder.netlist, k=5).netlist
+        schedule = list_schedule(netlist, TileResources(mccs=1))
+        assert schedule.spills.spilled_values > 0
+        allocation = allocate_registers(schedule)
+        allocation.validate()
+        assert allocation.complete
+        for nid in schedule.spills.spilled_nids:
+            for placement in allocation.placements[nid]:
+                assert placement.end_cycle - placement.start_cycle <= 1
+
+    def test_overflow_to_neighbour_banks_counted(self):
+        """Multi-MCC tiles may place values off their producer MCC."""
+        allocation = allocation_for("NW", mccs=4)
+        allocation.validate()
+        assert allocation.overflowed >= 0  # mechanism exercised
+
+    def test_validator_catches_crafted_overlap(self):
+        from repro.folding.regalloc import Placement
+
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        broken = RegisterAllocation(schedule=schedule)
+        broken.placements[1] = [Placement(1, 0, 0, 32, 1, 5)]
+        broken.placements[2] = [Placement(2, 0, 16, 32, 2, 6)]
+        with pytest.raises(CapacityError):
+            broken.validate()

@@ -1,0 +1,94 @@
+"""Schedule data structures: resources, derived metrics."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, technology_map
+from repro.errors import ConfigurationError
+from repro.folding import TileResources, list_schedule
+from repro.folding.schedule import OpSlot, slot_for_kind
+from repro.circuits.netlist import NodeKind
+
+
+class TestTileResources:
+    def test_default_is_one_mcc_5lut(self):
+        resources = TileResources()
+        assert resources.luts_per_cycle == 4
+        assert resources.macs_per_cycle == 1
+        assert resources.bus_ops_per_cycle == 1
+        assert resources.ff_bits == 256
+
+    def test_4lut_mode_doubles_lut_slots(self):
+        resources = TileResources(lut_inputs=4)
+        assert resources.luts_per_cycle == 8
+
+    def test_resources_scale_with_mccs(self):
+        resources = TileResources(mccs=8)
+        assert resources.luts_per_cycle == 32
+        assert resources.macs_per_cycle == 8
+        assert resources.ff_bits == 2048
+
+    def test_unsupported_lut_width(self):
+        with pytest.raises(ConfigurationError):
+            TileResources(lut_inputs=6)
+
+    def test_zero_mccs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TileResources(mccs=0)
+
+    def test_slot_lookup(self):
+        resources = TileResources(mccs=2)
+        assert resources.slots(OpSlot.LUT) == 8
+        assert resources.slots(OpSlot.MAC) == 2
+        assert resources.slots(OpSlot.BUS) == 2
+
+
+class TestSlotForKind:
+    def test_mapping(self):
+        assert slot_for_kind(NodeKind.LUT) is OpSlot.LUT
+        assert slot_for_kind(NodeKind.MAC) is OpSlot.MAC
+        assert slot_for_kind(NodeKind.BUS_LOAD) is OpSlot.BUS
+        assert slot_for_kind(NodeKind.BUS_STORE) is OpSlot.BUS
+
+    def test_wiring_has_no_slot(self):
+        with pytest.raises(ConfigurationError):
+            slot_for_kind(NodeKind.PACK)
+
+
+def _vadd_schedule(mccs=1):
+    builder = CircuitBuilder("vadd")
+    total = builder.add_words_gates(builder.bus_load("a"), builder.bus_load("b"))
+    builder.bus_store("c", total)
+    mapped = technology_map(builder.netlist, k=5).netlist
+    return list_schedule(mapped, TileResources(mccs=mccs))
+
+
+class TestScheduleMetrics:
+    def test_effective_clock(self):
+        schedule = _vadd_schedule()
+        effective = schedule.effective_clock_hz(4e9)
+        assert effective == pytest.approx(4e9 / schedule.fold_cycles)
+
+    def test_bus_words_include_loads_and_stores(self):
+        schedule = _vadd_schedule()
+        assert schedule.bus_words >= 3  # 2 loads + 1 store
+
+    def test_utilization_bounded(self):
+        schedule = _vadd_schedule(mccs=2)
+        for value in schedule.utilization().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_ops_at_cycle(self):
+        schedule = _vadd_schedule()
+        first_cycle = schedule.ops_at(1)
+        assert first_cycle
+        assert all(op.cycle == 1 for op in first_cycle)
+
+    def test_cycle_of(self):
+        schedule = _vadd_schedule()
+        some_op = schedule.ops[0]
+        assert schedule.cycle_of(some_op.nid) == some_op.cycle
+        assert schedule.cycle_of(10**6) is None
+
+    def test_summary_keys(self):
+        summary = _vadd_schedule().summary()
+        assert {"circuit", "fold_cycles", "lut_ops", "bus_words"} <= set(summary)

@@ -1,0 +1,105 @@
+"""The validator catches every class of crafted violation."""
+
+import dataclasses
+
+import pytest
+
+from repro.circuits import CircuitBuilder, technology_map
+from repro.errors import ScheduleViolation
+from repro.folding import TileResources, list_schedule, validate_schedule
+from repro.folding.schedule import FoldingSchedule, OpSlot, ScheduledOp
+
+
+def make_schedule():
+    builder = CircuitBuilder()
+    a = builder.bus_load("a")
+    b = builder.bus_load("b")
+    builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+    netlist = technology_map(builder.netlist, k=5).netlist
+    return list_schedule(netlist, TileResources())
+
+
+def rebuild(schedule, ops):
+    return FoldingSchedule(
+        netlist=schedule.netlist,
+        resources=schedule.resources,
+        ops=ops,
+        compute_cycles=max((op.cycle for op in ops), default=0),
+        max_live_bits=schedule.max_live_bits,
+        spills=schedule.spills,
+    )
+
+
+class TestValidator:
+    def test_valid_schedule_passes(self):
+        validate_schedule(make_schedule(), strict=True)
+
+    def test_missing_op_detected(self):
+        schedule = make_schedule()
+        broken = rebuild(schedule, schedule.ops[:-1])
+        with pytest.raises(ScheduleViolation, match="unscheduled"):
+            validate_schedule(broken)
+
+    def test_duplicate_op_detected(self):
+        schedule = make_schedule()
+        broken = rebuild(schedule, schedule.ops + [schedule.ops[0]])
+        with pytest.raises(ScheduleViolation, match="more than once"):
+            validate_schedule(broken)
+
+    def test_dependence_violation_detected(self):
+        schedule = make_schedule()
+        # Force every op into cycle 1: consumers read unproduced values.
+        ops = [dataclasses.replace(op, cycle=1) for op in schedule.ops]
+        with pytest.raises(ScheduleViolation):
+            validate_schedule(rebuild(schedule, ops))
+
+    def test_resource_overflow_detected(self):
+        schedule = make_schedule()
+        # Pile the two loads and the store into one cycle: 3 bus ops on
+        # a 1-bus tile (dependences would also fail, so craft bus-only).
+        bus_ops = [op for op in schedule.ops if op.slot is OpSlot.BUS]
+        load_ops = bus_ops[:2]
+        squeezed = [
+            dataclasses.replace(op, cycle=1, mcc=0) for op in load_ops
+        ] + [op for op in schedule.ops if op not in load_ops]
+        with pytest.raises(ScheduleViolation):
+            validate_schedule(rebuild(schedule, squeezed))
+
+    def test_shared_physical_slot_detected(self):
+        schedule = make_schedule()
+        ops = list(schedule.ops)
+        # Two bus ops at the same (cycle, mcc) — force the collision.
+        first = [op for op in ops if op.slot is OpSlot.BUS][0]
+        clone_target = [op for op in ops if op.slot is OpSlot.BUS][1]
+        moved = dataclasses.replace(
+            clone_target, cycle=first.cycle, mcc=first.mcc, unit=first.unit
+        )
+        ops[ops.index(clone_target)] = moved
+        with pytest.raises(ScheduleViolation):
+            validate_schedule(rebuild(schedule, ops))
+
+    def test_zero_cycle_rejected(self):
+        schedule = make_schedule()
+        ops = [dataclasses.replace(schedule.ops[0], cycle=0)] + schedule.ops[1:]
+        with pytest.raises(ScheduleViolation):
+            validate_schedule(rebuild(schedule, ops))
+
+    def test_mcc_out_of_range(self):
+        schedule = make_schedule()
+        ops = [dataclasses.replace(schedule.ops[0], mcc=5)] + schedule.ops[1:]
+        with pytest.raises(ScheduleViolation):
+            validate_schedule(rebuild(schedule, ops))
+
+    def test_strict_mode_checks_pressure(self):
+        schedule = make_schedule()
+        inflated = FoldingSchedule(
+            netlist=schedule.netlist,
+            resources=schedule.resources,
+            ops=schedule.ops,
+            compute_cycles=schedule.compute_cycles,
+            max_live_bits=schedule.resources.ff_bits + 1,
+            spills=schedule.spills,
+        )
+        validate_schedule(inflated)  # non-strict: fine
+        with pytest.raises(ScheduleViolation, match="live set"):
+            validate_schedule(inflated, strict=True)

@@ -1,0 +1,73 @@
+"""Crossbar select generation from the register allocation."""
+
+import pytest
+
+from repro.circuits.library import mapped_pe
+from repro.circuits.netlist import NodeKind
+from repro.folding import (
+    TileResources,
+    allocate_registers,
+    list_schedule,
+)
+from repro.folding.config import generate_xbar_config
+from repro.folding.schedule import OpSlot
+
+
+@pytest.fixture(scope="module")
+def configured():
+    schedule = list_schedule(mapped_pe("NW"), TileResources(mccs=2))
+    allocation = allocate_registers(schedule)
+    allocation.validate()
+    selects = generate_xbar_config(schedule, allocation)
+    return schedule, allocation, selects
+
+
+class TestXbarSelects:
+    def test_every_lut_and_mac_op_has_selects(self, configured):
+        schedule, _, selects = configured
+        expected = sum(
+            1 for op in schedule.ops if op.slot is not OpSlot.BUS
+        )
+        assert len(selects) == expected
+
+    def test_select_arity_matches_fanins(self, configured):
+        schedule, _, selects = configured
+        by_key = {
+            (op.cycle, op.mcc, op.unit, op.slot.value): op
+            for op in schedule.ops
+            if op.slot is not OpSlot.BUS
+        }
+        for key, sources in selects.items():
+            op = by_key[key]
+            node = schedule.netlist.nodes[op.nid]
+            assert len(sources) == len(node.fanins)
+
+    def test_register_sources_point_at_live_placements(self, configured):
+        schedule, allocation, selects = configured
+        capacity = schedule.resources.mcc.register_file_bits
+        for sources in selects.values():
+            for source in sources:
+                if source[0] == "reg":
+                    _, mcc, offset = source
+                    assert 0 <= mcc < schedule.resources.mccs
+                    assert 0 <= offset < capacity
+
+    def test_no_dangling_sources_on_unspilled_schedule(self, configured):
+        schedule, _, selects = configured
+        if schedule.spills.spilled_values == 0:
+            kinds = {s[0] for sources in selects.values() for s in sources}
+            assert "spilled" not in kinds
+
+    def test_constants_marked_const(self, configured):
+        schedule, allocation, selects = configured
+        netlist = schedule.netlist
+        for op in schedule.ops:
+            if op.slot is OpSlot.BUS:
+                continue
+            node = netlist.nodes[op.nid]
+            sources = selects[(op.cycle, op.mcc, op.unit, op.slot.value)]
+            for fanin, source in zip(node.fanins, sources):
+                if netlist.nodes[fanin].kind in (
+                    NodeKind.CONST, NodeKind.WORD_CONST
+                ):
+                    assert source == ("const",)

@@ -1,0 +1,133 @@
+"""CC Ctrl: lifecycle protocol and batch execution."""
+
+import pytest
+
+from repro.errors import DeviceError, ProtocolError
+from repro.folding import TileResources, list_schedule
+from repro.circuits.library import mapped_pe
+from repro.freac.ccctrl import ComputeClusterController, ControllerState
+from repro.freac.compute_slice import ReconfigurableComputeSlice, SlicePartition
+from repro.freac.executor import StreamBinding
+
+
+def make_controller():
+    return ComputeClusterController(ReconfigurableComputeSlice())
+
+
+def vadd_schedule(mccs=1):
+    return list_schedule(mapped_pe("VADD"), TileResources(mccs=mccs))
+
+
+class TestProtocolOrder:
+    def test_program_before_setup_rejected(self):
+        controller = make_controller()
+        with pytest.raises(ProtocolError):
+            controller.program(vadd_schedule())
+
+    def test_run_before_program_rejected(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        with pytest.raises(ProtocolError):
+            controller.run_item(0, streams={})
+
+    def test_double_setup_rejected(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        with pytest.raises(ProtocolError):
+            controller.setup(SlicePartition(2, 2))
+
+    def test_teardown_resets(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        controller.teardown()
+        assert controller.state is ControllerState.IDLE
+        controller.setup(SlicePartition(4, 4))  # reusable
+
+    def test_fill_requires_partition(self):
+        with pytest.raises(ProtocolError):
+            make_controller().fill_scratchpad(0, [1])
+
+    def test_fill_requires_scratchpad_ways(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 0))
+        with pytest.raises(DeviceError):
+            controller.fill_scratchpad(0, [1])
+
+
+class TestSetupReport:
+    def test_reports_geometry(self):
+        controller = make_controller()
+        report = controller.setup(SlicePartition(16, 4))
+        assert report.mccs == 32
+        assert report.scratchpad_bytes == 256 * 1024
+
+    def test_flush_cost_scales_with_dirty_lines(self):
+        controller = make_controller()
+        cache = controller.slice.cache
+        for set_index in range(64):
+            cache.fill(set_index, tag=1, data=bytes(64), dirty=True)
+        report = controller.setup(SlicePartition(20, 0))
+        assert report.flushed_dirty_lines == 64
+        assert report.flushed_bytes == 64 * 64
+        assert report.flush_time_s > 0
+
+
+class TestProgramAndRun:
+    def test_program_instantiates_all_tiles(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(4, 2))
+        report = controller.program(vadd_schedule())
+        assert report.tiles == 8
+        assert report.config_words_total > 0
+        assert controller.state is ControllerState.CONFIGURED
+
+    def test_program_larger_tiles(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(4, 2))
+        report = controller.program(vadd_schedule(mccs=4))
+        assert report.tiles == 2
+
+    def test_run_batch_round_robin(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(4, 2))
+        controller.program(vadd_schedule())
+        controller.fill_scratchpad(0, [1, 2, 3, 4])
+        controller.fill_scratchpad(100, [10, 20, 30, 40])
+        binding = {
+            "a": StreamBinding(0, 1),
+            "b": StreamBinding(100, 1),
+            "c": StreamBinding(200, 1),
+        }
+        stats = controller.run_batch(4, binding)
+        assert stats.invocations == 4
+        assert controller.read_scratchpad(200, 4) == [11, 22, 33, 44]
+
+    def test_run_item_tile_bounds(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        controller.program(vadd_schedule())
+        with pytest.raises(DeviceError):
+            controller.run_item(99, streams={"a": [1], "b": [2]})
+
+    def test_config_time_positive(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        report = controller.program(vadd_schedule())
+        assert report.config_time_s > 0
+        assert report.segments == 1
+
+    def test_verify_configuration_scrubs_all_tiles(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(4, 2))
+        controller.program(vadd_schedule())
+        assert controller.verify_configuration()
+        # Corrupt one tile's config SRAM: the scrub must notice.
+        victim = controller.executors[3].tile[0].subarrays[0]
+        victim.write_row(0, victim.peek(0) ^ 0xFFFF)
+        assert not controller.verify_configuration()
+
+    def test_verify_requires_programmed_state(self):
+        controller = make_controller()
+        controller.setup(SlicePartition(2, 2))
+        with pytest.raises(ProtocolError):
+            controller.verify_configuration()

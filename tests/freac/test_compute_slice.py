@@ -1,0 +1,101 @@
+"""Slice partitioning: MCC formation, tiles, release."""
+
+import pytest
+
+from repro.cache.slice_ import WayMode
+from repro.errors import ConfigurationError, DeviceError
+from repro.freac.compute_slice import (
+    ReconfigurableComputeSlice,
+    SlicePartition,
+)
+
+
+class TestSlicePartition:
+    def test_paper_labels(self):
+        assert SlicePartition(16, 4).label() == "32MCC-256KB"
+        assert SlicePartition(8, 12).label() == "16MCC-768KB"
+        assert SlicePartition(8, 10).label() == "16MCC-640KB"
+
+    def test_mcc_count(self):
+        assert SlicePartition(16, 4).mccs() == 32
+        assert SlicePartition(2, 18).mccs() == 4
+
+    def test_cache_ways(self):
+        assert SlicePartition(8, 10).cache_ways == 2
+
+    def test_odd_compute_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlicePartition(3, 4)
+
+    def test_overcommit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlicePartition(16, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlicePartition(-2, 4)
+
+
+class TestApplyPartition:
+    def test_mccs_formed_from_way_pairs(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(4, 2))
+        assert len(compute_slice.mccs) == 8  # 2 pairs x 4 quadrants
+        for mcc in compute_slice.mccs:
+            assert len(mcc.subarrays) == 4
+
+    def test_way_modes_assigned(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(4, 2))
+        modes = [compute_slice.cache.way_mode(w) for w in range(20)]
+        assert modes.count(WayMode.COMPUTE) == 4
+        assert modes.count(WayMode.SCRATCHPAD) == 2
+        assert modes.count(WayMode.CACHE) == 14
+
+    def test_cache_ways_start_from_zero(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(4, 2))
+        assert compute_slice.cache.way_mode(0) is WayMode.CACHE
+
+    def test_double_partition_rejected(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(2, 0))
+        with pytest.raises(DeviceError):
+            compute_slice.apply_partition(SlicePartition(2, 0))
+
+    def test_release_restores_cache(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(4, 4))
+        compute_slice.release_partition()
+        assert compute_slice.cache.locked_ways == set()
+        assert compute_slice.mccs == []
+        assert compute_slice.scratchpad is None
+        compute_slice.apply_partition(SlicePartition(2, 2))  # reusable
+
+    def test_dirty_lines_flushed_on_partition(self):
+        compute_slice = ReconfigurableComputeSlice()
+        cache = compute_slice.cache
+        # Dirty a line in the top way (which will be locked).
+        cache.fill(0, tag=1, data=bytes(64), dirty=True)
+        compute_slice.apply_partition(SlicePartition(20, 0))
+        assert compute_slice.flushed_dirty_lines == 1
+
+
+class TestTiles:
+    def test_tiles_partition_mccs(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(16, 4))
+        tiles = compute_slice.tiles(8)
+        assert len(tiles) == 4
+        seen = [mcc.index for tile in tiles for mcc in tile]
+        assert sorted(seen) == list(range(32))
+
+    def test_tile_size_larger_than_mccs_rejected(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(2, 0))
+        with pytest.raises(ConfigurationError):
+            compute_slice.tiles(8)
+
+    def test_tiles_require_partition(self):
+        with pytest.raises(DeviceError):
+            ReconfigurableComputeSlice().tiles(1)

@@ -1,0 +1,77 @@
+"""Switch fabric geometry and routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.freac.fabric import SwitchFabric
+
+
+@pytest.fixture
+def fabric():
+    return SwitchFabric()
+
+
+class TestGeometry:
+    def test_paper_grid(self, fabric):
+        """28 (7x4) switch boxes over the 8x4 MCC tile grid."""
+        assert fabric.switch_boxes == 28
+        assert (fabric.switch_columns, fabric.switch_rows) == (7, 4)
+        assert fabric.mccs == 32
+
+    def test_positions(self, fabric):
+        assert fabric.position(0) == (0, 0)
+        assert fabric.position(7) == (7, 0)
+        assert fabric.position(31) == (7, 3)
+        with pytest.raises(ConfigurationError):
+            fabric.position(32)
+
+    def test_tiny_grids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchFabric(mcc_columns=1)
+
+
+class TestRouting:
+    def test_self_route_is_free(self, fabric):
+        assert fabric.links(5, 5) == 0
+
+    def test_neighbour_route(self, fabric):
+        # Adjacent MCCs share a switch: one traversal.
+        assert fabric.links(0, 1) == 1
+
+    def test_worst_case_is_ten_links(self, fabric):
+        """Paper Sec. V-A: the corner-to-corner path crosses 10 links."""
+        assert fabric.worst_case_links() == 10
+
+    def test_route_follows_x_then_y(self, fabric):
+        path = fabric.route(0, 31)  # (0,0) -> (7,3)
+        columns = [col for col, _ in path]
+        rows = [row for _, row in path]
+        # X leg first (row constant), then Y leg (column constant).
+        turn = columns.index(max(columns))
+        assert all(row == rows[0] for row in rows[: turn + 1])
+        assert all(col == columns[turn] for col in columns[turn:])
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_route_symmetry_in_length(self, a, b):
+        fabric = SwitchFabric()
+        assert fabric.links(a, b) == fabric.links(b, a)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_links_bounded(self, a, b):
+        fabric = SwitchFabric()
+        assert 0 <= fabric.links(a, b) <= 10
+
+
+class TestTileConfig:
+    def test_chain_config_grows_with_tile(self, fabric):
+        small = fabric.tile_route_config_bits(4)
+        large = fabric.tile_route_config_bits(16)
+        assert large > small
+
+    def test_single_mcc_needs_no_routes(self, fabric):
+        assert fabric.tile_route_config_bits(1) == 0
+
+    def test_bad_tile_rejected(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.tile_route_config_bits(0)

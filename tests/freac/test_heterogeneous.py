@@ -1,0 +1,88 @@
+"""Per-slice heterogeneous programming (Sec. III-E independence)."""
+
+import pytest
+
+from repro.circuits.library import mapped_pe
+from repro.errors import ConfigurationError
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.device import AcceleratorProgram, FreacDevice
+from repro.freac.executor import StreamBinding
+from repro.params import scaled_system
+
+
+@pytest.fixture
+def device():
+    device = FreacDevice(scaled_system(l3_slices=2))
+    device.setup(SlicePartition(compute_ways=4, scratchpad_ways=4))
+    return device
+
+
+class TestHeterogeneousSlices:
+    def test_different_accelerators_per_slice(self, device):
+        device.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
+                       mccs_per_tile=1, slices=[0])
+        device.program(AcceleratorProgram("DOT", mapped_pe("DOT")),
+                       mccs_per_tile=1, slices=[1])
+
+        # Slice 0 runs VADD...
+        vadd = device.controllers[0]
+        vadd.fill_scratchpad(0, [10])
+        vadd.fill_scratchpad(10, [32])
+        vadd.run_batch(1, {
+            "a": StreamBinding(0, 1),
+            "b": StreamBinding(10, 1),
+            "c": StreamBinding(20, 1),
+        })
+        assert vadd.read_scratchpad(20, 1) == [42]
+
+        # ...while slice 1 independently runs DOT.
+        dot = device.controllers[1]
+        dot.fill_scratchpad(0, [2] * 8)
+        dot.fill_scratchpad(100, [3] * 8)
+        dot.run_batch(1, {
+            "a": StreamBinding(0, 8),
+            "w": StreamBinding(100, 8),
+            "out": StreamBinding(200, 1),
+        })
+        assert dot.read_scratchpad(200, 1) == [48]
+
+    def test_slice_index_validated(self, device):
+        program = AcceleratorProgram("VADD", mapped_pe("VADD"))
+        with pytest.raises(ConfigurationError):
+            device.program(program, mccs_per_tile=1, slices=[5])
+
+    def test_subset_leaves_others_partitioned(self, device):
+        device.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
+                       mccs_per_tile=1, slices=[0])
+        assert device.controllers[0].state.value == "configured"
+        assert device.controllers[1].state.value == "partitioned"
+
+
+class TestRingHierarchy:
+    def test_ring_latencies_vary_per_address(self):
+        from repro.cache.hierarchy import CacheHierarchy
+
+        hierarchy = CacheHierarchy(cores=1, use_ring=True)
+        latencies = set()
+        # L3 hits at different slice distances: touch lines twice and
+        # evict from L1/L2 via conflict walks would be slow; instead
+        # check the NUCA router directly through the hierarchy stats.
+        for line in range(16):
+            hierarchy.access(0, line * 64, is_write=False)
+        assert hierarchy.nuca is not None
+        assert hierarchy.nuca.accesses == 16
+        assert hierarchy.nuca.load_balance() == pytest.approx(1.0, abs=0.5)
+
+    def test_ring_average_matches_flat_constant(self):
+        """The flat 27-cycle L3 number is the ring's average."""
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.cache.ring import RingInterconnect
+
+        hierarchy = CacheHierarchy(cores=1, use_ring=True)
+        assert hierarchy.nuca.ring.average_access_latency() == \
+            pytest.approx(hierarchy.system.l3_latency_cycles, abs=0.5)
+
+    def test_flat_mode_has_no_nuca(self):
+        from repro.cache.hierarchy import CacheHierarchy
+
+        assert CacheHierarchy(cores=1).nuca is None

@@ -1,0 +1,87 @@
+"""The LD/ST-only host interface."""
+
+import pytest
+
+from repro.errors import DeviceError, ProtocolError
+from repro.freac.ccctrl import ComputeClusterController, ControllerState
+from repro.freac.compute_slice import ReconfigurableComputeSlice
+from repro.freac.hostif import Command, HostInterface, Register, STATUS_DONE
+
+
+@pytest.fixture
+def interface():
+    controller = ComputeClusterController(ReconfigurableComputeSlice())
+    return HostInterface(controller)
+
+
+class TestDecode:
+    def test_out_of_range_address(self, interface):
+        with pytest.raises(DeviceError):
+            interface.load(0x1000)
+
+    def test_unaligned_address(self, interface):
+        with pytest.raises(DeviceError):
+            interface.load(interface.base_address + 2)
+
+    def test_owns(self, interface):
+        assert interface.owns(interface.base_address)
+        assert not interface.owns(interface.base_address - 4)
+
+
+class TestSetupSequence:
+    def test_setup_via_stores(self, interface):
+        interface.store(interface.reg_address(Register.ARG0), 4)
+        interface.store(interface.reg_address(Register.ARG1), 2)
+        interface.store(interface.reg_address(Register.CMD),
+                        int(Command.SETUP))
+        assert interface.controller.state is ControllerState.PARTITIONED
+        assert interface.setup_report.mccs == 8
+
+    def test_status_readback(self, interface):
+        status = interface.load(interface.reg_address(Register.STATUS))
+        assert status == 0  # IDLE, not done
+        interface.setup(4, 2)
+        status = interface.load(interface.reg_address(Register.STATUS))
+        assert status == 1  # PARTITIONED
+
+    def test_done_flag(self, interface):
+        interface.mark_done()
+        status = interface.load(interface.reg_address(Register.STATUS))
+        assert status & STATUS_DONE
+
+    def test_teardown_command(self, interface):
+        interface.setup(4, 2)
+        interface.store(interface.reg_address(Register.CMD),
+                        int(Command.TEARDOWN))
+        assert interface.controller.state is ControllerState.IDLE
+
+
+class TestScratchWindow:
+    def test_window_write_and_read_autoincrement(self, interface):
+        interface.setup(2, 2)
+        interface.store(interface.reg_address(Register.SCRATCH_PTR), 10)
+        for value in (111, 222, 333):
+            interface.store(interface.reg_address(Register.SCRATCH_WIN), value)
+        interface.store(interface.reg_address(Register.SCRATCH_PTR), 10)
+        got = [
+            interface.load(interface.reg_address(Register.SCRATCH_WIN))
+            for _ in range(3)
+        ]
+        assert got == [111, 222, 333]
+
+    def test_window_requires_partition(self, interface):
+        with pytest.raises(ProtocolError):
+            interface.store(interface.reg_address(Register.SCRATCH_WIN), 1)
+
+
+class TestAccounting:
+    def test_mmio_traffic_counted(self, interface):
+        interface.setup(2, 2)  # three stores
+        interface.load(interface.reg_address(Register.STATUS))
+        assert interface.mmio_stores == 3
+        assert interface.mmio_loads == 1
+
+    def test_run_items_register_guarded(self, interface):
+        interface.setup(2, 2)
+        with pytest.raises(ProtocolError):
+            interface.store(interface.reg_address(Register.RUN_ITEMS), 5)

@@ -1,0 +1,66 @@
+"""The folded LUT: mux-tree selection equals truth-table indexing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceError
+from repro.freac.lut import FoldedLut
+
+
+class TestReconfigure:
+    def test_config_masked_to_table_bits(self):
+        lut = FoldedLut(2)
+        lut.reconfigure(0xFFFFFFFF)
+        assert lut.config == 0b1111
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(DeviceError):
+            FoldedLut(5).reconfigure(1 << 32)
+
+    def test_unsupported_width(self):
+        with pytest.raises(DeviceError):
+            FoldedLut(6)
+        with pytest.raises(DeviceError):
+            FoldedLut(0)
+
+    def test_counts_reconfigurations(self):
+        lut = FoldedLut(3)
+        lut.reconfigure(1)
+        lut.reconfigure(2)
+        assert lut.reconfigurations == 2
+
+
+class TestEvaluate:
+    def test_wrong_arity_rejected(self):
+        lut = FoldedLut(3)
+        lut.reconfigure(0b10101010)
+        with pytest.raises(DeviceError):
+            lut.evaluate([1, 0])
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mux_tree_matches_indexing_exhaustively(self, k):
+        for table in range(1 << (1 << k)):
+            lut = FoldedLut(k)
+            lut.reconfigure(table)
+            for assignment in range(1 << k):
+                bits = [(assignment >> i) & 1 for i in range(k)]
+                assert lut.evaluate(bits) == lut.evaluate_indexed(bits), (
+                    table, assignment,
+                )
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_5lut_mux_tree_matches_indexing(self, table, assignment):
+        lut = FoldedLut(5)
+        lut.reconfigure(table)
+        bits = [(assignment >> i) & 1 for i in range(5)]
+        assert lut.evaluate(bits) == (table >> assignment) & 1
+
+    def test_counts_evaluations(self):
+        lut = FoldedLut(2)
+        lut.reconfigure(0b0110)
+        lut.evaluate([0, 1])
+        lut.evaluate([1, 1])
+        assert lut.evaluations == 2

@@ -1,0 +1,108 @@
+"""4-LUT mode end-to-end (paper Sec. III-A: two 4-LUTs per row).
+
+4-LUT mode doubles the LUT slots per cycle by packing two 16-bit
+truth tables into each 32-bit configuration row.  These tests run the
+full pipeline — map at k=4, schedule in 4-LUT mode, execute on MCCs
+configured with eight 4-input mux trees — and compare with simulation.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.subarray import Subarray
+from repro.circuits import CircuitBuilder, simulate, technology_map
+from repro.circuits.library import build_pe
+from repro.folding import (
+    TileResources,
+    generate_config,
+    list_schedule,
+    validate_schedule,
+)
+from repro.freac.executor import FoldedExecutor
+from repro.freac.mcc import MicroComputeCluster
+
+
+def lut4_pipeline(netlist, mccs=1):
+    mapped = technology_map(netlist, k=4).netlist
+    schedule = list_schedule(mapped, TileResources(mccs=mccs, lut_inputs=4))
+    validate_schedule(schedule, strict=True)
+    tile = [
+        MicroComputeCluster(i, [Subarray() for _ in range(4)], lut_inputs=4)
+        for i in range(mccs)
+    ]
+    executor = FoldedExecutor(schedule, tile)
+    executor.load_configuration()
+    return mapped, schedule, executor
+
+
+class TestFourLutExecution:
+    @pytest.mark.parametrize("name", ["VADD", "NW", "SRT"])
+    def test_benchmarks_match_simulation(self, name):
+        pe = build_pe(name)
+        mapped, _, executor = lut4_pipeline(pe.netlist, mccs=2)
+        rng = random.Random(13)
+        streams = {
+            s: [rng.getrandbits(31) for _ in range(n)]
+            for s, n in pe.loads.items()
+        }
+        folded = executor.run(streams=streams)
+        assert folded.stores == simulate(mapped, streams=streams).stores
+
+    def test_eight_slots_per_cycle(self):
+        resources = TileResources(mccs=1, lut_inputs=4)
+        assert resources.luts_per_cycle == 8
+
+    def test_4lut_mode_can_beat_5lut_on_wide_parallel_logic(self):
+        """Plenty of independent narrow logic -> more slots win."""
+        builder = CircuitBuilder("parallel_xor")
+        word_a = builder.bus_load("a")
+        word_b = builder.bus_load("b")
+        bits = builder.xor_vec(word_a.bits, word_b.bits)
+        builder.bus_store("out", builder.word_from_bits(bits))
+        netlist = builder.netlist
+
+        mapped5 = technology_map(netlist, k=5).netlist
+        sched5 = list_schedule(mapped5, TileResources(mccs=1, lut_inputs=5))
+        mapped4 = technology_map(netlist, k=4).netlist
+        sched4 = list_schedule(mapped4, TileResources(mccs=1, lut_inputs=4))
+        assert sched4.compute_cycles <= sched5.compute_cycles
+
+    def test_config_rows_hold_two_tables(self):
+        pe = build_pe("VADD")
+        mapped = technology_map(pe.netlist, k=4).netlist
+        schedule = list_schedule(mapped, TileResources(lut_inputs=4))
+        image = generate_config(schedule)
+        # 8 logical units in 4 stored columns.
+        assert len(image.lut_words[0]) == 4
+
+
+class TestConfigVerification:
+    def test_checksum_stable(self):
+        pe = build_pe("VADD")
+        mapped = technology_map(pe.netlist, k=5).netlist
+        schedule = list_schedule(mapped, TileResources())
+        assert generate_config(schedule).checksum() == \
+            generate_config(schedule).checksum()
+
+    def test_verify_detects_corruption(self):
+        pe = build_pe("VADD")
+        mapped = technology_map(pe.netlist, k=5).netlist
+        schedule = list_schedule(mapped, TileResources())
+        tile = [MicroComputeCluster(0, [Subarray() for _ in range(4)])]
+        executor = FoldedExecutor(schedule, tile)
+        executor.load_configuration()
+        assert executor.verify_configuration()
+        tile[0].subarrays[2].write_row(0, 0xBAD)
+        assert not executor.verify_configuration()
+
+    def test_verify_requires_loaded_segment(self):
+        pe = build_pe("VADD")
+        mapped = technology_map(pe.netlist, k=5).netlist
+        schedule = list_schedule(mapped, TileResources())
+        tile = [MicroComputeCluster(0, [Subarray() for _ in range(4)])]
+        executor = FoldedExecutor(schedule, tile)
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            executor.verify_configuration()

@@ -1,0 +1,61 @@
+"""The partition planner extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.freac.planner import (
+    candidate_partitions,
+    plan_partition,
+)
+from repro.workloads.suite import benchmark
+
+
+class TestCandidates:
+    def test_compute_ways_always_paired(self):
+        for partition in candidate_partitions():
+            assert partition.compute_ways % 2 == 0
+
+    def test_cache_floor_respected(self):
+        for partition in candidate_partitions(min_cache_ways=4):
+            assert partition.cache_ways >= 4
+
+    def test_impossible_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_partitions(min_cache_ways=19)
+
+    def test_full_sweep_size(self):
+        # With no floor there are many configurations; sanity-bound it.
+        partitions = candidate_partitions()
+        assert 50 <= len(partitions) <= 200
+
+
+class TestPlanning:
+    def test_plan_exists_for_every_benchmark(self):
+        for name in ("DOT", "GEMM", "NW", "VADD"):
+            plan = plan_partition(benchmark(name), slices=8)
+            assert plan is not None, name
+            assert plan.tiles_per_slice >= 1
+            assert plan.speedup_vs_single_thread > 0
+
+    def test_cache_floor_changes_plan_space(self):
+        spec = benchmark("NW")
+        free = plan_partition(spec, slices=8)
+        constrained = plan_partition(spec, slices=8, min_cache_ways=6)
+        assert constrained is not None
+        assert constrained.partition.cache_ways >= 6
+        # Constraining can only slow things down (or tie).
+        assert constrained.end_to_end_s >= free.end_to_end_s * 0.999
+
+    def test_kernel_vs_end_to_end_objectives(self):
+        spec = benchmark("DOT")
+        kernel_plan = plan_partition(spec, slices=8, optimize="kernel")
+        e2e_plan = plan_partition(spec, slices=8, optimize="end_to_end")
+        assert kernel_plan.kernel_s <= e2e_plan.kernel_s * 1.001
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_partition(benchmark("DOT"), optimize="latency")
+
+    def test_plan_label_readable(self):
+        plan = plan_partition(benchmark("VADD"), slices=1)
+        assert "MCC" in plan.label

@@ -1,0 +1,76 @@
+"""The high-level workload runner."""
+
+import pytest
+
+from repro.errors import CapacityError, DeviceError
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.device import FreacDevice
+from repro.freac.runner import plan_layout, run_workload
+from repro.params import scaled_system
+from repro.workloads.datagen import dataset_for
+
+
+def small_device(slices=2):
+    return FreacDevice(scaled_system(l3_slices=slices))
+
+
+class TestLayout:
+    def test_streams_do_not_overlap(self):
+        dataset = dataset_for("GEMM", items=8)
+        layout = plan_layout(dataset, scratchpad_words=1 << 16)
+        regions = []
+        from repro.circuits.library import build_pe
+
+        pe = build_pe("GEMM")
+        for stream, binding in layout.items():
+            words = dict(pe.loads, **pe.stores)[stream]
+            regions.append(
+                (binding.base_word,
+                 binding.base_word + words * dataset.items)
+            )
+        regions.sort()
+        for (start_a, end_a), (start_b, _) in zip(regions, regions[1:]):
+            assert end_a <= start_b
+
+    def test_overflow_detected(self):
+        dataset = dataset_for("GEMM", items=1000)
+        with pytest.raises(CapacityError):
+            plan_layout(dataset, scratchpad_words=100)
+
+
+class TestRunWorkload:
+    @pytest.mark.parametrize("name", ["VADD", "DOT", "GEMM", "SRT"])
+    def test_verified_across_slices(self, name):
+        report = run_workload(small_device(), name, items=8)
+        assert report.verified, report
+        assert report.mismatches == 0
+        assert report.invocations == 8
+
+    def test_nw_with_larger_tiles(self):
+        report = run_workload(
+            small_device(), "NW", items=4, mccs_per_tile=2,
+            partition=SlicePartition(4, 4),
+        )
+        assert report.verified
+        assert report.tiles_per_slice == 4
+
+    def test_kmp_state_machine(self):
+        report = run_workload(small_device(), "KMP", items=6)
+        assert report.verified
+
+    def test_dataset_mismatch_rejected(self):
+        dataset = dataset_for("VADD", items=3)
+        with pytest.raises(DeviceError):
+            run_workload(small_device(), "VADD", items=5, dataset=dataset)
+
+    def test_needs_scratchpad(self):
+        with pytest.raises(DeviceError):
+            run_workload(
+                small_device(), "VADD", items=2,
+                partition=SlicePartition(4, 0),
+            )
+
+    def test_counters_scale_with_items(self):
+        few = run_workload(small_device(), "DOT", items=2, seed=1)
+        many = run_workload(small_device(), "DOT", items=8, seed=1)
+        assert many.mac_operations == 4 * few.mac_operations

@@ -1,0 +1,102 @@
+"""Scratchpads over locked ways."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.slice_ import WayMode
+from repro.errors import CapacityError, DeviceError
+from repro.freac.compute_slice import ReconfigurableComputeSlice, SlicePartition
+
+
+def make_scratchpad(scratch_ways=2):
+    compute_slice = ReconfigurableComputeSlice()
+    compute_slice.apply_partition(
+        SlicePartition(compute_ways=0, scratchpad_ways=scratch_ways)
+    )
+    return compute_slice.scratchpad
+
+
+class TestCapacity:
+    def test_words_per_way(self):
+        pad = make_scratchpad(1)
+        # One way = 8 sub-arrays x 2048 rows = 16384 words = 64 KB.
+        assert pad.words == 16384
+        assert pad.size_bytes == 64 * 1024
+
+    def test_capacity_scales_with_ways(self):
+        assert make_scratchpad(4).size_bytes == 256 * 1024
+
+    def test_out_of_range_read(self):
+        pad = make_scratchpad(1)
+        with pytest.raises(CapacityError):
+            pad.read_word(16384)
+
+    def test_out_of_range_write(self):
+        pad = make_scratchpad(1)
+        with pytest.raises(CapacityError):
+            pad.write_word(-1, 0)
+
+
+class TestRoundtrip:
+    def test_word_roundtrip(self):
+        pad = make_scratchpad()
+        pad.write_word(1000, 0xCAFEBABE)
+        assert pad.read_word(1000) == 0xCAFEBABE
+
+    def test_fill_and_dump_words(self):
+        pad = make_scratchpad()
+        values = list(range(100, 164))
+        pad.fill_words(50, values)
+        assert pad.dump_words(50, 64) == values
+
+    def test_bytes_roundtrip(self):
+        pad = make_scratchpad()
+        data = bytes(range(256))
+        pad.fill_bytes(1024, data)
+        assert pad.dump_bytes(1024, 256) == data
+
+    def test_unaligned_bytes_rejected(self):
+        pad = make_scratchpad()
+        with pytest.raises(DeviceError):
+            pad.fill_bytes(2, bytes(4))
+        with pytest.raises(DeviceError):
+            pad.dump_bytes(0, 3)
+
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=16383),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        max_size=64,
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_dict_model(self, writes):
+        pad = make_scratchpad(1)
+        for index, value in writes.items():
+            pad.write_word(index, value)
+        for index, value in writes.items():
+            assert pad.read_word(index) == value
+
+    def test_cross_way_addressing(self):
+        pad = make_scratchpad(2)
+        pad.write_word(16384, 7)   # first word of the second way
+        pad.write_word(16383, 9)   # last word of the first way
+        assert pad.read_word(16384) == 7
+        assert pad.read_word(16383) == 9
+
+
+class TestAccounting:
+    def test_accesses_counted(self):
+        pad = make_scratchpad()
+        pad.write_word(0, 1)
+        pad.read_word(0)
+        assert pad.reads == 1
+        assert pad.writes == 1
+        assert pad.access_count == 2
+
+    def test_accesses_hit_locked_way_subarrays(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(
+            SlicePartition(compute_ways=0, scratchpad_ways=1)
+        )
+        before = compute_slice.cache.subarray_access_count
+        compute_slice.scratchpad.write_word(0, 5)
+        assert compute_slice.cache.subarray_access_count == before + 1

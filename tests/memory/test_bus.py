@@ -1,0 +1,50 @@
+"""Shared-bus serialisation model."""
+
+import pytest
+
+from repro.memory.bus import SharedBus
+
+
+@pytest.fixture
+def bus():
+    return SharedBus()
+
+
+class TestTransfers:
+    def test_words_for_bytes_rounds_up(self, bus):
+        assert bus.words_for_bytes(1) == 1
+        assert bus.words_for_bytes(4) == 1
+        assert bus.words_for_bytes(5) == 2
+        assert bus.words_for_bytes(64) == 16
+
+    def test_transfer_cycles_equals_words(self, bus):
+        assert bus.transfer_cycles(10) == 10
+        assert bus.stats.busy_cycles == 10
+
+    def test_negative_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.transfer_cycles(-1)
+
+    def test_broadcast_occupies_once(self, bus):
+        assert bus.broadcast_cycles(8) == 8
+        assert bus.stats.transactions == 1
+
+
+class TestContention:
+    def test_lockstep_requests_serialise(self, bus):
+        """Paper Sec. III-D: clusters stall until all requests served."""
+        cycles = bus.contended_cycles(requesters=4, words_each=2)
+        assert cycles == 8
+
+    def test_stall_accounting(self, bus):
+        bus.contended_cycles(requesters=4, words_each=2)
+        # Each client would need 2 cycles alone; the rest is stall.
+        assert bus.stats.stall_cycles == 6
+
+    def test_zero_requesters_free(self, bus):
+        assert bus.contended_cycles(0, 10) == 0
+        assert bus.contended_cycles(3, 0) == 0
+
+    def test_single_requester_no_stall(self, bus):
+        bus.contended_cycles(1, 5)
+        assert bus.stats.stall_cycles == 0

@@ -1,0 +1,52 @@
+"""DRAM timing and energy model."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.params import DramParams
+
+
+@pytest.fixture
+def dram():
+    return DramModel()
+
+
+class TestBandwidth:
+    def test_peak_matches_table1(self, dram):
+        # 4 channels x 8 B x 2400 MT/s = 76.8 GB/s.
+        assert dram.params.peak_bandwidth_bytes_s == pytest.approx(76.8e9)
+
+    def test_sustained_below_peak(self, dram):
+        assert dram.sustained_bandwidth_bytes_s < \
+            dram.params.peak_bandwidth_bytes_s
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            DramModel(DramParams(), efficiency=0.0)
+        with pytest.raises(ValueError):
+            DramModel(DramParams(), efficiency=1.5)
+
+
+class TestTransfers:
+    def test_zero_bytes_free(self, dram):
+        assert dram.transfer_time_s(0) == 0.0
+
+    def test_includes_access_latency(self, dram):
+        tiny = dram.transfer_time_s(64)
+        assert tiny >= dram.params.access_latency_s
+
+    def test_large_transfers_bandwidth_bound(self, dram):
+        one_mb = dram.transfer_time_s(1 << 20)
+        two_mb = dram.transfer_time_s(2 << 20)
+        assert two_mb < 2.2 * one_mb
+        assert two_mb > 1.8 * one_mb
+
+    def test_full_llc_flush_is_hundreds_of_us(self, dram):
+        """Paper Sec. III-C: flushing a 10 MB LLC is O(100 us)."""
+        flush = dram.flush_time_s(10 * 1024 * 1024)
+        assert 100e-6 <= flush <= 1000e-6
+
+    def test_energy_per_bit(self, dram):
+        # Paper intro: 28-45 pJ/bit off-chip.
+        energy = dram.transfer_energy_j(1)
+        assert energy == pytest.approx(8 * 28e-12)

@@ -1,0 +1,66 @@
+"""Area overheads reproduce the paper's Sec. V-A roll-ups."""
+
+import pytest
+
+from repro.params import SliceParams
+from repro.power.area import (
+    ClusterAreaModel,
+    SwitchFabricAreaModel,
+    slice_overhead,
+)
+
+SLICE_AREA = SliceParams().area_mm2
+
+
+class TestClusterArea:
+    def test_published_component_areas(self):
+        model = ClusterAreaModel()
+        assert model.mac_um2 == 1011
+        assert model.registers_um2 == 1086
+        assert model.xbar_um2 == 1239
+        assert model.mux_trees_um2 == 45
+
+    def test_per_cluster_total_near_paper(self):
+        # Paper: "the total area added per cluster is 0.0034 mm^2".
+        assert ClusterAreaModel().per_cluster_mm2 == pytest.approx(
+            0.0034, rel=0.01
+        )
+
+    def test_32_clusters_near_0109(self):
+        total = ClusterAreaModel().clusters(32).total_mm2
+        assert total == pytest.approx(0.109, rel=0.01)
+
+
+class TestSliceOverhead:
+    def test_basic_mode_is_3_5_percent(self):
+        overhead = slice_overhead(32, with_switch_fabric=False)
+        pct = 100 * overhead.overhead_fraction(SLICE_AREA)
+        assert pct == pytest.approx(3.5, abs=0.1)
+
+    def test_switched_mode_is_15_3_percent(self):
+        overhead = slice_overhead(32, with_switch_fabric=True)
+        pct = 100 * overhead.overhead_fraction(SLICE_AREA)
+        assert pct == pytest.approx(15.3, abs=0.1)
+
+    def test_switched_total_near_048(self):
+        total = slice_overhead(32, with_switch_fabric=True).total_mm2
+        assert total == pytest.approx(0.48, abs=0.005)
+
+    def test_overhead_scales_with_clusters(self):
+        four = slice_overhead(4).total_mm2
+        thirty_two = slice_overhead(32).total_mm2
+        assert thirty_two == pytest.approx(8 * four)
+
+    def test_components_enumerated(self):
+        components = slice_overhead(32, with_switch_fabric=True).components
+        assert {"mac_units", "register_banks", "operand_xbars",
+                "mux_trees", "routing_links", "switch_boxes",
+                "switch_config_memories"} == set(components)
+
+
+class TestSwitchFabric:
+    def test_config_memories_dominate(self):
+        fabric = SwitchFabricAreaModel().fabric()
+        assert fabric.components["switch_config_memories"] == pytest.approx(0.35)
+        assert fabric.components["switch_config_memories"] > \
+            fabric.components["routing_links"]

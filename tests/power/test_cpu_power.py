@@ -1,0 +1,43 @@
+"""CPU package power model."""
+
+import pytest
+
+from repro.power.cpu_power import CpuPowerModel
+
+
+@pytest.fixture
+def model():
+    return CpuPowerModel()
+
+
+class TestPackagePower:
+    def test_more_cores_more_power(self, model):
+        assert model.package_power_w(8) > model.package_power_w(1)
+
+    def test_idle_cores_still_leak(self, model):
+        idle = model.package_power_w(0)
+        assert idle > 0
+        assert idle == pytest.approx(
+            8 * model.core_static_w + model.uncore_w + model.llc_leakage_w
+        )
+
+    def test_activity_scales_dynamic_only(self, model):
+        busy = model.package_power_w(4, activity=1.0)
+        calm = model.package_power_w(4, activity=0.5)
+        assert busy - calm == pytest.approx(2 * model.core_dynamic_peak_w)
+
+    def test_bounds_checked(self, model):
+        with pytest.raises(ValueError):
+            model.package_power_w(9)
+        with pytest.raises(ValueError):
+            model.package_power_w(1, activity=1.5)
+
+    def test_energy(self, model):
+        assert model.energy_j(2, 10.0) == pytest.approx(
+            model.package_power_w(2) * 10.0
+        )
+
+    def test_multicore_roughly_double_single(self, model):
+        """The Fig. 12 shape: 8 threads draw ~2x FReaC-scale power."""
+        ratio = model.all_cores_power_w() / model.single_thread_power_w()
+        assert 2.0 < ratio < 5.0

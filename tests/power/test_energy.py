@@ -1,0 +1,68 @@
+"""FReaC energy accounting."""
+
+import pytest
+
+from repro.power.energy import EnergyModel, FreacEnergyBreakdown
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+def estimate(model, **overrides):
+    defaults = dict(
+        lut_config_reads=1_000_000,
+        mac_ops=100_000,
+        bus_words=200_000,
+        seconds=1e-3,
+        slices_active=8,
+        uses_switch_fabric=False,
+    )
+    defaults.update(overrides)
+    return model.accelerator_energy(**defaults)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self, model):
+        breakdown = estimate(model)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.dynamic_j + breakdown.leakage_j
+        )
+        assert breakdown.dynamic_j == pytest.approx(
+            sum(v for k, v in breakdown.as_dict().items()
+                if k != "leakage_j")
+        )
+
+    def test_config_reads_use_published_subarray_energy(self, model):
+        breakdown = estimate(model, mac_ops=0, bus_words=0)
+        assert breakdown.config_reads_j == pytest.approx(
+            1_000_000 * 0.00369e-9
+        )
+
+    def test_links_only_with_switch_fabric(self, model):
+        without = estimate(model, uses_switch_fabric=False)
+        with_links = estimate(model, uses_switch_fabric=True)
+        assert without.links_j == 0.0
+        assert with_links.links_j > 0.0
+
+    def test_leakage_scales_with_active_slices(self, model):
+        one = estimate(model, slices_active=1)
+        eight = estimate(model, slices_active=8)
+        assert eight.leakage_j == pytest.approx(8 * one.leakage_j)
+
+    def test_full_llc_leaks_1125mw(self, model):
+        breakdown = estimate(model, slices_active=8, seconds=1.0)
+        assert breakdown.leakage_j == pytest.approx(1.125)
+
+    def test_average_power(self, model):
+        breakdown = estimate(model)
+        assert breakdown.average_power_w(1e-3) == pytest.approx(
+            breakdown.total_j / 1e-3
+        )
+        with pytest.raises(ValueError):
+            breakdown.average_power_w(0.0)
+
+    def test_all_components_non_negative(self, model):
+        for value in estimate(model, uses_switch_fabric=True).as_dict().values():
+            assert value >= 0.0

@@ -1,0 +1,58 @@
+"""SRAM model anchored at Table II."""
+
+import pytest
+
+from repro.params import SliceParams
+from repro.power.sram import SramModel, table2_rows
+
+
+class TestAnchorPoint:
+    def test_area_matches_table2(self):
+        model = SramModel()
+        assert model.area_mm2 == pytest.approx(0.136 * 0.096)
+
+    def test_access_time_matches_table2(self):
+        assert SramModel().access_time_s == pytest.approx(0.12e-9)
+
+    def test_access_energy_matches_table2(self):
+        assert SramModel().access_energy_j == pytest.approx(0.00369e-9)
+
+    def test_single_cycle_at_4ghz(self):
+        # 0.12 ns < 0.25 ns: one read per 4 GHz cycle — the property
+        # per-cycle reconfiguration rests on (paper Sec. V).
+        assert SramModel().supports_single_cycle_at(4e9)
+
+    def test_not_single_cycle_at_10ghz(self):
+        assert not SramModel().supports_single_cycle_at(10e9)
+
+
+class TestScaling:
+    def test_area_linear_in_capacity(self):
+        small = SramModel(size_bytes=8 * 1024)
+        big = SramModel(size_bytes=32 * 1024)
+        assert big.area_mm2 == pytest.approx(4 * small.area_mm2)
+
+    def test_latency_grows_with_capacity(self):
+        assert SramModel(size_bytes=32 * 1024).access_time_s > \
+            SramModel(size_bytes=8 * 1024).access_time_s
+
+    def test_energy_grows_with_capacity(self):
+        assert SramModel(size_bytes=32 * 1024).access_energy_j > \
+            SramModel().access_energy_j
+
+    def test_as_subarray_params_consistent(self):
+        params = SramModel(size_bytes=16 * 1024).as_subarray_params()
+        params.validate()
+        assert params.size_bytes == 16 * 1024
+        assert params.rows == 4096
+
+
+class TestTable2Rows:
+    def test_row_values(self):
+        rows = dict(table2_rows(SliceParams()))
+        assert rows["SRAM Subarray Size"] == "8KB"
+        assert rows["SRAM Subarray AccessTime"] == "0.12ns"
+        assert rows["L3 Cache Slice Size"] == "1.25MB"
+        assert rows["L3 Cache Slice Data Subarrays"] == "160"
+        assert rows["L3 Cache Slice Height"] == "1.63mm"
+        assert rows["L3 Cache Slice Width"] == "1.92mm"

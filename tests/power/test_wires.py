@@ -1,0 +1,51 @@
+"""Switch-fabric wire timing (Sec. V-A frequency sweep)."""
+
+import pytest
+
+from repro.power.wires import WireModel
+
+
+@pytest.fixture
+def model():
+    return WireModel()
+
+
+class TestWorstCasePath:
+    def test_matches_paper_manhattan_distance(self, model):
+        # Paper: "We found this to be 2.864mm".
+        assert model.longest_path_mm == pytest.approx(2.864, abs=0.01)
+
+    def test_delay_near_0_3ns(self, model):
+        # Paper: "must meet a delay of 0.3 ns".
+        assert model.worst_path_delay_s == pytest.approx(0.3e-9, rel=0.05)
+
+    def test_link_length(self, model):
+        # Ten links between corner switches.
+        assert model.link_length_mm() == pytest.approx(
+            model.longest_path_mm / 10
+        )
+
+
+class TestClockConclusion:
+    def test_3ghz_closes_4ghz_does_not(self, model):
+        """The paper's exact conclusion: large tiles at 3 GHz."""
+        assert model.meets_timing_at(3.0e9)
+        assert not model.meets_timing_at(4.0e9)
+
+    def test_max_clock_between(self, model):
+        assert 3.0e9 < model.max_clock_hz() < 4.0e9
+
+    def test_slower_wires_fail_even_3ghz(self):
+        slow = WireModel(delay_ps_per_mm=200.0)
+        assert not slow.meets_timing_at(3.0e9)
+
+
+class TestEnergy:
+    def test_path_energy_positive_and_small(self, model):
+        energy = model.path_energy_j()
+        assert 0 < energy < 2e-11  # on the order of 10 pJ per flit
+
+    def test_scales_with_bits(self, model):
+        assert model.path_energy_j(64) == pytest.approx(
+            2 * model.path_energy_j(32)
+        )

@@ -1,0 +1,68 @@
+"""The `freac` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "tables" in out
+
+    def test_tables_target(self, capsys):
+        assert main(["tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_area_target(self, capsys):
+        assert main(["area"]) == 0
+        assert "overheads" in capsys.readouterr().out
+
+    def test_fig9_target(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "32MCC-256KB" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestUtilityCommands:
+    def test_schedule_summary(self, capsys):
+        assert main(["schedule", "VADD", "--mccs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fold_cycles" in out
+        assert "bus_words" in out
+
+    def test_schedule_level_algorithm(self, capsys):
+        assert main(["schedule", "DOT", "--algorithm", "level"]) == 0
+        assert "level" in capsys.readouterr().out
+
+    def test_schedule_unknown_benchmark(self, capsys):
+        assert main(["schedule", "NOPE"]) == 2
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "VADD", "--slices", "2",
+                     "--cache-ways", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "configuration" in out
+        assert "speedup" in out
+
+    def test_plan_unknown_benchmark(self):
+        assert main(["plan", "NOPE"]) == 2
+
+    def test_run_command(self, capsys):
+        assert main(["run", "VADD", "--items", "4", "--slices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified    : yes" in out
+
+    def test_run_unknown_benchmark(self):
+        assert main(["run", "NOPE"]) == 2
+
+    def test_list_includes_utilities(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "plan" in out
+        assert "schedule" in out

@@ -1,0 +1,57 @@
+"""The example scripts run to completion (their own asserts verify)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "all 32 dot products match" in out
+
+    def test_edge_inference(self, capsys):
+        run_example("edge_inference.py")
+        out = capsys.readouterr().out
+        assert "outputs match the Python reference" in out
+        assert "FReaC speedup" in out
+
+    def test_partition_planner(self, capsys):
+        run_example("partition_planner.py", ["VADD"])
+        out = capsys.readouterr().out
+        assert "Recommendation" in out
+
+    def test_partition_planner_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            run_example("partition_planner.py", ["BOGUS"])
+
+    def test_crc32_stream(self, capsys):
+        run_example("crc32_stream.py", ["abc"])
+        out = capsys.readouterr().out
+        assert "matches binascii" in out
+
+    @pytest.mark.slow
+    def test_aes_offload(self, capsys):
+        run_example("aes_offload.py")
+        out = capsys.readouterr().out
+        assert "all ciphertexts match" in out
+
+    @pytest.mark.slow
+    def test_full_suite_functional(self, capsys):
+        run_example("full_suite_functional.py", ["--skip-aes"])
+        out = capsys.readouterr().out
+        assert "every kernel verified" in out

@@ -1,0 +1,90 @@
+"""Architecture parameter sets (Table I / II / Sec. III geometry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    FreacClocking,
+    MccParams,
+    SliceParams,
+    SubarrayParams,
+    SystemParams,
+    default_system,
+    scaled_system,
+)
+
+
+class TestSubarray:
+    def test_default_rows(self):
+        assert SubarrayParams().rows == 2048
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubarrayParams(size_bytes=0).validate()
+        with pytest.raises(ConfigurationError):
+            SubarrayParams(size_bytes=10, port_bits=32).validate()
+
+
+class TestSlice:
+    def test_paper_geometry(self):
+        params = SliceParams()
+        assert params.capacity_bytes == 1_310_720  # 1.25 MB
+        assert params.subarray_count == 160
+        assert params.way_bytes == 64 * 1024
+        assert params.sets == 1024
+        assert params.area_mm2 == pytest.approx(1.63 * 1.92)
+
+    def test_needs_two_ways(self):
+        with pytest.raises(ConfigurationError):
+            SliceParams(ways=1).validate()
+
+
+class TestMcc:
+    def test_lut_slots(self):
+        mcc = MccParams()
+        assert mcc.lut_slots(5) == 4
+        assert mcc.lut_slots(4) == 8
+        with pytest.raises(ConfigurationError):
+            mcc.lut_slots(6)
+
+    def test_config_rows(self):
+        assert MccParams().config_rows(SubarrayParams()) == 2048
+
+
+class TestClocking:
+    def test_thresholds(self):
+        clocking = FreacClocking()
+        assert clocking.tile_clock_hz(1) == 4e9
+        assert clocking.tile_clock_hz(15) == 4e9
+        assert clocking.tile_clock_hz(16) == 3e9
+        assert clocking.tile_clock_hz(32) == 3e9
+
+
+class TestSystem:
+    def test_default_is_table1(self):
+        system = default_system()
+        assert system.cores == 8
+        assert system.l3_size_bytes == 10 * 1024 * 1024
+        assert system.l3.sets * system.l3.ways * 64 == system.l3_size_bytes
+
+    def test_mccs_for_ways(self):
+        system = default_system()
+        assert system.mccs_for_ways(16) == 32
+        assert system.mccs_for_ways(2) == 4
+        assert system.mccs_for_ways(0) == 0
+        with pytest.raises(ConfigurationError):
+            system.mccs_for_ways(3)
+        with pytest.raises(ConfigurationError):
+            system.mccs_for_ways(22)
+
+    def test_max_mccs(self):
+        assert default_system().mccs_per_slice_max == 40  # all 20 ways
+
+    def test_scaled_system(self):
+        system = scaled_system(l3_slices=2, cores=4)
+        assert system.l3_slices == 2
+        assert system.l3_size_bytes == 2 * 1_310_720
+
+    def test_invalid_scaling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_system(l3_slices=0)

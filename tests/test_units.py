@@ -1,0 +1,37 @@
+"""Unit helpers: conversions and guards."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_time(self):
+        assert units.ns(1) == 1e-9
+        assert units.us(2) == 2e-6
+        assert units.ms(3) == 3e-3
+        assert units.ghz(4) == 4e9
+        assert units.mhz(250) == 250e6
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(4_000_000_000, units.ghz(4)) == 1.0
+
+    def test_energy(self):
+        assert units.pj(1) == 1e-12
+        assert units.nj(1) == 1e-9
+        assert units.mw(9) == pytest.approx(9e-3)
+
+    def test_power_from_energy(self):
+        assert units.watts_from(2.0, 4.0) == 0.5
+        with pytest.raises(ValueError):
+            units.watts_from(1.0, 0.0)
+
+    def test_area(self):
+        assert units.um2(1e6) == pytest.approx(1e-6)
+        assert units.mm2(1) == 1e-6
+        assert units.to_mm2(units.mm2(3.5)) == pytest.approx(3.5)
+
+    def test_capacity(self):
+        assert units.kib(8) == 8192
+        assert units.mib(1.25) == 1_310_720
+        assert units.gb_per_s(16) == 16e9

@@ -1,0 +1,43 @@
+"""Dataset generation: determinism and consistency with the PEs."""
+
+import pytest
+
+from repro.circuits import simulate
+from repro.circuits.library import build_pe, pe_names
+from repro.workloads.datagen import dataset_for
+
+FAST = [name for name in pe_names() if name != "AES"]
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", FAST)
+    def test_expectations_match_simulation(self, name):
+        dataset = dataset_for(name, items=4, seed=11)
+        pe = build_pe(name)
+        for item in range(4):
+            result = simulate(pe.netlist, streams=dataset.item_streams(item))
+            assert result.stores == dataset.expected_stores(item)
+
+    def test_deterministic_per_seed(self):
+        first = dataset_for("GEMM", items=3, seed=5)
+        second = dataset_for("GEMM", items=3, seed=5)
+        assert first.loads == second.loads
+        assert first.expected == second.expected
+
+    def test_different_seeds_differ(self):
+        a = dataset_for("DOT", items=2, seed=1)
+        b = dataset_for("DOT", items=2, seed=2)
+        assert a.loads != b.loads
+
+    def test_stream_shapes_match_pe(self):
+        pe = build_pe("FC")
+        dataset = dataset_for("FC", items=2)
+        for stream, count in pe.loads.items():
+            assert all(len(words) == count for words in dataset.loads[stream])
+
+    @pytest.mark.slow
+    def test_aes_dataset_consistent(self):
+        dataset = dataset_for("AES", items=1, seed=3)
+        pe = build_pe("AES")
+        result = simulate(pe.netlist, streams=dataset.item_streams(0))
+        assert result.stores == dataset.expected_stores(0)

@@ -1,0 +1,171 @@
+"""Reference kernels against independent oracles."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import kernels
+
+WORD = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestAes:
+    def test_sbox_known_values(self):
+        sbox = kernels.aes_sbox()
+        assert sbox[0x00] == 0x63
+        assert sbox[0x01] == 0x7C
+        assert sbox[0x53] == 0xED
+        assert sbox[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(kernels.aes_sbox()) == list(range(256))
+
+    def test_fips_197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert kernels.aes_encrypt_block(plaintext, key) == expected
+
+    def test_fips_197_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert kernels.aes_encrypt_block(plaintext, key) == expected
+
+    def test_key_schedule_known_last_word(self):
+        # FIPS-197 A.1: w43 = b6 63 0c a6 for the 2b7e... key.
+        round_keys = kernels.aes_expand_key(
+            bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        )
+        assert bytes(round_keys[10][12:16]) == bytes.fromhex("b6630ca6")
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            kernels.aes_encrypt_block(b"short", bytes(16))
+        with pytest.raises(ValueError):
+            kernels.aes_expand_key(b"short")
+
+    def test_gf_inverse_property(self):
+        for value in range(1, 256):
+            assert kernels._gf_mul(value, kernels._gf_inverse(value)) == 1
+
+
+class TestLinearAlgebra:
+    @given(st.lists(WORD, min_size=4, max_size=4),
+           st.lists(WORD, min_size=4, max_size=4))
+    def test_dot_matches_numpy(self, a, b):
+        expected = int(
+            np.dot(np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64))
+            & 0xFFFFFFFF
+        )
+        assert kernels.dot_product(a, b) == expected
+
+    def test_gemm_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 1 << 16, size=(5, 7))
+        b = rng.integers(0, 1 << 16, size=(7, 3))
+        expected = (a.astype(np.uint64) @ b.astype(np.uint64)) & 0xFFFFFFFF
+        got = kernels.gemm(a.tolist(), b.tolist())
+        assert got == expected.astype(np.uint64).tolist()
+
+    def test_gemm_shape_validated(self):
+        with pytest.raises(ValueError):
+            kernels.gemm([[1, 2]], [[1, 2]])
+
+    @given(st.lists(WORD, min_size=2, max_size=8),
+           st.lists(WORD, min_size=2, max_size=8))
+    def test_vadd(self, a, b):
+        n = min(len(a), len(b))
+        got = kernels.vadd(a[:n], b[:n])
+        assert got == [(x + y) & 0xFFFFFFFF for x, y in zip(a[:n], b[:n])]
+
+    def test_conv1d_against_numpy(self):
+        signal = list(range(1, 20))
+        taps = [2, 0, 1]
+        got = kernels.conv1d(signal, taps)
+        expected = np.correlate(np.array(signal), np.array(taps), mode="valid")
+        assert got == [int(x) & 0xFFFFFFFF for x in expected]
+
+    def test_fc_layer_relu(self):
+        # One positive and one negative pre-activation.
+        outputs = kernels.fc_layer(
+            [1, 2], [[3, 4], [0xFFFFFFFF, 0]], [0, 0]
+        )
+        assert outputs[0] == 11
+        assert outputs[1] == 0  # (-1 * 1) wraps negative -> ReLU clamps
+
+
+class TestStencils:
+    def test_stencil2d_interior_only(self):
+        grid = [[1] * 4 for _ in range(4)]
+        weights = [[1] * 3 for _ in range(3)]
+        out = kernels.stencil2d(grid, weights)
+        assert out[1][1] == 9
+        assert out[0][0] == 0  # boundary untouched
+
+    def test_stencil3d_seven_point(self):
+        volume = [[[2] * 3 for _ in range(3)] for _ in range(3)]
+        out = kernels.stencil3d(volume, center=6, face=1)
+        assert out[1][1][1] == 6 * 2 + 6 * 2
+
+
+class TestStringsAndSorting:
+    def test_kmp_against_naive(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            pattern = [rng.randrange(3) for _ in range(rng.randrange(1, 5))]
+            text = [rng.randrange(3) for _ in range(60)]
+            naive = sum(
+                1
+                for i in range(len(text) - len(pattern) + 1)
+                if text[i : i + len(pattern)] == pattern
+            )
+            assert kernels.kmp_search(pattern, text) == naive
+
+    def test_kmp_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.kmp_search([], [1, 2])
+
+    def test_failure_function_classic(self):
+        assert kernels.kmp_failure([1, 2, 1, 2, 3]) == [0, 0, 1, 2, 0]
+
+    @given(st.lists(WORD, max_size=64))
+    @settings(max_examples=30)
+    def test_merge_sort(self, values):
+        assert kernels.merge_sort_passes(values) == sorted(values)
+
+    @given(WORD, WORD)
+    def test_compare_exchange(self, a, b):
+        low, high = kernels.compare_exchange(a, b)
+        assert (low, high) == (min(a, b), max(a, b))
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences_score_length(self):
+        assert kernels.nw_score([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_completely_different(self):
+        # Align [1,1] vs [2,2]: two mismatches = -2 (mod 2^32).
+        assert kernels.nw_score([1, 1], [2, 2]) == (-2) & 0xFFFFFFFF
+
+    def test_cell_against_dp(self):
+        """nw_cell composed over a grid equals the reference scorer."""
+        rng = random.Random(5)
+        a = [rng.randrange(4) for _ in range(6)]
+        b = [rng.randrange(4) for _ in range(5)]
+        gap = -1
+        rows, cols = len(a) + 1, len(b) + 1
+        grid = [[(i + j) * 0 for j in range(cols)] for i in range(rows)]
+        for j in range(cols):
+            grid[0][j] = (j * gap) & 0xFFFFFFFF
+        for i in range(rows):
+            grid[i][0] = (i * gap) & 0xFFFFFFFF
+        for i in range(1, rows):
+            for j in range(1, cols):
+                grid[i][j] = kernels.nw_cell(
+                    grid[i - 1][j - 1], grid[i][j - 1], grid[i - 1][j],
+                    a[i - 1], b[j - 1],
+                )
+        assert grid[-1][-1] == kernels.nw_score(a, b)

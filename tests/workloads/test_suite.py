@@ -1,0 +1,82 @@
+"""Benchmark specs: consistency with the actual PE circuits."""
+
+import pytest
+
+from repro.workloads.suite import BATCH_SCALE, SUITE, benchmark, benchmark_names
+
+
+class TestSuiteShape:
+    def test_eleven_benchmarks(self):
+        assert len(SUITE) == 11
+
+    def test_names_uppercase(self):
+        assert all(name == name.upper() for name in SUITE)
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark("gemm") is SUITE["GEMM"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark("FFT")
+
+    def test_names_sorted(self):
+        assert benchmark_names() == sorted(SUITE)
+
+    def test_categories(self):
+        assert {spec.category for spec in SUITE.values()} == {
+            "compute", "memory", "logic",
+        }
+
+
+class TestScaling:
+    def test_items_scaled_256x(self):
+        for spec in SUITE.values():
+            assert spec.items == spec.base_items * BATCH_SCALE
+
+    def test_total_bytes_positive(self):
+        for spec in SUITE.values():
+            assert spec.total_input_bytes() > 0
+            assert spec.total_output_bytes() >= 0
+
+    def test_aggregate_working_sets_are_mb_scale(self):
+        """Paper Sec. VI: total working sets up to ~32 MB."""
+        for spec in SUITE.values():
+            total = spec.total_input_bytes() + spec.total_output_bytes()
+            assert 1 << 20 <= total <= 64 << 20, spec.name
+
+
+class TestCircuitConsistency:
+    def test_pe_accessible_from_spec(self):
+        assert benchmark("DOT").pe.name == "DOT"
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_cpu_loads_cover_circuit_loads(self, name):
+        """The CPU cost model must move at least the PE's operands."""
+        spec = SUITE[name]
+        pe = spec.pe
+        assert spec.cpu.loads + spec.cpu.stores >= 1
+        # CPU loads should be within 4x of the accelerator bus words
+        # (the CPU caches constants the PE bakes into its circuit).
+        assert spec.cpu.loads <= 4 * max(sum(pe.loads.values()), 1) + 8
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_tile_working_set_fits_some_partition(self, name):
+        """Every benchmark must be runnable in at least one paper split."""
+        from repro.freac.compute_slice import SlicePartition
+        from repro.freac.device import max_accelerator_tiles
+
+        spec = SUITE[name]
+        feasible = [
+            max_accelerator_tiles(
+                SlicePartition(compute, scratch),
+                tile_mccs=1,
+                working_set_bytes_per_tile=spec.tile_working_set_bytes,
+            )
+            for compute, scratch in ((16, 4), (12, 8), (8, 12), (4, 16), (2, 18))
+        ]
+        assert max(feasible) >= 1
+
+    def test_mul_counts_sane(self):
+        assert SUITE["GEMM"].cpu.mul_ops > 0
+        assert SUITE["AES"].cpu.mul_ops == 0
+        assert SUITE["VADD"].cpu.mul_ops == 0

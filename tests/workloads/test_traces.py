@@ -1,0 +1,54 @@
+"""Synthetic trace generation."""
+
+from repro.workloads.suite import benchmark
+from repro.workloads.traces import batched_stream_trace, trace_for_benchmark
+
+
+class TestBatchedStream:
+    def test_trace_length(self):
+        trace = list(batched_stream_trace(
+            base_address=0, elements=2, element_bytes=1024, passes=2,
+        ))
+        assert len(trace) == 2 * 2 * (1024 // 64)
+
+    def test_reuse_within_element(self):
+        trace = list(batched_stream_trace(
+            base_address=0, elements=1, element_bytes=512, passes=2,
+        ))
+        addresses = [address for address, _ in trace]
+        half = len(addresses) // 2
+        assert addresses[:half] == addresses[half:]
+
+    def test_elements_are_disjoint(self):
+        trace = list(batched_stream_trace(
+            base_address=0, elements=2, element_bytes=1024, passes=1,
+        ))
+        first = {a for a, _ in trace[: len(trace) // 2]}
+        second = {a for a, _ in trace[len(trace) // 2 :]}
+        assert not first & second
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(base_address=0, elements=1, element_bytes=512, seed=3)
+        assert list(batched_stream_trace(**kwargs)) == list(
+            batched_stream_trace(**kwargs)
+        )
+
+
+class TestBenchmarkTraces:
+    def test_threads_get_disjoint_regions(self):
+        spec = benchmark("GEMM")
+        one = {a for a, _ in trace_for_benchmark(spec, thread=0, elements=1)}
+        two = {a for a, _ in trace_for_benchmark(spec, thread=1, elements=1)}
+        assert not one & two
+
+    def test_write_fraction_tracks_spec(self):
+        spec = benchmark("SRT")  # stores ~= loads
+        trace = trace_for_benchmark(spec, thread=0, elements=1)
+        writes = sum(1 for _, is_write in trace if is_write)
+        assert 0.3 <= writes / len(trace) <= 0.7
+
+    def test_element_working_set_is_128kb(self):
+        spec = benchmark("VADD")
+        trace = trace_for_benchmark(spec, thread=0, elements=1)
+        span = max(a for a, _ in trace) - min(a for a, _ in trace)
+        assert span <= 128 * 1024
