@@ -1,0 +1,58 @@
+"""Static analysis over mapping-flow artifacts (``freac lint``).
+
+The paper's flow — RTL, technology map, DAG, level, partition, fold —
+silently produces garbage from malformed inputs.  This package is the
+toolchain-level verification layer in front of it: a registry of
+static rules over the three artifact classes (netlists, folding
+schedules, partition plans) whose findings are collected into an
+:class:`AnalysisReport` of :class:`Diagnostic` objects instead of
+raising at the first violation.
+
+Layers:
+
+* :mod:`~repro.analysis.core` — diagnostics, reports, the registry;
+* :mod:`~repro.analysis.netlist_rules` / ``schedule_rules`` /
+  ``plan_rules`` — the initial rule packs (NL/SC/PL ids);
+* :mod:`~repro.analysis.emit` — text, JSON, and SARIF emitters;
+* :mod:`~repro.analysis.preflight` — the executor/runner gate: errors
+  block execution, warnings log.
+
+``repro.folding.validate.validate_schedule`` is a strict raise-on-first
+wrapper over the schedule rule pack, kept for backward compatibility.
+"""
+
+from .api import analyze, analyze_netlist, analyze_plan, analyze_schedule
+from .core import (
+    AnalysisContext,
+    AnalysisReport,
+    Diagnostic,
+    Finding,
+    Rule,
+    RuleRegistry,
+    Severity,
+    registry,
+    rule,
+)
+from .emit import to_json, to_sarif, to_text
+from .preflight import preflight_netlist, preflight_schedule
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "analyze",
+    "analyze_netlist",
+    "analyze_plan",
+    "analyze_schedule",
+    "preflight_netlist",
+    "preflight_schedule",
+    "registry",
+    "rule",
+    "to_json",
+    "to_sarif",
+    "to_text",
+]

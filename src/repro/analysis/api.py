@@ -1,0 +1,74 @@
+"""Analysis entry points: run a rule pack over one artifact."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import AnalysisError
+from .core import AnalysisContext, AnalysisReport, run_rules
+
+# Importing the rule modules registers every rule in the global
+# registry; keep these imports even though nothing is referenced.
+from . import netlist_rules as _netlist_rules  # noqa: F401
+from . import plan_rules as _plan_rules        # noqa: F401
+from . import schedule_rules as _schedule_rules  # noqa: F401
+
+
+def analyze_netlist(
+    netlist: Any,
+    *,
+    lut_inputs: Optional[int] = None,
+    name: Optional[str] = None,
+) -> AnalysisReport:
+    """Run every netlist rule; never raises on findings."""
+    context = AnalysisContext(
+        artifact_name=f"netlist:{name or getattr(netlist, 'name', '?')}",
+        lut_inputs=lut_inputs,
+    )
+    return run_rules("netlist", netlist, context)
+
+
+def analyze_schedule(
+    schedule: Any,
+    *,
+    strict: bool = False,
+    name: Optional[str] = None,
+) -> AnalysisReport:
+    """Run every schedule rule; ``strict`` hardens pressure warnings."""
+    context = AnalysisContext(
+        artifact_name=(
+            f"schedule:{name or getattr(schedule.netlist, 'name', '?')}"
+        ),
+        strict=strict,
+    )
+    return run_rules("schedule", schedule, context)
+
+
+def analyze_plan(
+    plan: Any,
+    *,
+    spec: Any = None,
+    name: Optional[str] = None,
+) -> AnalysisReport:
+    """Run every plan rule over a SlicePartition or PartitionPlan."""
+    label = name
+    if label is None:
+        try:
+            label = plan.label() if callable(plan.label) else plan.label
+        except Exception:
+            label = "?"
+    context = AnalysisContext(artifact_name=f"plan:{label}", spec=spec)
+    return run_rules("plan", plan, context)
+
+
+def analyze(artifact: Any, **kwargs: Any) -> AnalysisReport:
+    """Dispatch on artifact shape: netlist, schedule, or plan."""
+    if hasattr(artifact, "ops") and hasattr(artifact, "resources"):
+        return analyze_schedule(artifact, **kwargs)
+    if hasattr(artifact, "nodes") and hasattr(artifact, "outputs"):
+        return analyze_netlist(artifact, **kwargs)
+    if hasattr(artifact, "compute_ways") or hasattr(artifact, "partition"):
+        return analyze_plan(artifact, **kwargs)
+    raise AnalysisError(
+        f"cannot infer artifact kind of {type(artifact).__name__}"
+    )

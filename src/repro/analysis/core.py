@@ -1,0 +1,289 @@
+"""Diagnostics, reports, and the rule registry.
+
+The analysis framework separates *what is wrong* (a
+:class:`Diagnostic`) from *how it was found* (a :class:`Rule`) and
+*what to do about it* (the caller's policy).  Rules never raise: they
+yield findings, the runner stamps them with the rule's identity and
+default severity, and an :class:`AnalysisReport` collects everything
+so one pass over an artifact surfaces every defect at once — unlike
+the original ``validate_schedule``, which stopped at the first.
+
+Rule identifiers are stable strings (``NL``/``SC``/``PL`` prefix plus
+a three-digit number) so reports can be diffed across runs and
+suppressed or gated in CI by id.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from ..errors import AnalysisError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make an artifact unusable (the executor refuses
+    to run it); ``WARNING`` findings flag likely performance or
+    robustness problems; ``INFO`` findings are observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, severity, location, message, fix hint."""
+
+    rule: str
+    severity: Severity
+    message: str
+    artifact: str                       # e.g. "netlist:crc32"
+    location: Tuple[Tuple[str, int], ...] = ()   # (("nid", 5),) etc.
+    hint: Optional[str] = None
+
+    def loc(self, key: str, default: int = 0) -> int:
+        for name, value in self.location:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "artifact": self.artifact,
+            "location": {k: v for k, v in self.location},
+        }
+        if self.hint is not None:
+            data["hint"] = self.hint
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            artifact=data["artifact"],
+            location=tuple(sorted(data.get("location", {}).items())),
+            hint=data.get("hint"),
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a rule's check function yields; the runner adds identity.
+
+    ``severity`` overrides the rule's default (e.g. a rule that is an
+    error under ``strict`` analysis but a warning otherwise).
+    """
+
+    message: str
+    location: Tuple[Tuple[str, int], ...] = ()
+    hint: Optional[str] = None
+    severity: Optional[Severity] = None
+
+
+def at(**kwargs: int) -> Tuple[Tuple[str, int], ...]:
+    """Build a location tuple: ``at(nid=3)``, ``at(cycle=2, mcc=0)``."""
+    return tuple(sorted(kwargs.items()))
+
+
+CheckFn = Callable[[Any, "AnalysisContext"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered static check over one artifact kind."""
+
+    rule_id: str
+    artifact: str          # "netlist" | "schedule" | "plan"
+    severity: Severity     # default severity of findings
+    title: str
+    check: CheckFn
+
+    def run(self, subject: Any, context: "AnalysisContext") -> List[Diagnostic]:
+        diagnostics = []
+        for finding in self.check(subject, context):
+            diagnostics.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=finding.severity or self.severity,
+                    message=finding.message,
+                    artifact=context.artifact_name,
+                    location=finding.location,
+                    hint=finding.hint,
+                )
+            )
+        return diagnostics
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may consult besides the artifact itself."""
+
+    artifact_name: str = ""
+    strict: bool = False
+    lut_inputs: Optional[int] = None   # netlist rules: target LUT width
+    spec: Optional[Any] = None         # plan rules: BenchmarkSpec
+
+
+class RuleRegistry:
+    """All known rules, ordered by registration (= report order)."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> None:
+        if rule.rule_id in self._rules:
+            raise AnalysisError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+
+    def rule(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise AnalysisError(f"unknown rule id {rule_id!r}") from None
+
+    def for_artifact(self, artifact: str) -> List[Rule]:
+        return [r for r in self._rules.values() if r.artifact == artifact]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The global registry every rule module registers into on import.
+registry = RuleRegistry()
+
+
+def rule(
+    rule_id: str,
+    *,
+    artifact: str,
+    severity: Severity = Severity.ERROR,
+    title: str,
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator: register ``check`` as a rule in the global registry."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        registry.register(
+            Rule(
+                rule_id=rule_id,
+                artifact=artifact,
+                severity=severity,
+                title=title,
+                check=check,
+            )
+        )
+        return check
+
+    return decorate
+
+
+@dataclass
+class AnalysisReport:
+    """Every finding from one analysis run over one artifact."""
+
+    artifact: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    # -- severity views -------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was found."""
+        return not self.diagnostics
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def rule_ids(self) -> List[str]:
+        seen: List[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.rule not in seen:
+                seen.append(diagnostic.rule)
+        return seen
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
+
+    # -- construction ---------------------------------------------------
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # -- (de)serialisation ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "artifact": self.artifact,
+            "summary": self.summary(),
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
+        return cls(
+            artifact=data["artifact"],
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ],
+            rules_run=list(data.get("rules_run", ())),
+        )
+
+
+def run_rules(
+    artifact_kind: str, subject: Any, context: AnalysisContext
+) -> AnalysisReport:
+    """Run every registered rule for ``artifact_kind`` over ``subject``."""
+    report = AnalysisReport(artifact=context.artifact_name)
+    for rule_obj in registry.for_artifact(artifact_kind):
+        report.rules_run.append(rule_obj.rule_id)
+        report.extend(rule_obj.run(subject, context))
+    return report

@@ -1,0 +1,118 @@
+"""Report emitters: human text, machine JSON, and SARIF 2.1.0.
+
+JSON output round-trips through :meth:`AnalysisReport.from_dict`;
+SARIF targets code-scanning UIs (GitHub, VS Code SARIF viewers) with
+rule metadata pulled from the registry and artifact locations encoded
+as logical locations (``netlist:crc32#nid=5``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core import AnalysisReport, Diagnostic, Severity, registry
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "freac-lint"
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _location_name(diagnostic: Diagnostic) -> str:
+    suffix = ",".join(f"{k}={v}" for k, v in diagnostic.location)
+    return f"{diagnostic.artifact}#{suffix}" if suffix else diagnostic.artifact
+
+
+def to_text(report: AnalysisReport) -> str:
+    """One finding per line, sorted errors-first, with a summary tail."""
+    lines: List[str] = []
+    ordered = sorted(
+        report.diagnostics, key=lambda d: (d.severity.rank, d.rule)
+    )
+    for diagnostic in ordered:
+        where = _location_name(diagnostic)
+        line = (
+            f"{diagnostic.severity.value:>7} {diagnostic.rule} "
+            f"[{where}] {diagnostic.message}"
+        )
+        if diagnostic.hint:
+            line += f" (hint: {diagnostic.hint})"
+        lines.append(line)
+    summary = report.summary()
+    lines.append(
+        f"{report.artifact}: {summary['errors']} error(s), "
+        f"{summary['warnings']} warning(s), {summary['infos']} info(s) "
+        f"from {len(report.rules_run)} rules"
+    )
+    return "\n".join(lines)
+
+
+def to_json(report: AnalysisReport, *, indent: int = 2) -> str:
+    """JSON that round-trips via :meth:`AnalysisReport.from_dict`."""
+    return json.dumps(report.to_dict(), indent=indent)
+
+
+def to_sarif(report: AnalysisReport, *, indent: int = 2) -> str:
+    """A single-run SARIF 2.1.0 log of the report."""
+    rule_ids = sorted(set(report.rules_run) | set(report.rule_ids()))
+    rules: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        try:
+            rule_obj = registry.rule(rule_id)
+            description = rule_obj.title
+        except Exception:
+            description = rule_id
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": description},
+            }
+        )
+    index_of = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = [
+        {
+            "ruleId": diagnostic.rule,
+            "ruleIndex": index_of[diagnostic.rule],
+            "level": _SARIF_LEVEL[diagnostic.severity],
+            "message": {
+                "text": diagnostic.message
+                + (f" Hint: {diagnostic.hint}" if diagnostic.hint else "")
+            },
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {"fullyQualifiedName": _location_name(diagnostic)}
+                    ]
+                }
+            ],
+        }
+        for diagnostic in report.diagnostics
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/freac-cache/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent)

@@ -1,0 +1,309 @@
+"""Static rules over :class:`~repro.circuits.netlist.Netlist` (NLxxx).
+
+``Netlist.add`` enforces arity and topological order at construction
+time, so a netlist built through the public API cannot trip most of
+these rules.  They exist for everything that bypasses ``add``:
+deserialised JSON, hand-mutated node lists (the class is only
+immutable *by convention*), and netlists produced by external
+frontends.  The lint pass is defence in depth before configuration
+bits are generated from a bad IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..circuits.netlist import GateOp, Netlist, Node, NodeKind
+from .core import AnalysisContext, Finding, Severity, at, rule
+
+# Default mux-tree width when the caller does not say which tile the
+# netlist targets (paper Sec. III-A: the sub-array port fits 5-LUTs).
+DEFAULT_LUT_INPUTS = 5
+
+
+def _valid_fanins(netlist: Netlist, node: Node) -> List[int]:
+    return [f for f in node.fanins if 0 <= f < len(netlist.nodes)]
+
+
+@rule("NL001", artifact="netlist", title="combinational cycle")
+def check_combinational_cycles(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """A cycle through non-flip-flop nodes can never be evaluated.
+
+    Flip-flop fanins are sequential (stored state breaks the loop), so
+    only edges into non-FF nodes count.
+    """
+    count = len(netlist.nodes)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * count
+    reported: Set[int] = set()
+    for root in range(count):
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        path: List[int] = []
+        while stack:
+            nid, leaving = stack.pop()
+            if leaving:
+                colour[nid] = BLACK
+                path.pop()
+                continue
+            if colour[nid] == BLACK:
+                continue
+            if colour[nid] == GREY:
+                continue
+            colour[nid] = GREY
+            path.append(nid)
+            stack.append((nid, True))
+            node = netlist.nodes[nid]
+            if node.kind is NodeKind.FLIPFLOP:
+                continue  # its fanin edge is sequential, not combinational
+            for fanin in _valid_fanins(netlist, node):
+                if colour[fanin] == GREY:
+                    if fanin not in reported:
+                        reported.add(fanin)
+                        cycle = path[path.index(fanin):] + [fanin]
+                        yield Finding(
+                            f"combinational cycle through nodes "
+                            f"{' -> '.join(map(str, cycle))}",
+                            location=at(nid=fanin),
+                            hint="break the loop with a flip-flop "
+                                 "(bind_flipflop) or remove the back edge",
+                        )
+                elif colour[fanin] == WHITE:
+                    stack.append((fanin, False))
+
+
+@rule("NL002", artifact="netlist", title="floating or undriven fanin")
+def check_dangling_fanins(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Every fanin must reference an existing, already-built node."""
+    count = len(netlist.nodes)
+    for node in netlist.nodes:
+        for fanin in node.fanins:
+            if not 0 <= fanin < count:
+                yield Finding(
+                    f"node {node.nid} ({node.kind.value}) reads fanin "
+                    f"{fanin}, which does not exist",
+                    location=at(nid=node.nid),
+                    hint="netlists are append-only; fanins must point at "
+                         "earlier nodes",
+                )
+            elif fanin >= node.nid and node.kind is not NodeKind.FLIPFLOP:
+                yield Finding(
+                    f"node {node.nid} ({node.kind.value}) reads fanin "
+                    f"{fanin}, which is not built before it",
+                    location=at(nid=node.nid),
+                    hint="only flip-flops may be driven by later nodes",
+                )
+
+
+@rule("NL003", artifact="netlist", title="unbound flip-flop")
+def check_unbound_flipflops(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """A flip-flop without a next-state driver never changes state."""
+    for node in netlist.flipflops():
+        if not node.fanins:
+            yield Finding(
+                f"flip-flop {node.nid} has no next-state driver",
+                location=at(nid=node.nid),
+                hint="call bind_flipflop before folding the netlist",
+            )
+
+
+@rule("NL004", artifact="netlist", title="uninitialised flip-flop state")
+def check_flipflop_init(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Reading a flip-flop whose initial value is not 0/1 is undefined."""
+    for node in netlist.flipflops():
+        if node.payload not in (0, 1):
+            yield Finding(
+                f"flip-flop {node.nid} has initial value "
+                f"{node.payload!r}; the first read is undefined",
+                location=at(nid=node.nid),
+                hint="flip-flop payloads must be 0 or 1",
+            )
+
+
+@rule("NL005", artifact="netlist", severity=Severity.WARNING,
+      title="dead logic")
+def check_dead_logic(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Op nodes unreachable from any output, store, or FF driver.
+
+    Dead ops still consume folding slots and configuration rows — the
+    scheduler places them last but does not delete them.
+    """
+    count = len(netlist.nodes)
+    roots: Set[int] = set(netlist.outputs.values())
+    for node in netlist.nodes:
+        if node.kind is NodeKind.BUS_STORE:
+            roots.add(node.nid)  # stores are side effects
+        elif node.kind is NodeKind.FLIPFLOP and node.fanins:
+            roots.add(node.fanins[0])
+    live: Set[int] = set()
+    stack = [nid for nid in roots if 0 <= nid < count]
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        node = netlist.nodes[nid]
+        fanins = node.fanins
+        if node.kind is NodeKind.FLIPFLOP:
+            fanins = ()  # state is live, but its driver is a root already
+        for fanin in fanins:
+            if 0 <= fanin < count and fanin not in live:
+                stack.append(fanin)
+    for node in netlist.nodes:
+        if node.is_op and node.nid not in live:
+            yield Finding(
+                f"op node {node.nid} ({node.kind.value}) is unreachable "
+                "from every output, bus store, and flip-flop driver",
+                location=at(nid=node.nid),
+                hint="dead ops waste folding slots; remove them or wire "
+                     "them to an output",
+            )
+
+
+@rule("NL006", artifact="netlist", severity=Severity.INFO,
+      title="unused input")
+def check_unused_inputs(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    # Netlist.fanout_counts() assumes a well-formed netlist; count
+    # defensively here since this rule runs on broken ones too.
+    count = len(netlist.nodes)
+    fanout = [0] * count
+    for node in netlist.nodes:
+        for fanin in _valid_fanins(netlist, node):
+            fanout[fanin] += 1
+    for nid in netlist.outputs.values():
+        if 0 <= nid < count:
+            fanout[nid] += 1
+    for node in netlist.nodes:
+        if node.kind in (NodeKind.BIT_INPUT, NodeKind.WORD_INPUT):
+            if fanout[node.nid] == 0:
+                yield Finding(
+                    f"input {node.payload!r} (node {node.nid}) drives "
+                    "nothing",
+                    location=at(nid=node.nid),
+                )
+
+
+@rule("NL007", artifact="netlist", title="LUT arity")
+def check_lut_arity(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """LUT payloads must be well-formed and fit the target mux tree."""
+    limit = context.lut_inputs or DEFAULT_LUT_INPUTS
+    for node in netlist.nodes:
+        if node.kind is not NodeKind.LUT:
+            continue
+        payload = node.payload
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or payload[0] != len(node.fanins)
+        ):
+            yield Finding(
+                f"LUT {node.nid} payload {payload!r} does not match its "
+                f"{len(node.fanins)} fanins",
+                location=at(nid=node.nid),
+            )
+            continue
+        k, table = payload
+        if not isinstance(table, int) or not 0 <= table < (1 << (1 << k)):
+            yield Finding(
+                f"LUT {node.nid} truth table does not fit {k} inputs",
+                location=at(nid=node.nid),
+            )
+        if k > limit:
+            yield Finding(
+                f"{k}-input LUT {node.nid} exceeds the {limit}-input "
+                "mux tree",
+                location=at(nid=node.nid),
+                hint=f"re-run technology_map with k={limit}",
+            )
+
+
+@rule("NL008", artifact="netlist", title="gate arity")
+def check_gate_arity(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    for node in netlist.nodes:
+        if node.kind is not NodeKind.GATE:
+            continue
+        if not isinstance(node.payload, GateOp):
+            yield Finding(
+                f"gate {node.nid} payload {node.payload!r} is not a GateOp",
+                location=at(nid=node.nid),
+            )
+        elif len(node.fanins) != node.payload.arity:
+            yield Finding(
+                f"{node.payload.value} gate {node.nid} has "
+                f"{len(node.fanins)} fanins, needs {node.payload.arity}",
+                location=at(nid=node.nid),
+            )
+
+
+@rule("NL009", artifact="netlist", severity=Severity.WARNING,
+      title="unmapped gates")
+def check_unmapped_gates(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Raw gates cannot be folded; the scheduler rejects them outright."""
+    gates = sum(1 for n in netlist.nodes if n.kind is NodeKind.GATE)
+    if gates:
+        yield Finding(
+            f"netlist contains {gates} raw gate(s); folding requires a "
+            "technology-mapped netlist",
+            hint="run technology_map before scheduling",
+        )
+
+
+@rule("NL010", artifact="netlist", title="bus stream indices")
+def check_bus_streams(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Per-stream sequence indices must be 0..n-1 without gaps."""
+    streams: Dict[Tuple[str, str], List[int]] = {}
+    for node in netlist.nodes:
+        if node.kind in (NodeKind.BUS_LOAD, NodeKind.BUS_STORE):
+            payload = node.payload
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                yield Finding(
+                    f"{node.kind.value} {node.nid} payload {payload!r} is "
+                    "not (stream, index)",
+                    location=at(nid=node.nid),
+                )
+                continue
+            stream, index = payload
+            streams.setdefault((node.kind.value, stream), []).append(index)
+    for (kind, stream), indices in streams.items():
+        if sorted(indices) != list(range(len(indices))):
+            yield Finding(
+                f"{kind} stream {stream!r} has non-contiguous sequence "
+                f"indices {sorted(indices)[:5]}",
+                hint="bus streams index 0..n-1; rebuild through "
+                     "CircuitBuilder.bus_load/bus_store",
+            )
+
+
+@rule("NL011", artifact="netlist", title="dangling output")
+def check_outputs(
+    netlist: Netlist, context: AnalysisContext
+) -> Iterable[Finding]:
+    count = len(netlist.nodes)
+    for name, nid in netlist.outputs.items():
+        if not 0 <= nid < count:
+            yield Finding(
+                f"output {name!r} points at node {nid}, which does not "
+                "exist",
+                location=at(nid=nid),
+            )

@@ -1,0 +1,151 @@
+"""Static rules over partition plans (PLxxx).
+
+The subject is either a :class:`~repro.freac.compute_slice.SlicePartition`
+or a :class:`~repro.freac.planner.PartitionPlan` (a partition plus a
+tile assignment).  Rules access both structurally — ``partition``,
+``tile_mccs``, ``tiles_per_slice`` — so this module imports nothing
+from ``repro.freac`` and stays cycle-free in the import graph.
+
+``SlicePartition.__post_init__`` rejects the grossest mistakes at
+construction, but plans arrive from JSON, from arithmetic over way
+counts, and from planners under development; the lint pass checks the
+combined compute/scratchpad/cache story before ways are locked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .core import AnalysisContext, Finding, Severity, rule
+
+# Paper constants for the default slice: 64 KB ways, four data arrays
+# (hence four MCCs) per locked way pair.
+WAY_BYTES = 64 * 1024
+DATA_ARRAYS_PER_WAY = 4
+
+
+def _partition(subject: Any) -> Any:
+    return getattr(subject, "partition", subject)
+
+
+def _tiles(subject: Any) -> Optional[int]:
+    return getattr(subject, "tiles_per_slice", None)
+
+
+def _tile_mccs(subject: Any) -> Optional[int]:
+    return getattr(subject, "tile_mccs", None)
+
+
+def _partition_mccs(partition: Any) -> int:
+    return (partition.compute_ways // 2) * DATA_ARRAYS_PER_WAY
+
+
+@rule("PL001", artifact="plan", title="way budget exceeded")
+def check_way_budget(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """Compute + scratchpad ways must fit the slice; no overlaps."""
+    partition = _partition(subject)
+    if partition.compute_ways < 0 or partition.scratchpad_ways < 0:
+        yield Finding(
+            f"negative way counts: {partition.compute_ways} compute, "
+            f"{partition.scratchpad_ways} scratchpad",
+        )
+        return
+    claimed = partition.compute_ways + partition.scratchpad_ways
+    if claimed > partition.total_ways:
+        yield Finding(
+            f"{partition.compute_ways} compute + "
+            f"{partition.scratchpad_ways} scratchpad ways collide on the "
+            f"{partition.total_ways}-way slice",
+            hint="compute, scratchpad, and cache ways are disjoint sets; "
+                 "shrink one allocation",
+        )
+
+
+@rule("PL002", artifact="plan", title="unpaired compute ways")
+def check_way_pairing(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """MCCs form from adjacent way pairs (paper Sec. III-C)."""
+    partition = _partition(subject)
+    if partition.compute_ways % 2:
+        yield Finding(
+            f"{partition.compute_ways} compute ways cannot be paired",
+            hint="compute ways are consumed two at a time",
+        )
+
+
+@rule("PL003", artifact="plan", title="MCC over-subscription")
+def check_mcc_budget(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """Tile demand must fit the MCCs the compute ways provide."""
+    tile_mccs, tiles = _tile_mccs(subject), _tiles(subject)
+    if tile_mccs is None or tiles is None:
+        return
+    partition = _partition(subject)
+    budget = _partition_mccs(partition)
+    demand = tile_mccs * tiles
+    if tile_mccs < 1:
+        yield Finding(f"tile size {tile_mccs} MCCs is not positive")
+    elif demand > budget:
+        yield Finding(
+            f"{tiles} tiles of {tile_mccs} MCCs demand {demand} MCCs but "
+            f"{partition.compute_ways} compute ways provide {budget}",
+            hint="lock more compute ways or shrink the tiles",
+        )
+
+
+@rule("PL004", artifact="plan", title="no operand storage")
+def check_scratchpad_present(
+    subject: Any, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Accelerators stream operands from locked scratchpad ways."""
+    partition = _partition(subject)
+    if partition.compute_ways > 0 and partition.scratchpad_ways == 0:
+        yield Finding(
+            "plan locks compute ways but no scratchpad ways",
+            hint="accelerators need operand storage; reserve at least "
+                 "one scratchpad way",
+        )
+
+
+@rule("PL005", artifact="plan", severity=Severity.WARNING,
+      title="no cache retained")
+def check_cache_floor(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """Consuming every way starves co-running applications (Fig. 15)."""
+    partition = _partition(subject)
+    cache_ways = (
+        partition.total_ways - partition.compute_ways - partition.scratchpad_ways
+    )
+    if cache_ways == 0 and partition.compute_ways > 0:
+        yield Finding(
+            "the plan leaves zero ways as cache",
+            hint="co-running applications lose the whole LLC; keep a "
+                 "cache floor (e.g. --cache-ways 2)",
+        )
+
+
+@rule("PL006", artifact="plan", title="zero tiles")
+def check_tiles_formed(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    tiles = _tiles(subject)
+    if tiles is not None and tiles < 1:
+        yield Finding(
+            f"the plan forms {tiles} accelerator tiles",
+            hint="the tile size exceeds the partition's MCC budget",
+        )
+
+
+@rule("PL007", artifact="plan", title="working set overflow")
+def check_working_set(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """Each tile's working set must fit its scratchpad share."""
+    spec = context.spec
+    tiles = _tiles(subject)
+    if spec is None or not tiles or tiles < 1:
+        return
+    partition = _partition(subject)
+    working_set = getattr(spec, "tile_working_set_bytes", 0)
+    capacity = partition.scratchpad_ways * WAY_BYTES
+    demand = working_set * tiles
+    if demand > capacity:
+        yield Finding(
+            f"{tiles} tiles of {working_set}-byte working sets need "
+            f"{demand} scratchpad bytes; "
+            f"{partition.scratchpad_ways} ways hold {capacity}",
+            hint="fewer tiles or more scratchpad ways",
+        )

@@ -1,0 +1,55 @@
+"""Pre-flight gating: lint an artifact before it reaches the fabric.
+
+The executor and the workload runner call these hooks before
+configuration bits are generated or ways are locked.  Error-severity
+diagnostics abort with :class:`PreflightError` (which carries the full
+report — every violation, not just the first); warnings and infos are
+emitted on the ``repro.analysis`` logger and execution proceeds.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from ..errors import PreflightError
+from .api import analyze_netlist, analyze_schedule
+from .core import AnalysisReport, Severity
+
+logger = logging.getLogger("repro.analysis")
+
+_LOG_LEVEL = {
+    Severity.WARNING: logging.WARNING,
+    Severity.INFO: logging.INFO,
+}
+
+
+def _gate(report: AnalysisReport, stage: str) -> AnalysisReport:
+    for diagnostic in report.diagnostics:
+        if diagnostic.severity is Severity.ERROR:
+            continue  # raised below, all together
+        logger.log(
+            _LOG_LEVEL[diagnostic.severity],
+            "%s %s [%s] %s",
+            diagnostic.rule,
+            diagnostic.severity.value,
+            diagnostic.artifact,
+            diagnostic.message,
+        )
+    if not report.ok:
+        raise PreflightError(stage, report)
+    return report
+
+
+def preflight_schedule(
+    schedule, *, strict: bool = False, stage: str = "execute"
+) -> AnalysisReport:
+    """Lint a folding schedule; raise on errors, log the rest."""
+    return _gate(analyze_schedule(schedule, strict=strict), stage)
+
+
+def preflight_netlist(
+    netlist, *, lut_inputs: Optional[int] = None, stage: str = "program"
+) -> AnalysisReport:
+    """Lint a netlist; raise on errors, log the rest."""
+    return _gate(analyze_netlist(netlist, lut_inputs=lut_inputs), stage)

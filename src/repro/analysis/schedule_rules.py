@@ -1,0 +1,289 @@
+"""Static rules over :class:`~repro.folding.schedule.FoldingSchedule` (SCxxx).
+
+SC001-SC010 are the legality constraints the original
+``validate_schedule`` enforced (coverage, dependences through wiring,
+per-cycle resource budgets, physical-slot uniqueness, LUT arity);
+``repro.folding.validate`` is now a thin strict wrapper over this rule
+pack, so there is exactly one implementation of each constraint.
+
+SC011-SC014 go beyond legality: register-pressure and bus-saturation
+*trends* that warn before strict mode hard-fails, schedule-horizon
+consistency, and spill-cost visibility.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+from ..circuits.netlist import NodeKind
+from ..folding.schedule import FoldingSchedule, OpSlot
+from .core import AnalysisContext, Finding, Severity, at, rule
+
+# A schedule whose bus slots are full this fraction of its cycles is
+# flagged as bus-bound (SC012): folding more MCCs into the tile will
+# not speed it up, only more bus ports will.
+BUS_SATURATION_THRESHOLD = 0.9
+
+
+@rule("SC001", artifact="schedule", title="op scheduled more than once")
+def check_duplicates(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    seen: Set[int] = set()
+    for op in schedule.ops:
+        if op.nid in seen:
+            yield Finding(
+                f"op {op.nid} is scheduled more than once",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+        seen.add(op.nid)
+
+
+@rule("SC002", artifact="schedule", title="unscheduled op")
+def check_coverage(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    op_nids = {node.nid for node in schedule.netlist.nodes if node.is_op}
+    scheduled = {op.nid for op in schedule.ops}
+    missing = sorted(op_nids - scheduled)
+    if missing:
+        yield Finding(
+            f"unscheduled ops: {missing[:5]}",
+            location=at(cycle=0),
+            hint="every op node must be placed exactly once",
+        )
+
+
+@rule("SC003", artifact="schedule", title="foreign op")
+def check_foreign_ops(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Scheduled entries must refer to op nodes of this netlist."""
+    count = len(schedule.netlist.nodes)
+    for op in schedule.ops:
+        if not 0 <= op.nid < count:
+            yield Finding(
+                f"scheduled op {op.nid} does not exist in the netlist",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+        elif not schedule.netlist.nodes[op.nid].is_op:
+            yield Finding(
+                f"scheduled node {op.nid} "
+                f"({schedule.netlist.nodes[op.nid].kind.value}) is wiring, "
+                "not an op",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+
+
+@rule("SC004", artifact="schedule", title="dependence violation")
+def check_dependences(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Every op starts strictly after each producer's value is latched."""
+    netlist = schedule.netlist
+    count = len(netlist.nodes)
+    cycle_of: Dict[int, int] = {}
+    for op in schedule.ops:
+        cycle_of.setdefault(op.nid, op.cycle)
+    value_cycle: Dict[int, int] = {}
+    for nid in netlist.topo_order():
+        node = netlist.nodes[nid]
+        if node.kind is NodeKind.FLIPFLOP:
+            value_cycle[nid] = 0  # stored state precedes every cycle
+            continue
+        producer_cycle = max(
+            (value_cycle.get(f, 0) for f in node.fanins if 0 <= f < count),
+            default=0,
+        )
+        if node.is_op:
+            own = cycle_of.get(nid)
+            if own is None:
+                value_cycle[nid] = producer_cycle  # SC002 reports this
+                continue
+            if own <= producer_cycle:
+                yield Finding(
+                    f"op {nid} ({node.kind.value}) starts at cycle {own} "
+                    f"but a producer is only latched after cycle "
+                    f"{producer_cycle}",
+                    location=at(cycle=own, nid=nid),
+                    hint="outputs are latched; consumers must start at "
+                         "least one cycle later",
+                )
+            value_cycle[nid] = own
+        else:
+            value_cycle[nid] = producer_cycle
+
+
+@rule("SC005", artifact="schedule", title="cycle out of range")
+def check_cycle_bounds(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    for op in schedule.ops:
+        if op.cycle < 1:
+            yield Finding(
+                f"op {op.nid} at cycle {op.cycle}: cycles are 1-based",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+
+
+@rule("SC006", artifact="schedule", title="MCC index out of range")
+def check_mcc_range(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    mccs = schedule.resources.mccs
+    for op in schedule.ops:
+        if not 0 <= op.mcc < mccs:
+            yield Finding(
+                f"op {op.nid} uses MCC {op.mcc} on a {mccs}-MCC tile",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+
+
+@rule("SC007", artifact="schedule", title="LUT unit out of range")
+def check_unit_range(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    per_mcc = schedule.resources.luts_per_mcc
+    for op in schedule.ops:
+        if op.slot is OpSlot.LUT and not 0 <= op.unit < per_mcc:
+            yield Finding(
+                f"op {op.nid} uses LUT unit {op.unit} of {per_mcc}",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+
+
+@rule("SC008", artifact="schedule", title="physical slot collision")
+def check_slot_collisions(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    placements: Dict[Tuple, int] = {}
+    for op in schedule.ops:
+        key = (op.cycle, op.slot, op.mcc, op.unit)
+        if key in placements:
+            yield Finding(
+                f"ops {placements[key]} and {op.nid} share physical slot "
+                f"({op.slot.value}, mcc {op.mcc}, unit {op.unit})",
+                location=at(cycle=op.cycle, nid=op.nid),
+            )
+        else:
+            placements[key] = op.nid
+
+
+@rule("SC009", artifact="schedule", title="per-cycle over-subscription")
+def check_resource_budgets(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    per_cycle: Dict[int, Dict[OpSlot, int]] = defaultdict(
+        lambda: {slot: 0 for slot in OpSlot}
+    )
+    for op in schedule.ops:
+        per_cycle[op.cycle][op.slot] += 1
+    for cycle in sorted(per_cycle):
+        for slot, used in per_cycle[cycle].items():
+            budget = schedule.resources.slots(slot)
+            if used > budget:
+                yield Finding(
+                    f"{used} {slot.value} ops exceed the tile's "
+                    f"{budget} slots",
+                    location=at(cycle=cycle),
+                )
+
+
+@rule("SC010", artifact="schedule", title="LUT arity vs mux tree")
+def check_lut_width(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    limit = schedule.resources.lut_inputs
+    count = len(schedule.netlist.nodes)
+    for op in schedule.ops:
+        if not 0 <= op.nid < count:
+            continue  # SC003 reports this
+        node = schedule.netlist.nodes[op.nid]
+        if node.kind is NodeKind.LUT:
+            width = node.payload[0]  # type: ignore[index]
+            if width > limit:
+                yield Finding(
+                    f"{width}-input LUT exceeds the {limit}-input mux tree",
+                    location=at(cycle=op.cycle, nid=op.nid),
+                    hint=f"re-run technology_map with k={limit}",
+                )
+
+
+@rule("SC011", artifact="schedule", severity=Severity.WARNING,
+      title="FF register pressure")
+def check_register_pressure(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Post-spill live set vs the tile's flip-flop banks.
+
+    A warning by default — the spill model keeps the schedule
+    functional — but an error under strict analysis, where the FF
+    banks are a hard capacity.
+    """
+    capacity = schedule.resources.ff_bits
+    if schedule.max_live_bits > capacity:
+        yield Finding(
+            f"post-spill live set ({schedule.max_live_bits} bits) exceeds "
+            f"the FF bank capacity ({capacity} bits)",
+            location=at(cycle=0),
+            severity=Severity.ERROR if context.strict else Severity.WARNING,
+            hint="fold onto a larger tile (more MCCs) or let the "
+                 "scheduler spill more aggressively",
+        )
+
+
+@rule("SC012", artifact="schedule", severity=Severity.WARNING,
+      title="bus saturation")
+def check_bus_saturation(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Sustained full bus occupancy: the tile is bus-bound."""
+    cycles = schedule.compute_cycles
+    if cycles < 4:
+        return
+    budget = schedule.resources.bus_ops_per_cycle
+    per_cycle: Dict[int, int] = defaultdict(int)
+    for op in schedule.ops:
+        if op.slot is OpSlot.BUS:
+            per_cycle[op.cycle] += 1
+    saturated = sum(1 for used in per_cycle.values() if used >= budget)
+    fraction = saturated / cycles
+    if fraction >= BUS_SATURATION_THRESHOLD:
+        yield Finding(
+            f"bus slots are saturated in {saturated} of {cycles} cycles "
+            f"({fraction:.0%}); the schedule is bus-bound",
+            hint="more MCCs will not help; reduce operand traffic or "
+                 "add scratchpad reuse",
+        )
+
+
+@rule("SC013", artifact="schedule", title="op beyond schedule horizon")
+def check_horizon(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Ops placed after ``compute_cycles`` would silently never run."""
+    horizon = schedule.compute_cycles
+    for op in schedule.ops:
+        if op.cycle > horizon:
+            yield Finding(
+                f"op {op.nid} at cycle {op.cycle} lies beyond the "
+                f"declared {horizon}-cycle horizon",
+                location=at(cycle=op.cycle, nid=op.nid),
+                hint="the executor iterates compute_cycles cycles; this "
+                     "op would never execute",
+            )
+
+
+@rule("SC014", artifact="schedule", severity=Severity.INFO,
+      title="spill cost")
+def check_spill_cost(
+    schedule: FoldingSchedule, context: AnalysisContext
+) -> Iterable[Finding]:
+    spills = schedule.spills
+    if spills.spilled_values:
+        yield Finding(
+            f"{spills.spilled_values} values spill to the scratchpad "
+            f"({spills.spill_words} bus words, {spills.spill_cycles} "
+            "stall cycles per invocation)",
+        )

@@ -24,8 +24,8 @@ The model here captures both sides of that contrast:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..params import SystemParams, default_system
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from ..circuits.library import build_pe, mapped_pe
+from ..circuits.library import mapped_pe
 from ..circuits.netlist import NodeKind
 from ..workloads.suite import BenchmarkSpec
 

@@ -10,7 +10,7 @@ trace-driven simulation fast enough for the interference study
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Type
+from typing import List, Optional, Tuple, Type
 
 from ..errors import CacheError
 from ..params import CacheLevelParams

@@ -11,8 +11,8 @@ latency in core cycles (Table I latencies + DRAM on a full miss).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict
 
 from ..errors import ConfigurationError
 from ..params import CacheLevelParams, SystemParams

@@ -19,7 +19,7 @@ the flat hierarchy model uses as a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..errors import ConfigurationError
 from .address import AddressCodec

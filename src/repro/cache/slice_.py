@@ -20,8 +20,8 @@ that sub-arrays of a way operate in lock-step.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Type
 
 from ..errors import CacheError, LockedWayError
 from ..params import SliceParams

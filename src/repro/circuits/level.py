@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .netlist import Netlist, Node, NodeKind
+from .netlist import Netlist, NodeKind
 
 
 @dataclass

@@ -16,7 +16,7 @@ bound apps".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Mapping, Sequence
 

@@ -86,7 +86,8 @@ def simulate(
             a, b, acc = (values[f] for f in node.fanins)
             values[nid] = (a * b + acc) & WORD_MASK
         elif kind is NodeKind.BITSLICE:
-            values[nid] = (values[node.fanins[0]] >> node.payload) & 1  # type: ignore[operator]
+            shifted = values[node.fanins[0]] >> node.payload  # type: ignore[operator]
+            values[nid] = shifted & 1
         elif kind is NodeKind.PACK:
             word = 0
             for position, fanin in enumerate(node.fanins):

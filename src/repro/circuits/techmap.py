@@ -24,11 +24,10 @@ gate networks in ``tests/circuits/test_techmap.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
-from .netlist import GateOp, Netlist, Node, NodeKind, gate_truth_table
+from .netlist import GateOp, Netlist, NodeKind, gate_truth_table
 
 # How many cuts to keep per node.  Small values trade mapping quality
 # for speed; 6 is plenty for the arithmetic/logic cones we build.
@@ -95,7 +94,8 @@ def decompose_wide_luts(netlist: Netlist, k: int) -> Tuple[Netlist, Dict[int, in
             continue
         fanins = tuple(remap[f] for f in node.fanins)
         if node.kind is NodeKind.LUT and node.payload[0] > k:  # type: ignore[index]
-            remap[nid] = _decompose_table(result, fanins, node.payload[1], k)  # type: ignore[index]
+            table = node.payload[1]  # type: ignore[index]
+            remap[nid] = _decompose_table(result, fanins, table, k)
         else:
             remap[nid] = result.add(node.kind, fanins, node.payload)
     for new_ff, old_driver in ff_bindings:
@@ -164,7 +164,9 @@ def _cone_function(
             if node.kind is NodeKind.CONST:
                 value = node.payload
             elif node.kind is NodeKind.GATE:
-                arity, gate_table = gate_truth_table(node.payload)  # type: ignore[arg-type]
+                arity, gate_table = gate_truth_table(
+                    node.payload  # type: ignore[arg-type]
+                )
                 index = 0
                 for position, fanin in enumerate(node.fanins):
                     index |= eval_node(fanin) << position

@@ -8,6 +8,7 @@ commands::
     freac all                      # everything, in paper order
     freac plan GEMM --cache-ways 2 # partition planning for a kernel
     freac schedule NW --mccs 4     # folding-schedule summary
+    freac lint sched.json          # static analysis of an artifact
 """
 
 from __future__ import annotations
@@ -98,6 +99,66 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyze a netlist/schedule JSON artifact.
+
+    Exit codes: 0 clean (or warnings only), 1 error-severity
+    diagnostics, 2 unreadable/unrecognised artifact.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from .analysis import analyze_netlist, analyze_schedule
+    from .analysis.emit import to_json, to_sarif, to_text
+    from .errors import ReproError
+
+    path = Path(args.artifact)
+    try:
+        data = json_module.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+
+    kind = args.kind
+    if kind == "auto":
+        if isinstance(data, dict) and "ops" in data:
+            kind = "schedule"
+        elif isinstance(data, dict) and "nodes" in data:
+            kind = "netlist"
+        else:
+            print(f"{path}: neither a netlist nor a schedule artifact",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        if kind == "schedule":
+            from .folding.io import schedule_from_dict
+
+            report = analyze_schedule(
+                schedule_from_dict(data), strict=args.strict
+            )
+        else:
+            from .circuits.io import netlist_from_dict
+
+            report = analyze_netlist(
+                netlist_from_dict(data), lut_inputs=args.lut_inputs
+            )
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        # The artifact is too malformed to even deserialise (forcing
+        # --kind on the wrong artifact lands here as a KeyError).
+        print(f"{path}: cannot deserialise as a {kind}: {exc!r}",
+              file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(to_json(report))
+    elif args.format == "sarif":
+        print(to_sarif(report))
+    else:
+        print(to_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .freac.device import FreacDevice
     from .freac.runner import run_workload
@@ -152,6 +213,20 @@ def main(argv: List[str] | None = None) -> int:
     export.add_argument("--targets", nargs="*", default=None,
                         help="subset of targets (default: everything)")
 
+    lint = sub.add_parser(
+        "lint", help="statically analyze a netlist or schedule artifact"
+    )
+    lint.add_argument("artifact", help="path to a netlist/schedule JSON file")
+    lint.add_argument("--kind", choices=("auto", "netlist", "schedule"),
+                      default="auto",
+                      help="artifact kind (default: detect from contents)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
+    lint.add_argument("--strict", action="store_true",
+                      help="escalate register-pressure warnings to errors")
+    lint.add_argument("--lut-inputs", type=int, default=None,
+                      help="target LUT width for netlist arity checks")
+
     runp = sub.add_parser(
         "run", help="functionally run a benchmark batch in the LLC model"
     )
@@ -167,7 +242,7 @@ def main(argv: List[str] | None = None) -> int:
     if args.command == "list":
         for name in _ORDER:
             print(name)
-        for utility in ("run", "plan", "schedule", "export"):
+        for utility in ("run", "plan", "schedule", "export", "lint"):
             print(utility)
         return 0
     if args.command == "all":
@@ -179,6 +254,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "export":

@@ -42,6 +42,35 @@ class ScheduleViolation(SchedulingError):
         super().__init__(f"cycle {cycle}: {constraint}")
 
 
+class AnalysisError(ReproError):
+    """The static-analysis framework itself was misused.
+
+    (Bad rule registration, unknown rule ids, un-dispatchable
+    artifacts — *not* findings about an artifact, which are collected
+    as diagnostics in an ``AnalysisReport``.)
+    """
+
+
+class PreflightError(AnalysisError):
+    """A pre-flight lint found error-severity diagnostics.
+
+    Raised by the executor/runner gate before an artifact is allowed
+    to touch the fabric; carries the complete ``AnalysisReport`` so
+    callers see every violation, not just the first.
+    """
+
+    def __init__(self, stage: str, report) -> None:
+        self.stage = stage
+        self.report = report
+        errors = report.errors
+        head = "; ".join(f"{d.rule}: {d.message}" for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"pre-flight {stage} check failed with {len(errors)} "
+            f"error(s): {head}{more}"
+        )
+
+
 class CacheError(ReproError):
     """The cache substrate was used inconsistently."""
 

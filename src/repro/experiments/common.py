@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from ..baselines.cpu import CpuBaseline
 from ..circuits.library import mapped_pe
@@ -19,7 +19,12 @@ from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import level_schedule, list_schedule
 from ..freac.compute_slice import SlicePartition
 from ..freac.device import max_accelerator_tiles
-from ..freac.timing import EndToEndTiming, KernelTiming, end_to_end_timing, kernel_timing
+from ..freac.timing import (
+    EndToEndTiming,
+    KernelTiming,
+    end_to_end_timing,
+    kernel_timing,
+)
 from ..power.energy import EnergyModel
 from ..workloads.suite import SUITE, BenchmarkSpec, benchmark
 

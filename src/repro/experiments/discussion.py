@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..params import SliceParams, SystemParams, default_system
+from ..params import SystemParams, default_system
 from ..power.area import slice_overhead
-from .common import config_for, format_table, schedule_for
+from .common import config_for, format_table
 
 # Xilinx UltraScale+ CAP port: 32 bits at 200 MHz (paper footnote 4).
 FPGA_CONFIG_BANDWIDTH_BYTES_S = 400e6

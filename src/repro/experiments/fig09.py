@@ -7,7 +7,7 @@ for memory, creating 4 MCCs and a 1.1MB scratchpad."
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..freac.compute_slice import SlicePartition
 from ..freac.device import max_accelerator_tiles

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..freac.compute_slice import SlicePartition
 from .common import (
     PARTITION_16MCC_768KB,
     PARTITION_32MCC_256KB,

@@ -8,7 +8,7 @@ speedup is a fraction of the peak kernel speedup."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .common import (
     PARTITION_16MCC_640KB,

@@ -12,11 +12,11 @@ executed schedules, not free-floating formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..freac.compute_slice import SlicePartition
-from ..freac.device import AcceleratorProgram, FreacDevice
-from ..freac.runner import plan_layout, run_workload
+from ..freac.device import FreacDevice
+from ..freac.runner import run_workload
 from ..freac.timing import kernel_timing
 from ..params import scaled_system
 from ..workloads.datagen import dataset_for

@@ -14,7 +14,7 @@ from .schedule import (
 from .scheduler import level_schedule, list_schedule
 from .config import ConfigImage, generate_config
 from .regalloc import RegisterAllocation, allocate_registers
-from .validate import validate_schedule
+from .validate import collect_violations, validate_schedule
 
 __all__ = [
     "FoldingSchedule",
@@ -27,5 +27,6 @@ __all__ = [
     "generate_config",
     "RegisterAllocation",
     "allocate_registers",
+    "collect_violations",
     "validate_schedule",
 ]

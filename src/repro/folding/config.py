@@ -22,7 +22,7 @@ not, the executor/timing layers charge configuration reloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 

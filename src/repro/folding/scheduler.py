@@ -25,10 +25,10 @@ DESIGN.md for the accuracy trade-off.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..circuits.level import level_graph
-from ..circuits.netlist import Netlist, Node, NodeKind
+from ..circuits.netlist import Netlist, NodeKind
 from ..errors import SchedulingError
 from .schedule import (
     FoldingSchedule,
@@ -55,7 +55,9 @@ _VALUE_BITS = {
 # Op-level dependence structure
 # ---------------------------------------------------------------------------
 
-def _op_dependences(netlist: Netlist) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+def _op_dependences(
+    netlist: Netlist,
+) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
     """Op-to-op edges, looking *through* wiring nodes.
 
     Returns (preds, succs) keyed by op nid.  ``preds[v]`` is the set of
@@ -398,7 +400,8 @@ def _reject_unmapped(netlist: Netlist, resources: TileResources) -> None:
             )
         if node.kind is NodeKind.LUT and node.payload[0] > limit:  # type: ignore[index]
             raise SchedulingError(
-                f"netlist contains a {node.payload[0]}-input LUT but the "  # type: ignore[index]
+                f"netlist contains a "  # type: ignore[index]
+                f"{node.payload[0]}-input LUT but the "
                 f"tile is configured for {limit}-input LUTs; re-map with "
                 f"k={limit}"
             )

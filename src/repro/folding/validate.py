@@ -1,8 +1,10 @@
 """Schedule legality checking.
 
-``validate_schedule`` re-derives every constraint from scratch (it
-shares no bookkeeping with the schedulers), so a passing check is
-independent evidence the schedule is executable:
+The constraints themselves live in the ``repro.analysis`` schedule
+rule pack (rules SC001-SC010; see ``docs/analysis.md``), which
+re-derives every one from scratch — it shares no bookkeeping with the
+schedulers, so a passing check is independent evidence the schedule is
+executable:
 
 1. every op node of the netlist is scheduled exactly once;
 2. dependence: every op starts at least one cycle after each producer
@@ -11,102 +13,33 @@ independent evidence the schedule is executable:
    ops share a physical (cycle, mcc, unit) placement;
 4. LUT arities fit the configured LUT width;
 5. (strict mode) the post-spill live set fits the FF banks.
+
+``validate_schedule`` keeps its historical raise-on-first signature as
+a thin wrapper; :func:`collect_violations` returns the *complete*
+report instead of stopping at the first broken constraint.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Set
-
-from ..circuits.netlist import Netlist, NodeKind
 from ..errors import ScheduleViolation
-from .schedule import FoldingSchedule, OpSlot
+from .schedule import FoldingSchedule
+
+
+def collect_violations(schedule: FoldingSchedule, *, strict: bool = False):
+    """Every violated constraint, as an ``AnalysisReport``.
+
+    Unlike :func:`validate_schedule` this does not stop at the first
+    finding: the report carries one diagnostic per violation, plus any
+    warnings (register-pressure and bus-saturation trends) that strict
+    mode would escalate.
+    """
+    from ..analysis import analyze_schedule  # deferred: import cycle
+
+    return analyze_schedule(schedule, strict=strict)
 
 
 def validate_schedule(schedule: FoldingSchedule, *, strict: bool = False) -> None:
     """Raise :class:`ScheduleViolation` on the first broken constraint."""
-    netlist = schedule.netlist
-    resources = schedule.resources
-
-    # 1. Coverage -------------------------------------------------------
-    op_nids = {node.nid for node in netlist.nodes if node.is_op}
-    scheduled_nids = [op.nid for op in schedule.ops]
-    if len(scheduled_nids) != len(set(scheduled_nids)):
-        raise ScheduleViolation(0, "an op is scheduled more than once")
-    if set(scheduled_nids) != op_nids:
-        missing = sorted(op_nids - set(scheduled_nids))[:5]
-        raise ScheduleViolation(0, f"unscheduled ops: {missing}")
-
-    cycle_of = {op.nid: op.cycle for op in schedule.ops}
-
-    # 2. Dependences (through wiring) -----------------------------------
-    # value_cycle[n] = latest cycle at which node n's value becomes
-    # available (op nodes: their own cycle; wiring: max of fanins).
-    value_cycle: Dict[int, int] = {}
-    for nid in netlist.topo_order():
-        node = netlist.nodes[nid]
-        if node.kind is NodeKind.FLIPFLOP:
-            value_cycle[nid] = 0  # stored state precedes every cycle
-            continue
-        producer_cycle = max(
-            (value_cycle[f] for f in node.fanins), default=0
-        )
-        if node.is_op:
-            own = cycle_of[nid]
-            if own <= producer_cycle:
-                raise ScheduleViolation(
-                    own,
-                    f"op {nid} ({node.kind.value}) starts at cycle {own} but a "
-                    f"producer is only latched after cycle {producer_cycle}",
-                )
-            value_cycle[nid] = own
-        else:
-            value_cycle[nid] = producer_cycle
-
-    # 3. Resource bounds -------------------------------------------------
-    per_cycle: Dict[int, Dict[OpSlot, int]] = defaultdict(
-        lambda: {slot: 0 for slot in OpSlot}
-    )
-    placements: Set[tuple] = set()
-    for op in schedule.ops:
-        if op.cycle < 1:
-            raise ScheduleViolation(op.cycle, "cycles are 1-based")
-        per_cycle[op.cycle][op.slot] += 1
-        if not 0 <= op.mcc < resources.mccs:
-            raise ScheduleViolation(op.cycle, f"op {op.nid} uses MCC {op.mcc}")
-        if op.slot is OpSlot.LUT and not 0 <= op.unit < resources.luts_per_mcc:
-            raise ScheduleViolation(op.cycle, f"op {op.nid} uses LUT unit {op.unit}")
-        key = (op.cycle, op.slot, op.mcc, op.unit)
-        if key in placements:
-            raise ScheduleViolation(
-                op.cycle, f"two ops share physical slot {key[1:]}",
-            )
-        placements.add(key)
-    for cycle, usage in per_cycle.items():
-        for slot, used in usage.items():
-            if used > resources.slots(slot):
-                raise ScheduleViolation(
-                    cycle,
-                    f"{used} {slot.value} ops exceed the tile's "
-                    f"{resources.slots(slot)} slots",
-                )
-
-    # 4. LUT arity --------------------------------------------------------
-    for op in schedule.ops:
-        node = netlist.nodes[op.nid]
-        if node.kind is NodeKind.LUT:
-            width = node.payload[0]  # type: ignore[index]
-            if width > resources.lut_inputs:
-                raise ScheduleViolation(
-                    op.cycle,
-                    f"{width}-input LUT exceeds the {resources.lut_inputs}-input "
-                    "mux tree",
-                )
-
-    # 5. Register pressure ------------------------------------------------
-    if strict and schedule.max_live_bits > resources.ff_bits:
-        raise ScheduleViolation(
-            0,
-            f"post-spill live set ({schedule.max_live_bits} bits) exceeds the "
-            f"FF bank capacity ({resources.ff_bits} bits)",
-        )
+    report = collect_violations(schedule, strict=strict)
+    for diagnostic in report.errors:
+        raise ScheduleViolation(diagnostic.loc("cycle", 0), diagnostic.message)

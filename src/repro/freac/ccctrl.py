@@ -12,7 +12,7 @@ has no datapath for the out-of-order operation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import DeviceError, ProtocolError

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
 from ..errors import ConfigurationError, DeviceError
-from ..folding.config import generate_config
 from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import list_schedule
 from ..memory.dram import DramModel

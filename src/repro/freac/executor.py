@@ -24,7 +24,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..circuits.netlist import Netlist, NodeKind, WORD_MASK
+from ..analysis import preflight_schedule
+from ..circuits.netlist import NodeKind, WORD_MASK
 from ..errors import CircuitError, DeviceError
 from ..folding.config import ConfigImage, generate_config
 from ..folding.schedule import FoldingSchedule, OpSlot
@@ -85,12 +86,19 @@ class FoldedExecutor:
         schedule: FoldingSchedule,
         tile: Sequence[MicroComputeCluster],
         scratchpad: Optional[Scratchpad] = None,
+        *,
+        preflight: bool = True,
     ) -> None:
         if len(tile) != schedule.resources.mccs:
             raise DeviceError(
                 f"schedule needs {schedule.resources.mccs} MCCs, tile has "
                 f"{len(tile)}"
             )
+        if preflight:
+            # Pre-flight lint (docs/analysis.md): refuse to generate
+            # configuration bits from an illegal schedule; warnings
+            # (pressure/bus trends) go to the repro.analysis logger.
+            preflight_schedule(schedule, stage="execute")
         self.schedule = schedule
         self.tile = list(tile)
         self.scratchpad = scratchpad
@@ -216,7 +224,8 @@ class FoldedExecutor:
                 mask = 1 if kind is NodeKind.BIT_INPUT else WORD_MASK
                 result = bindings[name] & mask
             elif kind is NodeKind.BITSLICE:
-                result = (value_of(node.fanins[0]) >> node.payload) & 1  # type: ignore[operator]
+                position: int = node.payload  # type: ignore[assignment]
+                result = (value_of(node.fanins[0]) >> position) & 1
             elif kind is NodeKind.PACK:
                 result = 0
                 for position, fanin in enumerate(node.fanins):

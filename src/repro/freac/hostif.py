@@ -26,8 +26,7 @@ stand in for the user program's LD/ST instructions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import DeviceError, ProtocolError
 from .ccctrl import ComputeClusterController, ControllerState

@@ -14,7 +14,7 @@ extension beyond the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..workloads.suite import BenchmarkSpec

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..analysis import preflight_netlist, preflight_schedule
 from ..circuits.library import build_pe, mapped_pe
 from ..errors import CapacityError, DeviceError
 from ..workloads.datagen import Dataset, dataset_for
@@ -76,8 +77,16 @@ def run_workload(
     if dataset.items != items:
         raise DeviceError("dataset size does not match requested items")
 
-    device.setup(partition)
+    # Pre-flight lint before any way is locked: a malformed netlist or
+    # schedule aborts here with every violation reported, instead of
+    # mid-run with the LLC already partitioned (docs/analysis.md).
     program = AcceleratorProgram(name.upper(), mapped_pe(name))
+    preflight_netlist(program.netlist, lut_inputs=program.lut_inputs,
+                      stage="run_workload")
+    preflight_schedule(program.schedule_for(mccs_per_tile),
+                       stage="run_workload")
+
+    device.setup(partition)
     device.program(program, mccs_per_tile)
 
     slices = device.slice_count

@@ -14,7 +14,7 @@ to skip a copy (Fig. 5 step 5).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

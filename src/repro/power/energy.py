@@ -14,7 +14,7 @@ model does the same arithmetic from the executor/timing counters:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..params import SubarrayParams

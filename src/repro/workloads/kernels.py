@@ -193,7 +193,9 @@ def fc_layer(
     return outputs
 
 
-def stencil2d(grid: Sequence[Sequence[int]], weights: Sequence[Sequence[int]]) -> List[List[int]]:
+def stencil2d(
+    grid: Sequence[Sequence[int]], weights: Sequence[Sequence[int]]
+) -> List[List[int]]:
     """3x3 weighted stencil over the interior (MachSuite stencil2d)."""
     rows, cols = len(grid), len(grid[0])
     out = [[0] * cols for _ in range(rows)]
@@ -202,7 +204,8 @@ def stencil2d(grid: Sequence[Sequence[int]], weights: Sequence[Sequence[int]]) -
             acc = 0
             for di in (-1, 0, 1):
                 for dj in (-1, 0, 1):
-                    acc = (acc + weights[di + 1][dj + 1] * grid[i + di][j + dj]) & MASK32
+                    term = weights[di + 1][dj + 1] * grid[i + di][j + dj]
+                    acc = (acc + term) & MASK32
             out[i][j] = acc
     return out
 

@@ -1,0 +1,182 @@
+"""One known-bad fixture per netlist rule (NLxxx).
+
+``Netlist.add`` blocks most of these at construction, so fixtures
+inject nodes directly into ``netlist.nodes`` — exactly what a broken
+deserialiser or external frontend could produce.
+"""
+
+from repro.analysis import Severity, analyze_netlist
+from repro.circuits import CircuitBuilder, technology_map
+from repro.circuits.netlist import GateOp, Netlist, Node, NodeKind
+
+
+def inject(netlist, kind, fanins=(), payload=None):
+    """Append a node bypassing every construction-time check."""
+    nid = len(netlist.nodes)
+    netlist.nodes.append(Node(nid, kind, tuple(fanins), payload))
+    return nid
+
+
+def base_netlist():
+    """A small, clean, mapped netlist to corrupt."""
+    builder = CircuitBuilder("victim")
+    a = builder.bus_load("a")
+    b = builder.bus_load("b")
+    builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+    return technology_map(builder.netlist, k=5).netlist
+
+
+def rules_fired(netlist, **kwargs):
+    return set(analyze_netlist(netlist, **kwargs).rule_ids())
+
+
+class TestNetlistRules:
+    def test_clean_netlist_is_clean(self):
+        assert analyze_netlist(base_netlist()).clean
+
+    def test_nl001_combinational_cycle(self):
+        netlist = base_netlist()
+        first = inject(netlist, NodeKind.LUT, (len(netlist.nodes) + 1,),
+                       (1, 0b10))
+        inject(netlist, NodeKind.LUT, (first,), (1, 0b10))
+        report = analyze_netlist(netlist)
+        assert "NL001" in report.rule_ids()
+        (diag,) = report.by_rule("NL001")
+        assert diag.severity is Severity.ERROR
+        assert "cycle" in diag.message
+
+    def test_nl001_self_loop(self):
+        netlist = base_netlist()
+        nid = len(netlist.nodes)
+        inject(netlist, NodeKind.LUT, (nid,), (1, 0b10))
+        assert "NL001" in rules_fired(netlist)
+
+    def test_nl002_dangling_fanin(self):
+        netlist = base_netlist()
+        inject(netlist, NodeKind.LUT, (9999,), (1, 0b10))
+        report = analyze_netlist(netlist)
+        (diag,) = report.by_rule("NL002")
+        assert "does not exist" in diag.message
+
+    def test_nl002_forward_reference(self):
+        netlist = base_netlist()
+        nid = len(netlist.nodes)
+        inject(netlist, NodeKind.LUT, (nid + 1,), (1, 0b10))
+        inject(netlist, NodeKind.CONST, (), 0)
+        assert any("not built before" in d.message
+                   for d in analyze_netlist(netlist).by_rule("NL002"))
+
+    def test_nl003_unbound_flipflop(self):
+        netlist = base_netlist()
+        inject(netlist, NodeKind.FLIPFLOP, (), 0)
+        report = analyze_netlist(netlist)
+        assert any("next-state" in d.message
+                   for d in report.by_rule("NL003"))
+
+    def test_nl004_uninitialised_flipflop(self):
+        netlist = base_netlist()
+        ff = inject(netlist, NodeKind.FLIPFLOP, (0,), None)
+        report = analyze_netlist(netlist)
+        (diag,) = report.by_rule("NL004")
+        assert diag.loc("nid") == ff
+
+    def test_nl005_dead_logic_is_warning(self):
+        netlist = base_netlist()
+        # A LUT chain nobody reads.
+        const = inject(netlist, NodeKind.CONST, (), 0)
+        inject(netlist, NodeKind.LUT, (const,), (1, 0b10))
+        report = analyze_netlist(netlist)
+        (diag,) = report.by_rule("NL005")
+        assert diag.severity is Severity.WARNING
+        assert report.ok  # warnings do not make the netlist unusable
+
+    def test_nl005_flipflop_driver_is_live(self):
+        builder = CircuitBuilder("seq")
+        ff = builder.flipflop(0)
+        word = builder.bus_load("in")
+        builder.bind_flipflop(ff, builder.xor_(ff, word.bits[0]))
+        builder.bus_store("out", builder.word_from_bits([ff]))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        assert "NL005" not in rules_fired(netlist)
+
+    def test_nl006_unused_input_is_info(self):
+        builder = CircuitBuilder("unused")
+        builder.bit_input("ghost")
+        builder.bus_store("out", builder.bus_load("a"))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        report = analyze_netlist(netlist)
+        (diag,) = report.by_rule("NL006")
+        assert diag.severity is Severity.INFO
+        assert "ghost" in diag.message
+
+    def test_nl007_lut_wider_than_mux_tree(self):
+        netlist = base_netlist()
+        consts = [inject(netlist, NodeKind.CONST, (), 0) for _ in range(6)]
+        wide = inject(netlist, NodeKind.LUT, consts, (6, 1))
+        netlist.outputs["wide"] = wide
+        report = analyze_netlist(netlist, lut_inputs=5)
+        assert any("mux tree" in d.message for d in report.by_rule("NL007"))
+
+    def test_nl007_respects_target_width(self):
+        # A 5-LUT mapped netlist is fine at k=5 but over-wide at k=4.
+        netlist = base_netlist()
+        widths = [n.payload[0] for n in netlist.nodes
+                  if n.kind is NodeKind.LUT]
+        assert "NL007" not in rules_fired(netlist, lut_inputs=5)
+        if any(w > 4 for w in widths):
+            assert "NL007" in rules_fired(netlist, lut_inputs=4)
+
+    def test_nl007_malformed_lut_payload(self):
+        netlist = base_netlist()
+        const = inject(netlist, NodeKind.CONST, (), 0)
+        inject(netlist, NodeKind.LUT, (const,), (2, 0b0110))  # k != fanins
+        assert "NL007" in rules_fired(netlist)
+
+    def test_nl008_gate_arity_mismatch(self):
+        netlist = base_netlist()
+        const = inject(netlist, NodeKind.CONST, (), 0)
+        inject(netlist, NodeKind.GATE, (const,), GateOp.AND)
+        report = analyze_netlist(netlist)
+        assert any("needs 2" in d.message for d in report.by_rule("NL008"))
+
+    def test_nl009_unmapped_gates_warn(self):
+        builder = CircuitBuilder("raw")
+        a = builder.bus_load("a")
+        bit = builder.and_(a.bits[0], a.bits[1])
+        builder.bus_store("out", builder.word_from_bits([bit]))
+        report = analyze_netlist(builder.netlist)  # NOT technology-mapped
+        (diag,) = report.by_rule("NL009")
+        assert diag.severity is Severity.WARNING
+        assert "technology" in (diag.hint or "")
+
+    def test_nl010_non_contiguous_stream(self):
+        netlist = base_netlist()
+        inject(netlist, NodeKind.BUS_LOAD, (), ("a", 5))  # a has 0; now 0,5
+        report = analyze_netlist(netlist)
+        assert any("non-contiguous" in d.message
+                   for d in report.by_rule("NL010"))
+
+    def test_nl011_dangling_output(self):
+        netlist = base_netlist()
+        netlist.outputs["ghost"] = 12345
+        report = analyze_netlist(netlist)
+        assert any("ghost" in d.message for d in report.by_rule("NL011"))
+
+
+class TestEightDefectClasses:
+    def test_at_least_eight_distinct_rules_detectable(self):
+        """Acceptance criterion: >= 8 distinct static defect classes."""
+        fired = set()
+        netlist = base_netlist()
+        first = inject(netlist, NodeKind.LUT, (len(netlist.nodes) + 1,),
+                       (1, 0b10))
+        inject(netlist, NodeKind.LUT, (first,), (1, 0b10))       # NL001/NL002
+        inject(netlist, NodeKind.FLIPFLOP, (), 0)                # NL003
+        inject(netlist, NodeKind.FLIPFLOP, (0,), None)           # NL004
+        const = inject(netlist, NodeKind.CONST, (), 0)
+        inject(netlist, NodeKind.LUT, (const,), (1, 0b10))       # NL005
+        inject(netlist, NodeKind.GATE, (const,), GateOp.AND)     # NL008/NL009
+        inject(netlist, NodeKind.BUS_LOAD, (), ("a", 5))         # NL010
+        netlist.outputs["ghost"] = 12345                         # NL011
+        fired |= set(analyze_netlist(netlist).rule_ids())
+        assert len(fired) >= 8, sorted(fired)

@@ -1,0 +1,98 @@
+"""One known-bad fixture per plan rule (PLxxx).
+
+``SlicePartition.__post_init__`` rejects most of these splits at
+construction, so fixtures bypass ``__init__`` — what a JSON loader or
+planner-under-development could hand the analyzer.
+"""
+
+from repro.analysis import Severity, analyze_plan
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.planner import PartitionPlan
+from repro.workloads.suite import benchmark
+
+
+def raw_partition(compute, scratch, total=20):
+    """Build a SlicePartition without construction-time validation."""
+    partition = object.__new__(SlicePartition)
+    object.__setattr__(partition, "compute_ways", compute)
+    object.__setattr__(partition, "scratchpad_ways", scratch)
+    object.__setattr__(partition, "total_ways", total)
+    return partition
+
+
+def make_plan(partition, tile_mccs=1, tiles=1):
+    return PartitionPlan(
+        partition=partition,
+        tile_mccs=tile_mccs,
+        tiles_per_slice=tiles,
+        end_to_end_s=1.0,
+        kernel_s=0.5,
+        power_w=1.0,
+        speedup_vs_single_thread=1.0,
+    )
+
+
+class TestPlanRules:
+    def test_clean_partition_is_ok(self):
+        report = analyze_plan(SlicePartition(4, 2))
+        assert report.ok
+
+    def test_pl001_negative_ways(self):
+        report = analyze_plan(raw_partition(-2, 1))
+        assert any("negative" in d.message for d in report.by_rule("PL001"))
+
+    def test_pl001_over_budget(self):
+        report = analyze_plan(raw_partition(16, 8))
+        assert any("collide" in d.message for d in report.by_rule("PL001"))
+
+    def test_pl002_odd_compute_ways(self):
+        report = analyze_plan(raw_partition(3, 2))
+        assert any("paired" in d.message for d in report.by_rule("PL002"))
+
+    def test_pl003_mcc_over_subscription(self):
+        # 2 compute ways -> 4 MCCs, but the plan asks for 2 tiles x 4.
+        plan = make_plan(raw_partition(2, 2), tile_mccs=4, tiles=2)
+        report = analyze_plan(plan)
+        assert any("demand 8 MCCs" in d.message
+                   for d in report.by_rule("PL003"))
+
+    def test_pl003_requires_tile_fields(self):
+        # A bare partition has no tile assignment; PL003 stays silent.
+        report = analyze_plan(raw_partition(2, 2))
+        assert not report.by_rule("PL003")
+
+    def test_pl004_no_scratchpad(self):
+        report = analyze_plan(raw_partition(4, 0))
+        assert any("scratchpad" in d.message for d in report.by_rule("PL004"))
+
+    def test_pl005_no_cache_left_is_warning(self):
+        report = analyze_plan(raw_partition(16, 4))
+        (diag,) = report.by_rule("PL005")
+        assert diag.severity is Severity.WARNING
+        assert report.ok  # a policy concern, not an illegal split
+
+    def test_pl006_zero_tiles(self):
+        plan = make_plan(raw_partition(2, 2), tile_mccs=8, tiles=0)
+        report = analyze_plan(plan)
+        assert any("0 accelerator tiles" in d.message
+                   for d in report.by_rule("PL006"))
+
+    def test_pl007_working_set_overflow(self):
+        spec = benchmark("GEMM")
+        # One scratchpad way (64 KB) against many tile working sets.
+        plan = make_plan(raw_partition(8, 1), tile_mccs=1, tiles=16)
+        report = analyze_plan(plan, spec=spec)
+        if spec.tile_working_set_bytes * 16 > 64 * 1024:
+            assert report.by_rule("PL007")
+
+    def test_pl007_silent_without_spec(self):
+        plan = make_plan(raw_partition(8, 1), tile_mccs=1, tiles=16)
+        assert not analyze_plan(plan).by_rule("PL007")
+
+    def test_real_planner_output_is_lint_clean(self):
+        from repro.freac.planner import plan_partition
+
+        plan = plan_partition(benchmark("GEMM"), min_cache_ways=2)
+        assert plan is not None
+        report = analyze_plan(plan, spec=benchmark("GEMM"))
+        assert report.ok, [d.message for d in report.errors]

@@ -1,0 +1,70 @@
+"""Property: scheduler output on random netlists is always lint-clean.
+
+The analyzer and the schedulers were written against the same legality
+model; hypothesis searches for circuits where they disagree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_netlist, analyze_schedule
+from repro.circuits import CircuitBuilder, technology_map
+from repro.folding import TileResources, level_schedule, list_schedule
+
+
+@st.composite
+def circuits(draw):
+    """A random dataflow circuit built through the public builder API."""
+    builder = CircuitBuilder("random")
+    streams = draw(st.integers(min_value=1, max_value=3))
+    words = [builder.bus_load(f"in{i}") for i in range(streams)]
+    depth = draw(st.integers(min_value=1, max_value=4))
+    for step in range(depth):
+        kind = draw(st.sampled_from(["mac", "xor", "and", "add"]))
+        a = draw(st.sampled_from(words))
+        b = draw(st.sampled_from(words))
+        if kind == "mac":
+            acc = draw(st.sampled_from(words + [builder.const_word(0)]))
+            words.append(builder.mac(a, b, acc))
+        elif kind == "xor":
+            bits = builder.xor_vec(a.bits, b.bits)
+            words.append(builder.word_from_bits(bits))
+        elif kind == "and":
+            bits = builder.and_vec(a.bits, b.bits)
+            words.append(builder.word_from_bits(bits))
+        else:
+            total, _ = builder.add_vec(a.bits, b.bits)
+            words.append(builder.word_from_bits(total))
+    builder.bus_store("out", words[-1])
+    if draw(st.booleans()):
+        builder.bus_store("aux", draw(st.sampled_from(words)))
+    return builder.netlist
+
+
+@given(
+    circuit=circuits(),
+    mccs=st.sampled_from([1, 2, 4]),
+    algorithm=st.sampled_from(["list", "level"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_scheduler_output_is_lint_clean(circuit, mccs, algorithm):
+    mapped = technology_map(circuit, k=5)
+    netlist_report = analyze_netlist(mapped.netlist)
+    assert netlist_report.ok, [d.message for d in netlist_report.errors]
+
+    schedule_fn = list_schedule if algorithm == "list" else level_schedule
+    schedule = schedule_fn(mapped.netlist, TileResources(mccs=mccs))
+    report = analyze_schedule(schedule)
+    assert report.ok, [d.message for d in report.errors]
+
+
+@given(circuit=circuits())
+@settings(max_examples=20, deadline=None)
+def test_validate_and_analyze_agree_on_clean(circuit):
+    """validate_schedule (strict wrapper) accepts what the report accepts."""
+    from repro.folding import validate_schedule
+
+    mapped = technology_map(circuit, k=5)
+    schedule = list_schedule(mapped.netlist, TileResources())
+    assert analyze_schedule(schedule).ok
+    validate_schedule(schedule)  # must not raise

@@ -1,0 +1,179 @@
+"""Core machinery: diagnostics, reports, registry, emitters."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze,
+    analyze_netlist,
+    analyze_schedule,
+    registry,
+    to_json,
+    to_sarif,
+    to_text,
+)
+from repro.analysis.core import at
+from repro.circuits import CircuitBuilder, technology_map
+from repro.errors import AnalysisError
+from repro.folding import TileResources, list_schedule
+from repro.freac.compute_slice import SlicePartition
+
+
+def clean_schedule():
+    builder = CircuitBuilder("rpt")
+    a = builder.bus_load("a")
+    b = builder.bus_load("b")
+    builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+    netlist = technology_map(builder.netlist, k=5).netlist
+    return list_schedule(netlist, TileResources())
+
+
+def make_report():
+    return AnalysisReport(
+        artifact="netlist:demo",
+        diagnostics=[
+            Diagnostic("NL002", Severity.ERROR, "broken fanin",
+                       "netlist:demo", at(nid=3), hint="fix it"),
+            Diagnostic("NL005", Severity.WARNING, "dead op",
+                       "netlist:demo", at(nid=7)),
+            Diagnostic("NL006", Severity.INFO, "unused input",
+                       "netlist:demo", at(nid=1)),
+        ],
+        rules_run=["NL002", "NL005", "NL006"],
+    )
+
+
+class TestReport:
+    def test_severity_views(self):
+        report = make_report()
+        assert [d.rule for d in report.errors] == ["NL002"]
+        assert [d.rule for d in report.warnings] == ["NL005"]
+        assert [d.rule for d in report.infos] == ["NL006"]
+        assert not report.ok
+        assert not report.clean
+
+    def test_ok_with_only_warnings(self):
+        report = make_report()
+        report.diagnostics = [d for d in report.diagnostics
+                              if d.severity is not Severity.ERROR]
+        assert report.ok
+        assert not report.clean
+
+    def test_summary_counts(self):
+        assert make_report().summary() == {
+            "errors": 1, "warnings": 1, "infos": 1,
+        }
+
+    def test_by_rule_and_location(self):
+        report = make_report()
+        (diag,) = report.by_rule("NL002")
+        assert diag.loc("nid") == 3
+        assert diag.loc("cycle", -1) == -1
+
+    def test_dict_round_trip(self):
+        report = make_report()
+        restored = AnalysisReport.from_dict(report.to_dict())
+        assert restored.artifact == report.artifact
+        assert restored.diagnostics == report.diagnostics
+        assert restored.rules_run == report.rules_run
+
+
+class TestRegistry:
+    def test_rule_packs_registered(self):
+        assert len(registry.for_artifact("netlist")) >= 8
+        assert len(registry.for_artifact("schedule")) >= 10
+        assert len(registry.for_artifact("plan")) >= 5
+
+    def test_rule_ids_are_stable_strings(self):
+        for rule_obj in registry:
+            assert rule_obj.rule_id[:2] in ("NL", "SC", "PL")
+            assert rule_obj.title
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError):
+            registry.rule("XX999")
+
+    def test_duplicate_registration_rejected(self):
+        rule_obj = registry.for_artifact("netlist")[0]
+        with pytest.raises(AnalysisError):
+            registry.register(rule_obj)
+
+
+class TestDispatch:
+    def test_analyze_dispatches_by_shape(self):
+        schedule = clean_schedule()
+        assert analyze(schedule).artifact.startswith("schedule:")
+        assert analyze(schedule.netlist).artifact.startswith("netlist:")
+        assert analyze(SlicePartition(4, 2)).artifact.startswith("plan:")
+
+    def test_analyze_rejects_unknown(self):
+        with pytest.raises(AnalysisError):
+            analyze(42)
+
+
+class TestEmitters:
+    def test_text_orders_errors_first(self):
+        text = to_text(make_report())
+        lines = text.splitlines()
+        assert "NL002" in lines[0]
+        assert "hint: fix it" in lines[0]
+        assert "1 error(s), 1 warning(s), 1 info(s)" in lines[-1]
+
+    def test_json_round_trips(self):
+        report = make_report()
+        restored = AnalysisReport.from_dict(json.loads(to_json(report)))
+        assert restored.diagnostics == report.diagnostics
+
+    def test_sarif_shape(self):
+        log = json.loads(to_sarif(make_report()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "freac-lint"
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {
+            "NL002": "error", "NL005": "warning", "NL006": "note",
+        }
+        location = run["results"][0]["locations"][0]
+        name = location["logicalLocations"][0]["fullyQualifiedName"]
+        assert name == "netlist:demo#nid=3"
+
+    def test_sarif_rule_metadata_from_registry(self):
+        log = json.loads(to_sarif(make_report()))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {r["id"]: r["shortDescription"]["text"] for r in rules}
+        assert by_id["NL002"] == "floating or undriven fanin"
+
+    def test_clean_artifact_emits_empty_results(self):
+        report = analyze_schedule(clean_schedule())
+        assert report.clean
+        assert json.loads(to_sarif(report))["runs"][0]["results"] == []
+        assert "0 error(s)" in to_text(report)
+
+
+class TestCleanArtifacts:
+    def test_mapped_benchmark_netlists_have_no_errors(self):
+        from repro.circuits.library import mapped_pe
+
+        for name in ("VADD", "DOT", "CONV"):
+            report = analyze_netlist(mapped_pe(name))
+            assert report.ok, to_text(report)
+
+    def test_strict_escalates_pressure(self):
+        import dataclasses
+
+        schedule = clean_schedule()
+        inflated = dataclasses.replace(
+            schedule,
+            max_live_bits=schedule.resources.ff_bits + 1,
+            ops=list(schedule.ops),
+        )
+        relaxed = analyze_schedule(inflated)
+        assert relaxed.ok
+        assert relaxed.by_rule("SC011")[0].severity is Severity.WARNING
+        strict = analyze_schedule(inflated, strict=True)
+        assert not strict.ok
+        assert strict.by_rule("SC011")[0].severity is Severity.ERROR

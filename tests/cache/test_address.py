@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cache.address import AddressCodec, DecodedAddress
+from repro.cache.address import AddressCodec
 from repro.errors import ConfigurationError
 
 

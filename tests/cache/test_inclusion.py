@@ -1,6 +1,5 @@
 """Inclusive-LLC back-invalidation (paper Sec. III-C flush premise)."""
 
-import pytest
 
 from repro.cache.hierarchy import CacheHierarchy
 

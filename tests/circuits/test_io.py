@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.circuits import CircuitBuilder, simulate, technology_map
+from repro.circuits import CircuitBuilder, simulate
 from repro.circuits.io import (
     load_netlist,
     netlist_from_dict,

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.circuits import CircuitBuilder, technology_map
+from repro.circuits import technology_map
 from repro.circuits.library import mapped_pe
-from repro.circuits.netlist import NodeKind
 from repro.folding import (
     TileResources,
     generate_config,

@@ -7,7 +7,7 @@ import pytest
 from repro.circuits import CircuitBuilder, technology_map
 from repro.errors import ScheduleViolation
 from repro.folding import TileResources, list_schedule, validate_schedule
-from repro.folding.schedule import FoldingSchedule, OpSlot, ScheduledOp
+from repro.folding.schedule import FoldingSchedule, OpSlot
 
 
 def make_schedule():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.library import build_pe, mapped_pe
+from repro.circuits.library import mapped_pe
 from repro.errors import ConfigurationError, DeviceError
 from repro.freac.device import (
     AcceleratorProgram,

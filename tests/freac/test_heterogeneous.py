@@ -76,7 +76,6 @@ class TestRingHierarchy:
     def test_ring_average_matches_flat_constant(self):
         """The flat 27-cycle L3 number is the ring's average."""
         from repro.cache.hierarchy import CacheHierarchy
-        from repro.cache.ring import RingInterconnect
 
         hierarchy = CacheHierarchy(cores=1, use_ring=True)
         assert hierarchy.nuca.ring.average_access_latency() == \

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.slice_ import WayMode
 from repro.errors import CapacityError, DeviceError
 from repro.freac.compute_slice import ReconfigurableComputeSlice, SlicePartition
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.power.energy import EnergyModel, FreacEnergyBreakdown
+from repro.power.energy import EnergyModel
 
 
 @pytest.fixture

@@ -1,5 +1,8 @@
 """The `freac` command-line interface."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.cli import main
@@ -66,3 +69,105 @@ class TestUtilityCommands:
         out = capsys.readouterr().out
         assert "plan" in out
         assert "schedule" in out
+        assert "lint" in out
+
+
+def _schedule():
+    from repro.circuits import CircuitBuilder, technology_map
+    from repro.folding import TileResources, list_schedule
+
+    builder = CircuitBuilder("cli")
+    a = builder.bus_load("a")
+    b = builder.bus_load("b")
+    builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+    netlist = technology_map(builder.netlist, k=5).netlist
+    return list_schedule(netlist, TileResources())
+
+
+def _write_schedule(path, schedule):
+    from repro.folding.io import schedule_to_dict
+
+    path.write_text(json.dumps(schedule_to_dict(schedule)))
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_schedule_exits_zero(self, tmp_path, capsys):
+        artifact = _write_schedule(tmp_path / "sched.json", _schedule())
+        assert main(["lint", artifact]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_errors_exit_one_and_list_all(self, tmp_path, capsys):
+        schedule = _schedule()
+        broken = dataclasses.replace(
+            schedule, ops=list(schedule.ops) + [schedule.ops[0]]
+        )
+        artifact = _write_schedule(tmp_path / "bad.json", broken)
+        assert main(["lint", artifact]) == 1
+        out = capsys.readouterr().out
+        assert "SC001" in out
+        assert "error" in out
+
+    def test_clean_netlist_exits_zero(self, tmp_path, capsys):
+        from repro.circuits.io import netlist_to_dict
+
+        path = tmp_path / "netlist.json"
+        path.write_text(json.dumps(netlist_to_dict(_schedule().netlist)))
+        assert main(["lint", str(path)]) == 0
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        from repro.analysis import AnalysisReport
+
+        artifact = _write_schedule(tmp_path / "sched.json", _schedule())
+        assert main(["lint", artifact, "--format", "json"]) == 0
+        report = AnalysisReport.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert report.clean
+        assert report.rules_run
+
+    def test_sarif_format_parses(self, tmp_path, capsys):
+        schedule = _schedule()
+        broken = dataclasses.replace(
+            schedule, ops=list(schedule.ops) + [schedule.ops[0]]
+        )
+        artifact = _write_schedule(tmp_path / "bad.json", broken)
+        assert main(["lint", artifact, "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "SC001" for r in results)
+
+    def test_strict_escalates_pressure(self, tmp_path):
+        schedule = _schedule()
+        inflated = dataclasses.replace(
+            schedule,
+            ops=list(schedule.ops),
+            max_live_bits=schedule.resources.ff_bits + 1,
+        )
+        artifact = _write_schedule(tmp_path / "hot.json", inflated)
+        assert main(["lint", artifact]) == 0
+        assert main(["lint", artifact, "--strict"]) == 1
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/sched.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unrecognised_artifact_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text('{"neither": true}')
+        assert main(["lint", str(path)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+    def test_undeserialisable_artifact_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text('{"ops": "not-a-list"}')
+        assert main(["lint", str(path)]) == 2
+
+    def test_wrong_forced_kind_exits_two(self, tmp_path, capsys):
+        from repro.circuits.io import netlist_to_dict
+
+        path = tmp_path / "netlist.json"
+        path.write_text(json.dumps(netlist_to_dict(_schedule().netlist)))
+        assert main(["lint", str(path), "--kind", "schedule"]) == 2
+        assert "cannot deserialise" in capsys.readouterr().err

@@ -7,9 +7,8 @@ kernels, and the timing/power models evaluated on the same schedule.
 """
 
 import numpy as np
-import pytest
 
-from repro.circuits.library import build_pe, mapped_pe
+from repro.circuits.library import mapped_pe
 from repro.experiments.common import freac_estimate, scratchpad_service_rate
 from repro.freac import (
     AcceleratorProgram,

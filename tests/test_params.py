@@ -8,7 +8,6 @@ from repro.params import (
     MccParams,
     SliceParams,
     SubarrayParams,
-    SystemParams,
     default_system,
     scaled_system,
 )

@@ -39,7 +39,8 @@ def random_mixed_circuit(seed: int):
     packed = builder.word_from_bits(bits[-16:])
     acc = packed
     for _ in range(rng.randint(0, 3)):
-        acc = builder.mac(acc, rng.choice(words), builder.const_word(rng.getrandbits(8)))
+        acc = builder.mac(acc, rng.choice(words),
+                          builder.const_word(rng.getrandbits(8)))
     builder.bus_store("out", acc)
     if rng.random() < 0.5:
         builder.bus_store("out", rng.choice(words))
