@@ -1,0 +1,99 @@
+"""Serving-layer benchmarks: cold vs. warm submission, mixed burst.
+
+Seeds the service bench trajectory.  Three timed scenarios:
+
+* ``cold_submit``  — first-ever NW job: synthesis + tech-map + fold
+  + lint + run (the PE library's memoization is cleared first so the
+  measurement is honestly cold);
+* ``warm_submit``  — the same job again on the same service: the
+  compiled-program cache supplies the mapped netlist and schedule, so
+  only placement + execution remain;
+* ``mixed_burst``  — a 9-job burst over three benchmarks against a
+  warm cache, exercising batching and slice packing.
+
+Writes ``BENCH_service.json``: a list of
+``{name, items, wall_s, cache_hit_rate}`` rows, plus a printed
+cold/warm speedup (the serving layer's acceptance bar is >= 5x).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.circuits.library import clear_cache
+from repro.params import scaled_system
+from repro.service import AcceleratorService
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _entry(name: str, items: int, wall_s: float,
+           hit_rate: float) -> Dict[str, object]:
+    return {
+        "name": name,
+        "items": items,
+        "wall_s": wall_s,
+        "cache_hit_rate": hit_rate,
+    }
+
+
+def _submit_timed(service: AcceleratorService, benchmark: str,
+                  items: int) -> float:
+    start = time.perf_counter()
+    service.result(service.submit(benchmark, items))
+    return time.perf_counter() - start
+
+
+def bench_cold_vs_warm(items: int = 2) -> List[Dict[str, object]]:
+    clear_cache()   # make the first submission honestly cold
+    service = AcceleratorService(system=scaled_system(l3_slices=2))
+    cold = _submit_timed(service, "NW", items)
+    rows = [_entry("cold_submit", items, cold, service.cache.hit_rate)]
+    warm = _submit_timed(service, "NW", items)
+    rows.append(_entry("warm_submit", items, warm, service.cache.hit_rate))
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"cold {cold * 1e3:8.2f} ms   warm {warm * 1e3:8.2f} ms   "
+          f"speedup {speedup:6.1f}x")
+    return rows
+
+
+def bench_mixed_burst(jobs_per_benchmark: int = 3,
+                      items: int = 4) -> List[Dict[str, object]]:
+    benchmarks = ["VADD", "DOT", "SRT"]
+    service = AcceleratorService(system=scaled_system(l3_slices=2))
+    for name in benchmarks:                 # warm the program cache
+        service.result(service.submit(name, 1))
+    start = time.perf_counter()
+    jobs = [
+        service.submit(name, items)
+        for _ in range(jobs_per_benchmark)
+        for name in benchmarks
+    ]
+    for job in jobs:
+        service.result(job)
+    wall = time.perf_counter() - start
+    stats = service.stats()
+    total = items * len(jobs)
+    print(f"burst of {len(jobs)} jobs ({total} items) in "
+          f"{wall * 1e3:8.2f} ms   cache hit rate "
+          f"{stats.cache_hit_rate:.0%}   batched {stats.batched_jobs} jobs")
+    return [_entry("mixed_burst", total, wall, stats.cache_hit_rate)]
+
+
+def main() -> List[Dict[str, object]]:
+    rows = bench_cold_vs_warm()
+    rows += bench_mixed_burst()
+    OUT.write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

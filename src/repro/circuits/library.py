@@ -549,7 +549,34 @@ def mapped_pe(name: str, k: int = 5) -> Netlist:
 
     Mapping AES takes a few seconds, and every experiment over tile
     sizes reuses the same mapped circuit, so this cache matters.
+    Memoized by (name, LUT width); drop entries with
+    :func:`clear_cache`.
     """
     from .techmap import technology_map
 
     return technology_map(build_pe(name).netlist, k=k).netlist
+
+
+@lru_cache(maxsize=1)
+def library_version() -> str:
+    """Content hash of this PE library, for compiled-program cache keys.
+
+    Any edit to a factory changes the hash, so a serving layer's
+    on-disk program cache (``repro.service``) never replays a stale
+    netlist compiled from an older library.
+    """
+    import hashlib
+    from pathlib import Path
+
+    return hashlib.sha256(Path(__file__).read_bytes()).hexdigest()[:16]
+
+
+def clear_cache() -> None:
+    """Invalidate every memoized PE and mapped netlist.
+
+    Tests (and cold-start benchmarks) call this to force the next
+    :func:`build_pe` / :func:`mapped_pe` to rebuild from scratch.
+    """
+    build_pe.cache_clear()
+    mapped_pe.cache_clear()
+    library_version.cache_clear()

@@ -9,6 +9,8 @@ commands::
     freac plan GEMM --cache-ways 2 # partition planning for a kernel
     freac schedule NW --mccs 4     # folding-schedule summary
     freac lint sched.json          # static analysis of an artifact
+    freac submit GEMM --items 8    # one job through the serving layer
+    freac serve --requests reqs.txt  # drain a request stream
 """
 
 from __future__ import annotations
@@ -227,6 +229,10 @@ def main(argv: List[str] | None = None) -> int:
     lint.add_argument("--lut-inputs", type=int, default=None,
                       help="target LUT width for netlist arity checks")
 
+    from .service import frontend as service_frontend
+
+    service_frontend.add_parsers(sub)
+
     runp = sub.add_parser(
         "run", help="functionally run a benchmark batch in the LLC model"
     )
@@ -242,7 +248,8 @@ def main(argv: List[str] | None = None) -> int:
     if args.command == "list":
         for name in _ORDER:
             print(name)
-        for utility in ("run", "plan", "schedule", "export", "lint"):
+        for utility in ("run", "plan", "schedule", "export", "lint",
+                        "submit", "serve"):
             print(utility)
         return 0
     if args.command == "all":
@@ -258,6 +265,10 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "submit":
+        return service_frontend.cmd_submit(args)
+    if args.command == "serve":
+        return service_frontend.cmd_serve(args)
     if args.command == "export":
         from .experiments.export import export as export_csv
 

@@ -71,6 +71,25 @@ class PreflightError(AnalysisError):
         )
 
 
+class RequestError(ReproError, ValueError):
+    """A caller-supplied request is invalid.
+
+    Bad user input — an unknown benchmark, a dataset that does not
+    match the requested batch size, a non-positive item count — as
+    opposed to :class:`DeviceError`, which marks an illegal *device
+    state* transition.  Derives from :class:`ValueError` so callers
+    that treat the library as a plain Python API catch it naturally.
+    """
+
+
+class ServiceError(ReproError):
+    """The serving layer was driven inconsistently.
+
+    For example: asking for the result of a job id the service never
+    issued, or pumping a service whose devices were torn down.
+    """
+
+
 class CacheError(ReproError):
     """The cache substrate was used inconsistently."""
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import DeviceError, ProtocolError
+from ..folding.config import generate_config
 from ..folding.schedule import FoldingSchedule
 from ..memory.dram import DramModel
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
@@ -100,18 +101,33 @@ class ComputeClusterController:
     # Step 4: configuration
     # ------------------------------------------------------------------
 
-    def program(self, schedule: FoldingSchedule) -> ProgramReport:
+    def program(self, schedule: FoldingSchedule, *,
+                preflight: bool = True) -> ProgramReport:
         """Instantiate the accelerator on every tile the slice can hold.
 
         All tiles of a slice run the same schedule in lock-step
         (Sec. III-D), so one programming call configures them all.
+        ``preflight=False`` skips the per-executor schedule lint for
+        callers that already vetted the schedule (e.g. the serving
+        layer's admission control).
         """
         if self.state is ControllerState.IDLE:
             raise ProtocolError("set up the slice partition before programming")
         tile_size = schedule.resources.mccs
         tiles = self.slice.tiles(tile_size)
+        # Every tile has the same subarray geometry and runs the same
+        # schedule, so generate the configuration image once and share
+        # the (read-only) instance across executors.
+        image = (
+            generate_config(
+                schedule, rows_per_subarray=tiles[0][0].config_rows
+            )
+            if tiles else None
+        )
         self.executors = [
-            FoldedExecutor(schedule, tile, self.slice.scratchpad) for tile in tiles
+            FoldedExecutor(schedule, tile, self.slice.scratchpad,
+                           preflight=preflight, config=image)
+            for tile in tiles
         ]
         words_total = 0
         for executor in self.executors:

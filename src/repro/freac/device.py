@@ -13,7 +13,7 @@ Cache in Multi-Core Systems").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuits.netlist import Netlist
 from ..errors import ConfigurationError, DeviceError
@@ -95,23 +95,51 @@ class FreacDevice:
     def slice_count(self) -> int:
         return len(self.slices)
 
+    def _resolve_slices(
+        self, slices: Union[int, Sequence[int], None]
+    ) -> List[int]:
+        if slices is None:
+            return list(range(self.slice_count))
+        if isinstance(slices, int):
+            if not 1 <= slices <= self.slice_count:
+                raise ConfigurationError("slice count out of range")
+            return list(range(slices))
+        indices = list(slices)
+        for index in indices:
+            if not 0 <= index < self.slice_count:
+                raise ConfigurationError(f"slice {index} out of range")
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError("duplicate slice indices")
+        return indices
+
     def setup(self, partition: SlicePartition,
-              slices: Optional[int] = None) -> List[SetupReport]:
-        """Partition the first ``slices`` slices (all by default)."""
-        count = slices if slices is not None else self.slice_count
-        if not 1 <= count <= self.slice_count:
-            raise ConfigurationError("slice count out of range")
-        return [self.controllers[i].setup(partition) for i in range(count)]
+              slices: Union[int, Sequence[int], None] = None) -> List[SetupReport]:
+        """Partition slices: all by default, the first N for an int,
+        or exactly the given indices for a sequence.
+
+        The index form is what a multi-tenant scheduler uses to place
+        independent jobs on disjoint slices of one device — slices are
+        independent (Sec. III-E), so each can hold its own partition
+        and accelerator.
+        """
+        indices = self._resolve_slices(slices)
+        if not indices:
+            raise ConfigurationError("need at least one slice")
+        return [self.controllers[i].setup(partition) for i in indices]
 
     def program(self, program: AcceleratorProgram,
                 mccs_per_tile: int,
-                slices: Optional[Sequence[int]] = None) -> List[ProgramReport]:
+                slices: Optional[Sequence[int]] = None,
+                *, preflight: bool = True) -> List[ProgramReport]:
         """Program partitioned slices with an accelerator.
 
         By default every partitioned slice gets the same accelerator
         (the paper's data-parallel mode).  Passing ``slices`` programs
         only those indices — slices are independent (Sec. III-E), so
         different accelerators can coexist, one per slice.
+        ``preflight=False`` skips the schedule lint when the caller
+        already vetted the schedule (the serving layer lints once at
+        admission instead of once per executor).
         """
         schedule = program.schedule_for(mccs_per_tile)
         if slices is None:
@@ -124,14 +152,18 @@ class FreacDevice:
                 if not 0 <= index < self.slice_count:
                     raise ConfigurationError(f"slice {index} out of range")
                 targets.append(self.controllers[index])
-        reports = [controller.program(schedule) for controller in targets]
+        reports = [
+            controller.program(schedule, preflight=preflight)
+            for controller in targets
+        ]
         if not reports:
             raise DeviceError("no slice is partitioned; call setup first")
         return reports
 
-    def teardown(self) -> None:
-        for controller in self.controllers:
-            controller.teardown()
+    def teardown(self, slices: Optional[Sequence[int]] = None) -> None:
+        """Release slices back to plain cache (all by default)."""
+        for index in self._resolve_slices(slices):
+            self.controllers[index].teardown()
 
     # ------------------------------------------------------------------
     # Functional batch execution (small problem sizes)

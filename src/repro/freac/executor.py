@@ -88,6 +88,7 @@ class FoldedExecutor:
         scratchpad: Optional[Scratchpad] = None,
         *,
         preflight: bool = True,
+        config: Optional[ConfigImage] = None,
     ) -> None:
         if len(tile) != schedule.resources.mccs:
             raise DeviceError(
@@ -104,7 +105,12 @@ class FoldedExecutor:
         self.scratchpad = scratchpad
         self.stats = ExecutionStats()
         rows = self.tile[0].config_rows
-        self.config: ConfigImage = generate_config(schedule, rows_per_subarray=rows)
+        # The image is read-only after generation, so lock-step tiles
+        # running one schedule may share a caller-supplied instance.
+        self.config: ConfigImage = (
+            config if config is not None
+            else generate_config(schedule, rows_per_subarray=rows)
+        )
         self._rows = rows
         self._loaded_segment = -1
         self._ops_by_cycle: Dict[int, List] = {}

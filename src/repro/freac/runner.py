@@ -5,17 +5,27 @@ accept) a dataset, lay its streams out in each slice's scratchpad,
 program the accelerator, run data-parallel across slices, read the
 results back, and check them against the reference — the convenience
 layer a downstream user of the library would reach for first.
+
+The flow is factored into three reusable stages so the serving layer
+(:mod:`repro.service`) can drive them independently:
+
+* :func:`build_program` — synthesis/tech-map/fold + pre-flight lint,
+  the expensive part a compiled-program cache short-circuits;
+* :func:`plan_layout` — pack a batch's streams into a scratchpad;
+* :func:`execute_on_controllers` — fill, run, and verify a batch on an
+  arbitrary subset of slice controllers (the unit a scheduler places).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import preflight_netlist, preflight_schedule
-from ..circuits.library import build_pe, mapped_pe
-from ..errors import CapacityError, DeviceError
+from ..circuits.library import PeCircuit, build_pe, mapped_pe
+from ..errors import CapacityError, DeviceError, RequestError
 from ..workloads.datagen import Dataset, dataset_for
+from .ccctrl import ComputeClusterController
 from .compute_slice import SlicePartition
 from .device import AcceleratorProgram, FreacDevice
 from .executor import StreamBinding
@@ -38,9 +48,42 @@ class WorkloadRunReport:
     layout: Dict[str, StreamBinding] = field(default_factory=dict)
 
 
-def plan_layout(dataset: Dataset, scratchpad_words: int) -> Dict[str, StreamBinding]:
+def build_program(
+    name: str,
+    *,
+    lut_inputs: int = 5,
+    mccs_per_tile: int = 1,
+    preflight: bool = True,
+) -> AcceleratorProgram:
+    """Synthesize, tech-map, fold, and lint one benchmark program.
+
+    This is the expensive path the serving layer's compiled-program
+    cache avoids repeating: the returned program carries its folding
+    schedule for ``mccs_per_tile`` already computed, and (unless
+    ``preflight=False``) has passed the netlist and schedule gates.
+    """
+    program = AcceleratorProgram(
+        name.upper(), mapped_pe(name, lut_inputs), lut_inputs
+    )
+    schedule = program.schedule_for(mccs_per_tile)
+    if preflight:
+        # Pre-flight lint before any way is locked: a malformed netlist
+        # or schedule aborts here with every violation reported, instead
+        # of mid-run with the LLC already partitioned (docs/analysis.md).
+        preflight_netlist(program.netlist, lut_inputs=program.lut_inputs,
+                          stage="build_program")
+        preflight_schedule(schedule, stage="build_program")
+    return program
+
+
+def plan_layout(
+    dataset: Dataset,
+    scratchpad_words: int,
+    *,
+    pe: Optional[PeCircuit] = None,
+) -> Dict[str, StreamBinding]:
     """Pack every stream's per-item regions into the scratchpad."""
-    pe = build_pe(dataset.benchmark)
+    pe = pe if pe is not None else build_pe(dataset.benchmark)
     layout: Dict[str, StreamBinding] = {}
     offset = 0
     for stream, words in sorted(pe.loads.items()):
@@ -58,6 +101,85 @@ def plan_layout(dataset: Dataset, scratchpad_words: int) -> Dict[str, StreamBind
     return layout
 
 
+def _distribute(items: int, slices: int) -> Tuple[int, List[int]]:
+    """Block-distribute ``items`` over ``slices``: (chunk, per-slice)."""
+    chunk = -(-items // slices)
+    return chunk, [
+        max(0, min(chunk, items - index * chunk)) for index in range(slices)
+    ]
+
+
+def _controller_totals(
+    controllers: Sequence[ComputeClusterController],
+) -> Dict[str, int]:
+    totals = {
+        "invocations": 0,
+        "lut_evaluations": 0,
+        "mac_operations": 0,
+        "bus_words": 0,
+    }
+    for controller in controllers:
+        for executor in controller.executors:
+            stats = executor.stats
+            totals["invocations"] += stats.invocations
+            totals["lut_evaluations"] += stats.lut_evaluations
+            totals["mac_operations"] += stats.mac_operations
+            totals["bus_words"] += stats.bus_words
+    return totals
+
+
+def execute_on_controllers(
+    controllers: Sequence[ComputeClusterController],
+    dataset: Dataset,
+    layout: Dict[str, StreamBinding],
+    *,
+    pe: Optional[PeCircuit] = None,
+) -> Tuple[Dict[str, int], List[int]]:
+    """Fill, run, and verify one batch on the given slice controllers.
+
+    The controllers must already be programmed.  Returns the aggregate
+    counters of this batch (deltas, so repeated batches on the same
+    programmed slices do not double-count) and the global indices of
+    every item whose stores mismatched the reference.
+    """
+    if not controllers:
+        raise DeviceError("no controllers to execute on")
+    pe = pe if pe is not None else build_pe(dataset.benchmark)
+    chunk, per_slice_items = _distribute(dataset.items, len(controllers))
+
+    before = _controller_totals(controllers)
+    for slice_index, controller in enumerate(controllers):
+        begin = slice_index * chunk
+        count = per_slice_items[slice_index]
+        for local in range(count):
+            for stream in pe.loads:
+                binding = layout[stream]
+                controller.fill_scratchpad(
+                    binding.base_word + local * binding.words_per_item,
+                    dataset.loads[stream][begin + local],
+                )
+        if count:
+            controller.run_batch(count, layout)
+    after = _controller_totals(controllers)
+    totals = {key: after[key] - before[key] for key in after}
+
+    mismatched: List[int] = []
+    for slice_index, controller in enumerate(controllers):
+        begin = slice_index * chunk
+        for local in range(per_slice_items[slice_index]):
+            item = begin + local
+            for stream in pe.stores:
+                binding = layout[stream]
+                got = controller.read_scratchpad(
+                    binding.base_word + local * binding.words_per_item,
+                    binding.words_per_item,
+                )
+                if got != dataset.expected[stream][item]:
+                    mismatched.append(item)
+                    break
+    return totals, mismatched
+
+
 def run_workload(
     device: FreacDevice,
     name: str,
@@ -67,72 +189,49 @@ def run_workload(
     mccs_per_tile: int = 1,
     seed: int = 0,
     dataset: Optional[Dataset] = None,
+    program: Optional[AcceleratorProgram] = None,
 ) -> WorkloadRunReport:
     """Run ``items`` invocations of benchmark ``name``, data-parallel
-    across every slice, and verify each result."""
+    across every slice, and verify each result.
+
+    Passing ``program`` injects an already-built (and already-linted)
+    accelerator — e.g. a compiled-program cache entry — skipping the
+    synthesis/tech-map/fold/pre-flight path entirely.
+    """
     partition = partition or SlicePartition(compute_ways=4, scratchpad_ways=4)
     if partition.scratchpad_ways == 0:
         raise DeviceError("the runner needs scratchpad ways for operands")
     dataset = dataset or dataset_for(name, items, seed=seed)
     if dataset.items != items:
-        raise DeviceError("dataset size does not match requested items")
+        raise RequestError(
+            f"dataset has {dataset.items} items but {items} were requested"
+        )
+    if dataset.benchmark != name.upper():
+        raise RequestError(
+            f"dataset is for {dataset.benchmark}, not {name.upper()}"
+        )
 
-    # Pre-flight lint before any way is locked: a malformed netlist or
-    # schedule aborts here with every violation reported, instead of
-    # mid-run with the LLC already partitioned (docs/analysis.md).
-    program = AcceleratorProgram(name.upper(), mapped_pe(name))
-    preflight_netlist(program.netlist, lut_inputs=program.lut_inputs,
-                      stage="run_workload")
-    preflight_schedule(program.schedule_for(mccs_per_tile),
-                       stage="run_workload")
+    if program is None:
+        program = build_program(name, mccs_per_tile=mccs_per_tile)
 
     device.setup(partition)
     device.program(program, mccs_per_tile)
 
-    slices = device.slice_count
-    pad_words = device.controllers[0].slice.scratchpad.words
-    layout = plan_layout(dataset, pad_words)
     pe = build_pe(name)
-
-    # Block-distribute items over slices; each slice sees its chunk at
-    # local item indices 0..chunk-1.
-    chunk = -(-items // slices)
-    per_slice_items: List[int] = []
-    for slice_index, controller in enumerate(device.controllers):
-        begin = slice_index * chunk
-        count = max(0, min(chunk, items - begin))
-        per_slice_items.append(count)
-        for local in range(count):
-            for stream in pe.loads:
-                binding = layout[stream]
-                controller.fill_scratchpad(
-                    binding.base_word + local * binding.words_per_item,
-                    dataset.loads[stream][begin + local],
-                )
-
-    totals = device.run_batch(items, layout, per_slice_items=per_slice_items)
-
-    mismatches = 0
-    for slice_index, controller in enumerate(device.controllers):
-        begin = slice_index * chunk
-        for local in range(per_slice_items[slice_index]):
-            for stream in pe.stores:
-                binding = layout[stream]
-                got = controller.read_scratchpad(
-                    binding.base_word + local * binding.words_per_item,
-                    binding.words_per_item,
-                )
-                if got != dataset.expected[stream][begin + local]:
-                    mismatches += 1
+    pad_words = device.controllers[0].slice.scratchpad.words
+    layout = plan_layout(dataset, pad_words, pe=pe)
+    totals, mismatched = execute_on_controllers(
+        device.controllers, dataset, layout, pe=pe
+    )
     device.teardown()
 
     return WorkloadRunReport(
         benchmark=name.upper(),
         items=items,
-        slices_used=slices,
+        slices_used=device.slice_count,
         tiles_per_slice=partition.mccs() // mccs_per_tile,
-        verified=mismatches == 0,
-        mismatches=mismatches,
+        verified=not mismatched,
+        mismatches=len(mismatched),
         invocations=totals["invocations"],
         mac_operations=totals["mac_operations"],
         lut_evaluations=totals["lut_evaluations"],

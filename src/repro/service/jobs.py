@@ -1,0 +1,188 @@
+"""Job model and priority queue for the serving layer.
+
+A :class:`Job` is one caller request moving through admission,
+queueing, placement, execution, and completion.  The queue orders by
+descending priority (ties FIFO) and supports pulling a whole *batch
+group* — every queued job that can share one programmed accelerator —
+so same-benchmark traffic amortises configuration writes the way the
+paper's host interface intends (one program step, many invocations).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import AnalysisReport
+from ..workloads.datagen import Dataset
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"      # admission control said no (lint errors)
+    FAILED = "failed"          # ran, but errored (e.g. retries exhausted)
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.PENDING, JobState.RUNNING)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What a caller asks for: benchmark, batch, and service knobs."""
+
+    benchmark: str
+    items: int
+    priority: int = 0
+    mccs_per_tile: int = 1
+    lut_inputs: int = 5
+    slices: int = 1                    # device slices this job wants
+    timeout_s: Optional[float] = None  # queue-wait deadline
+    seed: int = 0
+    dataset: Optional[Dataset] = None
+
+    def batch_key(self) -> Tuple[str, int, int, int]:
+        """Jobs with equal keys can share one programmed accelerator."""
+        return (self.benchmark, self.lut_inputs, self.mccs_per_tile,
+                self.slices)
+
+
+@dataclass
+class JobResult:
+    """The terminal outcome handed back by ``result()``."""
+
+    job_id: int
+    state: JobState
+    benchmark: str
+    items: int
+    verified: Optional[bool] = None
+    mismatches: int = 0
+    invocations: int = 0
+    latency_s: Optional[float] = None     # submit -> terminal
+    queue_s: Optional[float] = None       # submit -> placement
+    retries: int = 0
+    batch_size: int = 1                   # jobs merged into this run
+    cache_hit: Optional[bool] = None
+    placement: Optional[Tuple[int, Tuple[int, ...]]] = None
+    admission: Optional[AnalysisReport] = None   # full report on rejection
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "benchmark": self.benchmark,
+            "items": self.items,
+            "verified": self.verified,
+            "mismatches": self.mismatches,
+            "invocations": self.invocations,
+            "latency_s": self.latency_s,
+            "queue_s": self.queue_s,
+            "retries": self.retries,
+            "batch_size": self.batch_size,
+            "cache_hit": self.cache_hit,
+            "placement": (
+                [self.placement[0], list(self.placement[1])]
+                if self.placement else None
+            ),
+            "error": self.error,
+        }
+        if self.admission is not None:
+            data["admission"] = self.admission.to_dict()
+        return data
+
+
+@dataclass
+class Job:
+    """One request's lifecycle record inside the service."""
+
+    id: int
+    request: JobRequest
+    state: JobState = JobState.PENDING
+    submitted_at: float = 0.0           # time.perf_counter timestamps
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cache_hit: bool = False
+    result: Optional[JobResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+
+class JobQueue:
+    """Priority queue (max priority first, FIFO within a priority)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        self._compact()
+        return len(self._heap)
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(
+            self._heap, (-job.request.priority, next(self._sequence), job)
+        )
+
+    def _compact(self) -> None:
+        # Cancelled/timed-out jobs are abandoned in place; drop them
+        # lazily so depth and pop never see them.
+        while self._heap and self._heap[0][2].state is not JobState.PENDING:
+            heapq.heappop(self._heap)
+
+    def pop(self) -> Optional[Job]:
+        self._compact()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def pop_group(self, *, batch: bool = True,
+                  max_items: Optional[int] = None) -> List[Job]:
+        """Pop the head job plus every queued job batchable with it.
+
+        Group members share a :meth:`JobRequest.batch_key`; the head's
+        priority wins (a batched low-priority job rides along — strict
+        priority order is preserved for the *head* of every group).
+        ``max_items`` caps the merged batch size.
+        """
+        head = self.pop()
+        if head is None:
+            return []
+        group = [head]
+        if not batch:
+            return group
+        budget = None if max_items is None else max_items - head.request.items
+        key = head.request.batch_key()
+        kept: List[Tuple[int, int, Job]] = []
+        self._compact()
+        for entry in sorted(self._heap):
+            job = entry[2]
+            if job.state is not JobState.PENDING:
+                continue
+            fits = budget is None or job.request.items <= budget
+            if job.request.batch_key() == key and fits:
+                group.append(job)
+                if budget is not None:
+                    budget -= job.request.items
+            else:
+                kept.append(entry)
+        self._heap = kept
+        heapq.heapify(self._heap)
+        return group
+
+    def requeue(self, jobs: List[Job]) -> None:
+        """Return unplaced jobs to the queue (priority order holds;
+        within a priority they line up behind current arrivals)."""
+        for job in jobs:
+            heapq.heappush(
+                self._heap, (-job.request.priority, next(self._sequence), job)
+            )

@@ -1,0 +1,87 @@
+"""Slice-aware placement: pack jobs onto disjoint slices of a device.
+
+LLC slices are independent (paper Sec. III-E) — each can hold its own
+partition and accelerator — so the scheduling unit is a *slice*, not a
+device.  The pool tracks which slices of which device are busy and
+hands out disjoint sets, preferring to fill an already-busy device
+(best-fit) so idle devices stay fully free for wide jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..errors import ServiceError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A claim on ``slices`` of device ``device``."""
+
+    device: int
+    slices: Tuple[int, ...]
+
+
+class SlicePool:
+    """Free/busy bookkeeping over every slice of every device."""
+
+    def __init__(self, slice_counts: Sequence[int]) -> None:
+        if not slice_counts:
+            raise ServiceError("a slice pool needs at least one device")
+        self._counts = list(slice_counts)
+        self._busy: List[Set[int]] = [set() for _ in slice_counts]
+
+    @property
+    def devices(self) -> int:
+        return len(self._counts)
+
+    @property
+    def max_slices(self) -> int:
+        return max(self._counts)
+
+    def free_slices(self, device: int) -> List[int]:
+        return [
+            index for index in range(self._counts[device])
+            if index not in self._busy[device]
+        ]
+
+    def acquire(self, slices_needed: int) -> Optional[Placement]:
+        """Claim ``slices_needed`` disjoint slices, or None if full.
+
+        Best-fit across devices: the device with the fewest free
+        slices that still fit wins, so small jobs pack together and
+        leave whole devices free for slice-hungry ones.
+        """
+        if slices_needed < 1:
+            raise ServiceError("a placement needs at least one slice")
+        best: Optional[int] = None
+        best_free = None
+        for device in range(self.devices):
+            free = len(self.free_slices(device))
+            if free >= slices_needed and (best_free is None or free < best_free):
+                best, best_free = device, free
+        if best is None:
+            return None
+        claimed = tuple(self.free_slices(best)[:slices_needed])
+        self._busy[best].update(claimed)
+        return Placement(device=best, slices=claimed)
+
+    def release(self, placement: Placement) -> None:
+        busy = self._busy[placement.device]
+        for index in placement.slices:
+            if index not in busy:
+                raise ServiceError(
+                    f"slice {index} of device {placement.device} was not held"
+                )
+            busy.remove(index)
+
+    def utilization(self) -> List[float]:
+        """Busy fraction per device."""
+        return [
+            len(self._busy[device]) / self._counts[device]
+            for device in range(self.devices)
+        ]
+
+    def busy_total(self) -> int:
+        return sum(len(busy) for busy in self._busy)

@@ -1,0 +1,313 @@
+"""The compiled-program cache: content-addressed, LRU, optional disk.
+
+Synthesis + technology mapping + folding is by far the most expensive
+step of serving a request (seconds for AES against microseconds of
+run control), and it is pure: the result depends only on the benchmark
+name, the LUT width, the tile size, and the PE library itself.  So the
+serving layer caches it content-addressed — the key includes a hash of
+the PE library source, making stale entries unreachable after any
+library edit rather than silently wrong.
+
+Entries carry the mapped netlist, the folding schedule for the keyed
+tile size, and both static-analysis reports, so admission control can
+re-check a cached program without re-linting and a rejection can hand
+the caller the full :class:`~repro.analysis.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, NamedTuple, Optional, Union
+
+from ..analysis import AnalysisReport, analyze_netlist, analyze_schedule
+from ..circuits.library import library_version, mapped_pe, pe_names
+from ..circuits.netlist import Netlist
+from ..folding.io import schedule_from_dict, schedule_to_dict
+from ..folding.schedule import FoldingSchedule, TileResources
+from ..folding.scheduler import list_schedule
+from ..freac.device import AcceleratorProgram
+
+logger = logging.getLogger("repro.service")
+
+DISK_FORMAT_VERSION = 1
+
+
+class ProgramKey(NamedTuple):
+    """Content address of one compiled program."""
+
+    benchmark: str
+    lut_inputs: int
+    mccs_per_tile: int
+    library_hash: str
+
+    @property
+    def filename(self) -> str:
+        return (
+            f"{self.benchmark.lower()}_k{self.lut_inputs}"
+            f"_t{self.mccs_per_tile}_{self.library_hash}.json"
+        )
+
+
+def program_key(
+    benchmark: str, *, lut_inputs: int = 5, mccs_per_tile: int = 1
+) -> ProgramKey:
+    return ProgramKey(
+        benchmark.upper(), lut_inputs, mccs_per_tile, library_version()
+    )
+
+
+@dataclass
+class CompiledProgram:
+    """Everything admission and execution need, ready to inject."""
+
+    benchmark: str
+    lut_inputs: int
+    mccs_per_tile: int
+    netlist: Netlist                    # technology-mapped
+    schedule: FoldingSchedule
+    netlist_report: AnalysisReport
+    schedule_report: AnalysisReport
+    library_hash: str
+
+    @property
+    def key(self) -> ProgramKey:
+        return ProgramKey(
+            self.benchmark, self.lut_inputs, self.mccs_per_tile,
+            self.library_hash,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when neither lint report has error-severity findings."""
+        return self.netlist_report.ok and self.schedule_report.ok
+
+    def admission_report(self) -> AnalysisReport:
+        """Both lint reports merged, for structured rejections."""
+        merged = AnalysisReport(artifact=f"program:{self.benchmark}")
+        merged.extend(self.netlist_report.diagnostics)
+        merged.extend(self.schedule_report.diagnostics)
+        merged.rules_run = list(
+            dict.fromkeys(
+                self.netlist_report.rules_run + self.schedule_report.rules_run
+            )
+        )
+        return merged
+
+    def to_accelerator(self) -> AcceleratorProgram:
+        """An injectable :class:`AcceleratorProgram` (schedule pre-set)."""
+        program = AcceleratorProgram(
+            self.benchmark, self.netlist, self.lut_inputs
+        )
+        program.schedules[self.mccs_per_tile] = self.schedule
+        return program
+
+    # -- (de)serialisation — the on-disk cache layer --------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": DISK_FORMAT_VERSION,
+            "benchmark": self.benchmark,
+            "lut_inputs": self.lut_inputs,
+            "mccs_per_tile": self.mccs_per_tile,
+            "library_hash": self.library_hash,
+            # The schedule dict embeds the mapped netlist.
+            "schedule": schedule_to_dict(self.schedule),
+            "netlist_report": self.netlist_report.to_dict(),
+            "schedule_report": self.schedule_report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CompiledProgram":
+        if data.get("version") != DISK_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cache entry version {data.get('version')!r}"
+            )
+        schedule = schedule_from_dict(data["schedule"])
+        return cls(
+            benchmark=data["benchmark"],
+            lut_inputs=data["lut_inputs"],
+            mccs_per_tile=data["mccs_per_tile"],
+            netlist=schedule.netlist,
+            schedule=schedule,
+            netlist_report=AnalysisReport.from_dict(data["netlist_report"]),
+            schedule_report=AnalysisReport.from_dict(data["schedule_report"]),
+            library_hash=data["library_hash"],
+        )
+
+
+def compile_program(
+    benchmark: str, *, lut_inputs: int = 5, mccs_per_tile: int = 1
+) -> CompiledProgram:
+    """Run the full synthesis/tech-map/fold pipeline plus lint.
+
+    Unlike :func:`repro.freac.runner.build_program` this never raises
+    on findings: the reports ride along so the serving layer can turn
+    them into a structured admission rejection.
+    """
+    name = benchmark.upper()
+    netlist = mapped_pe(name, lut_inputs)
+    schedule = list_schedule(
+        netlist, TileResources(mccs=mccs_per_tile, lut_inputs=lut_inputs)
+    )
+    return CompiledProgram(
+        benchmark=name,
+        lut_inputs=lut_inputs,
+        mccs_per_tile=mccs_per_tile,
+        netlist=netlist,
+        schedule=schedule,
+        netlist_report=analyze_netlist(netlist, lut_inputs=lut_inputs),
+        schedule_report=analyze_schedule(schedule),
+        library_hash=library_version(),
+    )
+
+
+class ProgramCache:
+    """In-memory LRU over :class:`CompiledProgram`, write-through disk.
+
+    ``capacity`` bounds the in-memory entries; with a ``directory``,
+    entries are also persisted as JSON (one file per key, named by the
+    content address) and evicted entries remain loadable from disk.
+    Counters: ``hits`` (memory + disk), ``disk_hits`` (subset),
+    ``misses`` (compiled from scratch), ``evictions``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        directory: Union[str, Path, None] = None,
+        compiler: Callable[..., CompiledProgram] = compile_program,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least one entry")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._compiler = compiler
+        self._entries: "OrderedDict[ProgramKey, CompiledProgram]" = OrderedDict()
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core mapping ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ProgramKey) -> bool:
+        return key in self._entries
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def put(self, program: CompiledProgram) -> None:
+        key = program.key
+        self._entries[key] = program
+        self._entries.move_to_end(key)
+        if self.directory is not None:
+            path = self.directory / key.filename
+            if not path.exists():
+                path.write_text(json.dumps(program.to_dict()))
+        while len(self._entries) > self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            logger.info("program cache evicted %s", evicted_key)
+
+    def get(self, key: ProgramKey) -> Optional[CompiledProgram]:
+        """Look up without compiling; counts a hit or a miss."""
+        entry = self._load(key)
+        if entry is None:
+            self.misses += 1
+        return entry
+
+    def get_or_compile(
+        self,
+        benchmark: str,
+        *,
+        lut_inputs: int = 5,
+        mccs_per_tile: int = 1,
+    ) -> CompiledProgram:
+        """The admission path: cached program, or compile-and-insert.
+
+        Raises ``KeyError`` for a benchmark the PE library does not
+        know (before counting a miss — unknown names are a caller
+        error, not cache traffic).
+        """
+        key = program_key(
+            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+        )
+        if key.benchmark not in pe_names() and key not in self._entries:
+            raise KeyError(
+                f"unknown benchmark {benchmark!r}; "
+                f"available: {', '.join(pe_names())}"
+            )
+        entry = self._load(key)
+        if entry is not None:
+            return entry
+        self.misses += 1
+        program = self._compiler(
+            key.benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+        )
+        self.put(program)
+        return program
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop every in-memory entry (and on-disk files if asked)."""
+        self._entries.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    # -- lookup layers --------------------------------------------------
+
+    def _load(self, key: ProgramKey) -> Optional[CompiledProgram]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._load_from_disk(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self.put(entry)
+            return entry
+        return None
+
+    def _load_from_disk(self, key: ProgramKey) -> Optional[CompiledProgram]:
+        if self.directory is None:
+            return None
+        path = self.directory / key.filename
+        if not path.exists():
+            return None
+        try:
+            entry = CompiledProgram.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError) as exc:
+            # A corrupt or stale file is a miss, never a crash.
+            logger.warning("dropping unreadable cache file %s: %r", path, exc)
+            return None
+        if entry.key != key:
+            logger.warning("cache file %s does not match its key", path)
+            return None
+        return entry

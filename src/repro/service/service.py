@@ -1,0 +1,439 @@
+"""``AcceleratorService``: device pool + job scheduler + admission.
+
+The runtime between many callers and a pool of
+:class:`~repro.freac.device.FreacDevice` instances.  One pump cycle
+(= one *wave*) does:
+
+1. **Admission-checked dequeue** — pop the highest-priority batch
+   group (same-benchmark jobs merge into one run), expiring jobs whose
+   queue-wait deadline passed;
+2. **Placement** — claim disjoint slices from the pool (best-fit
+   packing, so independent jobs co-reside on one device), partition
+   exactly those slices and program them from the compiled-program
+   cache entry;
+3. **Execution** — fill scratchpads, run, verify, with bounded retry:
+   a :class:`~repro.errors.CapacityError` (batch too big for the
+   scratchpad) resubmits the chunk at half size instead of failing;
+4. **Completion** — per-job results, latency samples, slice release.
+
+Everything is single-process and synchronous: ``pump()`` runs waves
+inline and ``result()`` pumps until the job is terminal.  That keeps
+the model deterministic (this is a simulator, not an RPC server) while
+exercising the real multi-tenant mechanics: priority, co-residency,
+batching, rejection, timeout, retry.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..circuits.library import build_pe
+from ..errors import CapacityError, ReproError, RequestError, ServiceError
+from ..freac.compute_slice import SlicePartition
+from ..freac.device import FreacDevice
+from ..freac.runner import execute_on_controllers, plan_layout
+from ..params import SystemParams
+from ..workloads.datagen import Dataset, dataset_for
+from .jobs import Job, JobQueue, JobRequest, JobResult, JobState
+from .placement import Placement, SlicePool
+from .programs import CompiledProgram, ProgramCache
+from .stats import LatencyTracker, ServiceStats
+
+logger = logging.getLogger("repro.service")
+
+_ZERO_TOTALS = {
+    "invocations": 0,
+    "lut_evaluations": 0,
+    "mac_operations": 0,
+    "bus_words": 0,
+}
+
+
+class AcceleratorService:
+    """A multi-tenant serving layer over a pool of FReaC devices."""
+
+    def __init__(
+        self,
+        *,
+        devices: int = 1,
+        system: Optional[SystemParams] = None,
+        partition: Optional[SlicePartition] = None,
+        cache: Optional[ProgramCache] = None,
+        cache_capacity: int = 16,
+        cache_dir: Optional[str] = None,
+        max_retries: int = 2,
+        batching: bool = True,
+        max_batch_items: Optional[int] = None,
+    ) -> None:
+        if devices < 1:
+            raise ServiceError("the service needs at least one device")
+        self.partition = partition or SlicePartition(
+            compute_ways=4, scratchpad_ways=4
+        )
+        if self.partition.scratchpad_ways == 0:
+            raise ServiceError("the service partition needs scratchpad ways")
+        self.devices = [FreacDevice(system) for _ in range(devices)]
+        self.pool = SlicePool([d.slice_count for d in self.devices])
+        # Not `cache or ...`: an empty ProgramCache is falsy (len == 0).
+        self.cache = (
+            cache if cache is not None else ProgramCache(cache_capacity, cache_dir)
+        )
+        self.max_retries = max_retries
+        self.batching = batching
+        self.max_batch_items = max_batch_items
+
+        self.queue = JobQueue()
+        self.jobs: Dict[int, Job] = {}
+        self._compiled: Dict[int, CompiledProgram] = {}
+        self._next_id = 1
+        self.latencies = LatencyTracker()
+        self._counters = {
+            "submitted": 0, "completed": 0, "rejected": 0, "failed": 0,
+            "cancelled": 0, "timed_out": 0, "retries": 0, "batches": 0,
+            "batched_jobs": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Front end: submit / result / cancel
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        benchmark: str,
+        items: int,
+        *,
+        priority: int = 0,
+        mccs_per_tile: int = 1,
+        lut_inputs: int = 5,
+        slices: int = 1,
+        timeout_s: Optional[float] = None,
+        seed: int = 0,
+        dataset: Optional[Dataset] = None,
+    ) -> Job:
+        """Admit one request; returns its :class:`Job` immediately.
+
+        Invalid *requests* raise :class:`~repro.errors.RequestError`;
+        programs whose lint reports carry error findings are admitted
+        as ``REJECTED`` jobs whose result holds the full
+        :class:`~repro.analysis.AnalysisReport` — admission never
+        crashes mid-run.
+        """
+        if items < 1:
+            raise RequestError("a job needs at least one item")
+        if not 1 <= slices <= self.pool.max_slices:
+            raise RequestError(
+                f"a job may use 1..{self.pool.max_slices} slices, "
+                f"not {slices}"
+            )
+        if dataset is not None:
+            if dataset.items != items:
+                raise RequestError(
+                    f"dataset has {dataset.items} items but {items} "
+                    "were requested"
+                )
+            if dataset.benchmark != benchmark.upper():
+                raise RequestError(
+                    f"dataset is for {dataset.benchmark}, "
+                    f"not {benchmark.upper()}"
+                )
+
+        hits_before = self.cache.hits
+        try:
+            compiled = self.cache.get_or_compile(
+                benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+            )
+        except KeyError as exc:
+            raise RequestError(str(exc)) from None
+
+        request = JobRequest(
+            benchmark=benchmark.upper(), items=items, priority=priority,
+            mccs_per_tile=mccs_per_tile, lut_inputs=lut_inputs,
+            slices=slices, timeout_s=timeout_s, seed=seed, dataset=dataset,
+        )
+        job = Job(
+            id=self._next_id, request=request,
+            submitted_at=time.perf_counter(),
+            cache_hit=self.cache.hits > hits_before,
+        )
+        self._next_id += 1
+        self.jobs[job.id] = job
+        self._counters["submitted"] += 1
+
+        if not compiled.ok:
+            report = compiled.admission_report()
+            self._finish(job, JobState.REJECTED, admission=report,
+                         error=f"{len(report.errors)} lint error(s)")
+            return job
+
+        self._compiled[job.id] = compiled
+        self.queue.push(job)
+        return job
+
+    def result(self, job: Union[Job, int],
+               timeout_s: Optional[float] = None) -> JobResult:
+        """Block (pumping the scheduler) until the job is terminal."""
+        job = self._resolve(job)
+        deadline = (
+            time.perf_counter() + timeout_s if timeout_s is not None else None
+        )
+        while not job.done:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise ServiceError(
+                    f"job {job.id} not finished within {timeout_s}s"
+                )
+            self.pump()
+        assert job.result is not None
+        return job.result
+
+    def cancel(self, job: Union[Job, int]) -> bool:
+        """Cancel a still-queued job; running/terminal jobs are not."""
+        job = self._resolve(job)
+        if job.state is not JobState.PENDING:
+            return False
+        self._finish(job, JobState.CANCELLED, error="cancelled by caller")
+        return True
+
+    def _resolve(self, job: Union[Job, int]) -> Job:
+        if isinstance(job, Job):
+            return job
+        try:
+            return self.jobs[job]
+        except KeyError:
+            raise ServiceError(f"unknown job id {job!r}") from None
+
+    # ------------------------------------------------------------------
+    # Scheduler: one pump = place a wave, execute it, complete it
+    # ------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Run one scheduling wave; returns jobs brought to terminal."""
+        finished = 0
+        waves: List[Tuple[List[Job], Placement, CompiledProgram]] = []
+        blocked: List[Job] = []
+
+        while True:
+            group = self.queue.pop_group(
+                batch=self.batching, max_items=self.max_batch_items
+            )
+            if not group:
+                break
+            live = []
+            for job in group:
+                if self._expired(job):
+                    finished += 1
+                else:
+                    live.append(job)
+            if not live:
+                continue
+            placement = self.pool.acquire(live[0].request.slices)
+            if placement is None:
+                blocked.extend(live)
+                break
+            compiled = self._compiled[live[0].id]
+            device = self.devices[placement.device]
+            device.setup(self.partition, slices=placement.slices)
+            # Admission already linted this program's schedule (the
+            # report ships with the cache entry), so skip the
+            # per-executor preflight repeat.
+            device.program(
+                compiled.to_accelerator(), compiled.mccs_per_tile,
+                slices=placement.slices, preflight=False,
+            )
+            now = time.perf_counter()
+            for job in live:
+                job.state = JobState.RUNNING
+                job.started_at = now
+            waves.append((live, placement, compiled))
+
+        self.queue.requeue(blocked)
+
+        for group, placement, compiled in waves:
+            finished += self._execute_wave(group, placement, compiled)
+            self.devices[placement.device].teardown(slices=placement.slices)
+            self.pool.release(placement)
+        return finished
+
+    def _expired(self, job: Job) -> bool:
+        limit = job.request.timeout_s
+        if limit is None:
+            return False
+        waited = time.perf_counter() - job.submitted_at
+        if waited <= limit:
+            return False
+        self._finish(
+            job, JobState.TIMED_OUT,
+            error=f"queued {waited:.3f}s, deadline was {limit}s",
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_wave(
+        self,
+        group: List[Job],
+        placement: Placement,
+        compiled: CompiledProgram,
+    ) -> int:
+        device = self.devices[placement.device]
+        controllers = [device.controllers[i] for i in placement.slices]
+        scratchpad = controllers[0].slice.scratchpad
+        assert scratchpad is not None
+        pad_words = scratchpad.words
+        pe = build_pe(compiled.benchmark)
+
+        datasets = [
+            job.request.dataset
+            if job.request.dataset is not None
+            else dataset_for(
+                job.request.benchmark, job.request.items,
+                seed=job.request.seed,
+            )
+            for job in group
+        ]
+        merged = datasets[0] if len(datasets) == 1 else Dataset.concat(datasets)
+
+        try:
+            totals, mismatched, retries = self._run_with_retry(
+                controllers, merged, pad_words, pe
+            )
+        except ReproError as exc:
+            logger.warning("wave of %d job(s) failed: %s", len(group), exc)
+            for job in group:
+                self._finish(job, JobState.FAILED,
+                             error=f"{type(exc).__name__}: {exc}",
+                             placement=placement, batch_size=len(group))
+            return len(group)
+
+        self._counters["retries"] += retries
+        self._counters["batches"] += 1
+        if len(group) > 1:
+            self._counters["batched_jobs"] += len(group)
+
+        offset = 0
+        for job, dataset in zip(group, datasets):
+            window = range(offset, offset + dataset.items)
+            bad = sum(1 for item in mismatched if item in window)
+            offset += dataset.items
+            self._finish(
+                job, JobState.DONE,
+                verified=bad == 0, mismatches=bad,
+                invocations=dataset.items, retries=retries,
+                batch_size=len(group), placement=placement,
+            )
+        return len(group)
+
+    def _run_with_retry(
+        self,
+        controllers,
+        dataset: Dataset,
+        pad_words: int,
+        pe,
+    ) -> Tuple[Dict[str, int], List[int], int]:
+        """Run a batch, splitting it in half on scratchpad overflow.
+
+        ``CapacityError`` from layout planning is transient — a smaller
+        batch fits — so each occurrence (bounded by ``max_retries``)
+        splits the offending chunk and resubmits; chunk order preserves
+        item order, so mismatch indices stay batch-global.
+        """
+        attempts = 0
+        pending = deque([dataset])
+        totals = dict(_ZERO_TOTALS)
+        mismatched: List[int] = []
+        done_items = 0
+        while pending:
+            chunk = pending.popleft()
+            try:
+                layout = plan_layout(chunk, pad_words, pe=pe)
+            except CapacityError:
+                attempts += 1
+                if attempts > self.max_retries or chunk.items <= 1:
+                    raise
+                half = chunk.items // 2
+                logger.info(
+                    "batch of %d items overflowed the scratchpad; "
+                    "retrying as %d + %d (attempt %d/%d)",
+                    chunk.items, half, chunk.items - half,
+                    attempts, self.max_retries,
+                )
+                pending.appendleft(chunk.slice(half, chunk.items))
+                pending.appendleft(chunk.slice(0, half))
+                continue
+            chunk_totals, bad = execute_on_controllers(
+                controllers, chunk, layout, pe=pe
+            )
+            for key in totals:
+                totals[key] += chunk_totals[key]
+            mismatched.extend(done_items + item for item in bad)
+            done_items += chunk.items
+        return totals, mismatched, attempts
+
+    # ------------------------------------------------------------------
+    # Completion + observability
+    # ------------------------------------------------------------------
+
+    def _finish(self, job: Job, state: JobState, **fields) -> None:
+        job.state = state
+        job.finished_at = time.perf_counter()
+        latency = job.finished_at - job.submitted_at
+        queue_s = (
+            job.started_at - job.submitted_at
+            if job.started_at is not None else None
+        )
+        placement = fields.pop("placement", None)
+        job.result = JobResult(
+            job_id=job.id,
+            state=state,
+            benchmark=job.request.benchmark,
+            items=job.request.items,
+            latency_s=latency,
+            queue_s=queue_s,
+            cache_hit=job.cache_hit,
+            placement=(
+                (placement.device, placement.slices) if placement else None
+            ),
+            **fields,
+        )
+        self._compiled.pop(job.id, None)
+        key = {
+            JobState.DONE: "completed",
+            JobState.REJECTED: "rejected",
+            JobState.FAILED: "failed",
+            JobState.CANCELLED: "cancelled",
+            JobState.TIMED_OUT: "timed_out",
+        }[state]
+        self._counters[key] += 1
+        if state is JobState.DONE:
+            self.latencies.add(latency)
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            submitted=self._counters["submitted"],
+            completed=self._counters["completed"],
+            rejected=self._counters["rejected"],
+            failed=self._counters["failed"],
+            cancelled=self._counters["cancelled"],
+            timed_out=self._counters["timed_out"],
+            retries=self._counters["retries"],
+            batches=self._counters["batches"],
+            batched_jobs=self._counters["batched_jobs"],
+            queue_depth=len(self.queue),
+            running=sum(
+                1 for job in self.jobs.values()
+                if job.state is JobState.RUNNING
+            ),
+            slice_utilization=self.pool.utilization(),
+            cache=self.cache.stats(),
+            latency_p50_s=self.latencies.p50,
+            latency_p95_s=self.latencies.p95,
+        )
+
+    def close(self) -> None:
+        """Release every device way back to plain cache mode."""
+        for device in self.devices:
+            device.teardown()

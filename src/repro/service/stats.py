@@ -1,0 +1,85 @@
+"""Service observability: latency percentiles and stats snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def percentile(samples: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        return None
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class LatencyTracker:
+    """Bounded reservoir of job latencies (seconds)."""
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self._samples.append(seconds)
+        if len(self._samples) > self.max_samples:
+            # Drop the oldest half; recent traffic dominates the view.
+            self._samples = self._samples[len(self._samples) // 2:]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return percentile(self._samples, 0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return percentile(self._samples, 0.95)
+
+
+@dataclass
+class ServiceStats:
+    """One point-in-time snapshot of an :class:`AcceleratorService`."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    batches: int = 0               # merged runs executed
+    batched_jobs: int = 0          # jobs that shared a run with another
+    queue_depth: int = 0
+    running: int = 0
+    slice_utilization: List[float] = field(default_factory=list)
+    cache: Dict[str, float] = field(default_factory=dict)
+    latency_p50_s: Optional[float] = None
+    latency_p95_s: Optional[float] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return float(self.cache.get("hit_rate", 0.0))
+
+    def to_dict(self) -> Dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "retries": self.retries,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "slice_utilization": list(self.slice_utilization),
+            "cache": dict(self.cache),
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+        }

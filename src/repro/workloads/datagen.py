@@ -38,6 +38,43 @@ class Dataset:
             stream: per_item[item] for stream, per_item in self.expected.items()
         }
 
+    def slice(self, start: int, stop: int) -> "Dataset":
+        """Items ``[start, stop)`` as their own dataset (same streams).
+
+        The serving layer's retry policy resubmits an over-capacity
+        batch as smaller chunks; chunking must preserve item order so
+        per-item verdicts can be mapped back to the original batch.
+        """
+        if not 0 <= start <= stop <= self.items:
+            raise ValueError(f"bad slice [{start}, {stop}) of {self.items} items")
+        return Dataset(
+            benchmark=self.benchmark,
+            items=stop - start,
+            loads={s: per[start:stop] for s, per in self.loads.items()},
+            expected={s: per[start:stop] for s, per in self.expected.items()},
+        )
+
+    @classmethod
+    def concat(cls, datasets: List["Dataset"]) -> "Dataset":
+        """Concatenate same-benchmark batches into one larger batch."""
+        if not datasets:
+            raise ValueError("nothing to concatenate")
+        first = datasets[0]
+        if any(d.benchmark != first.benchmark for d in datasets):
+            raise ValueError("cannot concatenate different benchmarks")
+        merged = cls(
+            benchmark=first.benchmark,
+            items=sum(d.items for d in datasets),
+            loads={s: [] for s in first.loads},
+            expected={s: [] for s in first.expected},
+        )
+        for dataset in datasets:
+            for stream in merged.loads:
+                merged.loads[stream].extend(dataset.loads[stream])
+            for stream in merged.expected:
+                merged.expected[stream].extend(dataset.expected[stream])
+        return merged
+
 
 def _random_streams(pe: PeCircuit, rng: np.random.Generator,
                     max_value: int) -> Dict[str, List[int]]:

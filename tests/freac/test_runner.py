@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.errors import CapacityError, DeviceError
+from repro.circuits.library import build_pe, clear_cache, mapped_pe
+from repro.errors import CapacityError, DeviceError, RequestError
 from repro.freac.compute_slice import SlicePartition
 from repro.freac.device import FreacDevice
-from repro.freac.runner import plan_layout, run_workload
+from repro.freac.runner import build_program, plan_layout, run_workload
 from repro.params import scaled_system
-from repro.workloads.datagen import dataset_for
+from repro.workloads.datagen import Dataset, dataset_for
 
 
 def small_device(slices=2):
@@ -19,7 +20,6 @@ class TestLayout:
         dataset = dataset_for("GEMM", items=8)
         layout = plan_layout(dataset, scratchpad_words=1 << 16)
         regions = []
-        from repro.circuits.library import build_pe
 
         pe = build_pe("GEMM")
         for stream, binding in layout.items():
@@ -36,6 +36,47 @@ class TestLayout:
         dataset = dataset_for("GEMM", items=1000)
         with pytest.raises(CapacityError):
             plan_layout(dataset, scratchpad_words=100)
+
+    def test_exact_fit_passes(self):
+        # VADD needs exactly 3 words per item; offset == words is legal.
+        dataset = dataset_for("VADD", items=4)
+        layout = plan_layout(dataset, scratchpad_words=12)
+        assert len(layout) == 3
+        with pytest.raises(CapacityError):
+            plan_layout(dataset, scratchpad_words=11)
+
+    def test_empty_store_pe(self):
+        # A sink-only PE (no stores) lays out just its loads.
+        from repro.circuits.library import PeCircuit, build_vadd_pe
+
+        sink = PeCircuit(
+            name="SINK",
+            netlist=build_vadd_pe().netlist,
+            loads={"a": 2},
+            stores={},
+            reference=lambda streams: {},
+        )
+        dataset = Dataset(
+            benchmark="SINK", items=3,
+            loads={"a": [[1, 2], [3, 4], [5, 6]]}, expected={},
+        )
+        layout = plan_layout(dataset, scratchpad_words=6, pe=sink)
+        assert list(layout) == ["a"]
+        assert layout["a"].words_per_item == 2
+
+    def test_injected_pe_skips_registry(self):
+        # plan_layout(pe=...) must not call build_pe on the name.
+        dataset = Dataset(
+            benchmark="NOT-A-BENCHMARK", items=1,
+            loads={"x": [[7]]}, expected={},
+        )
+        from repro.circuits.library import PeCircuit, build_vadd_pe
+
+        pe = PeCircuit(
+            name="X", netlist=build_vadd_pe().netlist,
+            loads={"x": 1}, stores={}, reference=lambda streams: {},
+        )
+        assert plan_layout(dataset, 8, pe=pe)["x"].base_word == 0
 
 
 class TestRunWorkload:
@@ -58,10 +99,19 @@ class TestRunWorkload:
         report = run_workload(small_device(), "KMP", items=6)
         assert report.verified
 
-    def test_dataset_mismatch_rejected(self):
+    def test_dataset_mismatch_is_a_request_error(self):
+        # Caller input faults are RequestError (also a ValueError) —
+        # DeviceError stays reserved for illegal device-state moves.
         dataset = dataset_for("VADD", items=3)
-        with pytest.raises(DeviceError):
+        with pytest.raises(RequestError):
             run_workload(small_device(), "VADD", items=5, dataset=dataset)
+        with pytest.raises(ValueError):
+            run_workload(small_device(), "VADD", items=5, dataset=dataset)
+
+    def test_wrong_benchmark_dataset_rejected(self):
+        dataset = dataset_for("DOT", items=2)
+        with pytest.raises(RequestError):
+            run_workload(small_device(), "VADD", items=2, dataset=dataset)
 
     def test_needs_scratchpad(self):
         with pytest.raises(DeviceError):
@@ -74,3 +124,28 @@ class TestRunWorkload:
         few = run_workload(small_device(), "DOT", items=2, seed=1)
         many = run_workload(small_device(), "DOT", items=8, seed=1)
         assert many.mac_operations == 4 * few.mac_operations
+
+    def test_fewer_items_than_slices_leaves_slices_empty(self):
+        report = run_workload(small_device(slices=4), "VADD", items=2)
+        assert report.verified
+        assert report.invocations == 2
+        assert report.slices_used == 4
+
+    def test_injected_program_skips_compilation(self):
+        program = build_program("VADD", mccs_per_tile=1)
+        report = run_workload(
+            small_device(), "VADD", items=4, program=program
+        )
+        assert report.verified
+
+
+class TestLibraryCache:
+    def test_clear_cache_forces_rebuild(self):
+        first = build_pe("VADD")
+        assert build_pe("VADD") is first          # memoized
+        mapped_first = mapped_pe("VADD")
+        assert mapped_pe("VADD") is mapped_first  # keyed by (name, k)
+        assert mapped_pe("VADD", 4) is not mapped_first
+        clear_cache()
+        assert build_pe("VADD") is not first
+        assert mapped_pe("VADD") is not mapped_first

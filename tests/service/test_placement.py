@@ -1,0 +1,112 @@
+"""Slice pool packing and the priority job queue."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import Job, JobQueue, JobRequest, JobState
+from repro.service.placement import SlicePool
+
+
+def job(job_id, benchmark="VADD", priority=0, **kwargs):
+    return Job(
+        id=job_id,
+        request=JobRequest(benchmark=benchmark, items=2,
+                           priority=priority, **kwargs),
+    )
+
+
+class TestSlicePool:
+    def test_acquire_release_roundtrip(self):
+        pool = SlicePool([2])
+        placement = pool.acquire(2)
+        assert placement.slices == (0, 1)
+        assert pool.acquire(1) is None
+        pool.release(placement)
+        assert pool.utilization() == [0.0]
+
+    def test_disjoint_placements_on_one_device(self):
+        pool = SlicePool([4])
+        first = pool.acquire(2)
+        second = pool.acquire(2)
+        assert first.device == second.device == 0
+        assert not set(first.slices) & set(second.slices)
+
+    def test_best_fit_packs_busy_device_first(self):
+        pool = SlicePool([4, 4])
+        first = pool.acquire(2)          # device 0 now half busy
+        second = pool.acquire(1)
+        assert second.device == first.device   # packed, not spread
+        wide = pool.acquire(4)
+        assert wide.device != first.device     # whole device kept free
+
+    def test_double_release_is_an_error(self):
+        pool = SlicePool([2])
+        placement = pool.acquire(1)
+        pool.release(placement)
+        with pytest.raises(ServiceError):
+            pool.release(placement)
+
+    def test_utilization(self):
+        pool = SlicePool([2, 4])
+        pool.acquire(1)
+        assert pool.busy_total() == 1
+        used = pool.utilization()
+        assert sorted(used) == [0.0, 0.5]
+
+
+class TestJobQueue:
+    def test_priority_order_fifo_within(self):
+        queue = JobQueue()
+        low = job(1, priority=0)
+        high = job(2, priority=5)
+        also_low = job(3, priority=0)
+        for item in (low, high, also_low):
+            queue.push(item)
+        assert queue.pop() is high
+        assert queue.pop() is low
+        assert queue.pop() is also_low
+        assert queue.pop() is None
+
+    def test_pop_group_merges_same_benchmark(self):
+        queue = JobQueue()
+        a = job(1, "VADD")
+        b = job(2, "DOT")
+        c = job(3, "VADD")
+        for item in (a, b, c):
+            queue.push(item)
+        group = queue.pop_group()
+        assert group == [a, c]
+        assert queue.pop_group() == [b]
+
+    def test_pop_group_respects_batch_cap(self):
+        queue = JobQueue()
+        a, b = job(1), job(2)
+        queue.push(a)
+        queue.push(b)
+        group = queue.pop_group(max_items=3)   # each job has 2 items
+        assert group == [a]
+        assert len(queue) == 1
+
+    def test_different_tile_sizes_do_not_batch(self):
+        queue = JobQueue()
+        a = job(1, mccs_per_tile=1)
+        b = job(2, mccs_per_tile=2)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop_group() == [a]
+
+    def test_cancelled_jobs_vanish(self):
+        queue = JobQueue()
+        a, b = job(1), job(2, "DOT")
+        queue.push(a)
+        queue.push(b)
+        a.state = JobState.CANCELLED
+        assert len(queue) == 1
+        assert queue.pop() is b
+
+    def test_requeue_preserves_priority(self):
+        queue = JobQueue()
+        high = job(1, priority=9)
+        queue.push(job(2, priority=1))
+        queue.requeue([high])
+        assert queue.pop() is high

@@ -1,0 +1,170 @@
+"""The compiled-program cache: keys, counters, LRU, disk layer."""
+
+import json
+
+import pytest
+
+from repro.circuits.library import clear_cache, library_version
+from repro.service.programs import (
+    ProgramCache,
+    compile_program,
+    program_key,
+)
+
+
+def counting(calls):
+    def compiler(name, *, lut_inputs=5, mccs_per_tile=1):
+        calls.append(name)
+        return compile_program(
+            name, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+        )
+
+    return compiler
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        key = program_key("vadd", lut_inputs=5, mccs_per_tile=2)
+        assert key.benchmark == "VADD"
+        assert key.mccs_per_tile == 2
+        assert key.library_hash == library_version()
+
+    def test_library_version_is_stable_and_cleared(self):
+        first = library_version()
+        assert first == library_version()
+        clear_cache()
+        assert first == library_version()  # same source, same hash
+
+    def test_filename_distinguishes_tile_sizes(self):
+        one = program_key("DOT", mccs_per_tile=1)
+        two = program_key("DOT", mccs_per_tile=2)
+        assert one.filename != two.filename
+
+
+class TestCompile:
+    def test_compile_carries_clean_reports(self):
+        compiled = compile_program("VADD")
+        assert compiled.ok
+        assert compiled.netlist_report.ok
+        assert compiled.schedule_report.ok
+        assert compiled.schedule.resources.mccs == 1
+
+    def test_to_accelerator_injects_schedule(self):
+        compiled = compile_program("VADD", mccs_per_tile=2)
+        program = compiled.to_accelerator()
+        # The schedule is pre-set: no re-fold on lookup.
+        assert program.schedules[2] is compiled.schedule
+
+    def test_admission_report_merges_both_reports(self):
+        compiled = compile_program("DOT")
+        merged = compiled.admission_report()
+        assert merged.ok
+        assert set(compiled.netlist_report.rules_run) <= set(merged.rules_run)
+        assert set(compiled.schedule_report.rules_run) <= set(merged.rules_run)
+
+
+class TestCacheCounters:
+    def test_warm_lookup_compiles_nothing(self):
+        calls = []
+        cache = ProgramCache(compiler=counting(calls))
+        cache.get_or_compile("VADD")
+        assert cache.misses == 1 and cache.hits == 0
+        cache.get_or_compile("VADD")
+        cache.get_or_compile("VADD")
+        assert calls == ["VADD"]          # compiled exactly once
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_distinct_tile_sizes_are_distinct_entries(self):
+        calls = []
+        cache = ProgramCache(compiler=counting(calls))
+        cache.get_or_compile("VADD", mccs_per_tile=1)
+        cache.get_or_compile("VADD", mccs_per_tile=2)
+        assert len(calls) == 2
+        assert len(cache) == 2
+
+    def test_unknown_benchmark_is_an_error_not_a_miss(self):
+        cache = ProgramCache()
+        with pytest.raises(KeyError):
+            cache.get_or_compile("NOPE")
+        assert cache.misses == 0 and cache.hits == 0
+
+    def test_lru_eviction_counts_and_drops_oldest(self):
+        calls = []
+        cache = ProgramCache(capacity=2, compiler=counting(calls))
+        cache.get_or_compile("VADD")
+        cache.get_or_compile("DOT")
+        cache.get_or_compile("VADD")   # refresh VADD: DOT is now LRU
+        cache.get_or_compile("SRT")    # evicts DOT
+        assert cache.evictions == 1
+        assert program_key("VADD") in cache
+        assert program_key("DOT") not in cache
+        cache.get_or_compile("DOT")    # recompiles
+        assert calls == ["VADD", "DOT", "SRT", "DOT"]
+
+
+class TestDiskLayer:
+    def test_round_trip_through_disk(self, tmp_path):
+        calls = []
+        first = ProgramCache(directory=tmp_path, compiler=counting(calls))
+        compiled = first.get_or_compile("VADD")
+        assert (tmp_path / compiled.key.filename).exists()
+
+        def explode(name, **kwargs):
+            raise AssertionError("disk hit should not recompile")
+
+        second = ProgramCache(directory=tmp_path, compiler=explode)
+        reloaded = second.get_or_compile("VADD")
+        assert second.disk_hits == 1 and second.hits == 1
+        assert second.misses == 0
+        assert reloaded.key == compiled.key
+        assert reloaded.ok
+        assert len(reloaded.netlist.nodes) == len(compiled.netlist.nodes)
+        assert [op.nid for op in reloaded.schedule.ops] == [
+            op.nid for op in compiled.schedule.ops
+        ]
+
+    def test_reloaded_program_still_runs(self, tmp_path):
+        from repro.freac.device import FreacDevice
+        from repro.freac.runner import run_workload
+        from repro.params import scaled_system
+
+        ProgramCache(directory=tmp_path).get_or_compile("VADD")
+        cache = ProgramCache(directory=tmp_path)
+        program = cache.get_or_compile("VADD").to_accelerator()
+        report = run_workload(
+            FreacDevice(scaled_system(l3_slices=2)), "VADD", 4,
+            program=program,
+        )
+        assert report.verified
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+        calls = []
+        cache = ProgramCache(directory=tmp_path, compiler=counting(calls))
+        key = program_key("VADD")
+        (tmp_path / key.filename).write_text("{not json")
+        cache.get_or_compile("VADD")
+        assert calls == ["VADD"]
+        assert cache.misses == 1
+
+    def test_stale_library_hash_is_unreachable(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path)
+        compiled = cache.get_or_compile("VADD")
+        # Forge an entry written by an "older library".
+        stale = json.loads((tmp_path / compiled.key.filename).read_text())
+        stale["library_hash"] = "0" * 16
+        stale_name = compiled.key.filename.replace(
+            compiled.key.library_hash, "0" * 16
+        )
+        (tmp_path / stale_name).write_text(json.dumps(stale))
+        fresh = ProgramCache(directory=tmp_path)
+        fresh.get_or_compile("VADD")
+        # Loaded the current-hash file, not the stale one.
+        assert fresh.disk_hits == 1
+
+    def test_clear_disk(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path)
+        cache.get_or_compile("VADD")
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.json"))
