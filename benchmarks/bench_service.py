@@ -15,6 +15,11 @@ Writes ``BENCH_service.json``: a list of
 ``{name, items, wall_s, cache_hit_rate}`` rows, plus a printed
 cold/warm speedup (the serving layer's acceptance bar is >= 5x).
 
+Also writes a ``BENCH_service_metrics.json`` sidecar: a metric
+snapshot + span totals from one *separate* telemetry-enabled burst.
+The timed scenarios above run with telemetry disabled (the no-op
+default), so the sidecar never perturbs the numbers they report.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_service.py
@@ -30,8 +35,10 @@ from typing import Dict, List
 from repro.circuits.library import clear_cache
 from repro.params import scaled_system
 from repro.service import AcceleratorService
+from repro.telemetry import Telemetry
 
 OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+METRICS_OUT = OUT.with_name("BENCH_service_metrics.json")
 
 
 def _entry(name: str, items: int, wall_s: float,
@@ -87,11 +94,37 @@ def bench_mixed_burst(jobs_per_benchmark: int = 3,
     return [_entry("mixed_burst", total, wall, stats.cache_hit_rate)]
 
 
+def metrics_sidecar(items: int = 4) -> Dict[str, object]:
+    """One instrumented burst, exported as a metrics/span snapshot.
+
+    Untimed by design: this run exists to show *what* the service did
+    (admissions, queue waits, batch sizes, folding work), not how fast.
+    """
+    telemetry = Telemetry()
+    service = AcceleratorService(
+        system=scaled_system(l3_slices=2), telemetry=telemetry
+    )
+    for name in ("NW", "VADD", "DOT"):
+        service.result(service.submit(name, items))
+    service.close()
+    sidecar = {
+        "metrics": telemetry.metrics.snapshot(),
+        "span_totals": telemetry.tracer.span_totals(),
+        "cycle_event_counts": telemetry.tracer.event_counts(),
+    }
+    print(f"sidecar: {len(sidecar['metrics'])} metrics, "
+          f"{len(sidecar['span_totals'])} span kinds")
+    return sidecar
+
+
 def main() -> List[Dict[str, object]]:
     rows = bench_cold_vs_warm()
     rows += bench_mixed_burst()
     OUT.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {OUT}")
+    METRICS_OUT.write_text(json.dumps(metrics_sidecar(), indent=2,
+                                      sort_keys=True) + "\n")
+    print(f"wrote {METRICS_OUT}")
     return rows
 
 

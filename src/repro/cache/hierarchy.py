@@ -12,10 +12,12 @@ latency in core cycles (Table I latencies + DRAM on a full miss).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ConfigurationError
 from ..params import CacheLevelParams, SystemParams
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from .address import AddressCodec
 from .cache import SetAssociativeCache
 from .ring import NucaLlc, RingInterconnect
@@ -55,7 +57,9 @@ class CacheHierarchy:
         l3_bytes_available: int | None = None,
         use_ring: bool = False,
         inclusive: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self.telemetry = resolve(telemetry)
         self.system = system or SystemParams()
         self.cores = cores if cores is not None else self.system.cores
         if self.cores < 1:
@@ -85,7 +89,8 @@ class CacheHierarchy:
                 slices=self.system.l3_slices,
             )
             self.nuca = NucaLlc(
-                codec, RingInterconnect(stations=self.system.l3_slices)
+                codec, RingInterconnect(stations=self.system.l3_slices),
+                telemetry=self.telemetry,
             )
 
     def _l3_params(self, l3_bytes_available: int | None) -> CacheLevelParams:
@@ -117,6 +122,13 @@ class CacheHierarchy:
             return 0
         return self._l3.params.size_bytes
 
+    def _count_level(self, level: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "cache.hierarchy.accesses",
+                "accesses by the level that serviced them",
+            ).inc(level=level)
+
     def access(self, core: int, address: int, is_write: bool) -> AccessResult:
         """Walk the hierarchy for one load/store from ``core``."""
         if not 0 <= core < self.cores:
@@ -125,15 +137,18 @@ class CacheHierarchy:
         self.stats.accesses += 1
         if self._l1[core].access(line, is_write):
             self.stats.l1_hits += 1
+            self._count_level("L1")
             return AccessResult("L1", self.system.l1.latency_cycles)
         if self._l2[core].access(line, is_write):
             self.stats.l2_hits += 1
+            self._count_level("L2")
             return AccessResult(
                 "L2", self.system.l1.latency_cycles + self.system.l2.latency_cycles
             )
         if self._l3_bypassed:
             # The entire LLC is compute: straight to memory.
             self.stats.dram_accesses += 1
+            self._count_level("DRAM")
             return AccessResult(
                 "DRAM",
                 self.system.l1.latency_cycles
@@ -151,13 +166,24 @@ class CacheHierarchy:
         )
         if self._l3.access(line, is_write):
             self.stats.l3_hits += 1
+            self._count_level("L3")
             return AccessResult("L3", on_chip)
         self.stats.dram_accesses += 1
+        self._count_level("DRAM")
+        if self.telemetry.enabled and self._l3.last_evicted_line is not None:
+            self.telemetry.counter(
+                "cache.l3.evictions", "L3 lines displaced by fills"
+            ).inc()
         if self.inclusive and self._l3.last_evicted_line is not None:
             evicted = self._l3.last_evicted_line
             for private in self._l1 + self._l2:
                 if private.invalidate(evicted):
                     self.stats_back_invalidations += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.counter(
+                            "cache.back_invalidations",
+                            "private copies dropped by inclusive L3 evictions",
+                        ).inc()
         return AccessResult("DRAM", on_chip + self._dram_cycles)
 
     def run_trace(self, core: int, trace) -> float:

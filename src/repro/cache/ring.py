@@ -19,9 +19,11 @@ the flat hierarchy model uses as a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..errors import ConfigurationError
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from .address import AddressCodec
 
 
@@ -77,21 +79,40 @@ class NucaLlc:
     """Address-interleaved slice selection + ring latency + stats."""
 
     def __init__(self, codec: AddressCodec,
-                 ring: RingInterconnect | None = None) -> None:
+                 ring: RingInterconnect | None = None, *,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.codec = codec
         self.ring = ring or RingInterconnect(stations=codec.slices)
         if self.ring.stations != codec.slices:
             raise ConfigurationError("ring stations must equal slice count")
         self.accesses_per_slice: List[int] = [0] * codec.slices
         self.total_latency = 0
+        self.total_hops = 0
+        self.telemetry = resolve(telemetry)
 
     def access(self, core: int, address: int) -> int:
         """Route one L3 access; returns its latency in cycles."""
         slice_index = self.codec.decode(address).slice_index
-        latency = self.ring.access_latency(core % self.ring.stations,
-                                           slice_index)
+        station = core % self.ring.stations
+        hops = self.ring.hops(station, slice_index)
+        latency = self.ring.access_latency(station, slice_index)
         self.accesses_per_slice[slice_index] += 1
         self.total_latency += latency
+        self.total_hops += hops
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "cache.ring.accesses", "L3 accesses routed per slice"
+            ).inc(slice=slice_index)
+            self.telemetry.counter(
+                "cache.ring.hops", "ring stations traversed (one way)"
+            ).inc(hops)
+            self.telemetry.histogram(
+                "cache.ring.hop_distance",
+                "one-way hop distance distribution",
+                buckets=tuple(
+                    float(h) for h in range(self.ring.stations // 2 + 1)
+                ),
+            ).observe(float(hops))
         return latency
 
     @property
@@ -102,6 +123,12 @@ class NucaLlc:
         if not self.accesses:
             return 0.0
         return self.total_latency / self.accesses
+
+    def average_hops(self) -> float:
+        """Mean one-way hop distance over every routed access."""
+        if not self.accesses:
+            return 0.0
+        return self.total_hops / self.accesses
 
     def load_balance(self) -> float:
         """Max/mean slice load — 1.0 is perfectly balanced."""

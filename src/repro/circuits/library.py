@@ -16,6 +16,7 @@ bound apps".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Mapping, Sequence
@@ -531,9 +532,17 @@ def pe_names() -> List[str]:
     return sorted(_FACTORIES)
 
 
+# One lock guards every memo below.  ``lru_cache`` lookups are atomic
+# in CPython, but without the lock two threads missing simultaneously
+# both run the (seconds-long, for AES) build, and a ``clear_cache``
+# racing a ``mapped_pe`` can hand out a netlist built from an entry
+# the clearer believes is gone.  An RLock because ``mapped_pe`` and
+# ``library_version`` call back into :func:`build_pe`.
+_CACHE_LOCK = threading.RLock()
+
+
 @lru_cache(maxsize=None)
-def build_pe(name: str) -> PeCircuit:
-    """Build (and cache) the processing element for a benchmark."""
+def _build_pe(name: str) -> PeCircuit:
     try:
         factory = _FACTORIES[name.upper()]
     except KeyError:
@@ -543,21 +552,43 @@ def build_pe(name: str) -> PeCircuit:
     return factory()
 
 
+def build_pe(name: str) -> PeCircuit:
+    """Build (and cache) the processing element for a benchmark.
+
+    Thread-safe: concurrent callers (the serving layer's executors,
+    parallel tests) serialise on one lock, so each PE is built once.
+    """
+    with _CACHE_LOCK:
+        return _build_pe(name)
+
+
 @lru_cache(maxsize=None)
+def _mapped_pe(name: str, k: int) -> Netlist:
+    from .techmap import technology_map
+
+    return technology_map(_build_pe(name).netlist, k=k).netlist
+
+
 def mapped_pe(name: str, k: int = 5) -> Netlist:
     """The technology-mapped netlist of a benchmark PE (cached).
 
     Mapping AES takes a few seconds, and every experiment over tile
     sizes reuses the same mapped circuit, so this cache matters.
     Memoized by (name, LUT width); drop entries with
-    :func:`clear_cache`.
+    :func:`clear_cache`.  Thread-safe, like :func:`build_pe`.
     """
-    from .techmap import technology_map
-
-    return technology_map(build_pe(name).netlist, k=k).netlist
+    with _CACHE_LOCK:
+        return _mapped_pe(name, k)
 
 
 @lru_cache(maxsize=1)
+def _library_version() -> str:
+    import hashlib
+    from pathlib import Path
+
+    return hashlib.sha256(Path(__file__).read_bytes()).hexdigest()[:16]
+
+
 def library_version() -> str:
     """Content hash of this PE library, for compiled-program cache keys.
 
@@ -565,10 +596,8 @@ def library_version() -> str:
     on-disk program cache (``repro.service``) never replays a stale
     netlist compiled from an older library.
     """
-    import hashlib
-    from pathlib import Path
-
-    return hashlib.sha256(Path(__file__).read_bytes()).hexdigest()[:16]
+    with _CACHE_LOCK:
+        return _library_version()
 
 
 def clear_cache() -> None:
@@ -576,7 +605,9 @@ def clear_cache() -> None:
 
     Tests (and cold-start benchmarks) call this to force the next
     :func:`build_pe` / :func:`mapped_pe` to rebuild from scratch.
+    Thread-safe: a clear never interleaves with an in-flight build.
     """
-    build_pe.cache_clear()
-    mapped_pe.cache_clear()
-    library_version.cache_clear()
+    with _CACHE_LOCK:
+        _build_pe.cache_clear()
+        _mapped_pe.cache_clear()
+        _library_version.cache_clear()

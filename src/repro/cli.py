@@ -11,6 +11,8 @@ commands::
     freac lint sched.json          # static analysis of an artifact
     freac submit GEMM --items 8    # one job through the serving layer
     freac serve --requests reqs.txt  # drain a request stream
+    freac trace CONV --items 4     # Chrome/Perfetto trace of a run
+    freac metrics GEMM --format prom # telemetry metrics of a run
 """
 
 from __future__ import annotations
@@ -230,8 +232,10 @@ def main(argv: List[str] | None = None) -> int:
                       help="target LUT width for netlist arity checks")
 
     from .service import frontend as service_frontend
+    from .telemetry import frontend as telemetry_frontend
 
     service_frontend.add_parsers(sub)
+    telemetry_frontend.add_parsers(sub)
 
     runp = sub.add_parser(
         "run", help="functionally run a benchmark batch in the LLC model"
@@ -249,7 +253,7 @@ def main(argv: List[str] | None = None) -> int:
         for name in _ORDER:
             print(name)
         for utility in ("run", "plan", "schedule", "export", "lint",
-                        "submit", "serve"):
+                        "submit", "serve", "trace", "metrics"):
             print(utility)
         return 0
     if args.command == "all":
@@ -269,6 +273,10 @@ def main(argv: List[str] | None = None) -> int:
         return service_frontend.cmd_submit(args)
     if args.command == "serve":
         return service_frontend.cmd_serve(args)
+    if args.command == "trace":
+        return telemetry_frontend.cmd_trace(args)
+    if args.command == "metrics":
+        return telemetry_frontend.cmd_metrics(args)
     if args.command == "export":
         from .experiments.export import export as export_csv
 

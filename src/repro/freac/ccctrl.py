@@ -19,6 +19,8 @@ from ..errors import DeviceError, ProtocolError
 from ..folding.config import generate_config
 from ..folding.schedule import FoldingSchedule
 from ..memory.dram import DramModel
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
 from .executor import ExecutionStats, FoldedExecutor, StreamBinding
 
@@ -59,6 +61,9 @@ class ComputeClusterController:
         compute_slice: ReconfigurableComputeSlice,
         dram: Optional[DramModel] = None,
         clock_hz: float = 4.0e9,
+        *,
+        telemetry: Optional[Telemetry] = None,
+        slice_index: int = 0,
     ) -> None:
         self.slice = compute_slice
         self.dram = dram or DramModel()
@@ -66,6 +71,8 @@ class ComputeClusterController:
         self.state = ControllerState.IDLE
         self.executors: List[FoldedExecutor] = []
         self.schedule: Optional[FoldingSchedule] = None
+        self.telemetry = resolve(telemetry)
+        self.slice_index = slice_index
         self._runs = 0
 
     # ------------------------------------------------------------------
@@ -75,27 +82,37 @@ class ComputeClusterController:
     def setup(self, partition: SlicePartition) -> SetupReport:
         if self.state is not ControllerState.IDLE:
             raise ProtocolError("slice already set up; teardown first")
-        self.slice.apply_partition(partition)
-        line_bytes = self.slice.params.line_bytes
-        flushed_bytes = self.slice.flushed_dirty_lines * line_bytes
-        report = SetupReport(
-            flushed_dirty_lines=self.slice.flushed_dirty_lines,
-            flushed_bytes=flushed_bytes,
-            flush_time_s=self.dram.flush_time_s(flushed_bytes),
-            mccs=len(self.slice.mccs),
-            scratchpad_bytes=(
-                self.slice.scratchpad.size_bytes if self.slice.scratchpad else 0
-            ),
-        )
-        self.state = ControllerState.PARTITIONED
+        with self.telemetry.span("device.setup", "device",
+                                 slice=self.slice_index):
+            self.slice.apply_partition(partition)
+            line_bytes = self.slice.params.line_bytes
+            flushed_bytes = self.slice.flushed_dirty_lines * line_bytes
+            report = SetupReport(
+                flushed_dirty_lines=self.slice.flushed_dirty_lines,
+                flushed_bytes=flushed_bytes,
+                flush_time_s=self.dram.flush_time_s(flushed_bytes),
+                mccs=len(self.slice.mccs),
+                scratchpad_bytes=(
+                    self.slice.scratchpad.size_bytes
+                    if self.slice.scratchpad else 0
+                ),
+            )
+            self.state = ControllerState.PARTITIONED
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "freac.flushed_lines",
+                "dirty LLC lines written back during way locking",
+            ).inc(report.flushed_dirty_lines, slice=self.slice_index)
         return report
 
     def teardown(self) -> None:
         """Unlock every way and return to a plain cache slice."""
-        self.slice.release_partition()
-        self.executors = []
-        self.schedule = None
-        self.state = ControllerState.IDLE
+        with self.telemetry.span("device.teardown", "device",
+                                 slice=self.slice_index):
+            self.slice.release_partition()
+            self.executors = []
+            self.schedule = None
+            self.state = ControllerState.IDLE
 
     # ------------------------------------------------------------------
     # Step 4: configuration
@@ -113,33 +130,44 @@ class ComputeClusterController:
         """
         if self.state is ControllerState.IDLE:
             raise ProtocolError("set up the slice partition before programming")
-        tile_size = schedule.resources.mccs
-        tiles = self.slice.tiles(tile_size)
-        # Every tile has the same subarray geometry and runs the same
-        # schedule, so generate the configuration image once and share
-        # the (read-only) instance across executors.
-        image = (
-            generate_config(
-                schedule, rows_per_subarray=tiles[0][0].config_rows
+        with self.telemetry.span("device.program", "device",
+                                 slice=self.slice_index):
+            tile_size = schedule.resources.mccs
+            tiles = self.slice.tiles(tile_size)
+            # Every tile has the same subarray geometry and runs the same
+            # schedule, so generate the configuration image once and share
+            # the (read-only) instance across executors.
+            image = (
+                generate_config(
+                    schedule, rows_per_subarray=tiles[0][0].config_rows
+                )
+                if tiles else None
             )
-            if tiles else None
-        )
-        self.executors = [
-            FoldedExecutor(schedule, tile, self.slice.scratchpad,
-                           preflight=preflight, config=image)
-            for tile in tiles
-        ]
-        words_total = 0
-        for executor in self.executors:
-            words_total += executor.load_configuration()
-        words_per_mcc = (
-            words_total // (len(tiles) * tile_size) if tiles else 0
-        )
-        # The config bus of each MCC pair loads in parallel; words for
-        # one MCC stream serially at one word per cache cycle.
-        config_time_s = words_per_mcc / self.clock_hz
-        self.schedule = schedule
-        self.state = ControllerState.CONFIGURED
+            self.executors = [
+                FoldedExecutor(
+                    schedule, tile, self.slice.scratchpad,
+                    preflight=preflight, config=image,
+                    telemetry=self.telemetry,
+                    trace_track=f"slice{self.slice_index}/tile{index}",
+                )
+                for index, tile in enumerate(tiles)
+            ]
+            words_total = 0
+            for executor in self.executors:
+                words_total += executor.load_configuration()
+            words_per_mcc = (
+                words_total // (len(tiles) * tile_size) if tiles else 0
+            )
+            # The config bus of each MCC pair loads in parallel; words for
+            # one MCC stream serially at one word per cache cycle.
+            config_time_s = words_per_mcc / self.clock_hz
+            self.schedule = schedule
+            self.state = ControllerState.CONFIGURED
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "freac.config_image_writes",
+                "accelerator programming operations (one per slice program)",
+            ).inc(slice=self.slice_index)
         return ProgramReport(
             tiles=len(tiles),
             config_words_per_mcc=words_per_mcc,
@@ -171,12 +199,20 @@ class ComputeClusterController:
         if self.slice.scratchpad is None:
             raise DeviceError("partition reserved no scratchpad ways")
         self.slice.scratchpad.fill_words(start_word, values)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "scratchpad.fill_words", "operand words written by the host"
+            ).inc(len(values), slice=self.slice_index)
 
     def read_scratchpad(self, start_word: int, count: int) -> List[int]:
         if self.state is ControllerState.IDLE:
             raise ProtocolError("no scratchpad: slice is not partitioned")
         if self.slice.scratchpad is None:
             raise DeviceError("partition reserved no scratchpad ways")
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "scratchpad.read_words", "result words drained by the host"
+            ).inc(count, slice=self.slice_index)
         return self.slice.scratchpad.dump_words(start_word, count)
 
     # ------------------------------------------------------------------

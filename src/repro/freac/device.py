@@ -21,6 +21,8 @@ from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import list_schedule
 from ..memory.dram import DramModel
 from ..params import SystemParams, default_system
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
 from .executor import StreamBinding
@@ -73,8 +75,10 @@ def max_accelerator_tiles(
 class FreacDevice:
     """All LLC slices of the system, FReaC-enabled."""
 
-    def __init__(self, system: Optional[SystemParams] = None) -> None:
+    def __init__(self, system: Optional[SystemParams] = None, *,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.system = system or default_system()
+        self.telemetry = resolve(telemetry)
         dram = DramModel(self.system.dram)
         clock = self.system.clocking.small_tile_hz
         self.slices: List[ReconfigurableComputeSlice] = []
@@ -82,7 +86,10 @@ class FreacDevice:
         self.host_interfaces: List[HostInterface] = []
         for index in range(self.system.l3_slices):
             compute_slice = ReconfigurableComputeSlice(self.system.slice_params)
-            controller = ComputeClusterController(compute_slice, dram, clock)
+            controller = ComputeClusterController(
+                compute_slice, dram, clock,
+                telemetry=self.telemetry, slice_index=index,
+            )
             self.slices.append(compute_slice)
             self.controllers.append(controller)
             self.host_interfaces.append(
@@ -90,6 +97,17 @@ class FreacDevice:
             )
 
     # ------------------------------------------------------------------
+
+    def set_telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        """(Re)wire telemetry through every controller.
+
+        Executors are created at :meth:`program` time from their
+        controller's telemetry, so installing an instance before
+        programming captures the whole accelerator lifecycle.
+        """
+        self.telemetry = resolve(telemetry)
+        for controller in self.controllers:
+            controller.telemetry = self.telemetry
 
     @property
     def slice_count(self) -> int:

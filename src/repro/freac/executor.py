@@ -29,6 +29,8 @@ from ..circuits.netlist import NodeKind, WORD_MASK
 from ..errors import CircuitError, DeviceError
 from ..folding.config import ConfigImage, generate_config
 from ..folding.schedule import FoldingSchedule, OpSlot
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from .mcc import MicroComputeCluster
 from .scratchpad import Scratchpad
 
@@ -89,6 +91,8 @@ class FoldedExecutor:
         *,
         preflight: bool = True,
         config: Optional[ConfigImage] = None,
+        telemetry: Optional[Telemetry] = None,
+        trace_track: str = "tile0",
     ) -> None:
         if len(tile) != schedule.resources.mccs:
             raise DeviceError(
@@ -104,6 +108,8 @@ class FoldedExecutor:
         self.tile = list(tile)
         self.scratchpad = scratchpad
         self.stats = ExecutionStats()
+        self.telemetry = resolve(telemetry)
+        self.trace_track = trace_track
         rows = self.tile[0].config_rows
         # The image is read-only after generation, so lock-step tiles
         # running one schedule may share a caller-supplied instance.
@@ -157,6 +163,24 @@ class FoldedExecutor:
         self.stats.config_words_loaded += words_written
         if segment > 0:
             self.stats.config_reloads += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter(
+                "freac.config_words_written",
+                "configuration words streamed into compute sub-arrays",
+            ).inc(words_written, tile=self.trace_track)
+            if segment > 0:
+                telemetry.counter(
+                    "freac.reconfig_events",
+                    "mid-run configuration segment reloads",
+                ).inc(tile=self.trace_track)
+                # MCC config busses load in parallel; one MCC's words
+                # stream serially at one word per cycle (Sec. III-B).
+                telemetry.counter(
+                    "freac.stall_cycles",
+                    "cycles stalled waiting on configuration reloads",
+                ).inc(words_written // max(len(self.tile), 1),
+                      tile=self.trace_track)
         return words_written
 
     def load_configuration(self) -> int:
@@ -247,13 +271,28 @@ class FoldedExecutor:
             return result
 
         trace: List[TraceEvent] = []
+        telemetry = self.telemetry
+        emit = telemetry.enabled
+        base_cycle = self.stats.cycles  # device-cycle timeline offset
+        track = self.trace_track
         total_cycles = self.schedule.compute_cycles
         for cycle in range(1, total_cycles + 1):
             segment = (cycle - 1) // self._rows
             if segment != self._loaded_segment:
                 self.load_segment(segment)
+                if emit:
+                    telemetry.cycle_event(
+                        "reconfig", base_cycle + cycle - 1, track=track,
+                        segment=segment,
+                    )
             local_cycle = (cycle - 1) % self._rows + 1
-            for op in self._ops_by_cycle.get(cycle, ()):  # deterministic order
+            ops = self._ops_by_cycle.get(cycle, ())
+            if emit:
+                telemetry.cycle_event(
+                    "fold_step", base_cycle + cycle - 1, track=track,
+                    ops=len(ops),
+                )
+            for op in ops:  # deterministic order
                 node = netlist.nodes[op.nid]
                 if op.slot is OpSlot.LUT:
                     width = node.payload[0]  # type: ignore[index]
@@ -294,6 +333,23 @@ class FoldedExecutor:
                     )
         self.stats.cycles += self.schedule.fold_cycles
         self.stats.invocations += 1
+        if emit:
+            telemetry.counter(
+                "freac.invocations", "accelerator invocations executed"
+            ).inc(tile=track)
+            telemetry.counter(
+                "freac.folding_steps", "folding cycles executed"
+            ).inc(total_cycles, tile=track)
+            # Every folding cycle latches one configuration row per LUT
+            # unit in every MCC of the tile (Sec. III-B "Operation").
+            telemetry.counter(
+                "freac.rows_read",
+                "configuration rows read from compute sub-arrays",
+            ).inc(
+                total_cycles * len(self.tile)
+                * self.schedule.resources.luts_per_mcc,
+                tile=track,
+            )
         # Clock edge: latch every flip-flop's next state.
         next_state = {
             node.nid: value_of(node.fanins[0]) & 1

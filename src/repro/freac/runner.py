@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis import preflight_netlist, preflight_schedule
 from ..circuits.library import PeCircuit, build_pe, mapped_pe
 from ..errors import CapacityError, DeviceError, RequestError
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from ..workloads.datagen import Dataset, dataset_for
 from .ccctrl import ComputeClusterController
 from .compute_slice import SlicePartition
@@ -54,6 +56,7 @@ def build_program(
     lut_inputs: int = 5,
     mccs_per_tile: int = 1,
     preflight: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> AcceleratorProgram:
     """Synthesize, tech-map, fold, and lint one benchmark program.
 
@@ -62,17 +65,19 @@ def build_program(
     schedule for ``mccs_per_tile`` already computed, and (unless
     ``preflight=False``) has passed the netlist and schedule gates.
     """
-    program = AcceleratorProgram(
-        name.upper(), mapped_pe(name, lut_inputs), lut_inputs
-    )
-    schedule = program.schedule_for(mccs_per_tile)
-    if preflight:
-        # Pre-flight lint before any way is locked: a malformed netlist
-        # or schedule aborts here with every violation reported, instead
-        # of mid-run with the LLC already partitioned (docs/analysis.md).
-        preflight_netlist(program.netlist, lut_inputs=program.lut_inputs,
-                          stage="build_program")
-        preflight_schedule(schedule, stage="build_program")
+    with resolve(telemetry).span("runner.build_program", "runner",
+                                 benchmark=name.upper()):
+        program = AcceleratorProgram(
+            name.upper(), mapped_pe(name, lut_inputs), lut_inputs
+        )
+        schedule = program.schedule_for(mccs_per_tile)
+        if preflight:
+            # Pre-flight lint before any way is locked: a malformed netlist
+            # or schedule aborts here with every violation reported, instead
+            # of mid-run with the LLC already partitioned (docs/analysis.md).
+            preflight_netlist(program.netlist, lut_inputs=program.lut_inputs,
+                              stage="build_program")
+            preflight_schedule(schedule, stage="build_program")
     return program
 
 
@@ -134,6 +139,7 @@ def execute_on_controllers(
     layout: Dict[str, StreamBinding],
     *,
     pe: Optional[PeCircuit] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Dict[str, int], List[int]]:
     """Fill, run, and verify one batch on the given slice controllers.
 
@@ -144,39 +150,44 @@ def execute_on_controllers(
     """
     if not controllers:
         raise DeviceError("no controllers to execute on")
+    tel = resolve(telemetry)
     pe = pe if pe is not None else build_pe(dataset.benchmark)
     chunk, per_slice_items = _distribute(dataset.items, len(controllers))
 
     before = _controller_totals(controllers)
-    for slice_index, controller in enumerate(controllers):
-        begin = slice_index * chunk
-        count = per_slice_items[slice_index]
-        for local in range(count):
-            for stream in pe.loads:
-                binding = layout[stream]
-                controller.fill_scratchpad(
-                    binding.base_word + local * binding.words_per_item,
-                    dataset.loads[stream][begin + local],
-                )
-        if count:
-            controller.run_batch(count, layout)
+    with tel.span("runner.fill_and_run", "runner",
+                  benchmark=dataset.benchmark, items=dataset.items):
+        for slice_index, controller in enumerate(controllers):
+            begin = slice_index * chunk
+            count = per_slice_items[slice_index]
+            for local in range(count):
+                for stream in pe.loads:
+                    binding = layout[stream]
+                    controller.fill_scratchpad(
+                        binding.base_word + local * binding.words_per_item,
+                        dataset.loads[stream][begin + local],
+                    )
+            if count:
+                controller.run_batch(count, layout)
     after = _controller_totals(controllers)
     totals = {key: after[key] - before[key] for key in after}
 
     mismatched: List[int] = []
-    for slice_index, controller in enumerate(controllers):
-        begin = slice_index * chunk
-        for local in range(per_slice_items[slice_index]):
-            item = begin + local
-            for stream in pe.stores:
-                binding = layout[stream]
-                got = controller.read_scratchpad(
-                    binding.base_word + local * binding.words_per_item,
-                    binding.words_per_item,
-                )
-                if got != dataset.expected[stream][item]:
-                    mismatched.append(item)
-                    break
+    with tel.span("runner.verify", "runner",
+                  benchmark=dataset.benchmark, items=dataset.items):
+        for slice_index, controller in enumerate(controllers):
+            begin = slice_index * chunk
+            for local in range(per_slice_items[slice_index]):
+                item = begin + local
+                for stream in pe.stores:
+                    binding = layout[stream]
+                    got = controller.read_scratchpad(
+                        binding.base_word + local * binding.words_per_item,
+                        binding.words_per_item,
+                    )
+                    if got != dataset.expected[stream][item]:
+                        mismatched.append(item)
+                        break
     return totals, mismatched
 
 
@@ -190,14 +201,21 @@ def run_workload(
     seed: int = 0,
     dataset: Optional[Dataset] = None,
     program: Optional[AcceleratorProgram] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> WorkloadRunReport:
     """Run ``items`` invocations of benchmark ``name``, data-parallel
     across every slice, and verify each result.
 
     Passing ``program`` injects an already-built (and already-linted)
     accelerator — e.g. a compiled-program cache entry — skipping the
-    synthesis/tech-map/fold/pre-flight path entirely.
+    synthesis/tech-map/fold/pre-flight path entirely.  Passing
+    ``telemetry`` installs it on the device for the duration of the
+    run, so setup/program/teardown spans, per-tile folding events, and
+    scratchpad counters all land in one place (docs/observability.md).
     """
+    if telemetry is not None:
+        device.set_telemetry(telemetry)
+    tel = resolve(telemetry if telemetry is not None else device.telemetry)
     partition = partition or SlicePartition(compute_ways=4, scratchpad_ways=4)
     if partition.scratchpad_ways == 0:
         raise DeviceError("the runner needs scratchpad ways for operands")
@@ -212,7 +230,8 @@ def run_workload(
         )
 
     if program is None:
-        program = build_program(name, mccs_per_tile=mccs_per_tile)
+        program = build_program(name, mccs_per_tile=mccs_per_tile,
+                                telemetry=tel)
 
     device.setup(partition)
     device.program(program, mccs_per_tile)
@@ -221,7 +240,7 @@ def run_workload(
     pad_words = device.controllers[0].slice.scratchpad.words
     layout = plan_layout(dataset, pad_words, pe=pe)
     totals, mismatched = execute_on_controllers(
-        device.controllers, dataset, layout, pe=pe
+        device.controllers, dataset, layout, pe=pe, telemetry=tel
     )
     device.teardown()
 

@@ -186,7 +186,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"-- {stats.completed} done, {stats.rejected} rejected, "
         f"{stats.failed} failed, {stats.timed_out} timed out | "
         f"cache hit rate {stats.cache_hit_rate:.0%} | "
-        f"p50 {_ms(stats.latency_p50_s)} p95 {_ms(stats.latency_p95_s)}"
+        f"p50 {_ms(stats.latency_p50_s)} p95 {_ms(stats.latency_p95_s)} "
+        f"(n={stats.latency_samples})"
     )
     if args.stats_json:
         with open(args.stats_json, "w") as handle:

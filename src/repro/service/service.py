@@ -36,6 +36,8 @@ from ..freac.compute_slice import SlicePartition
 from ..freac.device import FreacDevice
 from ..freac.runner import execute_on_controllers, plan_layout
 from ..params import SystemParams
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 from ..workloads.datagen import Dataset, dataset_for
 from .jobs import Job, JobQueue, JobRequest, JobResult, JobState
 from .placement import Placement, SlicePool
@@ -67,15 +69,20 @@ class AcceleratorService:
         max_retries: int = 2,
         batching: bool = True,
         max_batch_items: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if devices < 1:
             raise ServiceError("the service needs at least one device")
+        self.telemetry = resolve(telemetry)
         self.partition = partition or SlicePartition(
             compute_ways=4, scratchpad_ways=4
         )
         if self.partition.scratchpad_ways == 0:
             raise ServiceError("the service partition needs scratchpad ways")
-        self.devices = [FreacDevice(system) for _ in range(devices)]
+        self.devices = [
+            FreacDevice(system, telemetry=self.telemetry)
+            for _ in range(devices)
+        ]
         self.pool = SlicePool([d.slice_count for d in self.devices])
         # Not `cache or ...`: an empty ProgramCache is falsy (len == 0).
         self.cache = (
@@ -161,13 +168,25 @@ class AcceleratorService:
         self._next_id += 1
         self.jobs[job.id] = job
         self._counters["submitted"] += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "service.submissions", "jobs offered to admission"
+            ).inc(benchmark=request.benchmark)
 
         if not compiled.ok:
             report = compiled.admission_report()
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "service.admission", "admission outcomes"
+                ).inc(outcome="rejected")
             self._finish(job, JobState.REJECTED, admission=report,
                          error=f"{len(report.errors)} lint error(s)")
             return job
 
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "service.admission", "admission outcomes"
+            ).inc(outcome="accepted")
         self._compiled[job.id] = compiled
         self.queue.push(job)
         return job
@@ -246,6 +265,11 @@ class AcceleratorService:
             for job in live:
                 job.state = JobState.RUNNING
                 job.started_at = now
+                if self.telemetry.enabled:
+                    self.telemetry.histogram(
+                        "service.queue_wait_s",
+                        "seconds between submission and placement",
+                    ).observe(now - job.submitted_at)
             waves.append((live, placement, compiled))
 
         self.queue.requeue(blocked)
@@ -285,6 +309,11 @@ class AcceleratorService:
         assert scratchpad is not None
         pad_words = scratchpad.words
         pe = build_pe(compiled.benchmark)
+        if self.telemetry.enabled:
+            self.telemetry.histogram(
+                "service.batch_size", "jobs merged into one wave",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            ).observe(float(len(group)))
 
         datasets = [
             job.request.dataset
@@ -298,9 +327,14 @@ class AcceleratorService:
         merged = datasets[0] if len(datasets) == 1 else Dataset.concat(datasets)
 
         try:
-            totals, mismatched, retries = self._run_with_retry(
-                controllers, merged, pad_words, pe
-            )
+            with self.telemetry.span(
+                "service.wave", "service",
+                benchmark=compiled.benchmark, jobs=len(group),
+                items=merged.items, device=placement.device,
+            ):
+                totals, mismatched, retries = self._run_with_retry(
+                    controllers, merged, pad_words, pe
+                )
         except ReproError as exc:
             logger.warning("wave of %d job(s) failed: %s", len(group), exc)
             for job in group:
@@ -352,6 +386,11 @@ class AcceleratorService:
                 layout = plan_layout(chunk, pad_words, pe=pe)
             except CapacityError:
                 attempts += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "service.capacity_retries",
+                        "scratchpad overflows resubmitted at half size",
+                    ).inc()
                 if attempts > self.max_retries or chunk.items <= 1:
                     raise
                 half = chunk.items // 2
@@ -365,7 +404,7 @@ class AcceleratorService:
                 pending.appendleft(chunk.slice(0, half))
                 continue
             chunk_totals, bad = execute_on_controllers(
-                controllers, chunk, layout, pe=pe
+                controllers, chunk, layout, pe=pe, telemetry=self.telemetry
             )
             for key in totals:
                 totals[key] += chunk_totals[key]
@@ -410,6 +449,20 @@ class AcceleratorService:
         self._counters[key] += 1
         if state is JobState.DONE:
             self.latencies.add(latency)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "service.jobs_finished", "jobs by terminal state"
+            ).inc(state=key)
+            self.telemetry.histogram(
+                "service.latency_s", "end-to-end job latency"
+            ).observe(latency)
+            # Retroactive span from the timestamps the job already
+            # carries: submit-to-terminal, covering queue + run.
+            self.telemetry.record_span(
+                "job", job.submitted_at, job.finished_at, "service",
+                job_id=job.id, benchmark=job.request.benchmark,
+                items=job.request.items, state=key,
+            )
 
     def stats(self) -> ServiceStats:
         return ServiceStats(
@@ -431,6 +484,7 @@ class AcceleratorService:
             cache=self.cache.stats(),
             latency_p50_s=self.latencies.p50,
             latency_p95_s=self.latencies.p95,
+            latency_samples=self.latencies.sample_count,
         )
 
     def close(self) -> None:

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..telemetry.metrics import Reservoir
+
 
 def percentile(samples: List[float], fraction: float) -> Optional[float]:
     """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
@@ -18,27 +20,43 @@ def percentile(samples: List[float], fraction: float) -> Optional[float]:
 
 
 class LatencyTracker:
-    """Bounded reservoir of job latencies (seconds)."""
+    """Bounded reservoir of job latencies (seconds).
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    Backed by a seeded Algorithm-R :class:`~repro.telemetry.Reservoir`,
+    so the retained sample — and therefore p50/p95 — is a deterministic
+    function of the latency sequence: replaying the same run yields the
+    same percentiles, and memory never exceeds ``max_samples`` floats.
+    :attr:`sample_count` says how many samples the percentiles actually
+    rest on, so a p95 over three jobs is visibly a p95 over three jobs.
+    """
+
+    def __init__(self, max_samples: int = 4096, seed: int = 0) -> None:
         self.max_samples = max_samples
-        self._samples: List[float] = []
-        self.count = 0
+        self._reservoir = Reservoir(capacity=max_samples, seed=seed)
 
     def add(self, seconds: float) -> None:
-        self.count += 1
-        self._samples.append(seconds)
-        if len(self._samples) > self.max_samples:
-            # Drop the oldest half; recent traffic dominates the view.
-            self._samples = self._samples[len(self._samples) // 2:]
+        self._reservoir.add(seconds)
+
+    @property
+    def count(self) -> int:
+        """Latencies ever observed (>= :attr:`sample_count`)."""
+        return self._reservoir.count
+
+    @property
+    def sample_count(self) -> int:
+        """Samples retained — the denominator behind p50/p95."""
+        return self._reservoir.sample_count
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        return self._reservoir.percentile(fraction)
 
     @property
     def p50(self) -> Optional[float]:
-        return percentile(self._samples, 0.50)
+        return self._reservoir.percentile(0.50)
 
     @property
     def p95(self) -> Optional[float]:
-        return percentile(self._samples, 0.95)
+        return self._reservoir.percentile(0.95)
 
 
 @dataclass
@@ -60,6 +78,7 @@ class ServiceStats:
     cache: Dict[str, float] = field(default_factory=dict)
     latency_p50_s: Optional[float] = None
     latency_p95_s: Optional[float] = None
+    latency_samples: int = 0       # samples behind the percentiles
 
     @property
     def cache_hit_rate(self) -> float:
@@ -82,4 +101,5 @@ class ServiceStats:
             "cache": dict(self.cache),
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
+            "latency_samples": self.latency_samples,
         }

@@ -1,0 +1,62 @@
+"""Telemetry: metrics registry, span/cycle tracer, and exporters.
+
+The observability layer of the reproduction (docs/observability.md).
+A :class:`Telemetry` instance owns a :class:`MetricRegistry` of
+counters/gauges/histograms and a :class:`Tracer` of wall-clock spans
+plus simulated-cycle events.  Instrumented components — the cache
+hierarchy, the folding executor and CC Ctrl, the workload runner, and
+the serving layer — accept an optional ``telemetry=`` argument and
+fall back to the process default, which is the no-op
+:data:`NULL_TELEMETRY` unless :func:`set_telemetry` installed a live
+one.  Exporters turn a populated instance into a Chrome
+``trace_event`` JSON (Perfetto-loadable), a Prometheus text
+exposition, or a human-readable summary.
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    resolve,
+    set_telemetry,
+    use_telemetry,
+)
+from .export import (
+    to_chrome_trace,
+    to_prometheus,
+    to_summary,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricRegistry,
+    Reservoir,
+)
+from .trace import CycleEvent, SpanRecord, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "resolve",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricRegistry",
+    "Reservoir",
+    "Tracer",
+    "SpanRecord",
+    "CycleEvent",
+    "to_chrome_trace",
+    "to_prometheus",
+    "to_summary",
+    "write_chrome_trace",
+]

@@ -1,0 +1,181 @@
+"""The ``Telemetry`` facade: one object carrying metrics + tracer.
+
+Instrumented code never imports concrete metric classes; it resolves a
+:class:`Telemetry` (the injected one, else the process default) and
+talks to it.  The process default is :data:`NULL_TELEMETRY`, a
+subclass whose every operation is a no-op and whose :attr:`enabled`
+flag is False — so hot paths can guard per-cycle work with a single
+attribute check and cost ~nothing when nobody is watching::
+
+    tel = resolve(telemetry)          # once, at construction
+    ...
+    if tel.enabled:                   # per cycle: one attribute load
+        tel.cycle_event("fold_step", cycle, track=self.track)
+
+Enabling telemetry for a region of code is either explicit injection
+(``FreacDevice(telemetry=...)``, ``run_workload(telemetry=...)``) or
+process-wide via :func:`set_telemetry` / the :func:`use_telemetry`
+context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import ContextManager, Iterator, Optional, Sequence
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .trace import Tracer
+
+
+class Telemetry:
+    """A live registry of metrics plus a span/cycle tracer."""
+
+    enabled = True
+
+    def __init__(self, *, max_trace_events: int = 200_000,
+                 seed: int = 0) -> None:
+        self.metrics = MetricRegistry(seed=seed)
+        self.tracer = Tracer(max_events=max_trace_events)
+
+    # -- metrics -------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self.metrics.histogram(name, help, buckets=buckets)
+
+    # -- tracing -------------------------------------------------------
+
+    def span(self, name: str, category: str = "",
+             **attrs: object) -> ContextManager[None]:
+        return self.tracer.span(name, category, **attrs)
+
+    def record_span(self, name: str, start_s: float, end_s: float,
+                    category: str = "", **attrs: object) -> None:
+        self.tracer.record_span(name, start_s, end_s, category, **attrs)
+
+    def cycle_event(self, name: str, cycle: int, track: str = "",
+                    **attrs: object) -> None:
+        self.tracer.cycle_event(name, cycle, track, **attrs)
+
+
+class _NullContext:
+    """A reusable, allocation-free context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+class _NullMetric:
+    """Absorbs every metric operation; reports zeros."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def add(self, amount: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+
+_NULL_CONTEXT = _NullContext()
+_NULL_METRIC = _NullMetric()
+
+
+class NullTelemetry(Telemetry):
+    """The disabled default: every operation is a cheap no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # Deliberately no registry/tracer: nothing may accumulate.
+        pass
+
+    def counter(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help: str = "",  # type: ignore[override]
+                  buckets: Optional[Sequence[float]] = None):
+        return _NULL_METRIC
+
+    def span(self, name: str, category: str = "",
+             **attrs: object) -> ContextManager[None]:
+        return _NULL_CONTEXT
+
+    def record_span(self, name: str, start_s: float, end_s: float,
+                    category: str = "", **attrs: object) -> None:
+        pass
+
+    def cycle_event(self, name: str, cycle: int, track: str = "",
+                    **attrs: object) -> None:
+        pass
+
+
+#: The shared disabled instance every un-instrumented run uses.
+NULL_TELEMETRY = NullTelemetry()
+
+_default: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default (``NULL_TELEMETRY`` unless set)."""
+    return _default
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install a new process default; returns the previous one.
+
+    ``None`` restores the disabled default.
+    """
+    global _default
+    previous = _default
+    _default = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Scoped :func:`set_telemetry`: restores the old default on exit."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+
+
+def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
+    """The injection rule: explicit argument wins, else the default."""
+    return telemetry if telemetry is not None else _default
+
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "resolve",
+]

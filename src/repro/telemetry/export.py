@@ -1,0 +1,233 @@
+"""Exporters: Chrome ``trace_event`` JSON, Prometheus text, summary.
+
+* :func:`to_chrome_trace` emits the Trace Event Format that Perfetto /
+  ``chrome://tracing`` load.  Wall spans become complete (``"X"``)
+  events under a ``wall`` process (one tid per host thread); simulated
+  cycle events become instant (``"i"``) events under a
+  ``device-cycles`` process (one tid per track, 1 device cycle = 1 µs
+  on the viewer's axis).
+
+* :func:`to_prometheus` emits the text exposition format — metric
+  names sanitised to ``[a-zA-Z0-9_:]``, histograms as cumulative
+  ``_bucket``/``_sum``/``_count`` families.
+
+* :func:`to_summary` renders a human-readable digest: counters and
+  gauges, histogram count/mean/p50/p95, and span totals by name.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .core import Telemetry
+from .metrics import Counter, Gauge, Histogram
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitised = _NAME_RE.sub("_", name)
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event JSON
+# ---------------------------------------------------------------------------
+
+WALL_PID = 1
+DEVICE_PID = 2
+
+
+def to_chrome_trace(telemetry: Telemetry) -> Dict:
+    """The whole trace as a Trace Event Format dict (JSON-ready)."""
+    tracer = telemetry.tracer
+    events: List[Dict] = [
+        {"ph": "M", "pid": WALL_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "wall"}},
+        {"ph": "M", "pid": DEVICE_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "device-cycles"}},
+    ]
+
+    thread_ids: Dict[int, int] = {}
+    for span in tracer.spans:
+        tid = thread_ids.setdefault(span.thread, len(thread_ids))
+        events.append({
+            "ph": "X",
+            "pid": WALL_PID,
+            "tid": tid,
+            "name": span.name,
+            "cat": span.category or "span",
+            "ts": (span.start_s - tracer.epoch_s) * 1e6,
+            "dur": span.duration_s * 1e6,
+            "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+        })
+
+    track_ids: Dict[str, int] = {}
+    for event in tracer.cycle_events:
+        track = event.track or "device"
+        tid = track_ids.get(track)
+        if tid is None:
+            tid = track_ids[track] = len(track_ids)
+            events.append({
+                "ph": "M", "pid": DEVICE_PID, "tid": tid,
+                "name": "thread_name", "args": {"name": track},
+            })
+        events.append({
+            "ph": "i",
+            "pid": DEVICE_PID,
+            "tid": tid,
+            "name": event.name,
+            "cat": "cycle",
+            "s": "t",
+            "ts": float(event.cycle),
+            "args": {k: _jsonable(v) for k, v in event.attrs.items()},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": len(tracer.spans),
+            "cycle_events": len(tracer.cycle_events),
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry,
+                       path: Union[str, Path]) -> Path:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns it."""
+    destination = Path(path)
+    destination.write_text(json.dumps(to_chrome_trace(telemetry)) + "\n")
+    return destination
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def to_prometheus(telemetry: Telemetry) -> str:
+    """Every metric in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in telemetry.metrics:
+        name = _prom_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.series():
+                lines.append(
+                    f"{name}{_prom_labels(labels)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                cumulative = 0
+                for bound, count in zip(
+                    metric.buckets, series.bucket_counts
+                ):
+                    cumulative += count
+                    le = f'le="{_format_value(bound)}"'
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(labels, le)} {cumulative}"
+                    )
+                cumulative += series.bucket_counts[-1]
+                inf_label = _prom_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf_label} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} {repr(series.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {series.count}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Human-readable summary
+# ---------------------------------------------------------------------------
+
+def to_summary(telemetry: Telemetry) -> str:
+    """A terminal-friendly digest of metrics, spans, and events."""
+    lines: List[str] = []
+
+    counters = [m for m in telemetry.metrics if isinstance(m, Counter)]
+    gauges = [m for m in telemetry.metrics if isinstance(m, Gauge)]
+    histograms = [m for m in telemetry.metrics if isinstance(m, Histogram)]
+
+    if counters or gauges:
+        lines.append("== metrics ==")
+        for metric in counters + gauges:
+            for labels, value in metric.series():
+                lines.append(
+                    f"  {metric.name}{_label_suffix(labels)} = "
+                    f"{_format_value(value)}"
+                )
+    if histograms:
+        lines.append("== histograms ==")
+        for metric in histograms:
+            for labels, series in metric.series():
+                mean = series.sum / series.count if series.count else 0.0
+                p50 = series.reservoir.percentile(0.50)
+                p95 = series.reservoir.percentile(0.95)
+                lines.append(
+                    f"  {metric.name}{_label_suffix(labels)}: "
+                    f"n={series.count} mean={mean:.6g} "
+                    f"p50={_opt(p50)} p95={_opt(p95)}"
+                )
+
+    totals = telemetry.tracer.span_totals()
+    if totals:
+        lines.append("== spans ==")
+        for name in sorted(
+            totals, key=lambda n: totals[n]["total_s"], reverse=True
+        ):
+            entry = totals[name]
+            lines.append(
+                f"  {name}: n={int(entry['count'])} "
+                f"total={entry['total_s'] * 1e3:.3f}ms"
+            )
+
+    counts = telemetry.tracer.event_counts()
+    if counts:
+        lines.append("== cycle events ==")
+        for name in sorted(counts):
+            lines.append(f"  {name}: {counts[name]}")
+    if telemetry.tracer.dropped:
+        lines.append(f"== dropped {telemetry.tracer.dropped} trace records "
+                     "(max_trace_events reached) ==")
+    return "\n".join(lines) + "\n" if lines else "(no telemetry recorded)\n"
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _opt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.6g}"

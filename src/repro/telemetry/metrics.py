@@ -1,0 +1,286 @@
+"""Metric primitives: counters, gauges, histograms, and the registry.
+
+All metrics are multi-series: one metric name owns any number of
+label sets (``counter.inc(slice=3)`` and ``counter.inc(slice=4)`` are
+two series of the same counter), mirroring the Prometheus data model
+so the text exposition in :mod:`repro.telemetry.export` is a direct
+serialisation.
+
+Histograms keep three views of the same observations: cumulative
+buckets (for Prometheus), a running count/sum (for means), and a
+bounded *deterministic* reservoir (for percentiles).  The reservoir is
+Algorithm R under a seeded RNG, so two runs that observe the same
+sequence retain the same sample — replayable percentiles with capped
+memory.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Generic latency-in-seconds buckets; callers measuring something
+#: else (hop counts, batch sizes) pass their own.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+class Reservoir:
+    """Bounded uniform sample of a stream (Vitter's Algorithm R).
+
+    Deterministic under a fixed ``seed``: the retained sample depends
+    only on the order and values of :meth:`add` calls, never on the
+    wall clock — two identical runs report identical percentiles.
+    """
+
+    def __init__(self, capacity: int = 1024, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be at least one sample")
+        self.capacity = capacity
+        self.count = 0
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    @property
+    def sample_count(self) -> int:
+        """Samples actually retained (<= :attr:`count`)."""
+        return len(self._samples)
+
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile of the retained sample."""
+        if not self._samples:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+
+class Metric:
+    """Shared name/help plumbing for every metric kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def series(self) -> List[Tuple[Dict[str, str], object]]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing per-label-set count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def series(self) -> List[Tuple[Dict[str, str], float]]:
+        return [(dict(key), value) for key, value in self._values.items()]
+
+
+class Gauge(Metric):
+    """A point-in-time value that may move either way."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(label_key(labels), 0.0)
+
+    def series(self) -> List[Tuple[Dict[str, str], float]]:
+        return [(dict(key), value) for key, value in self._values.items()]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "bucket_counts", "reservoir")
+
+    def __init__(self, buckets: Sequence[float], seed: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.bucket_counts = [0] * (len(buckets) + 1)  # trailing +Inf
+        self.reservoir = Reservoir(seed=seed)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram with deterministic percentiles."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+        self._seed = seed
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, labels: Dict[str, object]) -> _HistogramSeries:
+        key = label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                self.buckets, self._seed
+            )
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        series = self._get(labels)
+        series.count += 1
+        series.sum += value
+        series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        series.reservoir.add(value)
+
+    # -- per-label-set accessors (no labels = the unlabeled series) ----
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(label_key(labels))
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: object) -> Optional[float]:
+        series = self._series.get(label_key(labels))
+        if not series or not series.count:
+            return None
+        return series.sum / series.count
+
+    def percentile(self, fraction: float, **labels: object) -> Optional[float]:
+        series = self._series.get(label_key(labels))
+        return series.reservoir.percentile(fraction) if series else None
+
+    def series(self) -> List[Tuple[Dict[str, str], _HistogramSeries]]:
+        return [(dict(key), series) for key, series in self._series.items()]
+
+
+class MetricRegistry:
+    """Get-or-create home of every metric, keyed by name.
+
+    Re-requesting a name returns the existing instance; requesting it
+    as a different kind is a programming error and raises.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, buckets=buckets, seed=self.seed
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-data dump of every metric (for JSON sidecars)."""
+        out: Dict[str, Dict] = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "series": [
+                        {
+                            "labels": labels,
+                            "count": series.count,
+                            "sum": series.sum,
+                            "p50": series.reservoir.percentile(0.50),
+                            "p95": series.reservoir.percentile(0.95),
+                        }
+                        for labels, series in metric.series()
+                    ],
+                }
+            else:
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "series": [
+                        {"labels": labels, "value": value}
+                        for labels, value in metric.series()  # type: ignore[misc]
+                    ],
+                }
+        return out

@@ -1,0 +1,132 @@
+"""Low-overhead tracing: wall-clock spans and simulated-cycle events.
+
+Two timelines coexist:
+
+* **Spans** measure host wall time with ``time.perf_counter()`` —
+  phases like build/setup/program/execute and per-job end-to-end
+  latency.  Spans may be recorded live (the :meth:`Tracer.span`
+  context manager) or retroactively from timestamps already taken
+  (:meth:`Tracer.record_span`), which is how the service layer turns
+  its ``submitted_at``/``finished_at`` bookkeeping into trace rows.
+
+* **Cycle events** sit on the simulated device timeline: one event per
+  interesting device cycle (a folding step, a mid-run reconfiguration)
+  on a named *track* (``slice0/tile3``).  The Chrome-trace exporter
+  maps tracks to threads of a separate "device" process, so Perfetto
+  shows wall phases and device activity side by side.
+
+The tracer bounds its memory: past ``max_events`` total records, new
+ones are counted in :attr:`Tracer.dropped` and discarded — a trace is
+a diagnostic artifact, never a way to OOM the host.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed wall-time phase."""
+
+    name: str
+    start_s: float          # time.perf_counter() timestamps
+    end_s: float
+    category: str = ""
+    thread: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class CycleEvent:
+    """One instant on the simulated device-cycle timeline."""
+
+    name: str
+    cycle: int
+    track: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded collector of spans and cycle events."""
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self.max_events = max_events
+        self.epoch_s = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.cycle_events: List[CycleEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.cycle_events)
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.max_events
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        category: str = "",
+        **attrs: object,
+    ) -> None:
+        """Record a phase from timestamps the caller already holds."""
+        if self.full:
+            self.dropped += 1
+            return
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                start_s=start_s,
+                end_s=end_s,
+                category=category,
+                thread=threading.get_ident(),
+                attrs=attrs,
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, category: str = "",
+             **attrs: object) -> Iterator[None]:
+        """Measure the enclosed block as one span (exception-safe)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_span(
+                name, start, time.perf_counter(), category, **attrs
+            )
+
+    def cycle_event(self, name: str, cycle: int, track: str = "",
+                    **attrs: object) -> None:
+        if self.full:
+            self.dropped += 1
+            return
+        self.cycle_events.append(CycleEvent(name, cycle, track, attrs))
+
+    # -- aggregation helpers (summary exporter, tests) -----------------
+
+    def span_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per span name: occurrence count and total duration."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            entry = totals.setdefault(span.name, {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += span.duration_s
+        return totals
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.cycle_events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts

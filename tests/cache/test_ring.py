@@ -86,3 +86,62 @@ class TestNucaLlc:
         nuca = self.make()
         assert nuca.average_latency() == 0.0
         assert nuca.load_balance() == 1.0
+        assert nuca.average_hops() == 0.0
+        assert nuca.total_hops == 0
+
+
+class TestHopAccounting:
+    def make(self):
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        return NucaLlc(codec)
+
+    def test_total_hops_matches_per_access_sum(self):
+        nuca = self.make()
+        expected = 0
+        for address in range(0, 64 * 100, 64):
+            slice_index = nuca.codec.decode(address).slice_index
+            expected += nuca.ring.hops(0, slice_index)
+            nuca.access(0, address)
+        assert nuca.total_hops == expected
+
+    def test_streaming_average_is_mean_ring_distance(self):
+        # Uniform interleaving visits every slice equally, so the mean
+        # one-way distance is the ring's: (0+1+2+3+4+3+2+1)/8 = 2.
+        nuca = self.make()
+        for address in range(0, 64 * 4096, 64):
+            nuca.access(0, address)
+        assert nuca.average_hops() == pytest.approx(2.0)
+
+    def test_average_hops_bounded_by_half_ring(self):
+        nuca = self.make()
+        for core in range(8):
+            for address in range(0, 64 * 64, 64):
+                nuca.access(core, address)
+        assert 0.0 <= nuca.average_hops() <= 4.0
+
+    def test_telemetry_counters_match_internal_stats(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        nuca = NucaLlc(codec, telemetry=telemetry)
+        for address in range(0, 64 * 200, 64):
+            nuca.access(0, address)
+        accesses = telemetry.metrics.counter("cache.ring.accesses")
+        assert accesses.total == nuca.accesses
+        hops = telemetry.metrics.counter("cache.ring.hops")
+        assert hops.total == nuca.total_hops
+        distance = telemetry.metrics.histogram("cache.ring.hop_distance")
+        assert distance.count() == nuca.accesses
+        assert distance.mean() == pytest.approx(nuca.average_hops())
+
+    def test_disabled_telemetry_costs_no_series(self):
+        from repro.telemetry import NULL_TELEMETRY
+
+        codec = AddressCodec(line_bytes=64, sets_per_slice=1024, slices=8)
+        nuca = NucaLlc(codec, telemetry=NULL_TELEMETRY)
+        for address in range(0, 64 * 16, 64):
+            nuca.access(0, address)
+        # Accounting still works without a live registry behind it.
+        assert nuca.total_hops > 0
+        assert nuca.telemetry.enabled is False

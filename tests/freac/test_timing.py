@@ -6,6 +6,7 @@ from repro.circuits.library import mapped_pe
 from repro.errors import ConfigurationError
 from repro.folding import TileResources, generate_config, list_schedule
 from repro.freac.timing import (
+    config_time_s,
     end_to_end_timing,
     fill_time_s,
     kernel_timing,
@@ -93,6 +94,55 @@ class TestReloadCycles:
         )
         assert taxed.cycles > free.cycles
         assert taxed.reload_cycles > 0
+
+
+class TestReloadFormula:
+    def test_excess_steps_times_stored_units(self):
+        sched = schedule("VADD")
+        rows = 8
+        excess = sched.compute_cycles - rows
+        assert excess > 0
+        penalty = reload_cycles_per_item(sched, rows_per_subarray=rows)
+        assert penalty == excess * sched.resources.luts_per_mcc
+
+    def test_exactly_fitting_schedule_is_free(self):
+        sched = schedule("VADD")
+        assert reload_cycles_per_item(
+            sched, rows_per_subarray=sched.compute_cycles
+        ) == 0
+
+
+class TestConfigTime:
+    def test_parallel_across_mccs(self):
+        """Writing config words is parallel per MCC, so a wider tile
+        configures faster for the same image size."""
+        narrow = generate_config(schedule("VADD", mccs=1))
+        wide = generate_config(schedule("VADD", mccs=4))
+        clock = 4.0e9
+        per_word_narrow = config_time_s(narrow, clock) / narrow.total_words
+        per_word_wide = config_time_s(wide, clock) / wide.total_words
+        assert per_word_wide < per_word_narrow
+
+    def test_exact_value(self):
+        image = generate_config(schedule("VADD", mccs=1))
+        mccs = len(image.lut_words)
+        expected = (-(-image.total_words // mccs)) / 2.0e9
+        assert config_time_s(image, 2.0e9) == pytest.approx(expected)
+
+    def test_faster_clock_is_faster(self):
+        image = generate_config(schedule("VADD"))
+        assert config_time_s(image, 4.0e9) < config_time_s(image, 3.0e9)
+
+
+class TestZeroItems:
+    def test_zero_items_zero_cycles(self):
+        result = timing(schedule(), items=0)
+        assert result.cycles == 0.0
+        assert result.seconds == 0.0
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timing(schedule(), items=-1)
 
 
 class TestEndToEnd:

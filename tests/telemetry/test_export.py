@@ -1,0 +1,109 @@
+"""Exporters: Chrome trace JSON, Prometheus text, summary digest."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    to_chrome_trace,
+    to_prometheus,
+    to_summary,
+    write_chrome_trace,
+)
+from repro.telemetry.export import DEVICE_PID, WALL_PID, _prom_name
+
+
+def populated():
+    telemetry = Telemetry()
+    telemetry.counter("freac.rows_read", "rows").inc(64, tile="t0")
+    telemetry.gauge("queue.depth").set(3)
+    telemetry.histogram("service.latency_s", "latency",
+                        buckets=(0.01, 0.1, 1.0)).observe(0.05)
+    epoch = telemetry.tracer.epoch_s
+    telemetry.record_span("job", epoch, epoch + 0.25, "service", job_id=1)
+    telemetry.cycle_event("fold_step", 7, track="slice0/tile0", ops=2)
+    return telemetry
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        document = to_chrome_trace(populated())
+        assert json.loads(json.dumps(document)) == document
+
+    def test_span_becomes_complete_event(self):
+        document = to_chrome_trace(populated())
+        (span,) = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert span["name"] == "job"
+        assert span["pid"] == WALL_PID
+        assert span["cat"] == "service"
+        assert span["ts"] == pytest.approx(0.0, abs=1.0)
+        assert span["dur"] == pytest.approx(0.25e6)
+        assert span["args"]["job_id"] == 1
+
+    def test_cycle_event_becomes_instant_on_named_track(self):
+        document = to_chrome_trace(populated())
+        events = document["traceEvents"]
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["pid"] == DEVICE_PID
+        assert instant["ts"] == 7.0
+        thread_names = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "slice0/tile0" in thread_names
+
+    def test_process_metadata_present(self):
+        document = to_chrome_trace(populated())
+        names = {
+            e["args"]["name"] for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"wall", "device-cycles"}
+
+    def test_other_data_counts(self):
+        other = to_chrome_trace(populated())["otherData"]
+        assert other == {"spans": 1, "cycle_events": 1, "dropped": 0}
+
+    def test_write_to_disk(self, tmp_path):
+        path = write_chrome_trace(populated(), tmp_path / "trace.json")
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestPrometheus:
+    def test_counter_exposition(self):
+        text = to_prometheus(populated())
+        assert "# TYPE freac_rows_read counter" in text
+        assert 'freac_rows_read{tile="t0"} 64' in text
+
+    def test_histogram_families(self):
+        text = to_prometheus(populated())
+        assert 'service_latency_s_bucket{le="0.01"} 0' in text
+        assert 'service_latency_s_bucket{le="0.1"} 1' in text
+        assert 'service_latency_s_bucket{le="+Inf"} 1' in text
+        assert "service_latency_s_count 1" in text
+
+    def test_name_sanitisation(self):
+        assert _prom_name("cache.ring.hops") == "cache_ring_hops"
+        assert _prom_name("9lives") == "_9lives"
+
+    def test_empty_registry(self):
+        assert to_prometheus(Telemetry()) == ""
+
+
+class TestSummary:
+    def test_mentions_everything(self):
+        text = to_summary(populated())
+        assert "freac.rows_read{tile=t0} = 64" in text
+        assert "service.latency_s: n=1" in text
+        assert "job: n=1" in text
+        assert "fold_step: 1" in text
+
+    def test_empty_telemetry(self):
+        assert "no telemetry" in to_summary(Telemetry())
+
+    def test_reports_drops(self):
+        telemetry = Telemetry(max_trace_events=1)
+        telemetry.cycle_event("a", 0)
+        telemetry.cycle_event("b", 1)
+        assert "dropped 1" in to_summary(telemetry)

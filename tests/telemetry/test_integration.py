@@ -1,0 +1,141 @@
+"""Telemetry through the real stack: runner, service, CLI exporters."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.device import FreacDevice
+from repro.freac.runner import run_workload
+from repro.params import scaled_system
+from repro.service.service import AcceleratorService
+from repro.telemetry import Telemetry
+from repro.telemetry.frontend import canonical_benchmark, validate_chrome_trace
+
+
+def small_service(telemetry=None):
+    return AcceleratorService(
+        system=scaled_system(l3_slices=2), telemetry=telemetry
+    )
+
+
+class TestRunWorkloadHook:
+    def test_spans_and_cycle_events_recorded(self):
+        telemetry = Telemetry()
+        device = FreacDevice(scaled_system(l3_slices=2))
+        report = run_workload(device, "VADD", 4, telemetry=telemetry)
+        assert report.verified
+        span_names = {span.name for span in telemetry.tracer.spans}
+        assert {"runner.build_program", "device.setup", "device.program",
+                "runner.fill_and_run", "runner.verify",
+                "device.teardown"} <= span_names
+        tracks = {event.track for event in telemetry.tracer.cycle_events}
+        # Per-tile tracks from both slices of the device.
+        assert any(track.startswith("slice0/tile") for track in tracks)
+        assert any(track.startswith("slice1/tile") for track in tracks)
+
+    def test_counters_match_run_report(self):
+        telemetry = Telemetry()
+        device = FreacDevice(scaled_system(l3_slices=2))
+        report = run_workload(device, "DOT", 4, telemetry=telemetry)
+        invocations = telemetry.metrics.counter("freac.invocations")
+        assert invocations.total == report.invocations
+
+    def test_untelemetered_run_records_nothing(self):
+        device = FreacDevice(scaled_system(l3_slices=2))
+        report = run_workload(device, "VADD", 2)
+        assert report.verified
+        assert device.telemetry.enabled is False
+
+
+class TestServiceTelemetry:
+    def test_job_span_and_device_phases(self):
+        telemetry = Telemetry()
+        service = small_service(telemetry)
+        result = service.result(service.submit("VADD", 3))
+        service.close()
+        assert result.verified
+        span_names = {span.name for span in telemetry.tracer.spans}
+        assert "job" in span_names
+        assert "service.wave" in span_names
+        assert "device.program" in span_names
+        job_span = next(
+            span for span in telemetry.tracer.spans if span.name == "job"
+        )
+        assert job_span.attrs["state"] == "completed"
+        assert job_span.attrs["benchmark"] == "VADD"
+
+    def test_admission_and_queue_metrics(self):
+        telemetry = Telemetry()
+        service = small_service(telemetry)
+        service.result(service.submit("VADD", 2))
+        service.result(service.submit("VADD", 2))
+        service.close()
+        admission = telemetry.metrics.counter("service.admission")
+        assert admission.value(outcome="accepted") == 2
+        waits = telemetry.metrics.histogram("service.queue_wait_s")
+        assert waits.count() == 2
+        finished = telemetry.metrics.counter("service.jobs_finished")
+        assert finished.value(state="completed") == 2
+
+    def test_stats_expose_latency_sample_count(self):
+        service = small_service()
+        for _ in range(3):
+            service.result(service.submit("VADD", 1))
+        stats = service.stats()
+        service.close()
+        assert stats.latency_samples == 3
+        assert stats.to_dict()["latency_samples"] == 3
+
+    def test_disabled_by_default(self):
+        service = small_service()
+        service.result(service.submit("VADD", 1))
+        service.close()
+        assert service.telemetry.enabled is False
+
+
+class TestCliTrace:
+    def test_trace_writes_valid_chrome_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(["trace", "conv2d", "--items", "2",
+                     "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {
+            event["name"] for event in document["traceEvents"]
+            if event["ph"] in ("X", "i")
+        }
+        assert {"job", "device.program", "fold_step"} <= names
+
+    def test_metrics_prom_output(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(["metrics", "vadd", "--items", "2", "--format", "prom",
+                     "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE service_admission counter" in text
+        assert "freac_folding_steps" in text
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        assert main(["trace", "nosuch"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_conv2d_alias(self):
+        assert canonical_benchmark("conv2d") == "CONV"
+        assert canonical_benchmark("GEMM") == "GEMM"
+
+
+class TestValidateChromeTrace:
+    def test_rejects_empty(self):
+        assert validate_chrome_trace({"traceEvents": []})
+        assert validate_chrome_trace([1, 2, 3])
+
+    def test_names_missing_spans(self):
+        document = {"traceEvents": [
+            {"ph": "X", "name": "job"},
+        ]}
+        problems = validate_chrome_trace(document)
+        assert any("device.program" in problem for problem in problems)
+        assert any("fold_step" in problem for problem in problems)

@@ -1,0 +1,143 @@
+"""Metric primitives: counters, gauges, histograms, reservoir."""
+
+import pytest
+
+from repro.telemetry import MetricRegistry, Reservoir
+from repro.telemetry.metrics import DEFAULT_BUCKETS, label_key
+
+
+class TestLabelKey:
+    def test_order_independent(self):
+        assert label_key({"a": 1, "b": 2}) == label_key({"b": 2, "a": 1})
+
+    def test_values_stringified(self):
+        assert label_key({"slice": 3}) == (("slice", "3"),)
+
+    def test_empty(self):
+        assert label_key({}) == ()
+
+
+class TestCounter:
+    def test_series_independent(self):
+        registry = MetricRegistry()
+        counter = registry.counter("hits")
+        counter.inc(slice=0)
+        counter.inc(3, slice=1)
+        assert counter.value(slice=0) == 1
+        assert counter.value(slice=1) == 3
+        assert counter.total == 4
+
+    def test_unlabeled_series(self):
+        counter = MetricRegistry().counter("n")
+        counter.inc()
+        counter.inc()
+        assert counter.value() == 2
+
+    def test_negative_rejected(self):
+        counter = MetricRegistry().counter("n")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_unknown_series_is_zero(self):
+        assert MetricRegistry().counter("n").value(slice=9) == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        histogram = MetricRegistry().histogram("latency")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(0.006)
+        assert histogram.mean() == pytest.approx(0.002)
+
+    def test_empty_accessors(self):
+        histogram = MetricRegistry().histogram("latency")
+        assert histogram.count() == 0
+        assert histogram.mean() is None
+        assert histogram.percentile(0.5) is None
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("dup", buckets=(1.0, 1.0))
+
+    def test_bucket_counts_cumulate_correctly(self):
+        histogram = MetricRegistry().histogram(
+            "h", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        ((_, series),) = histogram.series()
+        # One observation per band: <=1, <=2, <=4, +Inf.
+        assert series.bucket_counts == [1, 1, 1, 1]
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-6
+        assert DEFAULT_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_plain(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("c").inc(slice=1)
+        registry.histogram("h").observe(0.5)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestReservoir:
+    def test_deterministic_under_seed(self):
+        def fill(seed):
+            reservoir = Reservoir(capacity=16, seed=seed)
+            for value in range(1000):
+                reservoir.add(float(value))
+            return reservoir.samples()
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)
+
+    def test_capacity_bounds_memory(self):
+        reservoir = Reservoir(capacity=8)
+        for value in range(10_000):
+            reservoir.add(float(value))
+        assert reservoir.sample_count == 8
+        assert reservoir.count == 10_000
+
+    def test_small_stream_kept_exactly(self):
+        reservoir = Reservoir(capacity=100)
+        for value in range(10):
+            reservoir.add(float(value))
+        assert sorted(reservoir.samples()) == [float(v) for v in range(10)]
+        # Nearest-rank: rank round(0.5 * 10) - 1 = 4 of the sorted sample.
+        assert reservoir.percentile(0.5) == 4.0
+
+    def test_percentile_bounds_checked(self):
+        reservoir = Reservoir()
+        reservoir.add(1.0)
+        with pytest.raises(ValueError):
+            reservoir.percentile(1.5)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Reservoir(capacity=0)

@@ -1,0 +1,126 @@
+"""Tracer: spans, cycle events, bounding, and the null facade."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    Tracer,
+    get_telemetry,
+    resolve,
+    set_telemetry,
+    use_telemetry,
+)
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("phase", "cat", step=1):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "phase"
+        assert span.category == "cat"
+        assert span.attrs == {"step": 1}
+        assert span.duration_s >= 0.0
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.spans] == ["doomed"]
+
+    def test_retroactive_span(self):
+        tracer = Tracer()
+        tracer.record_span("job", 1.0, 3.5, "service", job_id=7)
+        (span,) = tracer.spans
+        assert span.duration_s == pytest.approx(2.5)
+        assert span.attrs["job_id"] == 7
+
+    def test_cycle_events_keep_track_and_order(self):
+        tracer = Tracer()
+        tracer.cycle_event("fold_step", 3, track="slice0/tile1")
+        tracer.cycle_event("fold_step", 4, track="slice0/tile1")
+        assert [event.cycle for event in tracer.cycle_events] == [3, 4]
+        assert tracer.cycle_events[0].track == "slice0/tile1"
+
+    def test_bounded_and_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        for cycle in range(5):
+            tracer.cycle_event("e", cycle)
+        tracer.record_span("late", 0.0, 1.0)
+        assert len(tracer.cycle_events) == 2
+        assert len(tracer.spans) == 0
+        assert tracer.dropped == 4
+
+    def test_span_totals_aggregate(self):
+        tracer = Tracer()
+        tracer.record_span("a", 0.0, 1.0)
+        tracer.record_span("a", 0.0, 2.0)
+        tracer.record_span("b", 0.0, 0.5)
+        totals = tracer.span_totals()
+        assert totals["a"]["count"] == 2
+        assert totals["a"]["total_s"] == pytest.approx(3.0)
+        assert totals["b"]["total_s"] == pytest.approx(0.5)
+
+    def test_event_counts(self):
+        tracer = Tracer()
+        tracer.cycle_event("x", 0)
+        tracer.cycle_event("x", 1)
+        tracer.cycle_event("y", 0)
+        assert tracer.event_counts() == {"x": 2, "y": 1}
+
+
+class TestNullTelemetry:
+    def test_disabled_flag(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry().enabled is True
+
+    def test_everything_is_a_noop(self):
+        null = NullTelemetry()
+        null.counter("a").inc(slice=1)
+        null.gauge("b").set(2)
+        null.histogram("c").observe(0.5)
+        with null.span("s"):
+            pass
+        null.record_span("r", 0.0, 1.0)
+        null.cycle_event("e", 0)
+        assert null.counter("a").value() == 0.0
+
+    def test_no_state_allocated(self):
+        assert not hasattr(NullTelemetry(), "metrics")
+
+
+class TestInjection:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_resolve_prefers_explicit(self):
+        live = Telemetry()
+        assert resolve(live) is live
+        assert resolve(None) is get_telemetry()
+
+    def test_set_and_restore(self):
+        live = Telemetry()
+        previous = set_telemetry(live)
+        try:
+            assert get_telemetry() is live
+            assert resolve(None) is live
+        finally:
+            set_telemetry(previous)
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_use_telemetry_scopes(self):
+        live = Telemetry()
+        with use_telemetry(live) as active:
+            assert active is live
+            assert get_telemetry() is live
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_use_telemetry_restores_on_error(self):
+        with pytest.raises(ValueError):
+            with use_telemetry(Telemetry()):
+                raise ValueError
+        assert get_telemetry() is NULL_TELEMETRY
