@@ -1,0 +1,146 @@
+"""Executor-engine benchmarks: vectorized vs. reference batch sweep.
+
+For each benchmark and batch size, runs the same batch through both
+execution engines (docs/execution.md) on fresh, identical tiles and
+reports items/s.  The vectorized engine evaluates each scheduled slot
+once per folding step across the whole batch (SoA), so its advantage
+grows with the batch; the sweep makes the crossover visible.
+
+Writes ``BENCH_executor.json``: a list of
+``{benchmark, batch, reference_s, vectorized_s, items_per_s_reference,
+items_per_s_vectorized, speedup}`` rows.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py
+    PYTHONPATH=src python benchmarks/bench_executor.py --quick --check
+
+``--check`` exits non-zero if the vectorized engine is slower than the
+reference engine at any batch size >= 8 (the CI smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.cache.subarray import Subarray
+from repro.circuits.library import build_pe, mapped_pe
+from repro.folding import TileResources, list_schedule
+from repro.freac.engine import ENGINES
+from repro.freac.executor import FoldedExecutor
+from repro.freac.mcc import MicroComputeCluster
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+BENCHMARKS = ("DOT", "GEMM", "CONV")
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+CHECK_FLOOR_BATCH = 8   # at and beyond this, vectorized must not lose
+
+
+def make_tile(mccs: int) -> List[MicroComputeCluster]:
+    return [
+        MicroComputeCluster(i, [Subarray() for _ in range(4)])
+        for i in range(mccs)
+    ]
+
+
+def random_streams(name: str, batch: int,
+                   rng: random.Random) -> Dict[str, List[List[int]]]:
+    pe = build_pe(name)
+    return {
+        stream: [
+            [rng.getrandbits(31) for _ in range(words)]
+            for _ in range(batch)
+        ]
+        for stream, words in pe.loads.items()
+    }
+
+
+def time_engine(schedule, streams, batch: int, engine: str,
+                reps: int) -> float:
+    """Best-of-``reps`` wall seconds for one batch on a fresh tile."""
+    executor = FoldedExecutor(schedule, make_tile(schedule.resources.mccs))
+    executor.load_configuration()
+    executor.run_batch(batch, streams=streams, engine=engine)  # warm-up
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        executor.run_batch(batch, streams=streams, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def sweep(benchmarks: Sequence[str], batches: Sequence[int],
+          reps: int) -> List[Dict[str, object]]:
+    rng = random.Random(0)
+    rows: List[Dict[str, object]] = []
+    for name in benchmarks:
+        schedule = list_schedule(mapped_pe(name), TileResources(mccs=2))
+        for batch in batches:
+            streams = random_streams(name, batch, rng)
+            seconds = {
+                engine: time_engine(schedule, streams, batch, engine, reps)
+                for engine in ENGINES
+            }
+            speedup = seconds["reference"] / seconds["vectorized"]
+            rows.append({
+                "benchmark": name,
+                "batch": batch,
+                "reference_s": seconds["reference"],
+                "vectorized_s": seconds["vectorized"],
+                "items_per_s_reference": batch / seconds["reference"],
+                "items_per_s_vectorized": batch / seconds["vectorized"],
+                "speedup": speedup,
+            })
+            print(f"{name:5s} batch={batch:3d} "
+                  f"ref={seconds['reference'] * 1e3:8.2f}ms "
+                  f"vec={seconds['vectorized'] * 1e3:8.2f}ms "
+                  f"speedup={speedup:6.2f}x")
+    return rows
+
+
+def check(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """CI gate: vectorized must win at every batch >= 8 ([] = ok)."""
+    problems = []
+    for row in rows:
+        if row["batch"] >= CHECK_FLOOR_BATCH and row["speedup"] < 1.0:
+            problems.append(
+                f"{row['benchmark']} batch={row['batch']}: vectorized is "
+                f"{1.0 / row['speedup']:.2f}x SLOWER than reference"
+            )
+    return problems
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-scale sweep for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if vectorized loses at batch >= 8")
+    parser.add_argument("--out", default=str(OUT),
+                        help="result path (default BENCH_executor.json)")
+    args = parser.parse_args(list(argv) or None)
+
+    if args.quick:
+        rows = sweep(("DOT", "GEMM"), (1, 8, 16), reps=2)
+    else:
+        rows = sweep(BENCHMARKS, BATCHES, reps=5)
+    Path(args.out).write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check(rows)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,15 @@ Seeds the service bench trajectory.  Three timed scenarios:
   compiled-program cache supplies the mapped netlist and schedule, so
   only placement + execution remain;
 * ``mixed_burst``  — a 9-job burst over three benchmarks against a
-  warm cache, exercising batching and slice packing.
+  warm cache, exercising batching and slice packing.  Runs once per
+  execution engine (docs/execution.md): the ``vectorized`` row is the
+  headline, the ``mixed_burst_reference`` row is the scalar baseline,
+  and the printed engine speedup on items/s must be >= 5x.
 
 Writes ``BENCH_service.json``: a list of
-``{name, items, wall_s, cache_hit_rate}`` rows, plus a printed
-cold/warm speedup (the serving layer's acceptance bar is >= 5x).
+``{name, items, wall_s, cache_hit_rate, ...}`` rows (burst rows add
+``engine`` and ``items_per_s``), plus a printed cold/warm speedup (the
+serving layer's acceptance bar is >= 5x).
 
 Also writes a ``BENCH_service_metrics.json`` sidecar: a metric
 snapshot + span totals from one *separate* telemetry-enabled burst.
@@ -71,10 +75,11 @@ def bench_cold_vs_warm(items: int = 2) -> List[Dict[str, object]]:
     return rows
 
 
-def bench_mixed_burst(jobs_per_benchmark: int = 3,
-                      items: int = 4) -> List[Dict[str, object]]:
+def _burst_once(engine: str, jobs_per_benchmark: int,
+                items: int) -> Dict[str, object]:
     benchmarks = ["VADD", "DOT", "SRT"]
-    service = AcceleratorService(system=scaled_system(l3_slices=2))
+    service = AcceleratorService(system=scaled_system(l3_slices=2),
+                                 engine=engine)
     for name in benchmarks:                 # warm the program cache
         service.result(service.submit(name, 1))
     start = time.perf_counter()
@@ -88,10 +93,34 @@ def bench_mixed_burst(jobs_per_benchmark: int = 3,
     wall = time.perf_counter() - start
     stats = service.stats()
     total = items * len(jobs)
-    print(f"burst of {len(jobs)} jobs ({total} items) in "
-          f"{wall * 1e3:8.2f} ms   cache hit rate "
-          f"{stats.cache_hit_rate:.0%}   batched {stats.batched_jobs} jobs")
-    return [_entry("mixed_burst", total, wall, stats.cache_hit_rate)]
+    name = ("mixed_burst" if engine == "vectorized"
+            else f"mixed_burst_{engine}")
+    row = _entry(name, total, wall, stats.cache_hit_rate)
+    row["engine"] = engine
+    row["items_per_s"] = total / wall
+    print(f"burst of {len(jobs)} jobs ({total} items, {engine}) in "
+          f"{wall * 1e3:8.2f} ms   {total / wall:8.0f} items/s   "
+          f"cache hit rate {stats.cache_hit_rate:.0%}   "
+          f"batched {stats.batched_jobs} jobs")
+    return row
+
+
+def bench_mixed_burst(jobs_per_benchmark: int = 3,
+                      items: int = 64) -> List[Dict[str, object]]:
+    # Same-benchmark jobs merge into one wave of
+    # jobs_per_benchmark * items, so the vectorized engine sees batches
+    # deep enough for the SoA fast path to pay off (BENCH_executor.json
+    # has the per-batch crossover).
+    rows = [
+        _burst_once(engine, jobs_per_benchmark, items)
+        for engine in ("reference", "vectorized")
+    ]
+    by_engine = {row["engine"]: row for row in rows}
+    speedup = (by_engine["vectorized"]["items_per_s"]
+               / by_engine["reference"]["items_per_s"])
+    print(f"mixed_burst engine speedup {speedup:6.1f}x "
+          f"(vectorized vs reference items/s)")
+    return rows
 
 
 def metrics_sidecar(items: int = 4) -> Dict[str, object]:

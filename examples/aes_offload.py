@@ -19,7 +19,12 @@ import os
 
 from repro.circuits.library import mapped_pe
 from repro.folding import TileResources, list_schedule
-from repro.freac import FreacDevice, SlicePartition, StreamBinding
+from repro.freac import (
+    ExecutionSession,
+    FreacDevice,
+    SlicePartition,
+    StreamBinding,
+)
 from repro.freac.device import AcceleratorProgram
 from repro.params import scaled_system
 from repro.workloads.kernels import aes_encrypt_block, aes_expand_key
@@ -49,36 +54,37 @@ def main() -> None:
 
     print("== Encrypting on a 16-MCC tile in the LLC ==")
     device = FreacDevice(scaled_system(l3_slices=1))
-    device.setup(SlicePartition(compute_ways=8, scratchpad_ways=4))
-    device.program(AcceleratorProgram("AES", netlist), mccs_per_tile=16)
-    controller = device.controllers[0]
+    partition = SlicePartition(compute_ways=8, scratchpad_ways=4)
+    with ExecutionSession(device, partition) as session:
+        session.program(AcceleratorProgram("AES", netlist),
+                        mccs_per_tile=16)
 
-    key = os.urandom(16)
-    round_keys = aes_expand_key(key)
-    rk_words = [w for rk in round_keys for w in words(bytes(rk))]
-    controller.fill_scratchpad(0, rk_words)  # key schedule, once
+        key = os.urandom(16)
+        round_keys = aes_expand_key(key)
+        rk_words = [w for rk in round_keys for w in words(bytes(rk))]
+        session.fill(0, rk_words)  # key schedule, once
 
-    blocks = [os.urandom(16) for _ in range(BLOCKS)]
-    for index, block in enumerate(blocks):
-        controller.fill_scratchpad(1024 + index * 4, words(block))
+        blocks = [os.urandom(16) for _ in range(BLOCKS)]
+        for index, block in enumerate(blocks):
+            session.fill(1024 + index * 4, words(block))
 
-    binding = {
-        "rk": StreamBinding(0, 0),          # shared across items
-        "pt": StreamBinding(1024, 4),
-        "ct": StreamBinding(2048, 4),
-    }
-    controller.run_batch(BLOCKS, binding)
+        binding = {
+            "rk": StreamBinding(0, 0),          # shared across items
+            "pt": StreamBinding(1024, 4),
+            "ct": StreamBinding(2048, 4),
+        }
+        session.run_batch(BLOCKS, binding)
 
-    for index, block in enumerate(blocks):
-        got_words = controller.read_scratchpad(2048 + index * 4, 4)
-        got = b"".join(int(w).to_bytes(4, "little") for w in got_words)
-        expected = aes_encrypt_block(block, key)
-        status = "✓" if got == expected else "✗"
-        print(f"   block {index}: {got.hex()} {status}")
-        assert got == expected, "ciphertext mismatch!"
-    print("   all ciphertexts match the FIPS-197 reference "
-          "(computed through ~22k folded LUT evaluations each)")
-    device.teardown()
+        for index, block in enumerate(blocks):
+            got_words = session.read(2048 + index * 4, 4)
+            got = b"".join(int(w).to_bytes(4, "little") for w in got_words)
+            expected = aes_encrypt_block(block, key)
+            status = "✓" if got == expected else "✗"
+            print(f"   block {index}: {got.hex()} {status}")
+            assert got == expected, "ciphertext mismatch!"
+        print("   all ciphertexts match the FIPS-197 reference "
+              "(computed through ~22k folded LUT evaluations each)")
+    # Leaving the session unlocked the compute/scratchpad ways.
 
 
 if __name__ == "__main__":

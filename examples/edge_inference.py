@@ -21,7 +21,12 @@ from repro.experiments.common import (
 )
 from repro.circuits.library import build_pe, mapped_pe
 from repro.folding import TileResources, list_schedule
-from repro.freac import FreacDevice, SlicePartition, StreamBinding
+from repro.freac import (
+    ExecutionSession,
+    FreacDevice,
+    SlicePartition,
+    StreamBinding,
+)
 from repro.freac.device import AcceleratorProgram
 from repro.params import scaled_system
 from repro.workloads.kernels import fc_layer
@@ -35,37 +40,36 @@ def functional_check() -> None:
     print("== Functional: one FC layer tile in a single slice ==")
     pe = build_pe("FC")
     device = FreacDevice(scaled_system(l3_slices=1))
-    device.setup(SlicePartition(compute_ways=4, scratchpad_ways=6))
-    device.program(AcceleratorProgram("FC", mapped_pe("FC")),
-                   mccs_per_tile=2)
+    partition = SlicePartition(compute_ways=4, scratchpad_ways=6)
+    with ExecutionSession(device, partition) as session:
+        session.program(AcceleratorProgram("FC", mapped_pe("FC")),
+                        mccs_per_tile=2)
 
-    rng = np.random.default_rng(3)
-    x = rng.integers(0, 1 << 10, size=INPUTS)
-    weights = rng.integers(0, 1 << 10, size=(NEURONS, INPUTS))
-    biases = rng.integers(0, 1 << 10, size=NEURONS)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 1 << 10, size=INPUTS)
+        weights = rng.integers(0, 1 << 10, size=(NEURONS, INPUTS))
+        biases = rng.integers(0, 1 << 10, size=NEURONS)
 
-    controller = device.controllers[0]
-    # Layout: per neuron (= per item): x | w row | bias.
-    for neuron in range(NEURONS):
-        controller.fill_scratchpad(neuron * INPUTS, [int(v) for v in x])
-        controller.fill_scratchpad(
-            8192 + neuron * INPUTS, [int(v) for v in weights[neuron]]
-        )
-        controller.fill_scratchpad(16384 + neuron, [int(biases[neuron])])
-    binding = {
-        "x": StreamBinding(0, INPUTS),
-        "w": StreamBinding(8192, INPUTS),
-        "bias": StreamBinding(16384, 1),
-        "y": StreamBinding(20000, 1),
-    }
-    controller.run_batch(NEURONS, binding)
-    got = controller.read_scratchpad(20000, NEURONS)
+        # Layout: per neuron (= per item): x | w row | bias.
+        for neuron in range(NEURONS):
+            session.fill(neuron * INPUTS, [int(v) for v in x])
+            session.fill(
+                8192 + neuron * INPUTS, [int(v) for v in weights[neuron]]
+            )
+            session.fill(16384 + neuron, [int(biases[neuron])])
+        binding = {
+            "x": StreamBinding(0, INPUTS),
+            "w": StreamBinding(8192, INPUTS),
+            "bias": StreamBinding(16384, 1),
+            "y": StreamBinding(20000, 1),
+        }
+        session.run_batch(NEURONS, binding)
+        got = session.read(20000, NEURONS)
     expected = fc_layer([int(v) for v in x], weights.tolist(),
                         [int(b) for b in biases])
     assert got == expected, "FC outputs diverge from the reference!"
     print(f"   {NEURONS} neurons x {INPUTS} inputs, ReLU applied — "
           "outputs match the Python reference ✓")
-    device.teardown()
 
 
 def performance_projection() -> None:

@@ -60,8 +60,14 @@ def main() -> None:
     print(f"   locked ways -> {report.mccs} MCCs + "
           f"{report.scratchpad_bytes // 1024} KB scratchpad "
           f"({report.flushed_dirty_lines} dirty lines flushed)")
+    # The slice is already partitioned (via MMIO above), so program it
+    # through its controller.  When the host program owns the whole
+    # lifecycle, prefer `repro.freac.ExecutionSession`, which scopes
+    # setup -> program -> run -> teardown and always unlocks the ways
+    # (docs/execution.md) — examples/aes_offload.py shows that flow.
     program = AcceleratorProgram("dot8", mapped.netlist)
-    prog = device.program(program, mccs_per_tile=1)[0]
+    controller = device.controllers[0]
+    prog = controller.program(program.schedule_for(1))
     print(f"   programmed {prog.tiles} accelerator tiles "
           f"({prog.config_words_per_mcc} config words per MCC)")
 
@@ -69,7 +75,6 @@ def main() -> None:
     rng = np.random.default_rng(7)
     a = rng.integers(0, 1 << 20, size=(ITEMS, PAIRS))
     w = rng.integers(0, 1 << 20, size=(ITEMS, PAIRS))
-    controller = device.controllers[0]
     for item in range(ITEMS):
         controller.fill_scratchpad(item * PAIRS, [int(x) for x in a[item]])
         controller.fill_scratchpad(4096 + item * PAIRS,
@@ -90,7 +95,7 @@ def main() -> None:
     assert got == expected, "accelerator output mismatch!"
     print(f"   all {ITEMS} dot products match the NumPy reference ✓")
 
-    device.teardown()
+    controller.teardown()
     print("   ways unlocked; the slice is a plain cache again.")
 
 

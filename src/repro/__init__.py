@@ -31,6 +31,7 @@ paper-vs-measured results.
 
 from . import cache, circuits, folding, freac, memory, params, power, workloads
 from .params import SystemParams, default_system
+from .request import RunRequest
 
 __version__ = "1.0.0"
 
@@ -45,5 +46,6 @@ __all__ = [
     "workloads",
     "SystemParams",
     "default_system",
+    "RunRequest",
     "__version__",
 ]

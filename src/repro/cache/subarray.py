@@ -57,6 +57,47 @@ class Subarray:
         self._check_row(row)
         return int(self._rows[row])
 
+    def charge_reads(self, count: int) -> None:
+        """Account ``count`` extra row reads without moving data.
+
+        The batch-vectorized engine performs one physical row access
+        for a whole batch but must charge the same traffic the
+        hardware would see (one access per invocation).
+        """
+        if count < 0:
+            raise CacheError("cannot charge a negative access count")
+        self.reads += count
+
+    def charge_writes(self, count: int) -> None:
+        """Account ``count`` extra row writes without moving data."""
+        if count < 0:
+            raise CacheError("cannot charge a negative access count")
+        self.writes += count
+
+    def gather_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized multi-row read; charges one access per row."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.rows):
+            raise CacheError("gather exceeds sub-array bounds")
+        self.reads += int(rows.size)
+        return self._rows[rows]
+
+    def scatter_rows(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized multi-row write; charges one access per row.
+
+        Later duplicates win, matching a sequential write stream.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.rows):
+            raise CacheError("scatter exceeds sub-array bounds")
+        values = np.asarray(values, dtype=np.uint64)
+        if values.size and int(values.max()) > self._mask:
+            raise CacheError(
+                f"value does not fit a {self.params.port_bits}-bit row"
+            )
+        self.writes += int(rows.size)
+        self._rows[rows] = values.astype(np.uint32)
+
     def load_words(self, start_row: int, words: np.ndarray) -> None:
         """Bulk-load rows, charging one write per row."""
         end = start_row + len(words)

@@ -167,20 +167,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .freac.device import FreacDevice
     from .freac.runner import run_workload
     from .params import scaled_system
+    from .request import RunRequest
     from .workloads.suite import benchmark_names
 
-    name = args.benchmark.upper()
-    if name not in benchmark_names():
-        print(f"unknown benchmark {name!r}; pick one of "
+    request = RunRequest.from_args(args)
+    if request.benchmark not in benchmark_names():
+        print(f"unknown benchmark {request.benchmark!r}; pick one of "
               f"{', '.join(benchmark_names())}", file=sys.stderr)
         return 2
     device = FreacDevice(scaled_system(l3_slices=args.slices))
-    report = run_workload(device, name, args.items,
-                          mccs_per_tile=args.tile, seed=args.seed)
+    report = run_workload(
+        device, request.benchmark, request.items,
+        mccs_per_tile=request.mccs_per_tile, seed=request.seed,
+        engine=request.engine,
+    )
     print(f"benchmark   : {report.benchmark}")
     print(f"items       : {report.items} across {report.slices_used} slices")
     print(f"tiles/slice : {report.tiles_per_slice} "
-          f"({args.tile} MCCs each)")
+          f"({request.mccs_per_tile} MCCs each)")
+    print(f"engine      : {request.engine}")
     print(f"LUT evals   : {report.lut_evaluations}")
     print(f"MAC ops     : {report.mac_operations}")
     print(f"bus words   : {report.bus_words}")
@@ -246,6 +251,10 @@ def main(argv: List[str] | None = None) -> int:
     runp.add_argument("--tile", type=int, default=1,
                       help="MCCs per accelerator tile")
     runp.add_argument("--seed", type=int, default=0)
+    from .freac.engine import ENGINES
+
+    runp.add_argument("--engine", choices=ENGINES, default=None,
+                      help="execution engine (default: vectorized)")
 
     args = parser.parse_args(argv)
 

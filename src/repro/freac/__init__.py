@@ -11,12 +11,14 @@ from .scratchpad import Scratchpad
 from .mcc import MicroComputeCluster
 from .ccctrl import ComputeClusterController
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .engine import BatchResult, DEFAULT_ENGINE, ENGINES, validate_engine
 from .executor import FoldedExecutor, ExecutionStats, StreamBinding
 from .hostif import HostInterface, Register
 from .device import FreacDevice, AcceleratorProgram
 from .fabric import SwitchFabric
 from .planner import PartitionPlan, plan_partition
 from .runner import WorkloadRunReport, run_workload
+from .session import ExecutionSession
 from .timing import (
     KernelTiming,
     EndToEndTiming,
@@ -25,6 +27,11 @@ from .timing import (
 )
 
 __all__ = [
+    "BatchResult",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ExecutionSession",
+    "validate_engine",
     "FoldedLut",
     "Scratchpad",
     "MicroComputeCluster",

@@ -22,6 +22,7 @@ from ..memory.dram import DramModel
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .engine import DEFAULT_ENGINE, validate_engine
 from .executor import ExecutionStats, FoldedExecutor, StreamBinding
 
 
@@ -249,19 +250,28 @@ class ComputeClusterController:
         self,
         items: int,
         scratchpad_map: Dict[str, StreamBinding],
+        *,
+        engine: str = DEFAULT_ENGINE,
     ) -> ExecutionStats:
         """Run ``items`` invocations, round-robin across the tiles.
 
         Tiles operate in lock-step on the same schedule, so item *i*
         goes to tile ``i % tiles`` — the data-parallel split the paper
         uses ("work is divided evenly across all available accelerator
-        tiles", Sec. V).
+        tiles", Sec. V).  Each tile's whole item set is handed to
+        :meth:`FoldedExecutor.run_batch` in one call, so with
+        ``engine="vectorized"`` the items execute in SoA lock-step.
         """
         if self.state is not ControllerState.CONFIGURED:
             raise ProtocolError("program the accelerator before running")
-        for item in range(items):
-            executor = self.executors[item % len(self.executors)]
-            executor.run(scratchpad_map=scratchpad_map, item=item)
+        validate_engine(engine)
+        tiles = len(self.executors)
+        for tile, executor in enumerate(self.executors):
+            indices = range(tile, items, tiles)
+            if indices:
+                executor.run_batch(
+                    indices, scratchpad_map=scratchpad_map, engine=engine
+                )
         total = ExecutionStats()
         for executor in self.executors:
             stats = executor.stats

@@ -12,6 +12,7 @@ Cache in Multi-Core Systems").
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -25,6 +26,7 @@ from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .engine import DEFAULT_ENGINE
 from .executor import StreamBinding
 from .hostif import HostInterface
 
@@ -130,46 +132,29 @@ class FreacDevice:
             raise ConfigurationError("duplicate slice indices")
         return indices
 
-    def setup(self, partition: SlicePartition,
-              slices: Union[int, Sequence[int], None] = None) -> List[SetupReport]:
-        """Partition slices: all by default, the first N for an int,
-        or exactly the given indices for a sequence.
-
-        The index form is what a multi-tenant scheduler uses to place
-        independent jobs on disjoint slices of one device — slices are
-        independent (Sec. III-E), so each can hold its own partition
-        and accelerator.
-        """
-        indices = self._resolve_slices(slices)
+    def _setup_slices(
+        self, partition: SlicePartition, indices: Sequence[int]
+    ) -> List[SetupReport]:
+        """Partition exactly ``indices`` (already resolved/validated)."""
         if not indices:
             raise ConfigurationError("need at least one slice")
         return [self.controllers[i].setup(partition) for i in indices]
 
-    def program(self, program: AcceleratorProgram,
-                mccs_per_tile: int,
-                slices: Optional[Sequence[int]] = None,
-                *, preflight: bool = True) -> List[ProgramReport]:
-        """Program partitioned slices with an accelerator.
-
-        By default every partitioned slice gets the same accelerator
-        (the paper's data-parallel mode).  Passing ``slices`` programs
-        only those indices — slices are independent (Sec. III-E), so
-        different accelerators can coexist, one per slice.
-        ``preflight=False`` skips the schedule lint when the caller
-        already vetted the schedule (the serving layer lints once at
-        admission instead of once per executor).
-        """
+    def _program_slices(
+        self,
+        program: AcceleratorProgram,
+        mccs_per_tile: int,
+        indices: Sequence[int],
+        *,
+        preflight: bool = True,
+    ) -> List[ProgramReport]:
+        """Program exactly ``indices`` with one accelerator schedule."""
         schedule = program.schedule_for(mccs_per_tile)
-        if slices is None:
-            targets = [
-                c for c in self.controllers if c.state.value != "idle"
-            ]
-        else:
-            targets = []
-            for index in slices:
-                if not 0 <= index < self.slice_count:
-                    raise ConfigurationError(f"slice {index} out of range")
-                targets.append(self.controllers[index])
+        targets = []
+        for index in indices:
+            if not 0 <= index < self.slice_count:
+                raise ConfigurationError(f"slice {index} out of range")
+            targets.append(self.controllers[index])
         reports = [
             controller.program(schedule, preflight=preflight)
             for controller in targets
@@ -178,10 +163,68 @@ class FreacDevice:
             raise DeviceError("no slice is partitioned; call setup first")
         return reports
 
-    def teardown(self, slices: Optional[Sequence[int]] = None) -> None:
-        """Release slices back to plain cache (all by default)."""
-        for index in self._resolve_slices(slices):
+    def _teardown_slices(self, indices: Sequence[int]) -> None:
+        for index in indices:
             self.controllers[index].teardown()
+
+    def setup(self, partition: SlicePartition,
+              slices: Union[int, Sequence[int], None] = None) -> List[SetupReport]:
+        """Partition slices: all by default, the first N for an int,
+        or exactly the given indices for a sequence.
+
+        .. deprecated::
+            Use :class:`repro.freac.session.ExecutionSession`, which
+            scopes the whole setup/program/run/teardown lifecycle and
+            releases the ways on every error path (docs/execution.md).
+        """
+        warnings.warn(
+            "FreacDevice.setup is deprecated; manage the lifecycle with "
+            "repro.freac.ExecutionSession",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._setup_slices(partition, self._resolve_slices(slices))
+
+    def program(self, program: AcceleratorProgram,
+                mccs_per_tile: int,
+                slices: Optional[Sequence[int]] = None,
+                *, preflight: bool = True) -> List[ProgramReport]:
+        """Program partitioned slices with an accelerator.
+
+        By default every partitioned slice gets the same accelerator
+        (the paper's data-parallel mode).
+
+        .. deprecated::
+            Use :meth:`repro.freac.session.ExecutionSession.program`.
+        """
+        warnings.warn(
+            "FreacDevice.program is deprecated; manage the lifecycle with "
+            "repro.freac.ExecutionSession",
+            DeprecationWarning, stacklevel=2,
+        )
+        if slices is None:
+            indices = [
+                i for i, c in enumerate(self.controllers)
+                if c.state.value != "idle"
+            ]
+        else:
+            indices = list(slices)
+        return self._program_slices(
+            program, mccs_per_tile, indices, preflight=preflight
+        )
+
+    def teardown(self, slices: Optional[Sequence[int]] = None) -> None:
+        """Release slices back to plain cache (all by default).
+
+        .. deprecated::
+            Use :class:`repro.freac.session.ExecutionSession`, which
+            tears down automatically.
+        """
+        warnings.warn(
+            "FreacDevice.teardown is deprecated; manage the lifecycle "
+            "with repro.freac.ExecutionSession",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._teardown_slices(self._resolve_slices(slices))
 
     # ------------------------------------------------------------------
     # Functional batch execution (small problem sizes)
@@ -193,6 +236,7 @@ class FreacDevice:
         scratchpad_map: Dict[str, StreamBinding],
         *,
         per_slice_items: Optional[Sequence[int]] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> Dict[str, int]:
         """Run a batch split across slices; returns aggregate counters.
 
@@ -217,7 +261,7 @@ class FreacDevice:
         for controller, count in zip(active, per_slice_items):
             if count == 0:
                 continue
-            stats = controller.run_batch(count, scratchpad_map)
+            stats = controller.run_batch(count, scratchpad_map, engine=engine)
             totals["invocations"] += stats.invocations
             totals["lut_evaluations"] += stats.lut_evaluations
             totals["mac_operations"] += stats.mac_operations

@@ -31,6 +31,13 @@ from ..folding.config import ConfigImage, generate_config
 from ..folding.schedule import FoldingSchedule, OpSlot
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
+from .engine import (
+    DEFAULT_ENGINE,
+    BatchResult,
+    VectorizationUnsupported,
+    run_batch_vectorized,
+    validate_engine,
+)
 from .mcc import MicroComputeCluster
 from .scratchpad import Scratchpad
 
@@ -77,7 +84,14 @@ class ExecutionStats:
         return self.bus_loads + self.bus_stores
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        """A detached plain-``int`` snapshot of the counters.
+
+        Bulk charges on the vectorized path may carry numpy integer
+        types; coercing here guarantees the dict is JSON-serialisable
+        and shares no mutable state with the live counters, so two
+        engines (or two snapshots) can never alias each other.
+        """
+        return {key: int(value) for key, value in self.__dict__.items()}
 
 
 class FoldedExecutor:
@@ -365,6 +379,106 @@ class FoldedExecutor:
             for stream, by_index in store_streams.items()
         }
         return InvocationResult(outputs=outputs, stores=stores, trace=trace)
+
+    def run_batch(
+        self,
+        items: "int | Sequence[int]",
+        *,
+        streams: Optional[Mapping[str, Sequence[Sequence[int]]]] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+        scratchpad_map: Optional[Mapping[str, StreamBinding]] = None,
+        engine: str = DEFAULT_ENGINE,
+        collect_trace: bool = False,
+    ) -> BatchResult:
+        """Execute a whole batch of invocations in one call.
+
+        ``items`` is either a count (items ``0..N-1``) or an explicit
+        sequence of global item indices (which place each lane in the
+        scratchpad).  ``streams`` is item-major — ``streams[s][lane]``
+        is lane *lane*'s word list; ``bindings`` values may be scalars
+        (broadcast) or per-lane sequences.
+
+        ``engine="vectorized"`` runs all lanes in SoA lock-step (see
+        :mod:`repro.freac.engine`), falling back to the reference loop
+        for runs it cannot represent (sequential netlists, ragged
+        streams, trace collection).  Results and every counter are
+        bit-for-bit identical between engines.
+        """
+        validate_engine(engine)
+        if isinstance(items, (int, np.integer)):
+            indices: List[int] = list(range(int(items)))
+        else:
+            indices = [int(i) for i in items]
+        if engine == "vectorized" and not collect_trace:
+            try:
+                return run_batch_vectorized(
+                    self,
+                    indices,
+                    streams=streams,
+                    bindings=bindings,
+                    scratchpad_map=scratchpad_map,
+                )
+            except VectorizationUnsupported:
+                pass
+        return self._run_batch_reference(
+            indices,
+            streams=streams,
+            bindings=bindings,
+            scratchpad_map=scratchpad_map,
+            collect_trace=collect_trace,
+        )
+
+    def _run_batch_reference(
+        self,
+        indices: Sequence[int],
+        *,
+        streams: Optional[Mapping[str, Sequence[Sequence[int]]]] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+        scratchpad_map: Optional[Mapping[str, StreamBinding]] = None,
+        collect_trace: bool = False,
+    ) -> BatchResult:
+        """The scalar loop, reshaped into the batched result layout."""
+        streams = streams or {}
+        bindings = bindings or {}
+        results: List[InvocationResult] = []
+        for lane, item in enumerate(indices):
+            lane_streams = {s: data[lane] for s, data in streams.items()}
+            lane_bindings = {
+                name: int(value) if isinstance(value, (int, np.integer))
+                else int(value[lane])  # type: ignore[index]
+                for name, value in bindings.items()
+            }
+            results.append(
+                self.run(
+                    streams=lane_streams,
+                    bindings=lane_bindings,
+                    scratchpad_map=scratchpad_map,
+                    item=item,
+                    collect_trace=collect_trace,
+                )
+            )
+        outputs: Dict[str, np.ndarray] = {}
+        stores: Dict[str, np.ndarray] = {}
+        if results:
+            outputs = {
+                name: np.array(
+                    [r.outputs[name] for r in results], dtype=np.uint32
+                )
+                for name in results[0].outputs
+            }
+            stores = {
+                stream: np.array(
+                    [r.stores[stream] for r in results], dtype=np.uint32
+                )
+                for stream in results[0].stores
+            }
+        return BatchResult(
+            items=len(indices),
+            engine="reference",
+            outputs=outputs,
+            stores=stores,
+            traces=[r.trace for r in results] if collect_trace else [],
+        )
 
     # ------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from ..workloads.datagen import Dataset, dataset_for
 from .ccctrl import ComputeClusterController
 from .compute_slice import SlicePartition
 from .device import AcceleratorProgram, FreacDevice
+from .engine import DEFAULT_ENGINE
 from .executor import StreamBinding
 
 
@@ -140,6 +141,7 @@ def execute_on_controllers(
     *,
     pe: Optional[PeCircuit] = None,
     telemetry: Optional[Telemetry] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[Dict[str, int], List[int]]:
     """Fill, run, and verify one batch on the given slice controllers.
 
@@ -147,6 +149,11 @@ def execute_on_controllers(
     counters of this batch (deltas, so repeated batches on the same
     programmed slices do not double-count) and the global indices of
     every item whose stores mismatched the reference.
+
+    Fills and readbacks are issued as one bulk scratchpad transfer per
+    stream per slice, and the run itself goes through the batched
+    controller entry point, so with ``engine="vectorized"`` the whole
+    batch executes in SoA lock-step (docs/execution.md).
     """
     if not controllers:
         raise DeviceError("no controllers to execute on")
@@ -160,15 +167,27 @@ def execute_on_controllers(
         for slice_index, controller in enumerate(controllers):
             begin = slice_index * chunk
             count = per_slice_items[slice_index]
-            for local in range(count):
-                for stream in pe.loads:
-                    binding = layout[stream]
+            if not count:
+                continue
+            for stream in pe.loads:
+                binding = layout[stream]
+                data = dataset.loads[stream][begin:begin + count]
+                if all(len(item_words) == binding.words_per_item
+                       for item_words in data):
+                    # Per-item regions are contiguous, so the whole
+                    # stream goes down as one bulk fill.
                     controller.fill_scratchpad(
-                        binding.base_word + local * binding.words_per_item,
-                        dataset.loads[stream][begin + local],
+                        binding.base_word,
+                        [word for item_words in data for word in item_words],
                     )
-            if count:
-                controller.run_batch(count, layout)
+                else:
+                    for local, item_words in enumerate(data):
+                        controller.fill_scratchpad(
+                            binding.base_word
+                            + local * binding.words_per_item,
+                            item_words,
+                        )
+            controller.run_batch(count, layout, engine=engine)
     after = _controller_totals(controllers)
     totals = {key: after[key] - before[key] for key in after}
 
@@ -177,17 +196,22 @@ def execute_on_controllers(
                   benchmark=dataset.benchmark, items=dataset.items):
         for slice_index, controller in enumerate(controllers):
             begin = slice_index * chunk
-            for local in range(per_slice_items[slice_index]):
-                item = begin + local
-                for stream in pe.stores:
-                    binding = layout[stream]
-                    got = controller.read_scratchpad(
-                        binding.base_word + local * binding.words_per_item,
-                        binding.words_per_item,
-                    )
-                    if got != dataset.expected[stream][item]:
-                        mismatched.append(item)
-                        break
+            count = per_slice_items[slice_index]
+            if not count:
+                continue
+            bad = set()
+            for stream in pe.stores:
+                binding = layout[stream]
+                words = binding.words_per_item
+                got = controller.read_scratchpad(
+                    binding.base_word, count * words
+                )
+                for local in range(count):
+                    item = begin + local
+                    if (got[local * words:(local + 1) * words]
+                            != dataset.expected[stream][item]):
+                        bad.add(item)
+            mismatched.extend(sorted(bad))
     return totals, mismatched
 
 
@@ -202,6 +226,7 @@ def run_workload(
     dataset: Optional[Dataset] = None,
     program: Optional[AcceleratorProgram] = None,
     telemetry: Optional[Telemetry] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> WorkloadRunReport:
     """Run ``items`` invocations of benchmark ``name``, data-parallel
     across every slice, and verify each result.
@@ -212,9 +237,13 @@ def run_workload(
     ``telemetry`` installs it on the device for the duration of the
     run, so setup/program/teardown spans, per-tile folding events, and
     scratchpad counters all land in one place (docs/observability.md).
+
+    The whole lifecycle is scoped by an
+    :class:`~repro.freac.session.ExecutionSession`, so the ways are
+    released even if execution raises mid-run.
     """
-    if telemetry is not None:
-        device.set_telemetry(telemetry)
+    from .session import ExecutionSession
+
     tel = resolve(telemetry if telemetry is not None else device.telemetry)
     partition = partition or SlicePartition(compute_ways=4, scratchpad_ways=4)
     if partition.scratchpad_ways == 0:
@@ -233,16 +262,14 @@ def run_workload(
         program = build_program(name, mccs_per_tile=mccs_per_tile,
                                 telemetry=tel)
 
-    device.setup(partition)
-    device.program(program, mccs_per_tile)
-
     pe = build_pe(name)
-    pad_words = device.controllers[0].slice.scratchpad.words
-    layout = plan_layout(dataset, pad_words, pe=pe)
-    totals, mismatched = execute_on_controllers(
-        device.controllers, dataset, layout, pe=pe, telemetry=tel
-    )
-    device.teardown()
+    with ExecutionSession(
+        device, partition, engine=engine, telemetry=telemetry
+    ) as session:
+        session.program(program, mccs_per_tile)
+        pad_words = session.controllers[0].slice.scratchpad.words
+        layout = plan_layout(dataset, pad_words, pe=pe)
+        totals, mismatched = session.execute(dataset, layout, pe=pe)
 
     return WorkloadRunReport(
         benchmark=name.upper(),

@@ -72,13 +72,73 @@ class Scratchpad:
         subarray.write_row(row, value & 0xFFFFFFFF)
 
     # ------------------------------------------------------------------
+    # Batched (vectorized) access — docs/execution.md
+    # ------------------------------------------------------------------
+
+    def _route_batch(self, addresses: np.ndarray):
+        """Vectorized :meth:`_route`: (subarray-group key, row) arrays."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and (
+            addresses.min() < 0 or addresses.max() >= self.words
+        ):
+            bad = int(addresses.min() if addresses.min() < 0
+                      else addresses.max())
+            raise CapacityError(
+                f"scratchpad word {bad} out of range (capacity "
+                f"{self.words} words / {self.size_bytes} bytes)"
+            )
+        local = addresses % self._words_per_way
+        group = (
+            (addresses // self._words_per_way) * self._subarrays_per_way
+            + local % self._subarrays_per_way
+        )
+        rows = local // self._subarrays_per_way
+        return addresses, group, rows
+
+    def _subarray_of(self, group_key: int):
+        way = self._ways[group_key // self._subarrays_per_way]
+        return way.subarrays[group_key % self._subarrays_per_way]
+
+    def read_words_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather many words at once; accounting matches word-at-a-time.
+
+        One access is charged per address on both the scratchpad and
+        the owning sub-arrays, exactly as ``len(addresses)`` calls to
+        :meth:`read_word` would.
+        """
+        addresses, group, rows = self._route_batch(addresses)
+        self.reads += int(addresses.size)
+        out = np.zeros(addresses.size, dtype=np.uint32)
+        for key in np.unique(group):
+            mask = group == key
+            out[mask] = self._subarray_of(int(key)).gather_rows(rows[mask])
+        return out
+
+    def write_words_batch(self, addresses: np.ndarray,
+                          values: np.ndarray) -> None:
+        """Scatter many words at once; later duplicates win."""
+        addresses, group, rows = self._route_batch(addresses)
+        values = np.asarray(values, dtype=np.uint64) & np.uint64(0xFFFFFFFF)
+        self.writes += int(addresses.size)
+        for key in np.unique(group):
+            mask = group == key
+            self._subarray_of(int(key)).scatter_rows(rows[mask], values[mask])
+
+    # ------------------------------------------------------------------
     # Host-side bulk operations
     # ------------------------------------------------------------------
 
     def fill_words(self, start_word: int, values: Sequence[int]) -> None:
-        """Host initialisation path: store each word in sequence."""
-        for offset, value in enumerate(values):
-            self.write_word(start_word + offset, int(value))
+        """Host initialisation path: store a run of words.
+
+        Implemented as one vectorized scatter; the accounting is the
+        word-at-a-time model's (one write per word).
+        """
+        data = np.asarray(list(values), dtype=np.uint64)
+        if data.size == 0:
+            return
+        addresses = start_word + np.arange(data.size, dtype=np.int64)
+        self.write_words_batch(addresses, data)
 
     def fill_bytes(self, start_byte: int, data: bytes) -> None:
         if start_byte % 4 or len(data) % 4:
@@ -87,7 +147,10 @@ class Scratchpad:
         self.fill_words(start_byte // 4, [int(w) for w in words])
 
     def dump_words(self, start_word: int, count: int) -> List[int]:
-        return [self.read_word(start_word + offset) for offset in range(count)]
+        if count == 0:
+            return []
+        addresses = start_word + np.arange(count, dtype=np.int64)
+        return [int(w) for w in self.read_words_batch(addresses)]
 
     def dump_bytes(self, start_byte: int, size: int) -> bytes:
         if start_byte % 4 or size % 4:

@@ -1,0 +1,218 @@
+"""``ExecutionSession``: one accelerator lifecycle as a context manager.
+
+The Fig. 5 flow — select/flush/lock ways, write the configuration,
+fill operands, run, unlock — used to be spelled out by every caller as
+``device.setup() → device.program() → … → device.teardown()``, with
+each caller responsible for tearing down on every error path.  The
+session object owns that lifecycle instead:
+
+    with ExecutionSession(device, partition, slices=(0, 2)) as session:
+        session.program(program, mccs_per_tile=2)
+        totals, mismatched = session.execute(dataset, layout)
+    # ways are unlocked here, even if execute() raised
+
+It pins the slice indices it claimed, the telemetry sink, and the
+execution engine choice (``"vectorized"`` or ``"reference"``, see
+docs/execution.md), so the runner and the serving layer are thin
+callers.  The old ``FreacDevice.setup/program/teardown`` methods
+remain as delegates that emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from ..errors import DeviceError, ProtocolError
+from ..telemetry import Telemetry
+from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
+from .compute_slice import SlicePartition
+from .device import AcceleratorProgram, FreacDevice
+from .engine import DEFAULT_ENGINE, validate_engine
+from .executor import StreamBinding
+
+
+class ExecutionSession:
+    """Owns ``setup → program → fill/run → teardown`` on one device.
+
+    Entering the session partitions the chosen slices; leaving it —
+    normally or via an exception — releases them back to plain cache.
+    A session is single-use: re-entering a closed session raises.
+    """
+
+    def __init__(
+        self,
+        device: FreacDevice,
+        partition: Optional[SlicePartition] = None,
+        *,
+        slices: Union[int, Sequence[int], None] = None,
+        engine: str = DEFAULT_ENGINE,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.device = device
+        self.partition = partition or SlicePartition(
+            compute_ways=4, scratchpad_ways=4
+        )
+        self.engine = validate_engine(engine)
+        if telemetry is not None:
+            device.set_telemetry(telemetry)
+        self.telemetry = device.telemetry
+        self._requested_slices = slices
+        self.slice_indices: Tuple[int, ...] = ()
+        self.setup_reports: List[SetupReport] = []
+        self.program_reports: List[ProgramReport] = []
+        self._active = False
+        self._used = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionSession":
+        if self._active:
+            raise ProtocolError("the session is already active")
+        if self._used:
+            raise ProtocolError("a session is single-use; create a new one")
+        self.slice_indices = tuple(
+            self.device._resolve_slices(self._requested_slices)
+        )
+        self.setup_reports = self.device._setup_slices(
+            self.partition, self.slice_indices
+        )
+        self._active = True
+        self._used = True
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Release the session's slices (idempotent)."""
+        if not self._active:
+            return
+        try:
+            self.device._teardown_slices(self.slice_indices)
+        finally:
+            self._active = False
+            self.program_reports = []
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def programmed(self) -> bool:
+        return bool(self.program_reports)
+
+    @property
+    def controllers(self) -> List[ComputeClusterController]:
+        self._require_active()
+        return [self.device.controllers[i] for i in self.slice_indices]
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise ProtocolError("the session is not active; use `with`")
+
+    def _require_programmed(self) -> None:
+        self._require_active()
+        if not self.program_reports:
+            raise ProtocolError("program the session before running")
+
+    # ------------------------------------------------------------------
+    # Fig. 5 steps 4-6
+    # ------------------------------------------------------------------
+
+    def program(
+        self,
+        program: AcceleratorProgram,
+        mccs_per_tile: int = 1,
+        *,
+        preflight: bool = True,
+    ) -> List[ProgramReport]:
+        """Write the accelerator bitstream into every session slice."""
+        self._require_active()
+        self.program_reports = self.device._program_slices(
+            program, mccs_per_tile, self.slice_indices, preflight=preflight
+        )
+        return self.program_reports
+
+    def fill(self, start_word: int, values: Sequence[int],
+             *, slice_index: int = 0) -> None:
+        """Fill one session slice's scratchpad (host push, step 5)."""
+        self._require_active()
+        self._controller(slice_index).fill_scratchpad(start_word, values)
+
+    def read(self, start_word: int, count: int,
+             *, slice_index: int = 0) -> List[int]:
+        """Drain result words from one session slice's scratchpad."""
+        self._require_active()
+        return self._controller(slice_index).read_scratchpad(
+            start_word, count
+        )
+
+    def _controller(self, slice_index: int) -> ComputeClusterController:
+        if not 0 <= slice_index < len(self.slice_indices):
+            raise DeviceError(
+                f"session slice {slice_index} out of range "
+                f"0..{len(self.slice_indices) - 1}"
+            )
+        return self.device.controllers[self.slice_indices[slice_index]]
+
+    def run_batch(
+        self,
+        items: int,
+        scratchpad_map: Dict[str, StreamBinding],
+        *,
+        per_slice_items: Optional[Sequence[int]] = None,
+    ) -> Dict[str, int]:
+        """Run a batch data-parallel across the session's slices.
+
+        Same contract as the old ``FreacDevice.run_batch``, but scoped
+        to this session's slices and engine choice.
+        """
+        self._require_programmed()
+        if per_slice_items is None:
+            chunk = -(-items // len(self.slice_indices))
+            per_slice_items = [
+                max(0, min(chunk, items - i * chunk))
+                for i in range(len(self.slice_indices))
+            ]
+        totals = {
+            "invocations": 0,
+            "lut_evaluations": 0,
+            "mac_operations": 0,
+            "bus_words": 0,
+        }
+        for controller, count in zip(self.controllers, per_slice_items):
+            if count == 0:
+                continue
+            stats = controller.run_batch(
+                count, scratchpad_map, engine=self.engine
+            )
+            totals["invocations"] += stats.invocations
+            totals["lut_evaluations"] += stats.lut_evaluations
+            totals["mac_operations"] += stats.mac_operations
+            totals["bus_words"] += stats.bus_words
+        return totals
+
+    def execute(self, dataset, layout, *, pe=None):
+        """Fill, run, and verify a whole dataset batch on the session.
+
+        Thin wrapper over
+        :func:`repro.freac.runner.execute_on_controllers` that supplies
+        the session's controllers, telemetry, and engine.  Returns
+        ``(totals, mismatched_item_indices)``.
+        """
+        self._require_programmed()
+        from .runner import execute_on_controllers
+
+        return execute_on_controllers(
+            self.controllers, dataset, layout,
+            pe=pe, telemetry=self.telemetry, engine=self.engine,
+        )

@@ -11,9 +11,10 @@ drains, and prints per-job lines plus a stats summary.
 Request line grammar (``#`` starts a comment)::
 
     BENCH ITEMS [key=value ...]
-    # keys: priority, tile, lut, slices, seed, timeout
+    # keys: priority, tile, lut, slices, seed, timeout, engine
     GEMM 8 priority=2 slices=2
     AES 4 timeout=30
+    DOT 16 engine=reference
 """
 
 from __future__ import annotations
@@ -25,7 +26,9 @@ from typing import IO, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError, RequestError
 from ..freac.compute_slice import SlicePartition
+from ..freac.engine import ENGINES, validate_engine
 from ..params import scaled_system
+from ..request import RunRequest
 from .jobs import Job, JobState
 from .service import AcceleratorService
 
@@ -36,6 +39,7 @@ _KEYS = {
     "slices": ("slices", int),
     "seed": ("seed", int),
     "timeout": ("timeout_s", float),
+    "engine": ("engine", validate_engine),
 }
 
 
@@ -66,7 +70,7 @@ def parse_request(line: str) -> Optional[Tuple[str, int, Dict]]:
         name, cast = _KEYS[key]
         try:
             kwargs[name] = cast(value)
-        except ValueError:
+        except (ValueError, ReproError):
             raise RequestError(f"bad value in {token!r}") from None
     return benchmark, items, kwargs
 
@@ -125,11 +129,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     """One-shot: submit a single request and wait for its result."""
     service = build_service(args)
     try:
-        job = service.submit(
-            args.benchmark, args.items, priority=args.priority,
-            mccs_per_tile=args.tile, slices=args.job_slices,
-            seed=args.seed,
-        )
+        job = service.submit_request(RunRequest.from_args(args))
         service.result(job)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -226,6 +226,10 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
     submit.add_argument("--job-slices", type=int, default=1,
                         help="device slices this job runs across")
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--lut-inputs", type=int, default=5,
+                        help="LUT width the program is mapped to")
+    submit.add_argument("--engine", choices=ENGINES, default=None,
+                        help="execution engine (default: vectorized)")
     common(submit)
 
     serve = sub.add_parser(

@@ -47,11 +47,16 @@ class JobRequest:
     timeout_s: Optional[float] = None  # queue-wait deadline
     seed: int = 0
     dataset: Optional[Dataset] = None
+    engine: str = "vectorized"         # execution engine (docs/execution.md)
 
-    def batch_key(self) -> Tuple[str, int, int, int]:
-        """Jobs with equal keys can share one programmed accelerator."""
+    def batch_key(self) -> Tuple[str, int, int, int, str]:
+        """Jobs with equal keys can share one programmed accelerator.
+
+        The engine is part of the key: a wave runs under exactly one
+        engine, so jobs pinned to different engines never merge.
+        """
         return (self.benchmark, self.lut_inputs, self.mccs_per_tile,
-                self.slices)
+                self.slices, self.engine)
 
 
 @dataclass

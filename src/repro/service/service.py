@@ -34,7 +34,9 @@ from ..circuits.library import build_pe
 from ..errors import CapacityError, ReproError, RequestError, ServiceError
 from ..freac.compute_slice import SlicePartition
 from ..freac.device import FreacDevice
-from ..freac.runner import execute_on_controllers, plan_layout
+from ..freac.engine import DEFAULT_ENGINE, validate_engine
+from ..freac.runner import plan_layout
+from ..freac.session import ExecutionSession
 from ..params import SystemParams
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
@@ -70,6 +72,7 @@ class AcceleratorService:
         batching: bool = True,
         max_batch_items: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         if devices < 1:
             raise ServiceError("the service needs at least one device")
@@ -91,6 +94,7 @@ class AcceleratorService:
         self.max_retries = max_retries
         self.batching = batching
         self.max_batch_items = max_batch_items
+        self.engine = validate_engine(engine)
 
         self.queue = JobQueue()
         self.jobs: Dict[int, Job] = {}
@@ -119,6 +123,7 @@ class AcceleratorService:
         timeout_s: Optional[float] = None,
         seed: int = 0,
         dataset: Optional[Dataset] = None,
+        engine: Optional[str] = None,
     ) -> Job:
         """Admit one request; returns its :class:`Job` immediately.
 
@@ -159,6 +164,7 @@ class AcceleratorService:
             benchmark=benchmark.upper(), items=items, priority=priority,
             mccs_per_tile=mccs_per_tile, lut_inputs=lut_inputs,
             slices=slices, timeout_s=timeout_s, seed=seed, dataset=dataset,
+            engine=validate_engine(engine) if engine else self.engine,
         )
         job = Job(
             id=self._next_id, request=request,
@@ -190,6 +196,16 @@ class AcceleratorService:
         self._compiled[job.id] = compiled
         self.queue.push(job)
         return job
+
+    def submit_request(self, request) -> Job:
+        """Admit one :class:`repro.request.RunRequest`.
+
+        The CLI front ends build a validated request object once and
+        hand it over whole instead of re-threading each knob.
+        """
+        return self.submit(
+            request.benchmark, request.items, **request.submit_kwargs()
+        )
 
     def result(self, job: Union[Job, int],
                timeout_s: Optional[float] = None) -> JobResult:
@@ -230,7 +246,9 @@ class AcceleratorService:
     def pump(self) -> int:
         """Run one scheduling wave; returns jobs brought to terminal."""
         finished = 0
-        waves: List[Tuple[List[Job], Placement, CompiledProgram]] = []
+        waves: List[
+            Tuple[List[Job], Placement, CompiledProgram, ExecutionSession]
+        ] = []
         blocked: List[Job] = []
 
         while True:
@@ -252,15 +270,26 @@ class AcceleratorService:
                 blocked.extend(live)
                 break
             compiled = self._compiled[live[0].id]
-            device = self.devices[placement.device]
-            device.setup(self.partition, slices=placement.slices)
-            # Admission already linted this program's schedule (the
-            # report ships with the cache entry), so skip the
-            # per-executor preflight repeat.
-            device.program(
-                compiled.to_accelerator(), compiled.mccs_per_tile,
-                slices=placement.slices, preflight=False,
+            # One lifecycle-scoped session per wave: slices are locked
+            # here and guaranteed released after the wave, even if the
+            # run raises (docs/execution.md).
+            session = ExecutionSession(
+                self.devices[placement.device], self.partition,
+                slices=placement.slices, engine=live[0].request.engine,
             )
+            session.__enter__()
+            try:
+                # Admission already linted this program's schedule (the
+                # report ships with the cache entry), so skip the
+                # per-executor preflight repeat.
+                session.program(
+                    compiled.to_accelerator(), compiled.mccs_per_tile,
+                    preflight=False,
+                )
+            except BaseException:
+                session.close()
+                self.pool.release(placement)
+                raise
             now = time.perf_counter()
             for job in live:
                 job.state = JobState.RUNNING
@@ -270,14 +299,16 @@ class AcceleratorService:
                         "service.queue_wait_s",
                         "seconds between submission and placement",
                     ).observe(now - job.submitted_at)
-            waves.append((live, placement, compiled))
+            waves.append((live, placement, compiled, session))
 
         self.queue.requeue(blocked)
 
-        for group, placement, compiled in waves:
-            finished += self._execute_wave(group, placement, compiled)
-            self.devices[placement.device].teardown(slices=placement.slices)
-            self.pool.release(placement)
+        for group, placement, compiled, session in waves:
+            try:
+                finished += self._execute_wave(group, compiled, session)
+            finally:
+                session.close()
+                self.pool.release(placement)
         return finished
 
     def _expired(self, job: Job) -> bool:
@@ -300,12 +331,14 @@ class AcceleratorService:
     def _execute_wave(
         self,
         group: List[Job],
-        placement: Placement,
         compiled: CompiledProgram,
+        session: ExecutionSession,
     ) -> int:
-        device = self.devices[placement.device]
-        controllers = [device.controllers[i] for i in placement.slices]
-        scratchpad = controllers[0].slice.scratchpad
+        placement = Placement(
+            device=self.devices.index(session.device),
+            slices=session.slice_indices,
+        )
+        scratchpad = session.controllers[0].slice.scratchpad
         assert scratchpad is not None
         pad_words = scratchpad.words
         pe = build_pe(compiled.benchmark)
@@ -333,7 +366,7 @@ class AcceleratorService:
                 items=merged.items, device=placement.device,
             ):
                 totals, mismatched, retries = self._run_with_retry(
-                    controllers, merged, pad_words, pe
+                    session, merged, pad_words, pe
                 )
         except ReproError as exc:
             logger.warning("wave of %d job(s) failed: %s", len(group), exc)
@@ -363,7 +396,7 @@ class AcceleratorService:
 
     def _run_with_retry(
         self,
-        controllers,
+        session: ExecutionSession,
         dataset: Dataset,
         pad_words: int,
         pe,
@@ -403,9 +436,7 @@ class AcceleratorService:
                 pending.appendleft(chunk.slice(half, chunk.items))
                 pending.appendleft(chunk.slice(0, half))
                 continue
-            chunk_totals, bad = execute_on_controllers(
-                controllers, chunk, layout, pe=pe, telemetry=self.telemetry
-            )
+            chunk_totals, bad = session.execute(chunk, layout, pe=pe)
             for key in totals:
                 totals[key] += chunk_totals[key]
             mismatched.extend(done_items + item for item in bad)
@@ -490,4 +521,4 @@ class AcceleratorService:
     def close(self) -> None:
         """Release every device way back to plain cache mode."""
         for device in self.devices:
-            device.teardown()
+            device._teardown_slices(range(device.slice_count))

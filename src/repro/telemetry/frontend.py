@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import ReproError
 from .core import Telemetry
@@ -48,21 +48,25 @@ def traced_run(args: argparse.Namespace) -> Tuple[Telemetry, bool]:
     """
     from ..freac.compute_slice import SlicePartition
     from ..params import scaled_system
+    from ..request import RunRequest
     from ..service.service import AcceleratorService
 
-    telemetry = Telemetry(seed=args.seed, max_trace_events=args.max_events)
+    request = RunRequest.from_args(args, telemetry=True)
+    telemetry = Telemetry(seed=request.seed, max_trace_events=args.max_events)
     service = AcceleratorService(
         devices=args.devices,
         system=scaled_system(l3_slices=args.device_slices),
         partition=SlicePartition(compute_ways=4, scratchpad_ways=4),
         telemetry=telemetry,
     )
-    benchmark = canonical_benchmark(args.benchmark)
+    benchmark = canonical_benchmark(request.benchmark)
     ok = True
     try:
         jobs = [
-            service.submit(benchmark, args.items,
-                           mccs_per_tile=args.tile, seed=args.seed + index)
+            service.submit_request(
+                request.replace(benchmark=benchmark,
+                                seed=request.seed + index)
+            )
             for index in range(args.jobs)
         ]
         for job in jobs:
@@ -168,6 +172,10 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
                             help="LLC slices per device")
         parser.add_argument("--max-events", type=int, default=200_000,
                             help="tracer event budget before dropping")
+        from ..freac.engine import ENGINES
+
+        parser.add_argument("--engine", choices=ENGINES, default=None,
+                            help="execution engine (default: vectorized)")
 
     trace = sub.add_parser(
         "trace", help="run a benchmark and write a Chrome/Perfetto trace"

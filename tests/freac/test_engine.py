@@ -1,0 +1,392 @@
+"""Batch-vectorized engine ≡ reference engine, bit for bit.
+
+The SoA fast path (docs/execution.md) must be indistinguishable from
+the scalar per-item loop in *everything* the model exposes: outputs,
+stores, scratchpad contents, executor stats, and every access counter
+down to the individual sub-arrays.  These tests hold the two engines
+side by side on identical hardware state and diff all of it.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.subarray import Subarray
+from repro.circuits import CircuitBuilder, simulate, technology_map
+from repro.circuits.library import build_pe, mapped_pe, pe_names
+from repro.errors import DeviceError
+from repro.folding import TileResources, list_schedule
+from repro.freac.compute_slice import ReconfigurableComputeSlice, SlicePartition
+from repro.freac.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BatchResult,
+    validate_engine,
+)
+from repro.freac.executor import ExecutionStats, FoldedExecutor, StreamBinding
+from repro.freac.mcc import MicroComputeCluster
+from repro.params import SubarrayParams
+
+FAST_PES = [name for name in pe_names() if name != "AES"]
+
+
+def make_tile(mccs, params=None):
+    return [
+        MicroComputeCluster(i, [Subarray(params) for _ in range(4)])
+        for i in range(mccs)
+    ]
+
+
+def make_pair(schedule, mccs, params=None):
+    """Two executors on identical fresh hardware sharing one config."""
+    reference = FoldedExecutor(schedule, make_tile(mccs, params))
+    vectorized = FoldedExecutor(
+        schedule, make_tile(mccs, params), config=reference.config
+    )
+    reference.load_configuration()
+    vectorized.load_configuration()
+    return reference, vectorized
+
+
+def counters(executor):
+    """Every counter the model exposes, flattened into one dict."""
+    state = executor.stats.as_dict()
+    state["subarray_reads"] = sum(
+        sub.reads for mcc in executor.tile for sub in mcc.subarrays
+    )
+    state["subarray_writes"] = sum(
+        sub.writes for mcc in executor.tile for sub in mcc.subarrays
+    )
+    state["lut_evaluations"] = sum(
+        lut.evaluations for mcc in executor.tile for lut in mcc.luts
+    )
+    state["lut_reconfigurations"] = sum(
+        lut.reconfigurations for mcc in executor.tile for lut in mcc.luts
+    )
+    state["mac_operations"] = sum(
+        mcc.mac.operations for mcc in executor.tile
+    )
+    return state
+
+
+def assert_equivalent(reference, vectorized, ref_result, vec_result):
+    assert vec_result.engine == "vectorized"
+    assert ref_result.outputs.keys() == vec_result.outputs.keys()
+    for name in ref_result.outputs:
+        np.testing.assert_array_equal(
+            ref_result.outputs[name], vec_result.outputs[name]
+        )
+    assert ref_result.stores.keys() == vec_result.stores.keys()
+    for stream in ref_result.stores:
+        np.testing.assert_array_equal(
+            ref_result.stores[stream], vec_result.stores[stream]
+        )
+    assert counters(reference) == counters(vectorized)
+
+
+def random_streams(pe, batch, rng):
+    return {
+        stream: [
+            [rng.getrandbits(31) for _ in range(words)]
+            for _ in range(batch)
+        ]
+        for stream, words in pe.loads.items()
+    }
+
+
+class TestEngineSelector:
+    def test_known_engines(self):
+        assert DEFAULT_ENGINE in ENGINES
+        for engine in ENGINES:
+            assert validate_engine(engine) == engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(DeviceError):
+            validate_engine("turbo")
+
+    def test_run_batch_rejects_unknown_engine(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        with pytest.raises(DeviceError):
+            executor.run_batch(2, engine="turbo")
+
+
+class TestBenchmarkEquivalence:
+    @pytest.mark.parametrize("name", FAST_PES)
+    def test_batch_matches_reference_and_simulation(self, name):
+        pe = build_pe(name)
+        netlist = mapped_pe(name)
+        rng = random.Random(name.__hash__() & 0xFFF)
+        batch = 6
+        if name == "KMP":
+            streams = {
+                "state": [[2]] * batch,
+                "text": [[0x41 + i] for i in range(batch)],
+            }
+        else:
+            streams = random_streams(pe, batch, rng)
+        schedule = list_schedule(netlist, TileResources(mccs=2))
+        reference, vectorized = make_pair(schedule, mccs=2)
+        ref = reference.run_batch(batch, streams=streams, engine="reference")
+        vec = vectorized.run_batch(batch, streams=streams,
+                                   engine="vectorized")
+        assert_equivalent(reference, vectorized, ref, vec)
+        for lane in range(batch):
+            lane_streams = {s: streams[s][lane] for s in streams}
+            expected = simulate(netlist, streams=lane_streams)
+            assert vec.item_stores(lane) == expected.stores
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        batch=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_circuits_property(self, seed, batch):
+        """vectorized(batch) == [reference(item) for item in batch]."""
+        rng = random.Random(seed)
+        builder = CircuitBuilder(f"rand{seed}")
+        a = builder.bus_load("in")
+        b = builder.bus_load("in")
+        bits = a.bits[:8] + b.bits[:8]
+        for _ in range(24):
+            x, y = rng.choice(bits), rng.choice(bits)
+            bits.append(builder.xor_(x, y) if rng.random() < 0.5
+                        else builder.and_(x, y))
+        word = builder.word_from_bits(bits[-16:])
+        builder.bus_store("out", builder.mac(word, a, b))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        streams = {
+            "in": [
+                [rng.getrandbits(32), rng.getrandbits(32)]
+                for _ in range(batch)
+            ]
+        }
+        mccs = rng.choice((1, 2, 4))
+        schedule = list_schedule(netlist, TileResources(mccs=mccs))
+        reference, vectorized = make_pair(schedule, mccs=mccs)
+        ref = reference.run_batch(batch, streams=streams,
+                                  engine="reference")
+        vec = vectorized.run_batch(batch, streams=streams,
+                                   engine="vectorized")
+        assert_equivalent(reference, vectorized, ref, vec)
+
+
+class TestSegmentedEquivalence:
+    def _segmented_schedule(self):
+        builder = CircuitBuilder()
+        word = builder.bus_load("in")
+        acc = word.bits[0]
+        for bit in word.bits[1:]:
+            acc = builder.xor_(acc, bit)
+        builder.bus_store("out", builder.word_from_bits([acc]))
+        netlist = technology_map(builder.netlist, k=2).netlist
+        return list_schedule(netlist, TileResources())
+
+    @given(batch=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=8, deadline=None)
+    def test_config_reload_accounting_matches(self, batch):
+        """Segmented schedules reload per item; charges must match."""
+        schedule = self._segmented_schedule()
+        tiny = SubarrayParams(size_bytes=32)  # 8 rows -> many segments
+        reference, vectorized = make_pair(schedule, mccs=1, params=tiny)
+        assert reference.segments > 1
+        streams = {"in": [[0b1011 + i] for i in range(batch)]}
+        ref = reference.run_batch(batch, streams=streams,
+                                  engine="reference")
+        vec = vectorized.run_batch(batch, streams=streams,
+                                   engine="vectorized")
+        assert_equivalent(reference, vectorized, ref, vec)
+        # The reference engine rewinds to segment 0 for every item
+        # after the first; the vectorized engine charges the same.
+        assert (vectorized.stats.config_reloads
+                == batch * (reference.segments - 1))
+
+    def test_second_batch_rewind_accounting(self):
+        """Entering a batch with the last segment loaded still matches."""
+        schedule = self._segmented_schedule()
+        tiny = SubarrayParams(size_bytes=32)
+        reference, vectorized = make_pair(schedule, mccs=1, params=tiny)
+        for batch in (3, 2):  # second batch starts at segment != 0
+            streams = {"in": [[batch * 17 + i] for i in range(batch)]}
+            reference.run_batch(batch, streams=streams, engine="reference")
+            vectorized.run_batch(batch, streams=streams,
+                                 engine="vectorized")
+        assert counters(reference) == counters(vectorized)
+
+
+class TestScratchpadEquivalence:
+    def _scratchpad_executor(self):
+        compute_slice = ReconfigurableComputeSlice()
+        compute_slice.apply_partition(SlicePartition(2, 2))
+        netlist = mapped_pe("VADD")
+        schedule = list_schedule(netlist, TileResources())
+        executor = FoldedExecutor(
+            schedule, compute_slice.tiles(1)[0], compute_slice.scratchpad
+        )
+        executor.load_configuration()
+        return executor, compute_slice.scratchpad
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_through_scratchpad(self, engine):
+        executor, pad = self._scratchpad_executor()
+        pad.fill_words(0, [10, 20, 30])
+        pad.fill_words(100, [1, 2, 3])
+        binding = {
+            "a": StreamBinding(0, 1),
+            "b": StreamBinding(100, 1),
+            "c": StreamBinding(200, 1),
+        }
+        executor.run_batch(3, scratchpad_map=binding, engine=engine)
+        assert pad.dump_words(200, 3) == [11, 22, 33]
+
+    def test_scratchpad_access_counters_match(self):
+        results = {}
+        for engine in ENGINES:
+            executor, pad = self._scratchpad_executor()
+            pad.fill_words(0, [10, 20, 30])
+            pad.fill_words(100, [1, 2, 3])
+            binding = {
+                "a": StreamBinding(0, 1),
+                "b": StreamBinding(100, 1),
+                "c": StreamBinding(200, 1),
+            }
+            executor.run_batch(3, scratchpad_map=binding, engine=engine)
+            results[engine] = (pad.reads, pad.writes, counters(executor))
+        assert results["vectorized"] == results["reference"]
+
+    def test_explicit_item_indices_address_the_scratchpad(self):
+        """Global item numbers, not lane positions, pick the region."""
+        executor, pad = self._scratchpad_executor()
+        pad.fill_words(0, [10, 20, 30])
+        pad.fill_words(100, [1, 2, 3])
+        binding = {
+            "a": StreamBinding(0, 1),
+            "b": StreamBinding(100, 1),
+            "c": StreamBinding(200, 1),
+        }
+        executor.run_batch([2, 0], scratchpad_map=binding,
+                           engine="vectorized")
+        assert pad.dump_words(200, 3) == [11, 0, 33]
+
+
+class TestFallbacks:
+    def test_sequential_netlist_falls_back_to_reference(self):
+        """Flip-flop state threads item to item; lanes can't lock-step."""
+        builder = CircuitBuilder()
+        word = builder.bus_load("in")
+        state = builder.flipflop(init=0)
+        updated = builder.xor_(state, word.bits[0])
+        builder.bind_flipflop(state, updated)
+        builder.bus_store("out", builder.word_from_bits([updated]))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        schedule = list_schedule(netlist, TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        streams = {"in": [[1], [1], [1]]}
+        result = executor.run_batch(3, streams=streams, engine="vectorized")
+        assert result.engine == "reference"
+        # Alternating state proves the items really ran sequentially.
+        assert [int(w) for w in result.stores["out"][:, 0]] == [1, 0, 1]
+
+    def test_trace_collection_falls_back_to_reference(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        streams = {"a": [[1], [2]], "b": [[3], [4]]}
+        result = executor.run_batch(2, streams=streams,
+                                    engine="vectorized",
+                                    collect_trace=True)
+        assert result.engine == "reference"
+        assert len(result.traces) == 2
+        assert all(result.traces)
+
+    def test_empty_batch_is_a_no_op(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        result = executor.run_batch(0, engine="vectorized")
+        assert result.items == 0
+        assert executor.stats.invocations == 0
+
+    def test_vectorized_requires_configuration(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        with pytest.raises(DeviceError):
+            executor.run_batch(1, streams={"a": [[1]], "b": [[2]]})
+
+
+class TestBatchResult:
+    def test_item_accessors_round_trip(self):
+        pe = build_pe("VADD")
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        rng = random.Random(3)
+        streams = random_streams(pe, 4, rng)
+        result = executor.run_batch(4, streams=streams)
+        for lane in range(4):
+            lane_streams = {s: streams[s][lane] for s in streams}
+            expected = simulate(mapped_pe("VADD"), streams=lane_streams)
+            assert result.item_stores(lane) == expected.stores
+            outputs = result.item_outputs(lane)
+            assert all(isinstance(v, int) for v in outputs.values())
+
+    def test_bindings_broadcast_and_per_lane(self):
+        builder = CircuitBuilder()
+        a = builder.word_input("a")
+        b = builder.word_input("b")
+        builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        schedule = list_schedule(netlist, TileResources())
+        reference, vectorized = make_pair(schedule, mccs=1)
+        bindings = {"a": 3, "b": [1, 2, 5]}  # scalar broadcast + lanes
+        ref = reference.run_batch(3, bindings=bindings, engine="reference")
+        vec = vectorized.run_batch(3, bindings=bindings,
+                                   engine="vectorized")
+        assert_equivalent(reference, vectorized, ref, vec)
+        assert [int(w) for w in vec.stores["out"][:, 0]] == [3, 6, 15]
+
+
+class TestExecutionStatsDict:
+    def test_as_dict_is_plain_int_copy(self):
+        """Snapshots must not alias live counters or leak numpy types."""
+        stats = ExecutionStats()
+        stats.cycles += np.int64(5)  # a bulk charge, as the engine does
+        snapshot = stats.as_dict()
+        assert all(type(value) is int for value in snapshot.values())
+        snapshot["cycles"] = 999
+        assert stats.cycles == 5
+        second = stats.as_dict()
+        assert second["cycles"] == 5
+        assert second is not snapshot
+
+    def test_as_dict_json_serialisable_after_vectorized_run(self):
+        import json
+
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        executor.run_batch(3, streams={"a": [[1]] * 3, "b": [[2]] * 3})
+        text = json.dumps(executor.stats.as_dict())
+        assert '"invocations": 3' in text
+
+    def test_engines_share_no_mutable_state(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        reference, vectorized = make_pair(schedule, mccs=1)
+        streams = {"a": [[1], [2]], "b": [[3], [4]]}
+        reference.run_batch(2, streams=streams, engine="reference")
+        before = vectorized.stats.as_dict()
+        assert before["invocations"] == 0
+        vectorized.run_batch(2, streams=streams, engine="vectorized")
+        assert before["invocations"] == 0  # old snapshot untouched
+        assert vectorized.stats.as_dict() == reference.stats.as_dict()
+
+
+class TestBatchResultType:
+    def test_default_construction(self):
+        empty = BatchResult(items=0, engine="vectorized")
+        assert empty.outputs == {} and empty.stores == {}
+        assert empty.traces == []

@@ -1,0 +1,207 @@
+"""``ExecutionSession``: lifecycle scoping and error-path teardown.
+
+The session owns Fig. 5's setup → program → fill/run → teardown flow;
+the contract under test is that the claimed slices *always* come back
+as plain cache ways — including when the body of the ``with`` raises
+mid-run — and that the old ``FreacDevice`` entry points still work as
+deprecated delegates.
+"""
+
+import pytest
+
+from repro.circuits.library import mapped_pe
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    ProtocolError,
+    ReproError,
+)
+from repro.freac import ExecutionSession
+from repro.freac.compute_slice import SlicePartition
+from repro.freac.device import AcceleratorProgram, FreacDevice
+from repro.freac.executor import StreamBinding
+from repro.freac.runner import plan_layout
+from repro.params import scaled_system
+from repro.workloads.datagen import dataset_for
+
+
+def small_device(slices=2):
+    return FreacDevice(scaled_system(l3_slices=slices))
+
+
+def vadd_program():
+    return AcceleratorProgram("VADD", mapped_pe("VADD"))
+
+
+VADD_MAP = {
+    "a": StreamBinding(0, 1),
+    "b": StreamBinding(64, 1),
+    "c": StreamBinding(128, 1),
+}
+
+
+class TestLifecycle:
+    def test_enter_partitions_and_exit_releases(self):
+        device = small_device()
+        with ExecutionSession(device, SlicePartition(4, 2)) as session:
+            assert session.active
+            assert session.slice_indices == (0, 1)
+            assert len(session.setup_reports) == 2
+            states = [c.state.value for c in device.controllers]
+            assert states == ["partitioned", "partitioned"]
+        assert not session.active
+        assert all(c.state.value == "idle" for c in device.controllers)
+
+    def test_slice_subset_leaves_the_rest_alone(self):
+        device = small_device()
+        with ExecutionSession(device, SlicePartition(4, 2),
+                              slices=(1,)) as session:
+            assert session.slice_indices == (1,)
+            assert device.controllers[0].state.value == "idle"
+            assert device.controllers[1].state.value == "partitioned"
+        assert device.controllers[1].state.value == "idle"
+
+    def test_exception_in_body_still_tears_down(self):
+        """The regression this API exists for: no leaked way locks."""
+        device = small_device()
+        with pytest.raises(RuntimeError, match="mid-run"):
+            with ExecutionSession(device, SlicePartition(4, 2)) as session:
+                session.program(vadd_program())
+                raise RuntimeError("mid-run failure")
+        assert not session.active
+        assert all(c.state.value == "idle" for c in device.controllers)
+        # The freed slices are immediately reusable by a new session.
+        with ExecutionSession(device, SlicePartition(4, 2)) as again:
+            assert len(again.setup_reports) == 2
+
+    def test_failure_during_run_frees_slices(self):
+        device = small_device()
+        with pytest.raises(ReproError):
+            with ExecutionSession(device, SlicePartition(4, 2)) as session:
+                session.program(vadd_program())
+                # An unroutable scratchpad map fails inside run_batch;
+                # the session must still unwind and free the ways.
+                session.run_batch(4, {"bogus": StreamBinding(1 << 30, 1)})
+        assert all(c.state.value == "idle" for c in device.controllers)
+
+    def test_close_is_idempotent(self):
+        device = small_device()
+        session = ExecutionSession(device, SlicePartition(4, 2))
+        session.__enter__()
+        session.close()
+        session.close()
+        assert all(c.state.value == "idle" for c in device.controllers)
+
+    def test_single_use(self):
+        device = small_device()
+        session = ExecutionSession(device, SlicePartition(4, 2))
+        with session:
+            pass
+        with pytest.raises(ProtocolError):
+            session.__enter__()
+
+    def test_reenter_while_active_rejected(self):
+        device = small_device()
+        with ExecutionSession(device, SlicePartition(4, 2)) as session:
+            with pytest.raises(ProtocolError):
+                session.__enter__()
+
+    def test_bad_engine_rejected_at_construction(self):
+        with pytest.raises(DeviceError):
+            ExecutionSession(small_device(), engine="turbo")
+
+    def test_bad_slice_indices_rejected(self):
+        device = small_device()
+        with pytest.raises(ConfigurationError):
+            ExecutionSession(device, SlicePartition(4, 2),
+                             slices=(0, 7)).__enter__()
+
+    def test_methods_require_active_session(self):
+        session = ExecutionSession(small_device(), SlicePartition(4, 2))
+        with pytest.raises(ProtocolError):
+            session.controllers
+        with pytest.raises(ProtocolError):
+            session.fill(0, [1])
+        with pytest.raises(ProtocolError):
+            session.run_batch(1, VADD_MAP)
+
+
+class TestExecution:
+    def test_program_fill_run_read(self):
+        device = small_device()
+        with ExecutionSession(device, SlicePartition(4, 2)) as session:
+            assert not session.programmed
+            reports = session.program(vadd_program())
+            assert session.programmed and len(reports) == 2
+            for index in range(len(session.slice_indices)):
+                session.fill(0, [1, 2, 3, 4], slice_index=index)
+                session.fill(64, [10, 10, 10, 10], slice_index=index)
+            totals = session.run_batch(8, VADD_MAP)
+            assert totals["invocations"] == 8
+            assert session.read(128, 4)[:2] == [11, 12]
+
+    def test_run_requires_program(self):
+        with ExecutionSession(small_device(),
+                              SlicePartition(4, 2)) as session:
+            with pytest.raises(ProtocolError):
+                session.run_batch(4, VADD_MAP)
+
+    def test_slice_index_out_of_range(self):
+        with ExecutionSession(small_device(), SlicePartition(4, 2),
+                              slices=(1,)) as session:
+            with pytest.raises(DeviceError):
+                session.fill(0, [1], slice_index=1)
+
+    @pytest.mark.parametrize("engine", ("vectorized", "reference"))
+    def test_execute_dataset_end_to_end(self, engine):
+        device = small_device()
+        dataset = dataset_for("VADD", items=6)
+        with ExecutionSession(device, SlicePartition(4, 2),
+                              engine=engine) as session:
+            session.program(vadd_program())
+            pad_words = session.controllers[0].slice.scratchpad.words
+            layout = plan_layout(dataset, pad_words)
+            totals, mismatched = session.execute(dataset, layout)
+        assert mismatched == []
+        assert totals["invocations"] == 6
+
+    def test_engines_agree_on_device_counters(self):
+        results = {}
+        for engine in ("reference", "vectorized"):
+            device = small_device()
+            dataset = dataset_for("DOT", items=5, seed=7)
+            with ExecutionSession(device, SlicePartition(4, 2),
+                                  engine=engine) as session:
+                session.program(vadd_program().__class__(
+                    "DOT", mapped_pe("DOT")))
+                pad_words = session.controllers[0].slice.scratchpad.words
+                layout = plan_layout(dataset, pad_words)
+                totals, mismatched = session.execute(dataset, layout)
+            assert mismatched == []
+            results[engine] = totals
+        assert results["vectorized"] == results["reference"]
+
+
+class TestDeprecatedDelegates:
+    def test_setup_program_teardown_warn_but_work(self):
+        device = small_device()
+        program = vadd_program()
+        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
+            device.setup(SlicePartition(4, 2))
+        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
+            device.program(program, mccs_per_tile=1)
+        assert all(
+            c.state.value == "configured" for c in device.controllers
+        )
+        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
+            device.teardown()
+        assert all(c.state.value == "idle" for c in device.controllers)
+
+    def test_delegates_match_session_behaviour(self):
+        legacy = small_device()
+        with pytest.warns(DeprecationWarning):
+            legacy.setup(SlicePartition(4, 2), slices=1)
+        scoped = small_device()
+        with ExecutionSession(scoped, SlicePartition(4, 2), slices=1):
+            assert ([c.state.value for c in scoped.controllers]
+                    == [c.state.value for c in legacy.controllers])
