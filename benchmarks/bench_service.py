@@ -12,7 +12,13 @@ Seeds the service bench trajectory.  Three timed scenarios:
   warm cache, exercising batching and slice packing.  Runs once per
   execution engine (docs/execution.md): the ``vectorized`` row is the
   headline, the ``mixed_burst_reference`` row is the scalar baseline,
-  and the printed engine speedup on items/s must be >= 5x.
+  and the printed engine speedup on items/s must be >= 5x;
+* ``mixed_burst_wN`` — the worker sweep: the same mixed burst against
+  1, 2, and 4 dispatch threads with an emulated per-wave device-busy
+  interval (``wave_latency_s``, the time the cache-side accelerator
+  owns the work while the host blocks).  Workers overlap those
+  intervals across disjoint slice groups, so the 4-worker row's
+  items/s must be >= 2x the 1-worker row.
 
 Writes ``BENCH_service.json``: a list of
 ``{name, items, wall_s, cache_hit_rate, ...}`` rows (burst rows add
@@ -123,6 +129,55 @@ def bench_mixed_burst(jobs_per_benchmark: int = 3,
     return rows
 
 
+def _worker_burst_once(workers: int, jobs: int, items: int,
+                       wave_latency_s: float) -> Dict[str, object]:
+    benchmarks = ["VADD", "DOT", "SRT"]
+    # batching off: the sweep measures wave-level concurrency, not
+    # batch merging (which would collapse the burst into three waves).
+    service = AcceleratorService(
+        devices=2, system=scaled_system(l3_slices=2),
+        workers=workers, batching=False, wave_latency_s=wave_latency_s,
+    )
+    for name in benchmarks:                 # warm the program cache
+        service.result(service.submit(name, 1))
+    start = time.perf_counter()
+    handles = [service.submit(benchmarks[i % 3], items, seed=i)
+               for i in range(jobs)]
+    service.drain(timeout_s=300)
+    wall = time.perf_counter() - start
+    stats = service.stats()
+    service.shutdown()
+    if stats.completed != stats.submitted:
+        raise RuntimeError(
+            f"worker sweep lost jobs: {stats.completed}/{stats.submitted}"
+        )
+    if not all(job.result.verified for job in handles):
+        raise RuntimeError("worker sweep produced unverified results")
+    total = items * jobs
+    row = _entry(f"mixed_burst_w{workers}", total, wall,
+                 stats.cache_hit_rate)
+    row["workers"] = workers
+    row["wave_latency_s"] = wave_latency_s
+    row["items_per_s"] = total / wall
+    print(f"burst of {jobs} jobs ({total} items, {workers} worker(s)) in "
+          f"{wall * 1e3:8.2f} ms   {total / wall:8.0f} items/s")
+    return row
+
+
+def bench_worker_sweep(jobs: int = 12, items: int = 16,
+                       wave_latency_s: float = 0.08
+                       ) -> List[Dict[str, object]]:
+    rows = [
+        _worker_burst_once(workers, jobs, items, wave_latency_s)
+        for workers in (1, 2, 4)
+    ]
+    by_workers = {row["workers"]: row for row in rows}
+    speedup = (by_workers[4]["items_per_s"] / by_workers[1]["items_per_s"])
+    print(f"mixed_burst worker speedup {speedup:6.2f}x "
+          f"(4 workers vs 1 on items/s)")
+    return rows
+
+
 def metrics_sidecar(items: int = 4) -> Dict[str, object]:
     """One instrumented burst, exported as a metrics/span snapshot.
 
@@ -149,6 +204,7 @@ def metrics_sidecar(items: int = 4) -> Dict[str, object]:
 def main() -> List[Dict[str, object]]:
     rows = bench_cold_vs_warm()
     rows += bench_mixed_burst()
+    rows += bench_worker_sweep()
     OUT.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {OUT}")
     METRICS_OUT.write_text(json.dumps(metrics_sidecar(), indent=2,

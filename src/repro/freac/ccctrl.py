@@ -107,7 +107,14 @@ class ComputeClusterController:
         return report
 
     def teardown(self) -> None:
-        """Unlock every way and return to a plain cache slice."""
+        """Unlock every way and return to a plain cache slice.
+
+        Idempotent: tearing down an already-idle slice is a no-op, so
+        a duplicate teardown (e.g. an error path followed by a drain)
+        can never unlock ways that a later occupant has re-locked.
+        """
+        if self.state is ControllerState.IDLE:
+            return
         with self.telemetry.span("device.teardown", "device",
                                  slice=self.slice_index):
             self.slice.release_partition()

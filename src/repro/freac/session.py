@@ -20,6 +20,7 @@ remain as delegates that emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+import threading
 from types import TracebackType
 from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
@@ -63,24 +64,31 @@ class ExecutionSession:
         self.program_reports: List[ProgramReport] = []
         self._active = False
         self._used = False
+        self._lifecycle_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def __enter__(self) -> "ExecutionSession":
-        if self._active:
-            raise ProtocolError("the session is already active")
-        if self._used:
-            raise ProtocolError("a session is single-use; create a new one")
+        with self._lifecycle_lock:
+            if self._active:
+                raise ProtocolError("the session is already active")
+            if self._used:
+                raise ProtocolError(
+                    "a session is single-use; create a new one"
+                )
+            # Claim single-use up front: even a failed setup burns the
+            # session, so a retry can never race a half-torn one.
+            self._used = True
         self.slice_indices = tuple(
             self.device._resolve_slices(self._requested_slices)
         )
         self.setup_reports = self.device._setup_slices(
             self.partition, self.slice_indices
         )
-        self._active = True
-        self._used = True
+        with self._lifecycle_lock:
+            self._active = True
         return self
 
     def __exit__(
@@ -93,13 +101,22 @@ class ExecutionSession:
         return False
 
     def close(self) -> None:
-        """Release the session's slices (idempotent)."""
-        if not self._active:
-            return
+        """Release the session's slices (idempotent, single-shot).
+
+        The active flag is cleared atomically *before* the teardown
+        runs, so a second ``close()``/``__exit__`` — from an error
+        path, a ``finally`` block, or a concurrent drain — is a no-op
+        rather than a second teardown.  Without this, a late duplicate
+        close could re-free ways that a *newer* session has since
+        locked on the same slices, corrupting its partition.
+        """
+        with self._lifecycle_lock:
+            if not self._active:
+                return
+            self._active = False
         try:
             self.device._teardown_slices(self.slice_indices)
         finally:
-            self._active = False
             self.program_reports = []
 
     @property

@@ -14,8 +14,10 @@ package is the runtime between those callers and
 * :mod:`~repro.service.stats` — latency tracking and the
   :class:`ServiceStats` snapshot;
 * :mod:`~repro.service.service` — :class:`AcceleratorService`, the
-  device pool + scheduler with admission control, batching, timeouts,
-  and bounded retry;
+  device pool + scheduler with admission control, batching, deadlines,
+  backpressure, and bounded retry with backoff;
+* :mod:`~repro.service.workers` — :class:`WorkerPool`, N dispatch
+  threads running waves on disjoint slice groups concurrently;
 * :mod:`~repro.service.frontend` — the ``freac serve`` / ``freac
   submit`` command-line front ends.
 """
@@ -31,6 +33,7 @@ from .programs import (
 )
 from .service import AcceleratorService
 from .stats import LatencyTracker, ServiceStats
+from .workers import WorkerPool
 
 __all__ = [
     "AcceleratorService",
@@ -46,6 +49,7 @@ __all__ = [
     "ProgramKey",
     "ServiceStats",
     "SlicePool",
+    "WorkerPool",
     "compile_program",
     "program_key",
 ]

@@ -93,6 +93,8 @@ def build_service(args: argparse.Namespace) -> AcceleratorService:
         cache_dir=args.cache_dir,
         batching=not getattr(args, "no_batching", False),
         max_retries=args.max_retries,
+        workers=getattr(args, "workers", 0),
+        max_queue_depth=getattr(args, "max_queue_depth", None),
     )
 
 
@@ -166,8 +168,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except RequestError as exc:
                 print(f"request {index} refused: {exc}", file=sys.stderr)
                 exit_code = 1
-        while any(not job.done for job in jobs):
-            service.pump()
+        if service.worker_count:
+            service.drain()
+        else:
+            while any(not job.done for job in jobs):
+                service.pump()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -214,6 +219,11 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
                             help="persist compiled programs here")
         parser.add_argument("--max-retries", type=int, default=2,
                             help="capacity-retry budget per batch")
+        parser.add_argument("--workers", type=int, default=0,
+                            help="dispatch threads (0 = synchronous)")
+        parser.add_argument("--max-queue-depth", type=int, default=None,
+                            help="bound the job queue; a full queue "
+                                 "rejects new jobs as SATURATED")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a fresh serving instance"

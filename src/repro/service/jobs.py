@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,6 +29,7 @@ class JobState(enum.Enum):
     FAILED = "failed"          # ran, but errored (e.g. retries exhausted)
     CANCELLED = "cancelled"
     TIMED_OUT = "timed_out"
+    SATURATED = "saturated"    # bounded queue was full (backpressure)
 
     @property
     def terminal(self) -> bool:
@@ -123,20 +125,46 @@ class Job:
 
 
 class JobQueue:
-    """Priority queue (max priority first, FIFO within a priority)."""
+    """Priority queue (max priority first, FIFO within a priority).
 
-    def __init__(self) -> None:
+    Thread-safe: every operation holds one internal lock, so many
+    submitter threads and many worker threads can push/pop
+    concurrently.  ``max_depth`` bounds the queue: :meth:`offer`
+    refuses (returns ``False``) once that many jobs are pending, which
+    the service turns into a ``SATURATED`` rejection — backpressure
+    instead of unbounded memory growth under overload.  Requeues
+    (placement failures, mid-wave deadline aborts) bypass the bound:
+    a job already admitted must never be dropped.
+    """
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("queue depth bound must be at least one job")
+        self.max_depth = max_depth
         self._heap: List[Tuple[int, int, Job]] = []
         self._sequence = itertools.count()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        self._compact()
-        return len(self._heap)
+        with self._lock:
+            self._compact()
+            return len(self._heap)
 
     def push(self, job: Job) -> None:
-        heapq.heappush(
-            self._heap, (-job.request.priority, next(self._sequence), job)
-        )
+        """Unbounded push (requeues and tests); see :meth:`offer`."""
+        with self._lock:
+            heapq.heappush(
+                self._heap, (-job.request.priority, next(self._sequence), job)
+            )
+
+    def offer(self, job: Job) -> bool:
+        """Bounded push: ``False`` when the queue is saturated."""
+        with self._lock:
+            self._compact()
+            if self.max_depth is not None and len(self._heap) >= self.max_depth:
+                return False
+            self.push(job)
+            return True
 
     def _compact(self) -> None:
         # Cancelled/timed-out jobs are abandoned in place; drop them
@@ -145,10 +173,11 @@ class JobQueue:
             heapq.heappop(self._heap)
 
     def pop(self) -> Optional[Job]:
-        self._compact()
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
+        with self._lock:
+            self._compact()
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
 
     def pop_group(self, *, batch: bool = True,
                   max_items: Optional[int] = None) -> List[Job]:
@@ -159,35 +188,40 @@ class JobQueue:
         priority order is preserved for the *head* of every group).
         ``max_items`` caps the merged batch size.
         """
-        head = self.pop()
-        if head is None:
-            return []
-        group = [head]
-        if not batch:
+        with self._lock:
+            head = self.pop()
+            if head is None:
+                return []
+            group = [head]
+            if not batch:
+                return group
+            budget = (
+                None if max_items is None else max_items - head.request.items
+            )
+            key = head.request.batch_key()
+            kept: List[Tuple[int, int, Job]] = []
+            self._compact()
+            for entry in sorted(self._heap):
+                job = entry[2]
+                if job.state is not JobState.PENDING:
+                    continue
+                fits = budget is None or job.request.items <= budget
+                if job.request.batch_key() == key and fits:
+                    group.append(job)
+                    if budget is not None:
+                        budget -= job.request.items
+                else:
+                    kept.append(entry)
+            self._heap = kept
+            heapq.heapify(self._heap)
             return group
-        budget = None if max_items is None else max_items - head.request.items
-        key = head.request.batch_key()
-        kept: List[Tuple[int, int, Job]] = []
-        self._compact()
-        for entry in sorted(self._heap):
-            job = entry[2]
-            if job.state is not JobState.PENDING:
-                continue
-            fits = budget is None or job.request.items <= budget
-            if job.request.batch_key() == key and fits:
-                group.append(job)
-                if budget is not None:
-                    budget -= job.request.items
-            else:
-                kept.append(entry)
-        self._heap = kept
-        heapq.heapify(self._heap)
-        return group
 
     def requeue(self, jobs: List[Job]) -> None:
         """Return unplaced jobs to the queue (priority order holds;
         within a priority they line up behind current arrivals)."""
-        for job in jobs:
-            heapq.heappush(
-                self._heap, (-job.request.priority, next(self._sequence), job)
-            )
+        with self._lock:
+            for job in jobs:
+                heapq.heappush(
+                    self._heap,
+                    (-job.request.priority, next(self._sequence), job),
+                )

@@ -9,6 +9,7 @@ hands out disjoint sets, preferring to fill an already-busy device
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -24,13 +25,18 @@ class Placement:
 
 
 class SlicePool:
-    """Free/busy bookkeeping over every slice of every device."""
+    """Free/busy bookkeeping over every slice of every device.
+
+    Thread-safe: acquire/release are atomic under one internal lock,
+    so concurrent workers can never claim overlapping slices.
+    """
 
     def __init__(self, slice_counts: Sequence[int]) -> None:
         if not slice_counts:
             raise ServiceError("a slice pool needs at least one device")
         self._counts = list(slice_counts)
         self._busy: List[Set[int]] = [set() for _ in slice_counts]
+        self._lock = threading.RLock()
 
     @property
     def devices(self) -> int:
@@ -41,10 +47,11 @@ class SlicePool:
         return max(self._counts)
 
     def free_slices(self, device: int) -> List[int]:
-        return [
-            index for index in range(self._counts[device])
-            if index not in self._busy[device]
-        ]
+        with self._lock:
+            return [
+                index for index in range(self._counts[device])
+                if index not in self._busy[device]
+            ]
 
     def acquire(self, slices_needed: int) -> Optional[Placement]:
         """Claim ``slices_needed`` disjoint slices, or None if full.
@@ -55,33 +62,41 @@ class SlicePool:
         """
         if slices_needed < 1:
             raise ServiceError("a placement needs at least one slice")
-        best: Optional[int] = None
-        best_free = None
-        for device in range(self.devices):
-            free = len(self.free_slices(device))
-            if free >= slices_needed and (best_free is None or free < best_free):
-                best, best_free = device, free
-        if best is None:
-            return None
-        claimed = tuple(self.free_slices(best)[:slices_needed])
-        self._busy[best].update(claimed)
-        return Placement(device=best, slices=claimed)
+        with self._lock:
+            best: Optional[int] = None
+            best_free = None
+            for device in range(self.devices):
+                free = len(self.free_slices(device))
+                if free >= slices_needed and (
+                    best_free is None or free < best_free
+                ):
+                    best, best_free = device, free
+            if best is None:
+                return None
+            claimed = tuple(self.free_slices(best)[:slices_needed])
+            self._busy[best].update(claimed)
+            return Placement(device=best, slices=claimed)
 
     def release(self, placement: Placement) -> None:
-        busy = self._busy[placement.device]
-        for index in placement.slices:
-            if index not in busy:
-                raise ServiceError(
-                    f"slice {index} of device {placement.device} was not held"
-                )
-            busy.remove(index)
+        with self._lock:
+            busy = self._busy[placement.device]
+            for index in placement.slices:
+                if index not in busy:
+                    raise ServiceError(
+                        f"slice {index} of device {placement.device} "
+                        "was not held"
+                    )
+            for index in placement.slices:
+                busy.remove(index)
 
     def utilization(self) -> List[float]:
         """Busy fraction per device."""
-        return [
-            len(self._busy[device]) / self._counts[device]
-            for device in range(self.devices)
-        ]
+        with self._lock:
+            return [
+                len(self._busy[device]) / self._counts[device]
+                for device in range(self.devices)
+            ]
 
     def busy_total(self) -> int:
-        return sum(len(busy) for busy in self._busy)
+        with self._lock:
+            return sum(len(busy) for busy in self._busy)

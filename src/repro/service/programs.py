@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, NamedTuple, Optional, Union
+from typing import Callable, Dict, NamedTuple, Optional, Tuple, Union
 
 from ..analysis import AnalysisReport, analyze_netlist, analyze_schedule
 from ..circuits.library import library_version, mapped_pe, pe_names
@@ -172,7 +174,22 @@ class ProgramCache:
     entries are also persisted as JSON (one file per key, named by the
     content address) and evicted entries remain loadable from disk.
     Counters: ``hits`` (memory + disk), ``disk_hits`` (subset),
-    ``misses`` (compiled from scratch), ``evictions``.
+    ``misses`` (compiled from scratch), ``evictions``,
+    ``quarantined`` (corrupt disk files set aside).
+
+    Thread-safe: one re-entrant lock guards the LRU, the counters, and
+    the disk layer, so concurrent submitters share one cache without
+    torn state.  Compilation happens under the lock too — a cold key
+    is compiled exactly once even when many threads race for it (the
+    losers block and then hit), at the cost of serialising concurrent
+    *different*-key cold compiles.
+
+    Crash safety: disk writes go to a ``.tmp`` sibling first and are
+    published with an atomic ``os.replace``, so a reader (or the next
+    process) can never observe a torn entry.  A malformed or
+    key-mismatched file found at load time is quarantined — renamed to
+    a ``.corrupt`` sibling — and counted, so one bad file degrades to
+    a single recompile instead of a crash on every lookup.
     """
 
     def __init__(
@@ -189,18 +206,22 @@ class ProgramCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._compiler = compiler
         self._entries: "OrderedDict[ProgramKey, CompiledProgram]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
 
     # -- core mapping ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ProgramKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def lookups(self) -> int:
@@ -212,23 +233,43 @@ class ProgramCache:
 
     def put(self, program: CompiledProgram) -> None:
         key = program.key
-        self._entries[key] = program
-        self._entries.move_to_end(key)
-        if self.directory is not None:
-            path = self.directory / key.filename
-            if not path.exists():
-                path.write_text(json.dumps(program.to_dict()))
-        while len(self._entries) > self.capacity:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.evictions += 1
-            logger.info("program cache evicted %s", evicted_key)
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            if self.directory is not None:
+                path = self.directory / key.filename
+                if not path.exists():
+                    self._write_atomic(path, program)
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                logger.info("program cache evicted %s", evicted_key)
+
+    def _write_atomic(self, path: Path, program: CompiledProgram) -> None:
+        """Publish ``path`` via tmp-sibling + ``os.replace``.
+
+        A crash (or a concurrent writer racing on the same key) can
+        leave a stray ``.tmp`` file, never a torn ``.json`` — readers
+        only ever see a complete entry or none at all.
+        """
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(program.to_dict()))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def get(self, key: ProgramKey) -> Optional[CompiledProgram]:
         """Look up without compiling; counts a hit or a miss."""
-        entry = self._load(key)
-        if entry is None:
-            self.misses += 1
-        return entry
+        with self._lock:
+            entry = self._load(key)
+            if entry is None:
+                self.misses += 1
+            return entry
 
     def get_or_compile(
         self,
@@ -243,57 +284,80 @@ class ProgramCache:
         know (before counting a miss — unknown names are a caller
         error, not cache traffic).
         """
+        return self.lookup(
+            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+        )[0]
+
+    def lookup(
+        self,
+        benchmark: str,
+        *,
+        lut_inputs: int = 5,
+        mccs_per_tile: int = 1,
+    ) -> Tuple[CompiledProgram, bool]:
+        """:meth:`get_or_compile`, plus whether this call was a hit.
+
+        The serving layer wants hit/miss per submission; deriving it by
+        diffing the shared counters is racy once submitters run
+        concurrently (another thread's hit inflates the delta).
+        """
         key = program_key(
             benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
         )
-        if key.benchmark not in pe_names() and key not in self._entries:
-            raise KeyError(
-                f"unknown benchmark {benchmark!r}; "
-                f"available: {', '.join(pe_names())}"
+        with self._lock:
+            if key.benchmark not in pe_names() and key not in self._entries:
+                raise KeyError(
+                    f"unknown benchmark {benchmark!r}; "
+                    f"available: {', '.join(pe_names())}"
+                )
+            entry = self._load(key)
+            if entry is not None:
+                return entry, True
+            self.misses += 1
+            program = self._compiler(
+                key.benchmark, lut_inputs=lut_inputs,
+                mccs_per_tile=mccs_per_tile,
             )
-        entry = self._load(key)
-        if entry is not None:
-            return entry
-        self.misses += 1
-        program = self._compiler(
-            key.benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
-        )
-        self.put(program)
-        return program
+            self.put(program)
+            return program, False
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop every in-memory entry (and on-disk files if asked)."""
-        self._entries.clear()
-        if disk and self.directory is not None:
-            for path in self.directory.glob("*.json"):
-                path.unlink()
+        with self._lock:
+            self._entries.clear()
+            if disk and self.directory is not None:
+                for path in self.directory.glob("*.json"):
+                    path.unlink()
 
     def stats(self) -> Dict[str, float]:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "quarantined": self.quarantined,
+                "hit_rate": self.hit_rate,
+            }
 
     # -- lookup layers --------------------------------------------------
 
     def _load(self, key: ProgramKey) -> Optional[CompiledProgram]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        entry = self._load_from_disk(key)
-        if entry is not None:
-            self.hits += 1
-            self.disk_hits += 1
-            self.put(entry)
-            return entry
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            entry = self._load_from_disk(key)
+            if entry is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self.put(entry)
+                return entry
+            return None
 
     def _load_from_disk(self, key: ProgramKey) -> Optional[CompiledProgram]:
         if self.directory is None:
@@ -303,11 +367,31 @@ class ProgramCache:
             return None
         try:
             entry = CompiledProgram.from_dict(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError) as exc:
-            # A corrupt or stale file is a miss, never a crash.
-            logger.warning("dropping unreadable cache file %s: %r", path, exc)
+        except OSError as exc:
+            # Unreadable (permissions, vanished mid-read): a plain miss.
+            logger.warning("cannot read cache file %s: %r", path, exc)
+            return None
+        except (ValueError, KeyError) as exc:
+            # Malformed content (torn write from an old version of this
+            # code, disk corruption, wrong schema): quarantine it so it
+            # costs one recompile, not a warning on every future lookup.
+            self._quarantine(path, repr(exc))
             return None
         if entry.key != key:
-            logger.warning("cache file %s does not match its key", path)
+            self._quarantine(path, "entry does not match its key")
             return None
         return entry
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set a bad cache file aside as ``<name>.corrupt`` (a miss)."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+            moved = True
+        except OSError:
+            moved = False
+        self.quarantined += 1
+        logger.warning(
+            "quarantined cache file %s -> %s (%s)%s",
+            path, target.name, reason, "" if moved else " [rename failed]",
+        )

@@ -1,31 +1,46 @@
 """``AcceleratorService``: device pool + job scheduler + admission.
 
 The runtime between many callers and a pool of
-:class:`~repro.freac.device.FreacDevice` instances.  One pump cycle
-(= one *wave*) does:
+:class:`~repro.freac.device.FreacDevice` instances.  One *wave* does:
 
 1. **Admission-checked dequeue** — pop the highest-priority batch
    group (same-benchmark jobs merge into one run), expiring jobs whose
-   queue-wait deadline passed;
+   deadline passed;
 2. **Placement** — claim disjoint slices from the pool (best-fit
    packing, so independent jobs co-reside on one device), partition
    exactly those slices and program them from the compiled-program
    cache entry;
-3. **Execution** — fill scratchpads, run, verify, with bounded retry:
-   a :class:`~repro.errors.CapacityError` (batch too big for the
-   scratchpad) resubmits the chunk at half size instead of failing;
+3. **Execution** — re-check deadlines, fill scratchpads, run, verify,
+   with bounded retry: a :class:`~repro.errors.CapacityError` (batch
+   too big for the scratchpad) backs off exponentially (with jitter)
+   and resubmits the chunk at half size instead of failing;
 4. **Completion** — per-job results, latency samples, slice release.
 
-Everything is single-process and synchronous: ``pump()`` runs waves
-inline and ``result()`` pumps until the job is terminal.  That keeps
-the model deterministic (this is a simulator, not an RPC server) while
-exercising the real multi-tenant mechanics: priority, co-residency,
-batching, rejection, timeout, retry.
+The service runs in one of two modes:
+
+* **Synchronous** (``workers=0``, the default): ``pump()`` runs waves
+  inline and ``result()`` pumps until the job is terminal — fully
+  deterministic, one wave at a time.
+* **Concurrent** (``workers=N``): a
+  :class:`~repro.service.workers.WorkerPool` of N dispatch threads
+  claims waves as slices free up, so waves on disjoint slice groups
+  are in flight simultaneously — the paper's independent slices
+  serving independent tenants.  ``submit`` stays non-blocking (a full
+  bounded queue rejects with ``SATURATED`` backpressure), ``result``
+  blocks on a condition variable, and ``shutdown`` drains the queue
+  and joins every worker before unlocking the devices.
+
+Either way the service is single-process: this is a simulator, not an
+RPC server, but it exercises the real multi-tenant mechanics —
+priority, co-residency, batching, rejection, deadline, retry,
+backpressure, and crash-safe shutdown.
 """
 
 from __future__ import annotations
 
 import logging
+import random
+import threading
 import time
 from collections import deque
 from typing import Dict, List, Optional, Tuple, Union
@@ -45,6 +60,7 @@ from .jobs import Job, JobQueue, JobRequest, JobResult, JobState
 from .placement import Placement, SlicePool
 from .programs import CompiledProgram, ProgramCache
 from .stats import LatencyTracker, ServiceStats
+from .workers import Wave, WorkerPool
 
 logger = logging.getLogger("repro.service")
 
@@ -54,6 +70,15 @@ _ZERO_TOTALS = {
     "mac_operations": 0,
     "bus_words": 0,
 }
+
+
+class _WaveDeadline(Exception):
+    """Internal: a wave's end-to-end deadline passed mid-execution.
+
+    Deliberately *not* a :class:`ReproError` subclass, so the generic
+    run-failure handler cannot swallow it into ``FAILED`` — the wave
+    aborter decides per job between ``TIMED_OUT`` and a requeue.
+    """
 
 
 class AcceleratorService:
@@ -69,13 +94,27 @@ class AcceleratorService:
         cache_capacity: int = 16,
         cache_dir: Optional[str] = None,
         max_retries: int = 2,
+        retry_backoff_s: float = 0.0,
+        retry_backoff_cap_s: float = 1.0,
+        retry_jitter: float = 0.1,
         batching: bool = True,
         max_batch_items: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         engine: str = DEFAULT_ENGINE,
+        workers: int = 0,
+        max_queue_depth: Optional[int] = None,
+        wave_latency_s: Optional[float] = None,
     ) -> None:
         if devices < 1:
             raise ServiceError("the service needs at least one device")
+        if workers < 0:
+            raise ServiceError("workers must be >= 0 (0 = synchronous)")
+        if retry_backoff_s < 0 or retry_backoff_cap_s < 0:
+            raise ServiceError("retry backoff must be non-negative")
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ServiceError("retry jitter must be within [0, 1]")
+        if wave_latency_s is not None and wave_latency_s < 0:
+            raise ServiceError("wave latency must be non-negative")
         self.telemetry = resolve(telemetry)
         self.partition = partition or SlicePartition(
             compute_ways=4, scratchpad_ways=4
@@ -92,20 +131,56 @@ class AcceleratorService:
             cache if cache is not None else ProgramCache(cache_capacity, cache_dir)
         )
         self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.retry_jitter = retry_jitter
         self.batching = batching
         self.max_batch_items = max_batch_items
         self.engine = validate_engine(engine)
+        #: Emulated device-busy time per wave: the host blocks this long
+        #: after each wave's compute, standing in for the interval the
+        #: cache-side accelerator would own the work (the simulator
+        #: otherwise burns host CPU *as* the device model).  Workers
+        #: overlap these intervals across disjoint slices — the
+        #: concurrency the paper's independent slices actually buy.
+        self.wave_latency_s = wave_latency_s
 
-        self.queue = JobQueue()
+        # One re-entrant lock is the root of the ordering discipline:
+        # service lock first, component locks (queue/pool/cache/metric)
+        # only underneath it, never the reverse.
+        self._lock = threading.RLock()
+        self._job_cv = threading.Condition(self._lock)
+        self._rng = random.Random(0)    # seeded: jitter is replayable
+        self._sleep = time.sleep        # injectable in tests
+
+        self.queue = JobQueue(max_depth=max_queue_depth)
         self.jobs: Dict[int, Job] = {}
         self._compiled: Dict[int, CompiledProgram] = {}
         self._next_id = 1
         self.latencies = LatencyTracker()
         self._counters = {
             "submitted": 0, "completed": 0, "rejected": 0, "failed": 0,
-            "cancelled": 0, "timed_out": 0, "retries": 0, "batches": 0,
-            "batched_jobs": 0,
+            "cancelled": 0, "timed_out": 0, "saturated": 0, "requeued": 0,
+            "retries": 0, "batches": 0, "batched_jobs": 0,
         }
+        self._closed = False
+        # Construct last: workers start claiming immediately and touch
+        # everything above.
+        self.workers: Optional[WorkerPool] = (
+            WorkerPool(self, workers) if workers else None
+        )
+
+    @property
+    def worker_count(self) -> int:
+        return self.workers.count if self.workers is not None else 0
+
+    def __enter__(self) -> "AcceleratorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Drain on a clean exit; on an exception just stop and unlock.
+        self.shutdown(drain=exc_type is None, timeout_s=60.0)
+        return False
 
     # ------------------------------------------------------------------
     # Front end: submit / result / cancel
@@ -131,8 +206,12 @@ class AcceleratorService:
         programs whose lint reports carry error findings are admitted
         as ``REJECTED`` jobs whose result holds the full
         :class:`~repro.analysis.AnalysisReport` — admission never
-        crashes mid-run.
+        crashes mid-run.  With a bounded queue, a job that finds it
+        full is returned ``SATURATED`` (backpressure, not an
+        exception): the caller decides whether to retry later.
         """
+        if self._closed:
+            raise ServiceError("the service is shut down")
         if items < 1:
             raise RequestError("a job needs at least one item")
         if not 1 <= slices <= self.pool.max_slices:
@@ -152,9 +231,10 @@ class AcceleratorService:
                     f"not {benchmark.upper()}"
                 )
 
-        hits_before = self.cache.hits
+        # Compile outside the service lock: the cache has its own, and
+        # a cold compile is the slowest thing admission ever does.
         try:
-            compiled = self.cache.get_or_compile(
+            compiled, cache_hit = self.cache.lookup(
                 benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
             )
         except KeyError as exc:
@@ -166,14 +246,15 @@ class AcceleratorService:
             slices=slices, timeout_s=timeout_s, seed=seed, dataset=dataset,
             engine=validate_engine(engine) if engine else self.engine,
         )
-        job = Job(
-            id=self._next_id, request=request,
-            submitted_at=time.perf_counter(),
-            cache_hit=self.cache.hits > hits_before,
-        )
-        self._next_id += 1
-        self.jobs[job.id] = job
-        self._counters["submitted"] += 1
+        with self._lock:
+            job = Job(
+                id=self._next_id, request=request,
+                submitted_at=time.perf_counter(),
+                cache_hit=cache_hit,
+            )
+            self._next_id += 1
+            self.jobs[job.id] = job
+            self._counters["submitted"] += 1
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "service.submissions", "jobs offered to admission"
@@ -181,21 +262,35 @@ class AcceleratorService:
 
         if not compiled.ok:
             report = compiled.admission_report()
-            if self.telemetry.enabled:
-                self.telemetry.counter(
-                    "service.admission", "admission outcomes"
-                ).inc(outcome="rejected")
+            self._admission_outcome("rejected")
             self._finish(job, JobState.REJECTED, admission=report,
                          error=f"{len(report.errors)} lint error(s)")
             return job
 
+        with self._lock:
+            self._compiled[job.id] = compiled
+            queued = self.queue.offer(job)
+        if not queued:
+            self._admission_outcome("saturated")
+            self._finish(
+                job, JobState.SATURATED,
+                error=(
+                    f"queue is full ({self.queue.max_depth} jobs pending); "
+                    "retry later"
+                ),
+            )
+            return job
+        self._admission_outcome("accepted")
+        self._gauge_queue_depth()
+        if self.workers is not None:
+            self.workers.kick()
+        return job
+
+    def _admission_outcome(self, outcome: str) -> None:
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "service.admission", "admission outcomes"
-            ).inc(outcome="accepted")
-        self._compiled[job.id] = compiled
-        self.queue.push(job)
-        return job
+            ).inc(outcome=outcome)
 
     def submit_request(self, request) -> Job:
         """Admit one :class:`repro.request.RunRequest`.
@@ -209,46 +304,79 @@ class AcceleratorService:
 
     def result(self, job: Union[Job, int],
                timeout_s: Optional[float] = None) -> JobResult:
-        """Block (pumping the scheduler) until the job is terminal."""
+        """Block until the job is terminal.
+
+        Synchronous mode pumps the scheduler inline; concurrent mode
+        parks on the completion condition until a worker finishes the
+        job.  Raises :class:`ServiceError` if ``timeout_s`` elapses
+        first (the job itself keeps whatever state it has).
+        """
         job = self._resolve(job)
         deadline = (
             time.perf_counter() + timeout_s if timeout_s is not None else None
         )
-        while not job.done:
-            if deadline is not None and time.perf_counter() > deadline:
-                raise ServiceError(
-                    f"job {job.id} not finished within {timeout_s}s"
-                )
-            self.pump()
+        if self.workers is not None:
+            with self._job_cv:
+                while not job.done:
+                    if deadline is not None:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            raise ServiceError(
+                                f"job {job.id} not finished within {timeout_s}s"
+                            )
+                        self._job_cv.wait(timeout=min(0.1, remaining))
+                    else:
+                        self._job_cv.wait(timeout=0.1)
+        else:
+            while not job.done:
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ServiceError(
+                        f"job {job.id} not finished within {timeout_s}s"
+                    )
+                self.pump()
         assert job.result is not None
         return job.result
 
     def cancel(self, job: Union[Job, int]) -> bool:
         """Cancel a still-queued job; running/terminal jobs are not."""
         job = self._resolve(job)
-        if job.state is not JobState.PENDING:
-            return False
-        self._finish(job, JobState.CANCELLED, error="cancelled by caller")
-        return True
+        with self._lock:
+            # The state check and the finish are one atomic step, so a
+            # worker claiming this job concurrently either beats the
+            # cancel (state already RUNNING) or loses it cleanly (the
+            # queue compacts terminal jobs away).
+            if job.state is not JobState.PENDING:
+                return False
+            self._finish(job, JobState.CANCELLED, error="cancelled by caller")
+            return True
 
     def _resolve(self, job: Union[Job, int]) -> Job:
         if isinstance(job, Job):
             return job
-        try:
-            return self.jobs[job]
-        except KeyError:
-            raise ServiceError(f"unknown job id {job!r}") from None
+        with self._lock:
+            try:
+                return self.jobs[job]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job!r}") from None
 
     # ------------------------------------------------------------------
-    # Scheduler: one pump = place a wave, execute it, complete it
+    # Synchronous scheduler: one pump = place a wave, execute, complete
     # ------------------------------------------------------------------
 
     def pump(self) -> int:
-        """Run one scheduling wave; returns jobs brought to terminal."""
+        """Run one scheduling wave; returns jobs brought to terminal.
+
+        Only meaningful in synchronous mode — with a worker pool the
+        workers *are* the pump, and calling it would race them.
+        """
+        if self.workers is not None:
+            raise ServiceError(
+                "pump() drives a synchronous service; this one dispatches "
+                "through worker threads — use result(), drain(), or "
+                "shutdown() instead"
+            )
         finished = 0
-        waves: List[
-            Tuple[List[Job], Placement, CompiledProgram, ExecutionSession]
-        ] = []
+        waves: List[Wave] = []
         blocked: List[Job] = []
 
         while True:
@@ -270,6 +398,7 @@ class AcceleratorService:
                 blocked.extend(live)
                 break
             compiled = self._compiled[live[0].id]
+            wave = Wave(jobs=live, placement=placement, compiled=compiled)
             # One lifecycle-scoped session per wave: slices are locked
             # here and guaranteed released after the wave, even if the
             # run raises (docs/execution.md).
@@ -277,8 +406,8 @@ class AcceleratorService:
                 self.devices[placement.device], self.partition,
                 slices=placement.slices, engine=live[0].request.engine,
             )
-            session.__enter__()
             try:
+                session.__enter__()
                 # Admission already linted this program's schedule (the
                 # report ships with the cache entry), so skip the
                 # per-executor preflight repeat.
@@ -286,10 +415,23 @@ class AcceleratorService:
                     compiled.to_accelerator(), compiled.mccs_per_tile,
                     preflight=False,
                 )
-            except BaseException:
+            except BaseException as exc:
+                # The popped jobs must not vanish with the exception:
+                # fail them before deciding whether to propagate.
                 session.close()
-                self.pool.release(placement)
+                self._release_wave(wave)
+                for job in live:
+                    self._finish(job, JobState.FAILED,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    finished += 1
+                if isinstance(exc, ReproError):
+                    logger.warning(
+                        "programming a wave of %d job(s) failed: %s",
+                        len(live), exc,
+                    )
+                    continue
                 raise
+            wave.session = session
             now = time.perf_counter()
             for job in live:
                 job.state = JobState.RUNNING
@@ -299,16 +441,20 @@ class AcceleratorService:
                         "service.queue_wait_s",
                         "seconds between submission and placement",
                     ).observe(now - job.submitted_at)
-            waves.append((live, placement, compiled, session))
+            waves.append(wave)
 
         self.queue.requeue(blocked)
+        self._gauge_queue_depth()
 
-        for group, placement, compiled, session in waves:
+        for wave in waves:
+            assert wave.session is not None
             try:
-                finished += self._execute_wave(group, compiled, session)
+                finished += self._execute_wave(
+                    wave.jobs, wave.compiled, wave.session
+                )
             finally:
-                session.close()
-                self.pool.release(placement)
+                wave.session.close()
+                self._release_wave(wave)
         return finished
 
     def _expired(self, job: Job) -> bool:
@@ -320,9 +466,125 @@ class AcceleratorService:
             return False
         self._finish(
             job, JobState.TIMED_OUT,
-            error=f"queued {waited:.3f}s, deadline was {limit}s",
+            error=f"deadline of {limit}s exceeded after {waited:.3f}s",
         )
         return True
+
+    # ------------------------------------------------------------------
+    # Concurrent scheduler: worker claims + wave runner
+    # ------------------------------------------------------------------
+
+    def _next_wave(self) -> Optional[Wave]:
+        """Claim one placed batch group; ``None`` when nothing placeable.
+
+        The caller must hold ``self._lock`` (the worker pool's
+        condition shares it): pop + expiry + placement + the RUNNING
+        flip are one atomic step, so no job can be double-claimed,
+        cancelled mid-claim, or lost between queue and pool.
+        """
+        while True:
+            group = self.queue.pop_group(
+                batch=self.batching, max_items=self.max_batch_items
+            )
+            if not group:
+                return None
+            live = [job for job in group if not self._expired(job)]
+            if not live:
+                continue
+            placement = self.pool.acquire(live[0].request.slices)
+            if placement is None:
+                self.queue.requeue(live)
+                return None
+            now = time.perf_counter()
+            for job in live:
+                job.state = JobState.RUNNING
+                job.started_at = now
+            if self.telemetry.enabled:
+                hist = self.telemetry.histogram(
+                    "service.queue_wait_s",
+                    "seconds between submission and placement",
+                )
+                for job in live:
+                    hist.observe(now - job.submitted_at)
+            self._gauge_queue_depth()
+            return Wave(
+                jobs=live, placement=placement,
+                compiled=self._compiled[live[0].id],
+            )
+
+    def _run_wave(self, wave: Wave, worker: int) -> None:
+        """Drive one claimed wave's whole lifecycle on a worker thread."""
+        tel = self.telemetry
+        jobs = wave.jobs
+        compiled = wave.compiled
+        try:
+            if tel.enabled:
+                tel.gauge(
+                    "service.worker_busy",
+                    "1 while this worker is executing a wave",
+                ).set(1, worker=worker)
+                assert self.workers is not None
+                tel.gauge(
+                    "service.workers_busy",
+                    "workers currently executing waves",
+                ).set(self.workers.busy)
+                tel.counter(
+                    "service.worker_waves", "waves dispatched, per worker"
+                ).inc(worker=worker)
+            session = ExecutionSession(
+                self.devices[wave.placement.device], self.partition,
+                slices=wave.placement.slices, engine=jobs[0].request.engine,
+            )
+            try:
+                try:
+                    session.__enter__()
+                    session.program(
+                        compiled.to_accelerator(), compiled.mccs_per_tile,
+                        preflight=False,
+                    )
+                except ReproError as exc:
+                    logger.warning(
+                        "worker %d: programming a wave of %d job(s) "
+                        "failed: %s", worker, len(jobs), exc,
+                    )
+                    for job in jobs:
+                        self._finish(job, JobState.FAILED,
+                                     error=f"{type(exc).__name__}: {exc}")
+                    return
+                with tel.span(
+                    "service.worker_wave", "service",
+                    worker=worker, benchmark=compiled.benchmark,
+                    jobs=len(jobs),
+                ):
+                    self._execute_wave(jobs, compiled, session)
+            finally:
+                session.close()
+                if tel.enabled:
+                    tel.gauge(
+                        "service.worker_busy",
+                        "1 while this worker is executing a wave",
+                    ).set(0, worker=worker)
+        finally:
+            self._release_wave(wave)
+
+    def _release_wave(self, wave: Wave) -> None:
+        """Give a wave's slices back (idempotent) and wake claimers."""
+        with self._lock:
+            if wave.released:
+                return
+            wave.released = True
+            self.pool.release(wave.placement)
+        if self.workers is not None:
+            self.workers.kick()
+
+    def _abandon_wave(self, wave: Wave, error: str) -> None:
+        """Last resort when a worker's wave runner itself crashed:
+        fail whatever jobs are not terminal yet and free the slices, so
+        a bug in the runner costs one wave, never the pool."""
+        for job in wave.jobs:
+            if not job.done:
+                self._finish(job, JobState.FAILED, error=error)
+        self._release_wave(wave)
 
     # ------------------------------------------------------------------
     # Execution
@@ -334,6 +596,21 @@ class AcceleratorService:
         compiled: CompiledProgram,
         session: ExecutionSession,
     ) -> int:
+        finished = 0
+        # Deadline re-check at execution start: a job whose deadline
+        # lapsed between dequeue/placement and this point must not run
+        # (and must not be billed DONE) — it times out before the wave
+        # touches its data.
+        live = []
+        for job in group:
+            if self._expired(job):
+                finished += 1
+            else:
+                live.append(job)
+        if not live:
+            return finished
+        group = live
+
         placement = Placement(
             device=self.devices.index(session.device),
             slices=session.slice_indices,
@@ -358,6 +635,11 @@ class AcceleratorService:
             for job in group
         ]
         merged = datasets[0] if len(datasets) == 1 else Dataset.concat(datasets)
+        limits = [
+            job.submitted_at + job.request.timeout_s
+            for job in group if job.request.timeout_s is not None
+        ]
+        deadline = min(limits) if limits else None
 
         try:
             with self.telemetry.span(
@@ -366,20 +648,25 @@ class AcceleratorService:
                 items=merged.items, device=placement.device,
             ):
                 totals, mismatched, retries = self._run_with_retry(
-                    session, merged, pad_words, pe
+                    session, merged, pad_words, pe, deadline=deadline
                 )
+                if self.wave_latency_s:
+                    self._sleep(self.wave_latency_s)
+        except _WaveDeadline:
+            return finished + self._abort_wave_on_deadline(group)
         except ReproError as exc:
             logger.warning("wave of %d job(s) failed: %s", len(group), exc)
             for job in group:
                 self._finish(job, JobState.FAILED,
                              error=f"{type(exc).__name__}: {exc}",
                              placement=placement, batch_size=len(group))
-            return len(group)
+            return finished + len(group)
 
-        self._counters["retries"] += retries
-        self._counters["batches"] += 1
-        if len(group) > 1:
-            self._counters["batched_jobs"] += len(group)
+        with self._lock:
+            self._counters["retries"] += retries
+            self._counters["batches"] += 1
+            if len(group) > 1:
+                self._counters["batched_jobs"] += len(group)
 
         offset = 0
         for job, dataset in zip(group, datasets):
@@ -392,7 +679,55 @@ class AcceleratorService:
                 invocations=dataset.items, retries=retries,
                 batch_size=len(group), placement=placement,
             )
-        return len(group)
+        return finished + len(group)
+
+    def _abort_wave_on_deadline(self, group: List[Job]) -> int:
+        """A wave overran its tightest deadline mid-execution.
+
+        The expired jobs are ``TIMED_OUT``; jobs with slack left go
+        back to the queue (an already-admitted job is never dropped).
+        Returns the number brought to terminal.
+        """
+        now = time.perf_counter()
+        finished = 0
+        requeue: List[Job] = []
+        for job in group:
+            limit = job.request.timeout_s
+            if limit is not None and now - job.submitted_at > limit:
+                self._finish(
+                    job, JobState.TIMED_OUT,
+                    error=f"deadline of {limit}s exceeded during execution",
+                )
+                finished += 1
+            else:
+                job.state = JobState.PENDING
+                requeue.append(job)
+        if requeue:
+            with self._lock:
+                self._counters["requeued"] += len(requeue)
+                self.queue.requeue(requeue)
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "service.requeues",
+                    "jobs returned to the queue by a deadline abort",
+                ).inc(len(requeue))
+            if self.workers is not None:
+                self.workers.kick()
+        return finished
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with seeded jitter for attempt N (1-based)."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        delay = min(
+            self.retry_backoff_s * (2.0 ** (attempt - 1)),
+            self.retry_backoff_cap_s,
+        )
+        if self.retry_jitter:
+            with self._lock:
+                spread = 2.0 * self._rng.random() - 1.0
+            delay *= 1.0 + self.retry_jitter * spread
+        return delay
 
     def _run_with_retry(
         self,
@@ -400,13 +735,23 @@ class AcceleratorService:
         dataset: Dataset,
         pad_words: int,
         pe,
+        deadline: Optional[float] = None,
     ) -> Tuple[Dict[str, int], List[int], int]:
         """Run a batch, splitting it in half on scratchpad overflow.
 
         ``CapacityError`` from layout planning is transient — a smaller
         batch fits — so each occurrence (bounded by ``max_retries``)
+        backs off exponentially (doubling from ``retry_backoff_s`` up
+        to ``retry_backoff_cap_s``, with seeded ±``retry_jitter``
+        spread so concurrent workers do not retry in lock-step), then
         splits the offending chunk and resubmits; chunk order preserves
         item order, so mismatch indices stay batch-global.
+
+        ``deadline`` is the wave's tightest end-to-end deadline (an
+        absolute ``perf_counter`` instant): it is checked before every
+        chunk and before every backoff sleep, raising
+        :class:`_WaveDeadline` rather than running work whose requester
+        already gave up.
         """
         attempts = 0
         pending = deque([dataset])
@@ -414,6 +759,8 @@ class AcceleratorService:
         mismatched: List[int] = []
         done_items = 0
         while pending:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise _WaveDeadline()
             chunk = pending.popleft()
             try:
                 layout = plan_layout(chunk, pad_words, pe=pe)
@@ -426,13 +773,26 @@ class AcceleratorService:
                     ).inc()
                 if attempts > self.max_retries or chunk.items <= 1:
                     raise
+                delay = self._backoff_delay(attempts)
+                if (
+                    deadline is not None
+                    and time.perf_counter() + delay > deadline
+                ):
+                    raise _WaveDeadline()
                 half = chunk.items // 2
                 logger.info(
                     "batch of %d items overflowed the scratchpad; "
-                    "retrying as %d + %d (attempt %d/%d)",
-                    chunk.items, half, chunk.items - half,
+                    "retrying as %d + %d after %.3fs (attempt %d/%d)",
+                    chunk.items, half, chunk.items - half, delay,
                     attempts, self.max_retries,
                 )
+                if delay > 0:
+                    if self.telemetry.enabled:
+                        self.telemetry.counter(
+                            "service.retry_backoff_s",
+                            "seconds spent in retry backoff",
+                        ).inc(delay)
+                    self._sleep(delay)
                 pending.appendleft(chunk.slice(half, chunk.items))
                 pending.appendleft(chunk.slice(0, half))
                 continue
@@ -448,38 +808,46 @@ class AcceleratorService:
     # ------------------------------------------------------------------
 
     def _finish(self, job: Job, state: JobState, **fields) -> None:
-        job.state = state
-        job.finished_at = time.perf_counter()
-        latency = job.finished_at - job.submitted_at
-        queue_s = (
-            job.started_at - job.submitted_at
-            if job.started_at is not None else None
-        )
-        placement = fields.pop("placement", None)
-        job.result = JobResult(
-            job_id=job.id,
-            state=state,
-            benchmark=job.request.benchmark,
-            items=job.request.items,
-            latency_s=latency,
-            queue_s=queue_s,
-            cache_hit=job.cache_hit,
-            placement=(
-                (placement.device, placement.slices) if placement else None
-            ),
-            **fields,
-        )
-        self._compiled.pop(job.id, None)
-        key = {
-            JobState.DONE: "completed",
-            JobState.REJECTED: "rejected",
-            JobState.FAILED: "failed",
-            JobState.CANCELLED: "cancelled",
-            JobState.TIMED_OUT: "timed_out",
-        }[state]
-        self._counters[key] += 1
-        if state is JobState.DONE:
-            self.latencies.add(latency)
+        with self._job_cv:
+            if job.done:
+                # A racing finisher (cancel vs worker, abandon vs the
+                # normal path) got here first; the job keeps its first
+                # terminal state.
+                return
+            job.state = state
+            job.finished_at = time.perf_counter()
+            latency = job.finished_at - job.submitted_at
+            queue_s = (
+                job.started_at - job.submitted_at
+                if job.started_at is not None else None
+            )
+            placement = fields.pop("placement", None)
+            job.result = JobResult(
+                job_id=job.id,
+                state=state,
+                benchmark=job.request.benchmark,
+                items=job.request.items,
+                latency_s=latency,
+                queue_s=queue_s,
+                cache_hit=job.cache_hit,
+                placement=(
+                    (placement.device, placement.slices) if placement else None
+                ),
+                **fields,
+            )
+            self._compiled.pop(job.id, None)
+            key = {
+                JobState.DONE: "completed",
+                JobState.REJECTED: "rejected",
+                JobState.FAILED: "failed",
+                JobState.CANCELLED: "cancelled",
+                JobState.TIMED_OUT: "timed_out",
+                JobState.SATURATED: "saturated",
+            }[state]
+            self._counters[key] += 1
+            if state is JobState.DONE:
+                self.latencies.add(latency)
+            self._job_cv.notify_all()
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "service.jobs_finished", "jobs by terminal state"
@@ -487,6 +855,7 @@ class AcceleratorService:
             self.telemetry.histogram(
                 "service.latency_s", "end-to-end job latency"
             ).observe(latency)
+            self._gauge_queue_depth()
             # Retroactive span from the timestamps the job already
             # carries: submit-to-terminal, covering queue + run.
             self.telemetry.record_span(
@@ -495,30 +864,94 @@ class AcceleratorService:
                 items=job.request.items, state=key,
             )
 
-    def stats(self) -> ServiceStats:
-        return ServiceStats(
-            submitted=self._counters["submitted"],
-            completed=self._counters["completed"],
-            rejected=self._counters["rejected"],
-            failed=self._counters["failed"],
-            cancelled=self._counters["cancelled"],
-            timed_out=self._counters["timed_out"],
-            retries=self._counters["retries"],
-            batches=self._counters["batches"],
-            batched_jobs=self._counters["batched_jobs"],
-            queue_depth=len(self.queue),
-            running=sum(
-                1 for job in self.jobs.values()
-                if job.state is JobState.RUNNING
-            ),
-            slice_utilization=self.pool.utilization(),
-            cache=self.cache.stats(),
-            latency_p50_s=self.latencies.p50,
-            latency_p95_s=self.latencies.p95,
-            latency_samples=self.latencies.sample_count,
-        )
+    def _gauge_queue_depth(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "service.queue_depth", "jobs waiting for placement"
+            ).set(len(self.queue))
 
-    def close(self) -> None:
-        """Release every device way back to plain cache mode."""
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                submitted=self._counters["submitted"],
+                completed=self._counters["completed"],
+                rejected=self._counters["rejected"],
+                failed=self._counters["failed"],
+                cancelled=self._counters["cancelled"],
+                timed_out=self._counters["timed_out"],
+                saturated=self._counters["saturated"],
+                requeued=self._counters["requeued"],
+                retries=self._counters["retries"],
+                batches=self._counters["batches"],
+                batched_jobs=self._counters["batched_jobs"],
+                queue_depth=len(self.queue),
+                running=sum(
+                    1 for job in self.jobs.values()
+                    if job.state is JobState.RUNNING
+                ),
+                workers=self.worker_count,
+                workers_busy=(
+                    self.workers.busy if self.workers is not None else 0
+                ),
+                slice_utilization=self.pool.utilization(),
+                cache=self.cache.stats(),
+                latency_p50_s=self.latencies.p50,
+                latency_p95_s=self.latencies.p95,
+                latency_samples=self.latencies.sample_count,
+            )
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Block until every submitted job is terminal.
+
+        Synchronous mode pumps inline; concurrent mode waits for the
+        workers to empty the queue.  Raises :class:`ServiceError` if
+        ``timeout_s`` elapses with jobs still outstanding.
+        """
+        deadline = (
+            time.perf_counter() + timeout_s if timeout_s is not None else None
+        )
+        if self.workers is None:
+            while True:
+                with self._lock:
+                    if all(job.done for job in self.jobs.values()):
+                        return
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ServiceError(f"drain did not finish in {timeout_s}s")
+                self.pump()
+        with self._job_cv:
+            while not all(job.done for job in self.jobs.values()):
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ServiceError(f"drain did not finish in {timeout_s}s")
+                self._job_cv.wait(timeout=0.1)
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout_s: Optional[float] = None) -> None:
+        """Stop the service and unlock every device way (idempotent).
+
+        ``drain=True`` finishes the queued work first; ``drain=False``
+        stops after in-flight waves only (a wave is never interrupted
+        mid-run — its session teardown is what guarantees the ways come
+        back).  Jobs still pending afterwards are ``CANCELLED``, so no
+        submitted job is ever left without a result.
+        """
+        if self._closed:
+            return
+        if self.workers is not None:
+            self.workers.stop(drain=drain, timeout_s=timeout_s)
+        elif drain:
+            self.drain(timeout_s=timeout_s)
+        self._closed = True
+        with self._lock:
+            leftovers = [job for job in self.jobs.values() if not job.done]
+        for job in leftovers:
+            self._finish(job, JobState.CANCELLED, error="service shut down")
         for device in self.devices:
             device._teardown_slices(range(device.slice_count))
+
+    def close(self) -> None:
+        """Stop now (no drain) and release every device way."""
+        self.shutdown(drain=False)

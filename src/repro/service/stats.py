@@ -69,11 +69,15 @@ class ServiceStats:
     failed: int = 0
     cancelled: int = 0
     timed_out: int = 0
+    saturated: int = 0             # rejected by bounded-queue backpressure
+    requeued: int = 0              # returned to the queue by deadline aborts
     retries: int = 0
     batches: int = 0               # merged runs executed
     batched_jobs: int = 0          # jobs that shared a run with another
     queue_depth: int = 0
     running: int = 0
+    workers: int = 0               # dispatch threads (0 = synchronous)
+    workers_busy: int = 0          # of which currently executing a wave
     slice_utilization: List[float] = field(default_factory=list)
     cache: Dict[str, float] = field(default_factory=dict)
     latency_p50_s: Optional[float] = None
@@ -92,11 +96,15 @@ class ServiceStats:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "timed_out": self.timed_out,
+            "saturated": self.saturated,
+            "requeued": self.requeued,
             "retries": self.retries,
             "batches": self.batches,
             "batched_jobs": self.batched_jobs,
             "queue_depth": self.queue_depth,
             "running": self.running,
+            "workers": self.workers,
+            "workers_busy": self.workers_busy,
             "slice_utilization": list(self.slice_utilization),
             "cache": dict(self.cache),
             "latency_p50_s": self.latency_p50_s,

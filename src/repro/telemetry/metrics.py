@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import bisect
 import random
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -79,13 +80,19 @@ class Reservoir:
 
 
 class Metric:
-    """Shared name/help plumbing for every metric kind."""
+    """Shared name/help plumbing for every metric kind.
+
+    Mutations are guarded by a per-metric lock: the read-modify-write
+    of ``inc``/``add``/``observe`` would otherwise lose updates when
+    the serving layer's worker threads share one registry.
+    """
 
     kind = "untyped"
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
+        self._mutate = threading.Lock()
 
     def series(self) -> List[Tuple[Dict[str, str], object]]:
         raise NotImplementedError
@@ -104,7 +111,8 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError("counters only go up")
         key = label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._mutate:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         return self._values.get(label_key(labels), 0.0)
@@ -112,10 +120,12 @@ class Counter(Metric):
     @property
     def total(self) -> float:
         """Sum across every label set."""
-        return sum(self._values.values())
+        with self._mutate:
+            return sum(self._values.values())
 
     def series(self) -> List[Tuple[Dict[str, str], float]]:
-        return [(dict(key), value) for key, value in self._values.items()]
+        with self._mutate:
+            return [(dict(key), value) for key, value in self._values.items()]
 
 
 class Gauge(Metric):
@@ -128,17 +138,20 @@ class Gauge(Metric):
         self._values: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[label_key(labels)] = float(value)
+        with self._mutate:
+            self._values[label_key(labels)] = float(value)
 
     def add(self, amount: float, **labels: object) -> None:
         key = label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._mutate:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         return self._values.get(label_key(labels), 0.0)
 
     def series(self) -> List[Tuple[Dict[str, str], float]]:
-        return [(dict(key), value) for key, value in self._values.items()]
+        with self._mutate:
+            return [(dict(key), value) for key, value in self._values.items()]
 
 
 class _HistogramSeries:
@@ -181,11 +194,12 @@ class Histogram(Metric):
         return series
 
     def observe(self, value: float, **labels: object) -> None:
-        series = self._get(labels)
-        series.count += 1
-        series.sum += value
-        series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
-        series.reservoir.add(value)
+        with self._mutate:
+            series = self._get(labels)
+            series.count += 1
+            series.sum += value
+            series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+            series.reservoir.add(value)
 
     # -- per-label-set accessors (no labels = the unlabeled series) ----
 
@@ -221,16 +235,18 @@ class MetricRegistry:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name, help, **kwargs)
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)  # type: ignore[return-value]

@@ -64,6 +64,9 @@ class Tracer:
         self.spans: List[SpanRecord] = []
         self.cycle_events: List[CycleEvent] = []
         self.dropped = 0
+        # Guards the record lists: worker threads of the serving layer
+        # trace into one shared collector.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.spans) + len(self.cycle_events)
@@ -81,19 +84,20 @@ class Tracer:
         **attrs: object,
     ) -> None:
         """Record a phase from timestamps the caller already holds."""
-        if self.full:
-            self.dropped += 1
-            return
-        self.spans.append(
-            SpanRecord(
-                name=name,
-                start_s=start_s,
-                end_s=end_s,
-                category=category,
-                thread=threading.get_ident(),
-                attrs=attrs,
+        with self._lock:
+            if self.full:
+                self.dropped += 1
+                return
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    start_s=start_s,
+                    end_s=end_s,
+                    category=category,
+                    thread=threading.get_ident(),
+                    attrs=attrs,
+                )
             )
-        )
 
     @contextmanager
     def span(self, name: str, category: str = "",
@@ -109,10 +113,11 @@ class Tracer:
 
     def cycle_event(self, name: str, cycle: int, track: str = "",
                     **attrs: object) -> None:
-        if self.full:
-            self.dropped += 1
-            return
-        self.cycle_events.append(CycleEvent(name, cycle, track, attrs))
+        with self._lock:
+            if self.full:
+                self.dropped += 1
+                return
+            self.cycle_events.append(CycleEvent(name, cycle, track, attrs))
 
     # -- aggregation helpers (summary exporter, tests) -----------------
 

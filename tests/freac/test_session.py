@@ -7,6 +7,8 @@ mid-run — and that the old ``FreacDevice`` entry points still work as
 deprecated delegates.
 """
 
+import threading
+
 import pytest
 
 from repro.circuits.library import mapped_pe
@@ -99,6 +101,48 @@ class TestLifecycle:
             pass
         with pytest.raises(ProtocolError):
             session.__enter__()
+
+    def test_concurrent_close_runs_teardown_once(self):
+        device = small_device()
+        session = ExecutionSession(device, SlicePartition(4, 2))
+        session.__enter__()
+        calls = []
+        real = device._teardown_slices
+
+        def counting_teardown(indices):
+            calls.append(tuple(indices))
+            return real(indices)
+
+        device._teardown_slices = counting_teardown
+        threads = [threading.Thread(target=session.close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert all(c.state.value == "idle" for c in device.controllers)
+
+    def test_stale_close_cannot_release_a_new_occupant(self):
+        device = small_device()
+        first = ExecutionSession(device, SlicePartition(4, 2), slices=(0,))
+        first.__enter__()
+        first.close()
+        # A new session now owns slice 0; the old session's duplicate
+        # close (e.g. an error path followed by a drain) must not
+        # re-free the ways the new occupant has locked.
+        second = ExecutionSession(device, SlicePartition(4, 2), slices=(0,))
+        second.__enter__()
+        first.close()
+        assert device.controllers[0].state.value == "partitioned"
+        second.close()
+        assert device.controllers[0].state.value == "idle"
+
+    def test_controller_teardown_when_idle_is_a_noop(self):
+        device = small_device()
+        controller = device.controllers[0]
+        controller.teardown()
+        controller.teardown()
+        assert controller.state.value == "idle"
 
     def test_reenter_while_active_rejected(self):
         device = small_device()

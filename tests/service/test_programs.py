@@ -1,6 +1,7 @@
 """The compiled-program cache: keys, counters, LRU, disk layer."""
 
 import json
+import threading
 
 import pytest
 
@@ -168,3 +169,96 @@ class TestDiskLayer:
         cache.clear(disk=True)
         assert len(cache) == 0
         assert not list(tmp_path.glob("*.json"))
+
+
+class TestCrashSafety:
+    def test_publish_leaves_no_tmp_sibling(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path)
+        compiled = cache.get_or_compile("VADD")
+        assert (tmp_path / compiled.key.filename).exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_interrupted_publish_leaves_no_torn_file(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.programs as programs_module
+
+        cache = ProgramCache(directory=tmp_path)
+        program = compile_program("VADD")
+
+        def crash(src, dst):
+            raise OSError("crashed before publish")
+
+        monkeypatch.setattr(programs_module.os, "replace", crash)
+        with pytest.raises(OSError):
+            cache.put(program)
+        # The crash cost the entry, never a half-written one: a
+        # fresh process sees either the complete file or nothing.
+        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_torn_file_is_quarantined_and_recompiled(self, tmp_path):
+        calls = []
+        ProgramCache(directory=tmp_path).get_or_compile("VADD")
+        key = program_key("VADD")
+        path = tmp_path / key.filename
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])   # simulate a torn write
+
+        cache = ProgramCache(directory=tmp_path, compiler=counting(calls))
+        compiled = cache.get_or_compile("VADD")
+        assert compiled.ok
+        assert calls == ["VADD"]                  # one recompile, no crash
+        assert cache.quarantined == 1
+        assert cache.misses == 1
+        assert cache.stats()["quarantined"] == 1
+        # The torn bytes were set aside, and the recompile re-published
+        # a good entry in their place.
+        corrupt = tmp_path / (key.filename + ".corrupt")
+        assert corrupt.exists()
+        assert json.loads(path.read_text())["benchmark"] == "VADD"
+
+    def test_key_mismatched_entry_is_quarantined(self, tmp_path):
+        seed = ProgramCache(directory=tmp_path)
+        dot = seed.get_or_compile("DOT")
+        data = json.loads((tmp_path / dot.key.filename).read_text())
+        vadd_key = program_key("VADD")
+        # A valid entry filed under the wrong content address must not
+        # be served as VADD.
+        (tmp_path / vadd_key.filename).write_text(json.dumps(data))
+
+        cache = ProgramCache(directory=tmp_path)
+        compiled = cache.get_or_compile("VADD")
+        assert compiled.benchmark == "VADD"
+        assert cache.quarantined == 1
+        assert (tmp_path / (vadd_key.filename + ".corrupt")).exists()
+
+
+class TestThreadSafety:
+    def test_concurrent_cold_lookups_compile_once(self, tmp_path):
+        calls = []
+        cache = ProgramCache(directory=tmp_path, compiler=counting(calls))
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            entry, _ = cache.lookup("VADD")
+            with results_lock:
+                results.append(entry)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert calls == ["VADD"]          # the cold key compiled once
+        assert len(results) == 8
+        assert all(entry is results[0] for entry in results)
+        assert cache.misses == 1 and cache.hits == 7
+
+    def test_lookup_reports_per_call_hit(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path)
+        _, hit = cache.lookup("VADD")
+        assert not hit
+        _, hit = cache.lookup("VADD")
+        assert hit

@@ -1,6 +1,7 @@
 """AcceleratorService end to end: admission, placement, execution."""
 
 import copy
+import time
 
 import pytest
 
@@ -237,6 +238,136 @@ class TestCapacityRetry:
         assert service.stats().failed == 1
         # The failure released its slices.
         assert service.pool.busy_total() == 0
+
+    def test_retry_backs_off_exponentially_with_jitter(self, monkeypatch):
+        self._flaky(monkeypatch, failures=2)
+        service = make_service(
+            max_retries=3, retry_backoff_s=0.01, retry_backoff_cap_s=10.0
+        )
+        delays = []
+        service._sleep = delays.append
+        result = service.result(service.submit("VADD", 8))
+        assert result.state is JobState.DONE
+        assert result.retries == 2
+        # Base then doubled, each within the +-10% jitter band.
+        assert len(delays) == 2
+        assert 0.009 <= delays[0] <= 0.011
+        assert 0.018 <= delays[1] <= 0.022
+
+    def test_backoff_is_capped(self, monkeypatch):
+        self._flaky(monkeypatch, failures=3)
+        service = make_service(
+            max_retries=4, retry_backoff_s=0.01, retry_backoff_cap_s=0.015,
+            retry_jitter=0.0,
+        )
+        delays = []
+        service._sleep = delays.append
+        assert service.result(service.submit("VADD", 8)).state is JobState.DONE
+        assert delays == [0.01, 0.015, 0.015]
+
+    def test_deadline_cuts_backoff_and_requeues(self, monkeypatch):
+        # The backoff sleep would overshoot the job's deadline, so the
+        # wave aborts without sleeping; the job still has slack, so it
+        # is requeued (never dropped) and completes on the next wave.
+        self._flaky(monkeypatch, failures=1)
+        service = make_service(
+            max_retries=3, retry_backoff_s=5.0, retry_backoff_cap_s=5.0
+        )
+
+        def no_sleep(seconds):
+            raise AssertionError("must not sleep past the deadline")
+
+        service._sleep = no_sleep
+        result = service.result(service.submit("VADD", 4, timeout_s=2.0))
+        assert result.state is JobState.DONE
+        assert service.stats().requeued == 1
+
+
+class TestExecutionDeadline:
+    def test_expired_between_dequeue_and_execution(self, monkeypatch):
+        # Regression: a wave placed early in a pump used to run (and be
+        # billed DONE) even when an earlier wave's execution outlasted
+        # its deadline.  The re-check at execution start must time it
+        # out before its data touches the device.
+        import repro.service.service as service_module
+
+        real = service_module.plan_layout
+
+        def slow_for_vadd(dataset, words, *, pe=None):
+            if dataset.benchmark == "VADD":
+                time.sleep(0.05)
+            return real(dataset, words, pe=pe)
+
+        monkeypatch.setattr(service_module, "plan_layout", slow_for_vadd)
+        service = make_service(batching=False)
+        slow = service.submit("VADD", 2, priority=5)
+        doomed = service.submit("DOT", 2, timeout_s=0.04)
+        service.pump()
+        assert slow.state is JobState.DONE
+        assert doomed.state is JobState.TIMED_OUT
+        assert "deadline" in doomed.result.error
+        assert service.pool.busy_total() == 0
+
+    def test_deadline_overrun_mid_wave_times_out(self, monkeypatch):
+        import repro.service.service as service_module
+
+        real = service_module.plan_layout
+        state = {"left": 1}
+
+        def slow_then_overflow(dataset, words, *, pe=None):
+            if state["left"] > 0:
+                state["left"] -= 1
+                time.sleep(0.03)
+                raise CapacityError("transient: batch too large")
+            return real(dataset, words, pe=pe)
+
+        monkeypatch.setattr(
+            service_module, "plan_layout", slow_then_overflow
+        )
+        service = make_service(max_retries=3)
+        result = service.result(service.submit("VADD", 4, timeout_s=0.02))
+        assert result.state is JobState.TIMED_OUT
+        assert "deadline" in result.error
+        assert service.pool.busy_total() == 0
+
+
+class TestBackpressure:
+    def test_unbounded_queue_never_saturates(self):
+        service = make_service()
+        jobs = [service.submit("VADD", 2, seed=i) for i in range(10)]
+        assert all(job.state is JobState.PENDING for job in jobs)
+
+    def test_bounded_queue_rejects_overflow_as_saturated(self):
+        service = make_service(max_queue_depth=3)
+        jobs = [service.submit("VADD", 2, seed=i) for i in range(5)]
+        states = [job.state for job in jobs]
+        assert states[:3] == [JobState.PENDING] * 3
+        assert states[3:] == [JobState.SATURATED] * 2
+        for job in jobs[3:]:
+            assert job.done
+            assert "full" in job.result.error
+        stats = service.stats()
+        assert stats.saturated == 2
+        # The queued jobs still run to completion.
+        for job in jobs[:3]:
+            assert service.result(job).verified
+        assert service.stats().completed == 3
+
+    def test_requeue_bypasses_the_bound(self):
+        # A job already admitted must never be dropped: deadline-abort
+        # requeues go back even when the queue is nominally full.
+        from repro.service.jobs import Job, JobQueue, JobRequest
+
+        queue = JobQueue(max_depth=1)
+        jobs = [
+            Job(id=n, request=JobRequest(benchmark="VADD", items=1),
+                submitted_at=0.0)
+            for n in (1, 2)
+        ]
+        assert queue.offer(jobs[0])
+        assert not queue.offer(jobs[1])     # bounded: backpressure
+        queue.requeue([jobs[1]])            # admitted work: always fits
+        assert len(queue) == 2
 
     def test_real_scratchpad_overflow_splits_and_completes(self):
         # A batch that genuinely overflows a (shrunken) scratchpad way
