@@ -13,6 +13,10 @@ Seeds the service bench trajectory.  Three timed scenarios:
   execution engine (docs/execution.md): the ``vectorized`` row is the
   headline, the ``mixed_burst_reference`` row is the scalar baseline,
   and the printed engine speedup on items/s must be >= 5x;
+* ``admission_cert`` / ``admission_relint`` — warm-admission latency
+  with and without a valid analysis certificate on the disk entry: a
+  valid certificate is one digest check, a missing/stale one forces
+  the full netlist + schedule + dataflow re-lint (docs/analysis.md);
 * ``mixed_burst_wN`` — the worker sweep: the same mixed burst against
   1, 2, and 4 dispatch threads with an emulated per-wave device-busy
   interval (``wave_latency_s``, the time the cache-side accelerator
@@ -178,6 +182,59 @@ def bench_worker_sweep(jobs: int = 12, items: int = 16,
     return rows
 
 
+def bench_admission(iterations: int = 20) -> List[Dict[str, object]]:
+    """Warm-admission latency: certificate check vs. full re-lint.
+
+    Every iteration simulates a fresh process finding a warm on-disk
+    cache entry: ``admission_cert`` verifies the stored analysis
+    certificate (one digest) and admits; ``admission_relint`` finds the
+    certificate stripped, so admission must re-run the whole
+    netlist + schedule + dataflow rule pack first.  The printed ratio
+    is the lint work a valid certificate removes from the warm path.
+    """
+    import tempfile
+
+    from repro.service.programs import ProgramCache, program_key
+
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ProgramCache(4, tmp).get_or_compile("NW")   # seed the disk entry
+        path = Path(tmp) / program_key("NW").filename
+        certified = path.read_text()
+        stripped_entry = json.loads(certified)
+        stripped_entry.pop("certificate", None)
+        stripped = json.dumps(stripped_entry)
+
+        def _admit_once(payload: str) -> ProgramCache:
+            path.write_text(payload)
+            cache = ProgramCache(4, tmp)
+            start = time.perf_counter()
+            program, hit = cache.lookup("NW")
+            elapsed = time.perf_counter() - start
+            assert hit and program.cert_verified
+            timings.append(elapsed)
+            return cache
+
+        for name, payload, counter in (
+            ("admission_cert", certified, "cert_hits"),
+            ("admission_relint", stripped, "cert_misses"),
+        ):
+            timings: List[float] = []
+            for _ in range(iterations):
+                cache = _admit_once(payload)
+                assert cache.stats()[counter] == 1, cache.stats()
+            mean_s = sum(timings) / len(timings)
+            row = _entry(name, iterations, sum(timings), 1.0)
+            row["mean_ms"] = mean_s * 1e3
+            rows.append(row)
+            print(f"{name:18s} mean {mean_s * 1e3:8.3f} ms "
+                  f"over {iterations} warm admissions")
+    ratio = rows[1]["mean_ms"] / rows[0]["mean_ms"]
+    print(f"certificate skip saves {ratio:5.1f}x on warm admission "
+          f"(relint vs cert-verify mean latency)")
+    return rows
+
+
 def metrics_sidecar(items: int = 4) -> Dict[str, object]:
     """One instrumented burst, exported as a metrics/span snapshot.
 
@@ -205,6 +262,7 @@ def main() -> List[Dict[str, object]]:
     rows = bench_cold_vs_warm()
     rows += bench_mixed_burst()
     rows += bench_worker_sweep()
+    rows += bench_admission()
     OUT.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {OUT}")
     METRICS_OUT.write_text(json.dumps(metrics_sidecar(), indent=2,

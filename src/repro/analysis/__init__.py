@@ -21,7 +21,21 @@ Layers:
 wrapper over the schedule rule pack, kept for backward compatibility.
 """
 
-from .api import analyze, analyze_netlist, analyze_plan, analyze_schedule
+from .api import (
+    analyze,
+    analyze_dataflow,
+    analyze_netlist,
+    analyze_plan,
+    analyze_schedule,
+)
+from .baseline import Baseline
+from .certs import (
+    AnalysisCertificate,
+    artifact_digest,
+    issue_certificate,
+    rulepack_fingerprint,
+    verify_certificate,
+)
 from .core import (
     AnalysisContext,
     AnalysisReport,
@@ -30,29 +44,43 @@ from .core import (
     Rule,
     RuleRegistry,
     Severity,
+    fix_payload,
     registry,
     rule,
 )
+from .dataflow import DataflowIR, build_dataflow
 from .emit import to_json, to_sarif, to_text
 from .preflight import preflight_netlist, preflight_schedule
+from .selfcheck import check_lock_discipline
 
 __all__ = [
+    "AnalysisCertificate",
     "AnalysisContext",
     "AnalysisReport",
+    "Baseline",
+    "DataflowIR",
     "Diagnostic",
     "Finding",
     "Rule",
     "RuleRegistry",
     "Severity",
     "analyze",
+    "analyze_dataflow",
     "analyze_netlist",
     "analyze_plan",
     "analyze_schedule",
+    "artifact_digest",
+    "build_dataflow",
+    "check_lock_discipline",
+    "fix_payload",
+    "issue_certificate",
     "preflight_netlist",
     "preflight_schedule",
     "registry",
     "rule",
+    "rulepack_fingerprint",
     "to_json",
     "to_sarif",
     "to_text",
+    "verify_certificate",
 ]

@@ -1,17 +1,35 @@
-"""Analysis entry points: run a rule pack over one artifact."""
+"""Analysis entry points: run a rule pack over one artifact.
+
+Every entry point records its wall-clock duration in the
+``analysis.lint_s`` telemetry histogram (labelled by artifact kind),
+so the certificate fast path in ``service/programs.py`` has a
+measurable baseline to beat.
+"""
 
 from __future__ import annotations
 
+import time
 from typing import Any, Optional
 
 from ..errors import AnalysisError
+from ..telemetry import resolve
 from .core import AnalysisContext, AnalysisReport, run_rules
+from .dataflow import DEFAULT_ROWS_PER_SUBARRAY, build_dataflow
 
 # Importing the rule modules registers every rule in the global
 # registry; keep these imports even though nothing is referenced.
+from . import dataflow_rules as _dataflow_rules  # noqa: F401
 from . import netlist_rules as _netlist_rules  # noqa: F401
 from . import plan_rules as _plan_rules        # noqa: F401
 from . import schedule_rules as _schedule_rules  # noqa: F401
+
+
+def _observe(kind: str, start_s: float) -> None:
+    tel = resolve(None)
+    if tel.enabled:
+        tel.histogram("analysis.lint_s", "lint pass duration").observe(
+            time.perf_counter() - start_s, kind=kind
+        )
 
 
 def analyze_netlist(
@@ -21,11 +39,14 @@ def analyze_netlist(
     name: Optional[str] = None,
 ) -> AnalysisReport:
     """Run every netlist rule; never raises on findings."""
+    start = time.perf_counter()
     context = AnalysisContext(
         artifact_name=f"netlist:{name or getattr(netlist, 'name', '?')}",
         lut_inputs=lut_inputs,
     )
-    return run_rules("netlist", netlist, context)
+    report = run_rules("netlist", netlist, context)
+    _observe("netlist", start)
+    return report
 
 
 def analyze_schedule(
@@ -35,13 +56,44 @@ def analyze_schedule(
     name: Optional[str] = None,
 ) -> AnalysisReport:
     """Run every schedule rule; ``strict`` hardens pressure warnings."""
+    start = time.perf_counter()
     context = AnalysisContext(
         artifact_name=(
             f"schedule:{name or getattr(schedule.netlist, 'name', '?')}"
         ),
         strict=strict,
     )
-    return run_rules("schedule", schedule, context)
+    report = run_rules("schedule", schedule, context)
+    _observe("schedule", start)
+    return report
+
+
+def analyze_dataflow(
+    schedule: Any,
+    *,
+    strict: bool = False,
+    name: Optional[str] = None,
+    rows_per_subarray: int = DEFAULT_ROWS_PER_SUBARRAY,
+) -> AnalysisReport:
+    """Build the def-use IR for ``schedule`` and run the DF rule pack.
+
+    Accepts either a :class:`~repro.folding.schedule.FoldingSchedule`
+    or an already-built :class:`~repro.analysis.dataflow.DataflowIR`.
+    """
+    start = time.perf_counter()
+    if hasattr(schedule, "ops") and hasattr(schedule, "resources"):
+        ir = build_dataflow(schedule, rows_per_subarray=rows_per_subarray)
+    else:
+        ir = schedule
+    context = AnalysisContext(
+        artifact_name=(
+            f"dataflow:{name or getattr(ir.netlist, 'name', '?')}"
+        ),
+        strict=strict,
+    )
+    report = run_rules("dataflow", ir, context)
+    _observe("dataflow", start)
+    return report
 
 
 def analyze_plan(
@@ -51,6 +103,7 @@ def analyze_plan(
     name: Optional[str] = None,
 ) -> AnalysisReport:
     """Run every plan rule over a SlicePartition or PartitionPlan."""
+    start = time.perf_counter()
     label = name
     if label is None:
         try:
@@ -58,11 +111,15 @@ def analyze_plan(
         except Exception:
             label = "?"
     context = AnalysisContext(artifact_name=f"plan:{label}", spec=spec)
-    return run_rules("plan", plan, context)
+    report = run_rules("plan", plan, context)
+    _observe("plan", start)
+    return report
 
 
 def analyze(artifact: Any, **kwargs: Any) -> AnalysisReport:
-    """Dispatch on artifact shape: netlist, schedule, or plan."""
+    """Dispatch on artifact shape: netlist, schedule, plan, dataflow."""
+    if hasattr(artifact, "cycle_of") and hasattr(artifact, "live_cone"):
+        return analyze_dataflow(artifact, **kwargs)
     if hasattr(artifact, "ops") and hasattr(artifact, "resources"):
         return analyze_schedule(artifact, **kwargs)
     if hasattr(artifact, "nodes") and hasattr(artifact, "outputs"):

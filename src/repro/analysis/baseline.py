@@ -1,0 +1,97 @@
+"""Baseline suppression files for ``freac lint``.
+
+A baseline is the set of findings a project has explicitly accepted:
+``freac lint --write-baseline accepted.json`` records today's report,
+and later runs with ``--baseline accepted.json`` subtract it — so CI
+can gate on *new* findings only while legacy ones are paid down
+incrementally.
+
+Findings are matched by :meth:`Diagnostic.fingerprint` (rule id +
+artifact + location + message), which survives severity re-tiering
+and hint rewording.  Alongside each fingerprint the file stores the
+rule and message for human review of what exactly was accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from ..errors import AnalysisError
+from .core import AnalysisReport
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted finding fingerprints, with context for human review."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_report(cls, report: AnalysisReport) -> "Baseline":
+        entries = {
+            d.fingerprint(): {"rule": d.rule, "message": d.message}
+            for d in report.diagnostics
+        }
+        return cls(entries=entries)
+
+    def apply(self, report: AnalysisReport) -> AnalysisReport:
+        """A copy of ``report`` without the accepted findings."""
+        kept = [
+            d for d in report.diagnostics
+            if d.fingerprint() not in self.entries
+        ]
+        return AnalysisReport(
+            artifact=report.artifact,
+            diagnostics=kept,
+            rules_run=list(report.rules_run),
+        )
+
+    def suppressed(self, report: AnalysisReport) -> int:
+        return sum(
+            1 for d in report.diagnostics
+            if d.fingerprint() in self.entries
+        )
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: Union[Path, str]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fingerprint: dict(context)
+                for fingerprint, context in sorted(self.entries.items())
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[Path, str]) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            raise AnalysisError(f"baseline file {path} does not exist")
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline file {path} is not JSON: {exc}")
+        if payload.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline file {path} has unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        return cls(entries={
+            str(fingerprint): {
+                "rule": str(context.get("rule", "")),
+                "message": str(context.get("message", "")),
+            }
+            for fingerprint, context in payload.get("findings", {}).items()
+        })

@@ -16,6 +16,7 @@ suppressed or gated in CI by id.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -30,6 +31,36 @@ from typing import (
 )
 
 from ..errors import AnalysisError
+
+#: Rule documentation anchor base; SARIF ``helpUri`` per rule id.
+HELP_URI_BASE = (
+    "https://github.com/freac-cache/repro/blob/main/docs/analysis.md#"
+)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists/dicts to tuples so payloads hash/sort."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for JSON emission (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+def fix_payload(**kwargs: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Build a machine-readable fix-suggestion payload for a Finding.
+
+    Values are frozen (lists become tuples) so diagnostics stay
+    hashable and sort stably; emitters thaw them back to JSON.
+    """
+    return tuple(sorted((key, _freeze(value)) for key, value in kwargs.items()))
 
 
 class Severity(enum.Enum):
@@ -59,12 +90,36 @@ class Diagnostic:
     artifact: str                       # e.g. "netlist:crc32"
     location: Tuple[Tuple[str, int], ...] = ()   # (("nid", 5),) etc.
     hint: Optional[str] = None
+    fix: Optional[Tuple[Tuple[str, Any], ...]] = None  # fix_payload(...)
 
     def loc(self, key: str, default: int = 0) -> int:
         for name, value in self.location:
             if name == key:
                 return value
         return default
+
+    def fix_dict(self) -> Dict[str, Any]:
+        """The fix payload as plain JSON-able data ({} when absent)."""
+        if self.fix is None:
+            return {}
+        return {key: _thaw(value) for key, value in self.fix}
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        """Total order: severity first, then rule id, then location."""
+        return (self.severity.rank, self.rule, self.artifact,
+                self.location, self.message)
+
+    def fingerprint(self) -> str:
+        """Stable short content hash, independent of severity and hint.
+
+        Used by baseline files to recognise an accepted finding across
+        runs even when rule severities or wording of hints change.
+        """
+        ident = "\x1f".join(
+            (self.rule, self.artifact,
+             ",".join(f"{k}={v}" for k, v in self.location), self.message)
+        )
+        return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -76,10 +131,13 @@ class Diagnostic:
         }
         if self.hint is not None:
             data["hint"] = self.hint
+        if self.fix is not None:
+            data["fix"] = self.fix_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        fix = data.get("fix")
         return cls(
             rule=data["rule"],
             severity=Severity(data["severity"]),
@@ -87,6 +145,7 @@ class Diagnostic:
             artifact=data["artifact"],
             location=tuple(sorted(data.get("location", {}).items())),
             hint=data.get("hint"),
+            fix=None if fix is None else fix_payload(**fix),
         )
 
 
@@ -102,6 +161,7 @@ class Finding:
     location: Tuple[Tuple[str, int], ...] = ()
     hint: Optional[str] = None
     severity: Optional[Severity] = None
+    fix: Optional[Tuple[Tuple[str, Any], ...]] = None
 
 
 def at(**kwargs: int) -> Tuple[Tuple[str, int], ...]:
@@ -117,10 +177,16 @@ class Rule:
     """A registered static check over one artifact kind."""
 
     rule_id: str
-    artifact: str          # "netlist" | "schedule" | "plan"
+    artifact: str          # "netlist" | "schedule" | "plan" | "dataflow"
     severity: Severity     # default severity of findings
     title: str
     check: CheckFn
+    description: str = ""  # one-paragraph prose; defaults to check docstring
+
+    @property
+    def help_uri(self) -> str:
+        """Documentation anchor for this rule (SARIF ``helpUri``)."""
+        return HELP_URI_BASE + self.rule_id.lower()
 
     def run(self, subject: Any, context: "AnalysisContext") -> List[Diagnostic]:
         diagnostics = []
@@ -133,6 +199,7 @@ class Rule:
                     artifact=context.artifact_name,
                     location=finding.location,
                     hint=finding.hint,
+                    fix=finding.fix,
                 )
             )
         return diagnostics
@@ -149,7 +216,12 @@ class AnalysisContext:
 
 
 class RuleRegistry:
-    """All known rules, ordered by registration (= report order)."""
+    """All known rules; iteration and lookups are id-ordered.
+
+    Ordering by rule id (not registration order) makes rule execution
+    — and therefore report contents — independent of module import
+    order, so text/JSON/SARIF outputs diff cleanly across runs.
+    """
 
     def __init__(self) -> None:
         self._rules: Dict[str, Rule] = {}
@@ -166,10 +238,13 @@ class RuleRegistry:
             raise AnalysisError(f"unknown rule id {rule_id!r}") from None
 
     def for_artifact(self, artifact: str) -> List[Rule]:
-        return [r for r in self._rules.values() if r.artifact == artifact]
+        return sorted(
+            (r for r in self._rules.values() if r.artifact == artifact),
+            key=lambda r: r.rule_id,
+        )
 
     def __iter__(self) -> Iterator[Rule]:
-        return iter(self._rules.values())
+        return iter(sorted(self._rules.values(), key=lambda r: r.rule_id))
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -185,10 +260,21 @@ def rule(
     artifact: str,
     severity: Severity = Severity.ERROR,
     title: str,
+    description: str = "",
 ) -> Callable[[CheckFn], CheckFn]:
-    """Decorator: register ``check`` as a rule in the global registry."""
+    """Decorator: register ``check`` as a rule in the global registry.
+
+    ``description`` defaults to the first paragraph of the check
+    function's docstring, so existing rules pick up SARIF/doc metadata
+    without restating themselves.
+    """
 
     def decorate(check: CheckFn) -> CheckFn:
+        prose = description
+        if not prose and check.__doc__:
+            prose = " ".join(
+                check.__doc__.strip().split("\n\n")[0].split()
+            )
         registry.register(
             Rule(
                 rule_id=rule_id,
@@ -196,6 +282,7 @@ def rule(
                 severity=severity,
                 title=title,
                 check=check,
+                description=prose,
             )
         )
         return check
@@ -281,9 +368,15 @@ class AnalysisReport:
 def run_rules(
     artifact_kind: str, subject: Any, context: AnalysisContext
 ) -> AnalysisReport:
-    """Run every registered rule for ``artifact_kind`` over ``subject``."""
+    """Run every registered rule for ``artifact_kind`` over ``subject``.
+
+    Rules execute in id order and the collected diagnostics are sorted
+    by (severity, rule, location), so two runs over equal artifacts
+    produce byte-identical reports.
+    """
     report = AnalysisReport(artifact=context.artifact_name)
     for rule_obj in registry.for_artifact(artifact_kind):
         report.rules_run.append(rule_obj.rule_id)
         report.extend(rule_obj.run(subject, context))
+    report.diagnostics.sort(key=Diagnostic.sort_key)
     return report

@@ -1,0 +1,217 @@
+"""Dataflow rules over the def-use IR (DFxxx).
+
+Where the SC pack checks a schedule's *shape*, the DF pack checks that
+it *computes*: every read happens after its definition, no scratchpad
+row is clobbered while a spilled value is resident, and nothing
+scheduled is provably useless.  Findings carry machine-readable
+``fix`` payloads (prunable nids, foldable constants, rows freeable
+earlier) so downstream tooling — ``folding/regalloc`` in particular —
+can act on them without re-parsing messages.
+
+Severity policy: DF001/DF002 are correctness errors (the device would
+fault or silently produce garbage); DF003 is a warning (wasted slots,
+not wrong answers); DF004-DF007 are informational optimisation leads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from .core import AnalysisContext, Finding, Severity, at, fix_payload, rule
+from .dataflow import DataflowIR, SpillSlot
+
+
+@rule("DF001", artifact="dataflow", title="read before definition")
+def check_read_before_def(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """A folding pass reads an op value that no earlier pass defines.
+
+    Covers both dropped definitions (the producer is never scheduled)
+    and inverted pass order (the producer runs at the same pass or
+    later).  Either way the device faults — or worse, latches stale
+    garbage — at exactly the flagged pass.
+    """
+    for use in ir.uses:
+        def_cycle = ir.cycle_of.get(use.producer)
+        if def_cycle is None:
+            yield Finding(
+                f"pass {use.cycle}: op {use.user} reads value "
+                f"{use.producer}, which no pass defines",
+                location=at(cycle=use.cycle, nid=use.user),
+                hint=f"schedule op {use.producer} before pass {use.cycle}",
+                fix=fix_payload(missing_def=use.producer,
+                                latest_pass=use.cycle - 1),
+            )
+        elif def_cycle >= use.cycle:
+            yield Finding(
+                f"pass {use.cycle}: op {use.user} reads value "
+                f"{use.producer}, defined later at pass {def_cycle}",
+                location=at(cycle=use.cycle, nid=use.user),
+                hint=(
+                    f"move op {use.producer} before pass {use.cycle} or "
+                    f"delay op {use.user}"
+                ),
+                fix=fix_payload(producer=use.producer,
+                                def_pass=def_cycle,
+                                latest_pass=use.cycle - 1),
+            )
+
+
+@rule("DF002", artifact="dataflow", title="scratchpad row clobbered while live")
+def check_scratchpad_clobber(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Two spilled values share a scratchpad row while both resident.
+
+    The second store silently overwrites the first value, so its
+    reload returns the wrong word.
+    """
+    by_row: Dict[int, List[SpillSlot]] = defaultdict(list)
+    for slot in ir.spill_slots:
+        by_row[slot.row].append(slot)
+    for row in sorted(by_row):
+        slots = sorted(by_row[row], key=lambda s: (s.store_cycle, s.nid))
+        for i, first in enumerate(slots):
+            for second in slots[i + 1:]:
+                if first.nid != second.nid and first.overlaps(second):
+                    clobber = max(first.store_cycle, second.store_cycle)
+                    yield Finding(
+                        f"scratchpad row {row}: value {second.nid} stored "
+                        f"at pass {second.store_cycle} clobbers value "
+                        f"{first.nid}, resident until pass "
+                        f"{first.reload_cycle}",
+                        location=at(cycle=clobber, nid=second.nid,
+                                    row=row),
+                        hint="assign the second spill a free row",
+                        fix=fix_payload(row=row,
+                                        victims=sorted(
+                                            (first.nid, second.nid))),
+                    )
+
+
+@rule("DF003", artifact="dataflow", severity=Severity.WARNING,
+      title="dead logic cone")
+def check_dead_cones(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Scheduled ops unreachable from any output, state, or store.
+
+    They burn slots and passes without affecting anything observable;
+    pruning them shrinks fold_cycles.  The fix payload lists every
+    prunable nid so a tool can drop them in one sweep.
+    """
+    dead_scheduled = [nid for nid in ir.dead_ops if nid in ir.cycle_of]
+    if not dead_scheduled:
+        return
+    first = dead_scheduled[0]
+    yield Finding(
+        f"{len(dead_scheduled)} scheduled op(s) feed no output, "
+        f"flip-flop, or store (first: op {first} at pass "
+        f"{ir.cycle_of[first]})",
+        location=at(cycle=ir.cycle_of[first], nid=first),
+        hint="prune the dead cone before scheduling",
+        fix=fix_payload(prunable_nids=dead_scheduled),
+    )
+
+
+@rule("DF004", artifact="dataflow", severity=Severity.INFO,
+      title="constant-foldable ops")
+def check_constant_candidates(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Op values computable at compile time from constants alone.
+
+    Each could be replaced by a constant node, freeing its slot.  The
+    fix payload maps nid to the folded value.
+    """
+    candidates = {
+        nid: value for nid, value in sorted(ir.const_values.items())
+        if nid in ir.preds
+    }
+    if not candidates:
+        return
+    first = next(iter(candidates))
+    yield Finding(
+        f"{len(candidates)} op(s) compute constants "
+        f"(first: op {first} = {candidates[first]})",
+        location=at(nid=first),
+        hint="constant-fold before technology mapping",
+        fix=fix_payload(constants=candidates),
+    )
+
+
+@rule("DF005", artifact="dataflow", severity=Severity.INFO,
+      title="dataflow statistics")
+def check_stats(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Depth, fanout, and register-pressure profile of the schedule.
+
+    Purely observational: critical depth bounds the best achievable
+    fold_cycles, and the peak-pressure pass is where spilling starts.
+    """
+    stats = ir.stats
+    yield Finding(
+        f"depth {stats['critical_depth']}, max fanout "
+        f"{stats['max_fanout']}, peak {stats['peak_live_bits']} live "
+        f"bits at pass {stats['peak_live_cycle']} "
+        f"(capacity {stats['ff_capacity_bits']})",
+        location=at(cycle=int(stats["peak_live_cycle"])),  # type: ignore[call-overload]
+        fix=fix_payload(stats=stats),
+    )
+
+
+@rule("DF006", artifact="dataflow", severity=Severity.INFO,
+      title="values live across segment reload")
+def check_segment_boundaries(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Values that must survive a config-segment reload.
+
+    When the schedule exceeds one sub-array's rows the image reloads
+    mid-invocation (paper Sec. IV); every value live across that
+    boundary must sit in flip-flops during the reload, so a crowded
+    boundary is a resize candidate.
+    """
+    for boundary in ir.segment_boundaries():
+        live = ir.live_across(boundary)
+        if not live:
+            continue
+        bits = sum(life.bits for life in live)
+        yield Finding(
+            f"segment reload after pass {boundary}: {len(live)} "
+            f"value(s) / {bits} bits stay live across it",
+            location=at(cycle=boundary),
+            hint="values crossing a reload must be FF-resident",
+            fix=fix_payload(boundary=boundary,
+                            nids=[life.nid for life in live]),
+        )
+
+
+@rule("DF007", artifact="dataflow", severity=Severity.INFO,
+      title="scratchpad rows freeable earlier")
+def check_rows_freeable(
+    ir: DataflowIR, context: AnalysisContext
+) -> Iterable[Finding]:
+    """Spill rows whose value dies before the schedule ends.
+
+    After the reload pass the row is garbage; ``folding/regalloc`` can
+    reuse it for a later spill instead of widening the scratchpad.
+    The fix payload maps row to the pass after which it is free.
+    """
+    freeable = {
+        slot.row: slot.reload_cycle
+        for slot in sorted(ir.spill_slots, key=lambda s: s.row)
+        if slot.reload_cycle < ir.passes
+    }
+    if not freeable:
+        return
+    yield Finding(
+        f"{len(freeable)} scratchpad row(s) hold dead values before "
+        "the schedule ends",
+        location=at(cycle=min(freeable.values())),
+        hint="rows are reusable for later spills (regalloc lead)",
+        fix=fix_payload(free_after=freeable),
+    )

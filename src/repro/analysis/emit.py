@@ -61,40 +61,74 @@ def to_json(report: AnalysisReport, *, indent: int = 2) -> str:
     return json.dumps(report.to_dict(), indent=indent)
 
 
-def to_sarif(report: AnalysisReport, *, indent: int = 2) -> str:
-    """A single-run SARIF 2.1.0 log of the report."""
+def _sarif_rule_entry(rule_id: str) -> Dict[str, Any]:
+    """Full SARIF ``reportingDescriptor`` for one rule.
+
+    Registered rules contribute their title, prose description,
+    default severity, and help URI so code-scanning UIs render the
+    finding inline; unknown ids degrade to a bare descriptor.
+    """
+    entry: Dict[str, Any] = {"id": rule_id}
+    try:
+        rule_obj = registry.rule(rule_id)
+    except Exception:
+        entry["shortDescription"] = {"text": rule_id}
+        return entry
+    entry["shortDescription"] = {"text": rule_obj.title}
+    if rule_obj.description:
+        entry["fullDescription"] = {"text": rule_obj.description}
+    entry["defaultConfiguration"] = {
+        "level": _SARIF_LEVEL[rule_obj.severity]
+    }
+    entry["helpUri"] = rule_obj.help_uri
+    return entry
+
+
+def _sarif_result(diagnostic: Diagnostic, index_of: Dict[str, int],
+                  artifact_uri: str) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "logicalLocations": [
+            {"fullyQualifiedName": _location_name(diagnostic)}
+        ]
+    }
+    physical: Dict[str, Any] = {
+        "artifactLocation": {"uri": artifact_uri, "index": 0},
+    }
+    line = diagnostic.loc("line", 0)
+    if line > 0:
+        physical["region"] = {"startLine": line}
+    location["physicalLocation"] = physical
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.rule,
+        "ruleIndex": index_of[diagnostic.rule],
+        "level": _SARIF_LEVEL[diagnostic.severity],
+        "message": {
+            "text": diagnostic.message
+            + (f" Hint: {diagnostic.hint}" if diagnostic.hint else "")
+        },
+        "locations": [location],
+        "fingerprints": {"freacLint/v1": diagnostic.fingerprint()},
+    }
+    if diagnostic.fix is not None:
+        result["properties"] = {"fix": diagnostic.fix_dict()}
+    return result
+
+
+def to_sarif(report: AnalysisReport, *, indent: int = 2,
+             artifact_uri: str = "") -> str:
+    """A single-run SARIF 2.1.0 log of the report.
+
+    ``artifact_uri`` names the analysed artifact file (when the caller
+    linted a file rather than an in-memory object) so physical
+    locations resolve in code-scanning UIs; it defaults to the
+    report's logical artifact name.
+    """
+    uri = artifact_uri or report.artifact.replace(":", "/")
     rule_ids = sorted(set(report.rules_run) | set(report.rule_ids()))
-    rules: List[Dict[str, Any]] = []
-    for rule_id in rule_ids:
-        try:
-            rule_obj = registry.rule(rule_id)
-            description = rule_obj.title
-        except Exception:
-            description = rule_id
-        rules.append(
-            {
-                "id": rule_id,
-                "shortDescription": {"text": description},
-            }
-        )
+    rules = [_sarif_rule_entry(rule_id) for rule_id in rule_ids]
     index_of = {entry["id"]: i for i, entry in enumerate(rules)}
     results = [
-        {
-            "ruleId": diagnostic.rule,
-            "ruleIndex": index_of[diagnostic.rule],
-            "level": _SARIF_LEVEL[diagnostic.severity],
-            "message": {
-                "text": diagnostic.message
-                + (f" Hint: {diagnostic.hint}" if diagnostic.hint else "")
-            },
-            "locations": [
-                {
-                    "logicalLocations": [
-                        {"fullyQualifiedName": _location_name(diagnostic)}
-                    ]
-                }
-            ],
-        }
+        _sarif_result(diagnostic, index_of, uri)
         for diagnostic in report.diagnostics
     ]
     log = {
@@ -111,6 +145,7 @@ def to_sarif(report: AnalysisReport, *, indent: int = 2) -> str:
                         "rules": rules,
                     }
                 },
+                "artifacts": [{"location": {"uri": uri}}],
                 "results": results,
             }
         ],

@@ -1,0 +1,324 @@
+"""Lock-discipline self-lint over the repo's own Python source.
+
+The service layer documents a strict discipline — "service lock
+first, component locks only underneath" — but nothing enforced it;
+a field mutated outside ``self._lock`` is a data race that no unit
+test reliably catches.  This module turns the discipline into a
+machine-checked contract:
+
+* a class declares its lock-guarded fields in a plain class attribute::
+
+      _GUARDED_BY_LOCK = ("_heap", "_sequence")
+
+* the checker parses the file with :mod:`ast` and flags every
+  mutation of a guarded field (assignment, augmented assignment,
+  deletion, subscript store, or a mutating method call like
+  ``.append``/``.pop``) that is not lexically inside a
+  ``with self._lock:`` block (``_cv`` and ``_job_cv`` — the
+  service's Conditions over the same lock — also count).
+
+Escapes are deliberate and visible: ``__init__`` is exempt (no other
+thread can hold a reference yet), and a method whose docstring says
+the *caller* "must hold" the lock is trusted — the convention the
+service layer already uses for its ``_locked`` helpers.
+
+Findings reuse the analysis report/emitter stack (rule ids LK001 and
+LK002), so ``freac selfcheck --format sarif`` uploads straight to
+code scanning.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .core import (
+    AnalysisContext,
+    AnalysisReport,
+    Diagnostic,
+    Finding,
+    Severity,
+    at,
+    rule,
+)
+
+#: Attribute names that count as "the lock" when entered via ``with``.
+LOCK_ATTRS = frozenset({"_lock", "_cv", "_job_cv"})
+
+#: Method calls on a guarded field that mutate it in place.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "remove",
+    "setdefault", "sort", "update",
+})
+
+#: Docstring phrase that waives the check for a method (the caller
+#: is documented to hold the lock already).
+CALLER_HOLDS_PHRASE = "must hold"
+
+
+# The LK rules are registered for SARIF/doc metadata; the checker
+# builds their diagnostics directly (there is no per-file run_rules
+# pass), so the check functions never fire.
+@rule("LK001", artifact="python", title="guarded field mutated outside lock")
+def _lk001(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """A field listed in ``_GUARDED_BY_LOCK`` is mutated on a code path
+    that does not hold the declared lock, which is a data race under
+    the service's threading model."""
+    return ()
+
+
+@rule("LK002", artifact="python", severity=Severity.WARNING,
+      title="guarded field never mutated")
+def _lk002(subject: Any, context: AnalysisContext) -> Iterable[Finding]:
+    """``_GUARDED_BY_LOCK`` names a field no method of the class ever
+    mutates — usually a typo that silently disables the guard."""
+    return ()
+
+
+def _guarded_fields(cls: ast.ClassDef) -> Tuple[str, ...]:
+    """The ``_GUARDED_BY_LOCK`` declaration of a class, if any."""
+    for stmt in cls.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id == "_GUARDED_BY_LOCK"
+                    and isinstance(value, (ast.Tuple, ast.List))):
+                names = []
+                for element in value.elts:
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        names.append(element.value)
+                return tuple(names)
+    return ()
+
+
+def _self_attr_root(expr: ast.expr) -> Optional[str]:
+    """The ``self.<field>`` a store/call target is rooted at, if any.
+
+    ``self.jobs[k] = v`` and ``self._heap.append(x)`` both root at the
+    field; plain local variables root at nothing.
+    """
+    node = expr
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _acquires_lock(stmt: Union[ast.With, ast.AsyncWith]) -> bool:
+    for item in stmt.items:
+        expr = item.context_expr
+        # `with self._lock:` or `with self._cv:` (Condition wraps the
+        # same lock).  A bare `.acquire()` call is not recognised —
+        # the discipline is with-statements only.
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in LOCK_ATTRS):
+            return True
+    return False
+
+
+class _Mutation:
+    __slots__ = ("field", "line", "how")
+
+    def __init__(self, field: str, line: int, how: str) -> None:
+        self.field = field
+        self.line = line
+        self.how = how
+
+
+# Statements with no nested statement bodies: their whole subtree is
+# expressions, so a single ast.walk finds every mutator call exactly
+# once.  Compound statements get only their header expressions scanned
+# here; their bodies are walked (with lock tracking) by _walk_body.
+_SIMPLE_STMTS = (
+    ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return,
+    ast.Delete, ast.Raise, ast.Assert,
+)
+
+
+def _header_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expressions a compound statement evaluates before its bodies."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for element in value:
+                if isinstance(element, ast.expr):
+                    yield element
+                elif isinstance(element, ast.withitem):
+                    yield element.context_expr
+
+
+def _stmt_mutations(stmt: ast.stmt, guarded: frozenset) -> Iterator[_Mutation]:
+    """Guarded-field mutations in one statement's own expressions."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if not (isinstance(stmt, ast.AnnAssign) and stmt.value is None):
+            targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for target in targets:
+        field = _self_attr_root(target)
+        if field in guarded:
+            yield _Mutation(field, target.lineno, "assigned")
+
+    if isinstance(stmt, _SIMPLE_STMTS):
+        roots: Iterable[ast.AST] = (stmt,)
+    else:
+        roots = tuple(_header_exprs(stmt))
+    for root in roots:
+        for node in ast.walk(root):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS):
+                field = _self_attr_root(node.func.value)
+                if field in guarded:
+                    yield _Mutation(
+                        field, node.lineno, f".{node.func.attr}() called"
+                    )
+
+
+def _walk_body(
+    body: Sequence[ast.stmt], guarded: frozenset, held: bool
+) -> Iterator[_Mutation]:
+    """Yield unlocked mutations, tracking ``with self._lock`` blocks."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # A nested def runs later, under unknown locking; the
+            # checker neither trusts nor blames it.
+            continue
+        if not held:
+            yield from _stmt_mutations(stmt, guarded)
+        inner_held = held or (
+            isinstance(stmt, (ast.With, ast.AsyncWith))
+            and _acquires_lock(stmt)
+        )
+        for inner in ("body", "orelse", "finalbody"):
+            yield from _walk_body(
+                getattr(stmt, inner, ()), guarded, inner_held
+            )
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _walk_body(handler.body, guarded, inner_held)
+
+
+def _all_mutations(
+    body: Sequence[ast.stmt], guarded: frozenset
+) -> Iterator[_Mutation]:
+    """Every mutation, locked or not (the LK002 census)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield from _stmt_mutations(stmt, guarded)
+        for inner in ("body", "orelse", "finalbody"):
+            yield from _all_mutations(getattr(stmt, inner, ()), guarded)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _all_mutations(handler.body, guarded)
+
+
+def _check_class(
+    cls: ast.ClassDef, artifact: str
+) -> Iterator[Diagnostic]:
+    guarded = frozenset(_guarded_fields(cls))
+    if not guarded:
+        return
+    mutated: set = set()
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        mutated.update(
+            m.field for m in _all_mutations(stmt.body, guarded)
+        )
+        docstring = (ast.get_docstring(stmt) or "").lower()
+        if stmt.name == "__init__" or CALLER_HOLDS_PHRASE in docstring:
+            continue
+        for mutation in _walk_body(stmt.body, guarded, held=False):
+            yield Diagnostic(
+                rule="LK001",
+                severity=Severity.ERROR,
+                message=(
+                    f"{cls.name}.{stmt.name}: guarded field "
+                    f"self.{mutation.field} {mutation.how} outside "
+                    "self._lock"
+                ),
+                artifact=artifact,
+                location=at(line=mutation.line),
+                hint=(
+                    "wrap the mutation in `with self._lock:` or "
+                    "document that the caller must hold it"
+                ),
+            )
+    for field in sorted(guarded - mutated):
+        yield Diagnostic(
+            rule="LK002",
+            severity=Severity.WARNING,
+            message=(
+                f"{cls.name}: _GUARDED_BY_LOCK names {field!r} but no "
+                "method mutates it (typo?)"
+            ),
+            artifact=artifact,
+            location=at(line=cls.lineno),
+        )
+
+
+def check_file(path: Union[Path, str],
+               artifact: Optional[str] = None) -> List[Diagnostic]:
+    """Lock-discipline diagnostics for one Python file."""
+    path = Path(path)
+    label = artifact if artifact is not None else str(path)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            diagnostics.extend(_check_class(node, label))
+    return diagnostics
+
+
+def check_lock_discipline(
+    paths: Iterable[Union[Path, str]],
+    *,
+    root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run the checker over files and/or directories.
+
+    Directories are walked recursively for ``*.py``.  Artifact names
+    are made relative to ``root`` when given, so reports are stable
+    across checkouts.
+    """
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    report = AnalysisReport(
+        artifact="selfcheck", rules_run=["LK001", "LK002"]
+    )
+    for path in files:
+        label = str(path)
+        if root is not None:
+            try:
+                label = path.resolve().relative_to(
+                    root.resolve()
+                ).as_posix()
+            except ValueError:
+                label = path.as_posix()
+        report.extend(check_file(path, artifact=label))
+    report.diagnostics.sort(key=Diagnostic.sort_key)
+    return report

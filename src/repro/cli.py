@@ -9,6 +9,7 @@ commands::
     freac plan GEMM --cache-ways 2 # partition planning for a kernel
     freac schedule NW --mccs 4     # folding-schedule summary
     freac lint sched.json          # static analysis of an artifact
+    freac selfcheck src/repro      # lock-discipline lint of the repo
     freac submit GEMM --items 8    # one job through the serving layer
     freac serve --requests reqs.txt  # drain a request stream
     freac trace CONV --items 4     # Chrome/Perfetto trace of a run
@@ -103,17 +104,64 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_report(report, fmt: str, artifact_uri: str = "") -> None:
+    from .analysis.emit import to_json, to_sarif, to_text
+
+    if fmt == "json":
+        print(to_json(report))
+    elif fmt == "sarif":
+        print(to_sarif(report, artifact_uri=artifact_uri))
+    else:
+        print(to_text(report))
+
+
+def _gate_report(report, args: argparse.Namespace,
+                 artifact_uri: str = "") -> int:
+    """Baseline subtraction + ``--fail-on`` gating, shared by lint
+    commands.  Exit codes: 0 passes the gate, 1 fails it, 2 bad
+    baseline file."""
+    from .analysis import Baseline, Severity
+    from .errors import AnalysisError
+
+    baseline_path = getattr(args, "baseline", None)
+    if baseline_path:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except AnalysisError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        suppressed = baseline.suppressed(report)
+        report = baseline.apply(report)
+        if suppressed:
+            print(f"(baseline suppressed {suppressed} finding(s))",
+                  file=sys.stderr)
+
+    write_path = getattr(args, "write_baseline", None)
+    if write_path:
+        Baseline.from_report(report).save(write_path)
+        print(f"wrote baseline of {len(report.diagnostics)} finding(s) "
+              f"to {write_path}", file=sys.stderr)
+        return 0
+
+    _emit_report(report, args.format, artifact_uri)
+    threshold = (Severity.WARNING.rank if args.fail_on == "warning"
+                 else Severity.ERROR.rank)
+    failing = sum(
+        1 for d in report.diagnostics if d.severity.rank <= threshold
+    )
+    return 1 if failing else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Statically analyze a netlist/schedule JSON artifact.
 
-    Exit codes: 0 clean (or warnings only), 1 error-severity
-    diagnostics, 2 unreadable/unrecognised artifact.
+    Exit codes: 0 passes the ``--fail-on`` gate, 1 fails it,
+    2 unreadable/unrecognised artifact or bad baseline.
     """
     import json as json_module
     from pathlib import Path
 
-    from .analysis import analyze_netlist, analyze_schedule
-    from .analysis.emit import to_json, to_sarif, to_text
+    from .analysis import analyze_dataflow, analyze_netlist, analyze_schedule
     from .errors import ReproError
 
     path = Path(args.artifact)
@@ -135,12 +183,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     try:
-        if kind == "schedule":
+        if kind in ("schedule", "dataflow"):
             from .folding.io import schedule_from_dict
 
-            report = analyze_schedule(
-                schedule_from_dict(data), strict=args.strict
-            )
+            schedule = schedule_from_dict(data)
+            if kind == "dataflow":
+                report = analyze_dataflow(schedule, strict=args.strict)
+            else:
+                report = analyze_schedule(schedule, strict=args.strict)
+                if args.dataflow:
+                    from .analysis import Diagnostic
+
+                    df = analyze_dataflow(schedule, strict=args.strict)
+                    report.extend(df.diagnostics)
+                    report.rules_run = list(
+                        dict.fromkeys(report.rules_run + df.rules_run)
+                    )
+                    report.diagnostics.sort(key=Diagnostic.sort_key)
         else:
             from .circuits.io import netlist_from_dict
 
@@ -154,13 +213,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    if args.format == "json":
-        print(to_json(report))
-    elif args.format == "sarif":
-        print(to_sarif(report))
-    else:
-        print(to_text(report))
-    return 0 if report.ok else 1
+    return _gate_report(report, args, artifact_uri=path.as_posix())
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Lock-discipline self-lint over Python sources (docs/analysis.md).
+
+    Exit codes: 0 passes the ``--fail-on`` gate, 1 fails it, 2 a path
+    does not exist or is not Python.
+    """
+    from pathlib import Path
+
+    from .analysis import check_lock_discipline
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"{path}: no such file or directory", file=sys.stderr)
+            return 2
+    root = Path(args.root) if args.root else Path.cwd()
+    report = check_lock_discipline(paths, root=root)
+    return _gate_report(report, args, artifact_uri="")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -226,15 +299,45 @@ def main(argv: List[str] | None = None) -> int:
         "lint", help="statically analyze a netlist or schedule artifact"
     )
     lint.add_argument("artifact", help="path to a netlist/schedule JSON file")
-    lint.add_argument("--kind", choices=("auto", "netlist", "schedule"),
+    lint.add_argument("--kind",
+                      choices=("auto", "netlist", "schedule", "dataflow"),
                       default="auto",
-                      help="artifact kind (default: detect from contents)")
+                      help="artifact kind (default: detect from contents; "
+                      "'dataflow' runs the DF pack alone on a schedule)")
     lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text")
     lint.add_argument("--strict", action="store_true",
                       help="escalate register-pressure warnings to errors")
     lint.add_argument("--lut-inputs", type=int, default=None,
                       help="target LUT width for netlist arity checks")
+    lint.add_argument("--dataflow", action="store_true",
+                      help="also run the dataflow (DF) pack on a schedule")
+    lint.add_argument("--fail-on", choices=("error", "warning"),
+                      default="error",
+                      help="lowest severity that fails the exit code "
+                      "(default: error)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="subtract the accepted findings in FILE")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="record current findings as the baseline "
+                      "and exit 0")
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="lock-discipline lint over the repo's own Python sources",
+    )
+    selfcheck.add_argument(
+        "paths", nargs="+", help="Python files or directories to check"
+    )
+    selfcheck.add_argument("--root", default=None,
+                           help="make artifact names relative to this "
+                           "directory (default: cwd)")
+    selfcheck.add_argument("--format", choices=("text", "json", "sarif"),
+                           default="text")
+    selfcheck.add_argument("--fail-on", choices=("error", "warning"),
+                           default="error")
+    selfcheck.add_argument("--baseline", default=None, metavar="FILE")
+    selfcheck.add_argument("--write-baseline", default=None, metavar="FILE")
 
     from .service import frontend as service_frontend
     from .telemetry import frontend as telemetry_frontend
@@ -262,7 +365,7 @@ def main(argv: List[str] | None = None) -> int:
         for name in _ORDER:
             print(name)
         for utility in ("run", "plan", "schedule", "export", "lint",
-                        "submit", "serve", "trace", "metrics"):
+                        "selfcheck", "submit", "serve", "trace", "metrics"):
             print(utility)
         return 0
     if args.command == "all":
@@ -276,6 +379,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_schedule(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "selfcheck":
+        return _cmd_selfcheck(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "submit":

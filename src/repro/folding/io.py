@@ -44,6 +44,7 @@ def schedule_to_dict(schedule: FoldingSchedule) -> Dict:
             "spill_words": schedule.spills.spill_words,
             "spill_cycles": schedule.spills.spill_cycles,
             "spilled_nids": list(schedule.spills.spilled_nids),
+            "spill_rows": list(schedule.spills.spill_rows),
         },
         "algorithm": schedule.algorithm,
     }

@@ -119,6 +119,17 @@ class SpillInfo:
     spill_words: int = 0
     spill_cycles: int = 0
     spilled_nids: List[int] = field(default_factory=list)
+    # Scratchpad row per spilled value, parallel to ``spilled_nids``.
+    # Empty means the identity assignment (i-th spill -> row i); the
+    # dataflow tier reads this to prove rows are never clobbered while
+    # a spilled value is resident.
+    spill_rows: List[int] = field(default_factory=list)
+
+    def row_of(self, index: int) -> int:
+        """Scratchpad row of the ``index``-th spilled value."""
+        if index < len(self.spill_rows):
+            return self.spill_rows[index]
+        return index
 
 
 @dataclass

@@ -55,14 +55,15 @@ _VALUE_BITS = {
 # Op-level dependence structure
 # ---------------------------------------------------------------------------
 
-def _op_dependences(
+def op_dependences(
     netlist: Netlist,
 ) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
     """Op-to-op edges, looking *through* wiring nodes.
 
     Returns (preds, succs) keyed by op nid.  ``preds[v]`` is the set of
     op nodes whose values v consumes, possibly via PACK/BITSLICE
-    chains.
+    chains.  Public: the dataflow analysis tier builds its def-use IR
+    from the same dependence structure the schedulers use.
     """
     # op_sources[n] = set of op nids whose values flow out of node n.
     op_sources: Dict[int, frozenset] = {}
@@ -90,7 +91,7 @@ def _op_dependences(
     return preds, succs
 
 
-def _output_ops(netlist: Netlist) -> Set[int]:
+def output_ops(netlist: Netlist) -> Set[int]:
     """Op nodes whose values must stay live to the end of the schedule.
 
     Primary outputs and flip-flop next-state values are both read at
@@ -119,12 +120,17 @@ def _output_ops(netlist: Netlist) -> Set[int]:
     return result
 
 
+# Backwards-compatible aliases (pre-dataflow-tier private names).
+_op_dependences = op_dependences
+_output_ops = output_ops
+
+
 def _cone_priority(netlist: Netlist, preds: Dict[int, Set[int]]) -> Dict[int, int]:
     """Depth-first post-order rank from the outputs / stores."""
     roots = sorted(
         set(nid for nid, node in enumerate(netlist.nodes)
             if node.kind is NodeKind.BUS_STORE)
-        | _output_ops(netlist)
+        | output_ops(netlist)
     )
     rank: Dict[int, int] = {}
     counter = 0
@@ -215,7 +221,7 @@ def _pressure_pass(
     succs: Dict[int, Set[int]],
 ) -> Tuple[int, SpillInfo]:
     """Compute peak FF occupancy and spill down to capacity."""
-    output_ops = _output_ops(netlist)
+    outputs = output_ops(netlist)
     intervals: List[Tuple[int, int, int, int]] = []  # (def, last_use, bits, nid)
     for nid, cycle in cycle_of.items():
         node = netlist.nodes[nid]
@@ -224,7 +230,7 @@ def _pressure_pass(
             continue  # BUS_STORE produces no live value
         uses = [cycle_of[s] for s in succs[nid]]
         last_use = max(uses, default=cycle)
-        if nid in output_ops:
+        if nid in outputs:
             last_use = max(last_use, total_cycles)
         if last_use > cycle:
             intervals.append((cycle, last_use, bits, nid))
@@ -296,7 +302,7 @@ def _pressure_pass(
 def list_schedule(netlist: Netlist, resources: TileResources) -> FoldingSchedule:
     """Cone-ordered list scheduling (the production scheduler)."""
     _reject_unmapped(netlist, resources)
-    preds, succs = _op_dependences(netlist)
+    preds, succs = op_dependences(netlist)
     priority = _cone_priority(netlist, preds)
     grid = _SlotGrid(resources)
 
@@ -348,7 +354,7 @@ def list_schedule(netlist: Netlist, resources: TileResources) -> FoldingSchedule
 def level_schedule(netlist: Netlist, resources: TileResources) -> FoldingSchedule:
     """The paper's level-partition folding (ablation baseline)."""
     _reject_unmapped(netlist, resources)
-    preds, succs = _op_dependences(netlist)
+    preds, succs = op_dependences(netlist)
     graph = level_graph(netlist)
     grid = _SlotGrid(resources)
     cycle_of: Dict[int, int] = {}

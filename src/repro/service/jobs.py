@@ -137,6 +137,10 @@ class JobQueue:
     a job already admitted must never be dropped.
     """
 
+    #: Mutated only under ``self._lock`` — enforced by
+    #: ``repro.analysis.selfcheck`` in CI.
+    _GUARDED_BY_LOCK = ("_heap",)
+
     def __init__(self, max_depth: Optional[int] = None) -> None:
         if max_depth is not None and max_depth < 1:
             raise ValueError("queue depth bound must be at least one job")

@@ -31,6 +31,10 @@ class SlicePool:
     so concurrent workers can never claim overlapping slices.
     """
 
+    #: Mutated only under ``self._lock`` — enforced by
+    #: ``repro.analysis.selfcheck`` in CI.
+    _GUARDED_BY_LOCK = ("_busy",)
+
     def __init__(self, slice_counts: Sequence[int]) -> None:
         if not slice_counts:
             raise ServiceError("a slice pool needs at least one device")

@@ -9,9 +9,19 @@ the PE library source, making stale entries unreachable after any
 library edit rather than silently wrong.
 
 Entries carry the mapped netlist, the folding schedule for the keyed
-tile size, and both static-analysis reports, so admission control can
-re-check a cached program without re-linting and a rejection can hand
-the caller the full :class:`~repro.analysis.AnalysisReport`.
+tile size, and all three static-analysis reports (netlist, schedule,
+dataflow), so admission control can re-check a cached program without
+re-linting and a rejection can hand the caller the full
+:class:`~repro.analysis.AnalysisReport`.
+
+Each entry also carries an **analysis certificate** — a content digest
+of the schedule bound to a fingerprint of the rule pack that produced
+the verdict.  On a warm hit the cache *verifies* the certificate (one
+hash, microseconds) instead of either re-running the ~40-rule lint
+pass or trusting stored reports blindly; a stale certificate (rule
+pack changed, artifact bytes differ) triggers a transparent re-lint
+and re-issue.  ``cert_hits`` / ``cert_misses`` count the outcomes and
+``bench_service`` measures the admission-latency delta.
 """
 
 from __future__ import annotations
@@ -21,21 +31,37 @@ import logging
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, NamedTuple, Optional, Tuple, Union
 
-from ..analysis import AnalysisReport, analyze_netlist, analyze_schedule
+from ..analysis import (
+    AnalysisReport,
+    analyze_dataflow,
+    analyze_netlist,
+    analyze_schedule,
+)
+from ..analysis.certs import (
+    AnalysisCertificate,
+    artifact_digest,
+    issue_certificate,
+    verify_certificate,
+)
 from ..circuits.library import library_version, mapped_pe, pe_names
 from ..circuits.netlist import Netlist
 from ..folding.io import schedule_from_dict, schedule_to_dict
 from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import list_schedule
 from ..freac.device import AcceleratorProgram
+from ..telemetry import Telemetry
+from ..telemetry.core import resolve
 
 logger = logging.getLogger("repro.service")
 
-DISK_FORMAT_VERSION = 1
+# v2: dataflow report + analysis certificate ride along.  v1 entries
+# fail from_dict, get quarantined, and recompile once — acceptable for
+# a cache.
+DISK_FORMAT_VERSION = 2
 
 
 class ProgramKey(NamedTuple):
@@ -74,6 +100,13 @@ class CompiledProgram:
     netlist_report: AnalysisReport
     schedule_report: AnalysisReport
     library_hash: str
+    dataflow_report: AnalysisReport = field(
+        default_factory=lambda: AnalysisReport(artifact="dataflow:?")
+    )
+    certificate: Optional[AnalysisCertificate] = None
+    #: Runtime-only: this process verified the certificate (or issued
+    #: it fresh), so repeat warm hits skip even the digest hash.
+    cert_verified: bool = field(default=False, compare=False)
 
     @property
     def key(self) -> ProgramKey:
@@ -84,20 +117,42 @@ class CompiledProgram:
 
     @property
     def ok(self) -> bool:
-        """True when neither lint report has error-severity findings."""
-        return self.netlist_report.ok and self.schedule_report.ok
+        """True when no lint report has error-severity findings."""
+        return (self.netlist_report.ok and self.schedule_report.ok
+                and self.dataflow_report.ok)
+
+    @property
+    def reports(self) -> Tuple[AnalysisReport, ...]:
+        return (
+            self.netlist_report, self.schedule_report, self.dataflow_report
+        )
 
     def admission_report(self) -> AnalysisReport:
-        """Both lint reports merged, for structured rejections."""
+        """All lint reports merged, for structured rejections."""
         merged = AnalysisReport(artifact=f"program:{self.benchmark}")
-        merged.extend(self.netlist_report.diagnostics)
-        merged.extend(self.schedule_report.diagnostics)
-        merged.rules_run = list(
-            dict.fromkeys(
-                self.netlist_report.rules_run + self.schedule_report.rules_run
-            )
-        )
+        rules: list = []
+        for report in self.reports:
+            merged.extend(report.diagnostics)
+            rules.extend(report.rules_run)
+        merged.rules_run = list(dict.fromkeys(rules))
         return merged
+
+    def relint(self, *, digest: str = "") -> None:
+        """Re-run the full lint pass and issue a fresh certificate.
+
+        The slow path behind a failed certificate verification: the
+        artifact (or the rule pack) changed since the stored verdict,
+        so nothing short of a full re-analysis is trustworthy.
+        """
+        self.netlist_report = analyze_netlist(
+            self.netlist, lut_inputs=self.lut_inputs
+        )
+        self.schedule_report = analyze_schedule(self.schedule)
+        self.dataflow_report = analyze_dataflow(self.schedule)
+        self.certificate = issue_certificate(
+            self.schedule, self.reports, digest=digest
+        )
+        self.cert_verified = True
 
     def to_accelerator(self) -> AcceleratorProgram:
         """An injectable :class:`AcceleratorProgram` (schedule pre-set)."""
@@ -110,7 +165,7 @@ class CompiledProgram:
     # -- (de)serialisation — the on-disk cache layer --------------------
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "version": DISK_FORMAT_VERSION,
             "benchmark": self.benchmark,
             "lut_inputs": self.lut_inputs,
@@ -120,7 +175,11 @@ class CompiledProgram:
             "schedule": schedule_to_dict(self.schedule),
             "netlist_report": self.netlist_report.to_dict(),
             "schedule_report": self.schedule_report.to_dict(),
+            "dataflow_report": self.dataflow_report.to_dict(),
         }
+        if self.certificate is not None:
+            data["certificate"] = self.certificate.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CompiledProgram":
@@ -129,6 +188,7 @@ class CompiledProgram:
                 f"unsupported cache entry version {data.get('version')!r}"
             )
         schedule = schedule_from_dict(data["schedule"])
+        certificate = data.get("certificate")
         return cls(
             benchmark=data["benchmark"],
             lut_inputs=data["lut_inputs"],
@@ -138,6 +198,11 @@ class CompiledProgram:
             netlist_report=AnalysisReport.from_dict(data["netlist_report"]),
             schedule_report=AnalysisReport.from_dict(data["schedule_report"]),
             library_hash=data["library_hash"],
+            dataflow_report=AnalysisReport.from_dict(data["dataflow_report"]),
+            certificate=(
+                None if certificate is None
+                else AnalysisCertificate.from_dict(certificate)
+            ),
         )
 
 
@@ -155,7 +220,7 @@ def compile_program(
     schedule = list_schedule(
         netlist, TileResources(mccs=mccs_per_tile, lut_inputs=lut_inputs)
     )
-    return CompiledProgram(
+    program = CompiledProgram(
         benchmark=name,
         lut_inputs=lut_inputs,
         mccs_per_tile=mccs_per_tile,
@@ -164,7 +229,11 @@ def compile_program(
         netlist_report=analyze_netlist(netlist, lut_inputs=lut_inputs),
         schedule_report=analyze_schedule(schedule),
         library_hash=library_version(),
+        dataflow_report=analyze_dataflow(schedule),
     )
+    program.certificate = issue_certificate(program.schedule, program.reports)
+    program.cert_verified = True
+    return program
 
 
 class ProgramCache:
@@ -175,7 +244,9 @@ class ProgramCache:
     content address) and evicted entries remain loadable from disk.
     Counters: ``hits`` (memory + disk), ``disk_hits`` (subset),
     ``misses`` (compiled from scratch), ``evictions``,
-    ``quarantined`` (corrupt disk files set aside).
+    ``quarantined`` (corrupt disk files set aside), ``cert_hits`` /
+    ``cert_misses`` (warm-hit certificate verifications that let the
+    cache skip — or forced it to re-run — the full lint pass).
 
     Thread-safe: one re-entrant lock guards the LRU, the counters, and
     the disk layer, so concurrent submitters share one cache without
@@ -192,11 +263,17 @@ class ProgramCache:
     a single recompile instead of a crash on every lookup.
     """
 
+    _GUARDED_BY_LOCK = (
+        "_entries", "hits", "disk_hits", "misses", "evictions",
+        "quarantined", "cert_hits", "cert_misses",
+    )
+
     def __init__(
         self,
         capacity: int = 16,
         directory: Union[str, Path, None] = None,
         compiler: Callable[..., CompiledProgram] = compile_program,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least one entry")
@@ -205,6 +282,7 @@ class ProgramCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._compiler = compiler
+        self._telemetry = resolve(telemetry)
         self._entries: "OrderedDict[ProgramKey, CompiledProgram]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -212,6 +290,8 @@ class ProgramCache:
         self.misses = 0
         self.evictions = 0
         self.quarantined = 0
+        self.cert_hits = 0
+        self.cert_misses = 0
 
     # -- core mapping ---------------------------------------------------
 
@@ -339,6 +419,8 @@ class ProgramCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "quarantined": self.quarantined,
+                "cert_hits": self.cert_hits,
+                "cert_misses": self.cert_misses,
                 "hit_rate": self.hit_rate,
             }
 
@@ -350,16 +432,58 @@ class ProgramCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self._ensure_verified(entry)
                 return entry
             entry = self._load_from_disk(key)
             if entry is not None:
                 self.hits += 1
                 self.disk_hits += 1
+                self._ensure_verified(entry)
                 self.put(entry)
                 return entry
             return None
 
+    def _ensure_verified(self, entry: CompiledProgram) -> None:
+        """Check the entry's analysis certificate once per process.
+
+        The caller must hold ``self._lock``.
+
+        A verified entry (this process issued or already checked its
+        certificate) passes for free.  Otherwise one digest comparison
+        decides: a valid certificate means the stored reports are
+        provably current (``cert_hits``); a stale or missing one means
+        the artifact or the rule pack changed, so the entry is
+        re-linted, re-certified, and rewritten to disk
+        (``cert_misses``).
+        """
+        if entry.cert_verified:
+            return
+        digest = artifact_digest(entry.schedule)
+        if entry.certificate is not None and verify_certificate(
+            entry.certificate, entry.schedule, digest=digest
+        ):
+            entry.cert_verified = True
+            self.cert_hits += 1
+            outcome = "hit"
+        else:
+            entry.relint(digest=digest)
+            self.cert_misses += 1
+            outcome = "miss"
+            if self.directory is not None:
+                self._write_atomic(
+                    self.directory / entry.key.filename, entry
+                )
+        if self._telemetry.enabled:
+            self._telemetry.counter(
+                "service.cert_checks",
+                "certificate verifications on warm program-cache hits",
+            ).inc(outcome=outcome)
+
     def _load_from_disk(self, key: ProgramKey) -> Optional[CompiledProgram]:
+        """Read and validate one on-disk entry.
+
+        The caller must hold ``self._lock``.
+        """
         if self.directory is None:
             return None
         path = self.directory / key.filename
@@ -383,7 +507,10 @@ class ProgramCache:
         return entry
 
     def _quarantine(self, path: Path, reason: str) -> None:
-        """Set a bad cache file aside as ``<name>.corrupt`` (a miss)."""
+        """Set a bad cache file aside as ``<name>.corrupt`` (a miss).
+
+        The caller must hold ``self._lock``.
+        """
         target = path.with_name(path.name + ".corrupt")
         try:
             os.replace(path, target)

@@ -84,6 +84,13 @@ class _WaveDeadline(Exception):
 class AcceleratorService:
     """A multi-tenant serving layer over a pool of FReaC devices."""
 
+    #: Mutated only under ``self._lock`` (``_job_cv`` wraps the same
+    #: lock) — enforced by ``repro.analysis.selfcheck`` in CI.
+    _GUARDED_BY_LOCK = (
+        "_next_id", "jobs", "_compiled", "_counters", "_closed",
+        "latencies",
+    )
+
     def __init__(
         self,
         *,
@@ -128,7 +135,10 @@ class AcceleratorService:
         self.pool = SlicePool([d.slice_count for d in self.devices])
         # Not `cache or ...`: an empty ProgramCache is falsy (len == 0).
         self.cache = (
-            cache if cache is not None else ProgramCache(cache_capacity, cache_dir)
+            cache if cache is not None
+            else ProgramCache(
+                cache_capacity, cache_dir, telemetry=self.telemetry
+            )
         )
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
@@ -944,8 +954,8 @@ class AcceleratorService:
             self.workers.stop(drain=drain, timeout_s=timeout_s)
         elif drain:
             self.drain(timeout_s=timeout_s)
-        self._closed = True
         with self._lock:
+            self._closed = True
             leftovers = [job for job in self.jobs.values() if not job.done]
         for job in leftovers:
             self._finish(job, JobState.CANCELLED, error="service shut down")

@@ -68,6 +68,10 @@ class WorkerPool:
     #: not the scheduling latency (kicks wake workers immediately).
     _POLL_S = 0.05
 
+    #: Mutated only under ``self._cv`` (the service lock) — enforced
+    #: by ``repro.analysis.selfcheck`` in CI.
+    _GUARDED_BY_LOCK = ("_stopping", "_draining", "_busy")
+
     def __init__(self, service: "AcceleratorService", count: int) -> None:
         if count < 1:
             raise ServiceError("a worker pool needs at least one worker")

@@ -1,0 +1,33 @@
+"""A deliberately broken class: the self-lint must flag it.
+
+CI runs ``freac selfcheck`` over this file expecting a non-zero exit;
+the repo's real service code must stay clean.  Not imported anywhere.
+"""
+
+import threading
+
+
+class LeakyCounter:
+    """Mutates a guarded field outside the lock (on purpose)."""
+
+    _GUARDED_BY_LOCK = ("_count", "_log", "_ghost")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._log = []
+
+    def good(self) -> None:
+        with self._lock:
+            self._count += 1
+            self._log.append(self._count)
+
+    def bad_assign(self) -> None:
+        self._count += 1          # LK001: no lock held
+
+    def bad_call(self) -> None:
+        self._log.append("oops")  # LK001: no lock held
+
+    def documented(self) -> None:
+        """The caller must hold ``self._lock``."""
+        self._count = 0           # waived by the docstring

@@ -1,0 +1,93 @@
+"""Baseline suppression files: record, subtract, survive re-tiering."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import Baseline
+from repro.analysis.core import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    at,
+)
+from repro.errors import AnalysisError
+
+
+def make_report(*messages, artifact="netlist:x"):
+    report = AnalysisReport(artifact=artifact, rules_run=["NL001"])
+    report.extend(
+        Diagnostic(
+            rule="NL001", severity=Severity.ERROR, message=message,
+            artifact=artifact, location=at(nid=i),
+        )
+        for i, message in enumerate(messages)
+    )
+    return report
+
+
+class TestBaseline:
+    def test_from_report_records_every_finding(self):
+        report = make_report("a", "b")
+        baseline = Baseline.from_report(report)
+        assert len(baseline) == 2
+        for diagnostic in report.diagnostics:
+            assert diagnostic.fingerprint() in baseline
+
+    def test_apply_subtracts_only_accepted(self):
+        old = make_report("a", "b")
+        baseline = Baseline.from_report(old)
+        new = make_report("a", "b", "c")
+        filtered = baseline.apply(new)
+        assert [d.message for d in filtered.diagnostics] == ["c"]
+        assert baseline.suppressed(new) == 2
+        # the original report is untouched
+        assert len(new.diagnostics) == 3
+
+    def test_fingerprint_survives_severity_retiering(self):
+        report = make_report("a")
+        baseline = Baseline.from_report(report)
+        retier = AnalysisReport(artifact=report.artifact)
+        retier.extend(
+            dataclasses.replace(d, severity=Severity.WARNING)
+            for d in report.diagnostics
+        )
+        assert baseline.suppressed(retier) == 1
+
+    def test_fingerprint_changes_with_location(self):
+        a = make_report("same")
+        b = AnalysisReport(artifact=a.artifact)
+        b.extend(
+            dataclasses.replace(d, location=at(nid=99))
+            for d in a.diagnostics
+        )
+        assert Baseline.from_report(a).suppressed(b) == 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_report(make_report("a", "b"))
+        path = tmp_path / "accepted.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        # on-disk format is reviewable: rule + message per fingerprint
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        for context in payload["findings"].values():
+            assert context["rule"] == "NL001"
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_load_bad_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{half")
+        with pytest.raises(AnalysisError, match="not JSON"):
+            Baseline.load(path)
+
+    def test_load_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(AnalysisError, match="version"):
+            Baseline.load(path)

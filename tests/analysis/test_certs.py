@@ -1,0 +1,169 @@
+"""Analysis certificates: issue/verify semantics and the cache's use.
+
+The certificate's contract: valid ⇒ the stored reports are exactly
+what today's rule pack would produce, so re-running the lint is pure
+waste; invalid ⇒ only "re-analyse", never "bad program".
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import (
+    analyze_dataflow,
+    analyze_netlist,
+    analyze_schedule,
+    artifact_digest,
+    issue_certificate,
+    rulepack_fingerprint,
+    verify_certificate,
+)
+from repro.circuits.library import mapped_pe
+from repro.folding import TileResources, list_schedule
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return list_schedule(
+        mapped_pe("DOT", 5), TileResources(mccs=1, lut_inputs=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def reports(schedule):
+    return (
+        analyze_netlist(schedule.netlist, lut_inputs=5),
+        analyze_schedule(schedule),
+        analyze_dataflow(schedule),
+    )
+
+
+class TestCertificate:
+    def test_issue_then_verify(self, schedule, reports):
+        cert = issue_certificate(schedule, reports)
+        assert cert.ok
+        assert verify_certificate(cert, schedule)
+
+    def test_digest_is_stable_and_content_addressed(self, schedule):
+        assert artifact_digest(schedule) == artifact_digest(schedule)
+        other = list_schedule(
+            mapped_pe("VADD", 5), TileResources(mccs=1, lut_inputs=5)
+        )
+        assert artifact_digest(schedule) != artifact_digest(other)
+
+    def test_changed_schedule_invalidates(self, schedule, reports):
+        cert = issue_certificate(schedule, reports)
+        mutated = dataclasses.replace(
+            schedule, compute_cycles=schedule.compute_cycles + 1
+        )
+        assert not verify_certificate(cert, mutated)
+
+    def test_changed_rulepack_invalidates(self, schedule, reports):
+        cert = issue_certificate(schedule, reports)
+        stale = dataclasses.replace(cert, rulepack="0" * 16)
+        assert not verify_certificate(stale, schedule)
+
+    def test_version_bump_invalidates(self, schedule, reports):
+        cert = issue_certificate(schedule, reports)
+        old = dataclasses.replace(cert, version=0)
+        assert not verify_certificate(old, schedule)
+
+    def test_counts_aggregate_all_reports(self, schedule, reports):
+        cert = issue_certificate(schedule, reports)
+        total = sum(len(r.diagnostics) for r in reports)
+        assert cert.errors + cert.warnings + cert.infos == total
+
+    def test_round_trips_through_json(self, schedule, reports):
+        from repro.analysis import AnalysisCertificate
+
+        cert = issue_certificate(schedule, reports)
+        clone = AnalysisCertificate.from_dict(
+            json.loads(json.dumps(cert.to_dict()))
+        )
+        assert clone == cert
+
+    def test_fingerprint_covers_df_pack(self):
+        # the fingerprint must react to the dataflow pack being present
+        assert rulepack_fingerprint(("netlist",)) != rulepack_fingerprint(
+            ("netlist", "dataflow")
+        )
+
+
+class TestProgramCacheCertificates:
+    def test_warm_disk_hit_verifies_instead_of_relinting(self, tmp_path):
+        from repro.service.programs import ProgramCache
+
+        ProgramCache(4, tmp_path).get_or_compile("DOT")
+        fresh = ProgramCache(4, tmp_path)   # simulates a new process
+        program, hit = fresh.lookup("DOT")
+        assert hit and program.cert_verified
+        stats = fresh.stats()
+        assert stats["cert_hits"] == 1 and stats["cert_misses"] == 0
+
+    def test_stale_certificate_relints_and_heals_disk(self, tmp_path):
+        from repro.service.programs import ProgramCache, program_key
+
+        ProgramCache(4, tmp_path).get_or_compile("DOT")
+        path = tmp_path / program_key("DOT").filename
+        data = json.loads(path.read_text())
+        data["certificate"]["rulepack"] = "f" * 16
+        path.write_text(json.dumps(data))
+
+        healing = ProgramCache(4, tmp_path)
+        program, hit = healing.lookup("DOT")
+        assert hit and program.cert_verified and program.ok
+        assert healing.stats()["cert_misses"] == 1
+        # the re-issued certificate was written back to disk
+        after = ProgramCache(4, tmp_path)
+        after.lookup("DOT")
+        assert after.stats()["cert_hits"] == 1
+
+    def test_missing_certificate_counts_a_miss(self, tmp_path):
+        from repro.service.programs import ProgramCache, program_key
+
+        ProgramCache(4, tmp_path).get_or_compile("DOT")
+        path = tmp_path / program_key("DOT").filename
+        data = json.loads(path.read_text())
+        del data["certificate"]
+        path.write_text(json.dumps(data))
+
+        cache = ProgramCache(4, tmp_path)
+        program, hit = cache.lookup("DOT")
+        assert hit and program.certificate is not None
+        assert cache.stats()["cert_misses"] == 1
+
+    def test_memory_hits_skip_verification_entirely(self, tmp_path):
+        from repro.service.programs import ProgramCache
+
+        cache = ProgramCache(4, tmp_path)
+        cache.get_or_compile("DOT")     # compile issues + verifies
+        cache.get_or_compile("DOT")     # memory hit: nothing to check
+        stats = cache.stats()
+        assert stats["cert_hits"] == 0 and stats["cert_misses"] == 0
+
+    def test_cert_checks_are_counted_in_telemetry(self, tmp_path):
+        from repro.service.programs import ProgramCache
+        from repro.telemetry import Telemetry
+
+        ProgramCache(4, tmp_path).get_or_compile("DOT")
+        telemetry = Telemetry()
+        cache = ProgramCache(4, tmp_path, telemetry=telemetry)
+        cache.lookup("DOT")
+        snapshot = telemetry.metrics.snapshot()
+        assert "service.cert_checks" in snapshot
+
+    def test_old_disk_format_recompiles_once(self, tmp_path):
+        from repro.service.programs import ProgramCache, program_key
+
+        ProgramCache(4, tmp_path).get_or_compile("DOT")
+        path = tmp_path / program_key("DOT").filename
+        data = json.loads(path.read_text())
+        data["version"] = 1
+        path.write_text(json.dumps(data))
+
+        cache = ProgramCache(4, tmp_path)
+        program, hit = cache.lookup("DOT")
+        assert not hit                      # v1 entry is quarantined
+        assert cache.stats()["quarantined"] == 1
+        assert program.ok and program.cert_verified

@@ -1,0 +1,188 @@
+"""The dataflow IR and the DF rule pack (docs/analysis.md).
+
+The IR mirrors executor semantics exactly — ``op_by_nid`` last-entry
+wins, values live from their defining pass to their last reader — so a
+DF001 finding names the same (cycle, nid) the device would fault on.
+"""
+
+import dataclasses
+
+from repro.analysis import analyze_dataflow
+from repro.analysis.dataflow import (
+    DEFAULT_ROWS_PER_SUBARRAY,
+    build_dataflow,
+)
+from repro.circuits import CircuitBuilder, technology_map
+from repro.circuits.library import mapped_pe
+from repro.folding import TileResources, list_schedule
+from repro.folding.schedule import MccParams
+
+
+def dot_schedule(mccs=1):
+    return list_schedule(
+        mapped_pe("DOT", 5), TileResources(mccs=mccs, lut_inputs=5)
+    )
+
+
+def spilling_schedule():
+    """A register file too small for FC-32: forces real spill traffic."""
+    from repro.circuits.library import build_fc_pe
+
+    netlist = technology_map(build_fc_pe(32).netlist, k=5).netlist
+    schedule = list_schedule(
+        netlist,
+        TileResources(
+            mccs=1, lut_inputs=5, mcc=MccParams(register_file_bits=96)
+        ),
+    )
+    assert schedule.spills.spilled_nids, "fixture must actually spill"
+    return schedule
+
+
+def retime(schedule, nid, cycle):
+    """A copy of ``schedule`` with op ``nid`` moved to ``cycle``."""
+    ops = [
+        dataclasses.replace(op, cycle=cycle) if op.nid == nid else op
+        for op in schedule.ops
+    ]
+    return dataclasses.replace(
+        schedule, ops=ops, compute_cycles=max(op.cycle for op in ops)
+    )
+
+
+class TestDataflowIR:
+    def test_defs_and_uses_cover_every_scheduled_op(self):
+        schedule = dot_schedule()
+        ir = build_dataflow(schedule)
+        scheduled = {op.nid for op in schedule.ops}
+        assert set(ir.cycle_of) == scheduled
+        for use in ir.uses:
+            assert use.user in scheduled
+            assert use.cycle == ir.cycle_of[use.user]
+
+    def test_lives_span_def_to_last_use(self):
+        ir = build_dataflow(dot_schedule())
+        for life in ir.lives.values():
+            assert life.last_use >= life.def_cycle
+
+    def test_live_cone_reaches_every_output(self):
+        schedule = dot_schedule()
+        ir = build_dataflow(schedule)
+        for nid in schedule.netlist.outputs.values():
+            # outputs resolve through wiring; the cone holds the ops
+            assert ir.live_cone, "clean schedule must have a live cone"
+        assert not ir.dead_ops
+
+    def test_segments_follow_rows_per_subarray(self):
+        schedule = dot_schedule()
+        ir = build_dataflow(schedule, rows_per_subarray=4)
+        assert ir.segments > 1
+        assert ir.segments == -(-schedule.compute_cycles // 4)
+        for boundary in ir.segment_boundaries():
+            assert boundary % 4 == 0
+        wide = build_dataflow(schedule)
+        assert wide.segments == 1
+        assert DEFAULT_ROWS_PER_SUBARRAY == 2048
+
+    def test_spill_slots_match_spill_info(self):
+        schedule = spilling_schedule()
+        ir = build_dataflow(schedule)
+        assert len(ir.spill_slots) == len(schedule.spills.spilled_nids)
+        for slot in ir.spill_slots:
+            assert slot.reload_cycle >= slot.store_cycle
+
+    def test_stats_are_populated(self):
+        ir = build_dataflow(dot_schedule())
+        assert ir.stats["critical_depth"] >= 1
+        assert ir.stats["peak_live_bits"] > 0
+
+
+class TestDataflowRules:
+    def test_clean_schedule_is_clean(self):
+        report = analyze_dataflow(dot_schedule())
+        assert report.ok
+        assert not report.errors
+
+    def test_df001_read_before_def_names_the_faulting_read(self):
+        schedule = dot_schedule()
+        ir = build_dataflow(schedule)
+        use = next(
+            u for u in ir.uses
+            if ir.cycle_of.get(u.producer, 0) < u.cycle
+        )
+        # move the producer after its reader
+        bad = retime(schedule, use.producer, use.cycle + 1)
+        report = analyze_dataflow(bad)
+        hits = [d for d in report.errors if d.rule == "DF001"]
+        assert hits, report.to_dict()
+        assert any(
+            d.loc("nid") == use.user and d.loc("cycle") == use.cycle
+            for d in hits
+        )
+
+    def test_df001_missing_def_carries_fix_payload(self):
+        schedule = dot_schedule()
+        ir = build_dataflow(schedule)
+        producer = next(u.producer for u in ir.uses)
+        ops = [op for op in schedule.ops if op.nid != producer]
+        bad = dataclasses.replace(schedule, ops=ops)
+        report = analyze_dataflow(bad)
+        hits = [d for d in report.errors if d.rule == "DF001"]
+        assert hits
+        assert any(
+            d.fix_dict() and "missing_def" in d.fix_dict() for d in hits
+        )
+
+    def test_df002_flags_overlapping_row_reuse(self):
+        schedule = spilling_schedule()
+        ir = build_dataflow(schedule)
+        # find two slots on different rows whose residency overlaps
+        first, second = next(
+            (a, b)
+            for a in ir.spill_slots
+            for b in ir.spill_slots
+            if a.row < b.row and a.overlaps(b)
+        )
+        rows = list(range(len(ir.spill_slots)))
+        rows[second.row] = first.row    # retarget onto a live row
+        bad = dataclasses.replace(
+            schedule,
+            spills=dataclasses.replace(schedule.spills, spill_rows=rows),
+        )
+        report = analyze_dataflow(bad)
+        hits = [d for d in report.errors if d.rule == "DF002"]
+        assert hits, report.to_dict()
+        assert any(d.loc("row") == first.row for d in hits)
+
+    def test_df003_flags_dead_cones_with_prunable_payload(self):
+        builder = CircuitBuilder("deadwood")
+        a = builder.bus_load("a")
+        b = builder.bus_load("b")
+        builder.mac(a, b, builder.const_word(0))    # computed, never stored
+        builder.bus_store("out", builder.mac(a, a, builder.const_word(0)))
+        netlist = technology_map(builder.netlist, k=5).netlist
+        schedule = list_schedule(netlist, TileResources())
+        report = analyze_dataflow(schedule)
+        hits = [d for d in report.diagnostics if d.rule == "DF003"]
+        assert hits
+        assert hits[0].fix_dict()["prunable_nids"]
+
+    def test_df006_reports_segment_boundary_pressure(self):
+        report = analyze_dataflow(dot_schedule(), rows_per_subarray=4)
+        assert any(d.rule == "DF006" for d in report.diagnostics)
+
+    def test_report_is_deterministically_sorted(self):
+        schedule = dot_schedule()
+        a = analyze_dataflow(schedule).to_dict()
+        b = analyze_dataflow(schedule).to_dict()
+        assert a == b
+        report = analyze_dataflow(schedule)
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+
+    def test_json_round_trip(self):
+        from repro.analysis import AnalysisReport
+
+        report = analyze_dataflow(dot_schedule(), rows_per_subarray=4)
+        clone = AnalysisReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()

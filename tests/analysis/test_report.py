@@ -90,7 +90,7 @@ class TestRegistry:
 
     def test_rule_ids_are_stable_strings(self):
         for rule_obj in registry:
-            assert rule_obj.rule_id[:2] in ("NL", "SC", "PL")
+            assert rule_obj.rule_id[:2] in ("NL", "SC", "PL", "DF", "LK")
             assert rule_obj.title
 
     def test_unknown_rule_raises(self):

@@ -1,0 +1,153 @@
+"""The lock-discipline self-lint (LK rules) over Python sources."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import check_lock_discipline
+from repro.analysis.selfcheck import check_file
+
+FIXTURE = (
+    Path(__file__).parent / "fixtures" / "lock_violation.py"
+)
+SERVICE_DIR = (
+    Path(__file__).parent.parent.parent / "src" / "repro" / "service"
+)
+
+
+def check_source(tmp_path, source):
+    path = tmp_path / "case.py"
+    path.write_text(textwrap.dedent(source))
+    return check_file(path)
+
+
+class TestSeededFixture:
+    def test_flags_both_violations_precisely(self):
+        diagnostics = check_file(FIXTURE)
+        lk001 = [d for d in diagnostics if d.rule == "LK001"]
+        assert len(lk001) == 2
+        methods = {d.message.split(".")[1].split(":")[0] for d in lk001}
+        assert methods == {"bad_assign", "bad_call"}
+        for d in lk001:
+            assert d.loc("line") > 0
+
+    def test_flags_the_ghost_field(self):
+        diagnostics = check_file(FIXTURE)
+        lk002 = [d for d in diagnostics if d.rule == "LK002"]
+        assert len(lk002) == 1
+        assert "_ghost" in lk002[0].message
+
+    def test_locked_and_waived_methods_stay_clean(self):
+        diagnostics = check_file(FIXTURE)
+        messages = " ".join(d.message for d in diagnostics)
+        assert "good" not in messages
+        assert "documented" not in messages
+
+
+class TestServiceLayerIsClean:
+    def test_src_repro_service_passes(self):
+        report = check_lock_discipline([SERVICE_DIR])
+        assert report.ok, [d.message for d in report.errors]
+        assert not report.diagnostics, [
+            d.message for d in report.diagnostics
+        ]
+
+    def test_service_classes_are_annotated(self):
+        # the self-lint only has teeth if the real classes opt in
+        annotated = [
+            path for path in SERVICE_DIR.glob("*.py")
+            if "_GUARDED_BY_LOCK" in path.read_text()
+        ]
+        assert len(annotated) >= 4, [p.name for p in annotated]
+
+
+class TestCheckerSemantics:
+    def test_unannotated_class_is_ignored(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Plain:
+                def poke(self):
+                    self.count = 1
+        """)
+
+    def test_mutation_under_lock_is_clean(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("count",)
+                def poke(self):
+                    with self._lock:
+                        self.count += 1
+        """)
+
+    def test_nested_subscript_store_is_caught(self, tmp_path):
+        diagnostics = check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("jobs",)
+                def poke(self, key):
+                    self.jobs[key] = 1
+        """)
+        assert [d.rule for d in diagnostics] == ["LK001"]
+        assert "assigned" in diagnostics[0].message
+
+    def test_mutator_call_inside_try_is_caught(self, tmp_path):
+        diagnostics = check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("log",)
+                def poke(self):
+                    try:
+                        self.log.append(1)
+                    finally:
+                        pass
+        """)
+        assert any(d.rule == "LK001" for d in diagnostics)
+
+    def test_lock_in_outer_with_covers_inner_statements(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("log",)
+                def poke(self):
+                    with self._lock:
+                        for i in range(3):
+                            if i:
+                                self.log.append(i)
+        """)
+
+    def test_condition_variable_counts_as_the_lock(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("state",)
+                def poke(self):
+                    with self._job_cv:
+                        self.state = "done"
+        """)
+
+    def test_init_is_exempt_but_counts_for_the_census(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("state",)
+                def __init__(self):
+                    self.state = 0
+        """)
+
+    def test_nested_function_is_neither_trusted_nor_blamed(self, tmp_path):
+        assert not check_source(tmp_path, """
+            class Guarded:
+                _GUARDED_BY_LOCK = ("state",)
+                def __init__(self):
+                    self.state = 0
+                def poke(self):
+                    def later():
+                        self.state = 1
+                    return later
+        """)
+
+    def test_report_artifacts_are_relative_to_root(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent("""
+            class Guarded:
+                _GUARDED_BY_LOCK = ("x",)
+                def poke(self):
+                    self.x = 1
+        """))
+        report = check_lock_discipline([tmp_path], root=tmp_path)
+        assert report.diagnostics
+        assert report.diagnostics[0].artifact == "mod.py"
+        assert report.rules_run == ["LK001", "LK002"]

@@ -171,3 +171,107 @@ class TestLintCommand:
         path.write_text(json.dumps(netlist_to_dict(_schedule().netlist)))
         assert main(["lint", str(path), "--kind", "schedule"]) == 2
         assert "cannot deserialise" in capsys.readouterr().err
+
+
+def _retimed(schedule):
+    """Corrupt a schedule: move the first producer past its reader,
+    onto a fresh cycle so no resource (SC) rule trips."""
+    from repro.analysis.dataflow import build_dataflow
+
+    ir = build_dataflow(schedule)
+    use = next(
+        u for u in sorted(ir.uses, key=lambda u: (u.cycle, u.user))
+        if ir.cycle_of.get(u.producer, u.cycle) < u.cycle
+    )
+    fresh = schedule.compute_cycles + 1
+    ops = [
+        dataclasses.replace(op, cycle=fresh)
+        if op.nid == use.producer else op
+        for op in schedule.ops
+    ]
+    return dataclasses.replace(
+        schedule, ops=ops, compute_cycles=fresh
+    )
+
+
+class TestLintGating:
+    def test_dataflow_flag_runs_df_pack(self, tmp_path, capsys):
+        artifact = _write_schedule(
+            tmp_path / "bad.json", _retimed(_schedule())
+        )
+        main(["lint", artifact])
+        assert "DF001" not in capsys.readouterr().out   # SC pack alone
+        assert main(["lint", artifact, "--dataflow"]) == 1
+        assert "DF001" in capsys.readouterr().out
+
+    def test_kind_dataflow_runs_df_pack_alone(self, tmp_path, capsys):
+        artifact = _write_schedule(
+            tmp_path / "bad.json", _retimed(_schedule())
+        )
+        assert main(["lint", artifact, "--kind", "dataflow"]) == 1
+        out = capsys.readouterr().out
+        assert "DF001" in out
+        assert "dataflow:" in out
+
+    def test_fail_on_warning_tightens_the_gate(self, tmp_path):
+        schedule = _schedule()
+        inflated = dataclasses.replace(
+            schedule,
+            ops=list(schedule.ops),
+            max_live_bits=schedule.resources.ff_bits + 1,
+        )
+        artifact = _write_schedule(tmp_path / "hot.json", inflated)
+        assert main(["lint", artifact]) == 0           # warning only
+        assert main(["lint", artifact, "--fail-on", "warning"]) == 1
+
+    def test_baseline_round_trip_suppresses(self, tmp_path, capsys):
+        artifact = _write_schedule(
+            tmp_path / "bad.json", _retimed(_schedule())
+        )
+        base = str(tmp_path / "accepted.json")
+        assert main(["lint", artifact, "--dataflow",
+                     "--write-baseline", base]) == 0
+        capsys.readouterr()
+        assert main(["lint", artifact, "--dataflow",
+                     "--baseline", base]) == 0
+        assert "suppressed" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        artifact = _write_schedule(tmp_path / "sched.json", _schedule())
+        assert main(["lint", artifact,
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_sarif_points_at_the_artifact_file(self, tmp_path, capsys):
+        artifact = _write_schedule(tmp_path / "sched.json", _schedule())
+        assert main(["lint", artifact, "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        uri = log["runs"][0]["artifacts"][0]["location"]["uri"]
+        assert uri.endswith("sched.json")
+
+
+class TestSelfcheckCommand:
+    FIXTURE = "tests/analysis/fixtures/lock_violation.py"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["selfcheck", "src/repro/service"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one(self, capsys):
+        assert main(["selfcheck", self.FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "LK001" in out
+        assert "bad_assign" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["selfcheck", "/nonexistent.py"]) == 2
+
+    def test_sarif_output_carries_lk_metadata(self, capsys):
+        assert main(["selfcheck", self.FIXTURE,
+                     "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        rules = {r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert "LK001" in rules
+        assert rules["LK001"]["defaultConfiguration"]["level"] == "error"
+        result = log["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] > 0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Regenerate the rule table in docs/analysis.md from the registry.
+
+The table between the ``<!-- rule-table:start -->`` and
+``<!-- rule-table:end -->`` markers is generated — edit rule
+docstrings/titles in ``src/repro/analysis/*_rules.py`` (and
+``selfcheck.py``), then rerun::
+
+    PYTHONPATH=src python tools/gen_rule_table.py
+
+CI runs ``--check`` to fail when the committed table is stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "analysis.md"
+START = "<!-- rule-table:start -->"
+END = "<!-- rule-table:end -->"
+
+
+def render_table() -> str:
+    sys.path.insert(0, str(REPO / "src"))
+    # Importing the api module registers every rule pack; selfcheck
+    # registers the LK pack.
+    import repro.analysis.api  # noqa: F401
+    import repro.analysis.selfcheck  # noqa: F401
+    from repro.analysis.core import registry
+
+    lines = [
+        "| Rule | Artifact | Severity | Checks |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule in registry:
+        what = rule.description or rule.title
+        lines.append(
+            f"| `{rule.rule_id}` | {rule.artifact} "
+            f"| {rule.severity.value} | {what} |"
+        )
+    return "\n".join(lines)
+
+
+def splice(text: str, table: str) -> str:
+    head, _, rest = text.partition(START)
+    _, _, tail = rest.partition(END)
+    if not rest or not tail and END not in rest:
+        raise SystemExit(
+            f"{DOC}: missing {START}/{END} markers"
+        )
+    return f"{head}{START}\n{table}\n{END}{tail}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the committed table is stale (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    current = DOC.read_text()
+    updated = splice(current, render_table())
+    if args.check:
+        if updated != current:
+            print(
+                f"{DOC} rule table is stale; run "
+                "`PYTHONPATH=src python tools/gen_rule_table.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{DOC} rule table is up to date")
+        return 0
+    if updated != current:
+        DOC.write_text(updated)
+        print(f"rewrote rule table in {DOC}")
+    else:
+        print(f"{DOC} already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
