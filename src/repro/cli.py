@@ -12,6 +12,7 @@ commands::
     freac selfcheck src/repro      # lock-discipline lint of the repo
     freac submit GEMM --items 8    # one job through the serving layer
     freac serve --requests reqs.txt  # drain a request stream
+    freac gateway --shards 2 --burst 100  # multi-process sharded serving
     freac trace CONV --items 4     # Chrome/Perfetto trace of a run
     freac metrics GEMM --format prom # telemetry metrics of a run
 """
@@ -339,10 +340,12 @@ def main(argv: List[str] | None = None) -> int:
     selfcheck.add_argument("--baseline", default=None, metavar="FILE")
     selfcheck.add_argument("--write-baseline", default=None, metavar="FILE")
 
+    from .gateway import frontend as gateway_frontend
     from .service import frontend as service_frontend
     from .telemetry import frontend as telemetry_frontend
 
     service_frontend.add_parsers(sub)
+    gateway_frontend.add_parsers(sub)
     telemetry_frontend.add_parsers(sub)
 
     runp = sub.add_parser(
@@ -365,7 +368,8 @@ def main(argv: List[str] | None = None) -> int:
         for name in _ORDER:
             print(name)
         for utility in ("run", "plan", "schedule", "export", "lint",
-                        "selfcheck", "submit", "serve", "trace", "metrics"):
+                        "selfcheck", "submit", "serve", "gateway",
+                        "trace", "metrics"):
             print(utility)
         return 0
     if args.command == "all":
@@ -387,6 +391,8 @@ def main(argv: List[str] | None = None) -> int:
         return service_frontend.cmd_submit(args)
     if args.command == "serve":
         return service_frontend.cmd_serve(args)
+    if args.command == "gateway":
+        return gateway_frontend.cmd_gateway(args)
     if args.command == "trace":
         return telemetry_frontend.cmd_trace(args)
     if args.command == "metrics":

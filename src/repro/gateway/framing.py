@@ -1,0 +1,135 @@
+"""Length-prefixed pickle framing for the gateway <-> shard channels.
+
+Every message on a shard channel is one *frame*::
+
+    +--------+---------+------------------+----------------------+
+    | magic  | version | payload length   | pickled payload      |
+    | 2 bytes| 1 byte  | 4 bytes (BE u32) | ``length`` bytes     |
+    +--------+---------+------------------+----------------------+
+
+The header makes the channel self-describing and fail-fast: a peer
+speaking a different protocol revision (or a corrupted stream) raises
+:class:`FramingError` at the first frame instead of unpickling
+garbage.  Frames travel over ``multiprocessing.Connection`` byte
+pipes; :class:`FrameDecoder` also supports incremental reassembly
+from arbitrary byte chunks, so the same codec works over any stream
+transport (and is unit-testable without processes).
+
+Pickle is safe here because both endpoints are the same codebase on
+the same machine, parent and child of one ``freac gateway`` process
+tree — this is an IPC format, not a network protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator, List
+
+from ..errors import ServiceError
+
+MAGIC = b"FG"            # FReaC Gateway
+PROTOCOL_VERSION = 1
+_HEADER = struct.Struct(">2sBI")   # magic, version, payload length
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on one frame's payload; a frame beyond this is a bug
+#: (a runaway pickle), not traffic, and refusing it keeps a corrupt
+#: length prefix from allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FramingError(ServiceError):
+    """The byte stream is not valid gateway framing."""
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialise one message as a framed byte string."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode one complete frame (header + payload) back to a message."""
+    if len(frame) < HEADER_SIZE:
+        raise FramingError(
+            f"short frame: {len(frame)} bytes < {HEADER_SIZE}-byte header"
+        )
+    magic, version, length = _HEADER.unpack_from(frame)
+    if magic != MAGIC:
+        raise FramingError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise FramingError(
+            f"protocol version {version} != {PROTOCOL_VERSION}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame length {length} exceeds the bound")
+    if len(frame) != HEADER_SIZE + length:
+        raise FramingError(
+            f"frame length mismatch: header says {length} payload bytes, "
+            f"got {len(frame) - HEADER_SIZE}"
+        )
+    return pickle.loads(frame[HEADER_SIZE:])
+
+
+class FrameDecoder:
+    """Incremental frame reassembly from arbitrary byte chunks.
+
+    Feed it bytes as they arrive; it yields every message whose frame
+    has fully arrived and buffers the rest.  One decoder instance
+    belongs to one thread (the per-shard reader) — it is deliberately
+    unsynchronised.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[Any]:
+        """Absorb ``chunk``; return every newly completed message."""
+        self._buffer.extend(chunk)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Any]:
+        while len(self._buffer) >= HEADER_SIZE:
+            magic, version, length = _HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise FramingError(f"bad frame magic {bytes(magic)!r}")
+            if version != PROTOCOL_VERSION:
+                raise FramingError(
+                    f"protocol version {version} != {PROTOCOL_VERSION}"
+                )
+            if length > MAX_FRAME_BYTES:
+                raise FramingError(f"frame length {length} exceeds the bound")
+            end = HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[HEADER_SIZE:end])
+            del self._buffer[:end]
+            yield pickle.loads(payload)
+
+
+def send_message(connection, message: Any) -> None:
+    """Frame ``message`` and write it to a multiprocessing connection.
+
+    The caller serialises concurrent senders (the shard runtime holds
+    its send lock); this helper only does the encoding and the write.
+    """
+    connection.send_bytes(encode_frame(message))
+
+
+def recv_message(connection) -> Any:
+    """Read one framed message from a multiprocessing connection.
+
+    Raises ``EOFError`` when the peer is gone (connection closed or
+    process dead) and :class:`FramingError` on a malformed frame.
+    """
+    return decode_frame(connection.recv_bytes())

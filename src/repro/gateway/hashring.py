@@ -1,0 +1,95 @@
+"""Consistent-hash routing for the sharded gateway.
+
+The gateway routes every submit by its program-cache route key (see
+:meth:`repro.gateway.protocol.JobSpec.route_key`) so that all jobs
+compiling the same program land on the same shard and hit that shard's
+warm :class:`~repro.service.programs.ProgramCache` entry.  A plain
+``hash(key) % shards`` would reshuffle *every* key when a shard dies;
+a consistent-hash ring moves only ~1/N of them, so a shard restart
+does not cold-start the whole fleet's program cache.
+
+Implementation: classic virtual-node ring.  Each shard contributes
+``replicas`` points placed by SHA-256 (stable across processes and
+Python versions — ``hash()`` is salted per process and useless here).
+A key routes to the first ring point clockwise from its own hash.
+
+:meth:`HashRing.candidates` returns the first *k* distinct shards
+clockwise; the gateway uses candidate #2 as the bounded-load spill
+target when candidate #1 is overloaded (few hot keys over few shards
+makes pure consistent hashing lumpy; spilling the overflow keeps the
+fleet busy without giving up cache locality for the common case).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+DEFAULT_REPLICAS = 64
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit ring position for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over integer shard ids."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[int] = []          # sorted ring positions
+        self._owner: Dict[int, int] = {}      # ring position -> shard id
+
+    def __len__(self) -> int:
+        return len(self.shards())
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._owner.values()
+
+    def shards(self) -> List[int]:
+        return sorted(set(self._owner.values()))
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self:
+            return
+        for replica in range(self.replicas):
+            point = _point(f"shard:{shard_id}:{replica}")
+            if point in self._owner:
+                # A 64-bit collision between two tokens; skip the
+                # replica rather than silently stealing it.
+                continue
+            self._owner[point] = shard_id
+            bisect.insort(self._points, point)
+
+    def remove(self, shard_id: int) -> None:
+        stale = [p for p, owner in self._owner.items() if owner == shard_id]
+        for point in stale:
+            del self._owner[point]
+        if stale:
+            gone = set(stale)
+            self._points = [p for p in self._points if p not in gone]
+
+    def route(self, key: str) -> Optional[int]:
+        """The shard owning ``key``, or ``None`` on an empty ring."""
+        candidates = self.candidates(key, 1)
+        return candidates[0] if candidates else None
+
+    def candidates(self, key: str, count: int = 2) -> List[int]:
+        """The first ``count`` distinct shards clockwise from ``key``."""
+        if not self._points:
+            return []
+        found: List[int] = []
+        start = bisect.bisect_right(self._points, _point(f"key:{key}"))
+        for step in range(len(self._points)):
+            point = self._points[(start + step) % len(self._points)]
+            shard = self._owner[point]
+            if shard not in found:
+                found.append(shard)
+                if len(found) >= count:
+                    break
+        return found

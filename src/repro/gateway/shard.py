@@ -1,0 +1,270 @@
+"""The shard process: one :class:`AcceleratorService` behind a pipe.
+
+``freac gateway`` spawns N of these (``multiprocessing`` *spawn*
+start method — fork is unsafe under the thread pools both sides run).
+Each shard process hosts a full service — its own device pool, worker
+threads, and a namespaced on-disk program cache — and speaks the
+framed message protocol of :mod:`repro.gateway.framing` over the
+``multiprocessing.Pipe`` it was born with.
+
+Thread layout inside a shard (all non-daemon, all joined on exit):
+
+* **main thread** — blocking receive loop; admits submits into the
+  service, answers stats requests, executes shutdown.
+* **completer** — drains the done-queue fed by the service's
+  ``done_callback`` hook (O(1) per job, no polling) and sends one
+  :class:`~repro.gateway.protocol.ResultMsg` per terminal job.
+* **heartbeat** — periodic :class:`HeartbeatMsg` with live load
+  figures, the gateway's liveness signal.
+
+All writes to the pipe go through one send lock — frames from the
+completer and heartbeat threads must never interleave mid-frame.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..params import scaled_system
+from ..errors import ReproError
+from ..telemetry import Telemetry
+from ..telemetry.merge import spans_snapshot
+from ..service.jobs import Job, JobResult, JobState
+from ..service.service import AcceleratorService
+from .framing import send_message, recv_message
+from .protocol import (
+    ByeMsg,
+    HeartbeatMsg,
+    ReadyMsg,
+    RejectMsg,
+    ResultMsg,
+    ShutdownMsg,
+    StatsMsg,
+    StatsReplyMsg,
+    SubmitMsg,
+)
+
+logger = logging.getLogger("repro.gateway.shard")
+
+#: Sentinel pushed into the done-queue to stop the completer thread.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard needs to build its service (picklable)."""
+
+    devices: int = 1
+    l3_slices: int = 2
+    workers: int = 2
+    cache_dir: Optional[str] = None
+    cache_capacity: int = 16
+    max_queue_depth: Optional[int] = None
+    batching: bool = True
+    max_batch_items: Optional[int] = None
+    max_retries: int = 2
+    wave_latency_s: Optional[float] = None
+    item_latency_s: Optional[float] = None
+    heartbeat_s: float = 0.2
+    telemetry: bool = True
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class ShardRuntime:
+    """The in-process state of one shard (testable without spawning)."""
+
+    #: Mutated only under ``self._lock`` — enforced by
+    #: ``repro.analysis.selfcheck`` in CI.
+    _GUARDED_BY_LOCK = ("_gateway_ids", "_heartbeat_seq", "_closed")
+
+    def __init__(self, shard_id: int, connection,
+                 config: ShardConfig) -> None:
+        self.shard_id = shard_id
+        self.connection = connection
+        self.config = config
+        self.telemetry = Telemetry(seed=shard_id) if config.telemetry else None
+        #: service job id -> gateway job id; doubles as the in-flight set.
+        self._gateway_ids: Dict[int, int] = {}
+        self._heartbeat_seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        #: one writer at a time on the pipe; independent of ``_lock``
+        #: (never hold both — send under _lock would let a slow pipe
+        #: block admission).
+        self._send_lock = threading.Lock()
+        self._done_q: "queue.Queue" = queue.Queue()
+        self.service = AcceleratorService(
+            devices=config.devices,
+            system=scaled_system(l3_slices=config.l3_slices),
+            cache_dir=config.cache_dir,
+            cache_namespace=f"shard{shard_id}",
+            cache_capacity=config.cache_capacity,
+            workers=config.workers,
+            max_queue_depth=config.max_queue_depth,
+            batching=config.batching,
+            max_batch_items=config.max_batch_items,
+            max_retries=config.max_retries,
+            wave_latency_s=config.wave_latency_s,
+            item_latency_s=config.item_latency_s,
+            telemetry=self.telemetry,
+            done_callback=self._job_done,
+        )
+        self._completer = threading.Thread(
+            target=self._complete_loop,
+            name=f"shard{shard_id}-completer",
+        )
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"shard{shard_id}-heartbeat",
+        )
+
+    # -- outbound ------------------------------------------------------
+
+    def _send(self, message) -> None:
+        with self._send_lock:
+            try:
+                send_message(self.connection, message)
+            except (BrokenPipeError, OSError):
+                # The gateway is gone; shutdown will follow via the
+                # receive loop's EOF. Dropping the frame is correct —
+                # there is nobody left to read it.
+                logger.warning("shard %d: send failed, gateway gone",
+                               self.shard_id)
+
+    def _job_done(self, job: Job) -> None:
+        """``done_callback`` hook — runs on whichever service thread
+        finished the job; never blocks."""
+        self._done_q.put(job)
+
+    def _complete_loop(self) -> None:
+        while True:
+            job = self._done_q.get()
+            if job is _STOP:
+                return
+            with self._cv:
+                # The admitting thread registers the mapping right
+                # after ``submit`` returns; a job finishing *inside*
+                # submit (REJECTED/SATURATED) can reach us first.
+                while job.id not in self._gateway_ids:
+                    if self._closed:
+                        break
+                    self._cv.wait(timeout=0.05)
+                gateway_id = self._gateway_ids.pop(job.id, None)
+            if gateway_id is None:
+                logger.error("shard %d: no gateway id for job %d",
+                             self.shard_id, job.id)
+                continue
+            assert job.result is not None
+            self._send(ResultMsg(job_id=gateway_id, result=job.result))
+
+    def _heartbeat_loop(self) -> None:
+        while True:
+            with self._cv:
+                if self._closed:
+                    return
+                self._heartbeat_seq += 1
+                sequence = self._heartbeat_seq
+                inflight = len(self._gateway_ids)
+                self._cv.wait(timeout=self.config.heartbeat_s)
+            stats = self.service.stats()
+            self._send(HeartbeatMsg(
+                shard_id=self.shard_id,
+                sequence=sequence,
+                inflight=inflight,
+                queue_depth=stats.queue_depth,
+            ))
+
+    # -- inbound -------------------------------------------------------
+
+    def _handle_submit(self, msg: SubmitMsg) -> None:
+        try:
+            job = self.service.submit(
+                msg.spec.benchmark, msg.spec.items,
+                **msg.spec.submit_kwargs(),
+            )
+        except ReproError as exc:
+            self._send(RejectMsg(job_id=msg.job_id, error=str(exc)))
+            return
+        with self._cv:
+            self._gateway_ids[job.id] = msg.job_id
+            self._cv.notify_all()
+
+    def _handle_stats(self, msg: StatsMsg) -> None:
+        spans = []
+        metrics: Dict = {}
+        if self.telemetry is not None and msg.with_telemetry:
+            spans = spans_snapshot(self.telemetry)
+            metrics = self.telemetry.metrics.snapshot()
+        self._send(StatsReplyMsg(
+            request_id=msg.request_id,
+            shard_id=self.shard_id,
+            stats=self.service.stats().to_dict(),
+            metrics=metrics,
+            spans=spans,
+        ))
+
+    def _shutdown(self, drain: bool) -> None:
+        # Drain (or cancel) everything; every job reaches a terminal
+        # state and its done_callback has fired by the time shutdown
+        # returns, so the completer queue holds the full story.
+        self.service.shutdown(drain=drain)
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        self._done_q.put(_STOP)
+        self._completer.join(timeout=10.0)
+        self._heartbeat.join(timeout=10.0)
+        with self._cv:
+            abandoned = tuple(sorted(self._gateway_ids.values()))
+        self._send(ByeMsg(shard_id=self.shard_id, abandoned=abandoned))
+
+    def run(self) -> None:
+        """The blocking receive loop (the shard process's main thread)."""
+        self._completer.start()
+        self._heartbeat.start()
+        self._send(ReadyMsg(
+            shard_id=self.shard_id,
+            pid=os.getpid(),
+            slices=self.service.pool.max_slices,
+        ))
+        try:
+            while True:
+                try:
+                    msg = recv_message(self.connection)
+                except EOFError:
+                    # Gateway died; stop without draining — nobody is
+                    # listening for results anymore.
+                    logger.warning("shard %d: gateway EOF, stopping",
+                                   self.shard_id)
+                    self._shutdown(drain=False)
+                    return
+                if isinstance(msg, SubmitMsg):
+                    self._handle_submit(msg)
+                elif isinstance(msg, StatsMsg):
+                    self._handle_stats(msg)
+                elif isinstance(msg, ShutdownMsg):
+                    self._shutdown(drain=msg.drain)
+                    return
+                else:
+                    logger.error("shard %d: unknown message %r",
+                                 self.shard_id, type(msg).__name__)
+        finally:
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+
+
+def shard_main(shard_id: int, connection, config: ShardConfig) -> None:
+    """Process entry point (must stay top-level: spawn pickles it)."""
+    logging.basicConfig(
+        level=logging.WARNING,
+        format=f"[shard{shard_id}] %(levelname)s %(message)s",
+    )
+    ShardRuntime(shard_id, connection, config).run()

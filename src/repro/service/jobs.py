@@ -63,7 +63,14 @@ class JobRequest:
 
 @dataclass
 class JobResult:
-    """The terminal outcome handed back by ``result()``."""
+    """The terminal outcome handed back by ``result()``.
+
+    This is the serving layer's *wire format*: every field is a plain
+    int/str/float/bool (or a nesting of those) — no device, session,
+    or lock references — so a result round-trips losslessly through
+    both :mod:`pickle` (the sharded gateway's reply channel) and
+    :meth:`to_dict`/:meth:`from_dict` (JSON sidecars, stats files).
+    """
 
     job_id: int
     state: JobState
@@ -104,6 +111,35 @@ class JobResult:
         if self.admission is not None:
             data["admission"] = self.admission.to_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobResult":
+        """Inverse of :meth:`to_dict` (the wire-format contract)."""
+        placement = data.get("placement")
+        admission = data.get("admission")
+        return cls(
+            job_id=data["job_id"],
+            state=JobState(data["state"]),
+            benchmark=data["benchmark"],
+            items=data["items"],
+            verified=data.get("verified"),
+            mismatches=data.get("mismatches", 0),
+            invocations=data.get("invocations", 0),
+            latency_s=data.get("latency_s"),
+            queue_s=data.get("queue_s"),
+            retries=data.get("retries", 0),
+            batch_size=data.get("batch_size", 1),
+            cache_hit=data.get("cache_hit"),
+            placement=(
+                (placement[0], tuple(placement[1]))
+                if placement is not None else None
+            ),
+            admission=(
+                AnalysisReport.from_dict(admission)
+                if admission is not None else None
+            ),
+            error=data.get("error"),
+        )
 
 
 @dataclass

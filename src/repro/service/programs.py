@@ -261,6 +261,17 @@ class ProgramCache:
     key-mismatched file found at load time is quarantined — renamed to
     a ``.corrupt`` sibling — and counted, so one bad file degrades to
     a single recompile instead of a crash on every lookup.
+
+    Multi-process use: the in-memory LRU and its lock are per-process,
+    so two *processes* pointed at the same directory would race on the
+    ``.tmp`` sibling (two writers truncating one temp file can publish
+    a torn entry through the atomic rename).  ``namespace`` gives each
+    process its own subdirectory under the shared base — the sharded
+    gateway passes ``shard<N>`` so shard-local programs stay
+    shard-local on disk too — and the temp sibling is additionally
+    suffixed with the writer's pid, so even a mis-configured shared
+    directory degrades to last-writer-wins on whole entries, never a
+    torn file.
     """
 
     _GUARDED_BY_LOCK = (
@@ -274,11 +285,23 @@ class ProgramCache:
         directory: Union[str, Path, None] = None,
         compiler: Callable[..., CompiledProgram] = compile_program,
         telemetry: Optional[Telemetry] = None,
+        namespace: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least one entry")
+        if namespace is not None and (
+            not namespace or namespace != Path(namespace).name
+        ):
+            raise ValueError(
+                f"cache namespace {namespace!r} must be a bare directory "
+                "name (no separators)"
+            )
         self.capacity = capacity
-        self.directory = Path(directory) if directory is not None else None
+        self.namespace = namespace
+        base = Path(directory) if directory is not None else None
+        if base is not None and namespace is not None:
+            base = base / namespace
+        self.directory = base
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._compiler = compiler
@@ -330,9 +353,11 @@ class ProgramCache:
 
         A crash (or a concurrent writer racing on the same key) can
         leave a stray ``.tmp`` file, never a torn ``.json`` — readers
-        only ever see a complete entry or none at all.
+        only ever see a complete entry or none at all.  The temp
+        sibling carries the writer's pid, so two *processes* racing on
+        one key never truncate each other's in-progress write.
         """
-        tmp = path.with_name(path.name + ".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             tmp.write_text(json.dumps(program.to_dict()))
             os.replace(tmp, path)

@@ -43,7 +43,7 @@ import random
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..circuits.library import build_pe
 from ..errors import CapacityError, ReproError, RequestError, ServiceError
@@ -100,6 +100,7 @@ class AcceleratorService:
         cache: Optional[ProgramCache] = None,
         cache_capacity: int = 16,
         cache_dir: Optional[str] = None,
+        cache_namespace: Optional[str] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.0,
         retry_backoff_cap_s: float = 1.0,
@@ -111,6 +112,8 @@ class AcceleratorService:
         workers: int = 0,
         max_queue_depth: Optional[int] = None,
         wave_latency_s: Optional[float] = None,
+        item_latency_s: Optional[float] = None,
+        done_callback: Optional[Callable[[Job], None]] = None,
     ) -> None:
         if devices < 1:
             raise ServiceError("the service needs at least one device")
@@ -122,6 +125,8 @@ class AcceleratorService:
             raise ServiceError("retry jitter must be within [0, 1]")
         if wave_latency_s is not None and wave_latency_s < 0:
             raise ServiceError("wave latency must be non-negative")
+        if item_latency_s is not None and item_latency_s < 0:
+            raise ServiceError("item latency must be non-negative")
         self.telemetry = resolve(telemetry)
         self.partition = partition or SlicePartition(
             compute_ways=4, scratchpad_ways=4
@@ -137,7 +142,8 @@ class AcceleratorService:
         self.cache = (
             cache if cache is not None
             else ProgramCache(
-                cache_capacity, cache_dir, telemetry=self.telemetry
+                cache_capacity, cache_dir, telemetry=self.telemetry,
+                namespace=cache_namespace,
             )
         )
         self.max_retries = max_retries
@@ -153,7 +159,18 @@ class AcceleratorService:
         #: otherwise burns host CPU *as* the device model).  Workers
         #: overlap these intervals across disjoint slices — the
         #: concurrency the paper's independent slices actually buy.
+        #: ``item_latency_s`` is the per-invocation variant: the busy
+        #: interval grows with the wave's merged item count, so total
+        #: emulated device time is conserved under batch merging (the
+        #: sharded-gateway sweep relies on this — a deeper queue must
+        #: not make a shard look faster by merging its sleep away).
         self.wave_latency_s = wave_latency_s
+        self.item_latency_s = item_latency_s
+        #: Invoked once per job right after it reaches a terminal state
+        #: (the gateway shard runtime's completion hook).  Called
+        #: outside the service lock; exceptions are logged, never
+        #: propagated into the finishing wave.
+        self.done_callback = done_callback
 
         # One re-entrant lock is the root of the ordering discipline:
         # service lock first, component locks (queue/pool/cache/metric)
@@ -660,8 +677,11 @@ class AcceleratorService:
                 totals, mismatched, retries = self._run_with_retry(
                     session, merged, pad_words, pe, deadline=deadline
                 )
-                if self.wave_latency_s:
-                    self._sleep(self.wave_latency_s)
+                busy_s = (self.wave_latency_s or 0.0) + (
+                    merged.items * (self.item_latency_s or 0.0)
+                )
+                if busy_s > 0:
+                    self._sleep(busy_s)
         except _WaveDeadline:
             return finished + self._abort_wave_on_deadline(group)
         except ReproError as exc:
@@ -858,6 +878,13 @@ class AcceleratorService:
             if state is JobState.DONE:
                 self.latencies.add(latency)
             self._job_cv.notify_all()
+        if self.done_callback is not None:
+            try:
+                self.done_callback(job)
+            except Exception:
+                logger.exception(
+                    "done_callback failed for job %d (ignored)", job.id
+                )
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "service.jobs_finished", "jobs by terminal state"

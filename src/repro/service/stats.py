@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -61,7 +62,13 @@ class LatencyTracker:
 
 @dataclass
 class ServiceStats:
-    """One point-in-time snapshot of an :class:`AcceleratorService`."""
+    """One point-in-time snapshot of an :class:`AcceleratorService`.
+
+    Like :class:`~repro.service.jobs.JobResult` this is wire-format
+    data: plain ints/floats/lists/dicts only, so a snapshot pickles
+    across the sharded gateway's process boundary and round-trips
+    losslessly through :meth:`to_dict`/:meth:`from_dict`.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -111,3 +118,9 @@ class ServiceStats:
             "latency_p95_s": self.latency_p95_s,
             "latency_samples": self.latency_samples,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServiceStats":
+        """Inverse of :meth:`to_dict` (the wire-format contract)."""
+        fields_ = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields_})

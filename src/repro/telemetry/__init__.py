@@ -28,6 +28,11 @@ from .export import (
     to_summary,
     write_chrome_trace,
 )
+from .merge import (
+    merge_chrome_trace,
+    merge_metrics,
+    spans_snapshot,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -59,4 +64,7 @@ __all__ = [
     "to_prometheus",
     "to_summary",
     "write_chrome_trace",
+    "spans_snapshot",
+    "merge_chrome_trace",
+    "merge_metrics",
 ]

@@ -1,0 +1,168 @@
+"""Cross-process telemetry stitching for the sharded gateway.
+
+Each shard process owns a private :class:`~repro.telemetry.Telemetry`
+whose tracer timestamps are ``time.perf_counter()`` values — they are
+meaningless outside that process (the perf_counter epoch is arbitrary
+per process).  To merge shard traces the shard first *rebases* its
+spans onto the unix-epoch wall clock (:func:`spans_snapshot`), ships
+the plain dicts over the gateway pipe, and the gateway folds every
+shard's spans into one Chrome trace (:func:`merge_chrome_trace`) with
+one trace *process* per shard — Perfetto then shows the fleet's
+timelines stacked and time-aligned.
+
+Metric snapshots merge by a different rule (:func:`merge_metrics`):
+counter/gauge series gain a ``shard`` label and are kept per-shard,
+while histogram count/sum aggregate into a fleet total.  Percentiles
+are *not* merged — a p95 cannot be combined across reservoirs — so
+merged histogram entries carry the per-shard percentiles under
+``shards`` and only count/sum at the fleet level.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .core import Telemetry
+from .export import _jsonable
+
+#: pid 0 is the gateway process itself in a merged trace; shard ``i``
+#: renders as pid ``SHARD_PID_BASE + i``.
+SHARD_PID_BASE = 10
+
+
+def wall_offset_s() -> float:
+    """The additive term turning ``perf_counter()`` readings into
+    unix-epoch seconds *in this process*."""
+    return time.time() - time.perf_counter()
+
+
+def spans_snapshot(telemetry: Telemetry) -> List[Dict]:
+    """This process's spans as plain dicts on the unix-epoch clock.
+
+    The returned dicts are the wire format carried by
+    :class:`repro.gateway.protocol.StatsReplyMsg` — JSON/pickle safe,
+    no process-local timestamps.
+    """
+    offset = wall_offset_s()
+    spans = []
+    for span in telemetry.tracer.spans:
+        spans.append({
+            "name": span.name,
+            "category": span.category,
+            "thread": span.thread,
+            "start_unix_s": span.start_s + offset,
+            "end_unix_s": span.end_s + offset,
+            "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+        })
+    return spans
+
+
+def merge_chrome_trace(
+    shard_spans: Mapping[int, Sequence[Dict]],
+    gateway_telemetry: Optional[Telemetry] = None,
+) -> Dict:
+    """Fold per-shard span snapshots into one Chrome trace dict.
+
+    ``shard_spans`` maps shard id -> :func:`spans_snapshot` output.
+    Every shard becomes its own trace process (``shard0``, ``shard1``,
+    ...); the gateway's own spans, if provided, become process
+    ``gateway`` at pid 0.  Timestamps are rebased so the earliest
+    span across the fleet sits at t=0.
+    """
+    groups: List[Dict] = []
+    if gateway_telemetry is not None:
+        groups.append({
+            "pid": 0,
+            "label": "gateway",
+            "spans": spans_snapshot(gateway_telemetry),
+        })
+    for shard_id in sorted(shard_spans):
+        groups.append({
+            "pid": SHARD_PID_BASE + shard_id,
+            "label": f"shard{shard_id}",
+            "spans": list(shard_spans[shard_id]),
+        })
+
+    origin = min(
+        (s["start_unix_s"] for g in groups for s in g["spans"]),
+        default=0.0,
+    )
+
+    events: List[Dict] = []
+    total = 0
+    for group in groups:
+        events.append({
+            "ph": "M", "pid": group["pid"], "tid": 0,
+            "name": "process_name", "args": {"name": group["label"]},
+        })
+        thread_ids: Dict[int, int] = {}
+        for span in group["spans"]:
+            tid = thread_ids.setdefault(span.get("thread", 0),
+                                        len(thread_ids))
+            events.append({
+                "ph": "X",
+                "pid": group["pid"],
+                "tid": tid,
+                "name": span["name"],
+                "cat": span.get("category") or "span",
+                "ts": (span["start_unix_s"] - origin) * 1e6,
+                "dur": (span["end_unix_s"] - span["start_unix_s"]) * 1e6,
+                "args": dict(span.get("args", {})),
+            })
+            total += 1
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "processes": len(groups),
+            "spans": total,
+        },
+    }
+
+
+def merge_metrics(shard_metrics: Mapping[int, Dict]) -> Dict:
+    """Fold per-shard ``MetricRegistry.snapshot()`` dumps together.
+
+    Counters and gauges keep one series per shard, each label set
+    extended with ``shard``.  Histograms aggregate ``count``/``sum``
+    fleet-wide and retain the per-shard entries (with their
+    percentiles) under ``shards``.
+    """
+    merged: Dict[str, Dict] = {}
+    for shard_id in sorted(shard_metrics):
+        for name, metric in shard_metrics[shard_id].items():
+            kind = metric.get("kind", "counter")
+            entry = merged.setdefault(name, {"kind": kind, "series": []})
+            if kind == "histogram":
+                for series in metric.get("series", []):
+                    labels = dict(series.get("labels", {}))
+                    key = tuple(sorted(labels.items()))
+                    slot = next(
+                        (s for s in entry["series"]
+                         if tuple(sorted(s["labels"].items())) == key),
+                        None,
+                    )
+                    if slot is None:
+                        slot = {"labels": labels, "count": 0,
+                                "sum": 0.0, "shards": []}
+                        entry["series"].append(slot)
+                    slot["count"] += series.get("count", 0)
+                    slot["sum"] += series.get("sum", 0.0)
+                    slot["shards"].append({
+                        "shard": shard_id,
+                        "count": series.get("count", 0),
+                        "sum": series.get("sum", 0.0),
+                        "p50": series.get("p50"),
+                        "p95": series.get("p95"),
+                    })
+            else:
+                for series in metric.get("series", []):
+                    labels = dict(series.get("labels", {}))
+                    labels["shard"] = str(shard_id)
+                    entry["series"].append({
+                        "labels": labels,
+                        "value": series.get("value"),
+                    })
+    return merged

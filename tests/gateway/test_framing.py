@@ -1,0 +1,116 @@
+"""The length-prefixed pickle framing codec."""
+
+import multiprocessing
+
+import pytest
+
+from repro.gateway.framing import (
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    decode_frame,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+from repro.gateway.protocol import JobSpec, SubmitMsg
+
+
+class TestFrameRoundTrip:
+    def test_encode_decode_round_trip(self):
+        message = SubmitMsg(
+            job_id=7, spec=JobSpec(benchmark="VADD", items=4)
+        )
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_plain_values_round_trip(self):
+        for value in (None, 0, "text", [1, 2], {"k": (1, 2)}):
+            assert decode_frame(encode_frame(value)) == value
+
+    def test_header_is_fixed_size(self):
+        frame = encode_frame("x")
+        assert frame[:2] == b"FG"
+        assert len(frame) > HEADER_SIZE
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(encode_frame("x"))
+        frame[0:2] = b"ZZ"
+        with pytest.raises(FramingError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_bad_version_is_rejected(self):
+        frame = bytearray(encode_frame("x"))
+        frame[2] = 99
+        with pytest.raises(FramingError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_short_frame_is_rejected(self):
+        with pytest.raises(FramingError, match="short frame"):
+            decode_frame(b"FG")
+
+    def test_truncated_payload_is_rejected(self):
+        frame = encode_frame("some payload")
+        with pytest.raises(FramingError, match="mismatch"):
+            decode_frame(frame[:-1])
+
+    def test_oversized_length_is_rejected(self):
+        import struct
+        header = struct.pack(">2sBI", b"FG", 1, MAX_FRAME_BYTES + 1)
+        with pytest.raises(FramingError, match="bound"):
+            decode_frame(header + b"x")
+
+
+class TestFrameDecoder:
+    def test_single_feed_yields_message(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame("hello")) == ["hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time_reassembly(self):
+        decoder = FrameDecoder()
+        frame = encode_frame({"key": list(range(50))})
+        messages = []
+        for index in range(len(frame)):
+            messages.extend(decoder.feed(frame[index:index + 1]))
+        assert messages == [{"key": list(range(50))}]
+
+    def test_multiple_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = encode_frame(1) + encode_frame(2) + encode_frame(3)
+        assert decoder.feed(chunk) == [1, 2, 3]
+
+    def test_partial_tail_stays_buffered(self):
+        decoder = FrameDecoder()
+        frame = encode_frame("tail")
+        assert decoder.feed(encode_frame("head") + frame[:5]) == ["head"]
+        assert decoder.pending_bytes == 5
+        assert decoder.feed(frame[5:]) == ["tail"]
+
+    def test_corrupt_stream_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FramingError):
+            decoder.feed(b"garbage-that-is-long-enough")
+
+
+class TestConnectionHelpers:
+    def test_send_recv_over_pipe(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            message = SubmitMsg(
+                job_id=1, spec=JobSpec(benchmark="DOT", items=2)
+            )
+            send_message(parent, message)
+            assert recv_message(child) == message
+        finally:
+            parent.close()
+            child.close()
+
+    def test_recv_after_peer_close_is_eof(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        parent.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_message(child)
+        finally:
+            child.close()

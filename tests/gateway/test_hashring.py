@@ -1,0 +1,102 @@
+"""Consistent-hash routing: determinism, balance, minimal disruption."""
+
+from repro.gateway.hashring import HashRing
+from repro.gateway.protocol import JobSpec
+
+#: A realistic key population: benchmarks x LUT widths x tile sizes.
+KEYS = [
+    f"{bench}:k{lut}:t{tile}"
+    for bench in ("VADD", "DOT", "GEMM", "CONV", "STN2", "STN3",
+                  "NW", "SRT", "KMP", "AES")
+    for lut in (4, 5, 6)
+    for tile in (1, 2, 4)
+]
+
+
+def ring_with(shards):
+    ring = HashRing()
+    for shard in shards:
+        ring.add(shard)
+    return ring
+
+
+class TestDeterminism:
+    def test_same_ring_same_routes(self):
+        first = ring_with(range(4))
+        second = ring_with(range(4))
+        assert [first.route(k) for k in KEYS] == \
+            [second.route(k) for k in KEYS]
+
+    def test_insertion_order_does_not_matter(self):
+        forward = ring_with([0, 1, 2, 3])
+        backward = ring_with([3, 2, 1, 0])
+        assert [forward.route(k) for k in KEYS] == \
+            [backward.route(k) for k in KEYS]
+
+    def test_route_matches_first_candidate(self):
+        ring = ring_with(range(4))
+        for key in KEYS:
+            assert ring.route(key) == ring.candidates(key, 1)[0]
+
+
+class TestStability:
+    def test_removing_a_shard_moves_only_its_keys(self):
+        ring = ring_with(range(4))
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove(2)
+        after = {k: ring.route(k) for k in KEYS}
+        for key in KEYS:
+            if before[key] != 2:
+                # Keys not owned by the dead shard never move.
+                assert after[key] == before[key]
+            else:
+                assert after[key] != 2
+
+    def test_adding_a_shard_moves_about_one_nth(self):
+        ring = ring_with(range(4))
+        before = {k: ring.route(k) for k in KEYS}
+        ring.add(4)
+        after = {k: ring.route(k) for k in KEYS}
+        moved = sum(1 for k in KEYS if before[k] != after[k])
+        # Expected 1/5 of keys; allow generous slack for a small
+        # population but insist it is nowhere near a full reshuffle.
+        assert moved <= len(KEYS) // 2
+        # Every moved key moved *to* the new shard, nowhere else.
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == 4
+
+    def test_remove_then_readd_restores_routes(self):
+        ring = ring_with(range(4))
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.route(k) for k in KEYS} == before
+
+
+class TestBalanceAndCandidates:
+    def test_every_shard_owns_some_keys(self):
+        ring = ring_with(range(4))
+        owners = {ring.route(k) for k in KEYS}
+        assert owners == {0, 1, 2, 3}
+
+    def test_candidates_are_distinct_shards(self):
+        ring = ring_with(range(4))
+        for key in KEYS:
+            candidates = ring.candidates(key, 2)
+            assert len(candidates) == 2
+            assert candidates[0] != candidates[1]
+
+    def test_candidates_bounded_by_ring_size(self):
+        ring = ring_with([0])
+        assert ring.candidates("anything", 2) == [0]
+
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.route("key") is None
+        assert ring.candidates("key", 2) == []
+
+    def test_route_key_format_matches_program_coordinates(self):
+        spec = JobSpec(benchmark="vadd", items=1,
+                       lut_inputs=5, mccs_per_tile=2)
+        assert spec.route_key() == "VADD:k5:t2"

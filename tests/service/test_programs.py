@@ -262,3 +262,64 @@ class TestThreadSafety:
         assert not hit
         _, hit = cache.lookup("VADD")
         assert hit
+
+
+class TestNamespaces:
+    """Per-shard cache namespaces: concurrent shard processes sharing
+    one cache root must never race on one on-disk entry."""
+
+    def test_namespace_is_a_subdirectory(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path, namespace="shard0")
+        cache.get_or_compile("VADD")
+        key = program_key("VADD")
+        assert (tmp_path / "shard0" / key.filename).exists()
+        assert not (tmp_path / key.filename).exists()
+
+    def test_namespaces_do_not_share_entries(self, tmp_path):
+        first = ProgramCache(directory=tmp_path, namespace="shard0")
+        first.get_or_compile("VADD")
+        second = ProgramCache(directory=tmp_path, namespace="shard1")
+        second.get_or_compile("VADD")
+        # shard1 saw nothing of shard0's entry: a cold miss, no disk hit.
+        assert second.disk_hits == 0
+        assert second.misses == 1
+        key = program_key("VADD")
+        assert (tmp_path / "shard0" / key.filename).exists()
+        assert (tmp_path / "shard1" / key.filename).exists()
+
+    def test_same_namespace_shares_disk(self, tmp_path):
+        ProgramCache(directory=tmp_path, namespace="shard0") \
+            .get_or_compile("VADD")
+        warm = ProgramCache(directory=tmp_path, namespace="shard0")
+        warm.get_or_compile("VADD")
+        assert warm.disk_hits == 1
+
+    def test_namespace_must_be_a_bare_name(self, tmp_path):
+        import pytest as pytest_module
+        for bad in ("a/b", "../up", ".", ""):
+            with pytest_module.raises(ValueError):
+                ProgramCache(directory=tmp_path, namespace=bad)
+
+    def test_tmp_files_are_pid_suffixed(self, tmp_path, monkeypatch):
+        import os
+
+        import repro.service.programs as programs_module
+
+        seen = []
+        real_replace = programs_module.os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(programs_module.os, "replace", spy)
+        ProgramCache(directory=tmp_path).get_or_compile("VADD")
+        # Two processes publishing the same entry into a shared dir
+        # must stage through distinct tmp names: <name>.<pid>.tmp.
+        assert seen
+        assert all(s.endswith(f".{os.getpid()}.tmp") for s in seen)
+
+    def test_namespaced_publish_leaves_no_tmp_sibling(self, tmp_path):
+        cache = ProgramCache(directory=tmp_path, namespace="shard3")
+        cache.get_or_compile("VADD")
+        assert not list((tmp_path / "shard3").glob("*.tmp"))

@@ -1,0 +1,151 @@
+"""Wire-format contracts: JobResult / ServiceStats / AnalysisReport.
+
+The sharded gateway pickles these across process boundaries and
+persists them through ``to_dict``; both paths must be lossless and
+must never drag a device, lock, or thread reference along.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis import AnalysisReport
+from repro.analysis.core import Diagnostic, Severity
+from repro.service.jobs import JobResult, JobState
+from repro.service.stats import ServiceStats
+
+
+def rich_report():
+    return AnalysisReport(
+        artifact="schedule:vadd",
+        diagnostics=[
+            Diagnostic(
+                rule="DF001",
+                severity=Severity.ERROR,
+                message="read before write",
+                artifact="schedule:vadd",
+                location=(("op", 3),),
+                hint="initialise the register first",
+            )
+        ],
+        rules_run=["DF001", "DF002"],
+    )
+
+
+def rich_result():
+    return JobResult(
+        job_id=42,
+        state=JobState.DONE,
+        benchmark="VADD",
+        items=16,
+        verified=True,
+        mismatches=0,
+        invocations=3,
+        latency_s=0.125,
+        queue_s=0.03,
+        retries=1,
+        batch_size=4,
+        cache_hit=True,
+        placement=(1, (0, 1)),
+        admission=None,
+        error=None,
+    )
+
+
+def rejected_result():
+    return JobResult(
+        job_id=7,
+        state=JobState.REJECTED,
+        benchmark="NW",
+        items=2,
+        admission=rich_report(),
+        error="2 lint error(s)",
+    )
+
+
+def rich_stats():
+    return ServiceStats(
+        submitted=100, completed=90, rejected=4, failed=2,
+        cancelled=1, timed_out=1, saturated=2, requeued=3,
+        retries=5, batches=40, batched_jobs=60, queue_depth=0,
+        running=0, workers=4, workers_busy=2,
+        slice_utilization=[0.5, 0.25],
+        cache={"hits": 30, "misses": 6, "hit_rate": 30 / 36},
+        latency_p50_s=0.01, latency_p95_s=0.05, latency_samples=90,
+    )
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize("result", [
+        rich_result(), rejected_result(),
+        JobResult(job_id=1, state=JobState.SATURATED,
+                  benchmark="DOT", items=1, error="queue full"),
+    ], ids=["done", "rejected", "saturated"])
+    def test_job_result_pickles_losslessly(self, result):
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.to_dict() == result.to_dict()
+        assert clone.state is result.state  # enum identity survives
+
+    def test_service_stats_pickles_losslessly(self):
+        stats = rich_stats()
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+
+    def test_analysis_report_pickles_losslessly(self):
+        report = rich_report()
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone.to_dict() == report.to_dict()
+
+    def test_payloads_hold_no_unpicklable_state(self):
+        # The wire formats must stay plain data: everything reachable
+        # from a result/stats object pickles with the default protocol
+        # and is small (no device arrays, no lock objects).
+        for payload in (rich_result(), rejected_result(), rich_stats()):
+            blob = pickle.dumps(payload)
+            assert len(blob) < 64 * 1024
+
+
+class TestDictRoundTrip:
+    def test_job_result_to_from_dict(self):
+        result = rich_result()
+        clone = JobResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_rejected_result_keeps_admission_report(self):
+        result = rejected_result()
+        clone = JobResult.from_dict(result.to_dict())
+        assert clone.state is JobState.REJECTED
+        assert clone.admission is not None
+        assert clone.admission.to_dict() == result.admission.to_dict()
+
+    def test_job_result_placement_tuple_shape(self):
+        clone = JobResult.from_dict(rich_result().to_dict())
+        # (device, slice ids) keeps its tuple-of-tuple shape, not a
+        # JSON-ified list, so downstream code can hash/compare it.
+        assert clone.placement == (1, (0, 1))
+        assert isinstance(clone.placement[1], tuple)
+
+    def test_service_stats_to_from_dict(self):
+        stats = rich_stats()
+        clone = ServiceStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.cache_hit_rate == stats.cache_hit_rate
+
+    def test_service_stats_defaults_absent_fields(self):
+        # Older snapshots (or hand-written fixtures) may omit fields;
+        # from_dict fills defaults instead of crashing.
+        clone = ServiceStats.from_dict({"submitted": 5, "completed": 5})
+        assert clone.submitted == 5
+        assert clone.latency_p50_s is None
+
+    def test_service_stats_ignores_unknown_fields(self):
+        clone = ServiceStats.from_dict(
+            {**rich_stats().to_dict(), "future_field": 123}
+        )
+        assert clone == rich_stats()
+
+    def test_analysis_report_to_from_dict(self):
+        report = rich_report()
+        clone = AnalysisReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.errors[0].rule == "DF001"
