@@ -42,6 +42,12 @@ BENCHMARKS = ("DOT", "GEMM", "CONV")
 BATCHES = (1, 2, 4, 8, 16, 32, 64)
 CHECK_FLOOR_BATCH = 8   # at and beyond this, vectorized must not lose
 
+# Benchmarks whose fold count the optimal-mapping tier reduces within
+# a small budget (docs/optimizer.md); the schedule sweep times the
+# heuristic cycle grid against the optimized one on the same engine.
+OPT_BENCHMARKS = ("VADD", "SRT")
+OPT_BATCHES = (16, 64)
+
 
 def make_tile(mccs: int) -> List[MicroComputeCluster]:
     return [
@@ -105,10 +111,65 @@ def sweep(benchmarks: Sequence[str], batches: Sequence[int],
     return rows
 
 
+def sweep_optimized(benchmarks: Sequence[str], batches: Sequence[int],
+                    reps: int) -> List[Dict[str, object]]:
+    """Heuristic vs. optimized schedule, vectorized engine, same items.
+
+    One optimization pass per benchmark (its cost is paid at compile
+    time, once per program-cache entry); each row carries the fold
+    count so the items/s delta can be read against the cycle-grid
+    shrink it came from.
+    """
+    from repro.optimizer import OptimizerConfig, optimize_schedule
+
+    rng = random.Random(1)
+    rows: List[Dict[str, object]] = []
+    config = OptimizerConfig(backend="bnb", budget_s=4.0)
+    for name in benchmarks:
+        netlist = mapped_pe(name)
+        # One MCC: the single-tile coordinate the serving layer compiles
+        # by default, and where the search has the most slack to close.
+        resources = TileResources(mccs=1)
+        heuristic = list_schedule(netlist, resources)
+        outcome = optimize_schedule(
+            netlist, resources, config=config, heuristic=heuristic
+        )
+        schedules = {"heuristic": heuristic, "optimized": outcome.schedule}
+        for batch in batches:
+            streams = random_streams(name, batch, rng)
+            seconds = {
+                label: time_engine(schedule, streams, batch,
+                                   "vectorized", reps)
+                for label, schedule in schedules.items()
+            }
+            gain = seconds["heuristic"] / seconds["optimized"]
+            for label, schedule in schedules.items():
+                rows.append({
+                    "benchmark": name,
+                    "batch": batch,
+                    "schedule": label,
+                    "fold_cycles": schedule.fold_cycles,
+                    "vectorized_s": seconds[label],
+                    "items_per_s": batch / seconds[label],
+                    "speedup_vs_heuristic": (
+                        gain if label == "optimized" else 1.0
+                    ),
+                })
+            print(f"{name:5s} batch={batch:3d} "
+                  f"heur={seconds['heuristic'] * 1e3:8.2f}ms "
+                  f"({heuristic.fold_cycles} folds) "
+                  f"opt={seconds['optimized'] * 1e3:8.2f}ms "
+                  f"({outcome.schedule.fold_cycles} folds) "
+                  f"gain={gain:5.2f}x")
+    return rows
+
+
 def check(rows: Sequence[Dict[str, object]]) -> List[str]:
     """CI gate: vectorized must win at every batch >= 8 ([] = ok)."""
     problems = []
     for row in rows:
+        if "speedup" not in row:
+            continue   # schedule-sweep rows gate in the optimizer CI job
         if row["batch"] >= CHECK_FLOOR_BATCH and row["speedup"] < 1.0:
             problems.append(
                 f"{row['benchmark']} batch={row['batch']}: vectorized is "
@@ -129,8 +190,10 @@ def main(argv: Sequence[str] = ()) -> int:
 
     if args.quick:
         rows = sweep(("DOT", "GEMM"), (1, 8, 16), reps=2)
+        rows += sweep_optimized(("VADD",), (16,), reps=2)
     else:
         rows = sweep(BENCHMARKS, BATCHES, reps=5)
+        rows += sweep_optimized(OPT_BENCHMARKS, OPT_BATCHES, reps=5)
     Path(args.out).write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {args.out}")
 

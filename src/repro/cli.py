@@ -10,6 +10,7 @@ commands::
     freac schedule NW --mccs 4     # folding-schedule summary
     freac lint sched.json          # static analysis of an artifact
     freac selfcheck src/repro      # lock-discipline lint of the repo
+    freac optimize SORT            # minimize fold count, report the gap
     freac submit GEMM --items 8    # one job through the serving layer
     freac serve --requests reqs.txt  # drain a request stream
     freac gateway --shards 2 --burst 100  # multi-process sharded serving
@@ -253,7 +254,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = run_workload(
         device, request.benchmark, request.items,
         mccs_per_tile=request.mccs_per_tile, seed=request.seed,
-        engine=request.engine,
+        engine=request.engine, optimize=request.optimize,
+        opt_budget_s=request.opt_budget_s,
     )
     print(f"benchmark   : {report.benchmark}")
     print(f"items       : {report.items} across {report.slices_used} slices")
@@ -341,9 +343,11 @@ def main(argv: List[str] | None = None) -> int:
     selfcheck.add_argument("--write-baseline", default=None, metavar="FILE")
 
     from .gateway import frontend as gateway_frontend
+    from .optimizer import frontend as optimizer_frontend
     from .service import frontend as service_frontend
     from .telemetry import frontend as telemetry_frontend
 
+    optimizer_frontend.add_parsers(sub)
     service_frontend.add_parsers(sub)
     gateway_frontend.add_parsers(sub)
     telemetry_frontend.add_parsers(sub)
@@ -361,14 +365,19 @@ def main(argv: List[str] | None = None) -> int:
 
     runp.add_argument("--engine", choices=ENGINES, default=None,
                       help="execution engine (default: vectorized)")
+    runp.add_argument("--optimize", action="store_true",
+                      help="run the fold-count-minimized program")
+    runp.add_argument("--opt-budget-s", type=float, default=None,
+                      dest="opt_budget_s",
+                      help="optimizer time box override, seconds")
 
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in _ORDER:
             print(name)
-        for utility in ("run", "plan", "schedule", "export", "lint",
-                        "selfcheck", "submit", "serve", "gateway",
+        for utility in ("run", "plan", "schedule", "optimize", "export",
+                        "lint", "selfcheck", "submit", "serve", "gateway",
                         "trace", "metrics"):
             print(utility)
         return 0
@@ -387,6 +396,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_selfcheck(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "optimize":
+        return optimizer_frontend.cmd_optimize(args)
     if args.command == "submit":
         return service_frontend.cmd_submit(args)
     if args.command == "serve":

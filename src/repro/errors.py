@@ -42,6 +42,16 @@ class ScheduleViolation(SchedulingError):
         super().__init__(f"cycle {cycle}: {constraint}")
 
 
+class OptimizerError(ReproError):
+    """The optimal-mapping tier was misconfigured or misused.
+
+    (An unknown backend, a backend whose solver library is not
+    installed, an inconsistent cycle assignment handed to the schedule
+    rebuilder — *not* an optimization that merely failed to improve,
+    which falls back to the heuristic schedule silently.)
+    """
+
+
 class AnalysisError(ReproError):
     """The static-analysis framework itself was misused.
 

@@ -124,6 +124,12 @@ def output_ops(netlist: Netlist) -> Set[int]:
 _op_dependences = op_dependences
 _output_ops = output_ops
 
+# Public aliases for the optimal-mapping tier (repro.optimizer): its
+# rebuild step shares the physical slot layout and the spill post-pass
+# with the heuristic schedulers, so an optimized schedule is charged
+# exactly like a heuristic one.
+VALUE_BITS = _VALUE_BITS
+
 
 def _cone_priority(netlist: Netlist, preds: Dict[int, Set[int]]) -> Dict[int, int]:
     """Depth-first post-order rank from the outputs / stores."""
@@ -206,6 +212,10 @@ def _physical(resources: TileResources, slot: OpSlot, index: int) -> Tuple[int, 
         per_mcc = resources.luts_per_mcc
         return index // per_mcc, index % per_mcc
     return index, 0
+
+
+#: Public aliases shared with ``repro.optimizer.rebuild``.
+physical_slot = _physical
 
 
 # ---------------------------------------------------------------------------
@@ -293,6 +303,12 @@ def _pressure_pass(
     per_cycle_bus = max(resources.bus_ops_per_cycle, 1)
     spills.spill_cycles = -(-spills.spill_words // per_cycle_bus)
     return max_live, spills
+
+
+#: Public alias shared with ``repro.optimizer.rebuild`` — an optimized
+#: cycle assignment pays the same spill charges as a heuristic one, so
+#: fold-count comparisons are apples to apples.
+pressure_pass = _pressure_pass
 
 
 # ---------------------------------------------------------------------------

@@ -58,6 +58,8 @@ def build_program(
     mccs_per_tile: int = 1,
     preflight: bool = True,
     telemetry: Optional[Telemetry] = None,
+    optimize: bool = False,
+    opt_budget_s: Optional[float] = None,
 ) -> AcceleratorProgram:
     """Synthesize, tech-map, fold, and lint one benchmark program.
 
@@ -65,13 +67,36 @@ def build_program(
     cache avoids repeating: the returned program carries its folding
     schedule for ``mccs_per_tile`` already computed, and (unless
     ``preflight=False``) has passed the netlist and schedule gates.
+
+    ``optimize=True`` runs the time-boxed fold-count minimizer
+    (:mod:`repro.optimizer`) over the heuristic schedule; the program
+    then carries the never-worse optimized schedule (and, if the
+    re-covering won, its smaller netlist).
     """
-    with resolve(telemetry).span("runner.build_program", "runner",
-                                 benchmark=name.upper()):
+    tel = resolve(telemetry)
+    with tel.span("runner.build_program", "runner",
+                  benchmark=name.upper()):
         program = AcceleratorProgram(
             name.upper(), mapped_pe(name, lut_inputs), lut_inputs
         )
         schedule = program.schedule_for(mccs_per_tile)
+        if optimize:
+            from ..folding.schedule import TileResources
+            from ..optimizer import OptimizerConfig, optimize_schedule
+
+            config = OptimizerConfig()
+            if opt_budget_s is not None:
+                config = config.replace(budget_s=opt_budget_s)
+            outcome = optimize_schedule(
+                program.netlist,
+                TileResources(mccs=mccs_per_tile, lut_inputs=lut_inputs),
+                config=config, heuristic=schedule, telemetry=tel,
+            )
+            schedule = outcome.schedule
+            program = AcceleratorProgram(
+                name.upper(), schedule.netlist, lut_inputs,
+                schedules={mccs_per_tile: schedule},
+            )
         if preflight:
             # Pre-flight lint before any way is locked: a malformed netlist
             # or schedule aborts here with every violation reported, instead
@@ -227,6 +252,8 @@ def run_workload(
     program: Optional[AcceleratorProgram] = None,
     telemetry: Optional[Telemetry] = None,
     engine: str = DEFAULT_ENGINE,
+    optimize: bool = False,
+    opt_budget_s: Optional[float] = None,
 ) -> WorkloadRunReport:
     """Run ``items`` invocations of benchmark ``name``, data-parallel
     across every slice, and verify each result.
@@ -260,7 +287,8 @@ def run_workload(
 
     if program is None:
         program = build_program(name, mccs_per_tile=mccs_per_tile,
-                                telemetry=tel)
+                                telemetry=tel, optimize=optimize,
+                                opt_budget_s=opt_budget_s)
 
     pe = build_pe(name)
     with ExecutionSession(

@@ -57,6 +57,8 @@ class GatewayClient:
         timeout_s: Optional[float] = None,
         seed: int = 0,
         engine: Optional[str] = None,
+        optimize: bool = False,
+        opt_budget_s: Optional[float] = None,
     ) -> int:
         """Admit one job; returns its fleet-wide id immediately.
 
@@ -73,6 +75,8 @@ class GatewayClient:
             timeout_s=timeout_s,
             seed=seed,
             engine=engine,
+            optimize=optimize,
+            opt_budget_s=opt_budget_s,
         ))
         self._jobs[job.id] = job
         return job.id

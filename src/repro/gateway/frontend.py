@@ -50,24 +50,28 @@ def build_config(args: argparse.Namespace) -> GatewayConfig:
     )
 
 
-def burst_requests(count: int, items: int,
-                   seed: int) -> List[Tuple[str, int, Dict]]:
+def burst_requests(count: int, items: int, seed: int,
+                   *, optimize: bool = False
+                   ) -> List[Tuple[str, int, Dict]]:
     """A deterministic mixed burst: benchmarks and tile sizes rotate,
     giving ~12 distinct route keys for the ring to spread."""
     requests: List[Tuple[str, int, Dict]] = []
     for index in range(count):
         benchmark = BURST_BENCHMARKS[index % len(BURST_BENCHMARKS)]
         tile = 1 + (index // len(BURST_BENCHMARKS)) % 2
-        requests.append((
-            benchmark, items,
-            {"mccs_per_tile": tile, "seed": seed + index},
-        ))
+        kwargs: Dict = {"mccs_per_tile": tile, "seed": seed + index}
+        if optimize:
+            kwargs["optimize"] = True
+        requests.append((benchmark, items, kwargs))
     return requests
 
 
 async def run_gateway(args: argparse.Namespace) -> int:
     if args.burst is not None:
-        requests = burst_requests(args.burst, args.items, args.seed)
+        requests = burst_requests(
+            args.burst, args.items, args.seed,
+            optimize=getattr(args, "optimize", False),
+        )
     else:
         if args.requests in (None, "-"):
             requests = list(read_requests(sys.stdin))
@@ -181,6 +185,9 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
                               "jobs instead of reading requests")
     gateway.add_argument("--items", type=int, default=2,
                          help="items per synthetic burst job")
+    gateway.add_argument("--optimize", action="store_true",
+                         help="request fold-count-minimized programs "
+                              "for the synthetic burst")
     gateway.add_argument("--seed", type=int, default=0)
     gateway.add_argument("--drain-timeout", type=float, default=600.0,
                          help="drain deadline in seconds")

@@ -48,16 +48,23 @@ class JobSpec:
     timeout_s: Optional[float] = None
     seed: int = 0
     engine: Optional[str] = None
+    optimize: bool = False
+    opt_budget_s: Optional[float] = None
 
     def route_key(self) -> str:
         """The content-addressed program-cache coordinate this job
         compiles under (sans library hash, which is fleet-constant):
         jobs with equal keys reuse one compiled program, so the
-        consistent-hash router keeps them shard-local."""
-        return (
+        consistent-hash router keeps them shard-local.  Optimized jobs
+        compile under a different cache entry, so they route as a
+        distinct coordinate too."""
+        key = (
             f"{self.benchmark.upper()}:k{self.lut_inputs}"
             f":t{self.mccs_per_tile}"
         )
+        if self.optimize:
+            key += ":opt"
+        return key
 
     def submit_kwargs(self) -> Dict[str, object]:
         kwargs: Dict[str, object] = {
@@ -67,6 +74,8 @@ class JobSpec:
             "slices": self.slices,
             "timeout_s": self.timeout_s,
             "seed": self.seed,
+            "optimize": self.optimize,
+            "opt_budget_s": self.opt_budget_s,
         }
         if self.engine is not None:
             kwargs["engine"] = self.engine

@@ -1,0 +1,104 @@
+"""Optional CP-SAT backend (ortools), import-gated.
+
+The model is the textbook resource-constrained scheduling ILP
+(cf. SNIPPETS.md Snippet 3): one integer start per op bounded by its
+precedence window, unit-size interval variables feeding one
+``AddCumulative`` per MCC slot class, precedence as linear
+constraints, and the makespan minimized directly — no iterative
+deepening needed, and an ``OPTIMAL`` status is a proof.
+
+ortools is **not** a dependency of this package: importing this module
+is always safe, and :func:`repro.optimizer.config.cpsat_available`
+gates every call site.  CI exercises this backend in a dedicated
+matrix leg that installs ortools; the default environment runs the
+pure-python branch-and-bound instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import OptimizerError
+from ..folding.schedule import OpSlot, TileResources
+from .bounds import OpGraph
+
+
+def minimize_makespan_cpsat(
+    graph: OpGraph,
+    resources: TileResources,
+    *,
+    upper: int,
+    lower: int,
+    budget_s: float,
+    hint: Optional[Dict[int, int]] = None,
+    seed: int = 0,
+) -> Tuple[Optional[Dict[int, int]], int, bool]:
+    """Solve for the minimum makespan within ``budget_s`` seconds.
+
+    Returns ``(cycle_of, makespan, proven)`` with 1-based cycles, or
+    ``(None, upper, False)`` when the solver found nothing at least as
+    good as the incumbent.  ``hint`` (1-based cycles, typically the
+    heuristic schedule) warm-starts the search.
+    """
+    try:
+        from ortools.sat.python import cp_model
+    except ImportError as exc:  # pragma: no cover - gated by config
+        raise OptimizerError(
+            "the cpsat backend needs ortools installed"
+        ) from exc
+
+    if graph.op_count == 0:
+        return {}, 0, True
+
+    model = cp_model.CpModel()
+    horizon = upper
+    starts: Dict[int, object] = {}
+    intervals: Dict[OpSlot, list] = {slot: [] for slot in OpSlot}
+    for nid in graph.order:
+        earliest = graph.asap[nid]
+        latest = horizon - 1 - graph.tail[nid]
+        if latest < earliest:
+            return None, upper, False
+        start = model.NewIntVar(earliest, latest, f"s{nid}")
+        starts[nid] = start
+        intervals[graph.slot_of[nid]].append(
+            model.NewFixedSizeIntervalVar(start, 1, f"i{nid}")
+        )
+    for nid in graph.order:
+        for pred in graph.preds[nid]:
+            model.Add(starts[nid] >= starts[pred] + 1)
+    for slot, slot_intervals in intervals.items():
+        if not slot_intervals:
+            continue
+        capacity = resources.slots(slot)
+        if len(slot_intervals) > capacity:
+            model.AddCumulative(
+                slot_intervals,
+                [1] * len(slot_intervals),
+                capacity,
+            )
+    makespan = model.NewIntVar(max(lower, 1), horizon, "makespan")
+    for start in starts.values():
+        model.Add(makespan >= start + 1)
+    model.Minimize(makespan)
+    if hint:
+        for nid, cycle in hint.items():
+            if nid in starts:
+                model.AddHint(starts[nid], cycle - 1)
+
+    solver = cp_model.CpSolver()
+    solver.parameters.max_time_in_seconds = max(0.05, budget_s)
+    solver.parameters.random_seed = seed
+    solver.parameters.num_workers = 1   # deterministic, container-safe
+    status = solver.Solve(model)
+    if status not in (cp_model.OPTIMAL, cp_model.FEASIBLE):
+        return None, upper, False
+    achieved = int(solver.Value(makespan))
+    proven = status == cp_model.OPTIMAL
+    if achieved >= upper:
+        # No better than the incumbent; only the proof (if any) counts.
+        return None, upper, proven and achieved == upper
+    cycle_of = {
+        nid: int(solver.Value(start)) + 1 for nid, start in starts.items()
+    }
+    return cycle_of, achieved, proven

@@ -1,0 +1,291 @@
+"""Time-boxed makespan search: the pure-python branch-and-bound.
+
+Given the op dependence graph and the MCC per-cycle capacities, find a
+cycle assignment with fewer compute cycles than the heuristic list
+schedule.  Strategy (classic destructive iterative deepening):
+
+1. Start from the incumbent makespan ``upper`` (the heuristic's) and
+   repeatedly try to construct a schedule in ``T = best - 1`` cycles.
+2. Each feasibility probe runs a deadline-driven greedy first — ops
+   ranked by *latest start* (``T - 1 - tail``), i.e. Jackson-rule
+   urgency — deterministically and then with seeded randomized
+   tie-breaks, which is cheap and finds most of the slack the cone-
+   ordered list scheduler leaves behind.
+3. Small instances (``exhaustive_op_limit``) escalate to an exhaustive
+   DFS over per-cycle slot assignments with memoized failure states.
+   Two dominance rules keep it honest *and* complete: when a class's
+   ready set fits its capacity it is always scheduled whole, and
+   branched subsets always fill the capacity (leaving a slot idle next
+   to a ready op can never help).  If the DFS exhausts the space
+   without a solution, ``T`` is infeasible — the incumbent is **proven
+   optimal**, which the fold report surfaces as ``gap 0 (proven)``.
+
+Every probe polls the injected clock, so a budget expiry surfaces as
+"keep the best incumbent", never as a blown time box.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..folding.schedule import OpSlot, TileResources
+from .bounds import OpGraph
+
+#: DFS states explored per exhaustive probe before giving up on a
+#: proof (the probe then counts as incomplete, not as infeasible).
+NODE_LIMIT = 200_000
+
+
+@dataclass
+class SearchInfo:
+    """What the branch-and-bound did (for the fold report)."""
+
+    best_makespan: int
+    improved: bool
+    proven_optimal: bool
+    probes: int = 0
+    restarts: int = 0
+    dfs_nodes: int = 0
+    timed_out: bool = False
+
+
+def greedy_latest_start(
+    graph: OpGraph,
+    resources: TileResources,
+    total_cycles: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> Optional[Dict[int, int]]:
+    """One urgency-greedy construction attempt (0-based cycles)."""
+    latest: Dict[int, int] = {}
+    for nid in graph.asap:
+        slack_end = total_cycles - 1 - graph.tail[nid]
+        if graph.asap[nid] > slack_end:
+            return None
+        latest[nid] = slack_end
+
+    remaining = {nid: len(graph.preds[nid]) for nid in graph.preds}
+    ready: Set[int] = {nid for nid, count in remaining.items() if count == 0}
+    cycle_of: Dict[int, int] = {}
+    capacity = {slot: resources.slots(slot) for slot in OpSlot}
+    placed = 0
+    total = len(remaining)
+    for cycle in range(total_cycles):
+        if placed == total:
+            break
+        chosen: List[int] = []
+        used: Dict[OpSlot, int] = {slot: 0 for slot in OpSlot}
+        candidates = sorted(ready, key=lambda nid: (latest[nid], nid))
+        if rng is not None:
+            # Randomize ties only: shuffle within equal-urgency runs.
+            shuffled: List[int] = []
+            for _, group in itertools.groupby(
+                candidates, key=lambda nid: latest[nid]
+            ):
+                block = list(group)
+                rng.shuffle(block)
+                shuffled.extend(block)
+            candidates = shuffled
+        for nid in candidates:
+            slot = graph.slot_of[nid]
+            if used[slot] < capacity[slot]:
+                used[slot] += 1
+                chosen.append(nid)
+        for nid in chosen:
+            ready.discard(nid)
+            cycle_of[nid] = cycle
+            placed += 1
+            for succ in graph.succs[nid]:
+                remaining[succ] -= 1
+        # An op due this cycle that did not make the cut is a dead end.
+        for nid in ready:
+            if latest[nid] <= cycle:
+                return None
+        # Ops whose last producer ran this cycle become ready next one.
+        for nid in chosen:
+            for succ in graph.succs[nid]:
+                if remaining[succ] == 0:
+                    ready.add(succ)
+    if placed != total:
+        return None
+    return cycle_of
+
+
+def exhaustive_probe(
+    graph: OpGraph,
+    resources: TileResources,
+    total_cycles: int,
+    *,
+    deadline: Optional[float],
+    clock: Callable[[], float],
+    node_limit: int = NODE_LIMIT,
+) -> Tuple[Optional[Dict[int, int]], bool, int]:
+    """Complete DFS at a fixed makespan.
+
+    Returns ``(cycle_of, complete, nodes)``: ``cycle_of`` is a feasible
+    0-based assignment or ``None``; ``complete`` is True iff the search
+    space was fully explored, in which case ``None`` *proves*
+    ``total_cycles`` infeasible.
+    """
+    latest: Dict[int, int] = {}
+    for nid in graph.asap:
+        slack_end = total_cycles - 1 - graph.tail[nid]
+        if graph.asap[nid] > slack_end:
+            return None, True, 0
+        latest[nid] = slack_end
+
+    capacity = {slot: resources.slots(slot) for slot in OpSlot}
+    total = len(graph.preds)
+    failed: Set[Tuple[int, frozenset]] = set()
+    cycle_of: Dict[int, int] = {}
+    state = {"nodes": 0, "complete": True}
+
+    def solve(cycle: int, done: frozenset,
+              remaining: Dict[int, int], ready: Set[int]) -> bool:
+        if len(done) == total:
+            return True
+        if cycle >= total_cycles:
+            return False
+        state["nodes"] += 1
+        if state["nodes"] % 2048 == 0 and deadline is not None \
+                and clock() >= deadline:
+            state["complete"] = False
+            return False
+        if state["nodes"] > node_limit:
+            state["complete"] = False
+            return False
+        key = (cycle, done)
+        if key in failed:
+            return False
+        for nid in ready:
+            if latest[nid] < cycle:
+                failed.add(key)
+                return False
+
+        by_class: Dict[OpSlot, List[int]] = {}
+        for nid in ready:
+            by_class.setdefault(graph.slot_of[nid], []).append(nid)
+        mandatory: List[int] = []
+        branch_sets: List[List[Tuple[int, ...]]] = []
+        for slot, members in by_class.items():
+            members.sort(key=lambda nid: (latest[nid], nid))
+            cap = capacity[slot]
+            if len(members) <= cap:
+                mandatory.extend(members)
+            else:
+                branch_sets.append(
+                    [combo for combo in
+                     itertools.combinations(members, cap)]
+                )
+
+        def attempt(chosen: List[int]) -> bool:
+            next_ready = set(ready)
+            newly: List[int] = []
+            for nid in chosen:
+                next_ready.discard(nid)
+                cycle_of[nid] = cycle
+                for succ in graph.succs[nid]:
+                    remaining[succ] -= 1
+                    if remaining[succ] == 0:
+                        newly.append(succ)
+            next_ready.update(newly)
+            if solve(cycle + 1, done | frozenset(chosen),
+                     remaining, next_ready):
+                return True
+            for nid in chosen:
+                del cycle_of[nid]
+                for succ in graph.succs[nid]:
+                    remaining[succ] += 1
+            return False
+
+        if not branch_sets:
+            if attempt(mandatory):
+                return True
+        else:
+            for combo in itertools.product(*branch_sets):
+                chosen = mandatory + [nid for subset in combo
+                                      for nid in subset]
+                if attempt(chosen):
+                    return True
+                if not state["complete"]:
+                    return False
+        if state["complete"]:
+            failed.add(key)
+        return False
+
+    remaining = {nid: len(graph.preds[nid]) for nid in graph.preds}
+    ready = {nid for nid, count in remaining.items() if count == 0}
+    if solve(0, frozenset(), remaining, ready):
+        return dict(cycle_of), state["complete"], state["nodes"]
+    return None, state["complete"], state["nodes"]
+
+
+def minimize_makespan(
+    graph: OpGraph,
+    resources: TileResources,
+    *,
+    upper: int,
+    lower: int,
+    restarts: int = 64,
+    exhaustive_op_limit: int = 160,
+    seed: int = 0,
+    deadline: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+    on_improve: Optional[Callable[[Dict[int, int], int], None]] = None,
+) -> SearchInfo:
+    """Descend from the incumbent ``upper`` toward ``lower``.
+
+    ``on_improve(cycle_of, makespan)`` fires for every strictly better
+    assignment found (1-based cycles), letting the caller re-run the
+    spill pass and keep whichever candidate *folds* shortest.
+    """
+    info = SearchInfo(best_makespan=upper, improved=False,
+                      proven_optimal=upper <= lower)
+    rng = random.Random(seed)
+    target = upper - 1
+    while target >= lower:
+        if deadline is not None and clock() >= deadline:
+            info.timed_out = True
+            return info
+        info.probes += 1
+        solution = greedy_latest_start(graph, resources, target)
+        attempt = 0
+        while solution is None and attempt < restarts:
+            if deadline is not None and clock() >= deadline:
+                info.timed_out = True
+                return info
+            attempt += 1
+            info.restarts += 1
+            solution = greedy_latest_start(
+                graph, resources, target, rng=rng
+            )
+        complete = False
+        if solution is None and graph.op_count <= exhaustive_op_limit:
+            solution, complete, nodes = exhaustive_probe(
+                graph, resources, target,
+                deadline=deadline, clock=clock,
+            )
+            info.dfs_nodes += nodes
+        if solution is not None:
+            info.best_makespan = target
+            info.improved = True
+            if on_improve is not None:
+                on_improve(
+                    {nid: cycle + 1 for nid, cycle in solution.items()},
+                    target,
+                )
+            if target <= lower:
+                info.proven_optimal = True
+                return info
+            target = info.best_makespan - 1
+            continue
+        if complete:
+            # The DFS exhausted T = best - 1: the incumbent is optimal.
+            info.proven_optimal = True
+        return info
+    info.proven_optimal = True
+    return info

@@ -36,6 +36,8 @@ class RunRequest:
     timeout_s: Optional[float] = None
     preflight: bool = True             # lint netlist+schedule up front
     telemetry: bool = False            # wire a live Telemetry through
+    optimize: bool = False             # serve fold-count-minimized programs
+    opt_budget_s: Optional[float] = None  # optimizer time box override
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", self.benchmark.upper())
@@ -44,6 +46,8 @@ class RunRequest:
             raise RequestError("a run needs at least one item")
         if self.mccs_per_tile < 1:
             raise RequestError("a tile needs at least one MCC")
+        if self.opt_budget_s is not None and self.opt_budget_s <= 0:
+            raise RequestError("the optimizer budget must be positive")
 
     # Maps dataclass fields to the argparse attribute(s) that feed
     # them, in priority order (``freac submit`` says --job-slices where
@@ -59,6 +63,8 @@ class RunRequest:
         "slices": ("job_slices",),
         "priority": ("priority",),
         "timeout_s": ("timeout_s",),
+        "optimize": ("optimize",),
+        "opt_budget_s": ("opt_budget_s",),
     }
 
     @classmethod
@@ -90,6 +96,8 @@ class RunRequest:
             "timeout_s": self.timeout_s,
             "seed": self.seed,
             "engine": self.engine,
+            "optimize": self.optimize,
+            "opt_budget_s": self.opt_budget_s,
         }
 
     def replace(self, **changes: Any) -> "RunRequest":

@@ -11,10 +11,12 @@ drains, and prints per-job lines plus a stats summary.
 Request line grammar (``#`` starts a comment)::
 
     BENCH ITEMS [key=value ...]
-    # keys: priority, tile, lut, slices, seed, timeout, engine
+    # keys: priority, tile, lut, slices, seed, timeout, engine,
+    #       optimize, opt_budget
     GEMM 8 priority=2 slices=2
     AES 4 timeout=30
     DOT 16 engine=reference
+    SORT 8 optimize=1 opt_budget=4
 """
 
 from __future__ import annotations
@@ -32,6 +34,15 @@ from ..request import RunRequest
 from .jobs import Job, JobState
 from .service import AcceleratorService
 
+def _parse_bool(value: str) -> bool:
+    lowered = value.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
 _KEYS = {
     "priority": ("priority", int),
     "tile": ("mccs_per_tile", int),
@@ -40,6 +51,8 @@ _KEYS = {
     "seed": ("seed", int),
     "timeout": ("timeout_s", float),
     "engine": ("engine", validate_engine),
+    "optimize": ("optimize", _parse_bool),
+    "opt_budget": ("opt_budget_s", float),
 }
 
 
@@ -111,6 +124,8 @@ def _print_job(job: Job) -> None:
             f" latency={result.latency_s * 1e3:.2f}ms"
             f" cache={'hit' if result.cache_hit else 'miss'}"
         )
+        if job.request.optimize:
+            line += " optimized"
         if result.placement:
             device, slices = result.placement
             line += f" device={device} slices={list(slices)}"
@@ -240,6 +255,12 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
                         help="LUT width the program is mapped to")
     submit.add_argument("--engine", choices=ENGINES, default=None,
                         help="execution engine (default: vectorized)")
+    submit.add_argument("--optimize", action="store_true",
+                        help="serve the fold-count-minimized program "
+                        "(compiled once, then cached)")
+    submit.add_argument("--opt-budget-s", type=float, default=None,
+                        dest="opt_budget_s",
+                        help="optimizer time box override, seconds")
     common(submit)
 
     serve = sub.add_parser(

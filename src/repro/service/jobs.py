@@ -50,15 +50,20 @@ class JobRequest:
     seed: int = 0
     dataset: Optional[Dataset] = None
     engine: str = "vectorized"         # execution engine (docs/execution.md)
+    optimize: bool = False             # fold-count-minimized program
+    opt_budget_s: Optional[float] = None  # optimizer time box override
 
-    def batch_key(self) -> Tuple[str, int, int, int, str]:
+    def batch_key(self) -> Tuple:
         """Jobs with equal keys can share one programmed accelerator.
 
         The engine is part of the key: a wave runs under exactly one
-        engine, so jobs pinned to different engines never merge.
+        engine, so jobs pinned to different engines never merge.  The
+        optimizer knobs are too — different budgets compile to
+        different cache entries, and a wave is programmed from exactly
+        one of them.
         """
         return (self.benchmark, self.lut_inputs, self.mccs_per_tile,
-                self.slices, self.engine)
+                self.slices, self.engine, self.optimize, self.opt_budget_s)
 
 
 @dataclass

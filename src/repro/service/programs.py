@@ -53,38 +53,52 @@ from ..folding.io import schedule_from_dict, schedule_to_dict
 from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import list_schedule
 from ..freac.device import AcceleratorProgram
+from ..optimizer import OptimizerConfig, optimize_schedule
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 
 logger = logging.getLogger("repro.service")
 
-# v2: dataflow report + analysis certificate ride along.  v1 entries
-# fail from_dict, get quarantined, and recompile once — acceptable for
-# a cache.
-DISK_FORMAT_VERSION = 2
+# v3: optimizer token + audit stats ride along (v2 added the dataflow
+# report + analysis certificate).  Old entries fail from_dict, get
+# quarantined, and recompile once — acceptable for a cache.
+DISK_FORMAT_VERSION = 3
 
 
 class ProgramKey(NamedTuple):
-    """Content address of one compiled program."""
+    """Content address of one compiled program.
+
+    ``optimizer`` is the :meth:`OptimizerConfig.token` that produced
+    the entry ("" for the plain heuristic compile), so heuristic and
+    optimized programs — or two different optimizer configurations —
+    can never collide on one cache slot.
+    """
 
     benchmark: str
     lut_inputs: int
     mccs_per_tile: int
     library_hash: str
+    optimizer: str = ""
 
     @property
     def filename(self) -> str:
+        suffix = f"_{self.optimizer}" if self.optimizer else ""
         return (
             f"{self.benchmark.lower()}_k{self.lut_inputs}"
-            f"_t{self.mccs_per_tile}_{self.library_hash}.json"
+            f"_t{self.mccs_per_tile}_{self.library_hash}{suffix}.json"
         )
 
 
 def program_key(
-    benchmark: str, *, lut_inputs: int = 5, mccs_per_tile: int = 1
+    benchmark: str,
+    *,
+    lut_inputs: int = 5,
+    mccs_per_tile: int = 1,
+    optimizer: str = "",
 ) -> ProgramKey:
     return ProgramKey(
-        benchmark.upper(), lut_inputs, mccs_per_tile, library_version()
+        benchmark.upper(), lut_inputs, mccs_per_tile, library_version(),
+        optimizer,
     )
 
 
@@ -104,6 +118,11 @@ class CompiledProgram:
         default_factory=lambda: AnalysisReport(artifact="dataflow:?")
     )
     certificate: Optional[AnalysisCertificate] = None
+    #: Optimizer token that produced this entry ("" = plain heuristic).
+    optimizer: str = ""
+    #: Audit record from the optimization pass (fold counts, bound gap,
+    #: timings, rejection reasons) — None for heuristic compiles.
+    opt_stats: Optional[Dict] = None
     #: Runtime-only: this process verified the certificate (or issued
     #: it fresh), so repeat warm hits skip even the digest hash.
     cert_verified: bool = field(default=False, compare=False)
@@ -112,7 +131,7 @@ class CompiledProgram:
     def key(self) -> ProgramKey:
         return ProgramKey(
             self.benchmark, self.lut_inputs, self.mccs_per_tile,
-            self.library_hash,
+            self.library_hash, self.optimizer,
         )
 
     @property
@@ -176,7 +195,10 @@ class CompiledProgram:
             "netlist_report": self.netlist_report.to_dict(),
             "schedule_report": self.schedule_report.to_dict(),
             "dataflow_report": self.dataflow_report.to_dict(),
+            "optimizer": self.optimizer,
         }
+        if self.opt_stats is not None:
+            data["opt_stats"] = self.opt_stats
         if self.certificate is not None:
             data["certificate"] = self.certificate.to_dict()
         return data
@@ -203,23 +225,44 @@ class CompiledProgram:
                 None if certificate is None
                 else AnalysisCertificate.from_dict(certificate)
             ),
+            optimizer=data.get("optimizer", ""),
+            opt_stats=data.get("opt_stats"),
         )
 
 
 def compile_program(
-    benchmark: str, *, lut_inputs: int = 5, mccs_per_tile: int = 1
+    benchmark: str,
+    *,
+    lut_inputs: int = 5,
+    mccs_per_tile: int = 1,
+    optimizer: Optional[OptimizerConfig] = None,
 ) -> CompiledProgram:
     """Run the full synthesis/tech-map/fold pipeline plus lint.
 
     Unlike :func:`repro.freac.runner.build_program` this never raises
     on findings: the reports ride along so the serving layer can turn
     them into a structured admission rejection.
+
+    With an enabled ``optimizer`` config, the heuristic schedule seeds
+    :func:`repro.optimizer.optimize_schedule` and the (never-worse)
+    result is what gets linted, certified, and cached — the expensive
+    search runs once per content address, then every warm hit serves
+    the shorter fold loop for free.
     """
     name = benchmark.upper()
     netlist = mapped_pe(name, lut_inputs)
-    schedule = list_schedule(
-        netlist, TileResources(mccs=mccs_per_tile, lut_inputs=lut_inputs)
-    )
+    resources = TileResources(mccs=mccs_per_tile, lut_inputs=lut_inputs)
+    schedule = list_schedule(netlist, resources)
+    token = ""
+    opt_stats: Optional[Dict] = None
+    if optimizer is not None and optimizer.enabled:
+        outcome = optimize_schedule(
+            netlist, resources, config=optimizer, heuristic=schedule
+        )
+        schedule = outcome.schedule
+        netlist = schedule.netlist    # the remap may re-cover it
+        token = optimizer.token()
+        opt_stats = outcome.stats_dict()
     program = CompiledProgram(
         benchmark=name,
         lut_inputs=lut_inputs,
@@ -230,6 +273,8 @@ def compile_program(
         schedule_report=analyze_schedule(schedule),
         library_hash=library_version(),
         dataflow_report=analyze_dataflow(schedule),
+        optimizer=token,
+        opt_stats=opt_stats,
     )
     program.certificate = issue_certificate(program.schedule, program.reports)
     program.cert_verified = True
@@ -276,7 +321,7 @@ class ProgramCache:
 
     _GUARDED_BY_LOCK = (
         "_entries", "hits", "disk_hits", "misses", "evictions",
-        "quarantined", "cert_hits", "cert_misses",
+        "quarantined", "cert_hits", "cert_misses", "opt_rejected",
     )
 
     def __init__(
@@ -315,6 +360,7 @@ class ProgramCache:
         self.quarantined = 0
         self.cert_hits = 0
         self.cert_misses = 0
+        self.opt_rejected = 0
 
     # -- core mapping ---------------------------------------------------
 
@@ -382,6 +428,7 @@ class ProgramCache:
         *,
         lut_inputs: int = 5,
         mccs_per_tile: int = 1,
+        optimizer: Optional[OptimizerConfig] = None,
     ) -> CompiledProgram:
         """The admission path: cached program, or compile-and-insert.
 
@@ -390,7 +437,8 @@ class ProgramCache:
         error, not cache traffic).
         """
         return self.lookup(
-            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile,
+            optimizer=optimizer,
         )[0]
 
     def lookup(
@@ -399,15 +447,22 @@ class ProgramCache:
         *,
         lut_inputs: int = 5,
         mccs_per_tile: int = 1,
+        optimizer: Optional[OptimizerConfig] = None,
     ) -> Tuple[CompiledProgram, bool]:
         """:meth:`get_or_compile`, plus whether this call was a hit.
 
         The serving layer wants hit/miss per submission; deriving it by
         diffing the shared counters is racy once submitters run
         concurrently (another thread's hit inflates the delta).
+
+        ``optimizer`` (an enabled :class:`OptimizerConfig`) routes a
+        miss through the optimizing compile; its token lands in the
+        key, so heuristic and optimized entries never alias.
         """
+        token = optimizer.token() if optimizer is not None else ""
         key = program_key(
-            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+            benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile,
+            optimizer=token,
         )
         with self._lock:
             if key.benchmark not in pe_names() and key not in self._entries:
@@ -419,10 +474,16 @@ class ProgramCache:
             if entry is not None:
                 return entry, True
             self.misses += 1
-            program = self._compiler(
-                key.benchmark, lut_inputs=lut_inputs,
-                mccs_per_tile=mccs_per_tile,
+            kwargs: Dict = dict(
+                lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
             )
+            if optimizer is not None:
+                # Only the optimizing path passes the kwarg, so custom
+                # test compilers with the old signature keep working.
+                kwargs["optimizer"] = optimizer
+            program = self._compiler(key.benchmark, **kwargs)
+            if program.opt_stats and program.opt_stats.get("rejected"):
+                self.opt_rejected += 1
             self.put(program)
             return program, False
 
@@ -446,6 +507,7 @@ class ProgramCache:
                 "quarantined": self.quarantined,
                 "cert_hits": self.cert_hits,
                 "cert_misses": self.cert_misses,
+                "opt_rejected": self.opt_rejected,
                 "hit_rate": self.hit_rate,
             }
 

@@ -52,6 +52,7 @@ from ..freac.device import FreacDevice
 from ..freac.engine import DEFAULT_ENGINE, validate_engine
 from ..freac.runner import plan_layout
 from ..freac.session import ExecutionSession
+from ..optimizer import OptimizerConfig
 from ..params import SystemParams
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
@@ -109,6 +110,7 @@ class AcceleratorService:
         max_batch_items: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         engine: str = DEFAULT_ENGINE,
+        optimizer: Optional[OptimizerConfig] = None,
         workers: int = 0,
         max_queue_depth: Optional[int] = None,
         wave_latency_s: Optional[float] = None,
@@ -153,6 +155,11 @@ class AcceleratorService:
         self.batching = batching
         self.max_batch_items = max_batch_items
         self.engine = validate_engine(engine)
+        #: Base config for ``submit(..., optimize=True)`` jobs; resolved
+        #: eagerly so a cpsat pin without ortools fails at construction,
+        #: not on the first optimizing submission.
+        self.optimizer = optimizer or OptimizerConfig()
+        self.optimizer.resolve_backend()
         #: Emulated device-busy time per wave: the host blocks this long
         #: after each wave's compute, standing in for the interval the
         #: cache-side accelerator would own the work (the simulator
@@ -226,6 +233,8 @@ class AcceleratorService:
         seed: int = 0,
         dataset: Optional[Dataset] = None,
         engine: Optional[str] = None,
+        optimize: bool = False,
+        opt_budget_s: Optional[float] = None,
     ) -> Job:
         """Admit one request; returns its :class:`Job` immediately.
 
@@ -258,11 +267,25 @@ class AcceleratorService:
                     f"not {benchmark.upper()}"
                 )
 
+        if opt_budget_s is not None and opt_budget_s <= 0:
+            raise RequestError("the optimizer budget must be positive")
+
         # Compile outside the service lock: the cache has its own, and
         # a cold compile is the slowest thing admission ever does.
+        # An optimizing submission compiles (and caches) under its own
+        # content address — a first ``optimize=True`` job pays the
+        # time-boxed search once, every repeat is a warm hit on the
+        # shorter-fold program.
+        opt_config: Optional[OptimizerConfig] = None
+        if optimize:
+            opt_config = (
+                self.optimizer.replace(budget_s=opt_budget_s)
+                if opt_budget_s is not None else self.optimizer
+            )
         try:
             compiled, cache_hit = self.cache.lookup(
-                benchmark, lut_inputs=lut_inputs, mccs_per_tile=mccs_per_tile
+                benchmark, lut_inputs=lut_inputs,
+                mccs_per_tile=mccs_per_tile, optimizer=opt_config,
             )
         except KeyError as exc:
             raise RequestError(str(exc)) from None
@@ -272,6 +295,7 @@ class AcceleratorService:
             mccs_per_tile=mccs_per_tile, lut_inputs=lut_inputs,
             slices=slices, timeout_s=timeout_s, seed=seed, dataset=dataset,
             engine=validate_engine(engine) if engine else self.engine,
+            optimize=optimize, opt_budget_s=opt_budget_s,
         )
         with self._lock:
             job = Job(

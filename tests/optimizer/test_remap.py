@@ -1,0 +1,77 @@
+"""Area-flow re-covering: function-preserving, smaller, time-boxed."""
+
+import random
+
+import pytest
+
+from repro.analysis import analyze_netlist
+from repro.circuits import simulate
+from repro.circuits.library import build_pe, mapped_pe, pe_names
+from repro.optimizer import area_remap
+from repro.optimizer.cuts import lut_count
+
+FAST_PES = [name for name in pe_names() if name != "AES"]
+
+
+def random_streams(pe, rng):
+    return {
+        stream: [rng.getrandbits(31) for _ in range(words)]
+        for stream, words in pe.loads.items()
+    }
+
+
+class TestFunctionPreservation:
+    @pytest.mark.parametrize("name", FAST_PES)
+    def test_remap_preserves_every_store(self, name):
+        original = mapped_pe(name)
+        remapped = area_remap(original, 5)
+        assert remapped is not None
+        pe = build_pe(name)
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(4):
+            streams = random_streams(pe, rng)
+            want = simulate(original, streams=streams)
+            got = simulate(remapped, streams=streams)
+            assert got.stores == want.stores
+            assert got.outputs == want.outputs
+
+    @pytest.mark.parametrize("name", FAST_PES)
+    def test_remapped_netlist_passes_lint(self, name):
+        remapped = area_remap(mapped_pe(name), 5)
+        assert remapped is not None
+        assert analyze_netlist(remapped, lut_inputs=5).ok
+
+
+class TestAreaFlow:
+    def test_vadd_cover_shrinks(self):
+        # The depth-ranked tech-map cover of VADD leaves area on the
+        # table; area-flow re-covering must recover a decent chunk.
+        original = mapped_pe("VADD")
+        remapped = area_remap(original, 5)
+        assert remapped is not None
+        assert lut_count(remapped) < lut_count(original)
+
+    def test_never_grows_the_cover(self):
+        for name in FAST_PES:
+            original = mapped_pe(name)
+            remapped = area_remap(original, 5)
+            assert remapped is not None
+            assert lut_count(remapped) <= lut_count(original)
+
+
+class TestTimeBox:
+    def test_expired_deadline_returns_none(self):
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 10.0
+            return clock_value[0]
+
+        # Deadline is already behind the first poll: the remap must
+        # bail out instead of finishing late.
+        assert area_remap(
+            mapped_pe("KMP"), 5, deadline=5.0, clock=clock
+        ) is None
+
+    def test_no_deadline_always_finishes(self):
+        assert area_remap(mapped_pe("VADD"), 5, deadline=None) is not None

@@ -1,0 +1,169 @@
+"""Bounds, branch-and-bound search, and the schedule rebuilder."""
+
+import pytest
+
+from repro.circuits.library import mapped_pe
+from repro.errors import OptimizerError
+from repro.folding.schedule import OpSlot, TileResources
+from repro.folding.scheduler import list_schedule
+from repro.optimizer import build_graph, lower_bound, rebuild_schedule
+from repro.optimizer.bounds import OpGraph, critical_path_bound, resource_bound
+from repro.optimizer.search import (
+    exhaustive_probe,
+    greedy_latest_start,
+    minimize_makespan,
+)
+
+
+def make_graph(n, edges, slot=OpSlot.LUT):
+    """A hand-built OpGraph: n ops, dependence edges, one slot class."""
+    preds = {nid: set() for nid in range(n)}
+    succs = {nid: set() for nid in range(n)}
+    for src, dst in edges:
+        preds[dst].add(src)
+        succs[src].add(dst)
+    order = list(range(n))   # callers pass edges src < dst
+    asap = {}
+    for nid in order:
+        asap[nid] = max((asap[p] + 1 for p in preds[nid]), default=0)
+    tail = {}
+    for nid in reversed(order):
+        tail[nid] = max((tail[s] + 1 for s in succs[nid]), default=0)
+    return OpGraph(
+        netlist=None, preds=preds, succs=succs,
+        slot_of={nid: slot for nid in range(n)},
+        order=order, asap=asap, tail=tail,
+    )
+
+
+RESOURCES = TileResources(mccs=1)   # 4 5-LUTs, 1 MAC, 1 bus op / cycle
+
+
+class TestBounds:
+    def test_chain_is_critical_path_bound(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert critical_path_bound(graph) == 3
+        assert resource_bound(graph, RESOURCES) == 1
+        assert lower_bound(graph, RESOURCES) >= 3
+
+    def test_wide_graph_is_resource_bound(self):
+        graph = make_graph(8, [])
+        assert critical_path_bound(graph) == 1
+        assert resource_bound(graph, RESOURCES) == 2   # 8 LUTs / 4 per cycle
+        assert lower_bound(graph, RESOURCES) >= 2
+
+    def test_real_netlist_bound_below_heuristic(self):
+        netlist = mapped_pe("VADD")
+        graph = build_graph(netlist)
+        schedule = list_schedule(netlist, RESOURCES)
+        assert 1 <= lower_bound(graph, RESOURCES) <= schedule.compute_cycles
+
+
+class TestGreedy:
+    def test_finds_the_obvious_packing(self):
+        graph = make_graph(8, [])
+        solution = greedy_latest_start(graph, RESOURCES, 2)
+        assert solution is not None
+        assert set(solution.values()) <= {0, 1}
+
+    def test_infeasible_window_is_rejected(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert greedy_latest_start(graph, RESOURCES, 2) is None
+
+    def test_respects_dependences(self):
+        graph = make_graph(6, [(0, 3), (1, 4), (2, 5)])
+        solution = greedy_latest_start(graph, RESOURCES, 3)
+        assert solution is not None
+        for src, dst in [(0, 3), (1, 4), (2, 5)]:
+            assert solution[src] < solution[dst]
+
+
+class TestExhaustive:
+    def test_proves_infeasibility(self):
+        # 5 independent LUTs cannot fit one 4-slot cycle.
+        graph = make_graph(5, [])
+        solution, complete, _ = exhaustive_probe(
+            graph, RESOURCES, 1, deadline=None, clock=lambda: 0.0
+        )
+        assert solution is None and complete
+
+    def test_finds_a_tight_schedule(self):
+        graph = make_graph(5, [])
+        solution, complete, _ = exhaustive_probe(
+            graph, RESOURCES, 2, deadline=None, clock=lambda: 0.0
+        )
+        assert solution is not None and complete
+        assert max(solution.values()) <= 1
+
+    def test_deadline_marks_incomplete_not_infeasible(self):
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 1.0
+            return clock_value[0]
+
+        # A big oversubscribed instance with an instantly-expired
+        # deadline: whatever comes back must not claim completeness.
+        graph = make_graph(24, [(i, i + 12) for i in range(12)])
+        solution, complete, _ = exhaustive_probe(
+            graph, RESOURCES, 4, deadline=0.5, clock=clock
+        )
+        if solution is None:
+            assert not complete
+
+
+class TestMinimizeMakespan:
+    def test_descends_to_the_bound_and_proves(self):
+        graph = make_graph(8, [])
+        improvements = []
+        info = minimize_makespan(
+            graph, RESOURCES, upper=8, lower=2,
+            on_improve=lambda cycles, makespan: improvements.append(makespan),
+        )
+        assert info.improved and info.best_makespan == 2
+        assert info.proven_optimal
+        assert improvements and improvements[-1] == 2
+        # on_improve hands out 1-based cycles.
+
+    def test_already_at_bound_is_proven(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        info = minimize_makespan(graph, RESOURCES, upper=3, lower=3)
+        assert not info.improved and info.proven_optimal
+
+    def test_expired_budget_returns_incumbent(self):
+        clock_value = [100.0]
+        info = minimize_makespan(
+            make_graph(8, []), RESOURCES, upper=8, lower=2,
+            deadline=1.0, clock=lambda: clock_value[0],
+        )
+        assert info.timed_out and not info.improved
+        assert info.best_makespan == 8
+
+
+class TestRebuild:
+    def test_round_trips_the_heuristic_assignment(self):
+        netlist = mapped_pe("VADD")
+        schedule = list_schedule(netlist, RESOURCES)
+        cycle_of = {op.nid: op.cycle for op in schedule.ops}
+        rebuilt = rebuild_schedule(
+            netlist, RESOURCES, cycle_of, algorithm="opt-test"
+        )
+        assert rebuilt.compute_cycles == schedule.compute_cycles
+        assert rebuilt.fold_cycles == schedule.fold_cycles
+        assert rebuilt.algorithm == "opt-test"
+        assert {op.nid for op in rebuilt.ops} == set(cycle_of)
+
+    def test_rejects_precedence_violations(self):
+        netlist = mapped_pe("VADD")
+        schedule = list_schedule(netlist, RESOURCES)
+        cycle_of = {op.nid: 1 for op in schedule.ops}   # everything @ 1
+        with pytest.raises(OptimizerError):
+            rebuild_schedule(netlist, RESOURCES, cycle_of, algorithm="x")
+
+    def test_rejects_incomplete_assignments(self):
+        netlist = mapped_pe("VADD")
+        schedule = list_schedule(netlist, RESOURCES)
+        cycle_of = {op.nid: op.cycle for op in schedule.ops}
+        cycle_of.pop(next(iter(cycle_of)))
+        with pytest.raises(OptimizerError):
+            rebuild_schedule(netlist, RESOURCES, cycle_of, algorithm="x")

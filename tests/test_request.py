@@ -93,6 +93,8 @@ class TestPlumbing:
             "timeout_s": 0.5,
             "seed": 0,
             "engine": "reference",
+            "optimize": False,
+            "opt_budget_s": None,
         }
 
     def test_replace_revalidates(self):
