@@ -1,22 +1,27 @@
-"""Executor-engine benchmarks: vectorized vs. reference batch sweep.
+"""Executor-engine benchmarks: the registered-engine batch sweep.
 
-For each benchmark and batch size, runs the same batch through both
-execution engines (docs/execution.md) on fresh, identical tiles and
-reports items/s.  The vectorized engine evaluates each scheduled slot
-once per folding step across the whole batch (SoA), so its advantage
-grows with the batch; the sweep makes the crossover visible.
+For each benchmark and batch size, runs the same batch through every
+engine in the EngineSpec registry (docs/execution.md) on fresh,
+identical tiles and reports items/s.  The vectorized engine evaluates
+each scheduled slot once per folding step across the whole batch
+(SoA), so its advantage grows with the batch; the specialized engine
+replays the program's compiled execution plan, so it wins already at
+batch 1.  The sweep makes both crossovers visible.
 
 Writes ``BENCH_executor.json``: a list of
-``{benchmark, batch, reference_s, vectorized_s, items_per_s_reference,
-items_per_s_vectorized, speedup}`` rows.
+``{benchmark, batch, reference_s, vectorized_s, specialized_s,
+items_per_s_reference, items_per_s_vectorized, items_per_s_specialized,
+speedup, speedup_specialized}`` rows (speedups are vs. reference).
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_executor.py
     PYTHONPATH=src python benchmarks/bench_executor.py --quick --check
 
-``--check`` exits non-zero if the vectorized engine is slower than the
-reference engine at any batch size >= 8 (the CI smoke gate).
+``--check`` exits non-zero (the CI smoke gate) if the vectorized
+engine is slower than reference at any batch size >= 8, if the
+specialized engine is slower than reference at batch 1, or if the
+specialized engine is slower than vectorized at batch >= 16.
 """
 
 from __future__ import annotations
@@ -40,7 +45,8 @@ OUT = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
 
 BENCHMARKS = ("DOT", "GEMM", "CONV")
 BATCHES = (1, 2, 4, 8, 16, 32, 64)
-CHECK_FLOOR_BATCH = 8   # at and beyond this, vectorized must not lose
+CHECK_FLOOR_BATCH = 8    # at and beyond this, vectorized must not lose
+SPECIALIZED_VS_VEC_BATCH = 16   # ...and specialized must beat vectorized
 
 # Benchmarks whose fold count the optimal-mapping tier reduces within
 # a small budget (docs/optimizer.md); the schedule sweep times the
@@ -95,19 +101,24 @@ def sweep(benchmarks: Sequence[str], batches: Sequence[int],
                 for engine in ENGINES
             }
             speedup = seconds["reference"] / seconds["vectorized"]
+            speedup_spec = seconds["reference"] / seconds["specialized"]
             rows.append({
                 "benchmark": name,
                 "batch": batch,
                 "reference_s": seconds["reference"],
                 "vectorized_s": seconds["vectorized"],
+                "specialized_s": seconds["specialized"],
                 "items_per_s_reference": batch / seconds["reference"],
                 "items_per_s_vectorized": batch / seconds["vectorized"],
+                "items_per_s_specialized": batch / seconds["specialized"],
                 "speedup": speedup,
+                "speedup_specialized": speedup_spec,
             })
             print(f"{name:5s} batch={batch:3d} "
                   f"ref={seconds['reference'] * 1e3:8.2f}ms "
                   f"vec={seconds['vectorized'] * 1e3:8.2f}ms "
-                  f"speedup={speedup:6.2f}x")
+                  f"spec={seconds['specialized'] * 1e3:8.2f}ms "
+                  f"speedup={speedup:6.2f}x/{speedup_spec:6.2f}x")
     return rows
 
 
@@ -165,7 +176,9 @@ def sweep_optimized(benchmarks: Sequence[str], batches: Sequence[int],
 
 
 def check(rows: Sequence[Dict[str, object]]) -> List[str]:
-    """CI gate: vectorized must win at every batch >= 8 ([] = ok)."""
+    """CI gates ([] = ok): vectorized must win at every batch >= 8;
+    specialized must win at batch 1 and must never lose to vectorized
+    at batch >= 16."""
     problems = []
     for row in rows:
         if "speedup" not in row:
@@ -175,6 +188,19 @@ def check(rows: Sequence[Dict[str, object]]) -> List[str]:
                 f"{row['benchmark']} batch={row['batch']}: vectorized is "
                 f"{1.0 / row['speedup']:.2f}x SLOWER than reference"
             )
+        if row["batch"] == 1 and row["speedup_specialized"] < 1.0:
+            problems.append(
+                f"{row['benchmark']} batch=1: specialized is "
+                f"{1.0 / row['speedup_specialized']:.2f}x SLOWER than "
+                "reference"
+            )
+        if (row["batch"] >= SPECIALIZED_VS_VEC_BATCH
+                and row["specialized_s"] > row["vectorized_s"]):
+            problems.append(
+                f"{row['benchmark']} batch={row['batch']}: specialized is "
+                f"{row['specialized_s'] / row['vectorized_s']:.2f}x "
+                "SLOWER than vectorized"
+            )
     return problems
 
 
@@ -183,7 +209,9 @@ def main(argv: Sequence[str] = ()) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced-scale sweep for CI smoke runs")
     parser.add_argument("--check", action="store_true",
-                        help="fail if vectorized loses at batch >= 8")
+                        help="fail if vectorized loses at batch >= 8, or "
+                             "specialized loses to reference at batch 1 "
+                             "or to vectorized at batch >= 16")
     parser.add_argument("--out", default=str(OUT),
                         help="result path (default BENCH_executor.json)")
     args = parser.parse_args(list(argv) or None)

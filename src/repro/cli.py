@@ -361,10 +361,11 @@ def main(argv: List[str] | None = None) -> int:
     runp.add_argument("--tile", type=int, default=1,
                       help="MCCs per accelerator tile")
     runp.add_argument("--seed", type=int, default=0)
-    from .freac.engine import ENGINES
+    from .freac.engine import DEFAULT_ENGINE, ENGINES
 
     runp.add_argument("--engine", choices=ENGINES, default=None,
-                      help="execution engine (default: vectorized)")
+                      help="execution engine from the EngineSpec "
+                      f"registry (default: {DEFAULT_ENGINE})")
     runp.add_argument("--optimize", action="store_true",
                       help="run the fold-count-minimized program")
     runp.add_argument("--opt-budget-s", type=float, default=None,

@@ -11,8 +11,24 @@ from .scratchpad import Scratchpad
 from .mcc import MicroComputeCluster
 from .ccctrl import ComputeClusterController
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
-from .engine import BatchResult, DEFAULT_ENGINE, ENGINES, validate_engine
+from .engine import (
+    BatchResult,
+    DEFAULT_ENGINE,
+    ENGINES,
+    EngineLike,
+    EngineSpec,
+    register_engine,
+    resolve_engine,
+    validate_engine,
+)
 from .executor import FoldedExecutor, ExecutionStats, StreamBinding
+from .specialize import (
+    SpecializationUnsupported,
+    SpecializedPlan,
+    build_plan,
+    plan_artifact,
+    plan_for,
+)
 from .hostif import HostInterface, Register
 from .device import FreacDevice, AcceleratorProgram
 from .fabric import SwitchFabric
@@ -30,7 +46,16 @@ __all__ = [
     "BatchResult",
     "DEFAULT_ENGINE",
     "ENGINES",
+    "EngineLike",
+    "EngineSpec",
     "ExecutionSession",
+    "SpecializationUnsupported",
+    "SpecializedPlan",
+    "build_plan",
+    "plan_artifact",
+    "plan_for",
+    "register_engine",
+    "resolve_engine",
     "validate_engine",
     "FoldedLut",
     "Scratchpad",

@@ -22,7 +22,7 @@ from ..memory.dram import DramModel
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
-from .engine import DEFAULT_ENGINE, validate_engine
+from .engine import EngineLike, resolve_engine
 from .executor import ExecutionStats, FoldedExecutor, StreamBinding
 
 
@@ -258,7 +258,7 @@ class ComputeClusterController:
         items: int,
         scratchpad_map: Dict[str, StreamBinding],
         *,
-        engine: str = DEFAULT_ENGINE,
+        engine: EngineLike = None,
     ) -> ExecutionStats:
         """Run ``items`` invocations, round-robin across the tiles.
 
@@ -266,18 +266,21 @@ class ComputeClusterController:
         goes to tile ``i % tiles`` — the data-parallel split the paper
         uses ("work is divided evenly across all available accelerator
         tiles", Sec. V).  Each tile's whole item set is handed to
-        :meth:`FoldedExecutor.run_batch` in one call, so with
-        ``engine="vectorized"`` the items execute in SoA lock-step.
+        :meth:`FoldedExecutor.run_batch` in one call, so the batch
+        engines (``specialized``/``vectorized``) execute each tile's
+        items in SoA lock-step.  ``engine`` is any
+        :class:`~repro.freac.engine.EngineLike`; ``None`` picks the
+        registry default (docs/execution.md).
         """
         if self.state is not ControllerState.CONFIGURED:
             raise ProtocolError("program the accelerator before running")
-        validate_engine(engine)
+        spec = resolve_engine(engine)
         tiles = len(self.executors)
         for tile, executor in enumerate(self.executors):
             indices = range(tile, items, tiles)
             if indices:
                 executor.run_batch(
-                    indices, scratchpad_map=scratchpad_map, engine=engine
+                    indices, scratchpad_map=scratchpad_map, engine=spec
                 )
         total = ExecutionStats()
         for executor in self.executors:
@@ -290,4 +293,5 @@ class ComputeClusterController:
             total.bus_stores += stats.bus_stores
             total.config_words_loaded += stats.config_words_loaded
             total.config_reloads += stats.config_reloads
+            total.engine_fallbacks += stats.engine_fallbacks
         return total

@@ -12,7 +12,6 @@ Cache in Multi-Core Systems").
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -26,7 +25,7 @@ from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
 from .compute_slice import ReconfigurableComputeSlice, SlicePartition
-from .engine import DEFAULT_ENGINE
+from .engine import EngineLike
 from .executor import StreamBinding
 from .hostif import HostInterface
 
@@ -167,64 +166,10 @@ class FreacDevice:
         for index in indices:
             self.controllers[index].teardown()
 
-    def setup(self, partition: SlicePartition,
-              slices: Union[int, Sequence[int], None] = None) -> List[SetupReport]:
-        """Partition slices: all by default, the first N for an int,
-        or exactly the given indices for a sequence.
-
-        .. deprecated::
-            Use :class:`repro.freac.session.ExecutionSession`, which
-            scopes the whole setup/program/run/teardown lifecycle and
-            releases the ways on every error path (docs/execution.md).
-        """
-        warnings.warn(
-            "FreacDevice.setup is deprecated; manage the lifecycle with "
-            "repro.freac.ExecutionSession",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self._setup_slices(partition, self._resolve_slices(slices))
-
-    def program(self, program: AcceleratorProgram,
-                mccs_per_tile: int,
-                slices: Optional[Sequence[int]] = None,
-                *, preflight: bool = True) -> List[ProgramReport]:
-        """Program partitioned slices with an accelerator.
-
-        By default every partitioned slice gets the same accelerator
-        (the paper's data-parallel mode).
-
-        .. deprecated::
-            Use :meth:`repro.freac.session.ExecutionSession.program`.
-        """
-        warnings.warn(
-            "FreacDevice.program is deprecated; manage the lifecycle with "
-            "repro.freac.ExecutionSession",
-            DeprecationWarning, stacklevel=2,
-        )
-        if slices is None:
-            indices = [
-                i for i, c in enumerate(self.controllers)
-                if c.state.value != "idle"
-            ]
-        else:
-            indices = list(slices)
-        return self._program_slices(
-            program, mccs_per_tile, indices, preflight=preflight
-        )
-
-    def teardown(self, slices: Optional[Sequence[int]] = None) -> None:
-        """Release slices back to plain cache (all by default).
-
-        .. deprecated::
-            Use :class:`repro.freac.session.ExecutionSession`, which
-            tears down automatically.
-        """
-        warnings.warn(
-            "FreacDevice.teardown is deprecated; manage the lifecycle "
-            "with repro.freac.ExecutionSession",
-            DeprecationWarning, stacklevel=2,
-        )
-        self._teardown_slices(self._resolve_slices(slices))
+    # The old ``setup``/``program``/``teardown`` delegates (deprecated
+    # since the session API landed) are gone:
+    # :class:`repro.freac.session.ExecutionSession` is the only
+    # lifecycle API (docs/execution.md).
 
     # ------------------------------------------------------------------
     # Functional batch execution (small problem sizes)
@@ -236,13 +181,14 @@ class FreacDevice:
         scratchpad_map: Dict[str, StreamBinding],
         *,
         per_slice_items: Optional[Sequence[int]] = None,
-        engine: str = DEFAULT_ENGINE,
+        engine: EngineLike = None,
     ) -> Dict[str, int]:
         """Run a batch split across slices; returns aggregate counters.
 
         Items are block-distributed: slice *s* runs items
         ``[s*chunk, ...)`` against its own scratchpad, mirroring the
-        paper's data-parallel decomposition.
+        paper's data-parallel decomposition.  ``engine`` is any
+        :class:`~repro.freac.engine.EngineLike` (``None`` = default).
         """
         active = [c for c in self.controllers if c.state.value == "configured"]
         if not active:
@@ -257,6 +203,7 @@ class FreacDevice:
             "lut_evaluations": 0,
             "mac_operations": 0,
             "bus_words": 0,
+            "engine_fallbacks": 0,
         }
         for controller, count in zip(active, per_slice_items):
             if count == 0:
@@ -266,6 +213,7 @@ class FreacDevice:
             totals["lut_evaluations"] += stats.lut_evaluations
             totals["mac_operations"] += stats.mac_operations
             totals["bus_words"] += stats.bus_words
+            totals["engine_fallbacks"] += stats.engine_fallbacks
         return totals
 
     # ------------------------------------------------------------------

@@ -32,7 +32,16 @@ step (docs/execution.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -43,17 +52,100 @@ from ..folding.schedule import OpSlot
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .executor import FoldedExecutor, StreamBinding
 
-#: Engine selector values accepted throughout the stack.
-ENGINES = ("vectorized", "reference")
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered execution engine (docs/execution.md).
+
+    The engine choice used to be a bare string threaded through every
+    layer; it is now a first-class registry entry.  ``fallback`` names
+    the engine a run silently degrades to when this one cannot
+    represent it (sequential netlists, ragged streams, trace
+    collection) — each such degradation is counted in
+    ``ExecutionStats.engine_fallbacks``.
+    """
+
+    name: str
+    description: str
+    fallback: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_ENGINE_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add an engine to the registry (idempotent for equal specs)."""
+    existing = _ENGINE_REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise DeviceError(f"engine {spec.name!r} already registered")
+    _ENGINE_REGISTRY[spec.name] = spec
+    return spec
+
+
+register_engine(EngineSpec(
+    "vectorized",
+    "SoA lock-step over the batch axis, interpreting the schedule "
+    "step by step",
+    fallback="reference",
+))
+register_engine(EngineSpec(
+    "reference",
+    "scalar per-item loop; the ground truth every other engine must "
+    "match bit for bit",
+))
+register_engine(EngineSpec(
+    "specialized",
+    "per-program compiled execution plan (repro.freac.specialize): "
+    "fused per-pass numpy ops with zero per-step Python dispatch",
+    fallback="reference",
+))
+
+#: Engine selector values accepted throughout the stack, in
+#: registration order (the default first).
+ENGINES: Tuple[str, ...] = tuple(_ENGINE_REGISTRY)
 DEFAULT_ENGINE = "vectorized"
 
+#: Anything the engine boundary accepts: a spec, a registered name,
+#: or None (meaning "the default").
+EngineLike = Union[EngineSpec, str, None]
 
-def validate_engine(engine: str) -> str:
-    if engine not in ENGINES:
-        raise DeviceError(
-            f"unknown execution engine {engine!r}; pick one of {ENGINES}"
-        )
-    return engine
+
+def resolve_engine(engine: EngineLike = None) -> EngineSpec:
+    """Normalize ``engine`` to a registered :class:`EngineSpec`.
+
+    This is the single deprecation path for stringly engine selection:
+    bare names remain accepted at every boundary (CLI flags, serve
+    request lines, ``RunRequest``/``JobSpec`` fields) and resolve here;
+    internal layers pass specs.
+    """
+    if engine is None:
+        return _ENGINE_REGISTRY[DEFAULT_ENGINE]
+    if isinstance(engine, EngineSpec):
+        registered = _ENGINE_REGISTRY.get(engine.name)
+        if registered is None:
+            raise DeviceError(
+                f"unknown execution engine {engine.name!r}; pick one of "
+                f"{ENGINES}"
+            )
+        return engine
+    if isinstance(engine, str):
+        spec = _ENGINE_REGISTRY.get(engine)
+        if spec is None:
+            raise DeviceError(
+                f"unknown execution engine {engine!r}; pick one of {ENGINES}"
+            )
+        return spec
+    raise DeviceError(
+        f"engine must be an EngineSpec or a name, not {type(engine).__name__}"
+    )
+
+
+def validate_engine(engine: EngineLike) -> str:
+    """Legacy string boundary: resolve and hand back the canonical name."""
+    return resolve_engine(engine).name
 
 
 class VectorizationUnsupported(Exception):

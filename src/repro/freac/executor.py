@@ -32,11 +32,11 @@ from ..folding.schedule import FoldingSchedule, OpSlot
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from .engine import (
-    DEFAULT_ENGINE,
     BatchResult,
+    EngineLike,
     VectorizationUnsupported,
+    resolve_engine,
     run_batch_vectorized,
-    validate_engine,
 )
 from .mcc import MicroComputeCluster
 from .scratchpad import Scratchpad
@@ -78,6 +78,10 @@ class ExecutionStats:
     bus_stores: int = 0
     config_words_loaded: int = 0
     config_reloads: int = 0
+    #: Runs where the requested engine could not represent the batch
+    #: (sequential netlist, ragged streams, trace collection) and the
+    #: executor degraded to the engine's registered fallback.
+    engine_fallbacks: int = 0
 
     @property
     def bus_words(self) -> int:
@@ -387,7 +391,7 @@ class FoldedExecutor:
         streams: Optional[Mapping[str, Sequence[Sequence[int]]]] = None,
         bindings: Optional[Mapping[str, object]] = None,
         scratchpad_map: Optional[Mapping[str, StreamBinding]] = None,
-        engine: str = DEFAULT_ENGINE,
+        engine: EngineLike = None,
         collect_trace: bool = False,
     ) -> BatchResult:
         """Execute a whole batch of invocations in one call.
@@ -398,28 +402,50 @@ class FoldedExecutor:
         is lane *lane*'s word list; ``bindings`` values may be scalars
         (broadcast) or per-lane sequences.
 
-        ``engine="vectorized"`` runs all lanes in SoA lock-step (see
-        :mod:`repro.freac.engine`), falling back to the reference loop
-        for runs it cannot represent (sequential netlists, ragged
-        streams, trace collection).  Results and every counter are
-        bit-for-bit identical between engines.
+        ``engine`` is an :class:`~repro.freac.engine.EngineSpec` or a
+        registered name (``None`` means the default).  ``specialized``
+        runs the program's compiled execution plan
+        (:mod:`repro.freac.specialize`); ``vectorized`` runs all lanes
+        in SoA lock-step (:mod:`repro.freac.engine`).  Both fall back
+        to the reference loop for runs they cannot represent
+        (sequential netlists, ragged streams, trace collection) —
+        counted in ``stats.engine_fallbacks``.  Results and every
+        counter are bit-for-bit identical between engines.
         """
-        validate_engine(engine)
+        spec = resolve_engine(engine)
         if isinstance(items, (int, np.integer)):
             indices: List[int] = list(range(int(items)))
         else:
             indices = [int(i) for i in items]
-        if engine == "vectorized" and not collect_trace:
-            try:
-                return run_batch_vectorized(
-                    self,
-                    indices,
-                    streams=streams,
-                    bindings=bindings,
-                    scratchpad_map=scratchpad_map,
-                )
-            except VectorizationUnsupported:
-                pass
+        if spec.name != "reference":
+            if not collect_trace:
+                try:
+                    if spec.name == "specialized":
+                        from .specialize import (
+                            SpecializationUnsupported,
+                            run_batch_specialized,
+                        )
+
+                        try:
+                            return run_batch_specialized(
+                                self,
+                                indices,
+                                streams=streams,
+                                bindings=bindings,
+                                scratchpad_map=scratchpad_map,
+                            )
+                        except SpecializationUnsupported:
+                            raise VectorizationUnsupported from None
+                    return run_batch_vectorized(
+                        self,
+                        indices,
+                        streams=streams,
+                        bindings=bindings,
+                        scratchpad_map=scratchpad_map,
+                    )
+                except VectorizationUnsupported:
+                    pass
+            self.stats.engine_fallbacks += 1
         return self._run_batch_reference(
             indices,
             streams=streams,

@@ -30,7 +30,7 @@ from ..workloads.datagen import Dataset, dataset_for
 from .ccctrl import ComputeClusterController
 from .compute_slice import SlicePartition
 from .device import AcceleratorProgram, FreacDevice
-from .engine import DEFAULT_ENGINE
+from .engine import EngineLike
 from .executor import StreamBinding
 
 
@@ -48,6 +48,7 @@ class WorkloadRunReport:
     mac_operations: int = 0
     lut_evaluations: int = 0
     bus_words: int = 0
+    engine_fallbacks: int = 0
     layout: Dict[str, StreamBinding] = field(default_factory=dict)
 
 
@@ -148,6 +149,7 @@ def _controller_totals(
         "lut_evaluations": 0,
         "mac_operations": 0,
         "bus_words": 0,
+        "engine_fallbacks": 0,
     }
     for controller in controllers:
         for executor in controller.executors:
@@ -156,6 +158,7 @@ def _controller_totals(
             totals["lut_evaluations"] += stats.lut_evaluations
             totals["mac_operations"] += stats.mac_operations
             totals["bus_words"] += stats.bus_words
+            totals["engine_fallbacks"] += stats.engine_fallbacks
     return totals
 
 
@@ -166,7 +169,7 @@ def execute_on_controllers(
     *,
     pe: Optional[PeCircuit] = None,
     telemetry: Optional[Telemetry] = None,
-    engine: str = DEFAULT_ENGINE,
+    engine: EngineLike = None,
 ) -> Tuple[Dict[str, int], List[int]]:
     """Fill, run, and verify one batch on the given slice controllers.
 
@@ -251,7 +254,7 @@ def run_workload(
     dataset: Optional[Dataset] = None,
     program: Optional[AcceleratorProgram] = None,
     telemetry: Optional[Telemetry] = None,
-    engine: str = DEFAULT_ENGINE,
+    engine: EngineLike = None,
     optimize: bool = False,
     opt_budget_s: Optional[float] = None,
 ) -> WorkloadRunReport:
@@ -310,5 +313,6 @@ def run_workload(
         mac_operations=totals["mac_operations"],
         lut_evaluations=totals["lut_evaluations"],
         bus_words=totals["bus_words"],
+        engine_fallbacks=totals["engine_fallbacks"],
         layout=layout,
     )

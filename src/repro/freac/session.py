@@ -12,10 +12,12 @@ session object owns that lifecycle instead:
     # ways are unlocked here, even if execute() raised
 
 It pins the slice indices it claimed, the telemetry sink, and the
-execution engine choice (``"vectorized"`` or ``"reference"``, see
-docs/execution.md), so the runner and the serving layer are thin
-callers.  The old ``FreacDevice.setup/program/teardown`` methods
-remain as delegates that emit :class:`DeprecationWarning`.
+execution engine choice — an :class:`~repro.freac.engine.EngineSpec`
+resolved once from whatever the caller passed (a spec, a bare string
+like ``"specialized"``, or ``None`` for the default; see
+docs/execution.md) — so the runner and the serving layer are thin
+callers.  It is the **only** lifecycle API: the old
+``FreacDevice.setup/program/teardown`` delegates have been removed.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from ..telemetry import Telemetry
 from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
 from .compute_slice import SlicePartition
 from .device import AcceleratorProgram, FreacDevice
-from .engine import DEFAULT_ENGINE, validate_engine
+from .engine import EngineLike, EngineSpec, resolve_engine
 from .executor import StreamBinding
 
 
@@ -47,14 +49,14 @@ class ExecutionSession:
         partition: Optional[SlicePartition] = None,
         *,
         slices: Union[int, Sequence[int], None] = None,
-        engine: str = DEFAULT_ENGINE,
+        engine: EngineLike = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.device = device
         self.partition = partition or SlicePartition(
             compute_ways=4, scratchpad_ways=4
         )
-        self.engine = validate_engine(engine)
+        self.engine: EngineSpec = resolve_engine(engine)
         if telemetry is not None:
             device.set_telemetry(telemetry)
         self.telemetry = device.telemetry
@@ -205,6 +207,7 @@ class ExecutionSession:
             "lut_evaluations": 0,
             "mac_operations": 0,
             "bus_words": 0,
+            "engine_fallbacks": 0,
         }
         for controller, count in zip(self.controllers, per_slice_items):
             if count == 0:
@@ -216,6 +219,7 @@ class ExecutionSession:
             totals["lut_evaluations"] += stats.lut_evaluations
             totals["mac_operations"] += stats.mac_operations
             totals["bus_words"] += stats.bus_words
+            totals["engine_fallbacks"] += stats.engine_fallbacks
         return totals
 
     def execute(self, dataset, layout, *, pe=None):

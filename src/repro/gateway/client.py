@@ -19,6 +19,7 @@ import asyncio
 from typing import Dict, Optional
 
 from ..errors import ServiceError
+from ..freac.engine import EngineLike
 from ..service.jobs import JobResult
 from .gateway import FleetStats, Gateway, GatewayConfig
 from .protocol import JobSpec
@@ -56,7 +57,7 @@ class GatewayClient:
         slices: int = 1,
         timeout_s: Optional[float] = None,
         seed: int = 0,
-        engine: Optional[str] = None,
+        engine: "EngineLike" = None,
         optimize: bool = False,
         opt_budget_s: Optional[float] = None,
     ) -> int:

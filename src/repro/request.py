@@ -18,7 +18,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
 from .errors import RequestError
-from .freac.engine import DEFAULT_ENGINE, validate_engine
+from .freac.engine import EngineLike, resolve_engine
 
 
 @dataclass(frozen=True)
@@ -29,7 +29,10 @@ class RunRequest:
     items: int = 8
     mccs_per_tile: int = 1
     lut_inputs: int = 5
-    engine: str = DEFAULT_ENGINE
+    #: Accepts any EngineLike (spec, bare name, or None for the
+    #: default) and normalizes to the spec's name, so the frozen
+    #: request stays a plain picklable string bundle.
+    engine: EngineLike = None
     seed: int = 0
     slices: int = 1                    # device slices the job spans
     priority: int = 0
@@ -41,7 +44,7 @@ class RunRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", self.benchmark.upper())
-        validate_engine(self.engine)
+        object.__setattr__(self, "engine", resolve_engine(self.engine).name)
         if self.items < 1:
             raise RequestError("a run needs at least one item")
         if self.mccs_per_tile < 1:

@@ -28,7 +28,7 @@ from typing import IO, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError, RequestError
 from ..freac.compute_slice import SlicePartition
-from ..freac.engine import ENGINES, validate_engine
+from ..freac.engine import DEFAULT_ENGINE, ENGINES, validate_engine
 from ..params import scaled_system
 from ..request import RunRequest
 from .jobs import Job, JobState
@@ -254,7 +254,8 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
     submit.add_argument("--lut-inputs", type=int, default=5,
                         help="LUT width the program is mapped to")
     submit.add_argument("--engine", choices=ENGINES, default=None,
-                        help="execution engine (default: vectorized)")
+                        help="execution engine from the EngineSpec "
+                        f"registry (default: {DEFAULT_ENGINE})")
     submit.add_argument("--optimize", action="store_true",
                         help="serve the fold-count-minimized program "
                         "(compiled once, then cached)")

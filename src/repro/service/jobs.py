@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import AnalysisReport
+from ..freac.engine import EngineLike, resolve_engine
 from ..workloads.datagen import Dataset
 
 
@@ -49,9 +50,14 @@ class JobRequest:
     timeout_s: Optional[float] = None  # queue-wait deadline
     seed: int = 0
     dataset: Optional[Dataset] = None
-    engine: str = "vectorized"         # execution engine (docs/execution.md)
+    #: Any EngineLike (spec, name, or None); normalized to the spec's
+    #: name so requests stay picklable (docs/execution.md).
+    engine: EngineLike = None
     optimize: bool = False             # fold-count-minimized program
     opt_budget_s: Optional[float] = None  # optimizer time box override
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", resolve_engine(self.engine).name)
 
     def batch_key(self) -> Tuple:
         """Jobs with equal keys can share one programmed accelerator.

@@ -53,16 +53,19 @@ from ..folding.io import schedule_from_dict, schedule_to_dict
 from ..folding.schedule import FoldingSchedule, TileResources
 from ..folding.scheduler import list_schedule
 from ..freac.device import AcceleratorProgram
+from ..freac.specialize import plan_artifact
 from ..optimizer import OptimizerConfig, optimize_schedule
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 
 logger = logging.getLogger("repro.service")
 
-# v3: optimizer token + audit stats ride along (v2 added the dataflow
-# report + analysis certificate).  Old entries fail from_dict, get
+# v4: the specialized-engine plan artifact rides along, content-
+# addressed by its digest and verified against the schedule at load
+# (v3 added the optimizer token + audit stats, v2 the dataflow report
+# + analysis certificate).  Old entries fail from_dict, get
 # quarantined, and recompile once — acceptable for a cache.
-DISK_FORMAT_VERSION = 3
+DISK_FORMAT_VERSION = 4
 
 
 class ProgramKey(NamedTuple):
@@ -123,6 +126,13 @@ class CompiledProgram:
     #: Audit record from the optimization pass (fold counts, bound gap,
     #: timings, rejection reasons) — None for heuristic compiles.
     opt_stats: Optional[Dict] = None
+    #: The specialized-engine plan artifact
+    #: (:func:`repro.freac.specialize.plan_artifact`): the plan's
+    #: content digest + shape for supported netlists, or
+    #: ``{"supported": False, "reason": ...}``.  Computed lazily on
+    #: first serialisation, verified against a deterministic rebuild on
+    #: every disk load.
+    specialized: Optional[Dict] = None
     #: Runtime-only: this process verified the certificate (or issued
     #: it fresh), so repeat warm hits skip even the digest hash.
     cert_verified: bool = field(default=False, compare=False)
@@ -184,6 +194,10 @@ class CompiledProgram:
     # -- (de)serialisation — the on-disk cache layer --------------------
 
     def to_dict(self) -> Dict:
+        if self.specialized is None:
+            # Building the plan also caches it on the schedule object,
+            # so the serving layer's first specialized run is free.
+            self.specialized = plan_artifact(self.schedule)
         data = {
             "version": DISK_FORMAT_VERSION,
             "benchmark": self.benchmark,
@@ -196,6 +210,7 @@ class CompiledProgram:
             "schedule_report": self.schedule_report.to_dict(),
             "dataflow_report": self.dataflow_report.to_dict(),
             "optimizer": self.optimizer,
+            "specialized": self.specialized,
         }
         if self.opt_stats is not None:
             data["opt_stats"] = self.opt_stats
@@ -210,6 +225,20 @@ class CompiledProgram:
                 f"unsupported cache entry version {data.get('version')!r}"
             )
         schedule = schedule_from_dict(data["schedule"])
+        # The specialized plan is a pure function of the schedule, so
+        # the artifact is *verified*, not trusted: rebuild it and
+        # compare content digests.  A mismatch means the entry is torn
+        # or stale; the caller quarantines it (one recompile, no crash).
+        stored = data.get("specialized")
+        if stored is None:
+            raise ValueError("cache entry lacks a specialized plan artifact")
+        rebuilt = plan_artifact(schedule)
+        if rebuilt != stored:
+            raise ValueError(
+                "specialized plan artifact does not match its schedule: "
+                f"stored {stored.get('digest')!r}, "
+                f"rebuilt {rebuilt.get('digest')!r}"
+            )
         certificate = data.get("certificate")
         return cls(
             benchmark=data["benchmark"],
@@ -227,6 +256,7 @@ class CompiledProgram:
             ),
             optimizer=data.get("optimizer", ""),
             opt_stats=data.get("opt_stats"),
+            specialized=stored,
         )
 
 

@@ -49,7 +49,7 @@ from ..circuits.library import build_pe
 from ..errors import CapacityError, ReproError, RequestError, ServiceError
 from ..freac.compute_slice import SlicePartition
 from ..freac.device import FreacDevice
-from ..freac.engine import DEFAULT_ENGINE, validate_engine
+from ..freac.engine import EngineLike, resolve_engine
 from ..freac.runner import plan_layout
 from ..freac.session import ExecutionSession
 from ..optimizer import OptimizerConfig
@@ -109,7 +109,7 @@ class AcceleratorService:
         batching: bool = True,
         max_batch_items: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
-        engine: str = DEFAULT_ENGINE,
+        engine: EngineLike = None,
         optimizer: Optional[OptimizerConfig] = None,
         workers: int = 0,
         max_queue_depth: Optional[int] = None,
@@ -154,7 +154,10 @@ class AcceleratorService:
         self.retry_jitter = retry_jitter
         self.batching = batching
         self.max_batch_items = max_batch_items
-        self.engine = validate_engine(engine)
+        #: The fleet-default engine name; per-job requests
+        #: may override it (any EngineLike is accepted and
+        #: normalized, docs/execution.md).
+        self.engine = resolve_engine(engine).name
         #: Base config for ``submit(..., optimize=True)`` jobs; resolved
         #: eagerly so a cpsat pin without ortools fails at construction,
         #: not on the first optimizing submission.
@@ -232,7 +235,7 @@ class AcceleratorService:
         timeout_s: Optional[float] = None,
         seed: int = 0,
         dataset: Optional[Dataset] = None,
-        engine: Optional[str] = None,
+        engine: EngineLike = None,
         optimize: bool = False,
         opt_budget_s: Optional[float] = None,
     ) -> Job:
@@ -294,7 +297,8 @@ class AcceleratorService:
             benchmark=benchmark.upper(), items=items, priority=priority,
             mccs_per_tile=mccs_per_tile, lut_inputs=lut_inputs,
             slices=slices, timeout_s=timeout_s, seed=seed, dataset=dataset,
-            engine=validate_engine(engine) if engine else self.engine,
+            engine=resolve_engine(engine).name if engine is not None
+            else self.engine,
             optimize=optimize, opt_budget_s=opt_budget_s,
         )
         with self._lock:

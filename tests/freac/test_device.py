@@ -11,6 +11,7 @@ from repro.freac.device import (
 )
 from repro.freac.compute_slice import SlicePartition
 from repro.freac.executor import StreamBinding
+from repro.freac.session import ExecutionSession
 from repro.params import scaled_system
 
 
@@ -53,26 +54,35 @@ class TestPlanner:
 
 
 class TestDeviceLifecycle:
-    def test_setup_partitions_selected_slices(self, device):
-        reports = device.setup(SlicePartition(4, 2), slices=1)
-        assert len(reports) == 1
-        assert device.controllers[0].state.value == "partitioned"
-        assert device.controllers[1].state.value == "idle"
+    """The lifecycle API is ExecutionSession (the setup/program/
+    teardown delegates are gone); the session drives the device's
+    internal slice plumbing."""
+
+    def test_session_partitions_selected_slices(self, device):
+        with ExecutionSession(device, SlicePartition(4, 2),
+                              slices=1) as session:
+            assert len(session.setup_reports) == 1
+            assert device.controllers[0].state.value == "partitioned"
+            assert device.controllers[1].state.value == "idle"
+
+    def test_legacy_delegates_are_gone(self, device):
+        for name in ("setup", "program", "teardown"):
+            assert not hasattr(device, name)
 
     def test_program_requires_setup(self, device):
         program = AcceleratorProgram("VADD", mapped_pe("VADD"))
         with pytest.raises(DeviceError):
-            device.program(program, mccs_per_tile=1)
+            device._program_slices(program, 1, [])
 
     def test_program_all_partitioned_slices(self, device):
-        device.setup(SlicePartition(4, 2))
         program = AcceleratorProgram("VADD", mapped_pe("VADD"))
-        reports = device.program(program, mccs_per_tile=1)
-        assert len(reports) == 2
+        with ExecutionSession(device, SlicePartition(4, 2)) as session:
+            reports = session.program(program, mccs_per_tile=1)
+            assert len(reports) == 2
 
-    def test_teardown(self, device):
-        device.setup(SlicePartition(4, 2))
-        device.teardown()
+    def test_teardown_on_exit(self, device):
+        with ExecutionSession(device, SlicePartition(4, 2)):
+            pass
         assert all(c.state.value == "idle" for c in device.controllers)
 
     def test_service_rate_capped_by_control_box(self, device):
@@ -83,21 +93,22 @@ class TestDeviceLifecycle:
 
 class TestBatchExecution:
     def test_data_parallel_batch_across_slices(self, device):
-        device.setup(SlicePartition(4, 2))
         program = AcceleratorProgram("VADD", mapped_pe("VADD"))
-        device.program(program, mccs_per_tile=1)
         binding = {
             "a": StreamBinding(0, 1),
             "b": StreamBinding(64, 1),
             "c": StreamBinding(128, 1),
         }
-        # Block distribution: slice 0 gets items 0..3, slice 1 items 4..7,
-        # but each runs against its local scratchpad at item offsets —
-        # fill both with the full array (the paper's data-parallel copy).
-        for controller in device.controllers:
-            controller.fill_scratchpad(0, list(range(1, 9)))
-            controller.fill_scratchpad(64, [10] * 8)
-        totals = device.run_batch(8, binding)
+        with ExecutionSession(device, SlicePartition(4, 2)) as session:
+            session.program(program, mccs_per_tile=1)
+            # Block distribution: slice 0 gets items 0..3, slice 1 items
+            # 4..7, but each runs against its local scratchpad at item
+            # offsets — fill both with the full array (the paper's
+            # data-parallel copy).
+            for controller in device.controllers:
+                controller.fill_scratchpad(0, list(range(1, 9)))
+                controller.fill_scratchpad(64, [10] * 8)
+            totals = device.run_batch(8, binding)
         assert totals["invocations"] == 8
 
     def test_schedule_cached_per_tile_size(self):

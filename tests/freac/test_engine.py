@@ -1,10 +1,11 @@
-"""Batch-vectorized engine ≡ reference engine, bit for bit.
+"""specialized ≡ vectorized ≡ reference, bit for bit.
 
-The SoA fast path (docs/execution.md) must be indistinguishable from
-the scalar per-item loop in *everything* the model exposes: outputs,
-stores, scratchpad contents, executor stats, and every access counter
-down to the individual sub-arrays.  These tests hold the two engines
-side by side on identical hardware state and diff all of it.
+Every engine in the registry (docs/execution.md) must be
+indistinguishable from the scalar per-item loop in *everything* the
+model exposes: outputs, stores, scratchpad contents, executor stats,
+and every access counter down to the individual sub-arrays.  These
+tests hold the engines side by side on identical hardware state and
+diff all of it — including the compiled-plan fast path.
 """
 
 import random
@@ -50,6 +51,50 @@ def make_pair(schedule, mccs, params=None):
     return reference, vectorized
 
 
+def make_executors(schedule, mccs, params=None):
+    """One executor per registered engine on identical fresh hardware."""
+    reference = FoldedExecutor(schedule, make_tile(mccs, params))
+    executors = {"reference": reference}
+    for engine in ENGINES:
+        if engine not in executors:
+            executors[engine] = FoldedExecutor(
+                schedule, make_tile(mccs, params), config=reference.config
+            )
+    for executor in executors.values():
+        executor.load_configuration()
+    return executors
+
+
+def run_all(executors, batch, **kwargs):
+    return {
+        engine: executor.run_batch(batch, engine=engine, **kwargs)
+        for engine, executor in executors.items()
+    }
+
+
+def assert_all_equivalent(executors, results):
+    """Three-way diff: every engine against the reference loop."""
+    reference = results["reference"]
+    expected = counters(executors["reference"])
+    for engine, result in results.items():
+        if engine == "reference":
+            continue
+        assert result.engine == engine
+        assert reference.outputs.keys() == result.outputs.keys()
+        for name in reference.outputs:
+            np.testing.assert_array_equal(
+                reference.outputs[name], result.outputs[name],
+                err_msg=f"{engine}: output {name!r}",
+            )
+        assert reference.stores.keys() == result.stores.keys()
+        for stream in reference.stores:
+            np.testing.assert_array_equal(
+                reference.stores[stream], result.stores[stream],
+                err_msg=f"{engine}: store {stream!r}",
+            )
+        assert counters(executors[engine]) == expected, engine
+
+
 def counters(executor):
     """Every counter the model exposes, flattened into one dict."""
     state = executor.stats.as_dict()
@@ -69,21 +114,6 @@ def counters(executor):
         mcc.mac.operations for mcc in executor.tile
     )
     return state
-
-
-def assert_equivalent(reference, vectorized, ref_result, vec_result):
-    assert vec_result.engine == "vectorized"
-    assert ref_result.outputs.keys() == vec_result.outputs.keys()
-    for name in ref_result.outputs:
-        np.testing.assert_array_equal(
-            ref_result.outputs[name], vec_result.outputs[name]
-        )
-    assert ref_result.stores.keys() == vec_result.stores.keys()
-    for stream in ref_result.stores:
-        np.testing.assert_array_equal(
-            ref_result.stores[stream], vec_result.stores[stream]
-        )
-    assert counters(reference) == counters(vectorized)
 
 
 def random_streams(pe, batch, rng):
@@ -129,15 +159,14 @@ class TestBenchmarkEquivalence:
         else:
             streams = random_streams(pe, batch, rng)
         schedule = list_schedule(netlist, TileResources(mccs=2))
-        reference, vectorized = make_pair(schedule, mccs=2)
-        ref = reference.run_batch(batch, streams=streams, engine="reference")
-        vec = vectorized.run_batch(batch, streams=streams,
-                                   engine="vectorized")
-        assert_equivalent(reference, vectorized, ref, vec)
+        executors = make_executors(schedule, mccs=2)
+        results = run_all(executors, batch, streams=streams)
+        assert_all_equivalent(executors, results)
         for lane in range(batch):
             lane_streams = {s: streams[s][lane] for s in streams}
             expected = simulate(netlist, streams=lane_streams)
-            assert vec.item_stores(lane) == expected.stores
+            for engine in ENGINES:
+                assert results[engine].item_stores(lane) == expected.stores
 
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
@@ -145,7 +174,8 @@ class TestBenchmarkEquivalence:
     )
     @settings(max_examples=12, deadline=None)
     def test_random_circuits_property(self, seed, batch):
-        """vectorized(batch) == [reference(item) for item in batch]."""
+        """engine(batch) == [reference(item) for item in batch],
+        for every engine in the registry."""
         rng = random.Random(seed)
         builder = CircuitBuilder(f"rand{seed}")
         a = builder.bus_load("in")
@@ -166,12 +196,9 @@ class TestBenchmarkEquivalence:
         }
         mccs = rng.choice((1, 2, 4))
         schedule = list_schedule(netlist, TileResources(mccs=mccs))
-        reference, vectorized = make_pair(schedule, mccs=mccs)
-        ref = reference.run_batch(batch, streams=streams,
-                                  engine="reference")
-        vec = vectorized.run_batch(batch, streams=streams,
-                                   engine="vectorized")
-        assert_equivalent(reference, vectorized, ref, vec)
+        executors = make_executors(schedule, mccs=mccs)
+        results = run_all(executors, batch, streams=streams)
+        assert_all_equivalent(executors, results)
 
 
 class TestSegmentedEquivalence:
@@ -191,30 +218,29 @@ class TestSegmentedEquivalence:
         """Segmented schedules reload per item; charges must match."""
         schedule = self._segmented_schedule()
         tiny = SubarrayParams(size_bytes=32)  # 8 rows -> many segments
-        reference, vectorized = make_pair(schedule, mccs=1, params=tiny)
+        executors = make_executors(schedule, mccs=1, params=tiny)
+        reference = executors["reference"]
         assert reference.segments > 1
         streams = {"in": [[0b1011 + i] for i in range(batch)]}
-        ref = reference.run_batch(batch, streams=streams,
-                                  engine="reference")
-        vec = vectorized.run_batch(batch, streams=streams,
-                                   engine="vectorized")
-        assert_equivalent(reference, vectorized, ref, vec)
+        results = run_all(executors, batch, streams=streams)
+        assert_all_equivalent(executors, results)
         # The reference engine rewinds to segment 0 for every item
-        # after the first; the vectorized engine charges the same.
-        assert (vectorized.stats.config_reloads
-                == batch * (reference.segments - 1))
+        # after the first; the batch engines charge the same.
+        for engine in ENGINES:
+            assert (executors[engine].stats.config_reloads
+                    == batch * (reference.segments - 1)), engine
 
     def test_second_batch_rewind_accounting(self):
         """Entering a batch with the last segment loaded still matches."""
         schedule = self._segmented_schedule()
         tiny = SubarrayParams(size_bytes=32)
-        reference, vectorized = make_pair(schedule, mccs=1, params=tiny)
+        executors = make_executors(schedule, mccs=1, params=tiny)
         for batch in (3, 2):  # second batch starts at segment != 0
             streams = {"in": [[batch * 17 + i] for i in range(batch)]}
-            reference.run_batch(batch, streams=streams, engine="reference")
-            vectorized.run_batch(batch, streams=streams,
-                                 engine="vectorized")
-        assert counters(reference) == counters(vectorized)
+            run_all(executors, batch, streams=streams)
+        expected = counters(executors["reference"])
+        for engine in ENGINES:
+            assert counters(executors[engine]) == expected, engine
 
 
 class TestScratchpadEquivalence:
@@ -255,9 +281,11 @@ class TestScratchpadEquivalence:
             }
             executor.run_batch(3, scratchpad_map=binding, engine=engine)
             results[engine] = (pad.reads, pad.writes, counters(executor))
-        assert results["vectorized"] == results["reference"]
+        for engine in ENGINES:
+            assert results[engine] == results["reference"], engine
 
-    def test_explicit_item_indices_address_the_scratchpad(self):
+    @pytest.mark.parametrize("engine", ("vectorized", "specialized"))
+    def test_explicit_item_indices_address_the_scratchpad(self, engine):
         """Global item numbers, not lane positions, pick the region."""
         executor, pad = self._scratchpad_executor()
         pad.fill_words(0, [10, 20, 30])
@@ -267,13 +295,12 @@ class TestScratchpadEquivalence:
             "b": StreamBinding(100, 1),
             "c": StreamBinding(200, 1),
         }
-        executor.run_batch([2, 0], scratchpad_map=binding,
-                           engine="vectorized")
+        executor.run_batch([2, 0], scratchpad_map=binding, engine=engine)
         assert pad.dump_words(200, 3) == [11, 0, 33]
 
 
 class TestFallbacks:
-    def test_sequential_netlist_falls_back_to_reference(self):
+    def _sequential_schedule(self):
         """Flip-flop state threads item to item; lanes can't lock-step."""
         builder = CircuitBuilder()
         word = builder.bus_load("in")
@@ -282,22 +309,49 @@ class TestFallbacks:
         builder.bind_flipflop(state, updated)
         builder.bus_store("out", builder.word_from_bits([updated]))
         netlist = technology_map(builder.netlist, k=5).netlist
-        schedule = list_schedule(netlist, TileResources())
-        executor = FoldedExecutor(schedule, make_tile(1))
+        return list_schedule(netlist, TileResources())
+
+    @pytest.mark.parametrize("engine", ("vectorized", "specialized"))
+    def test_sequential_netlist_falls_back_to_reference(self, engine):
+        executor = FoldedExecutor(self._sequential_schedule(), make_tile(1))
         executor.load_configuration()
         streams = {"in": [[1], [1], [1]]}
-        result = executor.run_batch(3, streams=streams, engine="vectorized")
+        result = executor.run_batch(3, streams=streams, engine=engine)
         assert result.engine == "reference"
         # Alternating state proves the items really ran sequentially.
         assert [int(w) for w in result.stores["out"][:, 0]] == [1, 0, 1]
 
-    def test_trace_collection_falls_back_to_reference(self):
+    def test_fallbacks_are_counted_in_stats(self):
+        executor = FoldedExecutor(self._sequential_schedule(), make_tile(1))
+        executor.load_configuration()
+        streams = {"in": [[1], [1]]}
+        assert executor.stats.engine_fallbacks == 0
+        executor.run_batch(2, streams=streams, engine="specialized")
+        assert executor.stats.engine_fallbacks == 1
+        executor.run_batch(2, streams=streams, engine="vectorized")
+        assert executor.stats.engine_fallbacks == 2
+        executor.run_batch(2, streams=streams, engine="reference")
+        assert executor.stats.engine_fallbacks == 2  # explicit, not a fall
+        assert executor.stats.as_dict()["engine_fallbacks"] == 2
+
+    def test_supported_specialized_run_counts_no_fallback(self):
+        schedule = list_schedule(mapped_pe("VADD"), TileResources())
+        executor = FoldedExecutor(schedule, make_tile(1))
+        executor.load_configuration()
+        result = executor.run_batch(
+            2, streams={"a": [[1], [2]], "b": [[3], [4]]},
+            engine="specialized",
+        )
+        assert result.engine == "specialized"
+        assert executor.stats.engine_fallbacks == 0
+
+    @pytest.mark.parametrize("engine", ("vectorized", "specialized"))
+    def test_trace_collection_falls_back_to_reference(self, engine):
         schedule = list_schedule(mapped_pe("VADD"), TileResources())
         executor = FoldedExecutor(schedule, make_tile(1))
         executor.load_configuration()
         streams = {"a": [[1], [2]], "b": [[3], [4]]}
-        result = executor.run_batch(2, streams=streams,
-                                    engine="vectorized",
+        result = executor.run_batch(2, streams=streams, engine=engine,
                                     collect_trace=True)
         assert result.engine == "reference"
         assert len(result.traces) == 2
@@ -341,13 +395,13 @@ class TestBatchResult:
         builder.bus_store("out", builder.mac(a, b, builder.const_word(0)))
         netlist = technology_map(builder.netlist, k=5).netlist
         schedule = list_schedule(netlist, TileResources())
-        reference, vectorized = make_pair(schedule, mccs=1)
+        executors = make_executors(schedule, mccs=1)
         bindings = {"a": 3, "b": [1, 2, 5]}  # scalar broadcast + lanes
-        ref = reference.run_batch(3, bindings=bindings, engine="reference")
-        vec = vectorized.run_batch(3, bindings=bindings,
-                                   engine="vectorized")
-        assert_equivalent(reference, vectorized, ref, vec)
-        assert [int(w) for w in vec.stores["out"][:, 0]] == [3, 6, 15]
+        results = run_all(executors, 3, bindings=bindings)
+        assert_all_equivalent(executors, results)
+        for engine in ENGINES:
+            stores = results[engine].stores["out"]
+            assert [int(w) for w in stores[:, 0]] == [3, 6, 15]
 
 
 class TestExecutionStatsDict:

@@ -7,55 +7,63 @@ from repro.errors import ConfigurationError
 from repro.freac.compute_slice import SlicePartition
 from repro.freac.device import AcceleratorProgram, FreacDevice
 from repro.freac.executor import StreamBinding
+from repro.freac.session import ExecutionSession
 from repro.params import scaled_system
+
+PARTITION = SlicePartition(compute_ways=4, scratchpad_ways=4)
 
 
 @pytest.fixture
 def device():
-    device = FreacDevice(scaled_system(l3_slices=2))
-    device.setup(SlicePartition(compute_ways=4, scratchpad_ways=4))
-    return device
+    return FreacDevice(scaled_system(l3_slices=2))
 
 
 class TestHeterogeneousSlices:
+    """Slices are independent (Sec. III-E): one session per slice
+    subset programs a different accelerator on each."""
+
     def test_different_accelerators_per_slice(self, device):
-        device.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
-                       mccs_per_tile=1, slices=[0])
-        device.program(AcceleratorProgram("DOT", mapped_pe("DOT")),
-                       mccs_per_tile=1, slices=[1])
+        with ExecutionSession(device, PARTITION, slices=[0]) as s0, \
+                ExecutionSession(device, PARTITION, slices=[1]) as s1:
+            s0.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
+                       mccs_per_tile=1)
+            s1.program(AcceleratorProgram("DOT", mapped_pe("DOT")),
+                       mccs_per_tile=1)
 
-        # Slice 0 runs VADD...
-        vadd = device.controllers[0]
-        vadd.fill_scratchpad(0, [10])
-        vadd.fill_scratchpad(10, [32])
-        vadd.run_batch(1, {
-            "a": StreamBinding(0, 1),
-            "b": StreamBinding(10, 1),
-            "c": StreamBinding(20, 1),
-        })
-        assert vadd.read_scratchpad(20, 1) == [42]
+            # Slice 0 runs VADD...
+            vadd = device.controllers[0]
+            vadd.fill_scratchpad(0, [10])
+            vadd.fill_scratchpad(10, [32])
+            vadd.run_batch(1, {
+                "a": StreamBinding(0, 1),
+                "b": StreamBinding(10, 1),
+                "c": StreamBinding(20, 1),
+            })
+            assert vadd.read_scratchpad(20, 1) == [42]
 
-        # ...while slice 1 independently runs DOT.
-        dot = device.controllers[1]
-        dot.fill_scratchpad(0, [2] * 8)
-        dot.fill_scratchpad(100, [3] * 8)
-        dot.run_batch(1, {
-            "a": StreamBinding(0, 8),
-            "w": StreamBinding(100, 8),
-            "out": StreamBinding(200, 1),
-        })
-        assert dot.read_scratchpad(200, 1) == [48]
+            # ...while slice 1 independently runs DOT.
+            dot = device.controllers[1]
+            dot.fill_scratchpad(0, [2] * 8)
+            dot.fill_scratchpad(100, [3] * 8)
+            dot.run_batch(1, {
+                "a": StreamBinding(0, 8),
+                "w": StreamBinding(100, 8),
+                "out": StreamBinding(200, 1),
+            })
+            assert dot.read_scratchpad(200, 1) == [48]
 
     def test_slice_index_validated(self, device):
-        program = AcceleratorProgram("VADD", mapped_pe("VADD"))
         with pytest.raises(ConfigurationError):
-            device.program(program, mccs_per_tile=1, slices=[5])
+            with ExecutionSession(device, PARTITION, slices=[5]):
+                pass
 
     def test_subset_leaves_others_partitioned(self, device):
-        device.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
-                       mccs_per_tile=1, slices=[0])
-        assert device.controllers[0].state.value == "configured"
-        assert device.controllers[1].state.value == "partitioned"
+        with ExecutionSession(device, PARTITION, slices=[0]) as s0, \
+                ExecutionSession(device, PARTITION, slices=[1]):
+            s0.program(AcceleratorProgram("VADD", mapped_pe("VADD")),
+                       mccs_per_tile=1)
+            assert device.controllers[0].state.value == "configured"
+            assert device.controllers[1].state.value == "partitioned"
 
 
 class TestRingHierarchy:

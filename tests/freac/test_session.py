@@ -3,8 +3,8 @@
 The session owns Fig. 5's setup → program → fill/run → teardown flow;
 the contract under test is that the claimed slices *always* come back
 as plain cache ways — including when the body of the ``with`` raises
-mid-run — and that the old ``FreacDevice`` entry points still work as
-deprecated delegates.
+mid-run.  It is the only lifecycle API: the old ``FreacDevice``
+delegates have been removed.
 """
 
 import threading
@@ -226,26 +226,29 @@ class TestExecution:
         assert results["vectorized"] == results["reference"]
 
 
-class TestDeprecatedDelegates:
-    def test_setup_program_teardown_warn_but_work(self):
-        device = small_device()
-        program = vadd_program()
-        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
-            device.setup(SlicePartition(4, 2))
-        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
-            device.program(program, mccs_per_tile=1)
-        assert all(
-            c.state.value == "configured" for c in device.controllers
-        )
-        with pytest.warns(DeprecationWarning, match="ExecutionSession"):
-            device.teardown()
-        assert all(c.state.value == "idle" for c in device.controllers)
+class TestEngineResolution:
+    """The session resolves its engine once, to an EngineSpec."""
 
-    def test_delegates_match_session_behaviour(self):
-        legacy = small_device()
-        with pytest.warns(DeprecationWarning):
-            legacy.setup(SlicePartition(4, 2), slices=1)
-        scoped = small_device()
-        with ExecutionSession(scoped, SlicePartition(4, 2), slices=1):
-            assert ([c.state.value for c in scoped.controllers]
-                    == [c.state.value for c in legacy.controllers])
+    def test_engine_normalizes_to_spec(self):
+        from repro.freac.engine import EngineSpec, resolve_engine
+
+        device = small_device()
+        session = ExecutionSession(device, engine="reference")
+        assert isinstance(session.engine, EngineSpec)
+        assert session.engine.name == "reference"
+        default = ExecutionSession(device)
+        assert default.engine is resolve_engine(None)
+
+    def test_unknown_engine_rejected_at_construction(self):
+        with pytest.raises(DeviceError, match="unknown execution engine"):
+            ExecutionSession(small_device(), engine="turbo")
+
+
+class TestRemovedDelegates:
+    def test_lifecycle_delegates_are_gone(self):
+        device = small_device()
+        for name in ("setup", "program", "teardown"):
+            assert not hasattr(device, name), (
+                f"FreacDevice.{name} was removed in favour of "
+                "ExecutionSession and must not come back"
+            )

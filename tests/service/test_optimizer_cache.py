@@ -101,7 +101,7 @@ class TestDiskRoundTrip:
             entry.schedule.fold_cycles == original.schedule.fold_cycles
         )
 
-    def test_on_disk_format_is_v3_with_optimizer_fields(self, tmp_path):
+    def test_on_disk_format_is_v4_with_optimizer_fields(self, tmp_path):
         import json
 
         cache = ProgramCache(capacity=4, directory=tmp_path)
@@ -109,9 +109,11 @@ class TestDiskRoundTrip:
         data = json.loads(
             (tmp_path / program.key.filename).read_text()
         )
-        assert data["version"] == DISK_FORMAT_VERSION == 3
+        assert data["version"] == DISK_FORMAT_VERSION == 4
         assert data["optimizer"] == BNB.token()
         assert data["opt_stats"] == program.opt_stats
+        assert data["specialized"]["supported"] is True
+        assert data["specialized"]["digest"]
 
     def test_heuristic_entry_omits_opt_stats(self, tmp_path):
         import json

@@ -12,6 +12,7 @@ from repro.circuits.library import mapped_pe
 from repro.experiments.common import freac_estimate, scratchpad_service_rate
 from repro.freac import (
     AcceleratorProgram,
+    ExecutionSession,
     FreacDevice,
     SlicePartition,
     StreamBinding,
@@ -26,45 +27,47 @@ class TestFullFlow:
         device = FreacDevice(scaled_system(l3_slices=2))
         partition = SlicePartition(compute_ways=4, scratchpad_ways=4)
 
-        # Steps 1-3: select, flush, lock.
-        reports = device.setup(partition)
-        assert all(r.mccs == 8 for r in reports)
+        # Steps 1-6 are owned by the session (the only lifecycle API).
+        with ExecutionSession(device, partition) as session:
+            # Steps 1-3: select, flush, lock.
+            assert all(r.mccs == 8 for r in session.setup_reports)
 
-        # Step 4: configure the DOT accelerator, one MCC per tile.
-        program = AcceleratorProgram("DOT", mapped_pe("DOT"))
-        prog_reports = device.program(program, mccs_per_tile=1)
-        assert all(r.tiles == 8 for r in prog_reports)
+            # Step 4: configure the DOT accelerator, one MCC per tile.
+            program = AcceleratorProgram("DOT", mapped_pe("DOT"))
+            prog_reports = session.program(program, mccs_per_tile=1)
+            assert all(r.tiles == 8 for r in prog_reports)
 
-        # Step 5: fill the scratchpads.
-        rng = np.random.default_rng(42)
-        items = 16
-        a = rng.integers(0, 1 << 16, size=(items, 8))
-        w = rng.integers(0, 1 << 16, size=(items, 8))
-        for controller in device.controllers:
-            for item in range(items):
-                controller.fill_scratchpad(item * 8, [int(x) for x in a[item]])
-                controller.fill_scratchpad(
-                    4096 + item * 8, [int(x) for x in w[item]]
-                )
+            # Step 5: fill the scratchpads.
+            rng = np.random.default_rng(42)
+            items = 16
+            a = rng.integers(0, 1 << 16, size=(items, 8))
+            w = rng.integers(0, 1 << 16, size=(items, 8))
+            for controller in device.controllers:
+                for item in range(items):
+                    controller.fill_scratchpad(
+                        item * 8, [int(x) for x in a[item]]
+                    )
+                    controller.fill_scratchpad(
+                        4096 + item * 8, [int(x) for x in w[item]]
+                    )
 
-        # Step 6: run, split across both slices.
-        binding = {
-            "a": StreamBinding(0, 8),
-            "w": StreamBinding(4096, 8),
-            "out": StreamBinding(8192, 1),
-        }
-        totals = device.run_batch(items, binding,
-                                  per_slice_items=[items, items])
-        assert totals["invocations"] == 2 * items
+            # Step 6: run, split across both slices.
+            binding = {
+                "a": StreamBinding(0, 8),
+                "w": StreamBinding(4096, 8),
+                "out": StreamBinding(8192, 1),
+            }
+            totals = device.run_batch(items, binding,
+                                      per_slice_items=[items, items])
+            assert totals["invocations"] == 2 * items
 
-        # Read back and check against the reference kernel.
-        for controller in device.controllers:
-            got = controller.read_scratchpad(8192, items)
-            expected = [dot_product(a[i], w[i]) for i in range(items)]
-            assert got == expected
+            # Read back and check against the reference kernel.
+            for controller in device.controllers:
+                got = controller.read_scratchpad(8192, items)
+                expected = [dot_product(a[i], w[i]) for i in range(items)]
+                assert got == expected
 
-        # The slice can be returned to pure caching.
-        device.teardown()
+        # The slices were returned to pure caching on session exit.
         assert all(c.state.value == "idle" for c in device.controllers)
 
     def test_functional_counts_feed_energy_model(self):
