@@ -23,6 +23,18 @@ Seeds the service bench trajectory.  Three timed scenarios:
   against the heuristic and the optimized cache entries, with the
   printed burst count it takes the shorter fold loop to amortize the
   optimization;
+* ``mixed_burst_static_cold`` / ``mixed_burst_static_locked`` /
+  ``mixed_burst_elastic`` — the elastic way-partitioning trio
+  (docs/elastic.md): the same bursty VADD/NW trace under a wide static
+  partition torn down between waves, a narrow always-locked partition,
+  and the elastic partitioner (grow under load, release to cache when
+  idle, warm-attach between waves).  Modeled kernel + reconfiguration
+  time is emulated via ``model_latency_scale``, so the row captures
+  both the real host-side setup cost the static-cold policy pays per
+  wave and the modeled narrow-shape penalty the always-locked policy
+  pays per kernel.  Acceptance: the elastic row's items/s must beat
+  the better static row by >= 1.1x, with ``ways_resized > 0`` and a
+  nonzero ``resize_cost_s``;
 * ``admission_cert`` / ``admission_relint`` — warm-admission latency
   with and without a valid analysis certificate on the disk entry: a
   valid certificate is one digest check, a missing/stale one forces
@@ -56,14 +68,18 @@ default), so the sidecar never perturbs the numbers they report.
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_service.py
+
+``--quick --check`` runs only the elastic trio at reduced size and
+asserts its invariants — the CI gate.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.library import clear_cache
 from repro.params import scaled_system
@@ -366,6 +382,164 @@ def bench_shard_sweep(jobs: int = 10_000, items: int = 2,
     return rows
 
 
+#: The elastic trio: one bursty trace, three partitioning policies.
+ELASTIC_POLICIES = ("static_cold", "static_locked", "elastic")
+
+
+def _elastic_service(policy: str, scale: float, dwell_s: float = 0.1,
+                     grow_step: int = 2) -> AcceleratorService:
+    from repro.freac.compute_slice import SlicePartition
+    from repro.service.elastic import ElasticConfig
+
+    common = dict(
+        system=scaled_system(l3_slices=2), workers=2, batching=False,
+        model_latency_scale=scale,
+    )
+    if policy == "static_cold":
+        # Wide partition, no elastic tier: every wave pays full
+        # session setup + programming, all ways return to cache after.
+        return AcceleratorService(
+            partition=SlicePartition(compute_ways=16, scratchpad_ways=4),
+            **common,
+        )
+    if policy == "static_locked":
+        # Ways held permanently (idle_release_s is effectively never),
+        # but pinned to a narrow shape: warm attaches are free, the
+        # modeled kernel runs on a third of the tiles.
+        return AcceleratorService(
+            partition=SlicePartition(compute_ways=4, scratchpad_ways=4),
+            elastic=ElasticConfig(min_compute_ways=4, max_compute_ways=4,
+                                  idle_release_s=3600.0),
+            **common,
+        )
+    assert policy == "elastic"
+    # max_compute_ways=12 keeps the energy-hint caps of the trace's
+    # two programs equal, so a program swap warm-attaches (and pays
+    # only the config delta) instead of resizing; the dwell outlasts a
+    # burst, so only the idle gaps release ways.
+    return AcceleratorService(
+        partition=SlicePartition(compute_ways=16, scratchpad_ways=4),
+        elastic=ElasticConfig(min_compute_ways=4, max_compute_ways=12,
+                              idle_release_s=0.2, min_dwell_s=dwell_s,
+                              grow_depth_per_step=grow_step),
+        **common,
+    )
+
+
+def _elastic_burst_once(policy: str, jobs: int, items: int, bursts: int,
+                        scale: float, gap_s: float,
+                        trace: Sequence[str] = ("VADD", "NW"),
+                        dwell_s: float = 0.1,
+                        grow_step: int = 2) -> Dict[str, object]:
+    service = _elastic_service(policy, scale, dwell_s=dwell_s,
+                               grow_step=grow_step)
+    try:
+        for name in sorted(set(trace)):     # warm the program cache
+            service.result(service.submit(name, 1))
+        time.sleep(gap_s)                   # let the elastic tier idle
+        busy, total = 0.0, 0
+        # Phased bursts: the trace's benchmarks arrive as contiguous
+        # runs (all of phase 1, then all of phase 2, ...), the shape
+        # of a real request mix.  Repeat-program waves then land on
+        # warm slices with the program still resident.
+        names = [
+            trace[min(i * len(trace) // jobs, len(trace) - 1)]
+            for i in range(jobs)
+        ]
+        for burst in range(bursts):
+            start = time.perf_counter()
+            handles = [
+                service.submit(name, items, seed=i)
+                for i, name in enumerate(names)
+            ]
+            service.drain(timeout_s=600)
+            busy += time.perf_counter() - start
+            total += jobs * items
+            if not all(h.result.verified for h in handles):
+                raise RuntimeError(
+                    f"elastic burst ({policy}) produced unverified results"
+                )
+            if burst < bursts - 1:
+                time.sleep(gap_s)           # bursty: idle gap between
+        stats = service.stats()
+    finally:
+        service.shutdown()
+    row = _entry(f"mixed_burst_{policy}", total, busy,
+                 stats.cache_hit_rate)
+    row["policy"] = policy
+    row["items_per_s"] = total / busy
+    row["ways_resized"] = stats.ways_resized
+    row["resize_cost_s"] = stats.resize_cost_s
+    row["warm_attaches"] = stats.warm_attaches
+    row["items_per_joule"] = stats.items_per_joule
+    print(f"burst of {bursts}x{jobs} jobs ({total} items, "
+          f"{policy:13s}) in {busy * 1e3:8.2f} ms   "
+          f"{total / busy:8.0f} items/s   "
+          f"{stats.ways_resized} way transitions, "
+          f"{stats.warm_attaches} warm attaches")
+    return row
+
+
+def bench_elastic_burst(*, quick: bool = False,
+                        check: bool = False) -> List[Dict[str, object]]:
+    """Elastic vs. both static partitions on a bursty VADD/NW trace.
+
+    Each burst is phased — a run of bus-light VADD jobs, then a run of
+    strongly compute-bound NW jobs (fold/bus ratio ~21) — with idle
+    gaps between bursts.  ``model_latency_scale`` turns the modeled
+    kernel + reconfiguration seconds into emulated device-busy time,
+    so the wide-shape advantage and the per-wave setup overhead both
+    land on the wall clock.  ``static_cold`` pays session setup + full
+    programming every wave; ``static_locked`` attaches warm but runs
+    narrow kernels forever; ``elastic`` grows to the energy-capped
+    shape under load, runs repeat programs as zero-config warm waves,
+    swaps programs at the phase boundary by live-reprogramming only
+    the config delta, and releases ways back to cache in the gaps.
+    """
+    if quick:
+        # NW-only at double scale: the gate isolates the wide-shape
+        # advantage (NW's fold/bus ratio makes narrow kernels ~4x
+        # slower), so it holds with margin on loaded CI machines.
+        jobs, items, bursts, trace = 4, 256, 1, ("NW",)
+        scale = 2e6
+    else:
+        jobs, items, bursts, trace = 10, 256, 2, ("VADD", "NW")
+        scale = 1e6
+    # Eager growth (one way pair per queued job) and a dwell longer
+    # than a burst: shrink happens in the idle gaps (via the release
+    # timer), never mid-burst where it would discard warm slices.
+    dwell_s, grow_step = 5.0, 1
+    rows = [
+        _elastic_burst_once(policy, jobs, items, bursts,
+                            scale=scale, gap_s=0.35, trace=trace,
+                            dwell_s=dwell_s, grow_step=grow_step)
+        for policy in ELASTIC_POLICIES
+    ]
+    by_policy = {row["policy"]: row for row in rows}
+    elastic = by_policy["elastic"]
+    locked = by_policy["static_locked"]
+    best_static = max(by_policy["static_cold"]["items_per_s"],
+                      locked["items_per_s"])
+    print(f"mixed_burst elastic speedup "
+          f"{elastic['items_per_s'] / best_static:6.2f}x vs best "
+          f"static, {elastic['items_per_s'] / locked['items_per_s']:6.2f}x "
+          f"vs always-locked (items/s)")
+    if check:
+        if elastic["items_per_s"] < locked["items_per_s"]:
+            raise RuntimeError(
+                "elastic check failed: elastic items/s "
+                f"{elastic['items_per_s']:.0f} < always-locked static "
+                f"{locked['items_per_s']:.0f}"
+            )
+        if not elastic["ways_resized"] > 0:
+            raise RuntimeError("elastic check failed: ways_resized == 0")
+        if not elastic["resize_cost_s"] > 0:
+            raise RuntimeError("elastic check failed: resize_cost_s == 0")
+        print("elastic check passed: elastic >= always-locked, "
+              "resizes billed")
+    return rows
+
+
 def bench_admission(iterations: int = 20) -> List[Dict[str, object]]:
     """Warm-admission latency: certificate check vs. full re-lint.
 
@@ -442,12 +616,24 @@ def metrics_sidecar(items: int = 4) -> Dict[str, object]:
     return sidecar
 
 
-def main() -> List[Dict[str, object]]:
+def main(argv: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the elastic trio at reduced size; "
+                             "no JSON artifacts are written")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the elastic row beats the "
+                             "always-locked static row and bills its "
+                             "resizes (the CI gate)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        return bench_elastic_burst(quick=True, check=args.check)
     rows = bench_cold_vs_warm()
     rows += bench_mixed_burst()
     rows += bench_optimized_burst()
     rows += bench_worker_sweep()
     rows += bench_shard_sweep()
+    rows += bench_elastic_burst(check=args.check)
     rows += bench_admission()
     OUT.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {OUT}")

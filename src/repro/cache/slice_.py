@@ -152,6 +152,26 @@ class CacheSlice:
                 array.clear()
         return flushed
 
+    def retarget_ways(self, ways: Sequence[int], mode: WayMode) -> None:
+        """Move already-locked ways between non-cache modes in place.
+
+        An elastic resize that turns a compute way into a scratchpad
+        way (or back) never re-enters cache mode, so there is nothing
+        to flush — the sub-arrays are simply cleared and re-badged.
+        """
+        if mode == WayMode.CACHE:
+            raise CacheError("use unlock_ways to return ways to cache mode")
+        for way in ways:
+            self._check_way(way)
+            if self._way_modes[way] == WayMode.CACHE:
+                raise LockedWayError(
+                    f"way {way} is in cache mode; lock it first"
+                )
+        for way in ways:
+            self._way_modes[way] = mode
+            for array in self._data[way]:
+                array.clear()
+
     def unlock_ways(self, ways: Sequence[int]) -> None:
         """Return ways to cache mode with all lines invalid."""
         for way in ways:

@@ -84,6 +84,37 @@ class ConfigImage:
                     digest = ((digest << 5) | (digest >> 27)) & 0xFFFFFFFF
         return digest
 
+    def delta_words(self, other: "ConfigImage") -> int:
+        """Config words that must be rewritten to replace ``other``.
+
+        The unit of reconfiguration is a sub-array row: a folding cycle
+        whose LUT words match the resident image on every MCC keeps its
+        row (and its crossbar descriptors) in place, while a changed or
+        new cycle rewrites its LUT words plus that cycle's crossbar
+        words on every MCC.  Structurally different images (different
+        MCC count, stored-unit count, or row budget) cannot share rows
+        and pay the full rewrite.
+        """
+        if (len(self.lut_words) != len(other.lut_words)
+                or self.rows_per_subarray != other.rows_per_subarray
+                or self.xbar_words_per_cycle != other.xbar_words_per_cycle
+                or any(
+                    len(mine) != len(theirs)
+                    for mine, theirs in zip(self.lut_words, other.lut_words)
+                )):
+            return self.total_words
+        shared = min(self.cycles, other.cycles)
+        changed = [cycle >= shared for cycle in range(self.cycles)]
+        for per_mcc, other_mcc in zip(self.lut_words, other.lut_words):
+            for column, other_column in zip(per_mcc, other_mcc):
+                diff = np.nonzero(column[:shared] != other_column[:shared])[0]
+                for cycle in diff:
+                    changed[int(cycle)] = True
+        mccs = len(self.lut_words)
+        units = len(self.lut_words[0]) if self.lut_words else 0
+        words_per_cycle = mccs * (units + self.xbar_words_per_cycle)
+        return sum(changed) * words_per_cycle
+
     @property
     def reload_segments(self) -> int:
         """Config segments needed when the schedule exceeds the rows.

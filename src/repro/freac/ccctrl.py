@@ -16,12 +16,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import DeviceError, ProtocolError
-from ..folding.config import generate_config
+from ..folding.config import ConfigImage, generate_config
 from ..folding.schedule import FoldingSchedule
 from ..memory.dram import DramModel
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
-from .compute_slice import ReconfigurableComputeSlice, SlicePartition
+from .compute_slice import (
+    ReconfigurableComputeSlice,
+    ResizeDelta,
+    SlicePartition,
+)
 from .engine import EngineLike, resolve_engine
 from .executor import ExecutionStats, FoldedExecutor, StreamBinding
 
@@ -52,6 +56,21 @@ class ProgramReport:
     config_words_total: int
     config_time_s: float
     segments: int
+    #: True when this was a live reprogram billed as a delta against
+    #: the resident image instead of a full bitstream write.
+    delta: bool = False
+    #: Config words the delta skipped relative to a full write.
+    words_saved: int = 0
+
+
+@dataclass
+class ResizeReport:
+    """Cost of an in-place elastic repartition (no teardown)."""
+
+    delta: ResizeDelta
+    flush_time_s: float
+    mccs: int
+    scratchpad_bytes: int
 
 
 class ComputeClusterController:
@@ -72,6 +91,7 @@ class ComputeClusterController:
         self.state = ControllerState.IDLE
         self.executors: List[FoldedExecutor] = []
         self.schedule: Optional[FoldingSchedule] = None
+        self.config_image: Optional[ConfigImage] = None
         self.telemetry = resolve(telemetry)
         self.slice_index = slice_index
         self._runs = 0
@@ -120,7 +140,42 @@ class ComputeClusterController:
             self.slice.release_partition()
             self.executors = []
             self.schedule = None
+            self.config_image = None
             self.state = ControllerState.IDLE
+
+    def resize(self, partition: SlicePartition) -> ResizeReport:
+        """Repartition a warm slice in place (elastic grow/shrink).
+
+        The slice stays locked for the ways both partitions share;
+        only the delta is flushed/unlocked (see
+        :meth:`ReconfigurableComputeSlice.resize_partition`).  Any
+        resident program is dropped — MCC membership changed — so the
+        controller returns to PARTITIONED and must be reprogrammed.
+        """
+        if self.state is ControllerState.IDLE:
+            raise ProtocolError("set up the slice before resizing")
+        with self.telemetry.span("device.resize", "device",
+                                 slice=self.slice_index):
+            delta = self.slice.resize_partition(partition)
+            self.executors = []
+            self.schedule = None
+            self.config_image = None
+            self.state = ControllerState.PARTITIONED
+            report = ResizeReport(
+                delta=delta,
+                flush_time_s=self.dram.flush_time_s(delta.flushed_bytes),
+                mccs=len(self.slice.mccs),
+                scratchpad_bytes=(
+                    self.slice.scratchpad.size_bytes
+                    if self.slice.scratchpad else 0
+                ),
+            )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "freac.ways_resized",
+                "ways that changed role in elastic repartitions",
+            ).inc(delta.ways_changed, slice=self.slice_index)
+        return report
 
     # ------------------------------------------------------------------
     # Step 4: configuration
@@ -170,6 +225,7 @@ class ComputeClusterController:
             # one MCC stream serially at one word per cache cycle.
             config_time_s = words_per_mcc / self.clock_hz
             self.schedule = schedule
+            self.config_image = image
             self.state = ControllerState.CONFIGURED
         if self.telemetry.enabled:
             self.telemetry.counter(
@@ -182,6 +238,79 @@ class ComputeClusterController:
             config_words_total=words_total,
             config_time_s=config_time_s,
             segments=self.executors[0].segments if self.executors else 0,
+        )
+
+    def reprogram(self, schedule: FoldingSchedule, *,
+                  preflight: bool = False) -> ProgramReport:
+        """Swap the resident program on a warm slice (live reprogram).
+
+        Keeps the locked ways and bills only the configuration words
+        that differ from the resident :class:`ConfigImage` — the
+        LUTstructions-style delta write — instead of the full
+        teardown→setup→program cycle.  Requires a CONFIGURED slice;
+        reprogramming the already-resident schedule is free.
+        """
+        if self.state is not ControllerState.CONFIGURED:
+            raise ProtocolError("nothing resident; use program() first")
+        if schedule is self.schedule:
+            return ProgramReport(
+                tiles=len(self.executors),
+                config_words_per_mcc=0,
+                config_words_total=0,
+                config_time_s=0.0,
+                segments=self.executors[0].segments if self.executors else 0,
+                delta=True,
+                words_saved=(
+                    self.config_image.total_words if self.config_image else 0
+                ),
+            )
+        previous = self.config_image
+        with self.telemetry.span("device.reprogram", "device",
+                                 slice=self.slice_index):
+            tile_size = schedule.resources.mccs
+            tiles = self.slice.tiles(tile_size)
+            image = (
+                generate_config(
+                    schedule, rows_per_subarray=tiles[0][0].config_rows
+                )
+                if tiles else None
+            )
+            self.executors = [
+                FoldedExecutor(
+                    schedule, tile, self.slice.scratchpad,
+                    preflight=preflight, config=image,
+                    telemetry=self.telemetry,
+                    trace_track=f"slice{self.slice_index}/tile{index}",
+                )
+                for index, tile in enumerate(tiles)
+            ]
+            for executor in self.executors:
+                executor.load_configuration()
+            full_words = image.total_words if image else 0
+            billed_words = (
+                image.delta_words(previous)
+                if image is not None and previous is not None
+                else full_words
+            )
+            words_per_mcc = (
+                -(-billed_words // (len(tiles) * tile_size)) if tiles else 0
+            )
+            config_time_s = words_per_mcc / self.clock_hz
+            self.schedule = schedule
+            self.config_image = image
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "freac.config_image_rewrites",
+                "live reprograms (delta config writes on a warm slice)",
+            ).inc(slice=self.slice_index)
+        return ProgramReport(
+            tiles=len(tiles),
+            config_words_per_mcc=words_per_mcc,
+            config_words_total=billed_words,
+            config_time_s=config_time_s,
+            segments=self.executors[0].segments if self.executors else 0,
+            delta=True,
+            words_saved=max(0, full_words - billed_words),
         )
 
     def verify_configuration(self) -> bool:

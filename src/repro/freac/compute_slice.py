@@ -60,6 +60,27 @@ class SlicePartition:
         return f"{self.mccs()}MCC-{kb}KB"
 
 
+@dataclass(frozen=True)
+class ResizeDelta:
+    """What one in-place repartition actually moved.
+
+    Elastic resizing bills only the ways that changed roles: newly
+    locked ways pay the flush, freed ways return to cache, and ways
+    that swapped between compute and scratchpad are re-badged without
+    a flush (they hold no cache lines).
+    """
+
+    ways_locked: int
+    ways_unlocked: int
+    ways_retargeted: int
+    flushed_dirty_lines: int
+    flushed_bytes: int
+
+    @property
+    def ways_changed(self) -> int:
+        return self.ways_locked + self.ways_unlocked + self.ways_retargeted
+
+
 class ReconfigurableComputeSlice:
     """A cache slice plus the FReaC partitioning machinery."""
 
@@ -82,13 +103,7 @@ class ReconfigurableComputeSlice:
         if self.partition is not None:
             raise DeviceError("slice is already partitioned; release it first")
 
-        # Ways are taken from the top so way 0 upward stays cache.
-        ways = list(range(self.params.ways))
-        compute = ways[-partition.compute_ways:] if partition.compute_ways else []
-        rest = ways[: len(ways) - len(compute)]
-        scratch = (
-            rest[-partition.scratchpad_ways:] if partition.scratchpad_ways else []
-        )
+        compute, scratch = self._way_layout(partition)
 
         flushed = []
         if compute:
@@ -102,6 +117,84 @@ class ReconfigurableComputeSlice:
             Scratchpad([self._way_handle(w) for w in scratch]) if scratch else None
         )
         self.partition = partition
+
+    def _way_layout(
+        self, partition: SlicePartition
+    ) -> "tuple[List[int], List[int]]":
+        """(compute ways, scratchpad ways) a partition occupies.
+
+        Ways are taken from the top so way 0 upward stays cache; the
+        layout is a pure function of the partition, which is what lets
+        :meth:`resize_partition` diff two partitions way by way.
+        """
+        ways = list(range(self.params.ways))
+        compute = ways[-partition.compute_ways:] if partition.compute_ways else []
+        rest = ways[: len(ways) - len(compute)]
+        scratch = (
+            rest[-partition.scratchpad_ways:] if partition.scratchpad_ways else []
+        )
+        return compute, scratch
+
+    def resize_partition(self, partition: SlicePartition) -> ResizeDelta:
+        """Repartition in place, touching only the ways that change.
+
+        Unlike ``release_partition`` + ``apply_partition`` (which
+        returns every way to cache and re-flushes on the way back),
+        this diffs the current layout against the target: cache ways
+        entering the partition are flushed and locked, ways leaving it
+        are unlocked, and ways moving between compute and scratchpad
+        are retargeted without a flush.  Any resident program is
+        invalidated by the caller (the CC Ctrl drops to PARTITIONED).
+        """
+        if partition.total_ways != self.params.ways:
+            raise ConfigurationError("partition sized for a different slice")
+        if self.partition is None:
+            raise DeviceError("slice is not partitioned; apply one first")
+
+        old_compute, old_scratch = self._way_layout(self.partition)
+        new_compute, new_scratch = self._way_layout(partition)
+        old_roles = {w: WayMode.COMPUTE for w in old_compute}
+        old_roles.update({w: WayMode.SCRATCHPAD for w in old_scratch})
+        new_roles = {w: WayMode.COMPUTE for w in new_compute}
+        new_roles.update({w: WayMode.SCRATCHPAD for w in new_scratch})
+
+        to_unlock = sorted(set(old_roles) - set(new_roles))
+        to_lock = {
+            mode: [w for w in new_roles if w not in old_roles
+                   and new_roles[w] is mode]
+            for mode in (WayMode.COMPUTE, WayMode.SCRATCHPAD)
+        }
+        to_retarget = {
+            mode: [w for w in new_roles if w in old_roles
+                   and old_roles[w] is not mode and new_roles[w] is mode]
+            for mode in (WayMode.COMPUTE, WayMode.SCRATCHPAD)
+        }
+
+        flushed = []
+        for mode, ways in to_lock.items():
+            if ways:
+                flushed.extend(self.cache.lock_ways(ways, mode))
+        for mode, ways in to_retarget.items():
+            if ways:
+                self.cache.retarget_ways(ways, mode)
+        if to_unlock:
+            self.cache.unlock_ways(to_unlock)
+
+        dirty = sum(1 for line in flushed if line.dirty)
+        self.flushed_dirty_lines = dirty
+        self.mccs = self._build_mccs(new_compute)
+        self.scratchpad = (
+            Scratchpad([self._way_handle(w) for w in new_scratch])
+            if new_scratch else None
+        )
+        self.partition = partition
+        return ResizeDelta(
+            ways_locked=sum(len(w) for w in to_lock.values()),
+            ways_unlocked=len(to_unlock),
+            ways_retargeted=sum(len(w) for w in to_retarget.values()),
+            flushed_dirty_lines=dirty,
+            flushed_bytes=dirty * self.params.line_bytes,
+        )
 
     def release_partition(self) -> None:
         """Return all locked ways to cache mode."""

@@ -28,7 +28,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..errors import DeviceError, ProtocolError
 from ..telemetry import Telemetry
-from .ccctrl import ComputeClusterController, ProgramReport, SetupReport
+from .ccctrl import (
+    ComputeClusterController,
+    ControllerState,
+    ProgramReport,
+    SetupReport,
+)
 from .compute_slice import SlicePartition
 from .device import AcceleratorProgram, FreacDevice
 from .engine import EngineLike, EngineSpec, resolve_engine
@@ -51,6 +56,8 @@ class ExecutionSession:
         slices: Union[int, Sequence[int], None] = None,
         engine: EngineLike = None,
         telemetry: Optional[Telemetry] = None,
+        attach: bool = False,
+        release: bool = True,
     ) -> None:
         self.device = device
         self.partition = partition or SlicePartition(
@@ -64,6 +71,8 @@ class ExecutionSession:
         self.slice_indices: Tuple[int, ...] = ()
         self.setup_reports: List[SetupReport] = []
         self.program_reports: List[ProgramReport] = []
+        self._attach = attach
+        self._release = release
         self._active = False
         self._used = False
         self._lifecycle_lock = threading.Lock()
@@ -86,9 +95,28 @@ class ExecutionSession:
         self.slice_indices = tuple(
             self.device._resolve_slices(self._requested_slices)
         )
-        self.setup_reports = self.device._setup_slices(
-            self.partition, self.slice_indices
-        )
+        if self._attach:
+            # Warm attach (elastic serving): an ElasticPartitioner has
+            # already partitioned these slices and keeps them locked
+            # between waves; verify instead of re-flushing.
+            for index in self.slice_indices:
+                controller = self.device.controllers[index]
+                if controller.state is ControllerState.IDLE:
+                    raise ProtocolError(
+                        f"cannot attach to idle slice {index}; it is "
+                        "not partitioned"
+                    )
+                if controller.slice.partition != self.partition:
+                    raise ProtocolError(
+                        f"slice {index} holds partition "
+                        f"{controller.slice.partition}, session wants "
+                        f"{self.partition}"
+                    )
+            self.setup_reports = []
+        else:
+            self.setup_reports = self.device._setup_slices(
+                self.partition, self.slice_indices
+            )
         with self._lifecycle_lock:
             self._active = True
         return self
@@ -117,7 +145,10 @@ class ExecutionSession:
                 return
             self._active = False
         try:
-            self.device._teardown_slices(self.slice_indices)
+            if self._release:
+                self.device._teardown_slices(self.slice_indices)
+            # release=False (elastic warm sessions): the partitioner
+            # owns the locked ways and reclaims them on idle/drain.
         finally:
             self.program_reports = []
 
@@ -153,12 +184,35 @@ class ExecutionSession:
         mccs_per_tile: int = 1,
         *,
         preflight: bool = True,
+        live: bool = False,
     ) -> List[ProgramReport]:
-        """Write the accelerator bitstream into every session slice."""
+        """Write the accelerator bitstream into every session slice.
+
+        With ``live=True`` a slice that already holds a program is
+        delta-reprogrammed in place (``ComputeClusterController.
+        reprogram``) — the warm path elastic serving uses — while a
+        merely partitioned slice still takes the full config write.
+        """
         self._require_active()
-        self.program_reports = self.device._program_slices(
-            program, mccs_per_tile, self.slice_indices, preflight=preflight
-        )
+        if not live:
+            self.program_reports = self.device._program_slices(
+                program, mccs_per_tile, self.slice_indices,
+                preflight=preflight,
+            )
+            return self.program_reports
+        schedule = program.schedule_for(mccs_per_tile)
+        reports = []
+        for index in self.slice_indices:
+            controller = self.device.controllers[index]
+            if controller.state is ControllerState.CONFIGURED:
+                reports.append(
+                    controller.reprogram(schedule, preflight=preflight)
+                )
+            else:
+                reports.append(
+                    controller.program(schedule, preflight=preflight)
+                )
+        self.program_reports = reports
         return self.program_reports
 
     def fill(self, start_word: int, values: Sequence[int],

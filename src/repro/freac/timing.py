@@ -46,7 +46,7 @@ class KernelTiming:
     bus_words_per_item: int
     clock_hz: float
     cycles: float
-    bottleneck: str  # "compute" or "bus"
+    bottleneck: str  # "compute", "bus", or "idle" (items == 0)
 
     @property
     def seconds(self) -> float:
@@ -109,8 +109,10 @@ def kernel_timing(
     rows_per_subarray: int = SubarrayParams().rows,
 ) -> KernelTiming:
     """Batch latency of ``items`` invocations over the whole device."""
-    if items < 0 or slices < 1 or tiles_per_slice < 1:
-        raise ConfigurationError("items, slices, and tiles must be positive")
+    if items < 0:
+        raise ConfigurationError("items must be non-negative")
+    if slices < 1 or tiles_per_slice < 1:
+        raise ConfigurationError("slices and tiles must be positive")
     clocking = clocking or FreacClocking()
     clock_hz = clocking.tile_clock_hz(schedule.resources.mccs)
 
@@ -132,7 +134,10 @@ def kernel_timing(
     else:
         bus_cycles = 0.0
     cycles = float(max(compute_cycles, bus_cycles))
-    bottleneck = "compute" if compute_cycles >= bus_cycles else "bus"
+    if items == 0:
+        bottleneck = "idle"
+    else:
+        bottleneck = "compute" if compute_cycles >= bus_cycles else "bus"
     return KernelTiming(
         items=items,
         slices=slices,
@@ -153,6 +158,26 @@ def config_time_s(
     """Time to write one tile's bitstream (parallel across MCCs)."""
     mccs = max(len(image.lut_words), 1)
     words_per_mcc = -(-image.total_words // mccs)
+    return words_per_mcc / clock_hz
+
+
+def reconfig_time_s(
+    image: ConfigImage,
+    previous: Optional[ConfigImage],
+    clock_hz: float,
+) -> float:
+    """Time to swap a resident program in place (live reprogramming).
+
+    Only the configuration words that differ from the resident image
+    travel over the per-MCC config bus — the LUTstructions insight
+    that configuration movement need not repeat unchanged rows.  With
+    no resident image this degrades to a full :func:`config_time_s`.
+    """
+    if previous is None:
+        return config_time_s(image, clock_hz)
+    delta = image.delta_words(previous)
+    mccs = max(len(image.lut_words), 1)
+    words_per_mcc = -(-delta // mccs)
     return words_per_mcc / clock_hz
 
 

@@ -22,6 +22,7 @@ import sys
 from typing import Dict, List, Tuple
 
 from ..errors import ReproError, RequestError
+from ..service.elastic import ElasticConfig
 from ..service.frontend import read_requests
 from ..service.jobs import JobState
 from .client import GatewayClient
@@ -44,6 +45,8 @@ def build_config(args: argparse.Namespace) -> GatewayConfig:
             batching=not getattr(args, "no_batching", False),
             wave_latency_s=args.wave_latency_s,
             item_latency_s=args.item_latency_s,
+            elastic=ElasticConfig() if getattr(args, "elastic", False)
+            else None,
         ),
         max_inflight=args.max_inflight,
         seed=args.seed,
@@ -124,6 +127,12 @@ async def run_gateway(args: argparse.Namespace) -> int:
             f"cache hit rate "
             f"{aggregate.get('cache', {}).get('hit_rate', 0.0):.0%}"
         )
+        if fleet.ways_resized:
+            print(
+                f"-- elastic: {fleet.ways_resized} way transitions, "
+                f"{aggregate.get('warm_attaches', 0)} warm attaches, "
+                f"{fleet.items_per_joule:.3g} items/J"
+            )
         if done < len(job_ids) or unverified:
             exit_code = max(exit_code, 1)
         if args.stats_json:
@@ -178,6 +187,9 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
                          help="emulated device busy time per wave")
     gateway.add_argument("--item-latency-s", type=float, default=None,
                          help="emulated device busy time per item")
+    gateway.add_argument("--elastic", action="store_true",
+                         help="elastic way partitioning on every shard "
+                              "(docs/elastic.md)")
     gateway.add_argument("--requests", default="-",
                          help="request file, '-' for stdin (default)")
     gateway.add_argument("--burst", type=int, default=None,

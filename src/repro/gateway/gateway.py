@@ -183,6 +183,29 @@ class FleetStats:
     shards: Dict[int, Dict] = field(default_factory=dict)
     aggregate: Dict = field(default_factory=dict)
 
+    # Elastic fleet figures, folded from the shard snapshots by
+    # :func:`aggregate_stats` (zero when every shard runs static).
+
+    @property
+    def ways_resized(self) -> int:
+        return int(self.aggregate.get("ways_resized", 0))
+
+    @property
+    def resize_cost_s(self) -> float:
+        return float(self.aggregate.get("resize_cost_s", 0.0))
+
+    @property
+    def locked_ways(self) -> int:
+        return int(self.aggregate.get("locked_ways", 0))
+
+    @property
+    def energy_j(self) -> float:
+        return float(self.aggregate.get("energy_j", 0.0))
+
+    @property
+    def items_per_joule(self) -> float:
+        return float(self.aggregate.get("items_per_joule", 0.0))
+
     def to_dict(self) -> Dict:
         return {
             "submitted": self.submitted,
@@ -205,7 +228,11 @@ _SUMMABLE = (
     "submitted", "completed", "rejected", "failed", "cancelled",
     "timed_out", "saturated", "requeued", "retries", "batches",
     "batched_jobs", "queue_depth", "running", "workers", "workers_busy",
+    "ways_resized", "warm_attaches", "warm_waves", "locked_ways",
 )
+
+#: Float-valued elastic fields that also sum across shards.
+_SUMMABLE_F = ("resize_cost_s", "energy_j")
 
 
 def aggregate_stats(per_shard: Dict[int, Dict]) -> Dict:
@@ -217,6 +244,7 @@ def aggregate_stats(per_shard: Dict[int, Dict]) -> Dict:
     bound rather than a fabricated merge.
     """
     out: Dict = {key: 0 for key in _SUMMABLE}
+    out.update({key: 0.0 for key in _SUMMABLE_F})
     cache_totals: Dict[str, float] = {}
     p50s: List[float] = []
     p95s: List[float] = []
@@ -224,6 +252,8 @@ def aggregate_stats(per_shard: Dict[int, Dict]) -> Dict:
     for stats in per_shard.values():
         for key in _SUMMABLE:
             out[key] += stats.get(key, 0)
+        for key in _SUMMABLE_F:
+            out[key] += stats.get(key, 0.0)
         for key, value in stats.get("cache", {}).items():
             if key != "hit_rate":
                 cache_totals[key] = cache_totals.get(key, 0) + value
@@ -240,6 +270,15 @@ def aggregate_stats(per_shard: Dict[int, Dict]) -> Dict:
     out["latency_p50_s"] = max(p50s) if p50s else None
     out["latency_p95_s"] = max(p95s) if p95s else None
     out["latency_samples"] = samples
+    # Fleet efficiency: energy-weighted mean of the per-shard
+    # items-per-joule figures (equivalently total items / total joules).
+    total_items = sum(
+        stats.get("items_per_joule", 0.0) * stats.get("energy_j", 0.0)
+        for stats in per_shard.values()
+    )
+    out["items_per_joule"] = (
+        total_items / out["energy_j"] if out["energy_j"] > 0 else 0.0
+    )
     return out
 
 

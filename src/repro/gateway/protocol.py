@@ -151,6 +151,7 @@ class HeartbeatMsg:
     sequence: int
     inflight: int        # jobs admitted on the shard, not yet terminal
     queue_depth: int
+    locked_ways: int = 0  # elastic gauge: ways held out of cache now
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from ..params import scaled_system
 from ..errors import ReproError
 from ..telemetry import Telemetry
 from ..telemetry.merge import spans_snapshot
+from ..service.elastic import ElasticConfig
 from ..service.jobs import Job, JobResult, JobState
 from ..service.service import AcceleratorService
 from .framing import send_message, recv_message
@@ -70,6 +71,11 @@ class ShardConfig:
     max_retries: int = 2
     wave_latency_s: Optional[float] = None
     item_latency_s: Optional[float] = None
+    model_latency_scale: Optional[float] = None
+    #: Elastic way partitioning (docs/elastic.md).  ``ElasticConfig``
+    #: is a frozen dataclass, so the whole ShardConfig stays picklable
+    #: across the spawn boundary.
+    elastic: Optional["ElasticConfig"] = None
     heartbeat_s: float = 0.2
     telemetry: bool = True
     extra: Dict[str, object] = field(default_factory=dict)
@@ -112,6 +118,8 @@ class ShardRuntime:
             max_retries=config.max_retries,
             wave_latency_s=config.wave_latency_s,
             item_latency_s=config.item_latency_s,
+            model_latency_scale=config.model_latency_scale,
+            elastic=config.elastic,
             telemetry=self.telemetry,
             done_callback=self._job_done,
         )
@@ -178,6 +186,7 @@ class ShardRuntime:
                 sequence=sequence,
                 inflight=inflight,
                 queue_depth=stats.queue_depth,
+                locked_ways=stats.locked_ways,
             ))
 
     # -- inbound -------------------------------------------------------

@@ -126,3 +126,22 @@ class EnergyModel:
             self.llc_leakage_w * (slices_active / llc_slices) * seconds
         )
         return breakdown
+
+    def reconfiguration_energy(
+        self,
+        *,
+        flushed_bytes: int,
+        config_words: int,
+    ) -> float:
+        """Energy of one elastic way transition or live reprogram.
+
+        Flushing a dirty line out of a way being locked costs one
+        sub-array read plus one bus word per 32-bit word written back
+        (Fig. 5 step 2); streaming ``config_words`` of a (delta)
+        bitstream into the sub-arrays costs one access plus one bus
+        word each (step 4).  Unlocks are invalidations — tag updates
+        the model treats as free.
+        """
+        flush_words = flushed_bytes // 4
+        per_word = self.subarray_access_j + self.bus_word_j
+        return (flush_words + config_words) * per_word

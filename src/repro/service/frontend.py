@@ -108,6 +108,7 @@ def build_service(args: argparse.Namespace) -> AcceleratorService:
         max_retries=args.max_retries,
         workers=getattr(args, "workers", 0),
         max_queue_depth=getattr(args, "max_queue_depth", None),
+        elastic=getattr(args, "elastic", False),
     )
 
 
@@ -209,6 +210,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"p50 {_ms(stats.latency_p50_s)} p95 {_ms(stats.latency_p95_s)} "
         f"(n={stats.latency_samples})"
     )
+    if stats.ways_resized:
+        print(
+            f"-- elastic: {stats.ways_resized} way transitions "
+            f"({stats.resize_cost_s * 1e6:.2f}us), "
+            f"{stats.warm_attaches} warm attaches, "
+            f"{stats.items_per_joule:.3g} items/J"
+        )
     if args.stats_json:
         with open(args.stats_json, "w") as handle:
             json.dump(stats.to_dict(), handle, indent=2)
@@ -239,6 +247,11 @@ def add_parsers(sub: "argparse._SubParsersAction") -> None:
         parser.add_argument("--max-queue-depth", type=int, default=None,
                             help="bound the job queue; a full queue "
                                  "rejects new jobs as SATURATED")
+        parser.add_argument("--elastic", action="store_true",
+                            help="elastic way partitioning: grow/shrink "
+                                 "the compute/cache split per slice with "
+                                 "load and keep warm slices locked "
+                                 "between waves (docs/elastic.md)")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a fresh serving instance"

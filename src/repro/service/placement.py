@@ -38,6 +38,12 @@ class SlicePool:
     def __init__(self, slice_counts: Sequence[int]) -> None:
         if not slice_counts:
             raise ServiceError("a slice pool needs at least one device")
+        for device, count in enumerate(slice_counts):
+            if count < 1:
+                raise ServiceError(
+                    f"device {device} has {count} slices; every device "
+                    "needs at least one slice to serve"
+                )
         self._counts = list(slice_counts)
         self._busy: List[Set[int]] = [set() for _ in slice_counts]
         self._lock = threading.RLock()
@@ -68,16 +74,16 @@ class SlicePool:
             raise ServiceError("a placement needs at least one slice")
         with self._lock:
             best: Optional[int] = None
-            best_free = None
+            best_free: Optional[List[int]] = None
             for device in range(self.devices):
-                free = len(self.free_slices(device))
-                if free >= slices_needed and (
-                    best_free is None or free < best_free
+                free = self.free_slices(device)
+                if len(free) >= slices_needed and (
+                    best_free is None or len(free) < len(best_free)
                 ):
                     best, best_free = device, free
-            if best is None:
+            if best is None or best_free is None:
                 return None
-            claimed = tuple(self.free_slices(best)[:slices_needed])
+            claimed = tuple(best_free[:slices_needed])
             self._busy[best].update(claimed)
             return Placement(device=best, slices=claimed)
 

@@ -52,11 +52,14 @@ from ..freac.device import FreacDevice
 from ..freac.engine import EngineLike, resolve_engine
 from ..freac.runner import plan_layout
 from ..freac.session import ExecutionSession
+from ..freac.timing import kernel_timing
 from ..optimizer import OptimizerConfig
 from ..params import SystemParams
+from ..power.energy import EnergyModel
 from ..telemetry import Telemetry
 from ..telemetry.core import resolve
 from ..workloads.datagen import Dataset, dataset_for
+from .elastic import ElasticConfig, ElasticPartitioner
 from .jobs import Job, JobQueue, JobRequest, JobResult, JobState
 from .placement import Placement, SlicePool
 from .programs import CompiledProgram, ProgramCache
@@ -115,6 +118,8 @@ class AcceleratorService:
         max_queue_depth: Optional[int] = None,
         wave_latency_s: Optional[float] = None,
         item_latency_s: Optional[float] = None,
+        model_latency_scale: Optional[float] = None,
+        elastic: Union[ElasticConfig, bool, None] = None,
         done_callback: Optional[Callable[[Job], None]] = None,
     ) -> None:
         if devices < 1:
@@ -129,6 +134,8 @@ class AcceleratorService:
             raise ServiceError("wave latency must be non-negative")
         if item_latency_s is not None and item_latency_s < 0:
             raise ServiceError("item latency must be non-negative")
+        if model_latency_scale is not None and model_latency_scale < 0:
+            raise ServiceError("model latency scale must be non-negative")
         self.telemetry = resolve(telemetry)
         self.partition = partition or SlicePartition(
             compute_ways=4, scratchpad_ways=4
@@ -176,6 +183,27 @@ class AcceleratorService:
         #: not make a shard look faster by merging its sleep away).
         self.wave_latency_s = wave_latency_s
         self.item_latency_s = item_latency_s
+        #: Scale factor turning the analytical timing model's seconds
+        #: (kernel + billed reconfiguration) into emulated device-busy
+        #: sleep, so partition *shape* shows up in wall-clock the way
+        #: it would on real hardware.  ``None``/0 disables it.
+        self.model_latency_scale = model_latency_scale
+        #: Energy bookkeeping for items/s-per-watt stats.
+        self.energy_model = EnergyModel()
+        #: The elastic way partitioner (docs/elastic.md): ``True`` or
+        #: an :class:`ElasticConfig` turns on per-slice grow/shrink of
+        #: the compute/cache split between waves, warm-slice reuse,
+        #: and live reprogramming.  ``None`` keeps the static
+        #: all-cache-idle behavior (full setup/teardown every wave).
+        self.elastic: Optional[ElasticPartitioner] = None
+        if elastic:
+            self.elastic = ElasticPartitioner(
+                self.devices,
+                self.partition,
+                elastic if isinstance(elastic, ElasticConfig) else None,
+                energy=self.energy_model,
+                clocking=self.devices[0].system.clocking,
+            )
         #: Invoked once per job right after it reaches a terminal state
         #: (the gateway shard runtime's completion hook).  Called
         #: outside the service lock; exceptions are logged, never
@@ -199,6 +227,7 @@ class AcceleratorService:
             "submitted": 0, "completed": 0, "rejected": 0, "failed": 0,
             "cancelled": 0, "timed_out": 0, "saturated": 0, "requeued": 0,
             "retries": 0, "batches": 0, "batched_jobs": 0,
+            "warm_waves": 0, "energy_j": 0.0, "energy_items": 0,
         }
         self._closed = False
         # Construct last: workers start claiming immediately and touch
@@ -336,6 +365,8 @@ class AcceleratorService:
             )
             return job
         self._admission_outcome("accepted")
+        if self.elastic is not None:
+            self.elastic.note_submit()
         self._gauge_queue_depth()
         if self.workers is not None:
             self.workers.kick()
@@ -457,23 +488,11 @@ class AcceleratorService:
             # One lifecycle-scoped session per wave: slices are locked
             # here and guaranteed released after the wave, even if the
             # run raises (docs/execution.md).
-            session = ExecutionSession(
-                self.devices[placement.device], self.partition,
-                slices=placement.slices, engine=live[0].request.engine,
-            )
             try:
-                session.__enter__()
-                # Admission already linted this program's schedule (the
-                # report ships with the cache entry), so skip the
-                # per-executor preflight repeat.
-                session.program(
-                    compiled.to_accelerator(), compiled.mccs_per_tile,
-                    preflight=False,
-                )
+                wave.session = self._open_wave_session(wave)
             except BaseException as exc:
                 # The popped jobs must not vanish with the exception:
                 # fail them before deciding whether to propagate.
-                session.close()
                 self._release_wave(wave)
                 for job in live:
                     self._finish(job, JobState.FAILED,
@@ -486,7 +505,6 @@ class AcceleratorService:
                     )
                     continue
                 raise
-            wave.session = session
             now = time.perf_counter()
             for job in live:
                 job.state = JobState.RUNNING
@@ -505,11 +523,12 @@ class AcceleratorService:
             assert wave.session is not None
             try:
                 finished += self._execute_wave(
-                    wave.jobs, wave.compiled, wave.session
+                    wave.jobs, wave.compiled, wave.session, wave=wave
                 )
             finally:
-                wave.session.close()
+                self._close_wave_session(wave)
                 self._release_wave(wave)
+        self._elastic_tick()
         return finished
 
     def _expired(self, job: Job) -> bool:
@@ -586,17 +605,9 @@ class AcceleratorService:
                 tel.counter(
                     "service.worker_waves", "waves dispatched, per worker"
                 ).inc(worker=worker)
-            session = ExecutionSession(
-                self.devices[wave.placement.device], self.partition,
-                slices=wave.placement.slices, engine=jobs[0].request.engine,
-            )
             try:
                 try:
-                    session.__enter__()
-                    session.program(
-                        compiled.to_accelerator(), compiled.mccs_per_tile,
-                        preflight=False,
-                    )
+                    wave.session = self._open_wave_session(wave)
                 except ReproError as exc:
                     logger.warning(
                         "worker %d: programming a wave of %d job(s) "
@@ -611,9 +622,10 @@ class AcceleratorService:
                     worker=worker, benchmark=compiled.benchmark,
                     jobs=len(jobs),
                 ):
-                    self._execute_wave(jobs, compiled, session)
+                    self._execute_wave(jobs, compiled, wave.session,
+                                       wave=wave)
             finally:
-                session.close()
+                self._close_wave_session(wave)
                 if tel.enabled:
                     tel.gauge(
                         "service.worker_busy",
@@ -622,6 +634,99 @@ class AcceleratorService:
         finally:
             self._release_wave(wave)
 
+    def _open_wave_session(self, wave: Wave) -> ExecutionSession:
+        """Enter and program one wave's session (static or elastic).
+
+        Static mode is the all-cache-idle lifecycle: partition the
+        placement's slices, write the full bitstream, and (in
+        ``_close_wave_session``) tear everything down after the wave.
+        Elastic mode leases the slices warm from the
+        :class:`ElasticPartitioner` instead — the session *attaches*
+        to the already-locked ways, programs live (delta reprogram on
+        a warm slice, full write on a fresh one), and leaves the ways
+        locked on close for the next wave to reuse.
+        """
+        placement, compiled = wave.placement, wave.compiled
+        device = self.devices[placement.device]
+        engine = wave.jobs[0].request.engine
+        if self.elastic is None:
+            session = ExecutionSession(
+                device, self.partition,
+                slices=placement.slices, engine=engine,
+            )
+            session.__enter__()
+            # Admission already linted this program's schedule (the
+            # report ships with the cache entry), so skip the
+            # per-executor preflight repeat.
+            session.program(
+                compiled.to_accelerator(), compiled.mccs_per_tile,
+                preflight=False,
+            )
+            return session
+        lease = self.elastic.lease(
+            placement,
+            queue_depth=len(self.queue),
+            deadline_slack_s=self._tightest_slack(wave.jobs),
+            schedule=compiled.schedule,
+            items=sum(job.request.items for job in wave.jobs),
+        )
+        wave.lease = lease
+        session = ExecutionSession(
+            device, lease.partition,
+            slices=placement.slices, engine=engine,
+            attach=True, release=False,
+        )
+        try:
+            session.__enter__()
+            reports = session.program(
+                compiled.to_accelerator(), compiled.mccs_per_tile,
+                preflight=False, live=True,
+            )
+        except BaseException:
+            # The lease must not leak: an un-checked-in lease pins the
+            # slice "active" forever and blocks drain/reclaim.
+            session.close()
+            self.elastic.checkin(lease)
+            wave.lease = None
+            raise
+        # Bill the live-reprogram delta (config words that actually
+        # travelled) onto the elastic cost/energy books.
+        config_s = sum(r.config_time_s for r in reports)
+        config_words = sum(r.config_words_total for r in reports)
+        if config_words or config_s:
+            self.elastic.bill_program(
+                config_s,
+                self.energy_model.reconfiguration_energy(
+                    flushed_bytes=0, config_words=config_words
+                ),
+            )
+        if all(r.delta and r.config_words_total == 0 for r in reports):
+            with self._lock:
+                self._counters["warm_waves"] += 1
+        return session
+
+    def _close_wave_session(self, wave: Wave) -> None:
+        """Close a wave's session and check its lease back in."""
+        if wave.session is not None:
+            wave.session.close()
+        if wave.lease is not None and self.elastic is not None:
+            self.elastic.checkin(wave.lease)
+            wave.lease = None
+
+    def _tightest_slack(self, jobs: List[Job]) -> Optional[float]:
+        """Seconds until the nearest deadline in ``jobs`` (None = none)."""
+        now = time.perf_counter()
+        slacks = [
+            job.submitted_at + job.request.timeout_s - now
+            for job in jobs if job.request.timeout_s is not None
+        ]
+        return min(slacks) if slacks else None
+
+    def _elastic_tick(self) -> None:
+        """Between-waves hook: return idle elastic ways to the cache."""
+        if self.elastic is not None:
+            self.elastic.maybe_reclaim()
+
     def _release_wave(self, wave: Wave) -> None:
         """Give a wave's slices back (idempotent) and wake claimers."""
         with self._lock:
@@ -629,6 +734,7 @@ class AcceleratorService:
                 return
             wave.released = True
             self.pool.release(wave.placement)
+        self._elastic_tick()
         if self.workers is not None:
             self.workers.kick()
 
@@ -650,6 +756,8 @@ class AcceleratorService:
         group: List[Job],
         compiled: CompiledProgram,
         session: ExecutionSession,
+        *,
+        wave: Optional[Wave] = None,
     ) -> int:
         finished = 0
         # Deadline re-check at execution start: a job whose deadline
@@ -705,9 +813,38 @@ class AcceleratorService:
                 totals, mismatched, retries = self._run_with_retry(
                     session, merged, pad_words, pe, deadline=deadline
                 )
+                kernel = kernel_timing(
+                    compiled.schedule,
+                    items=merged.items,
+                    slices=len(session.slice_indices),
+                    tiles_per_slice=max(
+                        session.program_reports[0].tiles, 1
+                    ) if session.program_reports else 1,
+                    scratchpad_service_words_per_cycle=(
+                        session.device.scratchpad_service_rate(
+                            session.partition
+                        )
+                    ),
+                    clocking=session.device.system.clocking,
+                )
+                # Modeled overhead: flush/config of this wave's session
+                # plus (elastic only) the way-transition cost of its
+                # lease.  Warm waves pay neither, which is the whole
+                # point of keeping ways locked between waves.
+                overhead_s = (
+                    sum(r.flush_time_s for r in session.setup_reports)
+                    + sum(r.config_time_s for r in session.program_reports)
+                    + (wave.lease.cost_s
+                       if wave is not None and wave.lease is not None
+                       else 0.0)
+                )
                 busy_s = (self.wave_latency_s or 0.0) + (
                     merged.items * (self.item_latency_s or 0.0)
                 )
+                if self.model_latency_scale:
+                    busy_s += self.model_latency_scale * (
+                        kernel.seconds + overhead_s
+                    )
                 if busy_s > 0:
                     self._sleep(busy_s)
         except _WaveDeadline:
@@ -720,9 +857,28 @@ class AcceleratorService:
                              placement=placement, batch_size=len(group))
             return finished + len(group)
 
+        clocking = session.device.system.clocking
+        breakdown = self.energy_model.accelerator_energy(
+            lut_config_reads=totals["lut_evaluations"],
+            mac_ops=totals["mac_operations"],
+            bus_words=totals["bus_words"],
+            seconds=kernel.seconds,
+            slices_active=len(session.slice_indices),
+            uses_switch_fabric=(
+                compiled.schedule.resources.mccs
+                >= clocking.large_tile_threshold
+            ),
+        )
+        wave_energy_j = breakdown.total_j + (
+            wave.lease.energy_j
+            if wave is not None and wave.lease is not None
+            else 0.0
+        )
         with self._lock:
             self._counters["retries"] += retries
             self._counters["batches"] += 1
+            self._counters["energy_j"] += wave_energy_j
+            self._counters["energy_items"] += merged.items
             if len(group) > 1:
                 self._counters["batched_jobs"] += len(group)
 
@@ -936,7 +1092,15 @@ class AcceleratorService:
             ).set(len(self.queue))
 
     def stats(self) -> ServiceStats:
+        elastic_counters: Dict[str, float] = (
+            self.elastic.counters() if self.elastic is not None else {}
+        )
+        locked_ways = (
+            self.elastic.locked_ways() if self.elastic is not None else 0
+        )
         with self._lock:
+            energy_j = self._counters["energy_j"]
+            energy_items = self._counters["energy_items"]
             return ServiceStats(
                 submitted=self._counters["submitted"],
                 completed=self._counters["completed"],
@@ -963,6 +1127,19 @@ class AcceleratorService:
                 latency_p50_s=self.latencies.p50,
                 latency_p95_s=self.latencies.p95,
                 latency_samples=self.latencies.sample_count,
+                ways_resized=int(elastic_counters.get("ways_resized", 0)),
+                resize_cost_s=float(
+                    elastic_counters.get("resize_cost_s", 0.0)
+                ),
+                warm_attaches=int(
+                    elastic_counters.get("warm_attaches", 0)
+                ),
+                warm_waves=self._counters["warm_waves"],
+                locked_ways=locked_ways,
+                energy_j=energy_j,
+                items_per_joule=(
+                    energy_items / energy_j if energy_j > 0 else 0.0
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -1014,6 +1191,13 @@ class AcceleratorService:
             leftovers = [job for job in self.jobs.values() if not job.done]
         for job in leftovers:
             self._finish(job, JobState.CANCELLED, error="service shut down")
+        if self.elastic is not None:
+            try:
+                self.elastic.drain()
+            except ServiceError:
+                # A crashed wave can leave a lease marked active; the
+                # device-wide teardown below force-frees its ways.
+                logger.warning("elastic drain found active leases")
         for device in self.devices:
             device._teardown_slices(range(device.slice_count))
 

@@ -90,6 +90,14 @@ class ServiceStats:
     latency_p50_s: Optional[float] = None
     latency_p95_s: Optional[float] = None
     latency_samples: int = 0       # samples behind the percentiles
+    # Elastic partitioning (zero when the service runs static):
+    ways_resized: int = 0          # way grow/shrink/setup transitions
+    resize_cost_s: float = 0.0     # modeled flush+switch+delta-config time
+    warm_attaches: int = 0         # waves that reused locked ways
+    warm_waves: int = 0            # of which also reused the program
+    locked_ways: int = 0           # gauge: ways held out of cache now
+    energy_j: float = 0.0          # modeled accelerator + transition energy
+    items_per_joule: float = 0.0   # executed items per modeled joule
 
     @property
     def cache_hit_rate(self) -> float:
@@ -117,6 +125,13 @@ class ServiceStats:
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
             "latency_samples": self.latency_samples,
+            "ways_resized": self.ways_resized,
+            "resize_cost_s": self.resize_cost_s,
+            "warm_attaches": self.warm_attaches,
+            "warm_waves": self.warm_waves,
+            "locked_ways": self.locked_ways,
+            "energy_j": self.energy_j,
+            "items_per_joule": self.items_per_joule,
         }
 
     @classmethod

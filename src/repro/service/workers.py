@@ -40,6 +40,7 @@ from .programs import CompiledProgram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..freac.session import ExecutionSession
+    from .elastic import ElasticLease
     from .service import AcceleratorService
 
 logger = logging.getLogger("repro.service")
@@ -59,6 +60,10 @@ class Wave:
     compiled: CompiledProgram
     session: Optional["ExecutionSession"] = None
     released: bool = field(default=False)
+    #: Elastic serving only: the way lease this wave runs under.
+    #: Checked back in by ``_close_wave_session`` (always, even on
+    #: error paths) so an idle slice's ways can return to the cache.
+    lease: Optional["ElasticLease"] = None
 
 
 class WorkerPool:
@@ -170,6 +175,10 @@ class WorkerPool:
                     self._busy += 1
                     return wave
                 self._cv.wait(timeout=self._POLL_S)
+                # Idle poll: give the elastic partitioner a chance to
+                # return ways nobody has leased back to the cache.
+                # Lock order is service -> elastic (elastic is a leaf).
+                service._elastic_tick()
 
     def _wave_done(self) -> None:
         with self._cv:

@@ -10,6 +10,7 @@ from repro.freac.timing import (
     end_to_end_timing,
     fill_time_s,
     kernel_timing,
+    reconfig_time_s,
     reload_cycles_per_item,
 )
 
@@ -61,6 +62,16 @@ class TestKernelTiming:
     def test_invalid_arguments(self):
         with pytest.raises(ConfigurationError):
             timing(schedule(), slices=0)
+
+    def test_validation_messages_name_the_bad_argument(self):
+        # Regression: items=-1 used to be reported with the
+        # slices/tiles message, so callers chased the wrong knob.
+        with pytest.raises(ConfigurationError, match="items"):
+            timing(schedule(), items=-1)
+        with pytest.raises(ConfigurationError, match="slices and tiles"):
+            timing(schedule(), slices=0)
+        with pytest.raises(ConfigurationError, match="slices and tiles"):
+            timing(schedule(), tiles_per_slice=0)
 
     def test_throughput_consistent(self):
         result = timing(schedule())
@@ -134,11 +145,42 @@ class TestConfigTime:
         assert config_time_s(image, 4.0e9) < config_time_s(image, 3.0e9)
 
 
+class TestReconfigTime:
+    def test_no_resident_image_degrades_to_full_config(self):
+        image = generate_config(schedule("VADD"))
+        assert reconfig_time_s(image, None, 4.0e9) == config_time_s(
+            image, 4.0e9
+        )
+
+    def test_identical_resident_image_is_free(self):
+        image = generate_config(schedule("VADD"))
+        assert reconfig_time_s(image, image, 4.0e9) == 0.0
+
+    def test_delta_never_costs_more_than_full(self):
+        vadd = generate_config(schedule("VADD"))
+        dot = generate_config(schedule("DOT"))
+        swap = reconfig_time_s(vadd, dot, 4.0e9)
+        assert 0.0 < swap <= config_time_s(vadd, 4.0e9)
+
+
 class TestZeroItems:
     def test_zero_items_zero_cycles(self):
         result = timing(schedule(), items=0)
         assert result.cycles == 0.0
         assert result.seconds == 0.0
+
+    def test_zero_items_is_idle_not_a_bottleneck(self):
+        # An empty batch has no bottleneck to name: with zero cycles
+        # both bounds are trivially equal, and the old tie-break
+        # labelled it "compute" — misleading in stats rollups.
+        result = timing(schedule(), items=0)
+        assert result.bottleneck == "idle"
+        assert result.throughput_items_s == 0.0
+
+    def test_nonzero_items_never_idle(self):
+        assert timing(schedule(), items=1).bottleneck in {
+            "compute", "bus"
+        }
 
     def test_negative_items_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -39,6 +39,43 @@ class TestSlicePool:
         wide = pool.acquire(4)
         assert wide.device != first.device     # whole device kept free
 
+    def test_no_devices_rejected(self):
+        with pytest.raises(ServiceError):
+            SlicePool([])
+
+    def test_zero_slice_device_rejected(self):
+        # Regression: a device with no slices used to be accepted and
+        # then silently never placed anything (max_slices also blew up
+        # on the all-empty pool).
+        with pytest.raises(ServiceError, match="device 1"):
+            SlicePool([2, 0])
+        with pytest.raises(ServiceError):
+            SlicePool([-1])
+
+    def test_acquire_zero_slices_rejected(self):
+        pool = SlicePool([2])
+        with pytest.raises(ServiceError):
+            pool.acquire(0)
+
+    def test_best_fit_tie_prefers_first_device(self):
+        # Equal free counts: the single free-list scan keeps the
+        # earliest device (strict less-than), deterministically.
+        pool = SlicePool([2, 2])
+        assert pool.acquire(1).device == 0
+        # Device 0 now has fewer free slices -> still best fit.
+        assert pool.acquire(1).device == 0
+        # Device 0 full -> spill to device 1.
+        assert pool.acquire(1).device == 1
+
+    def test_acquire_claims_lowest_free_indices(self):
+        pool = SlicePool([3])
+        first = pool.acquire(2)
+        assert first.slices == (0, 1)
+        pool.release(first)
+        hole = pool.acquire(1)
+        assert hole.slices == (0,)
+        assert pool.acquire(2).slices == (1, 2)
+
     def test_double_release_is_an_error(self):
         pool = SlicePool([2])
         placement = pool.acquire(1)
